@@ -1,0 +1,89 @@
+// Shared helpers for the paper-reproduction benchmark binaries.
+//
+// Environment knobs:
+//   ESD_BENCH_CAP_S   per-tool time cap in seconds for the baseline runs
+//                     (default 10; the paper used 3600). ESD itself is given
+//                     the same cap.
+//   ESD_BENCH_STRESS  number of stress-test runs per workload (default 20).
+#ifndef ESD_BENCH_BENCH_COMMON_H_
+#define ESD_BENCH_BENCH_COMMON_H_
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/baseline/kc.h"
+#include "src/core/synthesizer.h"
+#include "src/replay/replayer.h"
+#include "src/workloads/workloads.h"
+
+namespace esd::bench {
+
+inline double CapSeconds() {
+  const char* env = std::getenv("ESD_BENCH_CAP_S");
+  return env != nullptr ? std::atof(env) : 10.0;
+}
+
+inline int StressRuns() {
+  const char* env = std::getenv("ESD_BENCH_STRESS");
+  return env != nullptr ? std::atoi(env) : 20;
+}
+
+struct ToolOutcome {
+  bool found = false;
+  double seconds = 0.0;
+};
+
+// Runs full ESD synthesis (capture -> synthesize -> verify playback).
+inline ToolOutcome RunEsd(const workloads::Workload& w, double cap,
+                          core::SynthesisOptions options = {}) {
+  ToolOutcome outcome;
+  auto dump = workloads::CaptureDump(*w.module, w.trigger);
+  if (!dump.has_value()) {
+    return outcome;
+  }
+  options.time_cap_seconds = cap;
+  core::Synthesizer synthesizer(w.module.get(), options);
+  core::SynthesisResult result = synthesizer.Synthesize(*dump);
+  outcome.seconds = result.seconds;
+  if (!result.success) {
+    return outcome;
+  }
+  replay::ReplayResult replayed =
+      replay::Replay(*w.module, result.file, replay::ReplayMode::kStrict);
+  outcome.found = replayed.bug_reproduced;
+  return outcome;
+}
+
+inline ToolOutcome RunKcOn(const workloads::Workload& w,
+                           baseline::KcOptions::Strategy strategy, double cap) {
+  ToolOutcome outcome;
+  auto dump = workloads::CaptureDump(*w.module, w.trigger);
+  if (!dump.has_value()) {
+    return outcome;
+  }
+  core::Goal goal = core::ExtractGoal(*w.module, *dump);
+  baseline::KcOptions options;
+  options.strategy = strategy;
+  options.time_cap_seconds = cap;
+  baseline::KcResult r = baseline::RunKc(*w.module, goal, options);
+  outcome.found = r.found;
+  outcome.seconds = r.seconds;
+  return outcome;
+}
+
+// Formats "x.xx" or ">cap (timeout)".
+inline std::string TimeCell(const ToolOutcome& outcome, double cap) {
+  char buf[64];
+  if (outcome.found) {
+    std::snprintf(buf, sizeof(buf), "%8.2fs", outcome.seconds);
+  } else {
+    std::snprintf(buf, sizeof(buf), ">%6.0fs *", cap);
+  }
+  return buf;
+}
+
+}  // namespace esd::bench
+
+#endif  // ESD_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,46 @@
+// Reproduces Figure 3 (§7.3): "Synthesizing a bug-bound path for programs
+// of varying complexity with ESD and KC." — BPF-generated programs with
+// 2 threads, 2 locks, every branch input-dependent, one deadlock; branch
+// counts swept over powers of two. The paper's KC (RandPath) "found a path
+// within one hour only for the two simplest benchmark-generated programs";
+// the DFS strategy found none.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/bpf/generator.h"
+
+using namespace esd;
+
+int main() {
+  double cap = bench::CapSeconds();
+  std::printf("Figure 3: synthesis time vs number of branches (BPF programs;"
+              " cap %.0fs; '*' = timeout)\n\n", cap);
+  std::printf("%-10s | %-8s | %-11s | %-11s\n", "Branches", "KLOC", "ESD",
+              "KC-RandPath");
+  std::printf("-----------+----------+-------------+-------------\n");
+
+  bool esd_all = true;
+  for (uint32_t branches = 16; branches <= 2048; branches *= 2) {
+    bpf::BpfParams params;
+    params.num_branches = branches;
+    params.input_dependent = branches;
+    params.num_inputs = std::max<uint32_t>(4, branches / 16);
+    bpf::BpfProgram program = bpf::Generate(params);
+
+    workloads::Workload w;
+    w.name = "bpf" + std::to_string(branches);
+    w.module = program.module;
+    w.trigger = program.trigger;
+    w.expected_kind = vm::BugInfo::Kind::kDeadlock;
+
+    bench::ToolOutcome esd = bench::RunEsd(w, cap);
+    bench::ToolOutcome kc =
+        bench::RunKcOn(w, baseline::KcOptions::Strategy::kRandomPath, cap);
+    std::printf("%-10u | %8.2f | %-11s | %-11s\n", branches, program.kloc,
+                bench::TimeCell(esd, cap).c_str(), bench::TimeCell(kc, cap).c_str());
+    esd_all = esd_all && esd.found;
+  }
+  std::printf("\nShape check vs the paper: ESD synthesizes the deadlock at "
+              "every size; KC-RandPath only at the smallest sizes.\n");
+  return esd_all ? 0 : 1;
+}

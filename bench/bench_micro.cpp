@@ -1,0 +1,128 @@
+// Microbenchmarks (google-benchmark) for the substrate costs the paper
+// calls out: solver queries (the KLEE-style caches), the Algorithm-1
+// distance computation with its §6.2 caching, copy-on-write state forks,
+// and raw interpreter throughput.
+#include <benchmark/benchmark.h>
+
+#include "src/analysis/distance.h"
+#include "src/solver/solver.h"
+#include "src/vm/engine.h"
+#include "src/workloads/workloads.h"
+
+using namespace esd;
+
+namespace {
+
+// --- Solver ---
+
+void BM_SolverSatQuery(benchmark::State& state) {
+  using namespace solver;
+  ExprRef x = MakeVar(1, 32, "x");
+  ExprRef y = MakeVar(2, 32, "y");
+  ExprRef c1 = MakeUlt(x, MakeConst(32, 1000));
+  ExprRef c2 = MakeEq(MakeAdd(x, y), MakeConst(32, 1234));
+  for (auto _ : state) {
+    ConstraintSolver s;  // Fresh solver: no caching.
+    benchmark::DoNotOptimize(s.IsSatisfiable({c1, c2}));
+  }
+}
+BENCHMARK(BM_SolverSatQuery);
+
+void BM_SolverCachedQuery(benchmark::State& state) {
+  using namespace solver;
+  ExprRef x = MakeVar(1, 32, "x");
+  ExprRef c = MakeUlt(x, MakeConst(32, 1000));
+  ConstraintSolver s;
+  (void)s.IsSatisfiable({c});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.IsSatisfiable({c}));  // Counterexample cache.
+  }
+}
+BENCHMARK(BM_SolverCachedQuery);
+
+void BM_SolverMulInversion(benchmark::State& state) {
+  using namespace solver;
+  ExprRef x = MakeVar(1, 16, "x");
+  ExprRef c = MakeEq(MakeMul(x, MakeConst(16, 17)), MakeConst(16, 4913));
+  for (auto _ : state) {
+    ConstraintSolver s;
+    benchmark::DoNotOptimize(s.IsSatisfiable({c}));
+  }
+}
+BENCHMARK(BM_SolverMulInversion);
+
+// --- Distance heuristic ---
+
+void BM_DistanceColdTables(benchmark::State& state) {
+  workloads::Workload w = workloads::MakeWorkload("sqlite");
+  uint32_t f = *w.module->FindFunction("wal_checkpoint");
+  ir::InstRef goal{f, 1, 1};
+  for (auto _ : state) {
+    analysis::DistanceCalculator dc(w.module.get());  // Cold caches.
+    benchmark::DoNotOptimize(dc.Distance(ir::InstRef{f, 0, 0}, goal));
+  }
+}
+BENCHMARK(BM_DistanceColdTables);
+
+void BM_DistanceCachedQuery(benchmark::State& state) {
+  workloads::Workload w = workloads::MakeWorkload("sqlite");
+  uint32_t f = *w.module->FindFunction("wal_checkpoint");
+  ir::InstRef goal{f, 1, 1};
+  analysis::DistanceCalculator dc(w.module.get());
+  (void)dc.Distance(ir::InstRef{f, 0, 0}, goal);
+  std::vector<ir::InstRef> stack = {ir::InstRef{*w.module->FindFunction("main"), 0, 0},
+                                    ir::InstRef{f, 0, 0}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dc.ThreadDistance(stack, goal));  // §6.2 caching.
+  }
+}
+BENCHMARK(BM_DistanceCachedQuery);
+
+// --- Copy-on-write states ---
+
+void BM_StateForkCow(benchmark::State& state) {
+  workloads::Workload w = workloads::MakeWorkload("sqlite");
+  solver::ConstraintSolver solver;
+  vm::Interpreter interp(w.module.get(), &solver, {});
+  vm::StatePtr s = interp.MakeInitialState(*w.module->FindFunction("main"), 1);
+  uint64_t id = 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s->Fork(id++));  // Shares all memory objects.
+  }
+}
+BENCHMARK(BM_StateForkCow);
+
+void BM_CowFirstWrite(benchmark::State& state) {
+  vm::AddressSpace base;
+  uint32_t id = base.Allocate(4096, vm::ObjectKind::kHeap, "obj");
+  for (auto _ : state) {
+    vm::AddressSpace copy = base;  // Share.
+    benchmark::DoNotOptimize(copy.FindWritable(id));  // Clone on write.
+  }
+}
+BENCHMARK(BM_CowFirstWrite);
+
+// --- Interpreter throughput (concrete mode) ---
+
+void BM_InterpreterThroughput(benchmark::State& state) {
+  workloads::Workload w = workloads::MakeWorkload("ghttpd");
+  uint64_t total = 0;
+  for (auto _ : state) {
+    solver::ConstraintSolver solver;
+    workloads::PrefixInputProvider inputs(w.trigger.inputs);
+    vm::Interpreter::Options options;
+    options.input_provider = &inputs;
+    vm::Interpreter interp(w.module.get(), &solver, options);
+    vm::StatePtr s = interp.MakeInitialState(*w.module->FindFunction("main"), 1);
+    vm::SingleRunResult r = vm::RunToCompletion(interp, *s, 100000);
+    total += r.instructions;
+    benchmark::DoNotOptimize(r.completed);
+  }
+  state.counters["instr/s"] = benchmark::Counter(
+      static_cast<double>(total), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_InterpreterThroughput);
+
+}  // namespace
+
+BENCHMARK_MAIN();

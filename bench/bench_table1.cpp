@@ -1,0 +1,57 @@
+// Reproduces Table 1 (§7.1): "ESD applied to real bugs: ESD synthesizes an
+// execution in tens of seconds, while other tools cannot find a path at all
+// in our experiments capped at 1 hour."
+//
+// For each workload: (a) verify the §7.2 stress baseline finds nothing,
+// (b) capture the coredump from the one triggered failure, (c) synthesize
+// with ESD and verify deterministic playback.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+using namespace esd;
+
+int main() {
+  double cap = bench::CapSeconds();
+  int stress_runs = bench::StressRuns();
+
+  std::printf("Table 1: ESD applied to real bugs\n");
+  std::printf("(paper: 2 GHz Xeon E5405, 1h cap; here: cap %.0fs, %d stress runs"
+              " per bug)\n\n", cap, stress_runs);
+  std::printf("%-10s | %-17s | %-22s | %s\n", "System", "Bug manifestation",
+              "Execution synthesis", "Stress testing (7.2)");
+  std::printf("-----------+-------------------+------------------------+"
+              "---------------------\n");
+
+  std::vector<std::string> names = workloads::Table1Names();
+  int reproduced = 0;
+  for (const std::string& name : names) {
+    workloads::Workload w = workloads::MakeWorkload(name);
+    // §7.2 baseline: stress testing / random inputs never trip the bug.
+    int stress_hits = 0;
+    for (int s = 1; s <= stress_runs; ++s) {
+      if (workloads::StressRun(*w.module, static_cast<uint64_t>(s)).IsBug()) {
+        ++stress_hits;
+      }
+    }
+    bench::ToolOutcome esd = bench::RunEsd(w, cap);
+    reproduced += esd.found ? 1 : 0;
+    char stress_cell[48];
+    if (stress_hits == 0) {
+      std::snprintf(stress_cell, sizeof(stress_cell), "0/%d runs manifested",
+                    stress_runs);
+    } else {
+      std::snprintf(stress_cell, sizeof(stress_cell), "%d/%d runs manifested",
+                    stress_hits, stress_runs);
+    }
+    std::printf("%-10s | %-17s | %-22s | %s\n", w.name.c_str(),
+                w.manifestation.c_str(),
+                esd.found ? bench::TimeCell(esd, cap).c_str() : "FAILED",
+                stress_cell);
+  }
+  std::printf("\nESD reproduced and deterministically replayed %d/%zu bugs.\n",
+              reproduced, names.size());
+  std::printf("(playback is verified for every row: the synthesized execution "
+              "file re-manifests the bug)\n");
+  return reproduced == static_cast<int>(names.size()) ? 0 : 1;
+}

@@ -1,0 +1,80 @@
+// Example: debugging a library deadlock — the SQLite-shaped lock-order
+// inversion (§7.1, bug #1672 shape).
+//
+// Shows the synthesized schedule itself: the happens-before events ESD
+// writes into the execution file, which are exactly the "causality chain"
+// the paper says removes the guesswork from concurrency debugging.
+#include <cstdio>
+
+#include "src/core/synthesizer.h"
+#include "src/replay/replayer.h"
+#include "src/report/coredump.h"
+#include "src/workloads/workloads.h"
+
+using namespace esd;
+
+int main() {
+  std::printf("== ESD example: SQLite-shaped recursive-lock deadlock ==\n\n");
+  workloads::Workload w = workloads::MakeWorkload("sqlite");
+
+  auto dump = workloads::CaptureDump(*w.module, w.trigger);
+  if (!dump.has_value()) {
+    std::printf("trigger failed\n");
+    return 1;
+  }
+  std::printf("[1] reported deadlock stacks:\n%s\n",
+              report::CoreDumpToText(*w.module, *dump).c_str());
+
+  core::Synthesizer synthesizer(w.module.get(), {});
+  core::SynthesisResult result = synthesizer.Synthesize(*dump);
+  if (!result.success) {
+    std::printf("synthesis failed: %s\n", result.failure_reason.c_str());
+    return 1;
+  }
+  std::printf("[2] synthesized in %.3fs; the causality chain:\n", result.seconds);
+  for (const replay::HbEvent& ev : result.file.happens_before) {
+    const char* kind = "";
+    switch (ev.kind) {
+      case vm::SchedEvent::Kind::kMutexLock:
+        kind = "lock   ";
+        break;
+      case vm::SchedEvent::Kind::kMutexUnlock:
+        kind = "unlock ";
+        break;
+      case vm::SchedEvent::Kind::kCondWait:
+        kind = "wait   ";
+        break;
+      case vm::SchedEvent::Kind::kCondWake:
+        kind = "wake   ";
+        break;
+      case vm::SchedEvent::Kind::kThreadCreate:
+        kind = "create ";
+        break;
+      case vm::SchedEvent::Kind::kThreadExit:
+        kind = "exit   ";
+        break;
+      default:
+        kind = "?      ";
+        break;
+    }
+    std::printf("    T%u %s %s\n", ev.tid, kind, ev.site.c_str());
+  }
+
+  std::printf("\n[3] environment ESD inferred (the WAL-mode byte):\n");
+  for (const auto& [name, value] : result.file.inputs) {
+    std::printf("    %-18s = %llu", name.c_str(), (unsigned long long)value);
+    if (value >= 32 && value < 127) {
+      std::printf("  ('%c')", static_cast<char>(value));
+    }
+    std::printf("\n");
+  }
+
+  replay::ReplayResult strict =
+      replay::Replay(*w.module, result.file, replay::ReplayMode::kStrict);
+  replay::ReplayResult hb =
+      replay::Replay(*w.module, result.file, replay::ReplayMode::kHappensBefore);
+  std::printf("\n[4] strict playback: %s; happens-before playback: %s\n",
+              strict.bug_reproduced ? "deadlock reproduced" : "FAILED",
+              hb.bug_reproduced ? "deadlock reproduced" : "FAILED");
+  return strict.bug_reproduced && hb.bug_reproduced ? 0 : 1;
+}

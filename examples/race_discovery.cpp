@@ -1,0 +1,103 @@
+// Example: data-race schedule synthesis (§4.2).
+//
+// Two threads increment a shared counter without holding a lock. The report
+// is a failed assertion in main — not the race itself; the race happened
+// earlier (§3.1: "B is where the inconsistency was detected — not where the
+// race occurred"). ESD's Eraser-style detector flags the unprotected
+// accesses during exploration, inserts preemption points there, and finds
+// the lost-update interleaving that makes the assert fail.
+#include <cstdio>
+
+#include "src/core/synthesizer.h"
+#include "src/ir/parser.h"
+#include "src/replay/replayer.h"
+#include "src/workloads/workloads.h"
+
+using namespace esd;
+
+namespace {
+
+constexpr char kRacyCounter[] = R"(
+global $counter = zero 4
+global $iters_name = str "iters"
+
+func @bump(%arg: ptr) : void {
+entry:
+  %v = load i32, $counter        ; racy read
+  %n = add %v, i32 1
+  %pad = mul %n, i32 1
+  store %n, $counter             ; racy write (lost-update window above)
+  ret
+}
+
+func @main() : i32 {
+entry:
+  %iters = call @esd_input_i32($iters_name)
+  %go = icmp eq %iters, i32 2
+  condbr %go, run, skip
+run:
+  %t1 = call @thread_create(@bump, null)
+  %t2 = call @thread_create(@bump, null)
+  call @thread_join(%t1)
+  call @thread_join(%t2)
+  %v = load i32, $counter
+  %ok = icmp eq %v, i32 2
+  call @esd_assert(%ok)          ; fails iff an increment was lost
+  ret i32 0
+skip:
+  ret i32 0
+}
+)";
+
+}  // namespace
+
+int main() {
+  std::printf("== ESD example: lost-update data race ==\n\n");
+  auto module = workloads::ParseWorkload(kRacyCounter);
+
+  // The bug report: "the assert in main fired once in production". We
+  // construct the coredump by hand — ESD needs nothing else.
+  report::CoreDump dump;
+  dump.kind = vm::BugInfo::Kind::kAssertFail;
+  uint32_t main_fn = *module->FindFunction("main");
+  const ir::Function& fn = module->Func(main_fn);
+  for (uint32_t b = 0; b < fn.blocks.size(); ++b) {
+    for (uint32_t i = 0; i < fn.blocks[b].insts.size(); ++i) {
+      const ir::Instruction& inst = fn.blocks[b].insts[i];
+      if (inst.op == ir::Opcode::kCall && inst.callee != ir::kInvalidIndex &&
+          module->Func(inst.callee).name == "esd_assert") {
+        dump.fault_pc = ir::InstRef{main_fn, b, i};
+      }
+    }
+  }
+  dump.fault_tid = 0;
+  report::ThreadDump td;
+  td.tid = 0;
+  td.stack = {dump.fault_pc};
+  dump.threads.push_back(td);
+  std::printf("[1] bug report: assert failed at %s\n\n",
+              module->Describe(dump.fault_pc).c_str());
+
+  core::SynthesisOptions options;
+  options.enable_race_detection = true;
+  core::Synthesizer synthesizer(module.get(), options);
+  core::SynthesisResult result = synthesizer.Synthesize(dump);
+  if (!result.success) {
+    std::printf("synthesis failed: %s\n", result.failure_reason.c_str());
+    return 1;
+  }
+  std::printf("[2] ESD found the racy interleaving in %.3fs "
+              "(%llu states explored)\n",
+              result.seconds, (unsigned long long)result.states_created);
+  std::printf("    switch points in the synthesized schedule: %zu\n",
+              result.file.strict.size());
+
+  replay::ReplayResult r =
+      replay::Replay(*module, result.file, replay::ReplayMode::kStrict);
+  std::printf("[3] playback: %s (%s)\n",
+              r.bug_reproduced ? "assert failure reproduced" : "no failure",
+              r.bug.message.c_str());
+  std::printf("\nThe schedule interleaves the two bump() bodies so one "
+              "increment is lost: counter == 1 != 2.\n");
+  return r.bug_reproduced ? 0 : 1;
+}

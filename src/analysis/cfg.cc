@@ -1,0 +1,30 @@
+#include "src/analysis/cfg.h"
+
+namespace esd::analysis {
+
+Cfg::Cfg(const ir::Module& module, uint32_t func_index) : func_index_(func_index) {
+  const ir::Function& fn = module.Func(func_index);
+  blocks_.resize(fn.blocks.size());
+  for (uint32_t b = 0; b < fn.blocks.size(); ++b) {
+    const ir::BasicBlock& bb = fn.blocks[b];
+    if (bb.insts.empty()) {
+      continue;
+    }
+    const ir::Instruction& term = bb.insts.back();
+    if (term.op == ir::Opcode::kBr) {
+      blocks_[b].succs.push_back(term.succ_true);
+    } else if (term.op == ir::Opcode::kCondBr) {
+      blocks_[b].succs.push_back(term.succ_true);
+      if (term.succ_false != term.succ_true) {
+        blocks_[b].succs.push_back(term.succ_false);
+      }
+    }
+  }
+  for (uint32_t b = 0; b < blocks_.size(); ++b) {
+    for (uint32_t s : blocks_[b].succs) {
+      blocks_[s].preds.push_back(b);
+    }
+  }
+}
+
+}  // namespace esd::analysis

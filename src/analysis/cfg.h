@@ -1,0 +1,39 @@
+// ESD analysis: control-flow-graph utilities.
+//
+// Block-level successor/predecessor structure per function, plus the cost
+// bookkeeping the distance heuristic needs: per-instruction costs (calls
+// cost 1 + callee cost), block prefix sums, and min-cost-to-return tables.
+#ifndef ESD_SRC_ANALYSIS_CFG_H_
+#define ESD_SRC_ANALYSIS_CFG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/ir/module.h"
+
+namespace esd::analysis {
+
+inline constexpr uint64_t kInfDistance = UINT64_MAX / 4;
+
+struct BlockInfo {
+  std::vector<uint32_t> succs;
+  std::vector<uint32_t> preds;
+};
+
+// Per-function CFG at block granularity.
+class Cfg {
+ public:
+  Cfg(const ir::Module& module, uint32_t func_index);
+
+  const BlockInfo& Block(uint32_t b) const { return blocks_[b]; }
+  size_t NumBlocks() const { return blocks_.size(); }
+  uint32_t func_index() const { return func_index_; }
+
+ private:
+  uint32_t func_index_;
+  std::vector<BlockInfo> blocks_;
+};
+
+}  // namespace esd::analysis
+
+#endif  // ESD_SRC_ANALYSIS_CFG_H_

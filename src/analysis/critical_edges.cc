@@ -1,0 +1,48 @@
+#include "src/analysis/critical_edges.h"
+
+namespace esd::analysis {
+
+std::vector<CriticalEdge> FindCriticalEdges(const ir::Module& module,
+                                            DistanceCalculator& distances,
+                                            ir::InstRef goal) {
+  std::vector<CriticalEdge> edges;
+  if (goal.func >= module.NumFunctions()) {
+    return edges;
+  }
+  const ir::Function& fn = module.Func(goal.func);
+  if (fn.is_external || goal.block >= fn.blocks.size()) {
+    return edges;
+  }
+  const Cfg& cfg = distances.GetCfg(goal.func);
+
+  uint32_t current = goal.block;
+  // Backward walk: follow unique predecessors (paper: stop at the first
+  // block with multiple predecessors).
+  while (cfg.Block(current).preds.size() == 1) {
+    uint32_t pred = cfg.Block(current).preds[0];
+    const ir::BasicBlock& pb = fn.blocks[pred];
+    if (!pb.insts.empty() && pb.insts.back().op == ir::Opcode::kCondBr) {
+      const ir::Instruction& term = pb.insts.back();
+      CriticalEdge edge;
+      edge.branch = ir::InstRef{goal.func, pred,
+                                static_cast<uint32_t>(pb.insts.size() - 1)};
+      edge.required_block = current;
+      edge.required_value = term.succ_true == current;
+      // Only critical if the other edge cannot reach the goal some other
+      // way; the backward walk already implies a single path, but a loop
+      // back-edge could still rejoin, so double-check with reachability.
+      uint32_t other = term.succ_true == current ? term.succ_false : term.succ_true;
+      if (other != current &&
+          !distances.CanReachGoal(goal.func, other, goal, /*allow_return=*/false)) {
+        edges.push_back(edge);
+      }
+    }
+    if (pred == goal.block) {
+      break;  // Looped all the way around.
+    }
+    current = pred;
+  }
+  return edges;
+}
+
+}  // namespace esd::analysis

@@ -1,0 +1,33 @@
+// ESD analysis: critical edges (§3.2).
+//
+// A critical edge is a CFG edge that *must* be followed on any path to the
+// goal. Identified exactly as the paper describes: starting from the goal
+// block and walking backward; whenever the current block has a single
+// predecessor ending in a conditional branch, the edge from that predecessor
+// into the chain is critical (the other outgoing edge cannot be part of a
+// path to the goal). The walk stops at the first block with multiple
+// predecessors, matching the paper's "current version of ESD" behavior.
+#ifndef ESD_SRC_ANALYSIS_CRITICAL_EDGES_H_
+#define ESD_SRC_ANALYSIS_CRITICAL_EDGES_H_
+
+#include <vector>
+
+#include "src/analysis/distance.h"
+#include "src/ir/module.h"
+
+namespace esd::analysis {
+
+struct CriticalEdge {
+  ir::InstRef branch;       // The conditional branch instruction.
+  uint32_t required_block;  // The successor that must be taken.
+  bool required_value;      // Branch condition value taking that successor.
+};
+
+// Finds critical edges for `goal` within the goal's function.
+std::vector<CriticalEdge> FindCriticalEdges(const ir::Module& module,
+                                            DistanceCalculator& distances,
+                                            ir::InstRef goal);
+
+}  // namespace esd::analysis
+
+#endif  // ESD_SRC_ANALYSIS_CRITICAL_EDGES_H_

@@ -1,0 +1,425 @@
+#include "src/analysis/distance.h"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+
+namespace esd::analysis {
+namespace {
+
+// (distance, block) min-heap entry.
+using HeapEntry = std::pair<uint64_t, uint32_t>;
+using MinHeap = std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>;
+
+uint64_t SatAdd(uint64_t a, uint64_t b) {
+  if (a >= kInfDistance || b >= kInfDistance) {
+    return kInfDistance;
+  }
+  uint64_t s = a + b;
+  return s >= kInfDistance ? kInfDistance : s;
+}
+
+}  // namespace
+
+DistanceCalculator::DistanceCalculator(const ir::Module* module) : module_(module) {
+  // Collect address-taken functions (candidate indirect-call targets), as
+  // the paper's alias-analysis fallback: average the cost across targets.
+  for (uint32_t f = 0; f < module_->NumFunctions(); ++f) {
+    const ir::Function& fn = module_->Func(f);
+    for (const ir::BasicBlock& bb : fn.blocks) {
+      for (const ir::Instruction& inst : bb.insts) {
+        for (const ir::Value& v : inst.operands) {
+          if (v.kind == ir::Value::Kind::kFuncRef) {
+            address_taken_.push_back(v.index);
+          }
+        }
+      }
+    }
+  }
+}
+
+const Cfg& DistanceCalculator::GetCfg(uint32_t func) {
+  auto it = cfgs_.find(func);
+  if (it == cfgs_.end()) {
+    it = cfgs_.emplace(func, std::make_unique<Cfg>(*module_, func)).first;
+  }
+  return *it->second;
+}
+
+std::vector<uint32_t> DistanceCalculator::CallTargets(const ir::Instruction& inst) const {
+  if (inst.op != ir::Opcode::kCall) {
+    return {};
+  }
+  if (inst.callee != ir::kInvalidIndex) {
+    return {inst.callee};
+  }
+  // Indirect: the operand may be a direct function reference; otherwise fall
+  // back to all address-taken functions.
+  if (!inst.operands.empty() &&
+      inst.operands[0].kind == ir::Value::Kind::kFuncRef) {
+    return {inst.operands[0].index};
+  }
+  return address_taken_;
+}
+
+std::vector<uint32_t> DistanceCalculator::EntryTargets(
+    const ir::Instruction& inst) const {
+  if (inst.op == ir::Opcode::kCall && inst.callee != ir::kInvalidIndex) {
+    const ir::Function& callee = module_->Func(inst.callee);
+    if (callee.is_external && callee.name == "thread_create") {
+      if (!inst.operands.empty() &&
+          inst.operands[0].kind == ir::Value::Kind::kFuncRef) {
+        return {inst.operands[0].index};
+      }
+      return address_taken_;
+    }
+  }
+  return CallTargets(inst);
+}
+
+uint64_t DistanceCalculator::InstCost(uint32_t func, const ir::Instruction& inst,
+                                      std::vector<uint32_t>* call_stack) {
+  if (inst.op != ir::Opcode::kCall) {
+    return 1;
+  }
+  std::vector<uint32_t> targets = CallTargets(inst);
+  if (targets.empty()) {
+    return 1 + kRecursionCost;  // Unresolvable indirect call (§3.4).
+  }
+  uint64_t total = 0;
+  for (uint32_t g : targets) {
+    if (std::find(call_stack->begin(), call_stack->end(), g) != call_stack->end()) {
+      total = SatAdd(total, kRecursionCost);  // Recursion: fixed cost (§3.4).
+      continue;
+    }
+    const ir::Function& callee = module_->Func(g);
+    if (callee.is_external) {
+      total = SatAdd(total, 1);
+      continue;
+    }
+    call_stack->push_back(g);
+    uint64_t c = function_cost_.count(g) ? function_cost_[g] : 0;
+    if (!function_cost_.count(g)) {
+      ComputeCosts(g, call_stack);
+      c = function_cost_[g];
+    }
+    call_stack->pop_back();
+    total = SatAdd(total, std::min<uint64_t>(c, kRecursionCost));
+  }
+  return 1 + total / targets.size();
+}
+
+void DistanceCalculator::ComputeCosts(uint32_t func, std::vector<uint32_t>* call_stack) {
+  if (costs_.count(func)) {
+    return;
+  }
+  const ir::Function& fn = module_->Func(func);
+  FuncCosts fc;
+  fc.block_start.resize(fn.blocks.size());
+  fc.block_cost.resize(fn.blocks.size());
+  for (uint32_t b = 0; b < fn.blocks.size(); ++b) {
+    fc.block_start[b] = fc.inst_cost.size();
+    uint64_t sum = 0;
+    for (const ir::Instruction& inst : fn.blocks[b].insts) {
+      uint64_t c = InstCost(func, inst, call_stack);
+      fc.inst_cost.push_back(c);
+      sum = SatAdd(sum, c);
+    }
+    fc.block_cost[b] = sum;
+  }
+  // exit_dist: min cost from block start to a return, by Dijkstra on the
+  // reverse CFG seeded at return blocks.
+  const Cfg& cfg = GetCfg(func);
+  fc.exit_dist.assign(fn.blocks.size(), kInfDistance);
+  MinHeap heap;
+  for (uint32_t b = 0; b < fn.blocks.size(); ++b) {
+    if (!fn.blocks[b].insts.empty() &&
+        fn.blocks[b].insts.back().op == ir::Opcode::kRet) {
+      fc.exit_dist[b] = fc.block_cost[b];
+      heap.emplace(fc.exit_dist[b], b);
+    }
+  }
+  while (!heap.empty()) {
+    auto [d, b] = heap.top();
+    heap.pop();
+    if (d > fc.exit_dist[b]) {
+      continue;
+    }
+    for (uint32_t p : cfg.Block(b).preds) {
+      uint64_t cand = SatAdd(fc.block_cost[p], d);
+      if (cand < fc.exit_dist[p]) {
+        fc.exit_dist[p] = cand;
+        heap.emplace(cand, p);
+      }
+    }
+  }
+  costs_.emplace(func, std::move(fc));
+  // Function cost = min cost from the entry block to a return.
+  function_cost_[func] =
+      fn.blocks.empty() ? 1 : costs_[func].exit_dist[0];
+}
+
+const DistanceCalculator::FuncCosts& DistanceCalculator::Costs(uint32_t func) {
+  if (!costs_.count(func)) {
+    std::vector<uint32_t> call_stack{func};
+    ComputeCosts(func, &call_stack);
+  }
+  return costs_[func];
+}
+
+uint64_t DistanceCalculator::FunctionCost(uint32_t func) {
+  const ir::Function& fn = module_->Func(func);
+  if (fn.is_external) {
+    return 1;
+  }
+  Costs(func);
+  return function_cost_[func];
+}
+
+uint64_t DistanceCalculator::Dist2Ret(ir::InstRef at) {
+  const FuncCosts& fc = Costs(at.func);
+  const ir::Function& fn = module_->Func(at.func);
+  if (at.block >= fn.blocks.size()) {
+    return kInfDistance;
+  }
+  uint64_t prefix = 0;
+  for (uint32_t i = 0; i < at.inst && i < fn.blocks[at.block].insts.size(); ++i) {
+    prefix = SatAdd(prefix, fc.inst_cost[fc.block_start[at.block] + i]);
+  }
+  uint64_t e = fc.exit_dist[at.block];
+  if (e >= kInfDistance) {
+    return kInfDistance;
+  }
+  return e > prefix ? e - prefix : 0;
+}
+
+uint64_t DistanceCalculator::OpportunityCost(
+    uint32_t func, uint32_t block, uint32_t inst, ir::InstRef goal,
+    const std::map<uint32_t, uint64_t>& entry) {
+  if (func == goal.func && block == goal.block && inst == goal.inst) {
+    return 0;
+  }
+  const ir::Instruction* in = module_->Func(func).InstAt(block, inst);
+  if (in == nullptr || in->op != ir::Opcode::kCall) {
+    return kInfDistance;
+  }
+  uint64_t best = kInfDistance;
+  for (uint32_t g : EntryTargets(*in)) {
+    auto it = entry.find(g);
+    if (it != entry.end()) {
+      best = std::min(best, SatAdd(1, it->second));
+    }
+  }
+  return best;
+}
+
+const DistanceCalculator::GoalTable& DistanceCalculator::GetGoalTable(
+    uint32_t func, ir::InstRef goal) {
+  auto& per_goal = goal_tables_[goal];
+  auto it = per_goal.find(func);
+  if (it != per_goal.end()) {
+    return it->second;
+  }
+  ++stats_.goal_tables;
+  const std::map<uint32_t, uint64_t>& entry = EntryDistances(goal);
+  const ir::Function& fn = module_->Func(func);
+  const FuncCosts& fc = Costs(func);
+  const Cfg& cfg = GetCfg(func);
+
+  GoalTable table;
+  table.goal_dist.assign(fn.blocks.size(), kInfDistance);
+  MinHeap heap;
+  for (uint32_t b = 0; b < fn.blocks.size(); ++b) {
+    // A(b): best opportunity within the block, from the block start.
+    uint64_t prefix = 0;
+    uint64_t best = kInfDistance;
+    for (uint32_t i = 0; i < fn.blocks[b].insts.size(); ++i) {
+      best = std::min(best, SatAdd(prefix, OpportunityCost(func, b, i, goal, entry)));
+      prefix = SatAdd(prefix, fc.inst_cost[fc.block_start[b] + i]);
+    }
+    if (best < table.goal_dist[b]) {
+      table.goal_dist[b] = best;
+      heap.emplace(best, b);
+    }
+  }
+  while (!heap.empty()) {
+    auto [d, b] = heap.top();
+    heap.pop();
+    if (d > table.goal_dist[b]) {
+      continue;
+    }
+    for (uint32_t p : cfg.Block(b).preds) {
+      uint64_t cand = SatAdd(fc.block_cost[p], d);
+      if (cand < table.goal_dist[p]) {
+        table.goal_dist[p] = cand;
+        heap.emplace(cand, p);
+      }
+    }
+  }
+  return per_goal.emplace(func, std::move(table)).first->second;
+}
+
+const std::map<uint32_t, uint64_t>& DistanceCalculator::EntryDistances(
+    ir::InstRef goal) {
+  auto cached = entry_dists_.find(goal);
+  if (cached != entry_dists_.end()) {
+    return cached->second;
+  }
+  std::map<uint32_t, uint64_t> entry;
+  // Fixed point: E(f) can only shrink as more call-entry paths are found.
+  size_t rounds = module_->NumFunctions() + 2;
+  for (size_t round = 0; round < rounds; ++round) {
+    bool changed = false;
+    for (uint32_t f = 0; f < module_->NumFunctions(); ++f) {
+      const ir::Function& fn = module_->Func(f);
+      if (fn.is_external || fn.blocks.empty()) {
+        continue;
+      }
+      // Inline (uncached) goal-table computation with the current E.
+      const FuncCosts& fc = Costs(f);
+      const Cfg& cfg = GetCfg(f);
+      std::vector<uint64_t> gd(fn.blocks.size(), kInfDistance);
+      MinHeap heap;
+      for (uint32_t b = 0; b < fn.blocks.size(); ++b) {
+        uint64_t prefix = 0;
+        uint64_t best = kInfDistance;
+        for (uint32_t i = 0; i < fn.blocks[b].insts.size(); ++i) {
+          best = std::min(best,
+                          SatAdd(prefix, OpportunityCost(f, b, i, goal, entry)));
+          prefix = SatAdd(prefix, fc.inst_cost[fc.block_start[b] + i]);
+        }
+        if (best < gd[b]) {
+          gd[b] = best;
+          heap.emplace(best, b);
+        }
+      }
+      while (!heap.empty()) {
+        auto [d, b] = heap.top();
+        heap.pop();
+        if (d > gd[b]) {
+          continue;
+        }
+        for (uint32_t p : cfg.Block(b).preds) {
+          uint64_t cand = SatAdd(fc.block_cost[p], d);
+          if (cand < gd[p]) {
+            gd[p] = cand;
+            heap.emplace(cand, p);
+          }
+        }
+      }
+      uint64_t e = gd[0];
+      auto it = entry.find(f);
+      if (e < kInfDistance && (it == entry.end() || e < it->second)) {
+        entry[f] = e;
+        changed = true;
+      }
+    }
+    if (!changed) {
+      break;
+    }
+  }
+  return entry_dists_.emplace(goal, std::move(entry)).first->second;
+}
+
+uint64_t DistanceCalculator::DistanceFrom(uint32_t func, uint32_t block, uint32_t inst,
+                                          ir::InstRef goal) {
+  ++stats_.distance_queries;
+  const ir::Function& fn = module_->Func(func);
+  if (fn.is_external || block >= fn.blocks.size()) {
+    return kInfDistance;
+  }
+  const FuncCosts& fc = Costs(func);
+  const std::map<uint32_t, uint64_t>& entry = EntryDistances(goal);
+  const GoalTable& table = GetGoalTable(func, goal);
+  const Cfg& cfg = GetCfg(func);
+
+  // Best opportunity at or after `inst` within this block.
+  uint64_t cost_from_i = 0;
+  uint64_t best = kInfDistance;
+  for (uint32_t j = inst; j < fn.blocks[block].insts.size(); ++j) {
+    best = std::min(best,
+                    SatAdd(cost_from_i, OpportunityCost(func, block, j, goal, entry)));
+    cost_from_i = SatAdd(cost_from_i, fc.inst_cost[fc.block_start[block] + j]);
+  }
+  // Or leave the block: cost of the remaining suffix plus successor tables.
+  for (uint32_t s : cfg.Block(block).succs) {
+    best = std::min(best, SatAdd(cost_from_i, table.goal_dist[s]));
+  }
+  return best;
+}
+
+uint64_t DistanceCalculator::Distance(ir::InstRef at, ir::InstRef goal) {
+  return DistanceFrom(at.func, at.block, at.inst, goal);
+}
+
+uint64_t DistanceCalculator::ThreadDistance(const std::vector<ir::InstRef>& stack,
+                                            ir::InstRef goal) {
+  if (stack.empty()) {
+    return kInfDistance;
+  }
+  // Line 1: the current frame may reach the goal directly.
+  uint64_t dmin = Distance(stack.back(), goal);
+  // Lines 2-6: or the goal is reached after returning to a caller. We make
+  // the return cost cumulative across intermediate frames.
+  uint64_t ret_cost = Dist2Ret(stack.back());
+  for (size_t k = stack.size() - 1; k-- > 0;) {
+    if (ret_cost >= kInfDistance) {
+      break;
+    }
+    // stack[k] is the caller's return address (its pc was advanced past the
+    // call before the callee frame was pushed).
+    uint64_t cand = SatAdd(SatAdd(ret_cost, 1), Distance(stack[k], goal));
+    dmin = std::min(dmin, cand);
+    ret_cost = SatAdd(ret_cost, SatAdd(1, Dist2Ret(stack[k])));
+  }
+  return dmin;
+}
+
+bool DistanceCalculator::ThreadCanReachGoal(const std::vector<ir::InstRef>& stack,
+                                            uint32_t block, ir::InstRef goal) {
+  if (stack.empty()) {
+    return false;
+  }
+  uint32_t func = stack.back().func;
+  const ir::Function& fn = module_->Func(func);
+  if (fn.is_external || block >= fn.blocks.size()) {
+    return false;
+  }
+  const GoalTable& table = GetGoalTable(func, goal);
+  if (table.goal_dist[block] < kInfDistance) {
+    return true;
+  }
+  // Escape by returning: walk the actual caller frames. Each must itself be
+  // able to return (or reach the goal from its return address).
+  if (Costs(func).exit_dist[block] >= kInfDistance) {
+    return false;
+  }
+  for (size_t k = stack.size() - 1; k-- > 0;) {
+    if (Distance(stack[k], goal) < kInfDistance) {
+      return true;
+    }
+    if (Dist2Ret(stack[k]) >= kInfDistance) {
+      return false;
+    }
+  }
+  return false;
+}
+
+bool DistanceCalculator::CanReachGoal(uint32_t func, uint32_t block, ir::InstRef goal,
+                                      bool allow_return) {
+  const ir::Function& fn = module_->Func(func);
+  if (fn.is_external || block >= fn.blocks.size()) {
+    return false;
+  }
+  const GoalTable& table = GetGoalTable(func, goal);
+  if (table.goal_dist[block] < kInfDistance) {
+    return true;
+  }
+  if (allow_return) {
+    const FuncCosts& fc = Costs(func);
+    return fc.exit_dist[block] < kInfDistance;
+  }
+  return false;
+}
+
+}  // namespace esd::analysis

@@ -1,0 +1,129 @@
+// ESD analysis: the proximity heuristic (paper Algorithm 1).
+//
+// Estimates, for an execution state, the least number of instructions that
+// must execute before the state reaches a goal instruction. The estimate
+// combines:
+//   - intra-procedural shortest paths over the CFG, where a call instruction
+//     costs 1 + the callee's min entry-to-return cost (lines 8-16);
+//   - lifting over the call stack: the goal may be reached after returning
+//     to a caller (lines 2-6, made cumulative across frames here);
+//   - call-entry lifting: reaching a call site whose callee can reach the
+//     goal counts as progress (the inter-procedural closure the paper's
+//     prototype needs to guide a search that starts in main toward a goal
+//     deep inside callees);
+//   - recursion and unresolved indirect calls cost a fixed 1000 instructions
+//     (§3.4).
+// All tables are computed lazily per goal and cached — §6.2 calls this
+// caching "crucial" since state selection happens at instruction granularity.
+#ifndef ESD_SRC_ANALYSIS_DISTANCE_H_
+#define ESD_SRC_ANALYSIS_DISTANCE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/analysis/cfg.h"
+#include "src/ir/module.h"
+
+namespace esd::analysis {
+
+inline constexpr uint64_t kRecursionCost = 1000;
+
+class DistanceCalculator {
+ public:
+  explicit DistanceCalculator(const ir::Module* module);
+
+  // Min instructions from `func`'s entry to any of its returns (kInfDistance
+  // if it cannot return).
+  uint64_t FunctionCost(uint32_t func);
+
+  // Min instructions from `at` to the nearest return of its function
+  // (Algorithm 1, dist2ret).
+  uint64_t Dist2Ret(ir::InstRef at);
+
+  // Min instructions from `at` to `goal`, allowing descent into callees that
+  // can reach the goal, but not returns (Algorithm 1 `distance`, plus
+  // call-entry lifting).
+  uint64_t Distance(ir::InstRef at, ir::InstRef goal);
+
+  // Algorithm 1 top level: distance from a thread whose call stack is
+  // `stack` (outermost first; back() is the current pc; caller frames hold
+  // their return addresses) to `goal`.
+  uint64_t ThreadDistance(const std::vector<ir::InstRef>& stack, ir::InstRef goal);
+
+  // True if any path from `block` in `func` can still reach `goal`, either
+  // intra-procedurally, by entering a callee, or by returning to an unknown
+  // caller. With `allow_return=false` the return escape is not counted
+  // (used for bottom frames, which have no caller).
+  bool CanReachGoal(uint32_t func, uint32_t block, ir::InstRef goal,
+                    bool allow_return);
+
+  // Stack-aware variant used for the paper's path abandonment: can the
+  // thread whose call stack is `stack` (outermost first; back() is the
+  // current frame) still reach `goal` if its current frame continues from
+  // `block`? Unlike CanReachGoal, returning is only an escape if some
+  // *actual* caller frame can still reach the goal from its return address.
+  bool ThreadCanReachGoal(const std::vector<ir::InstRef>& stack, uint32_t block,
+                          ir::InstRef goal);
+
+  const Cfg& GetCfg(uint32_t func);
+
+  struct Stats {
+    uint64_t goal_tables = 0;
+    uint64_t distance_queries = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct FuncCosts {
+    std::vector<uint64_t> inst_cost;    // Flattened per (block, inst).
+    std::vector<uint64_t> block_cost;   // Sum of inst costs per block.
+    std::vector<uint64_t> block_start;  // Offset of block b in inst_cost.
+    std::vector<uint64_t> exit_dist;    // Min cost from block start to return.
+  };
+
+  // Per-goal tables for one function: min cost from block start to "goal
+  // progress" (goal instruction or a call leading toward it).
+  struct GoalTable {
+    std::vector<uint64_t> goal_dist;  // Per block.
+  };
+
+  const FuncCosts& Costs(uint32_t func);
+  uint64_t InstCost(uint32_t func, const ir::Instruction& inst,
+                    std::vector<uint32_t>* call_stack);
+  void ComputeCosts(uint32_t func, std::vector<uint32_t>* call_stack);
+
+  // Entry distance E(f): min cost from f's entry to the goal, via any mix of
+  // intra paths and call entries. Computed as a fixed point over functions.
+  const std::map<uint32_t, uint64_t>& EntryDistances(ir::InstRef goal);
+  const GoalTable& GetGoalTable(uint32_t func, ir::InstRef goal);
+  // Distance from a specific instruction using a goal table.
+  uint64_t DistanceFrom(uint32_t func, uint32_t block, uint32_t inst,
+                        ir::InstRef goal);
+  // Cost of the "opportunity" at one instruction: 0 at the goal itself,
+  // 1 + E(callee) at calls that lead toward the goal, infinite otherwise.
+  uint64_t OpportunityCost(uint32_t func, uint32_t block, uint32_t inst,
+                           ir::InstRef goal,
+                           const std::map<uint32_t, uint64_t>& entry);
+
+  std::vector<uint32_t> CallTargets(const ir::Instruction& inst) const;
+  // Like CallTargets, but also treats thread_create(@fn, ...) as an entry
+  // into @fn: spawning a thread is how execution "reaches" the code the
+  // goal thread runs. Used for goal reachability, not for call costs.
+  std::vector<uint32_t> EntryTargets(const ir::Instruction& inst) const;
+
+  const ir::Module* module_;
+  std::map<uint32_t, std::unique_ptr<Cfg>> cfgs_;
+  std::map<uint32_t, FuncCosts> costs_;
+  std::map<uint32_t, uint64_t> function_cost_;
+  std::vector<uint32_t> address_taken_;  // Candidate indirect-call targets.
+  // goal -> (function -> tables).
+  std::map<ir::InstRef, std::map<uint32_t, GoalTable>> goal_tables_;
+  std::map<ir::InstRef, std::map<uint32_t, uint64_t>> entry_dists_;
+  Stats stats_;
+};
+
+}  // namespace esd::analysis
+
+#endif  // ESD_SRC_ANALYSIS_DISTANCE_H_

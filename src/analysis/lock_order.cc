@@ -1,0 +1,154 @@
+#include "src/analysis/lock_order.h"
+
+#include <algorithm>
+#include <set>
+
+namespace esd::analysis {
+namespace {
+
+// Resolves a mutex_lock/mutex_unlock operand to a global index, if it is a
+// direct global reference (the common case for library-wide mutexes).
+bool GlobalMutexOperand(const ir::Instruction& inst, uint32_t* global_index) {
+  if (inst.operands.empty() ||
+      inst.operands[0].kind != ir::Value::Kind::kGlobalRef) {
+    return false;
+  }
+  *global_index = inst.operands[0].index;
+  return true;
+}
+
+class Walker {
+ public:
+  explicit Walker(const ir::Module& module) : module_(module) {}
+
+  void WalkEntry(uint32_t func) {
+    std::set<uint32_t> held;
+    std::vector<uint32_t> call_stack;
+    WalkFunction(func, &held, &call_stack);
+  }
+
+  std::vector<LockOrderEdge> TakeEdges() { return std::move(edges_); }
+
+ private:
+  // Path-insensitively walks blocks in order, maintaining the held set. A
+  // block is visited at most once per (function, entry-held-set) pair to
+  // bound the traversal.
+  void WalkFunction(uint32_t func, std::set<uint32_t>* held,
+                    std::vector<uint32_t>* call_stack) {
+    const ir::Function& fn = module_.Func(func);
+    if (fn.is_external || fn.blocks.empty()) {
+      return;
+    }
+    if (std::find(call_stack->begin(), call_stack->end(), func) !=
+        call_stack->end()) {
+      return;  // Recursion: stop.
+    }
+    call_stack->push_back(func);
+    // Worklist of (block, held-set at entry).
+    std::vector<std::pair<uint32_t, std::set<uint32_t>>> work;
+    std::set<std::pair<uint32_t, std::set<uint32_t>>> seen;
+    work.emplace_back(0, *held);
+    while (!work.empty()) {
+      auto [b, entry_held] = work.back();
+      work.pop_back();
+      if (!seen.emplace(b, entry_held).second) {
+        continue;
+      }
+      std::set<uint32_t> current = entry_held;
+      const ir::BasicBlock& bb = fn.blocks[b];
+      for (uint32_t i = 0; i < bb.insts.size(); ++i) {
+        const ir::Instruction& inst = bb.insts[i];
+        if (inst.op != ir::Opcode::kCall || inst.callee == ir::kInvalidIndex) {
+          continue;
+        }
+        const ir::Function& callee = module_.Func(inst.callee);
+        uint32_t mutex_global = 0;
+        if (callee.is_external && callee.name == "mutex_lock" &&
+            GlobalMutexOperand(inst, &mutex_global)) {
+          for (uint32_t held_mutex : current) {
+            if (held_mutex != mutex_global) {
+              edges_.push_back(LockOrderEdge{held_mutex, mutex_global,
+                                             ir::InstRef{func, b, i}});
+            }
+          }
+          current.insert(mutex_global);
+        } else if (callee.is_external && callee.name == "mutex_unlock" &&
+                   GlobalMutexOperand(inst, &mutex_global)) {
+          current.erase(mutex_global);
+        } else if (!callee.is_external) {
+          WalkFunction(inst.callee, &current, call_stack);
+        }
+      }
+      if (!bb.insts.empty()) {
+        const ir::Instruction& term = bb.insts.back();
+        if (term.op == ir::Opcode::kBr) {
+          work.emplace_back(term.succ_true, current);
+        } else if (term.op == ir::Opcode::kCondBr) {
+          work.emplace_back(term.succ_true, current);
+          work.emplace_back(term.succ_false, current);
+        }
+      }
+    }
+    call_stack->pop_back();
+  }
+
+  const ir::Module& module_;
+  std::vector<LockOrderEdge> edges_;
+};
+
+}  // namespace
+
+std::vector<LockOrderEdge> CollectLockOrderEdges(const ir::Module& module) {
+  Walker walker(module);
+  // Thread entry points: main plus every address-taken function (candidate
+  // thread start routines).
+  std::set<uint32_t> entries;
+  if (auto main_fn = module.FindFunction("main")) {
+    entries.insert(*main_fn);
+  }
+  for (uint32_t f = 0; f < module.NumFunctions(); ++f) {
+    const ir::Function& fn = module.Func(f);
+    for (const ir::BasicBlock& bb : fn.blocks) {
+      for (const ir::Instruction& inst : bb.insts) {
+        for (const ir::Value& v : inst.operands) {
+          if (v.kind == ir::Value::Kind::kFuncRef) {
+            entries.insert(v.index);
+          }
+        }
+      }
+    }
+  }
+  for (uint32_t entry : entries) {
+    walker.WalkEntry(entry);
+  }
+  return walker.TakeEdges();
+}
+
+std::vector<LockOrderWarning> FindLockOrderWarnings(const ir::Module& module) {
+  std::vector<LockOrderEdge> edges = CollectLockOrderEdges(module);
+  std::vector<LockOrderWarning> warnings;
+  std::set<std::pair<uint64_t, uint64_t>> reported;
+  auto site_key = [](const LockOrderEdge& e) {
+    return (static_cast<uint64_t>(e.acquire_site.func) << 40) |
+           (static_cast<uint64_t>(e.acquire_site.block) << 16) |
+           e.acquire_site.inst;
+  };
+  for (size_t i = 0; i < edges.size(); ++i) {
+    for (size_t j = i + 1; j < edges.size(); ++j) {
+      if (edges[i].first_mutex_global != edges[j].second_mutex_global ||
+          edges[i].second_mutex_global != edges[j].first_mutex_global) {
+        continue;
+      }
+      // One warning per unordered pair of acquisition sites.
+      uint64_t a = site_key(edges[i]);
+      uint64_t b = site_key(edges[j]);
+      if (!reported.emplace(std::min(a, b), std::max(a, b)).second) {
+        continue;
+      }
+      warnings.push_back(LockOrderWarning{edges[i], edges[j]});
+    }
+  }
+  return warnings;
+}
+
+}  // namespace esd::analysis

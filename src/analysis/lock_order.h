@@ -1,0 +1,47 @@
+// ESD analysis: a static lock-order checker (the §8 synergy).
+//
+// A classic static deadlock detector in the RacerX [14] tradition: walk
+// every function reachable from a thread entry point, track the set of
+// global mutexes held along each CFG path (following calls), and record
+// lock-order edges "acquired B while holding A". Two edges (A,B) and (B,A)
+// form a potential deadlock warning.
+//
+// Like all such checkers it is intentionally path-insensitive: it ignores
+// branch conditions and thread structure, so it reports false positives —
+// inversions that no real execution can produce. That is exactly the gap
+// §8 proposes ESD for: each warning converts to a synthesis goal, and a
+// warning is a true positive iff ESD finds an execution reaching it
+// (core/warning_validation.h).
+#ifndef ESD_SRC_ANALYSIS_LOCK_ORDER_H_
+#define ESD_SRC_ANALYSIS_LOCK_ORDER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/ir/module.h"
+
+namespace esd::analysis {
+
+// One "acquired `second` while holding `first`" fact.
+struct LockOrderEdge {
+  uint32_t first_mutex_global = 0;   // Global index of the held mutex.
+  uint32_t second_mutex_global = 0;  // Global index of the acquired mutex.
+  ir::InstRef acquire_site;          // The lock call acquiring `second`.
+};
+
+// A potential AB-BA deadlock: two edges with inverted order.
+struct LockOrderWarning {
+  LockOrderEdge ab;  // B acquired while holding A.
+  LockOrderEdge ba;  // A acquired while holding B.
+};
+
+// All lock-order edges over global mutexes, from every thread entry point
+// (main plus every address-taken function).
+std::vector<LockOrderEdge> CollectLockOrderEdges(const ir::Module& module);
+
+// Pairs inverted edges into warnings.
+std::vector<LockOrderWarning> FindLockOrderWarnings(const ir::Module& module);
+
+}  // namespace esd::analysis
+
+#endif  // ESD_SRC_ANALYSIS_LOCK_ORDER_H_

@@ -1,0 +1,221 @@
+#include "src/analysis/reaching_defs.h"
+
+#include <optional>
+
+namespace esd::analysis {
+namespace {
+
+// A memory location the branch condition depends on.
+struct Location {
+  bool is_global = false;
+  uint32_t global_index = 0;
+  ir::InstRef alloca_site;  // When !is_global.
+
+  friend bool operator==(const Location&, const Location&) = default;
+};
+
+// Finds the unique instruction defining `reg` in `fn` (registers are
+// assigned once statically by the builder/parser).
+const ir::Instruction* FindDef(const ir::Function& fn, uint32_t reg,
+                               ir::InstRef* site) {
+  for (uint32_t b = 0; b < fn.blocks.size(); ++b) {
+    for (uint32_t i = 0; i < fn.blocks[b].insts.size(); ++i) {
+      const ir::Instruction& inst = fn.blocks[b].insts[i];
+      if (inst.result == static_cast<int32_t>(reg)) {
+        if (site != nullptr) {
+          *site = ir::InstRef{0, b, i};
+        }
+        return &inst;
+      }
+    }
+  }
+  return nullptr;
+}
+
+// Resolves a pointer operand to a trackable location.
+std::optional<Location> ResolveLocation(const ir::Function& fn, const ir::Value& ptr) {
+  if (ptr.kind == ir::Value::Kind::kGlobalRef) {
+    Location loc;
+    loc.is_global = true;
+    loc.global_index = ptr.index;
+    return loc;
+  }
+  if (ptr.kind == ir::Value::Kind::kReg) {
+    ir::InstRef site;
+    const ir::Instruction* def = FindDef(fn, ptr.index, &site);
+    if (def != nullptr && def->op == ir::Opcode::kAlloca) {
+      Location loc;
+      loc.is_global = false;
+      loc.alloca_site = site;
+      return loc;
+    }
+  }
+  return std::nullopt;
+}
+
+int64_t ToSigned(uint64_t v, uint32_t width) {
+  if (width < 64 && (v >> (width - 1)) & 1) {
+    return static_cast<int64_t>(v | (~uint64_t{0} << width));
+  }
+  return static_cast<int64_t>(v);
+}
+
+bool EvalCmp(ir::CmpPred pred, uint64_t a, uint64_t b, uint32_t width) {
+  switch (pred) {
+    case ir::CmpPred::kEq:
+      return a == b;
+    case ir::CmpPred::kNe:
+      return a != b;
+    case ir::CmpPred::kUlt:
+      return a < b;
+    case ir::CmpPred::kUle:
+      return a <= b;
+    case ir::CmpPred::kUgt:
+      return a > b;
+    case ir::CmpPred::kUge:
+      return a >= b;
+    case ir::CmpPred::kSlt:
+      return ToSigned(a, width) < ToSigned(b, width);
+    case ir::CmpPred::kSle:
+      return ToSigned(a, width) <= ToSigned(b, width);
+    case ir::CmpPred::kSgt:
+      return ToSigned(a, width) > ToSigned(b, width);
+    case ir::CmpPred::kSge:
+      return ToSigned(a, width) >= ToSigned(b, width);
+  }
+  return false;
+}
+
+// Peels zext/sext/trunc wrappers off a register chain; returns the core def.
+const ir::Instruction* PeelCasts(const ir::Function& fn, const ir::Instruction* def) {
+  while (def != nullptr &&
+         (def->op == ir::Opcode::kZExt || def->op == ir::Opcode::kSExt ||
+          def->op == ir::Opcode::kTrunc)) {
+    const ir::Value& v = def->operands[0];
+    if (v.kind != ir::Value::Kind::kReg) {
+      return nullptr;
+    }
+    def = FindDef(fn, v.index, nullptr);
+  }
+  return def;
+}
+
+// Handles one atomic comparison: icmp(load L, const C). Returns the stores
+// that would force it to `want`.
+std::vector<ir::InstRef> StoresSatisfying(const ir::Module& module, uint32_t func_index,
+                                          const ir::Instruction& icmp, bool want) {
+  const ir::Function& fn = module.Func(func_index);
+  // Identify which side is the loaded value and which is the constant.
+  const ir::Value* reg_side = nullptr;
+  const ir::Value* const_side = nullptr;
+  bool swapped = false;
+  if (icmp.operands[0].kind == ir::Value::Kind::kReg &&
+      icmp.operands[1].kind == ir::Value::Kind::kConst) {
+    reg_side = &icmp.operands[0];
+    const_side = &icmp.operands[1];
+  } else if (icmp.operands[1].kind == ir::Value::Kind::kReg &&
+             icmp.operands[0].kind == ir::Value::Kind::kConst) {
+    reg_side = &icmp.operands[1];
+    const_side = &icmp.operands[0];
+    swapped = true;
+  } else {
+    return {};
+  }
+  const ir::Instruction* def = PeelCasts(fn, FindDef(fn, reg_side->index, nullptr));
+  if (def == nullptr || def->op != ir::Opcode::kLoad) {
+    return {};
+  }
+  auto loc = ResolveLocation(fn, def->operands[0]);
+  if (!loc.has_value()) {
+    return {};
+  }
+  uint32_t width = ir::BitWidth(reg_side->type);
+  uint64_t c = const_side->imm;
+
+  std::vector<ir::InstRef> stores;
+  // Globals can be stored from any function; allocas only within `fn`.
+  uint32_t f_begin = loc->is_global ? 0 : func_index;
+  uint32_t f_end = loc->is_global ? static_cast<uint32_t>(module.NumFunctions())
+                                  : func_index + 1;
+  for (uint32_t f = f_begin; f < f_end; ++f) {
+    const ir::Function& hf = module.Func(f);
+    for (uint32_t b = 0; b < hf.blocks.size(); ++b) {
+      for (uint32_t i = 0; i < hf.blocks[b].insts.size(); ++i) {
+        const ir::Instruction& inst = hf.blocks[b].insts[i];
+        if (inst.op != ir::Opcode::kStore) {
+          continue;
+        }
+        if (inst.operands[0].kind != ir::Value::Kind::kConst) {
+          continue;
+        }
+        auto store_loc = ResolveLocation(hf, inst.operands[1]);
+        if (!store_loc.has_value() || !(*store_loc == *loc)) {
+          continue;
+        }
+        uint64_t v = inst.operands[0].imm;
+        bool outcome = swapped ? EvalCmp(icmp.pred, c, v, width)
+                               : EvalCmp(icmp.pred, v, c, width);
+        if (outcome == want) {
+          stores.push_back(ir::InstRef{f, b, i});
+        }
+      }
+    }
+  }
+  return stores;
+}
+
+// Decomposes the branch condition register into atomic comparisons that must
+// each hold (conjunctions recurse; other shapes are skipped).
+void CollectConjuncts(const ir::Function& fn, uint32_t reg, bool want,
+                      std::vector<std::pair<const ir::Instruction*, bool>>* out) {
+  const ir::Instruction* def = FindDef(fn, reg, nullptr);
+  if (def == nullptr) {
+    return;
+  }
+  if (def->op == ir::Opcode::kICmp) {
+    out->emplace_back(def, want);
+    return;
+  }
+  if (def->op == ir::Opcode::kNot && def->operands[0].kind == ir::Value::Kind::kReg) {
+    CollectConjuncts(fn, def->operands[0].index, !want, out);
+    return;
+  }
+  // (a && b) must be true: both conjuncts must hold. A false conjunction is
+  // a disjunction of failures, which we do not decompose.
+  if (def->op == ir::Opcode::kAnd && want) {
+    for (const ir::Value& v : def->operands) {
+      if (v.kind == ir::Value::Kind::kReg) {
+        CollectConjuncts(fn, v.index, true, out);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<IntermediateGoalSet> DeriveIntermediateGoals(
+    const ir::Module& module, DistanceCalculator& distances, ir::InstRef goal) {
+  std::vector<IntermediateGoalSet> sets;
+  std::vector<CriticalEdge> edges = FindCriticalEdges(module, distances, goal);
+  for (const CriticalEdge& edge : edges) {
+    const ir::Function& fn = module.Func(edge.branch.func);
+    const ir::Instruction* branch = module.InstAt(edge.branch);
+    if (branch == nullptr || branch->operands.empty() ||
+        branch->operands[0].kind != ir::Value::Kind::kReg) {
+      continue;
+    }
+    std::vector<std::pair<const ir::Instruction*, bool>> conjuncts;
+    CollectConjuncts(fn, branch->operands[0].index, edge.required_value, &conjuncts);
+    for (const auto& [icmp, want] : conjuncts) {
+      IntermediateGoalSet set;
+      set.edge = edge;
+      set.stores = StoresSatisfying(module, edge.branch.func, *icmp, want);
+      if (!set.stores.empty()) {
+        sets.push_back(std::move(set));
+      }
+    }
+  }
+  return sets;
+}
+
+}  // namespace esd::analysis

@@ -1,0 +1,33 @@
+// ESD analysis: reaching definitions and intermediate goals (§3.2).
+//
+// For each critical edge, ESD inspects the branch condition, finds the
+// memory locations (allocas / globals) it loads from, and looks for store
+// instructions whose constant operand would statically force the branch
+// condition to take the required value. The blocks containing such stores
+// are "intermediate goals": blocks that must execute on the way to the goal.
+// When multiple stores would satisfy the same condition they form a
+// disjunctive set — reaching any one of them is progress.
+#ifndef ESD_SRC_ANALYSIS_REACHING_DEFS_H_
+#define ESD_SRC_ANALYSIS_REACHING_DEFS_H_
+
+#include <vector>
+
+#include "src/analysis/critical_edges.h"
+#include "src/ir/module.h"
+
+namespace esd::analysis {
+
+// One disjunctive set of intermediate goals derived from one critical edge:
+// any member makes the edge's condition attainable.
+struct IntermediateGoalSet {
+  CriticalEdge edge;
+  std::vector<ir::InstRef> stores;  // Candidate defining stores.
+};
+
+// Derives intermediate goals for `goal` from its critical edges.
+std::vector<IntermediateGoalSet> DeriveIntermediateGoals(
+    const ir::Module& module, DistanceCalculator& distances, ir::InstRef goal);
+
+}  // namespace esd::analysis
+
+#endif  // ESD_SRC_ANALYSIS_REACHING_DEFS_H_

@@ -1,0 +1,72 @@
+#include "src/baseline/kc.h"
+
+#include <memory>
+
+#include "src/solver/solver.h"
+#include "src/vm/engine.h"
+#include "src/vm/searcher.h"
+
+namespace esd::baseline {
+
+void PreemptionBoundingPolicy::BeforeSyncOp(vm::EngineServices& services,
+                                            vm::ExecutionState& state,
+                                            const vm::SyncOp& op) {
+  if (state.preemptions >= bound_) {
+    return;
+  }
+  for (const vm::Thread& t : state.threads) {
+    if (t.id == state.current_tid || t.status != vm::ThreadStatus::kRunnable) {
+      continue;
+    }
+    vm::StatePtr variant = services.ForkState(state);
+    variant->current_tid = t.id;
+    ++variant->preemptions;
+    variant->RecordEvent(vm::SchedEvent::Kind::kSwitch, t.id, 0, t.Pc());
+    services.AddState(variant);
+    ++schedule_forks_;
+    ++state.depth;  // The continuing state also descends in the fork tree.
+  }
+}
+
+KcResult RunKc(const ir::Module& module, const core::Goal& goal,
+               const KcOptions& options) {
+  KcResult result;
+  solver::ConstraintSolver solver;
+  PreemptionBoundingPolicy policy(options.preemption_bound);
+
+  std::unique_ptr<vm::Searcher> searcher;
+  if (options.strategy == KcOptions::Strategy::kDfs) {
+    searcher = std::make_unique<vm::DfsSearcher>();
+  } else {
+    searcher = std::make_unique<vm::RandomPathSearcher>(options.seed);
+  }
+
+  vm::Interpreter::Options iopts;
+  iopts.policy = &policy;
+  vm::Interpreter interpreter(&module, &solver, iopts);
+
+  auto main_fn = module.FindFunction("main");
+  if (!main_fn.has_value()) {
+    return result;
+  }
+
+  vm::Engine::Options eopts;
+  eopts.time_cap_seconds = options.time_cap_seconds;
+  eopts.max_instructions = options.max_instructions;
+  eopts.max_states = options.max_states;
+  vm::Engine engine(&interpreter, searcher.get(), eopts);
+  engine.Start(interpreter.MakeInitialState(*main_fn, interpreter.AllocStateId()));
+
+  vm::Engine::Result run = engine.Run(
+      [&goal](const vm::ExecutionState& state, const vm::BugInfo& bug) {
+        return core::GoalMatches(goal, state, bug);
+      });
+  result.found = run.status == vm::Engine::Result::Status::kGoalFound;
+  result.timed_out = run.status == vm::Engine::Result::Status::kLimitReached;
+  result.seconds = run.seconds;
+  result.instructions = run.instructions;
+  result.states_created = run.states_created;
+  return result;
+}
+
+}  // namespace esd::baseline

@@ -1,0 +1,67 @@
+// ESD baseline: KC, the Klee+Chess hybrid of §7.2.
+//
+// "We extended Klee with support for multi-threading and implemented Chess's
+// preemption-bounding approach ... We compare ESD to two different KC search
+// strategies inherited directly from Klee: DFS, which can be thought of as
+// equivalent to an exhaustive search, and RandomPath, a quasi-random
+// strategy meant to maximize global path coverage. We augmented the
+// corresponding strategies to encompass all active threads and limit
+// preemptions to two."
+//
+// KC gets the same goal matcher as ESD (it is told which bug to look for)
+// but none of the guidance: no proximity queues, no critical-edge pruning,
+// no intermediate goals, no deadlock/race strategy — just exhaustive or
+// random exploration with Chess-style bounded preemption at sync ops.
+#ifndef ESD_SRC_BASELINE_KC_H_
+#define ESD_SRC_BASELINE_KC_H_
+
+#include <cstdint>
+
+#include "src/core/goal.h"
+#include "src/ir/module.h"
+#include "src/vm/schedule_policy.h"
+
+namespace esd::baseline {
+
+// Chess-style iterative-context-bounding policy: at every synchronization
+// operation, fork one schedule variant per other runnable thread, as long as
+// the state has used fewer than `bound` forced preemptions.
+class PreemptionBoundingPolicy : public vm::SchedulePolicy {
+ public:
+  explicit PreemptionBoundingPolicy(uint32_t bound) : bound_(bound) {}
+
+  void BeforeSyncOp(vm::EngineServices& services, vm::ExecutionState& state,
+                    const vm::SyncOp& op) override;
+
+  uint64_t schedule_forks() const { return schedule_forks_; }
+
+ private:
+  uint32_t bound_;
+  uint64_t schedule_forks_ = 0;
+};
+
+struct KcOptions {
+  enum class Strategy { kDfs, kRandomPath };
+  Strategy strategy = Strategy::kDfs;
+  uint32_t preemption_bound = 2;
+  double time_cap_seconds = 3600.0;
+  uint64_t max_instructions = 500'000'000;
+  size_t max_states = 500'000;
+  uint64_t seed = 1;
+};
+
+struct KcResult {
+  bool found = false;
+  bool timed_out = false;
+  double seconds = 0.0;
+  uint64_t instructions = 0;
+  uint64_t states_created = 0;
+};
+
+// Searches `module` for an execution manifesting `goal`.
+KcResult RunKc(const ir::Module& module, const core::Goal& goal,
+               const KcOptions& options);
+
+}  // namespace esd::baseline
+
+#endif  // ESD_SRC_BASELINE_KC_H_

@@ -1,0 +1,147 @@
+#include "src/bpf/generator.h"
+
+#include <algorithm>
+#include <random>
+#include <sstream>
+
+#include "src/ir/parser.h"
+#include "src/ir/verifier.h"
+#include "src/workloads/workloads.h"
+
+namespace esd::bpf {
+namespace {
+
+// Emits the guard chain + filler structure for one worker. Returns the
+// number of conditional branches emitted.
+uint32_t EmitWorker(std::ostringstream& os, uint32_t t, const BpfParams& p,
+                    uint32_t guards, uint32_t filler_len, std::mt19937_64& rng,
+                    bool lock_forward) {
+  uint32_t branches = 0;
+  os << "func @worker" << t << "(%arg: ptr) : void {\n";
+  os << "entry:\n";
+  os << "  %acc = alloca 4\n";
+  os << "  store i32 1, %acc\n";
+  os << "  br g0\n";
+  for (uint32_t g = 0; g < guards; ++g) {
+    uint32_t input = static_cast<uint32_t>(rng() % p.num_inputs);
+    uint32_t threshold = 10 + static_cast<uint32_t>(rng() % 190);
+    std::string next = g + 1 == guards ? "locks" : "g" + std::to_string(g + 1);
+    os << "g" << g << ":\n";
+    os << "  %v" << g << " = load i32, $in" << input << "\n";
+    os << "  %c" << g << " = icmp ugt %v" << g << ", i32 " << threshold << "\n";
+    os << "  condbr %c" << g << ", " << next << ", f" << g << "_0\n";
+    ++branches;
+    // Filler: its own input-dependent branch chain that terminates the
+    // thread without reaching the lock section.
+    for (uint32_t f = 0; f < filler_len; ++f) {
+      uint32_t fin = static_cast<uint32_t>(rng() % p.num_inputs);
+      uint32_t fth = 5 + static_cast<uint32_t>(rng() % 240);
+      std::string fnext =
+          f + 1 == filler_len ? "fdone" + std::to_string(g)
+                              : "f" + std::to_string(g) + "_" + std::to_string(f + 1);
+      os << "f" << g << "_" << f << ":\n";
+      os << "  %fv" << g << "_" << f << " = load i32, $in" << fin << "\n";
+      os << "  %fc" << g << "_" << f << " = icmp ult %fv" << g << "_" << f << ", i32 "
+         << fth << "\n";
+      os << "  condbr %fc" << g << "_" << f << ", fh" << g << "_" << f << ", "
+         << fnext << "\n";
+      ++branches;
+      os << "fh" << g << "_" << f << ":\n";
+      os << "  %fa" << g << "_" << f << " = load i32, %acc\n";
+      os << "  %fm" << g << "_" << f << " = mul %fa" << g << "_" << f << ", i32 "
+         << (3 + 2 * f) << "\n";
+      os << "  store %fm" << g << "_" << f << ", %acc\n";
+      os << "  br " << fnext << "\n";
+    }
+    os << "fdone" << g << ":\n";
+    os << "  ret\n";
+  }
+  // The lock section: first and last workers invert the order of locks 0
+  // and 1; others touch their own lock.
+  os << "locks:\n";
+  uint32_t first = lock_forward ? 0 : 1;
+  uint32_t second = lock_forward ? 1 : 0;
+  if (p.num_locks >= 2) {
+    os << "  call @mutex_lock($lock" << first << ")\n";
+    os << "  call @mutex_lock($lock" << second << ")\n";
+    os << "  %shared = load i32, $shared_counter\n";
+    os << "  %bumped = add %shared, i32 1\n";
+    os << "  store %bumped, $shared_counter\n";
+    os << "  call @mutex_unlock($lock" << second << ")\n";
+    os << "  call @mutex_unlock($lock" << first << ")\n";
+  } else {
+    os << "  call @mutex_lock($lock0)\n";
+    os << "  call @mutex_unlock($lock0)\n";
+  }
+  os << "  ret\n";
+  os << "}\n";
+  return branches;
+}
+
+}  // namespace
+
+BpfProgram Generate(const BpfParams& params) {
+  BpfParams p = params;
+  p.num_inputs = std::max<uint32_t>(1, p.num_inputs);
+  p.num_threads = std::max<uint32_t>(2, p.num_threads);
+  p.num_locks = std::max<uint32_t>(1, p.num_locks);
+  p.input_dependent = std::min(p.input_dependent, p.num_branches);
+
+  std::mt19937_64 rng(p.seed);
+  std::ostringstream os;
+
+  for (uint32_t i = 0; i < p.num_inputs; ++i) {
+    os << "global $in" << i << " = zero 4\n";
+    os << "global $in" << i << "_name = str \"bpf_in" << i << "\"\n";
+  }
+  for (uint32_t l = 0; l < p.num_locks; ++l) {
+    os << "global $lock" << l << " = zero 8\n";
+  }
+  os << "global $shared_counter = zero 4\n";
+
+  // Distribute the branch budget: each worker gets a guard chain; each
+  // failed guard leads into a filler chain.
+  uint32_t per_worker = std::max<uint32_t>(1, p.num_branches / p.num_threads);
+  uint32_t guards = std::max<uint32_t>(1, per_worker / 4);
+  guards = std::min<uint32_t>(guards, 32);  // Keep the bug path bounded.
+  uint32_t filler_len =
+      std::max<uint32_t>(1, (per_worker - guards) / std::max<uint32_t>(1, guards));
+
+  uint32_t emitted = 0;
+  for (uint32_t t = 0; t < p.num_threads; ++t) {
+    bool lock_forward = t + 1 != p.num_threads;  // Last worker inverts.
+    emitted += EmitWorker(os, t, p, guards, filler_len, rng, lock_forward);
+  }
+
+  os << "func @main() : i32 {\n";
+  os << "entry:\n";
+  for (uint32_t i = 0; i < p.num_inputs; ++i) {
+    os << "  %r" << i << "x = call @esd_input_i32($in" << i << "_name)\n";
+    os << "  store %r" << i << "x, $in" << i << "\n";
+  }
+  for (uint32_t t = 0; t < p.num_threads; ++t) {
+    os << "  %t" << t << " = call @thread_create(@worker" << t << ", null)\n";
+  }
+  for (uint32_t t = 0; t < p.num_threads; ++t) {
+    os << "  call @thread_join(%t" << t << ")\n";
+  }
+  os << "  ret i32 0\n";
+  os << "}\n";
+
+  BpfProgram program;
+  program.params = p;
+  program.module = workloads::ParseWorkload(os.str());
+  program.kloc = static_cast<double>(program.module->TotalInstructions()) / 1000.0;
+  // Trigger: every input large enough to pass all guards; the first worker
+  // takes lock0 and is preempted, the last worker takes lock1 and blocks.
+  for (uint32_t i = 0; i < p.num_inputs; ++i) {
+    program.trigger.inputs["bpf_in" + std::to_string(i)] = 260;
+  }
+  uint32_t first_tid = 1;
+  uint32_t last_tid = p.num_threads;
+  program.trigger.schedule = {{first_tid, 1, last_tid}, {last_tid, 1, first_tid}};
+  (void)emitted;
+  return program;
+}
+
+}  // namespace esd::bpf

@@ -1,0 +1,51 @@
+// ESD BPF: the §7.3 microbenchmark program generator.
+//
+// "BPF produces synthetic programs that hang and/or crash. These programs
+// have conditional branch instructions that depend on program inputs. When
+// using more than one thread, the crash/hang scenarios depend on both the
+// thread schedule and program inputs. BPF allows direct control of five
+// parameters: number of program inputs, number of total branches, number of
+// branches depending on inputs, number of threads, and number of shared
+// locks. There is one deadlock bug in each generated program."
+//
+// Generated shape: main reads the inputs into globals and spawns
+// `num_threads` workers. Each worker walks a chain of guard branches over
+// the inputs; a failed guard diverts into input-dependent filler code that
+// terminates the thread. Only the all-guards-pass path reaches the lock
+// section, where the first and last workers acquire two of the locks in
+// opposite orders (the planted deadlock).
+#ifndef ESD_SRC_BPF_GENERATOR_H_
+#define ESD_SRC_BPF_GENERATOR_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "src/ir/module.h"
+#include "src/workloads/trigger.h"
+
+namespace esd::bpf {
+
+struct BpfParams {
+  uint32_t num_inputs = 4;
+  uint32_t num_branches = 16;        // Total conditional branches to emit.
+  uint32_t input_dependent = 16;     // How many depend on inputs (<= total).
+  uint32_t num_threads = 2;          // Worker threads.
+  uint32_t num_locks = 2;
+  uint64_t seed = 1;
+};
+
+struct BpfProgram {
+  BpfParams params;
+  std::shared_ptr<ir::Module> module;
+  // A trigger that manifests the deadlock (for coredump capture).
+  workloads::Trigger trigger;
+  // Rough source-size estimate (the paper's Figure 4 x-axis): one IR
+  // instruction per "line of code".
+  double kloc = 0.0;
+};
+
+BpfProgram Generate(const BpfParams& params);
+
+}  // namespace esd::bpf
+
+#endif  // ESD_SRC_BPF_GENERATOR_H_

@@ -1,0 +1,127 @@
+#include "src/core/deadlock_strategy.h"
+
+namespace esd::core {
+
+bool DeadlockStrategy::IsInnerLock(uint32_t tid, ir::InstRef site) const {
+  return goal_.IsGoalSite(tid, site);
+}
+
+bool DeadlockStrategy::PreemptCurrent(vm::ExecutionState& state) {
+  size_t n = state.threads.size();
+  for (size_t i = 1; i <= n; ++i) {
+    const vm::Thread& t = state.threads[(state.current_tid + i) % n];
+    if (t.id != state.current_tid && t.status == vm::ThreadStatus::kRunnable) {
+      state.current_tid = t.id;
+      state.RecordEvent(vm::SchedEvent::Kind::kSwitch, t.id, 0, t.Pc());
+      return true;
+    }
+  }
+  return false;
+}
+
+void DeadlockStrategy::BeforeSyncOp(vm::EngineServices& services,
+                                    vm::ExecutionState& state, const vm::SyncOp& op) {
+  // When the reported hang involves a condvar wait, the ordering of condvar
+  // and thread-lifecycle operations matters too (a signal that fires before
+  // the wait is lost; a thread spawned later may need to run first). Fork
+  // one variant per other runnable thread, preempting the current one
+  // before the operation. Mutex-only deadlocks keep the paper's §4.1
+  // preemption points ("solely the calls to synchronization primitives,
+  // like mutex lock and unlock").
+  bool cond_goal = false;
+  for (const ThreadGoal& tg : goal_.threads) {
+    cond_goal = cond_goal || tg.blocked_on_cond;
+  }
+  if (cond_goal && (op.kind == vm::SyncOp::Kind::kCondWait ||
+                    op.kind == vm::SyncOp::Kind::kCondSignal ||
+                    op.kind == vm::SyncOp::Kind::kCondBroadcast ||
+                    op.kind == vm::SyncOp::Kind::kThreadCreate ||
+                    op.kind == vm::SyncOp::Kind::kThreadJoin)) {
+    for (const vm::Thread& t : state.threads) {
+      if (t.id == state.current_tid || t.status != vm::ThreadStatus::kRunnable) {
+        continue;
+      }
+      vm::StatePtr variant = services.ForkState(state);
+      variant->current_tid = t.id;
+      variant->RecordEvent(vm::SchedEvent::Kind::kSwitch, t.id, 0, t.Pc());
+      variant->is_schedule_snapshot = true;
+      variant->schedule_distance = vm::kScheduleFar;
+      services.AddState(variant);
+      ++state.depth;
+      ++stats_.snapshots;
+    }
+    return;
+  }
+  if (op.kind != vm::SyncOp::Kind::kMutexLock || op.addr == 0) {
+    return;
+  }
+  auto it = state.mutexes.find(op.addr);
+  if (it != state.mutexes.end() && it->second.locked) {
+    return;  // Held: handled by OnLockBlocked after the op executes.
+  }
+  // The mutex is free and the current thread is about to acquire it. Fork
+  // the alternative in which the thread is preempted just before the
+  // acquisition (paper: "forks off an execution state in which the current
+  // thread is preempted"), and remember it in K_S.
+  vm::StatePtr snapshot = services.ForkState(state);
+  if (!PreemptCurrent(*snapshot)) {
+    return;  // No other runnable thread; the snapshot would be identical.
+  }
+  snapshot->is_schedule_snapshot = true;
+  // Snapshots start schedule-far; rollbacks promote them to near (§4.1).
+  snapshot->schedule_distance = vm::kScheduleFar;
+  state.lock_snapshots[op.addr] = snapshot;
+  services.AddState(snapshot);
+  ++state.depth;  // The continuing state also descends in the fork tree.
+  ++stats_.snapshots;
+}
+
+void DeadlockStrategy::OnLockAcquired(vm::EngineServices& services,
+                                      vm::ExecutionState& state, uint64_t addr,
+                                      ir::InstRef site) {
+  if (!IsInnerLock(state.current_tid, site)) {
+    return;  // Not the inner lock: let the thread run unimpeded (§4.1).
+  }
+  // The thread just acquired its inner lock: preempt it, keeping the lock
+  // held, so some other thread can come ask for it.
+  ++stats_.inner_lock_preemptions;
+  PreemptCurrent(state);
+  state.schedule_distance = vm::kScheduleNear;
+  if (vm::StatePtr self = services.SharedRef(state)) {
+    services.Reprioritize(self);
+  }
+}
+
+void DeadlockStrategy::OnLockBlocked(vm::EngineServices& services,
+                                     vm::ExecutionState& state, uint64_t addr,
+                                     uint32_t holder) {
+  auto it = state.mutexes.find(addr);
+  if (it == state.mutexes.end()) {
+    return;
+  }
+  if (!IsInnerLock(holder, it->second.acquired_at)) {
+    return;  // M is not the holder's inner lock: let the requester wait.
+  }
+  // M could be the requester's *outer* lock. Roll back: favor the K_S
+  // snapshots (in which the holder had not yet acquired M) and demote this
+  // state, giving the requester a chance to take M first.
+  ++stats_.rollbacks;
+  for (auto& [mutex_addr, snapshot] : state.lock_snapshots) {
+    if (snapshot != nullptr) {
+      snapshot->schedule_distance = vm::kScheduleNear;
+      services.Reprioritize(snapshot);
+    }
+  }
+  state.schedule_distance = vm::kScheduleFar;
+  if (vm::StatePtr self = services.SharedRef(state)) {
+    services.Reprioritize(self);
+  }
+}
+
+void DeadlockStrategy::OnUnlock(vm::EngineServices& services,
+                                vm::ExecutionState& state, uint64_t addr) {
+  // A free mutex cannot be part of a deadlock: drop its snapshot (§4.1).
+  state.lock_snapshots.erase(addr);
+}
+
+}  // namespace esd::core

@@ -1,0 +1,58 @@
+// ESD core: deadlock schedule synthesis (§4.1).
+//
+// Implements the paper's strategy for steering the scheduler toward a
+// reported deadlock:
+//   - at every acquisition of a free mutex, fork a snapshot state in which
+//     the acquiring thread is preempted *before* taking the lock, and record
+//     it in the state's K_S map keyed by the mutex;
+//   - when a thread acquires its *inner lock* (the lock call at the top of
+//     its reported stack), preempt it and mark the state schedule-near, so
+//     another thread gets a chance to request the held mutex;
+//   - when a thread blocks on a mutex that its holder acquired as the
+//     holder's inner lock, "roll back": boost the K_S snapshots to
+//     schedule-near and demote the current state to far, creating the
+//     conditions for the blocked thread to grab its outer lock;
+//   - deleting the snapshot whenever its mutex is unlocked (a free mutex
+//     cannot participate in a deadlock).
+#ifndef ESD_SRC_CORE_DEADLOCK_STRATEGY_H_
+#define ESD_SRC_CORE_DEADLOCK_STRATEGY_H_
+
+#include "src/core/goal.h"
+#include "src/vm/schedule_policy.h"
+
+namespace esd::core {
+
+class DeadlockStrategy : public vm::SchedulePolicy {
+ public:
+  explicit DeadlockStrategy(Goal goal) : goal_(std::move(goal)) {}
+
+  void BeforeSyncOp(vm::EngineServices& services, vm::ExecutionState& state,
+                    const vm::SyncOp& op) override;
+  void OnLockAcquired(vm::EngineServices& services, vm::ExecutionState& state,
+                      uint64_t addr, ir::InstRef site) override;
+  void OnLockBlocked(vm::EngineServices& services, vm::ExecutionState& state,
+                     uint64_t addr, uint32_t holder) override;
+  void OnUnlock(vm::EngineServices& services, vm::ExecutionState& state,
+                uint64_t addr) override;
+
+  struct Stats {
+    uint64_t snapshots = 0;
+    uint64_t inner_lock_preemptions = 0;
+    uint64_t rollbacks = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  // Is `site` the reported inner-lock call of thread `tid`?
+  bool IsInnerLock(uint32_t tid, ir::InstRef site) const;
+  // Switches `state`'s current thread away from `tid` if another thread is
+  // runnable; returns true if a switch happened.
+  static bool PreemptCurrent(vm::ExecutionState& state);
+
+  Goal goal_;
+  Stats stats_;
+};
+
+}  // namespace esd::core
+
+#endif  // ESD_SRC_CORE_DEADLOCK_STRATEGY_H_

@@ -1,0 +1,96 @@
+#include "src/core/goal.h"
+
+#include <algorithm>
+
+namespace esd::core {
+
+Goal ExtractGoal(const ir::Module& module, const report::CoreDump& dump) {
+  Goal goal;
+  goal.kind = dump.kind;
+  goal.description = dump.message;
+  goal.fault_addr = dump.fault_addr;
+  if (dump.kind == vm::BugInfo::Kind::kDeadlock) {
+    // Every thread blocked on a mutex (or stuck in a condition-variable
+    // wait that will never be signaled — §4.1's "no thread can make any
+    // progress" case) participates; its inner lock / wait is the call at
+    // the top of its reported stack.
+    for (const report::ThreadDump& t : dump.threads) {
+      if ((t.status == vm::ThreadStatus::kBlockedMutex ||
+           t.status == vm::ThreadStatus::kBlockedCond) &&
+          !t.stack.empty()) {
+        ThreadGoal tg;
+        tg.tid = t.tid;
+        tg.target = t.stack.back();
+        tg.stack = t.stack;
+        tg.blocked_on_cond = t.status == vm::ThreadStatus::kBlockedCond;
+        goal.threads.push_back(std::move(tg));
+      }
+    }
+    return goal;
+  }
+  // Crash-class bugs: the faulting thread's pc is the goal block B; the
+  // faulting value is condition C.
+  ThreadGoal tg;
+  tg.tid = dump.fault_tid;
+  tg.target = dump.fault_pc;
+  for (const report::ThreadDump& t : dump.threads) {
+    if (t.tid == dump.fault_tid) {
+      tg.stack = t.stack;
+      break;
+    }
+  }
+  goal.threads.push_back(std::move(tg));
+  return goal;
+}
+
+bool GoalMatches(const Goal& goal, const vm::ExecutionState& state,
+                 const vm::BugInfo& bug) {
+  if (bug.kind != goal.kind) {
+    return false;
+  }
+  if (goal.kind == vm::BugInfo::Kind::kDeadlock) {
+    // Every reported deadlocked thread must be blocked at its inner-lock
+    // site. (The synthesized deadlock may involve additional threads; the
+    // paper requires only that the reported circular wait is reproduced.)
+    // Wildcard goals (static-analysis warnings) may be filled by any thread,
+    // each by a distinct one.
+    std::vector<uint32_t> used;
+    for (const ThreadGoal& tg : goal.threads) {
+      bool found = false;
+      for (const vm::Thread& t : state.threads) {
+        if (tg.tid != kAnyTid && t.id != tg.tid) {
+          continue;
+        }
+        if (std::find(used.begin(), used.end(), t.id) != used.end()) {
+          continue;
+        }
+        if ((t.status == vm::ThreadStatus::kBlockedMutex ||
+             t.status == vm::ThreadStatus::kBlockedCond) &&
+            t.Pc() == tg.target) {
+          used.push_back(t.id);
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        return false;
+      }
+    }
+    return true;
+  }
+  // Crash-class: same pc; for pointer faults, the same fault class
+  // (null vs non-null), which is condition C extracted from the dump.
+  if (goal.threads.empty() || bug.pc != goal.threads[0].target) {
+    return false;
+  }
+  bool goal_null = vm::PointerObject(goal.fault_addr) == 0;
+  bool bug_null = vm::PointerObject(bug.fault_addr) == 0;
+  switch (bug.kind) {
+    case vm::BugInfo::Kind::kNullDeref:
+      return goal_null == bug_null;
+    default:
+      return true;
+  }
+}
+
+}  // namespace esd::core

@@ -1,0 +1,90 @@
+// ESD core: synthesis goals.
+//
+// The goal <B, C> of §3.1: the basic block / instruction where the failure
+// was detected, plus the condition on program state that held when the bug
+// manifested. For deadlocks the goal spans threads: each deadlocked thread
+// has its own inner-lock target extracted from its reported call stack.
+#ifndef ESD_SRC_CORE_GOAL_H_
+#define ESD_SRC_CORE_GOAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/ir/module.h"
+#include "src/report/coredump.h"
+#include "src/vm/interpreter.h"
+
+namespace esd::core {
+
+// Thread id wildcard: the goal site must be reached by *some* thread. Used
+// when the goal comes from a static-analysis warning rather than a coredump
+// (§8's "Complementing Static Analysis Tools with ESD").
+inline constexpr uint32_t kAnyTid = 0xffffffffu;
+
+struct ThreadGoal {
+  uint32_t tid = 0;  // Concrete reported tid, or kAnyTid.
+  // The target instruction B: the blocked lock call (deadlock) or crash pc.
+  ir::InstRef target;
+  // The full reported call stack, outermost first (used for matching and
+  // for the common-prefix heuristic of §4.2).
+  std::vector<ir::InstRef> stack;
+  // For hangs: the thread was reported blocked in a condvar wait (rather
+  // than a mutex acquisition). Widens the schedule strategy's preemption
+  // points to condvar and thread-lifecycle operations.
+  bool blocked_on_cond = false;
+};
+
+struct Goal {
+  vm::BugInfo::Kind kind = vm::BugInfo::Kind::kNone;
+  // One entry per reported thread that participates in the bug. For crashes
+  // this is just the faulting thread.
+  std::vector<ThreadGoal> threads;
+  // Condition C for crashes: the faulting address class (0 = null).
+  uint64_t fault_addr = 0;
+  std::string description;
+
+  bool HasWildcardThreads() const {
+    for (const ThreadGoal& t : threads) {
+      if (t.tid == kAnyTid) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  const ThreadGoal* ForThread(uint32_t tid) const {
+    for (const ThreadGoal& t : threads) {
+      if (t.tid == tid) {
+        return &t;
+      }
+    }
+    return nullptr;
+  }
+
+  // Is `site` the inner-lock/crash target of thread `tid`? Wildcard goals
+  // match any thread.
+  bool IsGoalSite(uint32_t tid, ir::InstRef site) const {
+    for (const ThreadGoal& t : threads) {
+      if ((t.tid == tid || t.tid == kAnyTid) && t.target == site) {
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+// The automated coredump analyzer (§3.1): extracts the goal from a dump.
+// For deadlocks, the participating threads are those blocked on mutexes; for
+// crashes, the faulting thread and pc.
+Goal ExtractGoal(const ir::Module& module, const report::CoreDump& dump);
+
+// Does `bug`, which terminated `state`, manifest `goal`? (crash: same kind,
+// same pc, same fault class; deadlock: every goal thread is blocked at its
+// reported inner-lock site).
+bool GoalMatches(const Goal& goal, const vm::ExecutionState& state,
+                 const vm::BugInfo& bug);
+
+}  // namespace esd::core
+
+#endif  // ESD_SRC_CORE_GOAL_H_

@@ -1,0 +1,138 @@
+#include "src/core/proximity_searcher.h"
+
+#include <algorithm>
+
+namespace esd::core {
+namespace {
+
+// Builds the call-stack InstRef vector (outermost first) for a thread.
+std::vector<ir::InstRef> StackOf(const vm::Thread& thread) {
+  std::vector<ir::InstRef> stack;
+  stack.reserve(thread.frames.size());
+  for (const vm::StackFrame& f : thread.frames) {
+    stack.push_back(ir::InstRef{f.func, f.block, f.inst});
+  }
+  return stack;
+}
+
+}  // namespace
+
+ProximitySearcher::ProximitySearcher(analysis::DistanceCalculator* distances,
+                                     std::vector<SearchGoal> goals, Options options)
+    : distances_(distances), goals_(std::move(goals)), options_(options),
+      rng_(options.seed) {
+  if (goals_.empty()) {
+    goals_.push_back(SearchGoal{});  // Degenerate: behaves like FIFO by steps.
+  }
+  queues_.resize(goals_.size());
+}
+
+double ProximitySearcher::Priority(const vm::ExecutionState& state,
+                                   const SearchGoal& goal) {
+  uint64_t dist = analysis::kInfDistance;
+  if (!goal.target.IsValid()) {
+    dist = state.steps;  // Degenerate goal: prefer least-stepped states.
+  } else if (goal.tid != SearchGoal::kAnyThread) {
+    bool thread_exists = false;
+    for (const vm::Thread& t : state.threads) {
+      if (t.id == goal.tid && !t.frames.empty() &&
+          t.status != vm::ThreadStatus::kExited) {
+        thread_exists = true;
+        // A thread sitting (blocked) at its goal has arrived: distance 0,
+        // even though no forward path to the goal remains.
+        dist = t.Pc() == goal.target ? 0
+                                     : distances_->ThreadDistance(StackOf(t),
+                                                                  goal.target);
+      }
+    }
+    if (!thread_exists) {
+      // The goal thread has not been spawned yet: measure how far the
+      // existing threads are from spawning it (thread_create sites count as
+      // entries into the spawned function).
+      for (const vm::Thread& t : state.threads) {
+        if (t.frames.empty() || t.status == vm::ThreadStatus::kExited) {
+          continue;
+        }
+        dist = std::min(dist, distances_->ThreadDistance(StackOf(t), goal.target));
+      }
+    }
+  } else {
+    for (const vm::Thread& t : state.threads) {
+      if (t.frames.empty() || t.status == vm::ThreadStatus::kExited) {
+        continue;
+      }
+      dist = std::min(dist, distances_->ThreadDistance(StackOf(t), goal.target));
+    }
+  }
+  // Weighted average of schedule distance and path distance, biased heavily
+  // toward schedule distance (§4.1): the path-distance term is clamped below
+  // the schedule weight so a schedule-near state beats every schedule-far
+  // state, no matter how lost its path distance looks (a thread that just
+  // took its inner lock has "no remaining path" to it, yet is exactly the
+  // state to run).
+  double path = static_cast<double>(std::min<uint64_t>(dist, kPathDistanceCap));
+  return state.schedule_distance * options_.schedule_weight + path;
+}
+
+void ProximitySearcher::PushAll(const vm::StatePtr& state) {
+  uint64_t stamp = live_[state.get()].second;
+  for (size_t q = 0; q < goals_.size(); ++q) {
+    queues_[q].push(Entry{Priority(*state, goals_[q]), stamp, state});
+  }
+}
+
+void ProximitySearcher::Add(vm::StatePtr state) {
+  live_[state.get()] = {state, next_stamp_++};
+  PushAll(state);
+}
+
+void ProximitySearcher::Remove(const vm::StatePtr& state) {
+  live_.erase(state.get());  // Heap entries expire lazily.
+}
+
+void ProximitySearcher::Update(const vm::StatePtr& state) {
+  auto it = live_.find(state.get());
+  if (it == live_.end()) {
+    return;
+  }
+  it->second.second = next_stamp_++;
+  PushAll(state);
+}
+
+vm::StatePtr ProximitySearcher::Select() {
+  if (live_.empty()) {
+    return nullptr;
+  }
+  // Uniformly random choice among the virtual queues (§3.4).
+  std::uniform_int_distribution<size_t> dist(0, queues_.size() - 1);
+  size_t start = dist(rng_);
+  for (size_t i = 0; i < queues_.size(); ++i) {
+    Heap& heap = queues_[(start + i) % queues_.size()];
+    while (!heap.empty()) {
+      const Entry& top = heap.top();
+      vm::StatePtr state = top.state.lock();
+      if (state != nullptr) {
+        auto it = live_.find(state.get());
+        if (it != live_.end() && it->second.second == top.stamp) {
+          return state;
+        }
+      }
+      heap.pop();
+    }
+  }
+  // All heaps were stale; rebuild from the live set.
+  for (auto& [ptr, entry] : live_) {
+    PushAll(entry.first);
+  }
+  Heap& heap = queues_[start];
+  while (!heap.empty()) {
+    vm::StatePtr state = heap.top().state.lock();
+    if (state != nullptr && live_.count(state.get())) {
+      return state;
+    }
+    heap.pop();
+  }
+  return live_.begin()->second.first;
+}
+
+}  // namespace esd::core

@@ -1,0 +1,83 @@
+// ESD core: the proximity-guided searcher (§3.4).
+//
+// Maintains n "virtual" priority queues, one per goal: the intermediate
+// goals inferred by static analysis plus the final goal of each reported
+// thread. At every step a queue is chosen uniformly at random and the state
+// with the smallest estimated distance to that queue's goal is executed
+// next. Priorities are a weighted average of the path-distance estimate
+// (Algorithm 1) and the schedule distance, heavily biased toward schedule
+// distance so near-deadlock states win (§4.1).
+//
+// Queues are lazy heaps: entries carry a version stamp and are dropped at
+// pop time when stale, which keeps per-step cost logarithmic even though
+// the stepped state's distances change every instruction (§6.2).
+#ifndef ESD_SRC_CORE_PROXIMITY_SEARCHER_H_
+#define ESD_SRC_CORE_PROXIMITY_SEARCHER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <queue>
+#include <random>
+#include <vector>
+
+#include "src/analysis/distance.h"
+#include "src/core/goal.h"
+#include "src/vm/searcher.h"
+
+namespace esd::core {
+
+class ProximitySearcher : public vm::Searcher {
+ public:
+  struct Options {
+    // Weight multiplying the schedule distance (heavy bias, §4.1).
+    double schedule_weight = 1e7;
+    uint64_t seed = 1;
+  };
+
+  // Path distances saturate here, strictly below schedule_weight, so the
+  // schedule-distance bias always dominates.
+  static constexpr uint64_t kPathDistanceCap = 1'000'000;
+
+  // `goals`: the final per-thread goals (goal.threads) plus any intermediate
+  // goals; each entry is (target instruction, thread id or kAnyThread).
+  struct SearchGoal {
+    ir::InstRef target;
+    uint32_t tid = kAnyThread;  // Distance uses this thread's stack.
+    static constexpr uint32_t kAnyThread = 0xffffffffu;
+  };
+
+  ProximitySearcher(analysis::DistanceCalculator* distances,
+                    std::vector<SearchGoal> goals, Options options);
+
+  void Add(vm::StatePtr state) override;
+  void Remove(const vm::StatePtr& state) override;
+  vm::StatePtr Select() override;
+  void Update(const vm::StatePtr& state) override;
+  bool Empty() const override { return live_.empty(); }
+  size_t Size() const override { return live_.size(); }
+
+ private:
+  struct Entry {
+    double priority;
+    uint64_t stamp;
+    std::weak_ptr<vm::ExecutionState> state;
+    bool operator>(const Entry& other) const { return priority > other.priority; }
+  };
+  using Heap = std::priority_queue<Entry, std::vector<Entry>, std::greater<>>;
+
+  double Priority(const vm::ExecutionState& state, const SearchGoal& goal);
+  void PushAll(const vm::StatePtr& state);
+
+  analysis::DistanceCalculator* distances_;
+  std::vector<SearchGoal> goals_;
+  Options options_;
+  std::vector<Heap> queues_;  // One per goal.
+  std::map<const vm::ExecutionState*, std::pair<vm::StatePtr, uint64_t>> live_;
+  std::mt19937_64 rng_;
+  uint64_t next_stamp_ = 1;
+};
+
+}  // namespace esd::core
+
+#endif  // ESD_SRC_CORE_PROXIMITY_SEARCHER_H_

@@ -1,0 +1,171 @@
+#include "src/core/synthesizer.h"
+
+#include "src/analysis/distance.h"
+#include "src/analysis/reaching_defs.h"
+#include "src/core/deadlock_strategy.h"
+#include "src/core/proximity_searcher.h"
+#include "src/core/race_strategy.h"
+#include "src/vm/engine.h"
+
+namespace esd::core {
+
+SynthesisResult Synthesizer::Synthesize(const report::CoreDump& dump) {
+  // 1. Goal extraction (§3.1).
+  Goal goal = ExtractGoal(*module_, dump);
+  return SynthesizeGoal(goal);
+}
+
+SynthesisResult Synthesizer::SynthesizeGoal(const Goal& goal) {
+  SynthesisResult result;
+  if (goal.threads.empty()) {
+    result.failure_reason = "no actionable thread goals";
+    return result;
+  }
+
+  // 2. Static phase (§3.2): distance tables, critical edges, intermediate
+  // goals.
+  analysis::DistanceCalculator distances(module_);
+  std::vector<ProximitySearcher::SearchGoal> search_goals;
+  for (const ThreadGoal& tg : goal.threads) {
+    search_goals.push_back(ProximitySearcher::SearchGoal{tg.target, tg.tid});
+  }
+  if (options_.use_intermediate_goals) {
+    for (const ThreadGoal& tg : goal.threads) {
+      auto sets = analysis::DeriveIntermediateGoals(*module_, distances, tg.target);
+      for (const analysis::IntermediateGoalSet& set : sets) {
+        // Each disjunctive set contributes one virtual queue per candidate
+        // store; reaching any of them is progress toward the critical edge.
+        for (const ir::InstRef& store : set.stores) {
+          search_goals.push_back(ProximitySearcher::SearchGoal{
+              store, ProximitySearcher::SearchGoal::kAnyThread});
+          ++result.intermediate_goals;
+        }
+      }
+    }
+  }
+
+  // 3. Search strategy (§3.3): proximity-guided selection over the virtual
+  // queues, or plain BFS when the heuristic is disabled (ablation).
+  std::unique_ptr<vm::Searcher> searcher;
+  if (options_.use_proximity) {
+    ProximitySearcher::Options popts;
+    popts.seed = options_.seed;
+    searcher = std::make_unique<ProximitySearcher>(&distances, search_goals, popts);
+  } else {
+    searcher = std::make_unique<vm::BfsSearcher>();
+  }
+
+  // 4. Schedule strategy by bug class (§4).
+  vm::RaceDetector race_detector;
+  std::unique_ptr<vm::SchedulePolicy> policy;
+  bool want_races = options_.enable_race_detection ||
+                    goal.kind == vm::BugInfo::Kind::kAssertFail;
+  if (goal.kind == vm::BugInfo::Kind::kDeadlock) {
+    policy = std::make_unique<DeadlockStrategy>(goal);
+  } else if (want_races) {
+    policy = std::make_unique<RaceStrategy>(goal, &race_detector);
+  }
+
+  // 5. Interpreter with critical-edge pruning: abandon branch edges from
+  // which the current thread's goal is unreachable.
+  solver::ConstraintSolver solver;
+  vm::Interpreter::Options iopts;
+  iopts.policy = policy.get();
+  iopts.race_detector = want_races ? &race_detector : nullptr;
+  if (options_.use_critical_edges) {
+    const Goal* goal_ptr = &goal;
+    analysis::DistanceCalculator* dc = &distances;
+    iopts.branch_filter = [goal_ptr, dc](const vm::ExecutionState& state,
+                                         ir::InstRef site, uint32_t target) {
+      std::vector<ir::InstRef> stack;
+      for (const vm::StackFrame& f : state.CurrentThread().frames) {
+        stack.push_back(ir::InstRef{f.func, f.block, f.inst});
+      }
+      const ThreadGoal* tg = goal_ptr->ForThread(state.current_tid);
+      if (tg != nullptr) {
+        return dc->ThreadCanReachGoal(stack, target, tg->target);
+      }
+      if (goal_ptr->HasWildcardThreads()) {
+        // Any thread may fill a wildcard role: the edge is useful if it can
+        // still reach any wildcard target (or the thread can exit, letting
+        // others fill the roles).
+        for (const ThreadGoal& wildcard : goal_ptr->threads) {
+          if (wildcard.tid == kAnyTid &&
+              dc->ThreadCanReachGoal(stack, target, wildcard.target)) {
+            return true;
+          }
+        }
+        // Still fine if this thread merely finishes while others deadlock.
+        return true;
+      }
+      // A thread outside the goal set: its own path matters only while some
+      // goal thread has not been created yet — it must still be able to
+      // reach the thread_create that spawns it (EntryTargets makes spawn
+      // sites count as entries into the spawned function).
+      for (const ThreadGoal& goal_thread : goal_ptr->threads) {
+        bool exists = false;
+        for (const vm::Thread& t : state.threads) {
+          if (t.id == goal_thread.tid) {
+            exists = true;
+            break;
+          }
+        }
+        if (!exists) {
+          return dc->ThreadCanReachGoal(stack, target, goal_thread.target);
+        }
+      }
+      return true;  // All goal threads already exist.
+    };
+  }
+  vm::Interpreter interpreter(module_, &solver, iopts);
+
+  auto main_fn = module_->FindFunction("main");
+  if (!main_fn.has_value()) {
+    result.failure_reason = "program has no main function";
+    return result;
+  }
+
+  vm::Engine::Options eopts;
+  eopts.time_cap_seconds = options_.time_cap_seconds;
+  eopts.max_instructions = options_.max_instructions;
+  eopts.max_states = options_.max_states;
+  vm::Engine engine(&interpreter, searcher.get(), eopts);
+  engine.set_unexpected_bug_callback(
+      [&result](const vm::ExecutionState&, const vm::BugInfo& bug) {
+        result.other_bugs.push_back(std::string(vm::BugKindName(bug.kind)) + ": " +
+                                    bug.message);
+      });
+  engine.Start(interpreter.MakeInitialState(*main_fn, interpreter.AllocStateId()));
+
+  // 6. Explore until the goal manifests.
+  vm::Engine::Result run = engine.Run(
+      [&goal](const vm::ExecutionState& state, const vm::BugInfo& bug) {
+        return GoalMatches(goal, state, bug);
+      });
+  result.seconds = run.seconds;
+  result.instructions = run.instructions;
+  result.states_created = run.states_created;
+  result.solver_queries = solver.stats().queries;
+
+  if (run.status != vm::Engine::Result::Status::kGoalFound) {
+    result.failure_reason =
+        run.status == vm::Engine::Result::Status::kLimitReached
+            ? "search budget exhausted before reaching the goal"
+            : "search space exhausted without manifesting the goal";
+    return result;
+  }
+
+  // 7. Solve the path constraints into concrete inputs (§5.1) and emit the
+  // execution file.
+  solver::Model model;
+  if (!solver.IsSatisfiable(run.goal_state->constraints, &model)) {
+    result.failure_reason = "goal state constraints unexpectedly unsatisfiable";
+    return result;
+  }
+  result.success = true;
+  result.bug = run.bug;
+  result.file = replay::BuildExecutionFile(*module_, *run.goal_state, run.bug, model);
+  return result;
+}
+
+}  // namespace esd::core

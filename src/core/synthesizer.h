@@ -1,0 +1,74 @@
+// ESD core: the execution synthesizer.
+//
+// The top of the pipeline (the esdsynth usage model of §8): given a program
+// and a coredump, extract the goal, run the static analyses, configure the
+// guided search and the bug-class schedule strategy, explore until a state
+// manifests the reported bug, then solve the path constraints into concrete
+// inputs and emit the execution file for playback.
+//
+// The options toggles exist for the ablation study (bench_ablation): each
+// disables one of the three §3.3 focusing techniques.
+#ifndef ESD_SRC_CORE_SYNTHESIZER_H_
+#define ESD_SRC_CORE_SYNTHESIZER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/goal.h"
+#include "src/replay/execution_file.h"
+#include "src/report/coredump.h"
+
+namespace esd::core {
+
+struct SynthesisOptions {
+  double time_cap_seconds = 180.0;
+  uint64_t max_instructions = 50'000'000;
+  size_t max_states = 200'000;
+  uint64_t seed = 1;
+  // §3.3 focusing techniques (ablation switches):
+  bool use_proximity = true;           // Proximity-guided state selection.
+  bool use_intermediate_goals = true;  // Static anchor points (§3.2).
+  bool use_critical_edges = true;      // Path abandonment / edge pruning.
+  // §4.2: run the lockset detector even for non-race bugs.
+  bool enable_race_detection = false;
+};
+
+struct SynthesisResult {
+  bool success = false;
+  replay::ExecutionFile file;
+  vm::BugInfo bug;
+  std::string failure_reason;
+  // Bugs encountered that did not match the goal ("ESD has discovered a
+  // different bug": recorded and search resumed).
+  std::vector<std::string> other_bugs;
+
+  double seconds = 0.0;
+  uint64_t instructions = 0;
+  uint64_t states_created = 0;
+  size_t intermediate_goals = 0;
+  uint64_t solver_queries = 0;
+};
+
+class Synthesizer {
+ public:
+  Synthesizer(const ir::Module* module, SynthesisOptions options)
+      : module_(module), options_(options) {}
+
+  // Synthesizes an execution manifesting the bug in `dump`.
+  SynthesisResult Synthesize(const report::CoreDump& dump);
+
+  // Synthesizes directly from a goal (no coredump): the entry point for
+  // validating static-analysis warnings, which arrive as goal sites without
+  // thread identities (§8).
+  SynthesisResult SynthesizeGoal(const Goal& goal);
+
+ private:
+  const ir::Module* module_;
+  SynthesisOptions options_;
+};
+
+}  // namespace esd::core
+
+#endif  // ESD_SRC_CORE_SYNTHESIZER_H_

@@ -1,0 +1,35 @@
+#include "src/core/warning_validation.h"
+
+namespace esd::core {
+
+Goal GoalFromWarning(const analysis::LockOrderWarning& warning) {
+  Goal goal;
+  goal.kind = vm::BugInfo::Kind::kDeadlock;
+  goal.description = "static lock-order warning";
+  ThreadGoal a;
+  a.tid = kAnyTid;
+  a.target = warning.ab.acquire_site;
+  ThreadGoal b;
+  b.tid = kAnyTid;
+  b.target = warning.ba.acquire_site;
+  goal.threads.push_back(std::move(a));
+  goal.threads.push_back(std::move(b));
+  return goal;
+}
+
+std::vector<ValidatedWarning> ValidateLockOrderWarnings(
+    const ir::Module& module, const SynthesisOptions& options) {
+  std::vector<ValidatedWarning> results;
+  for (const analysis::LockOrderWarning& warning :
+       analysis::FindLockOrderWarnings(module)) {
+    ValidatedWarning v;
+    v.warning = warning;
+    Synthesizer synthesizer(&module, options);
+    v.synthesis = synthesizer.SynthesizeGoal(GoalFromWarning(warning));
+    v.confirmed = v.synthesis.success;
+    results.push_back(std::move(v));
+  }
+  return results;
+}
+
+}  // namespace esd::core

@@ -1,0 +1,142 @@
+// ESD IR: operands, opcodes, instructions, and instruction addresses.
+#ifndef ESD_SRC_IR_INSTRUCTION_H_
+#define ESD_SRC_IR_INSTRUCTION_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/ir/type.h"
+
+namespace esd::ir {
+
+inline constexpr uint32_t kInvalidIndex = std::numeric_limits<uint32_t>::max();
+
+enum class Opcode : uint8_t {
+  // Binary arithmetic / bitwise. Operands: lhs, rhs. Result: same type.
+  kAdd,
+  kSub,
+  kMul,
+  kUDiv,
+  kSDiv,
+  kURem,
+  kSRem,
+  kAnd,
+  kOr,
+  kXor,
+  kShl,
+  kLShr,
+  kAShr,
+  // Comparison. Operands: lhs, rhs. Result: i1. Predicate in `pred`.
+  kICmp,
+  // Unary bitwise complement.
+  kNot,
+  // Width conversions. Operand: value. Result type in `type`.
+  kZExt,
+  kSExt,
+  kTrunc,
+  // Ternary select. Operands: cond (i1), if_true, if_false.
+  kSelect,
+  // Stack allocation of `imm` bytes. Result: ptr. Freed on function return.
+  kAlloca,
+  // Memory. kLoad: operand ptr, result `type`. kStore: operands value, ptr.
+  kLoad,
+  kStore,
+  // Pointer arithmetic: result = ptr + index * imm(scale). Operands: ptr, index.
+  kGep,
+  // Control flow. kBr: target in succ_true. kCondBr: operand cond (i1),
+  // then-edge succ_true, else-edge succ_false.
+  kBr,
+  kCondBr,
+  // Call. Direct: callee function index in `callee`, args in operands.
+  // Indirect: operands[0] is the function pointer, args follow.
+  kCall,
+  // Return. Optional operand: return value.
+  kRet,
+  // Reaching this instruction is a program error (used for infeasible paths).
+  kUnreachable,
+};
+
+enum class CmpPred : uint8_t {
+  kEq,
+  kNe,
+  kUlt,
+  kUle,
+  kUgt,
+  kUge,
+  kSlt,
+  kSle,
+  kSgt,
+  kSge,
+};
+
+std::string_view OpcodeName(Opcode op);
+std::string_view CmpPredName(CmpPred pred);
+
+// An instruction operand. Registers are function-local virtual registers
+// (arguments occupy registers [0, num_params)). Constants carry an immediate.
+// Function refs and global refs evaluate to pointers at runtime.
+struct Value {
+  enum class Kind : uint8_t { kNone, kReg, kConst, kFuncRef, kGlobalRef };
+
+  Kind kind = Kind::kNone;
+  Type type = Type::kVoid;
+  uint32_t index = kInvalidIndex;  // Register / function / global index.
+  uint64_t imm = 0;                // Constant payload (truncated to `type`).
+
+  static Value Reg(uint32_t index, Type type) {
+    return Value{Kind::kReg, type, index, 0};
+  }
+  static Value Const(Type type, uint64_t imm) {
+    return Value{Kind::kConst, type, kInvalidIndex, TruncateToType(type, imm)};
+  }
+  static Value FuncRef(uint32_t func_index) {
+    return Value{Kind::kFuncRef, Type::kPtr, func_index, 0};
+  }
+  static Value GlobalRef(uint32_t global_index) {
+    return Value{Kind::kGlobalRef, Type::kPtr, global_index, 0};
+  }
+  bool IsValid() const { return kind != Kind::kNone; }
+};
+
+struct Instruction {
+  Opcode op;
+  Type type = Type::kVoid;     // Result type (kVoid if no result).
+  int32_t result = -1;         // Destination register, -1 if none.
+  CmpPred pred = CmpPred::kEq;
+  uint64_t imm = 0;            // Alloca size / gep scale.
+  uint32_t callee = kInvalidIndex;  // Direct-call target function index.
+  uint32_t succ_true = kInvalidIndex;   // Branch targets (block indices).
+  uint32_t succ_false = kInvalidIndex;
+  std::vector<Value> operands;
+
+  bool IsTerminator() const {
+    return op == Opcode::kBr || op == Opcode::kCondBr || op == Opcode::kRet ||
+           op == Opcode::kUnreachable;
+  }
+};
+
+// A program location: function, basic block, and instruction offset within
+// the block. Used as the program counter, as goal identifiers, and in stack
+// traces inside coredumps.
+struct InstRef {
+  uint32_t func = kInvalidIndex;
+  uint32_t block = kInvalidIndex;
+  uint32_t inst = 0;
+
+  bool IsValid() const { return func != kInvalidIndex; }
+  friend bool operator==(const InstRef&, const InstRef&) = default;
+  friend auto operator<=>(const InstRef&, const InstRef&) = default;
+};
+
+struct InstRefHash {
+  size_t operator()(const InstRef& r) const {
+    return (size_t{r.func} << 40) ^ (size_t{r.block} << 16) ^ r.inst;
+  }
+};
+
+}  // namespace esd::ir
+
+#endif  // ESD_SRC_IR_INSTRUCTION_H_

@@ -1,0 +1,200 @@
+#include "src/ir/module.h"
+
+#include <sstream>
+
+namespace esd::ir {
+
+std::string_view TypeName(Type t) {
+  switch (t) {
+    case Type::kVoid:
+      return "void";
+    case Type::kI1:
+      return "i1";
+    case Type::kI8:
+      return "i8";
+    case Type::kI16:
+      return "i16";
+    case Type::kI32:
+      return "i32";
+    case Type::kI64:
+      return "i64";
+    case Type::kPtr:
+      return "ptr";
+  }
+  return "?";
+}
+
+bool ParseTypeName(std::string_view name, Type* out) {
+  if (name == "void") {
+    *out = Type::kVoid;
+  } else if (name == "i1") {
+    *out = Type::kI1;
+  } else if (name == "i8") {
+    *out = Type::kI8;
+  } else if (name == "i16") {
+    *out = Type::kI16;
+  } else if (name == "i32") {
+    *out = Type::kI32;
+  } else if (name == "i64") {
+    *out = Type::kI64;
+  } else if (name == "ptr") {
+    *out = Type::kPtr;
+  } else {
+    *out = Type::kVoid;
+    return false;
+  }
+  return true;
+}
+
+std::string_view OpcodeName(Opcode op) {
+  switch (op) {
+    case Opcode::kAdd:
+      return "add";
+    case Opcode::kSub:
+      return "sub";
+    case Opcode::kMul:
+      return "mul";
+    case Opcode::kUDiv:
+      return "udiv";
+    case Opcode::kSDiv:
+      return "sdiv";
+    case Opcode::kURem:
+      return "urem";
+    case Opcode::kSRem:
+      return "srem";
+    case Opcode::kAnd:
+      return "and";
+    case Opcode::kOr:
+      return "or";
+    case Opcode::kXor:
+      return "xor";
+    case Opcode::kShl:
+      return "shl";
+    case Opcode::kLShr:
+      return "lshr";
+    case Opcode::kAShr:
+      return "ashr";
+    case Opcode::kICmp:
+      return "icmp";
+    case Opcode::kNot:
+      return "not";
+    case Opcode::kZExt:
+      return "zext";
+    case Opcode::kSExt:
+      return "sext";
+    case Opcode::kTrunc:
+      return "trunc";
+    case Opcode::kSelect:
+      return "select";
+    case Opcode::kAlloca:
+      return "alloca";
+    case Opcode::kLoad:
+      return "load";
+    case Opcode::kStore:
+      return "store";
+    case Opcode::kGep:
+      return "gep";
+    case Opcode::kBr:
+      return "br";
+    case Opcode::kCondBr:
+      return "condbr";
+    case Opcode::kCall:
+      return "call";
+    case Opcode::kRet:
+      return "ret";
+    case Opcode::kUnreachable:
+      return "unreachable";
+  }
+  return "?";
+}
+
+std::string_view CmpPredName(CmpPred pred) {
+  switch (pred) {
+    case CmpPred::kEq:
+      return "eq";
+    case CmpPred::kNe:
+      return "ne";
+    case CmpPred::kUlt:
+      return "ult";
+    case CmpPred::kUle:
+      return "ule";
+    case CmpPred::kUgt:
+      return "ugt";
+    case CmpPred::kUge:
+      return "uge";
+    case CmpPred::kSlt:
+      return "slt";
+    case CmpPred::kSle:
+      return "sle";
+    case CmpPred::kSgt:
+      return "sgt";
+    case CmpPred::kSge:
+      return "sge";
+  }
+  return "?";
+}
+
+std::optional<uint32_t> Function::FindBlock(std::string_view label) const {
+  for (uint32_t i = 0; i < blocks.size(); ++i) {
+    if (blocks[i].label == label) {
+      return i;
+    }
+  }
+  return std::nullopt;
+}
+
+uint32_t Module::AddFunction(Function f) {
+  uint32_t index = static_cast<uint32_t>(functions_.size());
+  function_index_.emplace(f.name, index);
+  functions_.push_back(std::move(f));
+  return index;
+}
+
+uint32_t Module::AddGlobal(Global g) {
+  uint32_t index = static_cast<uint32_t>(globals_.size());
+  global_index_.emplace(g.name, index);
+  globals_.push_back(std::move(g));
+  return index;
+}
+
+std::optional<uint32_t> Module::FindFunction(std::string_view name) const {
+  auto it = function_index_.find(name);
+  if (it == function_index_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+std::optional<uint32_t> Module::FindGlobal(std::string_view name) const {
+  auto it = global_index_.find(name);
+  if (it == global_index_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+std::string Module::Describe(const InstRef& ref) const {
+  std::ostringstream os;
+  if (ref.func >= functions_.size()) {
+    os << "<invalid:" << ref.func << ">";
+    return os.str();
+  }
+  const Function& f = functions_[ref.func];
+  os << f.name;
+  if (ref.block < f.blocks.size()) {
+    os << ":" << f.blocks[ref.block].label << ":" << ref.inst;
+  }
+  return os.str();
+}
+
+size_t Module::TotalInstructions() const {
+  size_t n = 0;
+  for (const Function& f : functions_) {
+    for (const BasicBlock& b : f.blocks) {
+      n += b.insts.size();
+    }
+  }
+  return n;
+}
+
+}  // namespace esd::ir

@@ -1,0 +1,86 @@
+// ESD IR: basic blocks, functions, globals, and modules.
+#ifndef ESD_SRC_IR_MODULE_H_
+#define ESD_SRC_IR_MODULE_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/ir/instruction.h"
+#include "src/ir/type.h"
+
+namespace esd::ir {
+
+struct BasicBlock {
+  std::string label;
+  std::vector<Instruction> insts;
+};
+
+// A function. Parameters occupy registers [0, params.size()). `is_external`
+// marks declarations handled by the VM's externals registry (no body).
+struct Function {
+  std::string name;
+  Type ret_type = Type::kVoid;
+  std::vector<Type> params;
+  std::vector<BasicBlock> blocks;  // blocks[0] is the entry block.
+  uint32_t num_regs = 0;           // Total virtual registers used.
+  bool is_external = false;
+
+  const Instruction* InstAt(uint32_t block, uint32_t inst) const {
+    if (block >= blocks.size() || inst >= blocks[block].insts.size()) {
+      return nullptr;
+    }
+    return &blocks[block].insts[inst];
+  }
+  std::optional<uint32_t> FindBlock(std::string_view label) const;
+};
+
+// A global memory object. `init` provides the initial bytes; the object is
+// zero-filled beyond the initializer up to `size`.
+struct Global {
+  std::string name;
+  uint32_t size = 0;
+  std::vector<uint8_t> init;
+};
+
+class Module {
+ public:
+  uint32_t AddFunction(Function f);
+  uint32_t AddGlobal(Global g);
+
+  const Function& Func(uint32_t index) const { return functions_[index]; }
+  Function& Func(uint32_t index) { return functions_[index]; }
+  const Global& GlobalAt(uint32_t index) const { return globals_[index]; }
+
+  std::optional<uint32_t> FindFunction(std::string_view name) const;
+  std::optional<uint32_t> FindGlobal(std::string_view name) const;
+
+  size_t NumFunctions() const { return functions_.size(); }
+  size_t NumGlobals() const { return globals_.size(); }
+
+  const Instruction* InstAt(const InstRef& ref) const {
+    if (ref.func >= functions_.size()) {
+      return nullptr;
+    }
+    return functions_[ref.func].InstAt(ref.block, ref.inst);
+  }
+
+  // Human-readable "func:block:inst" locator for diagnostics and coredumps.
+  std::string Describe(const InstRef& ref) const;
+
+  // Total number of non-external instructions (used for KLOC estimates).
+  size_t TotalInstructions() const;
+
+ private:
+  std::vector<Function> functions_;
+  std::vector<Global> globals_;
+  std::map<std::string, uint32_t, std::less<>> function_index_;
+  std::map<std::string, uint32_t, std::less<>> global_index_;
+};
+
+}  // namespace esd::ir
+
+#endif  // ESD_SRC_IR_MODULE_H_

@@ -1,0 +1,732 @@
+#include "src/ir/parser.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+#include "src/ir/builder.h"
+
+namespace esd::ir {
+namespace {
+
+struct Line {
+  int number;
+  std::string text;
+};
+
+// Splits `text` into trimmed, comment-stripped, non-empty lines.
+std::vector<Line> SplitLines(std::string_view text) {
+  std::vector<Line> lines;
+  int number = 0;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    size_t end = text.find('\n', pos);
+    if (end == std::string_view::npos) {
+      end = text.size();
+    }
+    ++number;
+    std::string_view line = text.substr(pos, end - pos);
+    if (size_t comment = line.find(';'); comment != std::string_view::npos) {
+      line = line.substr(0, comment);
+    }
+    while (!line.empty() && std::isspace(static_cast<unsigned char>(line.front()))) {
+      line.remove_prefix(1);
+    }
+    while (!line.empty() && std::isspace(static_cast<unsigned char>(line.back()))) {
+      line.remove_suffix(1);
+    }
+    if (!line.empty()) {
+      lines.push_back(Line{number, std::string(line)});
+    }
+    pos = end + 1;
+    if (end == text.size()) {
+      break;
+    }
+  }
+  return lines;
+}
+
+// A cursor over one line's characters with small parsing helpers.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view s) : s_(s) {}
+
+  void SkipSpace() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool AtEnd() {
+    SkipSpace();
+    return pos_ >= s_.size();
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(std::string_view word) {
+    SkipSpace();
+    if (s_.substr(pos_, word.size()) == word) {
+      size_t after = pos_ + word.size();
+      if (after == s_.size() || !IsIdentChar(s_[after])) {
+        pos_ = after;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // Reads an identifier ([A-Za-z0-9_.]+).
+  std::optional<std::string> Ident() {
+    SkipSpace();
+    size_t start = pos_;
+    while (pos_ < s_.size() && IsIdentChar(s_[pos_])) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return std::nullopt;
+    }
+    return std::string(s_.substr(start, pos_ - start));
+  }
+
+  std::optional<int64_t> Int() {
+    SkipSpace();
+    size_t start = pos_;
+    if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+')) {
+      ++pos_;
+    }
+    size_t digits = pos_;
+    while (pos_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ == digits) {
+      pos_ = start;
+      return std::nullopt;
+    }
+    return std::strtoll(s_.data() + start, nullptr, 10);
+  }
+
+  std::optional<std::string> QuotedString() {
+    SkipSpace();
+    if (pos_ >= s_.size() || s_[pos_] != '"') {
+      return std::nullopt;
+    }
+    ++pos_;
+    std::string out;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      char c = s_[pos_++];
+      if (c == '\\' && pos_ < s_.size()) {
+        char e = s_[pos_++];
+        switch (e) {
+          case 'n':
+            out.push_back('\n');
+            break;
+          case 't':
+            out.push_back('\t');
+            break;
+          case '0':
+            out.push_back('\0');
+            break;
+          default:
+            out.push_back(e);
+            break;
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    if (pos_ >= s_.size()) {
+      return std::nullopt;
+    }
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  std::string_view Rest() const { return s_.substr(pos_); }
+
+ private:
+  static bool IsIdentChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '.';
+  }
+
+  std::string_view s_;
+  size_t pos_ = 0;
+};
+
+class Parser {
+ public:
+  Parser(std::string_view text, Module* module)
+      : lines_(SplitLines(text)), module_(module), builder_(module) {}
+
+  ParseResult Run() {
+    while (index_ < lines_.size()) {
+      const Line& line = lines_[index_];
+      Cursor c(line.text);
+      if (c.ConsumeWord("global")) {
+        if (!ParseGlobal(c)) {
+          return Fail(line.number);
+        }
+        ++index_;
+      } else if (c.ConsumeWord("extern")) {
+        if (!ParseExtern(c)) {
+          return Fail(line.number);
+        }
+        ++index_;
+      } else if (c.ConsumeWord("func")) {
+        if (!ParseFunction(c)) {
+          return Fail(lines_[index_].number);
+        }
+      } else {
+        error_ = "expected 'global', 'extern', or 'func'";
+        return Fail(line.number);
+      }
+    }
+    return ParseResult{true, ""};
+  }
+
+ private:
+  ParseResult Fail(int line_number) {
+    std::ostringstream os;
+    os << "line " << line_number << ": " << error_;
+    return ParseResult{false, os.str()};
+  }
+
+  bool ParseType(Cursor& c, Type* out) {
+    auto word = c.Ident();
+    if (!word || !ParseTypeName(*word, out)) {
+      error_ = "expected a type";
+      return false;
+    }
+    return true;
+  }
+
+  bool ParseGlobal(Cursor& c) {
+    if (!c.Consume('$')) {
+      error_ = "expected '$name' after 'global'";
+      return false;
+    }
+    auto name = c.Ident();
+    if (!name || !c.Consume('=')) {
+      error_ = "malformed global";
+      return false;
+    }
+    if (c.ConsumeWord("zero")) {
+      auto size = c.Int();
+      if (!size || *size <= 0) {
+        error_ = "bad global size";
+        return false;
+      }
+      builder_.AddGlobal(*name, static_cast<uint32_t>(*size));
+      return true;
+    }
+    if (c.ConsumeWord("str")) {
+      auto text = c.QuotedString();
+      if (!text) {
+        error_ = "bad string literal";
+        return false;
+      }
+      builder_.AddStringGlobal(*name, *text);
+      return true;
+    }
+    if (c.ConsumeWord("bytes")) {
+      auto size = c.Int();
+      if (!size || *size <= 0 || !c.Consume('[')) {
+        error_ = "bad bytes global";
+        return false;
+      }
+      std::vector<uint8_t> init;
+      while (!c.Consume(']')) {
+        auto b = c.Int();
+        if (!b || *b < 0 || *b > 255) {
+          error_ = "bad byte value";
+          return false;
+        }
+        init.push_back(static_cast<uint8_t>(*b));
+      }
+      builder_.AddGlobal(*name, static_cast<uint32_t>(*size), std::move(init));
+      return true;
+    }
+    error_ = "expected 'zero', 'str', or 'bytes'";
+    return false;
+  }
+
+  bool ParseExtern(Cursor& c) {
+    if (!c.Consume('@')) {
+      error_ = "expected '@name' after 'extern'";
+      return false;
+    }
+    auto name = c.Ident();
+    if (!name || !c.Consume('(')) {
+      error_ = "malformed extern";
+      return false;
+    }
+    std::vector<Type> params;
+    if (!c.Consume(')')) {
+      do {
+        Type t;
+        if (!ParseType(c, &t)) {
+          return false;
+        }
+        params.push_back(t);
+      } while (c.Consume(','));
+      if (!c.Consume(')')) {
+        error_ = "expected ')'";
+        return false;
+      }
+    }
+    Type ret = Type::kVoid;
+    if (c.Consume(':')) {
+      if (!ParseType(c, &ret)) {
+        return false;
+      }
+    }
+    builder_.DeclareExternal(*name, ret, std::move(params));
+    return true;
+  }
+
+  bool ParseFunction(Cursor& header) {
+    if (!header.Consume('@')) {
+      error_ = "expected '@name' after 'func'";
+      return false;
+    }
+    auto name = header.Ident();
+    if (!name || !header.Consume('(')) {
+      error_ = "malformed func header";
+      return false;
+    }
+    std::vector<Type> params;
+    std::vector<std::string> param_names;
+    if (!header.Consume(')')) {
+      do {
+        if (!header.Consume('%')) {
+          error_ = "expected '%param'";
+          return false;
+        }
+        auto pname = header.Ident();
+        if (!pname || !header.Consume(':')) {
+          error_ = "malformed parameter";
+          return false;
+        }
+        Type t;
+        if (!ParseType(header, &t)) {
+          return false;
+        }
+        params.push_back(t);
+        param_names.push_back(*pname);
+      } while (header.Consume(','));
+      if (!header.Consume(')')) {
+        error_ = "expected ')'";
+        return false;
+      }
+    }
+    Type ret = Type::kVoid;
+    if (header.Consume(':')) {
+      if (!ParseType(header, &ret)) {
+        return false;
+      }
+    }
+    if (!header.Consume('{')) {
+      error_ = "expected '{'";
+      return false;
+    }
+
+    // Find the body extent (up to the matching lone '}').
+    size_t body_start = index_ + 1;
+    size_t body_end = body_start;
+    while (body_end < lines_.size() && lines_[body_end].text != "}") {
+      ++body_end;
+    }
+    if (body_end >= lines_.size()) {
+      error_ = "missing '}'";
+      return false;
+    }
+
+    FunctionBuilder fb = builder_.BeginFunction(*name, ret, params);
+    regs_.clear();
+    for (size_t i = 0; i < param_names.size(); ++i) {
+      regs_[param_names[i]] = fb.Param(static_cast<uint32_t>(i));
+    }
+
+    // First pass: create blocks in order so forward branches resolve. If the
+    // body begins with a label, that label names the entry block.
+    bool first_label = true;
+    bool inst_before_label = false;
+    for (size_t i = body_start; i < body_end; ++i) {
+      const std::string& t = lines_[i].text;
+      if (t.back() == ':') {
+        std::string label = t.substr(0, t.size() - 1);
+        if (first_label && !inst_before_label) {
+          fb.RenameEntry(label);
+        } else {
+          fb.Block(label);
+        }
+        first_label = false;
+      } else if (first_label) {
+        inst_before_label = true;
+      }
+    }
+    // Second pass: parse instructions into their blocks.
+    for (size_t i = body_start; i < body_end; ++i) {
+      const Line& line = lines_[i];
+      Cursor c(line.text);
+      if (line.text.back() == ':') {
+        std::string label = line.text.substr(0, line.text.size() - 1);
+        fb.SetBlock(fb.Block(label));
+        continue;
+      }
+      if (!ParseInstruction(c, fb)) {
+        index_ = i;
+        return false;
+      }
+    }
+    fb.Finish();
+    index_ = body_end + 1;
+    return true;
+  }
+
+  // Parses one operand. Returns nullopt and sets error_ on failure.
+  std::optional<Value> ParseOperand(Cursor& c, FunctionBuilder& fb) {
+    if (c.Consume('%')) {
+      auto name = c.Ident();
+      if (!name) {
+        error_ = "expected register name";
+        return std::nullopt;
+      }
+      auto it = regs_.find(*name);
+      if (it == regs_.end()) {
+        error_ = "use of undefined register %" + *name;
+        return std::nullopt;
+      }
+      return it->second;
+    }
+    if (c.Consume('@')) {
+      auto name = c.Ident();
+      if (!name) {
+        error_ = "expected function name";
+        return std::nullopt;
+      }
+      return fb.FuncAddr(*name);
+    }
+    if (c.Consume('$')) {
+      auto name = c.Ident();
+      if (!name) {
+        error_ = "expected global name";
+        return std::nullopt;
+      }
+      if (!module_->FindGlobal(*name)) {
+        error_ = "use of undeclared global $" + *name;
+        return std::nullopt;
+      }
+      return fb.GlobalAddr(*name);
+    }
+    if (c.ConsumeWord("null")) {
+      return Value::Const(Type::kPtr, 0);
+    }
+    Type t;
+    Cursor save = c;
+    auto word = c.Ident();
+    if (word && ParseTypeName(*word, &t) && t != Type::kVoid) {
+      auto v = c.Int();
+      if (!v) {
+        error_ = "expected integer literal after type";
+        return std::nullopt;
+      }
+      return Value::Const(t, static_cast<uint64_t>(*v));
+    }
+    c = save;
+    error_ = "expected an operand";
+    return std::nullopt;
+  }
+
+  bool ParseOperands(Cursor& c, FunctionBuilder& fb, std::vector<Value>* out,
+                     char terminator) {
+    if (c.Consume(terminator)) {
+      return true;
+    }
+    do {
+      auto v = ParseOperand(c, fb);
+      if (!v) {
+        return false;
+      }
+      out->push_back(*v);
+    } while (c.Consume(','));
+    if (!c.Consume(terminator)) {
+      error_ = std::string("expected '") + terminator + "'";
+      return false;
+    }
+    return true;
+  }
+
+  bool DefineReg(const std::string& name, Value v) {
+    regs_[name] = v;
+    return true;
+  }
+
+  bool ParseInstruction(Cursor& c, FunctionBuilder& fb) {
+    std::string result_name;
+    bool has_result = false;
+    Cursor save = c;
+    if (c.Consume('%')) {
+      auto name = c.Ident();
+      if (name && c.Consume('=')) {
+        result_name = *name;
+        has_result = true;
+      } else {
+        c = save;
+      }
+    }
+
+    auto op_word = c.Ident();
+    if (!op_word) {
+      error_ = "expected an opcode";
+      return false;
+    }
+    const std::string& op = *op_word;
+
+    static const std::map<std::string, Opcode> kBinary = {
+        {"add", Opcode::kAdd},   {"sub", Opcode::kSub},   {"mul", Opcode::kMul},
+        {"udiv", Opcode::kUDiv}, {"sdiv", Opcode::kSDiv}, {"urem", Opcode::kURem},
+        {"srem", Opcode::kSRem}, {"and", Opcode::kAnd},   {"or", Opcode::kOr},
+        {"xor", Opcode::kXor},   {"shl", Opcode::kShl},   {"lshr", Opcode::kLShr},
+        {"ashr", Opcode::kAShr},
+    };
+    if (auto it = kBinary.find(op); it != kBinary.end()) {
+      auto a = ParseOperand(c, fb);
+      if (!a || !c.Consume(',')) {
+        return false;
+      }
+      auto b = ParseOperand(c, fb);
+      if (!b) {
+        return false;
+      }
+      if (a->type != b->type) {
+        error_ = "binary operand type mismatch";
+        return false;
+      }
+      return DefineReg(result_name, fb.Binary(it->second, *a, *b));
+    }
+    if (op == "icmp") {
+      static const std::map<std::string, CmpPred> kPreds = {
+          {"eq", CmpPred::kEq},   {"ne", CmpPred::kNe},   {"ult", CmpPred::kUlt},
+          {"ule", CmpPred::kUle}, {"ugt", CmpPred::kUgt}, {"uge", CmpPred::kUge},
+          {"slt", CmpPred::kSlt}, {"sle", CmpPred::kSle}, {"sgt", CmpPred::kSgt},
+          {"sge", CmpPred::kSge},
+      };
+      auto pred_word = c.Ident();
+      if (!pred_word || kPreds.find(*pred_word) == kPreds.end()) {
+        error_ = "bad icmp predicate";
+        return false;
+      }
+      auto a = ParseOperand(c, fb);
+      if (!a || !c.Consume(',')) {
+        return false;
+      }
+      auto b = ParseOperand(c, fb);
+      if (!b) {
+        return false;
+      }
+      return DefineReg(result_name, fb.ICmp(kPreds.at(*pred_word), *a, *b));
+    }
+    if (op == "not") {
+      auto a = ParseOperand(c, fb);
+      if (!a) {
+        return false;
+      }
+      return DefineReg(result_name, fb.Not(*a));
+    }
+    if (op == "zext" || op == "sext" || op == "trunc") {
+      Type to;
+      if (!ParseType(c, &to) || !c.Consume(',')) {
+        return false;
+      }
+      auto a = ParseOperand(c, fb);
+      if (!a) {
+        return false;
+      }
+      Value v = op == "zext"   ? fb.ZExt(*a, to)
+                : op == "sext" ? fb.SExt(*a, to)
+                               : fb.Trunc(*a, to);
+      return DefineReg(result_name, v);
+    }
+    if (op == "select") {
+      auto cond = ParseOperand(c, fb);
+      if (!cond || !c.Consume(',')) {
+        return false;
+      }
+      auto a = ParseOperand(c, fb);
+      if (!a || !c.Consume(',')) {
+        return false;
+      }
+      auto b = ParseOperand(c, fb);
+      if (!b) {
+        return false;
+      }
+      return DefineReg(result_name, fb.Select(*cond, *a, *b));
+    }
+    if (op == "alloca") {
+      auto size = c.Int();
+      if (!size || *size <= 0) {
+        error_ = "bad alloca size";
+        return false;
+      }
+      return DefineReg(result_name, fb.Alloca(static_cast<uint32_t>(*size)));
+    }
+    if (op == "load") {
+      Type t;
+      if (!ParseType(c, &t) || !c.Consume(',')) {
+        return false;
+      }
+      auto p = ParseOperand(c, fb);
+      if (!p) {
+        return false;
+      }
+      return DefineReg(result_name, fb.Load(t, *p));
+    }
+    if (op == "store") {
+      auto v = ParseOperand(c, fb);
+      if (!v || !c.Consume(',')) {
+        return false;
+      }
+      auto p = ParseOperand(c, fb);
+      if (!p) {
+        return false;
+      }
+      fb.Store(*v, *p);
+      return true;
+    }
+    if (op == "gep") {
+      auto p = ParseOperand(c, fb);
+      if (!p || !c.Consume(',')) {
+        return false;
+      }
+      auto i = ParseOperand(c, fb);
+      if (!i || !c.Consume(',')) {
+        return false;
+      }
+      auto scale = c.Int();
+      if (!scale || *scale <= 0) {
+        error_ = "bad gep scale";
+        return false;
+      }
+      return DefineReg(result_name, fb.Gep(*p, *i, static_cast<uint32_t>(*scale)));
+    }
+    if (op == "br") {
+      auto label = c.Ident();
+      if (!label) {
+        error_ = "expected a label";
+        return false;
+      }
+      fb.Br(fb.Block(*label));
+      return true;
+    }
+    if (op == "condbr") {
+      auto cond = ParseOperand(c, fb);
+      if (!cond || !c.Consume(',')) {
+        return false;
+      }
+      auto l1 = c.Ident();
+      if (!l1 || !c.Consume(',')) {
+        error_ = "expected labels";
+        return false;
+      }
+      auto l2 = c.Ident();
+      if (!l2) {
+        error_ = "expected a label";
+        return false;
+      }
+      fb.CondBr(*cond, fb.Block(*l1), fb.Block(*l2));
+      return true;
+    }
+    if (op == "call") {
+      if (!c.Consume('@')) {
+        error_ = "expected '@callee'";
+        return false;
+      }
+      auto callee = c.Ident();
+      if (!callee || !c.Consume('(')) {
+        error_ = "malformed call";
+        return false;
+      }
+      std::vector<Value> args;
+      if (!ParseOperands(c, fb, &args, ')')) {
+        return false;
+      }
+      Value v = fb.Call(*callee, std::move(args));
+      if (has_result) {
+        if (!v.IsValid()) {
+          error_ = "void call cannot define a register";
+          return false;
+        }
+        return DefineReg(result_name, v);
+      }
+      return true;
+    }
+    if (op == "calli") {
+      Type ret;
+      if (!ParseType(c, &ret)) {
+        return false;
+      }
+      auto fp = ParseOperand(c, fb);
+      if (!fp || !c.Consume('(')) {
+        error_ = "malformed indirect call";
+        return false;
+      }
+      std::vector<Value> args;
+      if (!ParseOperands(c, fb, &args, ')')) {
+        return false;
+      }
+      Value v = fb.CallIndirect(ret, *fp, std::move(args));
+      if (has_result) {
+        if (!v.IsValid()) {
+          error_ = "void call cannot define a register";
+          return false;
+        }
+        return DefineReg(result_name, v);
+      }
+      return true;
+    }
+    if (op == "ret") {
+      if (c.AtEnd()) {
+        fb.Ret();
+      } else {
+        auto v = ParseOperand(c, fb);
+        if (!v) {
+          return false;
+        }
+        fb.Ret(*v);
+      }
+      return true;
+    }
+    if (op == "unreachable") {
+      fb.Unreachable();
+      return true;
+    }
+    error_ = "unknown opcode '" + op + "'";
+    return false;
+  }
+
+  std::vector<Line> lines_;
+  size_t index_ = 0;
+  Module* module_;
+  ModuleBuilder builder_;
+  std::map<std::string, Value> regs_;
+  std::string error_;
+};
+
+}  // namespace
+
+ParseResult ParseModule(std::string_view text, Module* module) {
+  return Parser(text, module).Run();
+}
+
+}  // namespace esd::ir

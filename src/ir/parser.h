@@ -1,0 +1,40 @@
+// ESD IR: textual assembly parser.
+//
+// Grammar (line oriented; ';' starts a comment):
+//
+//   global $name = zero <size>
+//   global $name = str "text"            // NUL-terminated
+//   global $name = bytes <size> [b0 b1 ...]
+//   extern @name(i32, ptr) : i32
+//   func @name(%a: i32, %p: ptr) : i32 {
+//   label:
+//     %x = add %a, i32 1
+//     %c = icmp eq %x, i32 5
+//     condbr %c, then, else
+//     ...
+//   }
+//
+// Operands: %reg, typed literals ("i32 42", negative allowed), "null"
+// (ptr 0), @function (function address), $global (global address).
+#ifndef ESD_SRC_IR_PARSER_H_
+#define ESD_SRC_IR_PARSER_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/ir/module.h"
+
+namespace esd::ir {
+
+struct ParseResult {
+  bool ok = false;
+  std::string error;  // "line N: message" when !ok.
+};
+
+// Parses `text` into `module` (which should be empty). On failure the module
+// contents are unspecified.
+ParseResult ParseModule(std::string_view text, Module* module);
+
+}  // namespace esd::ir
+
+#endif  // ESD_SRC_IR_PARSER_H_

@@ -1,0 +1,174 @@
+#include "src/ir/printer.h"
+
+#include <sstream>
+
+namespace esd::ir {
+namespace {
+
+void PrintValue(std::ostream& os, const Module& module, const Value& v) {
+  switch (v.kind) {
+    case Value::Kind::kNone:
+      os << "<none>";
+      break;
+    case Value::Kind::kReg:
+      os << "%r" << v.index;
+      break;
+    case Value::Kind::kConst:
+      if (v.type == Type::kPtr && v.imm == 0) {
+        os << "null";
+      } else {
+        os << TypeName(v.type) << " " << v.imm;
+      }
+      break;
+    case Value::Kind::kFuncRef:
+      os << "@" << module.Func(v.index).name;
+      break;
+    case Value::Kind::kGlobalRef:
+      os << "$" << module.GlobalAt(v.index).name;
+      break;
+  }
+}
+
+void PrintOperandList(std::ostream& os, const Module& module, const Instruction& inst,
+                      size_t first) {
+  for (size_t i = first; i < inst.operands.size(); ++i) {
+    if (i != first) {
+      os << ", ";
+    }
+    PrintValue(os, module, inst.operands[i]);
+  }
+}
+
+}  // namespace
+
+std::string PrintInstruction(const Module& module, const Function& fn,
+                             const Instruction& inst) {
+  std::ostringstream os;
+  if (inst.result >= 0) {
+    os << "%r" << inst.result << " = ";
+  }
+  switch (inst.op) {
+    case Opcode::kICmp:
+      os << "icmp " << CmpPredName(inst.pred) << " ";
+      PrintOperandList(os, module, inst, 0);
+      break;
+    case Opcode::kZExt:
+    case Opcode::kSExt:
+    case Opcode::kTrunc:
+      os << OpcodeName(inst.op) << " " << TypeName(inst.type) << ", ";
+      PrintOperandList(os, module, inst, 0);
+      break;
+    case Opcode::kAlloca:
+      os << "alloca " << inst.imm;
+      break;
+    case Opcode::kLoad:
+      os << "load " << TypeName(inst.type) << ", ";
+      PrintOperandList(os, module, inst, 0);
+      break;
+    case Opcode::kGep:
+      os << "gep ";
+      PrintOperandList(os, module, inst, 0);
+      os << ", " << inst.imm;
+      break;
+    case Opcode::kBr:
+      os << "br " << fn.blocks[inst.succ_true].label;
+      break;
+    case Opcode::kCondBr:
+      os << "condbr ";
+      PrintOperandList(os, module, inst, 0);
+      os << ", " << fn.blocks[inst.succ_true].label << ", "
+         << fn.blocks[inst.succ_false].label;
+      break;
+    case Opcode::kCall:
+      if (inst.callee != kInvalidIndex) {
+        os << "call @" << module.Func(inst.callee).name << "(";
+        PrintOperandList(os, module, inst, 0);
+        os << ")";
+      } else {
+        os << "calli " << TypeName(inst.type) << " ";
+        PrintValue(os, module, inst.operands[0]);
+        os << "(";
+        PrintOperandList(os, module, inst, 1);
+        os << ")";
+      }
+      break;
+    default:
+      os << OpcodeName(inst.op);
+      if (!inst.operands.empty()) {
+        os << " ";
+        PrintOperandList(os, module, inst, 0);
+      }
+      break;
+  }
+  return os.str();
+}
+
+std::string PrintFunction(const Module& module, uint32_t func_index) {
+  const Function& fn = module.Func(func_index);
+  std::ostringstream os;
+  if (fn.is_external) {
+    os << "extern @" << fn.name << "(";
+    for (size_t i = 0; i < fn.params.size(); ++i) {
+      if (i) {
+        os << ", ";
+      }
+      os << TypeName(fn.params[i]);
+    }
+    os << ") : " << TypeName(fn.ret_type) << "\n";
+    return os.str();
+  }
+  os << "func @" << fn.name << "(";
+  for (size_t i = 0; i < fn.params.size(); ++i) {
+    if (i) {
+      os << ", ";
+    }
+    os << "%r" << i << ": " << TypeName(fn.params[i]);
+  }
+  os << ") : " << TypeName(fn.ret_type) << " {\n";
+  for (const BasicBlock& bb : fn.blocks) {
+    os << bb.label << ":\n";
+    for (const Instruction& inst : bb.insts) {
+      os << "  " << PrintInstruction(module, fn, inst) << "\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string PrintModule(const Module& module) {
+  std::ostringstream os;
+  for (uint32_t g = 0; g < module.NumGlobals(); ++g) {
+    const Global& gl = module.GlobalAt(g);
+    bool printable = !gl.init.empty();
+    for (size_t i = 0; printable && i + 1 < gl.init.size(); ++i) {
+      if (gl.init[i] < 0x20 || gl.init[i] > 0x7e || gl.init[i] == '"' ||
+          gl.init[i] == '\\') {
+        printable = false;
+      }
+    }
+    if (printable && !gl.init.empty() && gl.init.back() == 0 &&
+        gl.init.size() == gl.size) {
+      os << "global $" << gl.name << " = str \"";
+      os.write(reinterpret_cast<const char*>(gl.init.data()),
+               static_cast<std::streamsize>(gl.init.size() - 1));
+      os << "\"\n";
+    } else if (gl.init.empty()) {
+      os << "global $" << gl.name << " = zero " << gl.size << "\n";
+    } else {
+      os << "global $" << gl.name << " = bytes " << gl.size << " [";
+      for (size_t i = 0; i < gl.init.size(); ++i) {
+        if (i) {
+          os << " ";
+        }
+        os << static_cast<unsigned>(gl.init[i]);
+      }
+      os << "]\n";
+    }
+  }
+  for (uint32_t f = 0; f < module.NumFunctions(); ++f) {
+    os << PrintFunction(module, f);
+  }
+  return os.str();
+}
+
+}  // namespace esd::ir

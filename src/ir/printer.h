@@ -1,0 +1,18 @@
+// ESD IR: textual printing. Output round-trips through ir::ParseModule.
+#ifndef ESD_SRC_IR_PRINTER_H_
+#define ESD_SRC_IR_PRINTER_H_
+
+#include <string>
+
+#include "src/ir/module.h"
+
+namespace esd::ir {
+
+std::string PrintModule(const Module& module);
+std::string PrintFunction(const Module& module, uint32_t func_index);
+std::string PrintInstruction(const Module& module, const Function& fn,
+                             const Instruction& inst);
+
+}  // namespace esd::ir
+
+#endif  // ESD_SRC_IR_PRINTER_H_

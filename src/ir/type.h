@@ -1,0 +1,67 @@
+// ESD intermediate representation: scalar types.
+//
+// The IR is deliberately LLVM-like (see DESIGN.md): a small family of integer
+// types plus an opaque pointer type. Pointers are 64 bits wide at runtime and
+// encode (object id, offset) pairs; see vm/memory.h.
+#ifndef ESD_SRC_IR_TYPE_H_
+#define ESD_SRC_IR_TYPE_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace esd::ir {
+
+enum class Type : uint8_t {
+  kVoid,
+  kI1,
+  kI8,
+  kI16,
+  kI32,
+  kI64,
+  kPtr,
+};
+
+// Returns the width of `t` in bits. kVoid has width 0; kPtr is 64.
+constexpr unsigned BitWidth(Type t) {
+  switch (t) {
+    case Type::kVoid:
+      return 0;
+    case Type::kI1:
+      return 1;
+    case Type::kI8:
+      return 8;
+    case Type::kI16:
+      return 16;
+    case Type::kI32:
+      return 32;
+    case Type::kI64:
+      return 64;
+    case Type::kPtr:
+      return 64;
+  }
+  return 0;
+}
+
+constexpr bool IsInteger(Type t) {
+  return t == Type::kI1 || t == Type::kI8 || t == Type::kI16 || t == Type::kI32 ||
+         t == Type::kI64;
+}
+
+// Name as spelled in the textual assembly format ("i32", "ptr", ...).
+std::string_view TypeName(Type t);
+
+// Parses a type name; returns kVoid for unrecognized names alongside false.
+bool ParseTypeName(std::string_view name, Type* out);
+
+// Truncates `value` to the width of `t` (no-op for i64/ptr).
+constexpr uint64_t TruncateToType(Type t, uint64_t value) {
+  unsigned w = BitWidth(t);
+  if (w == 0 || w >= 64) {
+    return value;
+  }
+  return value & ((uint64_t{1} << w) - 1);
+}
+
+}  // namespace esd::ir
+
+#endif  // ESD_SRC_IR_TYPE_H_

@@ -1,0 +1,298 @@
+#include "src/ir/verifier.h"
+
+#include <sstream>
+
+namespace esd::ir {
+namespace {
+
+class FunctionVerifier {
+ public:
+  FunctionVerifier(const Module& module, uint32_t func_index,
+                   std::vector<std::string>* errors)
+      : module_(module), fn_(module.Func(func_index)), errors_(errors) {}
+
+  void Run() {
+    if (fn_.is_external) {
+      if (!fn_.blocks.empty()) {
+        Error("external function has a body");
+      }
+      return;
+    }
+    if (fn_.blocks.empty()) {
+      Error("defined function has no blocks");
+      return;
+    }
+    for (uint32_t b = 0; b < fn_.blocks.size(); ++b) {
+      VerifyBlock(b);
+    }
+  }
+
+ private:
+  void Error(const std::string& message) {
+    std::ostringstream os;
+    os << fn_.name << ": " << message;
+    errors_->push_back(os.str());
+  }
+
+  void ErrorAt(uint32_t block, uint32_t inst, const std::string& message) {
+    std::ostringstream os;
+    os << fn_.name << ":" << fn_.blocks[block].label << ":" << inst << ": " << message;
+    errors_->push_back(os.str());
+  }
+
+  void VerifyBlock(uint32_t b) {
+    const BasicBlock& bb = fn_.blocks[b];
+    if (bb.insts.empty()) {
+      Error("block '" + bb.label + "' is empty");
+      return;
+    }
+    for (uint32_t i = 0; i < bb.insts.size(); ++i) {
+      const Instruction& inst = bb.insts[i];
+      bool last = i + 1 == bb.insts.size();
+      if (inst.IsTerminator() != last) {
+        ErrorAt(b, i, last ? "block does not end with a terminator"
+                           : "terminator in the middle of a block");
+      }
+      VerifyInst(b, i, inst);
+    }
+  }
+
+  bool CheckOperandCount(uint32_t b, uint32_t i, const Instruction& inst, size_t want) {
+    if (inst.operands.size() != want) {
+      std::ostringstream os;
+      os << OpcodeName(inst.op) << " expects " << want << " operands, has "
+         << inst.operands.size();
+      ErrorAt(b, i, os.str());
+      return false;
+    }
+    return true;
+  }
+
+  void CheckValue(uint32_t b, uint32_t i, const Value& v) {
+    switch (v.kind) {
+      case Value::Kind::kNone:
+        ErrorAt(b, i, "operand is missing");
+        break;
+      case Value::Kind::kReg:
+        if (v.index >= fn_.num_regs) {
+          ErrorAt(b, i, "register index out of range");
+        }
+        break;
+      case Value::Kind::kConst:
+        break;
+      case Value::Kind::kFuncRef:
+        if (v.index >= module_.NumFunctions()) {
+          ErrorAt(b, i, "function reference out of range");
+        }
+        break;
+      case Value::Kind::kGlobalRef:
+        if (v.index >= module_.NumGlobals()) {
+          ErrorAt(b, i, "global reference out of range");
+        }
+        break;
+    }
+  }
+
+  void CheckBranchTarget(uint32_t b, uint32_t i, uint32_t target) {
+    if (target >= fn_.blocks.size()) {
+      ErrorAt(b, i, "branch target out of range");
+    }
+  }
+
+  void CheckResult(uint32_t b, uint32_t i, const Instruction& inst, bool want_result) {
+    if (want_result) {
+      if (inst.result < 0 || static_cast<uint32_t>(inst.result) >= fn_.num_regs) {
+        ErrorAt(b, i, "missing or out-of-range result register");
+      }
+    } else if (inst.result >= 0) {
+      ErrorAt(b, i, "instruction must not produce a result");
+    }
+  }
+
+  void VerifyInst(uint32_t b, uint32_t i, const Instruction& inst) {
+    for (const Value& v : inst.operands) {
+      CheckValue(b, i, v);
+    }
+    switch (inst.op) {
+      case Opcode::kAdd:
+      case Opcode::kSub:
+      case Opcode::kMul:
+      case Opcode::kUDiv:
+      case Opcode::kSDiv:
+      case Opcode::kURem:
+      case Opcode::kSRem:
+      case Opcode::kAnd:
+      case Opcode::kOr:
+      case Opcode::kXor:
+      case Opcode::kShl:
+      case Opcode::kLShr:
+      case Opcode::kAShr:
+        if (CheckOperandCount(b, i, inst, 2)) {
+          if (inst.operands[0].type != inst.operands[1].type ||
+              inst.operands[0].type != inst.type) {
+            ErrorAt(b, i, "binary operand/result type mismatch");
+          }
+        }
+        CheckResult(b, i, inst, /*want_result=*/true);
+        break;
+      case Opcode::kICmp:
+        if (CheckOperandCount(b, i, inst, 2)) {
+          if (inst.operands[0].type != inst.operands[1].type) {
+            ErrorAt(b, i, "icmp operand type mismatch");
+          }
+        }
+        if (inst.type != Type::kI1) {
+          ErrorAt(b, i, "icmp result must be i1");
+        }
+        CheckResult(b, i, inst, /*want_result=*/true);
+        break;
+      case Opcode::kNot:
+        if (CheckOperandCount(b, i, inst, 1)) {
+          if (inst.operands[0].type != inst.type) {
+            ErrorAt(b, i, "not operand/result type mismatch");
+          }
+        }
+        CheckResult(b, i, inst, /*want_result=*/true);
+        break;
+      case Opcode::kZExt:
+      case Opcode::kSExt:
+        if (CheckOperandCount(b, i, inst, 1)) {
+          if (BitWidth(inst.operands[0].type) > BitWidth(inst.type)) {
+            ErrorAt(b, i, "extension narrows the value");
+          }
+        }
+        CheckResult(b, i, inst, /*want_result=*/true);
+        break;
+      case Opcode::kTrunc:
+        if (CheckOperandCount(b, i, inst, 1)) {
+          if (BitWidth(inst.operands[0].type) < BitWidth(inst.type)) {
+            ErrorAt(b, i, "truncation widens the value");
+          }
+        }
+        CheckResult(b, i, inst, /*want_result=*/true);
+        break;
+      case Opcode::kSelect:
+        if (CheckOperandCount(b, i, inst, 3)) {
+          if (inst.operands[0].type != Type::kI1) {
+            ErrorAt(b, i, "select condition must be i1");
+          }
+          if (inst.operands[1].type != inst.operands[2].type ||
+              inst.operands[1].type != inst.type) {
+            ErrorAt(b, i, "select arm/result type mismatch");
+          }
+        }
+        CheckResult(b, i, inst, /*want_result=*/true);
+        break;
+      case Opcode::kAlloca:
+        CheckOperandCount(b, i, inst, 0);
+        if (inst.imm == 0) {
+          ErrorAt(b, i, "alloca of zero bytes");
+        }
+        CheckResult(b, i, inst, /*want_result=*/true);
+        break;
+      case Opcode::kLoad:
+        if (CheckOperandCount(b, i, inst, 1)) {
+          if (inst.operands[0].type != Type::kPtr) {
+            ErrorAt(b, i, "load address must be ptr");
+          }
+        }
+        if (inst.type == Type::kVoid) {
+          ErrorAt(b, i, "load must have a result type");
+        }
+        CheckResult(b, i, inst, /*want_result=*/true);
+        break;
+      case Opcode::kStore:
+        if (CheckOperandCount(b, i, inst, 2)) {
+          if (inst.operands[1].type != Type::kPtr) {
+            ErrorAt(b, i, "store address must be ptr");
+          }
+        }
+        CheckResult(b, i, inst, /*want_result=*/false);
+        break;
+      case Opcode::kGep:
+        if (CheckOperandCount(b, i, inst, 2)) {
+          if (inst.operands[0].type != Type::kPtr) {
+            ErrorAt(b, i, "gep base must be ptr");
+          }
+        }
+        CheckResult(b, i, inst, /*want_result=*/true);
+        break;
+      case Opcode::kBr:
+        CheckOperandCount(b, i, inst, 0);
+        CheckBranchTarget(b, i, inst.succ_true);
+        break;
+      case Opcode::kCondBr:
+        if (CheckOperandCount(b, i, inst, 1)) {
+          if (inst.operands[0].type != Type::kI1) {
+            ErrorAt(b, i, "condbr condition must be i1");
+          }
+        }
+        CheckBranchTarget(b, i, inst.succ_true);
+        CheckBranchTarget(b, i, inst.succ_false);
+        break;
+      case Opcode::kCall:
+        VerifyCall(b, i, inst);
+        break;
+      case Opcode::kRet:
+        if (fn_.ret_type == Type::kVoid) {
+          CheckOperandCount(b, i, inst, 0);
+        } else if (CheckOperandCount(b, i, inst, 1)) {
+          if (inst.operands[0].type != fn_.ret_type) {
+            ErrorAt(b, i, "return value type mismatch");
+          }
+        }
+        break;
+      case Opcode::kUnreachable:
+        CheckOperandCount(b, i, inst, 0);
+        break;
+    }
+  }
+
+  void VerifyCall(uint32_t b, uint32_t i, const Instruction& inst) {
+    if (inst.callee != kInvalidIndex) {
+      if (inst.callee >= module_.NumFunctions()) {
+        ErrorAt(b, i, "call target out of range");
+        return;
+      }
+      const Function& callee = module_.Func(inst.callee);
+      if (!callee.is_external && callee.blocks.empty()) {
+        ErrorAt(b, i, "call to undefined function '" + callee.name + "'");
+      }
+      if (inst.operands.size() != callee.params.size()) {
+        ErrorAt(b, i, "call arity mismatch for '" + callee.name + "'");
+      } else {
+        for (size_t a = 0; a < inst.operands.size(); ++a) {
+          if (inst.operands[a].type != callee.params[a]) {
+            ErrorAt(b, i, "call argument type mismatch for '" + callee.name + "'");
+          }
+        }
+      }
+      if (inst.type != callee.ret_type) {
+        ErrorAt(b, i, "call return type mismatch for '" + callee.name + "'");
+      }
+    } else {
+      if (inst.operands.empty() || inst.operands[0].type != Type::kPtr) {
+        ErrorAt(b, i, "indirect call needs a ptr callee operand");
+      }
+    }
+    if (inst.type != Type::kVoid) {
+      CheckResult(b, i, inst, /*want_result=*/true);
+    }
+  }
+
+  const Module& module_;
+  const Function& fn_;
+  std::vector<std::string>* errors_;
+};
+
+}  // namespace
+
+std::vector<std::string> Verify(const Module& module) {
+  std::vector<std::string> errors;
+  for (uint32_t f = 0; f < module.NumFunctions(); ++f) {
+    FunctionVerifier(module, f, &errors).Run();
+  }
+  return errors;
+}
+
+}  // namespace esd::ir

@@ -1,0 +1,26 @@
+// ESD IR: structural well-formedness checks.
+#ifndef ESD_SRC_IR_VERIFIER_H_
+#define ESD_SRC_IR_VERIFIER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/ir/module.h"
+
+namespace esd::ir {
+
+// Checks that every function in `module` is structurally valid:
+//  - every block ends with exactly one terminator (and has no terminator
+//    mid-block);
+//  - branch targets are valid block indices;
+//  - register indices are in range and operand/result types are consistent;
+//  - direct-call arity and argument/return types match the callee signature;
+//  - global and function references are in range;
+//  - external functions have no body; defined functions have at least one
+//    block.
+// Returns a list of human-readable error strings; empty means valid.
+std::vector<std::string> Verify(const Module& module);
+
+}  // namespace esd::ir
+
+#endif  // ESD_SRC_IR_VERIFIER_H_

@@ -1,0 +1,167 @@
+#include "src/replay/execution_file.h"
+
+#include <sstream>
+
+namespace esd::replay {
+namespace {
+
+std::string_view EventKindName(vm::SchedEvent::Kind kind) {
+  switch (kind) {
+    case vm::SchedEvent::Kind::kSwitch:
+      return "switch";
+    case vm::SchedEvent::Kind::kMutexLock:
+      return "lock";
+    case vm::SchedEvent::Kind::kMutexUnlock:
+      return "unlock";
+    case vm::SchedEvent::Kind::kCondWait:
+      return "cond-wait";
+    case vm::SchedEvent::Kind::kCondWake:
+      return "cond-wake";
+    case vm::SchedEvent::Kind::kThreadCreate:
+      return "create";
+    case vm::SchedEvent::Kind::kThreadExit:
+      return "exit";
+  }
+  return "?";
+}
+
+std::optional<vm::SchedEvent::Kind> ParseEventKind(std::string_view s) {
+  for (int k = 0; k <= static_cast<int>(vm::SchedEvent::Kind::kThreadExit); ++k) {
+    auto kind = static_cast<vm::SchedEvent::Kind>(k);
+    if (EventKindName(kind) == s) {
+      return kind;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+ExecutionFile BuildExecutionFile(const ir::Module& module,
+                                 const vm::ExecutionState& state,
+                                 const vm::BugInfo& bug, const solver::Model& model) {
+  ExecutionFile file;
+  file.bug_kind = std::string(vm::BugKindName(bug.kind));
+  file.description = bug.message;
+  for (const auto& [name, var] : state.inputs) {
+    file.inputs[name] = solver::EvalExpr(var, model.values);
+  }
+  for (const vm::SchedEvent& ev : state.sched_trace) {
+    if (ev.kind == vm::SchedEvent::Kind::kSwitch) {
+      file.strict.push_back(SwitchPoint{ev.step, ev.tid});
+    } else {
+      HbEvent hb;
+      hb.kind = ev.kind;
+      hb.tid = ev.tid;
+      hb.addr = ev.addr;
+      hb.site = module.Describe(ev.site);
+      file.happens_before.push_back(std::move(hb));
+    }
+  }
+  return file;
+}
+
+std::string ExecutionFileToText(const ExecutionFile& file) {
+  std::ostringstream os;
+  os << "execution v1\n";
+  os << "bug " << file.bug_kind << "\n";
+  os << "description " << file.description << "\n";
+  for (const auto& [name, value] : file.inputs) {
+    os << "input " << name << " = " << value << "\n";
+  }
+  for (const SwitchPoint& sp : file.strict) {
+    os << "switch " << sp.step << " " << sp.tid << "\n";
+  }
+  for (const HbEvent& hb : file.happens_before) {
+    os << "hb " << EventKindName(hb.kind) << " " << hb.tid << " " << hb.addr << " "
+       << hb.site << "\n";
+  }
+  return os.str();
+}
+
+std::optional<ExecutionFile> ParseExecutionFile(const std::string& text,
+                                                std::string* error) {
+  auto fail = [&](const std::string& msg) -> std::optional<ExecutionFile> {
+    if (error != nullptr) {
+      *error = msg;
+    }
+    return std::nullopt;
+  };
+  std::istringstream is(text);
+  std::string line;
+  if (!std::getline(is, line) || line != "execution v1") {
+    return fail("missing 'execution v1' header");
+  }
+  ExecutionFile file;
+  while (std::getline(is, line)) {
+    std::istringstream ls(line);
+    std::string word;
+    ls >> word;
+    if (word.empty()) {
+      continue;
+    }
+    if (word == "bug") {
+      ls >> file.bug_kind;
+    } else if (word == "description") {
+      std::string rest;
+      std::getline(ls, rest);
+      if (!rest.empty() && rest[0] == ' ') {
+        rest.erase(0, 1);
+      }
+      file.description = rest;
+    } else if (word == "input") {
+      std::string name, eq;
+      uint64_t value;
+      ls >> name >> eq >> value;
+      if (eq != "=") {
+        return fail("malformed input line");
+      }
+      file.inputs[name] = value;
+    } else if (word == "switch") {
+      SwitchPoint sp;
+      ls >> sp.step >> sp.tid;
+      file.strict.push_back(sp);
+    } else if (word == "hb") {
+      std::string kind_word;
+      HbEvent hb;
+      ls >> kind_word >> hb.tid >> hb.addr >> hb.site;
+      auto kind = ParseEventKind(kind_word);
+      if (!kind.has_value()) {
+        return fail("bad hb event kind '" + kind_word + "'");
+      }
+      hb.kind = *kind;
+      file.happens_before.push_back(std::move(hb));
+    } else {
+      return fail("unknown directive '" + word + "'");
+    }
+  }
+  return file;
+}
+
+std::string Fingerprint(const ExecutionFile& file) {
+  // FNV-1a over the canonical serialization, minus the free-form
+  // description line.
+  uint64_t h = 0xcbf29ce484222325ull;
+  auto mix = [&h](const std::string& s) {
+    for (unsigned char c : s) {
+      h = (h ^ c) * 0x100000001b3ull;
+    }
+    h = (h ^ '\n') * 0x100000001b3ull;
+  };
+  mix(file.bug_kind);
+  for (const auto& [name, value] : file.inputs) {
+    mix(name + "=" + std::to_string(value));
+  }
+  for (const SwitchPoint& sp : file.strict) {
+    mix(std::to_string(sp.step) + ":" + std::to_string(sp.tid));
+  }
+  for (const HbEvent& hb : file.happens_before) {
+    mix(std::string(EventKindName(hb.kind)) + ":" + std::to_string(hb.tid) + ":" +
+        hb.site);
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(h));
+  return buf;
+}
+
+}  // namespace esd::replay

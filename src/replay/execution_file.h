@@ -1,0 +1,68 @@
+// ESD replay: the synthesized execution file (§5.1).
+//
+// Holds everything playback needs: concrete values for all program inputs
+// (solved from the goal state's path constraints), and the thread schedule
+// in two forms:
+//   - a strict schedule: the exact step counts at which the scheduler
+//     switched threads ("enforce literally a serial execution");
+//   - happens-before events: the order of synchronization operations, which
+//     lets playback run with natural parallelism while preserving the
+//     orderings that matter.
+#ifndef ESD_SRC_REPLAY_EXECUTION_FILE_H_
+#define ESD_SRC_REPLAY_EXECUTION_FILE_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/ir/module.h"
+#include "src/solver/solver.h"
+#include "src/vm/interpreter.h"
+#include "src/vm/state.h"
+
+namespace esd::replay {
+
+// "After `step` instruction attempts, thread `tid` runs."
+struct SwitchPoint {
+  uint64_t step = 0;
+  uint32_t tid = 0;
+};
+
+struct HbEvent {
+  vm::SchedEvent::Kind kind;
+  uint32_t tid = 0;
+  uint64_t addr = 0;
+  std::string site;  // "func:block:inst" rendering.
+};
+
+struct ExecutionFile {
+  std::string bug_kind;
+  std::string description;
+  // Input name (e.g. "getchar#3") -> concrete value.
+  std::map<std::string, uint64_t> inputs;
+  std::vector<SwitchPoint> strict;
+  std::vector<HbEvent> happens_before;
+};
+
+// Builds the execution file from the synthesized goal state: solves the
+// accumulated constraints to concrete input values and serializes the
+// schedule trace.
+ExecutionFile BuildExecutionFile(const ir::Module& module,
+                                 const vm::ExecutionState& state,
+                                 const vm::BugInfo& bug, const solver::Model& model);
+
+std::string ExecutionFileToText(const ExecutionFile& file);
+std::optional<ExecutionFile> ParseExecutionFile(const std::string& text,
+                                                std::string* error);
+
+// Canonical fingerprint for automated bug triage (§8): "ESD can be used to
+// automatically identify reports of the same bug: if two synthesized
+// executions are identical, then they correspond to the same bug." The
+// fingerprint covers the bug kind, the inferred inputs, and the schedule.
+std::string Fingerprint(const ExecutionFile& file);
+
+}  // namespace esd::replay
+
+#endif  // ESD_SRC_REPLAY_EXECUTION_FILE_H_

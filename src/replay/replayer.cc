@@ -1,0 +1,73 @@
+#include "src/replay/replayer.h"
+
+#include "src/solver/solver.h"
+
+namespace esd::replay {
+
+std::optional<uint32_t> StrictReplayPolicy::ForceSwitch(
+    const vm::ExecutionState& state) {
+  // The next instruction attempt has index state.steps (steps attempts are
+  // already done). The thread to run is given by the last switch point at or
+  // before that index; before any switch point, thread 0 runs.
+  uint32_t tid = 0;
+  for (const SwitchPoint& sp : file_->strict) {
+    if (sp.step <= state.steps) {
+      tid = sp.tid;
+    } else {
+      break;
+    }
+  }
+  return tid;
+}
+
+std::optional<uint32_t> HbReplayPolicy::ForceSwitch(const vm::ExecutionState& state) {
+  // Consume newly recorded sync events that match the expected sequence.
+  for (; trace_seen_ < state.sched_trace.size(); ++trace_seen_) {
+    const vm::SchedEvent& ev = state.sched_trace[trace_seen_];
+    if (ev.kind == vm::SchedEvent::Kind::kSwitch) {
+      continue;  // Switches are incidental in happens-before mode.
+    }
+    if (next_event_ < file_->happens_before.size() &&
+        file_->happens_before[next_event_].kind == ev.kind &&
+        file_->happens_before[next_event_].tid == ev.tid) {
+      ++next_event_;
+    }
+  }
+  if (next_event_ >= file_->happens_before.size()) {
+    return std::nullopt;  // All orderings satisfied; run freely.
+  }
+  return file_->happens_before[next_event_].tid;
+}
+
+ReplayResult Replay(const ir::Module& module, const ExecutionFile& file,
+                    ReplayMode mode, uint64_t max_instructions) {
+  ReplayResult result;
+  solver::ConstraintSolver solver;
+  FileInputProvider inputs(&file);
+  StrictReplayPolicy strict(&file);
+  HbReplayPolicy hb(&file);
+
+  vm::Interpreter::Options options;
+  options.input_provider = &inputs;
+  options.policy = mode == ReplayMode::kStrict
+                       ? static_cast<vm::SchedulePolicy*>(&strict)
+                       : static_cast<vm::SchedulePolicy*>(&hb);
+  vm::Interpreter interpreter(&module, &solver, options);
+
+  auto main_fn = module.FindFunction("main");
+  if (!main_fn.has_value()) {
+    result.bug.message = "no main function";
+    return result;
+  }
+  vm::StatePtr state = interpreter.MakeInitialState(*main_fn, 0);
+  vm::SingleRunResult run = RunToCompletion(interpreter, *state, max_instructions);
+  result.completed = run.completed;
+  result.bug = run.bug;
+  result.output = state->output;
+  result.instructions = run.instructions;
+  result.bug_reproduced =
+      run.completed && vm::BugKindName(run.bug.kind) == file.bug_kind;
+  return result;
+}
+
+}  // namespace esd::replay

@@ -1,0 +1,77 @@
+// ESD replay: deterministic playback (§5.2).
+//
+// Plays a synthesized execution file back against the program: inputs come
+// from the file (input playback), and the schedule is enforced either
+// strictly (exact step counts — "one single thread runs at a time, and all
+// instructions execute in the exact same order as during synthesis") or via
+// happens-before events (threads run freely between synchronization
+// operations, which must occur in the recorded order). The replayed state
+// can be stepped one instruction at a time, which is what the esdplay CLI
+// exposes for use under a debugger.
+#ifndef ESD_SRC_REPLAY_REPLAYER_H_
+#define ESD_SRC_REPLAY_REPLAYER_H_
+
+#include <memory>
+#include <string>
+
+#include "src/replay/execution_file.h"
+#include "src/vm/engine.h"
+#include "src/vm/schedule_policy.h"
+
+namespace esd::replay {
+
+// Input playback: serves the concrete values recorded in the file.
+class FileInputProvider : public vm::InputProvider {
+ public:
+  explicit FileInputProvider(const ExecutionFile* file) : file_(file) {}
+  uint64_t GetValue(const std::string& name, uint32_t width) override {
+    auto it = file_->inputs.find(name);
+    return it == file_->inputs.end() ? 0 : it->second;
+  }
+
+ private:
+  const ExecutionFile* file_;
+};
+
+// Strict schedule playback: before every instruction, the thread dictated
+// by the recorded switch points must be running.
+class StrictReplayPolicy : public vm::SchedulePolicy {
+ public:
+  explicit StrictReplayPolicy(const ExecutionFile* file) : file_(file) {}
+  std::optional<uint32_t> ForceSwitch(const vm::ExecutionState& state) override;
+
+ private:
+  const ExecutionFile* file_;
+};
+
+// Happens-before playback: the thread owning the next unconsumed sync event
+// is preferred; consumption is detected by watching the state's schedule
+// trace grow. Once all events are consumed, scheduling is unconstrained.
+class HbReplayPolicy : public vm::SchedulePolicy {
+ public:
+  explicit HbReplayPolicy(const ExecutionFile* file) : file_(file) {}
+  std::optional<uint32_t> ForceSwitch(const vm::ExecutionState& state) override;
+
+ private:
+  const ExecutionFile* file_;
+  size_t next_event_ = 0;
+  size_t trace_seen_ = 0;
+};
+
+enum class ReplayMode { kStrict, kHappensBefore };
+
+struct ReplayResult {
+  bool completed = false;
+  bool bug_reproduced = false;  // Bug kind matches the file's bug kind.
+  vm::BugInfo bug;
+  std::string output;
+  uint64_t instructions = 0;
+};
+
+// One-shot playback of `file` against `module`, starting at "main".
+ReplayResult Replay(const ir::Module& module, const ExecutionFile& file,
+                    ReplayMode mode, uint64_t max_instructions = 10'000'000);
+
+}  // namespace esd::replay
+
+#endif  // ESD_SRC_REPLAY_REPLAYER_H_

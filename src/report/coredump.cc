@@ -1,0 +1,194 @@
+#include "src/report/coredump.h"
+
+#include <sstream>
+
+namespace esd::report {
+namespace {
+
+std::string_view StatusName(vm::ThreadStatus s) {
+  switch (s) {
+    case vm::ThreadStatus::kRunnable:
+      return "runnable";
+    case vm::ThreadStatus::kBlockedMutex:
+      return "blocked-mutex";
+    case vm::ThreadStatus::kBlockedCond:
+      return "blocked-cond";
+    case vm::ThreadStatus::kBlockedJoin:
+      return "blocked-join";
+    case vm::ThreadStatus::kExited:
+      return "exited";
+  }
+  return "?";
+}
+
+std::optional<vm::ThreadStatus> ParseStatus(std::string_view s) {
+  if (s == "runnable") {
+    return vm::ThreadStatus::kRunnable;
+  }
+  if (s == "blocked-mutex") {
+    return vm::ThreadStatus::kBlockedMutex;
+  }
+  if (s == "blocked-cond") {
+    return vm::ThreadStatus::kBlockedCond;
+  }
+  if (s == "blocked-join") {
+    return vm::ThreadStatus::kBlockedJoin;
+  }
+  if (s == "exited") {
+    return vm::ThreadStatus::kExited;
+  }
+  return std::nullopt;
+}
+
+std::optional<vm::BugInfo::Kind> ParseBugKind(std::string_view s) {
+  for (int k = 0; k <= static_cast<int>(vm::BugInfo::Kind::kInternalError); ++k) {
+    auto kind = static_cast<vm::BugInfo::Kind>(k);
+    if (vm::BugKindName(kind) == s) {
+      return kind;
+    }
+  }
+  return std::nullopt;
+}
+
+// Serializes an InstRef as "func:block_label:inst".
+std::string RefToText(const ir::Module& module, ir::InstRef ref) {
+  return module.Describe(ref);
+}
+
+std::optional<ir::InstRef> RefFromText(const ir::Module& module,
+                                       const std::string& text) {
+  size_t c1 = text.find(':');
+  size_t c2 = text.rfind(':');
+  if (c1 == std::string::npos || c2 == c1) {
+    return std::nullopt;
+  }
+  std::string func_name = text.substr(0, c1);
+  std::string label = text.substr(c1 + 1, c2 - c1 - 1);
+  uint32_t inst = static_cast<uint32_t>(std::strtoul(text.c_str() + c2 + 1, nullptr, 10));
+  auto f = module.FindFunction(func_name);
+  if (!f.has_value()) {
+    return std::nullopt;
+  }
+  auto b = module.Func(*f).FindBlock(label);
+  if (!b.has_value()) {
+    return std::nullopt;
+  }
+  return ir::InstRef{*f, *b, inst};
+}
+
+}  // namespace
+
+CoreDump CaptureCoreDump(const vm::ExecutionState& state, const vm::BugInfo& bug) {
+  CoreDump dump;
+  dump.kind = bug.kind;
+  dump.fault_pc = bug.pc;
+  dump.fault_tid = bug.tid;
+  dump.fault_addr = bug.fault_addr;
+  dump.message = bug.message;
+  for (const vm::Thread& t : state.threads) {
+    ThreadDump td;
+    td.tid = t.id;
+    td.status = t.status;
+    td.wait_mutex = t.wait_mutex;
+    for (const vm::StackFrame& f : t.frames) {
+      td.stack.push_back(ir::InstRef{f.func, f.block, f.inst});
+    }
+    dump.threads.push_back(std::move(td));
+  }
+  return dump;
+}
+
+std::string CoreDumpToText(const ir::Module& module, const CoreDump& dump) {
+  std::ostringstream os;
+  os << "coredump v1\n";
+  os << "kind " << vm::BugKindName(dump.kind) << "\n";
+  os << "fault " << RefToText(module, dump.fault_pc) << " tid " << dump.fault_tid
+     << " addr " << dump.fault_addr << "\n";
+  os << "message " << dump.message << "\n";
+  for (const ThreadDump& t : dump.threads) {
+    os << "thread " << t.tid << " " << StatusName(t.status) << " wait "
+       << t.wait_mutex << "\n";
+    for (const ir::InstRef& ref : t.stack) {
+      os << "  frame " << RefToText(module, ref) << "\n";
+    }
+  }
+  return os.str();
+}
+
+std::optional<CoreDump> ParseCoreDump(const ir::Module& module, const std::string& text,
+                                      std::string* error) {
+  auto fail = [&](const std::string& msg) -> std::optional<CoreDump> {
+    if (error != nullptr) {
+      *error = msg;
+    }
+    return std::nullopt;
+  };
+  std::istringstream is(text);
+  std::string line;
+  if (!std::getline(is, line) || line != "coredump v1") {
+    return fail("missing 'coredump v1' header");
+  }
+  CoreDump dump;
+  while (std::getline(is, line)) {
+    std::istringstream ls(line);
+    std::string word;
+    ls >> word;
+    if (word.empty()) {
+      continue;
+    }
+    if (word == "kind") {
+      std::string k;
+      ls >> k;
+      auto kind = ParseBugKind(k);
+      if (!kind.has_value()) {
+        return fail("bad bug kind '" + k + "'");
+      }
+      dump.kind = *kind;
+    } else if (word == "fault") {
+      std::string ref, tid_word, addr_word;
+      uint32_t tid;
+      uint64_t addr;
+      ls >> ref >> tid_word >> tid >> addr_word >> addr;
+      auto r = RefFromText(module, ref);
+      if (!r.has_value()) {
+        return fail("bad fault location '" + ref + "'");
+      }
+      dump.fault_pc = *r;
+      dump.fault_tid = tid;
+      dump.fault_addr = addr;
+    } else if (word == "message") {
+      std::string rest;
+      std::getline(ls, rest);
+      if (!rest.empty() && rest[0] == ' ') {
+        rest.erase(0, 1);
+      }
+      dump.message = rest;
+    } else if (word == "thread") {
+      ThreadDump td;
+      std::string status_word, wait_word;
+      ls >> td.tid >> status_word >> wait_word >> td.wait_mutex;
+      auto status = ParseStatus(status_word);
+      if (!status.has_value()) {
+        return fail("bad thread status '" + status_word + "'");
+      }
+      td.status = *status;
+      dump.threads.push_back(std::move(td));
+    } else if (word == "frame") {
+      if (dump.threads.empty()) {
+        return fail("frame before thread");
+      }
+      std::string ref;
+      ls >> ref;
+      auto r = RefFromText(module, ref);
+      if (!r.has_value()) {
+        return fail("bad frame location '" + ref + "'");
+      }
+      dump.threads.back().stack.push_back(*r);
+    } else {
+      return fail("unknown directive '" + word + "'");
+    }
+  }
+  return dump;
+}
+
+}  // namespace esd::report

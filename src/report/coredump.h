@@ -1,0 +1,52 @@
+// ESD reports: coredump capture and parsing.
+//
+// A coredump is all ESD gets from the field (§2): the per-thread call
+// stacks, the kind of failure, and the faulting values — no inputs, no
+// schedule. CaptureCoreDump produces one from a failing concrete run (our
+// stand-in for the end user's crash); the text form round-trips so the
+// esdsynth CLI can consume dumps from disk. Stack entries serialize by
+// function name and block label, like a symbolized backtrace.
+#ifndef ESD_SRC_REPORT_COREDUMP_H_
+#define ESD_SRC_REPORT_COREDUMP_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/ir/module.h"
+#include "src/vm/interpreter.h"
+#include "src/vm/state.h"
+
+namespace esd::report {
+
+struct ThreadDump {
+  uint32_t tid = 0;
+  // Call stack, outermost frame first; back() is where the thread crashed
+  // or blocked.
+  std::vector<ir::InstRef> stack;
+  vm::ThreadStatus status = vm::ThreadStatus::kRunnable;
+  uint64_t wait_mutex = 0;
+};
+
+struct CoreDump {
+  vm::BugInfo::Kind kind = vm::BugInfo::Kind::kNone;
+  std::vector<ThreadDump> threads;
+  ir::InstRef fault_pc;     // Where the failure was detected.
+  uint32_t fault_tid = 0;
+  uint64_t fault_addr = 0;  // E.g., the null pointer value (condition C).
+  std::string message;
+};
+
+// Builds a coredump from the state in which `bug` manifested.
+CoreDump CaptureCoreDump(const vm::ExecutionState& state, const vm::BugInfo& bug);
+
+// Text serialization (round-trips through ParseCoreDump given the module the
+// dump refers to).
+std::string CoreDumpToText(const ir::Module& module, const CoreDump& dump);
+std::optional<CoreDump> ParseCoreDump(const ir::Module& module, const std::string& text,
+                                      std::string* error);
+
+}  // namespace esd::report
+
+#endif  // ESD_SRC_REPORT_COREDUMP_H_

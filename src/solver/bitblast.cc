@@ -1,0 +1,429 @@
+#include "src/solver/bitblast.h"
+
+#include <cassert>
+
+namespace esd::solver {
+
+Lit BitBlaster::TrueLit() {
+  if (!have_true_lit_) {
+    true_lit_ = NewLit();
+    sat_->AddUnit(true_lit_);
+    have_true_lit_ = true;
+  }
+  return true_lit_;
+}
+
+Lit BitBlaster::GateAnd(Lit a, Lit b) {
+  if (a == TrueLit()) {
+    return b;
+  }
+  if (b == TrueLit()) {
+    return a;
+  }
+  if (a == FalseLit() || b == FalseLit()) {
+    return FalseLit();
+  }
+  if (a == b) {
+    return a;
+  }
+  if (a == ~b) {
+    return FalseLit();
+  }
+  Lit out = NewLit();
+  sat_->AddBinary(~out, a);
+  sat_->AddBinary(~out, b);
+  sat_->AddTernary(out, ~a, ~b);
+  return out;
+}
+
+Lit BitBlaster::GateOr(Lit a, Lit b) { return ~GateAnd(~a, ~b); }
+
+Lit BitBlaster::GateXor(Lit a, Lit b) {
+  if (a == FalseLit()) {
+    return b;
+  }
+  if (b == FalseLit()) {
+    return a;
+  }
+  if (a == TrueLit()) {
+    return ~b;
+  }
+  if (b == TrueLit()) {
+    return ~a;
+  }
+  if (a == b) {
+    return FalseLit();
+  }
+  if (a == ~b) {
+    return TrueLit();
+  }
+  Lit out = NewLit();
+  sat_->AddTernary(~out, a, b);
+  sat_->AddTernary(~out, ~a, ~b);
+  sat_->AddTernary(out, ~a, b);
+  sat_->AddTernary(out, a, ~b);
+  return out;
+}
+
+Lit BitBlaster::GateMux(Lit sel, Lit t, Lit f) {
+  if (sel == TrueLit()) {
+    return t;
+  }
+  if (sel == FalseLit()) {
+    return f;
+  }
+  if (t == f) {
+    return t;
+  }
+  Lit out = NewLit();
+  sat_->AddTernary(~sel, ~t, out);
+  sat_->AddTernary(~sel, t, ~out);
+  sat_->AddTernary(sel, ~f, out);
+  sat_->AddTernary(sel, f, ~out);
+  return out;
+}
+
+Lit BitBlaster::GateAndN(const std::vector<Lit>& xs) {
+  Lit acc = TrueLit();
+  for (Lit x : xs) {
+    acc = GateAnd(acc, x);
+  }
+  return acc;
+}
+
+std::vector<Lit> BitBlaster::ConstBits(uint32_t width, uint64_t value) {
+  std::vector<Lit> bits(width);
+  for (uint32_t i = 0; i < width; ++i) {
+    bits[i] = (value >> i) & 1 ? TrueLit() : FalseLit();
+  }
+  return bits;
+}
+
+std::vector<Lit> BitBlaster::Adder(const std::vector<Lit>& a, const std::vector<Lit>& b,
+                                   Lit carry_in) {
+  assert(a.size() == b.size());
+  std::vector<Lit> sum(a.size());
+  Lit carry = carry_in;
+  for (size_t i = 0; i < a.size(); ++i) {
+    Lit axb = GateXor(a[i], b[i]);
+    sum[i] = GateXor(axb, carry);
+    // carry_out = (a & b) | (carry & (a ^ b))
+    carry = GateOr(GateAnd(a[i], b[i]), GateAnd(carry, axb));
+  }
+  return sum;
+}
+
+std::vector<Lit> BitBlaster::Negate(const std::vector<Lit>& a) {
+  std::vector<Lit> inv(a.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    inv[i] = ~a[i];
+  }
+  return Adder(inv, ConstBits(static_cast<uint32_t>(a.size()), 0), TrueLit());
+}
+
+std::vector<Lit> BitBlaster::Subtract(const std::vector<Lit>& a,
+                                      const std::vector<Lit>& b) {
+  std::vector<Lit> inv(b.size());
+  for (size_t i = 0; i < b.size(); ++i) {
+    inv[i] = ~b[i];
+  }
+  return Adder(a, inv, TrueLit());
+}
+
+std::vector<Lit> BitBlaster::Multiply(const std::vector<Lit>& a,
+                                      const std::vector<Lit>& b) {
+  uint32_t w = static_cast<uint32_t>(a.size());
+  std::vector<Lit> acc = ConstBits(w, 0);
+  for (uint32_t i = 0; i < w; ++i) {
+    // Partial product: (a << i) masked by b[i].
+    std::vector<Lit> pp(w, FalseLit());
+    for (uint32_t j = i; j < w; ++j) {
+      pp[j] = GateAnd(a[j - i], b[i]);
+    }
+    acc = Adder(acc, pp, FalseLit());
+  }
+  return acc;
+}
+
+Lit BitBlaster::IsZero(const std::vector<Lit>& a) {
+  std::vector<Lit> inverted(a.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    inverted[i] = ~a[i];
+  }
+  return GateAndN(inverted);
+}
+
+Lit BitBlaster::UltLit(const std::vector<Lit>& a, const std::vector<Lit>& b) {
+  assert(a.size() == b.size());
+  // Ripple from LSB: lt = (~a_i & b_i) | (eq_i & lt_prev).
+  Lit lt = FalseLit();
+  for (size_t i = 0; i < a.size(); ++i) {
+    Lit eq = ~GateXor(a[i], b[i]);
+    lt = GateOr(GateAnd(~a[i], b[i]), GateAnd(eq, lt));
+  }
+  return lt;
+}
+
+Lit BitBlaster::SltLit(const std::vector<Lit>& a, const std::vector<Lit>& b) {
+  // Flip sign bits and compare unsigned.
+  std::vector<Lit> af = a;
+  std::vector<Lit> bf = b;
+  af.back() = ~af.back();
+  bf.back() = ~bf.back();
+  return UltLit(af, bf);
+}
+
+Lit BitBlaster::EqLit(const std::vector<Lit>& a, const std::vector<Lit>& b) {
+  assert(a.size() == b.size());
+  std::vector<Lit> eqs(a.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    eqs[i] = ~GateXor(a[i], b[i]);
+  }
+  return GateAndN(eqs);
+}
+
+std::vector<Lit> BitBlaster::Mux(Lit sel, const std::vector<Lit>& t,
+                                 const std::vector<Lit>& f) {
+  assert(t.size() == f.size());
+  std::vector<Lit> out(t.size());
+  for (size_t i = 0; i < t.size(); ++i) {
+    out[i] = GateMux(sel, t[i], f[i]);
+  }
+  return out;
+}
+
+std::vector<Lit> BitBlaster::Shifter(const std::vector<Lit>& a,
+                                     const std::vector<Lit>& amount, bool left,
+                                     Lit fill) {
+  uint32_t w = static_cast<uint32_t>(a.size());
+  std::vector<Lit> cur = a;
+  // Barrel shifter over the bits of `amount` that matter.
+  uint32_t stages = 0;
+  while ((uint32_t{1} << stages) < w) {
+    ++stages;
+  }
+  for (uint32_t s = 0; s < stages && s < amount.size(); ++s) {
+    uint32_t shift = uint32_t{1} << s;
+    std::vector<Lit> shifted(w, fill);
+    for (uint32_t i = 0; i < w; ++i) {
+      if (left) {
+        if (i >= shift) {
+          shifted[i] = cur[i - shift];
+        }
+      } else {
+        if (i + shift < w) {
+          shifted[i] = cur[i + shift];
+        }
+      }
+    }
+    cur = Mux(amount[s], shifted, cur);
+  }
+  // If any amount bit >= stages is set, the result is all-fill.
+  std::vector<Lit> high_bits;
+  for (size_t s = stages; s < amount.size(); ++s) {
+    high_bits.push_back(~amount[s]);
+  }
+  // Also handle amounts in [w, 2^stages).
+  if ((uint32_t{1} << stages) > w && stages <= amount.size()) {
+    // Compare amount < w.
+    std::vector<Lit> wbits = ConstBits(static_cast<uint32_t>(amount.size()),
+                                       static_cast<uint64_t>(w));
+    high_bits.push_back(UltLit(amount, wbits));
+  }
+  if (!high_bits.empty()) {
+    Lit in_range = GateAndN(high_bits);
+    cur = Mux(in_range, cur, std::vector<Lit>(w, fill));
+  }
+  return cur;
+}
+
+void BitBlaster::Divide(const std::vector<Lit>& a, const std::vector<Lit>& b,
+                        std::vector<Lit>* quotient, std::vector<Lit>* remainder) {
+  uint32_t w = static_cast<uint32_t>(a.size());
+  // Restoring division, MSB first.
+  std::vector<Lit> rem = ConstBits(w, 0);
+  std::vector<Lit> quo(w, FalseLit());
+  for (int32_t i = static_cast<int32_t>(w) - 1; i >= 0; --i) {
+    // rem = (rem << 1) | a[i]
+    for (int32_t j = static_cast<int32_t>(w) - 1; j > 0; --j) {
+      rem[j] = rem[j - 1];
+    }
+    rem[0] = a[i];
+    // If rem >= b: rem -= b, quo[i] = 1.
+    Lit ge = ~UltLit(rem, b);
+    std::vector<Lit> diff = Subtract(rem, b);
+    rem = Mux(ge, diff, rem);
+    quo[i] = ge;
+  }
+  // Division by zero: quotient all ones, remainder = dividend.
+  Lit bz = IsZero(b);
+  *quotient = Mux(bz, ConstBits(w, ~uint64_t{0}), quo);
+  *remainder = Mux(bz, a, rem);
+}
+
+const std::vector<Lit>& BitBlaster::Blast(const ExprRef& e) {
+  auto it = cache_.find(e.get());
+  if (it != cache_.end()) {
+    return it->second;
+  }
+  std::vector<Lit> bits = BlastNode(e);
+  assert(bits.size() == e->width());
+  auto [pos, inserted] = cache_.emplace(e.get(), std::move(bits));
+  // Keep the expression alive as long as the cache references its pointer.
+  pinned_.push_back(e);
+  return pos->second;
+}
+
+std::vector<Lit> BitBlaster::BlastNode(const ExprRef& e) {
+  switch (e->kind()) {
+    case ExprKind::kConst:
+      return ConstBits(e->width(), e->aux());
+    case ExprKind::kVar: {
+      auto it = var_bits_.find(e->aux());
+      if (it == var_bits_.end()) {
+        std::vector<Lit> bits(e->width());
+        for (uint32_t i = 0; i < e->width(); ++i) {
+          bits[i] = NewLit();
+        }
+        it = var_bits_.emplace(e->aux(), std::move(bits)).first;
+        vars_.emplace(e->aux(), e);
+      }
+      return it->second;
+    }
+    case ExprKind::kAdd:
+      return Adder(Blast(e->kids()[0]), Blast(e->kids()[1]), FalseLit());
+    case ExprKind::kSub:
+      return Subtract(Blast(e->kids()[0]), Blast(e->kids()[1]));
+    case ExprKind::kMul:
+      return Multiply(Blast(e->kids()[0]), Blast(e->kids()[1]));
+    case ExprKind::kUDiv: {
+      std::vector<Lit> q, r;
+      Divide(Blast(e->kids()[0]), Blast(e->kids()[1]), &q, &r);
+      return q;
+    }
+    case ExprKind::kURem: {
+      std::vector<Lit> q, r;
+      Divide(Blast(e->kids()[0]), Blast(e->kids()[1]), &q, &r);
+      return r;
+    }
+    case ExprKind::kSDiv:
+    case ExprKind::kSRem: {
+      const std::vector<Lit>& a = Blast(e->kids()[0]);
+      const std::vector<Lit>& b = Blast(e->kids()[1]);
+      Lit sa = a.back();
+      Lit sb = b.back();
+      std::vector<Lit> ua = Mux(sa, Negate(a), a);
+      std::vector<Lit> ub = Mux(sb, Negate(b), b);
+      std::vector<Lit> q, r;
+      Divide(ua, ub, &q, &r);
+      if (e->kind() == ExprKind::kSDiv) {
+        Lit flip = GateXor(sa, sb);
+        // Division by zero must still produce all-ones (EvalExpr semantics).
+        Lit bz = IsZero(b);
+        std::vector<Lit> sq = Mux(flip, Negate(q), q);
+        return Mux(bz, ConstBits(e->width(), ~uint64_t{0}), sq);
+      }
+      // srem takes the sign of the dividend; rem-by-zero returns dividend.
+      Lit bz = IsZero(b);
+      std::vector<Lit> sr = Mux(sa, Negate(r), r);
+      return Mux(bz, a, sr);
+    }
+    case ExprKind::kAnd:
+    case ExprKind::kOr:
+    case ExprKind::kXor: {
+      const std::vector<Lit>& a = Blast(e->kids()[0]);
+      const std::vector<Lit>& b = Blast(e->kids()[1]);
+      std::vector<Lit> out(e->width());
+      for (uint32_t i = 0; i < e->width(); ++i) {
+        out[i] = e->kind() == ExprKind::kAnd  ? GateAnd(a[i], b[i])
+                 : e->kind() == ExprKind::kOr ? GateOr(a[i], b[i])
+                                              : GateXor(a[i], b[i]);
+      }
+      return out;
+    }
+    case ExprKind::kShl:
+      return Shifter(Blast(e->kids()[0]), Blast(e->kids()[1]), /*left=*/true,
+                     FalseLit());
+    case ExprKind::kLShr:
+      return Shifter(Blast(e->kids()[0]), Blast(e->kids()[1]), /*left=*/false,
+                     FalseLit());
+    case ExprKind::kAShr: {
+      const std::vector<Lit>& a = Blast(e->kids()[0]);
+      return Shifter(a, Blast(e->kids()[1]), /*left=*/false, a.back());
+    }
+    case ExprKind::kNot: {
+      const std::vector<Lit>& a = Blast(e->kids()[0]);
+      std::vector<Lit> out(a.size());
+      for (size_t i = 0; i < a.size(); ++i) {
+        out[i] = ~a[i];
+      }
+      return out;
+    }
+    case ExprKind::kEq:
+      return {EqLit(Blast(e->kids()[0]), Blast(e->kids()[1]))};
+    case ExprKind::kUlt:
+      return {UltLit(Blast(e->kids()[0]), Blast(e->kids()[1]))};
+    case ExprKind::kUle:
+      return {~UltLit(Blast(e->kids()[1]), Blast(e->kids()[0]))};
+    case ExprKind::kSlt:
+      return {SltLit(Blast(e->kids()[0]), Blast(e->kids()[1]))};
+    case ExprKind::kSle:
+      return {~SltLit(Blast(e->kids()[1]), Blast(e->kids()[0]))};
+    case ExprKind::kConcat: {
+      const std::vector<Lit>& high = Blast(e->kids()[0]);
+      const std::vector<Lit>& low = Blast(e->kids()[1]);
+      std::vector<Lit> out = low;
+      out.insert(out.end(), high.begin(), high.end());
+      return out;
+    }
+    case ExprKind::kExtract: {
+      const std::vector<Lit>& a = Blast(e->kids()[0]);
+      uint32_t low_bit = static_cast<uint32_t>(e->aux());
+      return std::vector<Lit>(a.begin() + low_bit, a.begin() + low_bit + e->width());
+    }
+    case ExprKind::kZExt: {
+      std::vector<Lit> out = Blast(e->kids()[0]);
+      out.resize(e->width(), FalseLit());
+      return out;
+    }
+    case ExprKind::kSExt: {
+      std::vector<Lit> out = Blast(e->kids()[0]);
+      Lit sign = out.back();
+      out.resize(e->width(), sign);
+      return out;
+    }
+    case ExprKind::kIte: {
+      Lit sel = Blast(e->kids()[0])[0];
+      return Mux(sel, Blast(e->kids()[1]), Blast(e->kids()[2]));
+    }
+  }
+  assert(false && "unhandled expr kind");
+  return {};
+}
+
+void BitBlaster::AssertTrue(const ExprRef& e) {
+  assert(e->width() == 1);
+  sat_->AddUnit(Blast(e)[0]);
+}
+
+uint64_t BitBlaster::ModelValue(const ExprRef& var_expr) const {
+  assert(var_expr->kind() == ExprKind::kVar);
+  auto it = var_bits_.find(var_expr->aux());
+  if (it == var_bits_.end()) {
+    return 0;
+  }
+  uint64_t v = 0;
+  for (size_t i = 0; i < it->second.size(); ++i) {
+    Lit l = it->second[i];
+    bool bit = sat_->ValueOf(l.var());
+    if (l.sign()) {
+      bit = !bit;
+    }
+    if (bit) {
+      v |= uint64_t{1} << i;
+    }
+  }
+  return v;
+}
+
+}  // namespace esd::solver

@@ -1,0 +1,81 @@
+// ESD solver: Tseitin bit-blasting of bitvector expressions to CNF.
+//
+// A BitBlaster owns a SatSolver and translates Expr DAGs into circuits over
+// SAT literals. Each distinct Expr node (by pointer) is translated once and
+// cached, so shared subtrees cost one circuit.
+#ifndef ESD_SRC_SOLVER_BITBLAST_H_
+#define ESD_SRC_SOLVER_BITBLAST_H_
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "src/solver/expr.h"
+#include "src/solver/sat.h"
+
+namespace esd::solver {
+
+class BitBlaster {
+ public:
+  explicit BitBlaster(SatSolver* sat) : sat_(sat) {}
+
+  // Asserts that the width-1 expression `e` is true.
+  void AssertTrue(const ExprRef& e);
+
+  // Returns the literal vector (LSB first) encoding `e`.
+  const std::vector<Lit>& Blast(const ExprRef& e);
+
+  // After a kSat result, extracts the value of variable `var_expr` from the
+  // SAT model. The variable must have been blasted (directly or as part of a
+  // larger expression); unconstrained bits read as 0.
+  uint64_t ModelValue(const ExprRef& var_expr) const;
+
+  // All symbolic variables encountered during blasting, id -> expr.
+  const std::map<uint64_t, ExprRef>& vars() const { return vars_; }
+
+ private:
+  Lit TrueLit();
+  Lit FalseLit() { return ~TrueLit(); }
+  Lit NewLit() { return Lit::Pos(sat_->NewVar()); }
+
+  // Gate builders (return a fresh literal constrained to the gate output).
+  Lit GateAnd(Lit a, Lit b);
+  Lit GateOr(Lit a, Lit b);
+  Lit GateXor(Lit a, Lit b);
+  Lit GateMux(Lit sel, Lit t, Lit f);  // sel ? t : f
+  // Builds a literal equal to the AND of all of `xs`.
+  Lit GateAndN(const std::vector<Lit>& xs);
+
+  std::vector<Lit> ConstBits(uint32_t width, uint64_t value);
+  std::vector<Lit> Adder(const std::vector<Lit>& a, const std::vector<Lit>& b,
+                         Lit carry_in);
+  std::vector<Lit> Negate(const std::vector<Lit>& a);
+  std::vector<Lit> Subtract(const std::vector<Lit>& a, const std::vector<Lit>& b);
+  std::vector<Lit> Multiply(const std::vector<Lit>& a, const std::vector<Lit>& b);
+  // Unsigned divide: fills quotient and remainder (division by zero yields
+  // all-ones quotient and remainder == dividend, matching EvalExpr).
+  void Divide(const std::vector<Lit>& a, const std::vector<Lit>& b,
+              std::vector<Lit>* quotient, std::vector<Lit>* remainder);
+  Lit IsZero(const std::vector<Lit>& a);
+  Lit UltLit(const std::vector<Lit>& a, const std::vector<Lit>& b);
+  Lit SltLit(const std::vector<Lit>& a, const std::vector<Lit>& b);
+  Lit EqLit(const std::vector<Lit>& a, const std::vector<Lit>& b);
+  std::vector<Lit> Shifter(const std::vector<Lit>& a, const std::vector<Lit>& amount,
+                           bool left, Lit fill);
+  std::vector<Lit> Mux(Lit sel, const std::vector<Lit>& t, const std::vector<Lit>& f);
+
+  std::vector<Lit> BlastNode(const ExprRef& e);
+
+  SatSolver* sat_;
+  std::unordered_map<const Expr*, std::vector<Lit>> cache_;
+  std::vector<ExprRef> pinned_;  // Keeps cached Expr pointers alive.
+  std::map<uint64_t, std::vector<Lit>> var_bits_;  // var id -> bits
+  std::map<uint64_t, ExprRef> vars_;
+  Lit true_lit_{0};
+  bool have_true_lit_ = false;
+};
+
+}  // namespace esd::solver
+
+#endif  // ESD_SRC_SOLVER_BITBLAST_H_

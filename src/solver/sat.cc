@@ -1,0 +1,337 @@
+#include "src/solver/sat.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace esd::solver {
+
+SatSolver::SatSolver() = default;
+
+uint32_t SatSolver::NewVar() {
+  uint32_t v = static_cast<uint32_t>(assign_.size());
+  assign_.push_back(kUndef);
+  level_.push_back(0);
+  reason_.push_back(kNoReason);
+  activity_.push_back(0.0);
+  seen_.push_back(0);
+  watches_.emplace_back();
+  watches_.emplace_back();
+  return v;
+}
+
+void SatSolver::AddClause(std::vector<Lit> lits) {
+  if (unsat_) {
+    return;
+  }
+  // Remove duplicate literals; detect tautologies.
+  std::sort(lits.begin(), lits.end(),
+            [](Lit a, Lit b) { return a.code < b.code; });
+  lits.erase(std::unique(lits.begin(), lits.end()), lits.end());
+  for (size_t i = 0; i + 1 < lits.size(); ++i) {
+    if (lits[i].var() == lits[i + 1].var()) {
+      return;  // Contains both l and ~l: tautology.
+    }
+  }
+  // Strip literals already false at level 0; drop clause if any is true.
+  std::vector<Lit> kept;
+  kept.reserve(lits.size());
+  for (Lit l : lits) {
+    int8_t v = assign_[l.var()];
+    if (v != kUndef && level_[l.var()] == 0) {
+      if (LitValue(l) == kTrue) {
+        return;
+      }
+      continue;  // False at top level: skip.
+    }
+    kept.push_back(l);
+  }
+  if (kept.empty()) {
+    unsat_ = true;
+    return;
+  }
+  if (kept.size() == 1) {
+    if (LitValue(kept[0]) == kUndef) {
+      Enqueue(kept[0], kNoReason);
+      if (Propagate() != kNoReason) {
+        unsat_ = true;
+      }
+    } else if (LitValue(kept[0]) == kFalse) {
+      unsat_ = true;
+    }
+    return;
+  }
+  clauses_.push_back(Clause{std::move(kept), false});
+  AttachClause(static_cast<uint32_t>(clauses_.size() - 1));
+}
+
+void SatSolver::AttachClause(uint32_t ci) {
+  const Clause& c = clauses_[ci];
+  watches_[(~c.lits[0]).code].push_back(ci);
+  watches_[(~c.lits[1]).code].push_back(ci);
+}
+
+void SatSolver::Enqueue(Lit l, uint32_t reason) {
+  assert(LitValue(l) == kUndef);
+  assign_[l.var()] = l.sign() ? kFalse : kTrue;
+  level_[l.var()] = static_cast<uint32_t>(trail_lim_.size());
+  reason_[l.var()] = reason;
+  trail_.push_back(l);
+}
+
+uint32_t SatSolver::Propagate() {
+  while (propagate_head_ < trail_.size()) {
+    Lit p = trail_[propagate_head_++];
+    ++stats_.propagations;
+    // Clauses watching ~p must find a new watch or propagate/conflict.
+    std::vector<uint32_t>& watch_list = watches_[p.code];
+    size_t out = 0;
+    for (size_t in = 0; in < watch_list.size(); ++in) {
+      uint32_t ci = watch_list[in];
+      Clause& c = clauses_[ci];
+      // Normalize so that the false literal (~p) is at position 1.
+      if (c.lits[0] == ~p) {
+        std::swap(c.lits[0], c.lits[1]);
+      }
+      if (LitValue(c.lits[0]) == kTrue) {
+        watch_list[out++] = ci;  // Clause satisfied; keep watch.
+        continue;
+      }
+      // Find a new literal to watch.
+      bool found = false;
+      for (size_t k = 2; k < c.lits.size(); ++k) {
+        if (LitValue(c.lits[k]) != kFalse) {
+          std::swap(c.lits[1], c.lits[k]);
+          watches_[(~c.lits[1]).code].push_back(ci);
+          found = true;
+          break;
+        }
+      }
+      if (found) {
+        continue;  // Watch moved; do not keep in this list.
+      }
+      // No new watch: clause is unit or conflicting.
+      watch_list[out++] = ci;
+      if (LitValue(c.lits[0]) == kFalse) {
+        // Conflict: restore remaining watches and report.
+        for (size_t k = in + 1; k < watch_list.size(); ++k) {
+          watch_list[out++] = watch_list[k];
+        }
+        watch_list.resize(out);
+        propagate_head_ = trail_.size();
+        return ci;
+      }
+      Enqueue(c.lits[0], ci);
+    }
+    watch_list.resize(out);
+  }
+  return kNoReason;
+}
+
+void SatSolver::BumpVar(uint32_t var) {
+  activity_[var] += activity_inc_;
+  if (activity_[var] > 1e100) {
+    for (double& a : activity_) {
+      a *= 1e-100;
+    }
+    activity_inc_ *= 1e-100;
+  }
+}
+
+void SatSolver::DecayActivities() { activity_inc_ *= 1.0 / 0.95; }
+
+void SatSolver::Analyze(uint32_t conflict, std::vector<Lit>* learnt,
+                        uint32_t* backtrack_level) {
+  learnt->clear();
+  learnt->push_back(Lit{0});  // Placeholder for the asserting literal.
+  uint32_t counter = 0;
+  Lit p{0};
+  bool have_p = false;
+  uint32_t index = static_cast<uint32_t>(trail_.size());
+  uint32_t current_level = static_cast<uint32_t>(trail_lim_.size());
+
+  uint32_t ci = conflict;
+  do {
+    const Clause& c = clauses_[ci];
+    for (size_t i = have_p ? 1 : 0; i < c.lits.size(); ++i) {
+      Lit q = c.lits[i];
+      if (have_p && q == p) {
+        continue;
+      }
+      uint32_t v = q.var();
+      if (!seen_[v] && level_[v] > 0) {
+        seen_[v] = 1;
+        BumpVar(v);
+        if (level_[v] >= current_level) {
+          ++counter;
+        } else {
+          learnt->push_back(q);
+        }
+      }
+    }
+    // Pick the next literal on the trail to resolve on.
+    while (!seen_[trail_[index - 1].var()]) {
+      --index;
+    }
+    --index;
+    p = trail_[index];
+    have_p = true;
+    seen_[p.var()] = 0;
+    --counter;
+    if (counter > 0) {
+      // Propagated literals always sit at position 0 of their reason clause,
+      // so resolution can skip index 0 on the next iteration.
+      ci = reason_[p.var()];
+      assert(ci != kNoReason);
+      assert(clauses_[ci].lits[0] == p);
+    }
+  } while (counter > 0);
+  (*learnt)[0] = ~p;
+
+  // Compute the backtrack level (second-highest level in the clause).
+  *backtrack_level = 0;
+  if (learnt->size() > 1) {
+    size_t max_i = 1;
+    for (size_t i = 2; i < learnt->size(); ++i) {
+      if (level_[(*learnt)[i].var()] > level_[(*learnt)[max_i].var()]) {
+        max_i = i;
+      }
+    }
+    std::swap((*learnt)[1], (*learnt)[max_i]);
+    *backtrack_level = level_[(*learnt)[1].var()];
+  }
+  for (Lit l : *learnt) {
+    seen_[l.var()] = 0;
+  }
+}
+
+void SatSolver::Backtrack(uint32_t target_level) {
+  if (trail_lim_.size() <= target_level) {
+    return;
+  }
+  size_t keep = trail_lim_[target_level];
+  for (size_t i = trail_.size(); i > keep; --i) {
+    uint32_t v = trail_[i - 1].var();
+    assign_[v] = kUndef;
+    reason_[v] = kNoReason;
+  }
+  trail_.resize(keep);
+  trail_lim_.resize(target_level);
+  propagate_head_ = keep;
+}
+
+Lit SatSolver::PickBranchLit() {
+  // Occasionally pick a random unassigned variable to escape heavy tails.
+  rng_state_ = rng_state_ * 6364136223846793005ull + 1442695040888963407ull;
+  if ((rng_state_ >> 33) % 100 < 2) {
+    uint32_t n = NumVars();
+    uint32_t start = static_cast<uint32_t>((rng_state_ >> 17) % n);
+    for (uint32_t i = 0; i < n; ++i) {
+      uint32_t v = (start + i) % n;
+      if (assign_[v] == kUndef) {
+        return Lit::Neg(v);
+      }
+    }
+  }
+  // Highest-activity unassigned variable.
+  double best = -1.0;
+  uint32_t best_var = 0;
+  bool found = false;
+  for (uint32_t v = 0; v < NumVars(); ++v) {
+    if (assign_[v] == kUndef && activity_[v] > best) {
+      best = activity_[v];
+      best_var = v;
+      found = true;
+    }
+  }
+  if (!found) {
+    return Lit{0xffffffffu};
+  }
+  return Lit::Neg(best_var);  // Negative-first polarity, as in MiniSat.
+}
+
+uint64_t SatSolver::Luby(uint64_t i) {
+  // luby(i) for i >= 1: if i == 2^k - 1 the value is 2^(k-1); otherwise
+  // recurse on i - (2^(k-1) - 1) where 2^(k-1) - 1 < i < 2^k - 1.
+  uint64_t x = i + 1;
+  for (;;) {
+    uint64_t k = 1;
+    while ((uint64_t{1} << k) - 1 < x) {
+      ++k;
+    }
+    if ((uint64_t{1} << k) - 1 == x) {
+      return uint64_t{1} << (k - 1);
+    }
+    x -= (uint64_t{1} << (k - 1)) - 1;
+  }
+}
+
+SatResult SatSolver::Solve(int64_t max_conflicts) {
+  if (unsat_) {
+    return SatResult::kUnsat;
+  }
+  Backtrack(0);
+  if (Propagate() != kNoReason) {
+    unsat_ = true;
+    return SatResult::kUnsat;
+  }
+
+  uint64_t restart_count = 0;
+  uint64_t conflicts_until_restart = 64 * Luby(restart_count);
+  uint64_t conflicts_this_restart = 0;
+  int64_t total_conflicts = 0;
+
+  for (;;) {
+    uint32_t conflict = Propagate();
+    if (conflict != kNoReason) {
+      ++stats_.conflicts;
+      ++conflicts_this_restart;
+      ++total_conflicts;
+      if (trail_lim_.empty()) {
+        return SatResult::kUnsat;
+      }
+      std::vector<Lit> learnt;
+      uint32_t backtrack_level = 0;
+      Analyze(conflict, &learnt, &backtrack_level);
+      Backtrack(backtrack_level);
+      if (learnt.size() == 1) {
+        Backtrack(0);
+        if (LitValue(learnt[0]) == kFalse) {
+          return SatResult::kUnsat;
+        }
+        if (LitValue(learnt[0]) == kUndef) {
+          Enqueue(learnt[0], kNoReason);
+        }
+      } else {
+        clauses_.push_back(Clause{std::move(learnt), true});
+        ++stats_.learned_clauses;
+        uint32_t ci = static_cast<uint32_t>(clauses_.size() - 1);
+        AttachClause(ci);
+        if (LitValue(clauses_[ci].lits[0]) == kUndef) {
+          Enqueue(clauses_[ci].lits[0], ci);
+        }
+      }
+      DecayActivities();
+      if (max_conflicts >= 0 && total_conflicts >= max_conflicts) {
+        return SatResult::kUnknown;
+      }
+      if (conflicts_this_restart >= conflicts_until_restart) {
+        ++stats_.restarts;
+        ++restart_count;
+        conflicts_this_restart = 0;
+        conflicts_until_restart = 64 * Luby(restart_count);
+        Backtrack(0);
+      }
+      continue;
+    }
+
+    Lit next = PickBranchLit();
+    if (next.code == 0xffffffffu) {
+      return SatResult::kSat;  // All variables assigned.
+    }
+    ++stats_.decisions;
+    trail_lim_.push_back(static_cast<uint32_t>(trail_.size()));
+    Enqueue(next, kNoReason);
+  }
+}
+
+}  // namespace esd::solver

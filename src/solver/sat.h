@@ -1,0 +1,108 @@
+// ESD solver: a CDCL SAT solver.
+//
+// A compact conflict-driven clause-learning solver in the MiniSat lineage:
+// two-watched-literal propagation, VSIDS-style activity ordering, first-UIP
+// conflict analysis, and Luby restarts. It decides the CNF produced by the
+// bit-blaster (see bitblast.h).
+#ifndef ESD_SRC_SOLVER_SAT_H_
+#define ESD_SRC_SOLVER_SAT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace esd::solver {
+
+// A literal: variable index v (0-based) with sign. Encoded as 2*v (positive)
+// or 2*v+1 (negated).
+struct Lit {
+  uint32_t code = 0;
+
+  static Lit Pos(uint32_t var) { return Lit{var << 1}; }
+  static Lit Neg(uint32_t var) { return Lit{(var << 1) | 1}; }
+  uint32_t var() const { return code >> 1; }
+  bool sign() const { return code & 1; }  // true = negated
+  Lit operator~() const { return Lit{code ^ 1}; }
+  friend bool operator==(const Lit&, const Lit&) = default;
+};
+
+enum class SatResult { kSat, kUnsat, kUnknown };
+
+class SatSolver {
+ public:
+  SatSolver();
+
+  // Allocates a fresh variable; returns its index.
+  uint32_t NewVar();
+  uint32_t NumVars() const { return static_cast<uint32_t>(assign_.size()); }
+
+  // Adds a clause (disjunction of literals). An empty clause makes the
+  // instance trivially unsatisfiable.
+  void AddClause(std::vector<Lit> lits);
+  void AddUnit(Lit a) { AddClause({a}); }
+  void AddBinary(Lit a, Lit b) { AddClause({a, b}); }
+  void AddTernary(Lit a, Lit b, Lit c) { AddClause({a, b, c}); }
+
+  // Decides the instance. `max_conflicts` < 0 means no limit; on limit the
+  // result is kUnknown. Queries are one-shot: callers encode "assumptions"
+  // as unit clauses on a fresh solver.
+  SatResult Solve(int64_t max_conflicts = -1);
+
+  // Valid after Solve() returned kSat.
+  bool ValueOf(uint32_t var) const { return assign_[var] == kTrue; }
+
+  struct Stats {
+    uint64_t conflicts = 0;
+    uint64_t decisions = 0;
+    uint64_t propagations = 0;
+    uint64_t restarts = 0;
+    uint64_t learned_clauses = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  static constexpr int8_t kUndef = 0;
+  static constexpr int8_t kTrue = 1;
+  static constexpr int8_t kFalse = -1;
+  static constexpr uint32_t kNoReason = 0xffffffffu;
+
+  struct Clause {
+    std::vector<Lit> lits;
+    bool learned = false;
+  };
+
+  int8_t LitValue(Lit l) const {
+    int8_t v = assign_[l.var()];
+    return l.sign() ? static_cast<int8_t>(-v) : v;
+  }
+
+  void Enqueue(Lit l, uint32_t reason);
+  // Returns the index of a conflicting clause, or kNoReason if none.
+  uint32_t Propagate();
+  void Analyze(uint32_t conflict, std::vector<Lit>* learnt, uint32_t* backtrack_level);
+  void Backtrack(uint32_t level);
+  void BumpVar(uint32_t var);
+  void DecayActivities();
+  Lit PickBranchLit();
+  void AttachClause(uint32_t ci);
+  static uint64_t Luby(uint64_t i);
+
+  std::vector<Clause> clauses_;
+  std::vector<std::vector<uint32_t>> watches_;  // Indexed by literal code.
+  std::vector<int8_t> assign_;                  // Per-var tri-state.
+  std::vector<uint32_t> level_;                 // Decision level per var.
+  std::vector<uint32_t> reason_;                // Clause index or kNoReason.
+  std::vector<Lit> trail_;
+  std::vector<uint32_t> trail_lim_;             // Trail index per decision level.
+  size_t propagate_head_ = 0;
+  std::vector<double> activity_;
+  double activity_inc_ = 1.0;
+  std::vector<uint8_t> seen_;  // Scratch for Analyze().
+  bool unsat_ = false;
+  uint64_t rng_state_ = 0x853c49e6748fea9bull;
+  Stats stats_;
+};
+
+}  // namespace esd::solver
+
+#endif  // ESD_SRC_SOLVER_SAT_H_

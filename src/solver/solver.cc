@@ -1,0 +1,176 @@
+#include "src/solver/solver.h"
+
+#include <set>
+
+#include "src/solver/bitblast.h"
+#include "src/solver/sat.h"
+
+namespace esd::solver {
+namespace {
+
+bool ModelSatisfies(const Model& model, const std::vector<ExprRef>& constraints) {
+  for (const ExprRef& c : constraints) {
+    if (EvalExpr(c, model.values) == 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+size_t ConstraintSolver::HashQuery(const std::vector<ExprRef>& constraints) const {
+  size_t h = 0x51ed270b;
+  for (const ExprRef& c : constraints) {
+    // Order-independent combination so permuted constraint sets hit.
+    h ^= c->hash() * 0x9e3779b97f4a7c15ull;
+  }
+  return h;
+}
+
+bool ConstraintSolver::IsSatisfiable(const std::vector<ExprRef>& constraints,
+                                     Model* model) {
+  ++stats_.queries;
+  // Constant-level short circuit.
+  std::vector<ExprRef> live;
+  live.reserve(constraints.size());
+  for (const ExprRef& c : constraints) {
+    if (c->IsFalse()) {
+      return false;
+    }
+    if (!c->IsTrue()) {
+      live.push_back(c);
+    }
+  }
+  if (live.empty()) {
+    if (model) {
+      *model = Model{};
+    }
+    return true;
+  }
+  // Counterexample cache: the previous model often still satisfies the
+  // (usually grown-by-one) constraint set.
+  if (last_model_ && ModelSatisfies(*last_model_, live)) {
+    ++stats_.cex_hits;
+    if (model) {
+      *model = *last_model_;
+    }
+    return true;
+  }
+  size_t key = HashQuery(live);
+  if (auto it = query_cache_.find(key); it != query_cache_.end() && !model) {
+    // Cache answers only "is it satisfiable"; model requests must solve so
+    // the caller gets a concrete assignment.
+    if (!it->second) {
+      ++stats_.cache_hits;
+      return false;
+    }
+  }
+  bool sat = SolveUncached(live, model);
+  query_cache_[key] = sat;
+  return sat;
+}
+
+bool ConstraintSolver::SolveUncached(const std::vector<ExprRef>& constraints,
+                                     Model* model) {
+  ++stats_.sat_calls;
+  SatSolver sat;
+  BitBlaster blaster(&sat);
+  for (const ExprRef& c : constraints) {
+    blaster.AssertTrue(c);
+  }
+  SatResult result = sat.Solve();
+  if (result != SatResult::kSat) {
+    return false;
+  }
+  Model m;
+  for (const auto& [id, var] : blaster.vars()) {
+    m.values[id] = blaster.ModelValue(var);
+    m.names[id] = var->name();
+  }
+  last_model_ = m;
+  if (model) {
+    *model = std::move(m);
+  }
+  return true;
+}
+
+std::vector<ExprRef> ConstraintSolver::IndependentSlice(
+    const std::vector<ExprRef>& constraints, const ExprRef& cond) {
+  // Var sets per constraint, then fixed-point closure starting from cond's
+  // variables.
+  std::map<uint64_t, ExprRef> seed;
+  CollectVars(cond, &seed);
+  std::set<uint64_t> reached;
+  for (const auto& [id, unused] : seed) {
+    reached.insert(id);
+  }
+  std::vector<std::set<uint64_t>> vars_of(constraints.size());
+  for (size_t i = 0; i < constraints.size(); ++i) {
+    std::map<uint64_t, ExprRef> vs;
+    CollectVars(constraints[i], &vs);
+    for (const auto& [id, unused] : vs) {
+      vars_of[i].insert(id);
+    }
+  }
+  std::vector<bool> in_slice(constraints.size(), false);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t i = 0; i < constraints.size(); ++i) {
+      if (in_slice[i]) {
+        continue;
+      }
+      bool overlaps = false;
+      for (uint64_t v : vars_of[i]) {
+        if (reached.count(v)) {
+          overlaps = true;
+          break;
+        }
+      }
+      if (overlaps) {
+        in_slice[i] = true;
+        changed = true;
+        for (uint64_t v : vars_of[i]) {
+          reached.insert(v);
+        }
+      }
+    }
+  }
+  std::vector<ExprRef> slice;
+  for (size_t i = 0; i < constraints.size(); ++i) {
+    if (in_slice[i]) {
+      slice.push_back(constraints[i]);
+    }
+  }
+  return slice;
+}
+
+bool ConstraintSolver::MayBeTrue(const std::vector<ExprRef>& constraints,
+                                 const ExprRef& cond) {
+  if (cond->IsTrue()) {
+    // Reachability of the current path is the engine's invariant.
+    return true;
+  }
+  if (cond->IsFalse()) {
+    return false;
+  }
+  // Independence slicing: constraints over unrelated variables cannot
+  // affect cond's feasibility (they are satisfiable by path-consistency).
+  std::vector<ExprRef> with = IndependentSlice(constraints, cond);
+  stats_.sliced_constraints += constraints.size() - with.size();
+  with.push_back(cond);
+  return IsSatisfiable(with);
+}
+
+bool ConstraintSolver::MayBeFalse(const std::vector<ExprRef>& constraints,
+                                  const ExprRef& cond) {
+  return MayBeTrue(constraints, MakeLogicalNot(cond));
+}
+
+bool ConstraintSolver::MustBeTrue(const std::vector<ExprRef>& constraints,
+                                  const ExprRef& cond) {
+  return !MayBeFalse(constraints, cond);
+}
+
+}  // namespace esd::solver

@@ -1,0 +1,79 @@
+// ESD solver: the facade used by the symbolic-execution engine.
+//
+// Answers satisfiability and implication queries over path constraints and
+// produces concrete models (the program inputs ESD reports). Mirrors the
+// role STP plays under KLEE in the paper's prototype. Two layers keep the
+// common path fast, as in KLEE:
+//   1. a counterexample cache: the model from the last kSat answer for a
+//      prefix set is re-checked by cheap evaluation before any SAT call;
+//   2. a query cache keyed on the structural hash of the constraint set.
+#ifndef ESD_SRC_SOLVER_SOLVER_H_
+#define ESD_SRC_SOLVER_SOLVER_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/solver/expr.h"
+
+namespace esd::solver {
+
+// A satisfying assignment: symbolic-variable id -> concrete value. Variables
+// absent from the map are unconstrained (any value works; use 0).
+struct Model {
+  std::map<uint64_t, uint64_t> values;
+  // Names for reporting: id -> input name (filled from the vars seen).
+  std::map<uint64_t, std::string> names;
+
+  uint64_t ValueOf(uint64_t var_id) const {
+    auto it = values.find(var_id);
+    return it == values.end() ? 0 : it->second;
+  }
+};
+
+class ConstraintSolver {
+ public:
+  ConstraintSolver() = default;
+
+  // Is the conjunction of `constraints` satisfiable? Fills `model` (may be
+  // null) on success.
+  bool IsSatisfiable(const std::vector<ExprRef>& constraints, Model* model = nullptr);
+
+  // May `cond` be true/false given `constraints`?
+  bool MayBeTrue(const std::vector<ExprRef>& constraints, const ExprRef& cond);
+  bool MayBeFalse(const std::vector<ExprRef>& constraints, const ExprRef& cond);
+  // Is `cond` implied by `constraints`?
+  bool MustBeTrue(const std::vector<ExprRef>& constraints, const ExprRef& cond);
+
+  struct Stats {
+    uint64_t queries = 0;
+    uint64_t cache_hits = 0;
+    uint64_t cex_hits = 0;  // Counterexample-cache fast-path hits.
+    uint64_t sat_calls = 0;
+    uint64_t sliced_constraints = 0;  // Dropped by independence slicing.
+  };
+  const Stats& stats() const { return stats_; }
+
+  // KLEE-style constraint independence: the subset of `constraints` that
+  // transitively shares symbolic variables with `cond`. For branch
+  // feasibility queries the other constraints are irrelevant — they are
+  // satisfiable by path-consistency — so only the related slice is solved.
+  static std::vector<ExprRef> IndependentSlice(const std::vector<ExprRef>& constraints,
+                                               const ExprRef& cond);
+
+ private:
+  bool SolveUncached(const std::vector<ExprRef>& constraints, Model* model);
+
+  size_t HashQuery(const std::vector<ExprRef>& constraints) const;
+
+  std::unordered_map<size_t, bool> query_cache_;
+  std::optional<Model> last_model_;
+  Stats stats_;
+};
+
+}  // namespace esd::solver
+
+#endif  // ESD_SRC_SOLVER_SOLVER_H_

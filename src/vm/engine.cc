@@ -1,0 +1,105 @@
+#include "src/vm/engine.h"
+
+namespace esd::vm {
+
+Engine::Engine(Interpreter* interpreter, Searcher* searcher, Options options)
+    : interpreter_(interpreter), searcher_(searcher), options_(options) {
+  interpreter_->set_services(this);
+}
+
+void Engine::Register(const StatePtr& state) {
+  live_.emplace(state.get(), state);
+  ++states_created_;
+}
+
+void Engine::Unregister(const StatePtr& state) { live_.erase(state.get()); }
+
+void Engine::Start(StatePtr initial) {
+  Register(initial);
+  searcher_->Add(std::move(initial));
+}
+
+StatePtr Engine::ForkState(const ExecutionState& state) {
+  return state.Fork(interpreter_->AllocStateId());
+}
+
+void Engine::AddState(StatePtr state) {
+  Register(state);
+  searcher_->Add(std::move(state));
+}
+
+void Engine::Reprioritize(const StatePtr& state) { searcher_->Update(state); }
+
+StatePtr Engine::SharedRef(const ExecutionState& state) {
+  auto it = live_.find(&state);
+  return it == live_.end() ? nullptr : it->second;
+}
+
+Engine::Result Engine::Run(const BugMatcher& matcher) {
+  Result result;
+  auto start_time = std::chrono::steady_clock::now();
+  uint64_t instructions = 0;
+  auto elapsed = [&] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_time)
+        .count();
+  };
+
+  while (!searcher_->Empty()) {
+    if (instructions >= options_.max_instructions || live_.size() > options_.max_states) {
+      result.status = Result::Status::kLimitReached;
+      break;
+    }
+    if ((instructions & 0x3ff) == 0 && elapsed() > options_.time_cap_seconds) {
+      result.status = Result::Status::kLimitReached;
+      break;
+    }
+    StatePtr state = searcher_->Select();
+    if (state == nullptr) {
+      break;
+    }
+    StepResult step = interpreter_->Step(*state);
+    ++instructions;
+    for (StatePtr& fork : step.forks) {
+      Register(fork);
+      searcher_->Add(std::move(fork));
+    }
+    if (step.state_done) {
+      searcher_->Remove(state);
+      Unregister(state);
+      if (step.bug.IsBug()) {
+        if (matcher && matcher(*state, step.bug)) {
+          result.status = Result::Status::kGoalFound;
+          result.goal_state = state;
+          result.bug = step.bug;
+          break;
+        }
+        if (unexpected_cb_) {
+          unexpected_cb_(*state, step.bug);
+        }
+      }
+    } else {
+      searcher_->Update(state);
+    }
+  }
+  result.instructions = instructions;
+  result.states_created = states_created_;
+  result.seconds = elapsed();
+  return result;
+}
+
+SingleRunResult RunToCompletion(Interpreter& interpreter, ExecutionState& state,
+                                uint64_t max_instructions) {
+  SingleRunResult result;
+  for (uint64_t i = 0; i < max_instructions; ++i) {
+    StepResult step = interpreter.Step(state);
+    ++result.instructions;
+    if (step.state_done) {
+      result.completed = true;
+      result.bug = step.bug;
+      return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace esd::vm

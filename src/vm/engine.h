@@ -1,0 +1,86 @@
+// ESD VM: the exploration engine.
+//
+// Drives the searcher/interpreter loop of §3.3: pick a state, execute one
+// instruction, absorb forks, stop when a state manifests the goal bug (as
+// judged by the caller's matcher) or the budget is exhausted. Implements
+// EngineServices so schedule strategies can fork snapshot states and
+// re-prioritize them (the K_S machinery of §4.1).
+#ifndef ESD_SRC_VM_ENGINE_H_
+#define ESD_SRC_VM_ENGINE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "src/vm/interpreter.h"
+#include "src/vm/searcher.h"
+
+namespace esd::vm {
+
+class Engine : public EngineServices {
+ public:
+  struct Options {
+    uint64_t max_instructions = 100'000'000;
+    size_t max_states = 1'000'000;
+    double time_cap_seconds = 3600.0;
+  };
+
+  // Decides whether a bug terminating some state is the goal.
+  using BugMatcher = std::function<bool(const ExecutionState&, const BugInfo&)>;
+  // Invoked for bugs that do not match the goal ("ESD has discovered a
+  // different bug. It records the information ... and resumes the search").
+  using BugCallback = std::function<void(const ExecutionState&, const BugInfo&)>;
+
+  Engine(Interpreter* interpreter, Searcher* searcher, Options options);
+
+  void Start(StatePtr initial);
+
+  struct Result {
+    enum class Status { kGoalFound, kExhausted, kLimitReached };
+    Status status = Status::kExhausted;
+    StatePtr goal_state;
+    BugInfo bug;
+    uint64_t instructions = 0;
+    uint64_t states_created = 0;
+    double seconds = 0.0;
+  };
+
+  Result Run(const BugMatcher& matcher);
+
+  void set_unexpected_bug_callback(BugCallback cb) { unexpected_cb_ = std::move(cb); }
+
+  // EngineServices:
+  StatePtr ForkState(const ExecutionState& state) override;
+  void AddState(StatePtr state) override;
+  void Reprioritize(const StatePtr& state) override;
+  StatePtr SharedRef(const ExecutionState& state) override;
+
+  Interpreter& interpreter() { return *interpreter_; }
+
+ private:
+  void Register(const StatePtr& state);
+  void Unregister(const StatePtr& state);
+
+  Interpreter* interpreter_;
+  Searcher* searcher_;
+  Options options_;
+  std::map<const ExecutionState*, StatePtr> live_;
+  BugCallback unexpected_cb_;
+  uint64_t states_created_ = 0;
+};
+
+// Runs a single state to completion without a searcher (concrete stress runs
+// and playback). Branch forks are not expected (concrete conditions never
+// fork); schedule forks require an engine and are likewise absent here.
+struct SingleRunResult {
+  bool completed = false;  // Ran to state_done within the budget.
+  BugInfo bug;
+  uint64_t instructions = 0;
+};
+SingleRunResult RunToCompletion(Interpreter& interpreter, ExecutionState& state,
+                                uint64_t max_instructions);
+
+}  // namespace esd::vm
+
+#endif  // ESD_SRC_VM_ENGINE_H_

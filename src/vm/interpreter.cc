@@ -1,0 +1,1379 @@
+#include "src/vm/interpreter.h"
+
+#include <cassert>
+#include <map>
+#include <sstream>
+
+namespace esd::vm {
+namespace {
+
+using solver::ExprRef;
+
+// External functions handled by the VM (the paper's environment model plus
+// the POSIX-thread layer of §6.1).
+enum class ExternalId {
+  kGetchar,
+  kGetenv,
+  kInputI32,
+  kInputI64,
+  kInputBytes,
+  kMalloc,
+  kFree,
+  kMemset,
+  kMemcpy,
+  kStrlen,
+  kPrintStr,
+  kPrintI64,
+  kExit,
+  kAbort,
+  kAssert,
+  kThreadCreate,
+  kThreadJoin,
+  kMutexInit,
+  kMutexLock,
+  kMutexUnlock,
+  kCondInit,
+  kCondWait,
+  kCondSignal,
+  kCondBroadcast,
+  kYield,
+  kUnknown,
+};
+
+ExternalId LookupExternal(const std::string& name) {
+  static const std::map<std::string, ExternalId> kMap = {
+      {"getchar", ExternalId::kGetchar},
+      {"getenv", ExternalId::kGetenv},
+      {"esd_input_i32", ExternalId::kInputI32},
+      {"esd_input_i64", ExternalId::kInputI64},
+      {"esd_input_bytes", ExternalId::kInputBytes},
+      {"malloc", ExternalId::kMalloc},
+      {"free", ExternalId::kFree},
+      {"memset", ExternalId::kMemset},
+      {"memcpy", ExternalId::kMemcpy},
+      {"strlen", ExternalId::kStrlen},
+      {"print_str", ExternalId::kPrintStr},
+      {"print_i64", ExternalId::kPrintI64},
+      {"exit", ExternalId::kExit},
+      {"abort", ExternalId::kAbort},
+      {"esd_assert", ExternalId::kAssert},
+      {"thread_create", ExternalId::kThreadCreate},
+      {"thread_join", ExternalId::kThreadJoin},
+      {"mutex_init", ExternalId::kMutexInit},
+      {"mutex_lock", ExternalId::kMutexLock},
+      {"mutex_unlock", ExternalId::kMutexUnlock},
+      {"cond_init", ExternalId::kCondInit},
+      {"cond_wait", ExternalId::kCondWait},
+      {"cond_signal", ExternalId::kCondSignal},
+      {"cond_broadcast", ExternalId::kCondBroadcast},
+      {"yield", ExternalId::kYield},
+      {"sleep_ms", ExternalId::kYield},
+  };
+  auto it = kMap.find(name);
+  return it == kMap.end() ? ExternalId::kUnknown : it->second;
+}
+
+BugInfo MakeBug(BugInfo::Kind kind, ir::InstRef pc, uint32_t tid, uint64_t addr,
+                std::string message) {
+  BugInfo bug;
+  bug.kind = kind;
+  bug.pc = pc;
+  bug.tid = tid;
+  bug.fault_addr = addr;
+  bug.message = std::move(message);
+  return bug;
+}
+
+}  // namespace
+
+std::string_view BugKindName(BugInfo::Kind kind) {
+  switch (kind) {
+    case BugInfo::Kind::kNone:
+      return "none";
+    case BugInfo::Kind::kNullDeref:
+      return "null-deref";
+    case BugInfo::Kind::kOutOfBounds:
+      return "out-of-bounds";
+    case BugInfo::Kind::kUseAfterFree:
+      return "use-after-free";
+    case BugInfo::Kind::kInvalidFree:
+      return "invalid-free";
+    case BugInfo::Kind::kDoubleFree:
+      return "double-free";
+    case BugInfo::Kind::kAssertFail:
+      return "assert-fail";
+    case BugInfo::Kind::kDivByZero:
+      return "div-by-zero";
+    case BugInfo::Kind::kDeadlock:
+      return "deadlock";
+    case BugInfo::Kind::kAbort:
+      return "abort";
+    case BugInfo::Kind::kUnreachable:
+      return "unreachable";
+    case BugInfo::Kind::kInvalidSync:
+      return "invalid-sync";
+    case BugInfo::Kind::kInternalError:
+      return "internal-error";
+  }
+  return "?";
+}
+
+Interpreter::Interpreter(const ir::Module* module, solver::ConstraintSolver* solver,
+                         Options options)
+    : module_(module), solver_(solver), options_(std::move(options)) {}
+
+StatePtr Interpreter::MakeInitialState(uint32_t entry_func, uint64_t state_id) const {
+  auto state = std::make_shared<ExecutionState>();
+  state->id = state_id;
+  // Globals are allocated first, in order, so global index g lives in memory
+  // object g+1 (see EvalValue's kGlobalRef case).
+  for (uint32_t g = 0; g < module_->NumGlobals(); ++g) {
+    const ir::Global& gl = module_->GlobalAt(g);
+    uint32_t obj = state->mem.AllocateInit(gl.size, ObjectKind::kGlobal, gl.name,
+                                           gl.init);
+    (void)obj;
+    assert(obj == g + 1);
+  }
+  Thread main_thread;
+  main_thread.id = 0;
+  const ir::Function& entry = module_->Func(entry_func);
+  StackFrame frame;
+  frame.func = entry_func;
+  frame.regs.assign(entry.num_regs, nullptr);
+  // Entry parameters default to zero (workloads use input externals instead).
+  for (size_t i = 0; i < entry.params.size(); ++i) {
+    frame.regs[i] = solver::MakeConst(TypeWidth(entry.params[i]), 0);
+  }
+  main_thread.frames.push_back(std::move(frame));
+  state->threads.push_back(std::move(main_thread));
+  state->current_tid = 0;
+  return state;
+}
+
+ExprRef Interpreter::EvalValue(const ExecutionState& state, const StackFrame& frame,
+                               const ir::Value& v) const {
+  switch (v.kind) {
+    case ir::Value::Kind::kReg:
+      assert(v.index < frame.regs.size() && frame.regs[v.index] != nullptr);
+      return frame.regs[v.index];
+    case ir::Value::Kind::kConst:
+      if (v.type == ir::Type::kVoid) {
+        return solver::MakeConst(1, 0);
+      }
+      return solver::MakeConst(TypeWidth(v.type), v.imm);
+    case ir::Value::Kind::kFuncRef:
+      return solver::MakeConst(64, FunctionPointer(v.index));
+    case ir::Value::Kind::kGlobalRef:
+      return solver::MakeConst(64, MakePointer(v.index + 1, 0));
+    case ir::Value::Kind::kNone:
+      break;
+  }
+  assert(false && "invalid operand");
+  return solver::MakeConst(1, 0);
+}
+
+bool Interpreter::ConcretizeU64(ExecutionState& state, const ExprRef& e,
+                                uint64_t* out) {
+  if (e->IsConst()) {
+    *out = e->aux();
+    return true;
+  }
+  ++stats_.concretizations;
+  solver::Model model;
+  if (!solver_->IsSatisfiable(state.constraints, &model)) {
+    return false;  // Infeasible path; caller terminates the state.
+  }
+  uint64_t value = solver::EvalExpr(e, model.values);
+  state.constraints.push_back(
+      solver::MakeEq(e, solver::MakeConst(e->width(), value)));
+  *out = value;
+  return true;
+}
+
+bool Interpreter::CheckAccess(ExecutionState& state, uint64_t ptr, uint32_t bytes,
+                              bool is_write, ir::InstRef site, BugInfo* bug) {
+  uint32_t obj_id = PointerObject(ptr);
+  uint32_t offset = PointerOffset(ptr);
+  if (obj_id == 0) {
+    *bug = MakeBug(BugInfo::Kind::kNullDeref, site, state.current_tid, ptr,
+                   "dereference of null/invalid pointer");
+    return false;
+  }
+  const MemoryObject* obj = state.mem.Find(obj_id);
+  if (obj == nullptr) {
+    *bug = MakeBug(BugInfo::Kind::kNullDeref, site, state.current_tid, ptr,
+                   "dereference of dangling object id");
+    return false;
+  }
+  if (obj->freed) {
+    *bug = MakeBug(BugInfo::Kind::kUseAfterFree, site, state.current_tid, ptr,
+                   "access to freed object '" + obj->name + "'");
+    return false;
+  }
+  if (offset + bytes > obj->size) {
+    *bug = MakeBug(BugInfo::Kind::kOutOfBounds, site, state.current_tid, ptr,
+                   "out-of-bounds " + std::string(is_write ? "write" : "read") +
+                       " of object '" + obj->name + "'");
+    return false;
+  }
+  return true;
+}
+
+bool Interpreter::LoadBytes(ExecutionState& state, uint64_t ptr, uint32_t bytes,
+                            ExprRef* out, ir::InstRef site, BugInfo* bug) {
+  if (!CheckAccess(state, ptr, bytes, /*is_write=*/false, site, bug)) {
+    return false;
+  }
+  const MemoryObject* obj = state.mem.Find(PointerObject(ptr));
+  uint32_t offset = PointerOffset(ptr);
+  // Little-endian: byte at offset is least significant.
+  ExprRef value = obj->bytes[offset];
+  for (uint32_t i = 1; i < bytes; ++i) {
+    value = solver::MakeConcat(obj->bytes[offset + i], value);
+  }
+  *out = value;
+  if (options_.race_detector != nullptr) {
+    auto held = RaceDetector::HeldLocks(state, state.current_tid);
+    options_.race_detector->OnAccess(MakePointer(PointerObject(ptr), offset),
+                                     state.current_tid, /*is_write=*/false, site,
+                                     held);
+  }
+  return true;
+}
+
+bool Interpreter::StoreBytes(ExecutionState& state, uint64_t ptr, const ExprRef& value,
+                             ir::InstRef site, BugInfo* bug) {
+  uint32_t bytes = value->width() / 8;
+  if (value->width() == 1) {
+    bytes = 1;
+  }
+  if (!CheckAccess(state, ptr, bytes, /*is_write=*/true, site, bug)) {
+    return false;
+  }
+  MemoryObject* obj = state.mem.FindWritable(PointerObject(ptr));
+  uint32_t offset = PointerOffset(ptr);
+  ExprRef wide = value->width() == 1 ? solver::MakeZExt(value, 8) : value;
+  for (uint32_t i = 0; i < bytes; ++i) {
+    obj->bytes[offset + i] = solver::MakeExtract(wide, i * 8, 8);
+  }
+  if (options_.race_detector != nullptr) {
+    auto held = RaceDetector::HeldLocks(state, state.current_tid);
+    options_.race_detector->OnAccess(MakePointer(PointerObject(ptr), offset),
+                                     state.current_tid, /*is_write=*/true, site, held);
+  }
+  return true;
+}
+
+bool Interpreter::ReadCString(ExecutionState& state, uint64_t ptr, std::string* out,
+                              ir::InstRef site, BugInfo* bug) {
+  out->clear();
+  for (uint32_t i = 0;; ++i) {
+    uint64_t addr = ptr + i;
+    ExprRef byte;
+    if (!LoadBytes(state, addr, 1, &byte, site, bug)) {
+      return false;
+    }
+    uint64_t value;
+    if (!ConcretizeU64(state, byte, &value)) {
+      *bug = MakeBug(BugInfo::Kind::kInternalError, site, state.current_tid, addr,
+                     "infeasible constraints while reading string");
+      return false;
+    }
+    if (value == 0) {
+      return true;
+    }
+    out->push_back(static_cast<char>(value));
+    if (out->size() > 4096) {
+      *bug = MakeBug(BugInfo::Kind::kOutOfBounds, site, state.current_tid, ptr,
+                     "unterminated string");
+      return false;
+    }
+  }
+}
+
+ExprRef Interpreter::MakeInput(ExecutionState& state, const std::string& base,
+                               uint32_t width) {
+  if (options_.input_provider == nullptr) {
+    return state.NewInput(base, width);
+  }
+  // Concrete mode: consume the same name sequence the symbolic run produced
+  // so the execution file's input names resolve.
+  uint64_t var_id = state.next_var_id++;
+  std::string unique = base + "#" + std::to_string(var_id);
+  uint64_t value = options_.input_provider->GetValue(unique, width);
+  ExprRef c = solver::MakeConst(width, value);
+  state.inputs.emplace_back(unique, c);
+  return c;
+}
+
+void Interpreter::SwitchTo(ExecutionState& state, uint32_t tid) {
+  if (state.current_tid == tid) {
+    return;
+  }
+  state.current_tid = tid;
+  state.RecordEvent(SchedEvent::Kind::kSwitch, tid, 0, state.CurrentThread().Pc());
+}
+
+bool Interpreter::ScheduleNext(ExecutionState& state) {
+  if (options_.policy != nullptr) {
+    if (auto pick = options_.policy->PickNextThread(state)) {
+      Thread* t = state.FindThread(*pick);
+      if (t != nullptr && t->status == ThreadStatus::kRunnable) {
+        SwitchTo(state, *pick);
+        return true;
+      }
+    }
+  }
+  // Round-robin starting after the current thread.
+  size_t n = state.threads.size();
+  for (size_t i = 1; i <= n; ++i) {
+    const Thread& t = state.threads[(state.current_tid + i) % n];
+    if (t.status == ThreadStatus::kRunnable) {
+      SwitchTo(state, t.id);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Interpreter::HasMutexCycle(const ExecutionState& state) const {
+  // Wait-for edges: thread -> holder of the mutex it waits on.
+  std::map<uint32_t, uint32_t> waits_for;
+  for (const Thread& t : state.threads) {
+    if (t.status == ThreadStatus::kBlockedMutex) {
+      auto it = state.mutexes.find(t.wait_mutex);
+      if (it != state.mutexes.end() && it->second.locked) {
+        waits_for[t.id] = it->second.holder;
+      }
+    }
+  }
+  for (const auto& [start, unused] : waits_for) {
+    uint32_t slow = start;
+    uint32_t fast = start;
+    for (;;) {
+      auto f1 = waits_for.find(fast);
+      if (f1 == waits_for.end()) {
+        break;
+      }
+      fast = f1->second;
+      auto f2 = waits_for.find(fast);
+      if (f2 == waits_for.end()) {
+        break;
+      }
+      fast = f2->second;
+      slow = waits_for[slow];
+      if (slow == fast) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+BugInfo Interpreter::MakeDeadlockBug(const ExecutionState& state) const {
+  std::ostringstream os;
+  os << "deadlock:";
+  for (const Thread& t : state.threads) {
+    os << " T" << t.id << "=";
+    switch (t.status) {
+      case ThreadStatus::kBlockedMutex:
+        os << "mutex@" << t.wait_mutex;
+        break;
+      case ThreadStatus::kBlockedCond:
+        os << "cond@" << t.wait_cond;
+        break;
+      case ThreadStatus::kBlockedJoin:
+        os << "join(T" << t.join_tid << ")";
+        break;
+      case ThreadStatus::kExited:
+        os << "exited";
+        break;
+      case ThreadStatus::kRunnable:
+        os << "runnable";
+        break;
+    }
+  }
+  BugInfo bug = MakeBug(BugInfo::Kind::kDeadlock, {}, state.current_tid, 0, os.str());
+  // Use the first blocked thread's pc as the representative location.
+  for (const Thread& t : state.threads) {
+    if (t.status == ThreadStatus::kBlockedMutex) {
+      bug.pc = t.Pc();
+      bug.tid = t.id;
+      bug.fault_addr = t.wait_mutex;
+      break;
+    }
+  }
+  return bug;
+}
+
+void Interpreter::MaybePreemptionPoint(ExecutionState& state,
+                                       const ir::Instruction& inst, ir::InstRef site) {
+  if (options_.policy == nullptr || options_.services == nullptr) {
+    return;
+  }
+  SyncOp op;
+  op.site = site;
+  if (inst.op == ir::Opcode::kLoad || inst.op == ir::Opcode::kStore) {
+    if (!options_.policy->IsPreemptionAccess(state, site)) {
+      return;
+    }
+    op.kind = inst.op == ir::Opcode::kLoad ? SyncOp::Kind::kRacyLoad
+                                           : SyncOp::Kind::kRacyStore;
+    const StackFrame& frame = state.CurrentThread().frames.back();
+    ExprRef ptr = EvalValue(state, frame, inst.operands[inst.op == ir::Opcode::kLoad
+                                                            ? 0
+                                                            : 1]);
+    if (ptr->IsConst()) {
+      op.addr = ptr->aux();
+    }
+    options_.policy->BeforeSyncOp(*options_.services, state, op);
+    return;
+  }
+  if (inst.op != ir::Opcode::kCall || inst.callee == ir::kInvalidIndex) {
+    return;
+  }
+  const ir::Function& callee = module_->Func(inst.callee);
+  if (!callee.is_external) {
+    return;
+  }
+  switch (LookupExternal(callee.name)) {
+    case ExternalId::kMutexLock:
+      op.kind = SyncOp::Kind::kMutexLock;
+      break;
+    case ExternalId::kMutexUnlock:
+      op.kind = SyncOp::Kind::kMutexUnlock;
+      break;
+    case ExternalId::kCondWait:
+      op.kind = SyncOp::Kind::kCondWait;
+      break;
+    case ExternalId::kCondSignal:
+      op.kind = SyncOp::Kind::kCondSignal;
+      break;
+    case ExternalId::kCondBroadcast:
+      op.kind = SyncOp::Kind::kCondBroadcast;
+      break;
+    case ExternalId::kThreadCreate:
+      op.kind = SyncOp::Kind::kThreadCreate;
+      break;
+    case ExternalId::kThreadJoin:
+      op.kind = SyncOp::Kind::kThreadJoin;
+      break;
+    case ExternalId::kYield:
+      op.kind = SyncOp::Kind::kYield;
+      break;
+    default:
+      return;
+  }
+  if (!inst.operands.empty()) {
+    const StackFrame& frame = state.CurrentThread().frames.back();
+    ExprRef a0 = EvalValue(state, frame, inst.operands[0]);
+    if (a0->IsConst()) {
+      op.addr = a0->aux();
+    }
+  }
+  options_.policy->BeforeSyncOp(*options_.services, state, op);
+}
+
+StepResult Interpreter::Step(ExecutionState& state) {
+  if (options_.policy != nullptr) {
+    if (auto forced = options_.policy->ForceSwitch(state)) {
+      Thread* t = state.FindThread(*forced);
+      if (t != nullptr && t->status == ThreadStatus::kRunnable) {
+        SwitchTo(state, *forced);
+      }
+    }
+  }
+  if (state.CurrentThread().status != ThreadStatus::kRunnable) {
+    StepResult result;
+    if (!ScheduleNext(state)) {
+      result.state_done = true;
+      if (!state.AllExited()) {
+        result.bug = MakeDeadlockBug(state);
+      }
+      return result;
+    }
+    // Fall through: execute one instruction of the newly scheduled thread.
+  }
+  Thread& thread = state.CurrentThread();
+  assert(!thread.frames.empty());
+  StackFrame& frame = thread.frames.back();
+  ir::InstRef site{frame.func, frame.block, frame.inst};
+  const ir::Instruction* inst = module_->InstAt(site);
+  if (inst == nullptr) {
+    StepResult result;
+    result.state_done = true;
+    result.bug = MakeBug(BugInfo::Kind::kInternalError, site, thread.id, 0,
+                         "pc out of range");
+    return result;
+  }
+  MaybePreemptionPoint(state, *inst, site);
+  ++stats_.instructions;
+  ++state.steps;
+  return ExecInstruction(state, *inst, site);
+}
+
+StepResult Interpreter::ExecInstruction(ExecutionState& state,
+                                        const ir::Instruction& inst, ir::InstRef site) {
+  StepResult result;
+  Thread& thread = state.CurrentThread();
+  StackFrame& frame = thread.frames.back();
+
+  auto set_result = [&](const ExprRef& v) {
+    if (inst.result >= 0) {
+      frame.regs[static_cast<size_t>(inst.result)] = v;
+    }
+  };
+
+  switch (inst.op) {
+    case ir::Opcode::kAdd:
+    case ir::Opcode::kSub:
+    case ir::Opcode::kMul:
+    case ir::Opcode::kAnd:
+    case ir::Opcode::kOr:
+    case ir::Opcode::kXor:
+    case ir::Opcode::kShl:
+    case ir::Opcode::kLShr:
+    case ir::Opcode::kAShr: {
+      ExprRef a = EvalValue(state, frame, inst.operands[0]);
+      ExprRef b = EvalValue(state, frame, inst.operands[1]);
+      switch (inst.op) {
+        case ir::Opcode::kAdd: set_result(solver::MakeAdd(a, b)); break;
+        case ir::Opcode::kSub: set_result(solver::MakeSub(a, b)); break;
+        case ir::Opcode::kMul: set_result(solver::MakeMul(a, b)); break;
+        case ir::Opcode::kAnd: set_result(solver::MakeAnd(a, b)); break;
+        case ir::Opcode::kOr: set_result(solver::MakeOr(a, b)); break;
+        case ir::Opcode::kXor: set_result(solver::MakeXor(a, b)); break;
+        case ir::Opcode::kShl: set_result(solver::MakeShl(a, b)); break;
+        case ir::Opcode::kLShr: set_result(solver::MakeLShr(a, b)); break;
+        default: set_result(solver::MakeAShr(a, b)); break;
+      }
+      AdvancePc(state);
+      return result;
+    }
+    case ir::Opcode::kUDiv:
+    case ir::Opcode::kSDiv:
+    case ir::Opcode::kURem:
+    case ir::Opcode::kSRem: {
+      ExprRef a = EvalValue(state, frame, inst.operands[0]);
+      ExprRef b = EvalValue(state, frame, inst.operands[1]);
+      if (b->IsConstValue(0)) {
+        result.state_done = true;
+        result.bug = MakeBug(BugInfo::Kind::kDivByZero, site, thread.id, 0,
+                             "division by zero");
+        return result;
+      }
+      if (!b->IsConst()) {
+        // Constrain the divisor away from zero; if that is infeasible the
+        // division faults on every input reaching here.
+        ExprRef nonzero = solver::MakeNe(b, solver::MakeConst(b->width(), 0));
+        if (!solver_->MayBeTrue(state.constraints, nonzero)) {
+          result.state_done = true;
+          result.bug = MakeBug(BugInfo::Kind::kDivByZero, site, thread.id, 0,
+                               "division by zero (symbolic divisor)");
+          return result;
+        }
+        state.constraints.push_back(nonzero);
+      }
+      switch (inst.op) {
+        case ir::Opcode::kUDiv: set_result(solver::MakeUDiv(a, b)); break;
+        case ir::Opcode::kSDiv: set_result(solver::MakeSDiv(a, b)); break;
+        case ir::Opcode::kURem: set_result(solver::MakeURem(a, b)); break;
+        default: set_result(solver::MakeSRem(a, b)); break;
+      }
+      AdvancePc(state);
+      return result;
+    }
+    case ir::Opcode::kICmp: {
+      ExprRef a = EvalValue(state, frame, inst.operands[0]);
+      ExprRef b = EvalValue(state, frame, inst.operands[1]);
+      ExprRef r;
+      switch (inst.pred) {
+        case ir::CmpPred::kEq: r = solver::MakeEq(a, b); break;
+        case ir::CmpPred::kNe: r = solver::MakeNe(a, b); break;
+        case ir::CmpPred::kUlt: r = solver::MakeUlt(a, b); break;
+        case ir::CmpPred::kUle: r = solver::MakeUle(a, b); break;
+        case ir::CmpPred::kUgt: r = solver::MakeUlt(b, a); break;
+        case ir::CmpPred::kUge: r = solver::MakeUle(b, a); break;
+        case ir::CmpPred::kSlt: r = solver::MakeSlt(a, b); break;
+        case ir::CmpPred::kSle: r = solver::MakeSle(a, b); break;
+        case ir::CmpPred::kSgt: r = solver::MakeSlt(b, a); break;
+        case ir::CmpPred::kSge: r = solver::MakeSle(b, a); break;
+      }
+      set_result(r);
+      AdvancePc(state);
+      return result;
+    }
+    case ir::Opcode::kNot:
+      set_result(solver::MakeNot(EvalValue(state, frame, inst.operands[0])));
+      AdvancePc(state);
+      return result;
+    case ir::Opcode::kZExt:
+      set_result(solver::MakeZExt(EvalValue(state, frame, inst.operands[0]),
+                                  TypeWidth(inst.type)));
+      AdvancePc(state);
+      return result;
+    case ir::Opcode::kSExt:
+      set_result(solver::MakeSExt(EvalValue(state, frame, inst.operands[0]),
+                                  TypeWidth(inst.type)));
+      AdvancePc(state);
+      return result;
+    case ir::Opcode::kTrunc:
+      set_result(solver::MakeExtract(EvalValue(state, frame, inst.operands[0]), 0,
+                                     TypeWidth(inst.type)));
+      AdvancePc(state);
+      return result;
+    case ir::Opcode::kSelect: {
+      ExprRef c = EvalValue(state, frame, inst.operands[0]);
+      ExprRef a = EvalValue(state, frame, inst.operands[1]);
+      ExprRef b = EvalValue(state, frame, inst.operands[2]);
+      set_result(solver::MakeIte(c, a, b));
+      AdvancePc(state);
+      return result;
+    }
+    case ir::Opcode::kAlloca: {
+      uint32_t obj = state.mem.Allocate(static_cast<uint32_t>(inst.imm),
+                                        ObjectKind::kStack,
+                                        module_->Func(frame.func).name + ":alloca");
+      frame.allocas.push_back(obj);
+      set_result(solver::MakeConst(64, MakePointer(obj, 0)));
+      AdvancePc(state);
+      return result;
+    }
+    case ir::Opcode::kLoad: {
+      ExprRef ptr_expr = EvalValue(state, frame, inst.operands[0]);
+      uint64_t ptr;
+      if (!ConcretizeU64(state, ptr_expr, &ptr)) {
+        result.state_done = true;  // Infeasible path.
+        return result;
+      }
+      uint32_t bytes = TypeWidth(inst.type) / 8;
+      if (bytes == 0) {
+        bytes = 1;  // i1 loads one byte.
+      }
+      ExprRef value;
+      if (!LoadBytes(state, ptr, bytes, &value, site, &result.bug)) {
+        result.state_done = true;
+        return result;
+      }
+      if (inst.type == ir::Type::kI1) {
+        value = solver::MakeExtract(value, 0, 1);
+      }
+      set_result(value);
+      AdvancePc(state);
+      return result;
+    }
+    case ir::Opcode::kStore: {
+      ExprRef value = EvalValue(state, frame, inst.operands[0]);
+      ExprRef ptr_expr = EvalValue(state, frame, inst.operands[1]);
+      uint64_t ptr;
+      if (!ConcretizeU64(state, ptr_expr, &ptr)) {
+        result.state_done = true;
+        return result;
+      }
+      if (!StoreBytes(state, ptr, value, site, &result.bug)) {
+        result.state_done = true;
+        return result;
+      }
+      AdvancePc(state);
+      return result;
+    }
+    case ir::Opcode::kGep: {
+      ExprRef base = EvalValue(state, frame, inst.operands[0]);
+      ExprRef index = EvalValue(state, frame, inst.operands[1]);
+      ExprRef wide = index->width() < 64 ? solver::MakeZExt(index, 64) : index;
+      ExprRef scaled = solver::MakeMul(wide, solver::MakeConst(64, inst.imm));
+      set_result(solver::MakeAdd(base, scaled));
+      AdvancePc(state);
+      return result;
+    }
+    case ir::Opcode::kBr: {
+      if (options_.branch_filter &&
+          !options_.branch_filter(state, site, inst.succ_true)) {
+        result.state_done = true;  // Pruned: cannot reach the goal.
+        return result;
+      }
+      frame.block = inst.succ_true;
+      frame.inst = 0;
+      return result;
+    }
+    case ir::Opcode::kCondBr:
+      return ExecCondBr(state, inst, site);
+    case ir::Opcode::kCall:
+      return ExecCall(state, inst, site);
+    case ir::Opcode::kRet:
+      return ExecRet(state, inst);
+    case ir::Opcode::kUnreachable:
+      result.state_done = true;
+      result.bug = MakeBug(BugInfo::Kind::kUnreachable, site, thread.id, 0,
+                           "reached 'unreachable'");
+      return result;
+  }
+  result.state_done = true;
+  result.bug = MakeBug(BugInfo::Kind::kInternalError, site, thread.id, 0,
+                       "unhandled opcode");
+  return result;
+}
+
+StepResult Interpreter::ExecCondBr(ExecutionState& state, const ir::Instruction& inst,
+                                   ir::InstRef site) {
+  StepResult result;
+  StackFrame& frame = state.CurrentThread().frames.back();
+  ExprRef cond = EvalValue(state, frame, inst.operands[0]);
+
+  bool allow_true = !options_.branch_filter ||
+                    options_.branch_filter(state, site, inst.succ_true);
+  bool allow_false = !options_.branch_filter ||
+                     options_.branch_filter(state, site, inst.succ_false);
+
+  if (cond->IsConst()) {
+    uint32_t target = cond->aux() ? inst.succ_true : inst.succ_false;
+    bool allowed = cond->aux() ? allow_true : allow_false;
+    if (!allowed) {
+      result.state_done = true;
+      return result;
+    }
+    frame.block = target;
+    frame.inst = 0;
+    return result;
+  }
+
+  bool feasible_true = allow_true && solver_->MayBeTrue(state.constraints, cond);
+  bool feasible_false = allow_false && solver_->MayBeFalse(state.constraints, cond);
+
+  if (feasible_true && feasible_false) {
+    ++stats_.branch_forks;
+    StatePtr child = state.Fork(next_state_id_++);
+    // Child takes the false edge.
+    StackFrame& child_frame = child->CurrentThread().frames.back();
+    child->constraints.push_back(solver::MakeLogicalNot(cond));
+    child_frame.block = inst.succ_false;
+    child_frame.inst = 0;
+    result.forks.push_back(std::move(child));
+    // Parent takes the true edge. Both sides of a fork descend one level in
+    // the execution tree (KLEE's process-tree semantics; RandomPath weights
+    // depend on this).
+    ++state.depth;
+    state.constraints.push_back(cond);
+    frame.block = inst.succ_true;
+    frame.inst = 0;
+    return result;
+  }
+  if (feasible_true || feasible_false) {
+    state.constraints.push_back(feasible_true ? cond : solver::MakeLogicalNot(cond));
+    frame.block = feasible_true ? inst.succ_true : inst.succ_false;
+    frame.inst = 0;
+    return result;
+  }
+  // Neither edge is feasible (or both are pruned): abandon the path.
+  result.state_done = true;
+  return result;
+}
+
+void Interpreter::PushFrame(ExecutionState& state, uint32_t func,
+                            const std::vector<ExprRef>& args, int32_t ret_reg) {
+  const ir::Function& callee = module_->Func(func);
+  StackFrame frame;
+  frame.func = func;
+  frame.regs.assign(callee.num_regs, nullptr);
+  for (size_t i = 0; i < args.size(); ++i) {
+    frame.regs[i] = args[i];
+  }
+  frame.ret_reg = ret_reg;
+  state.CurrentThread().frames.push_back(std::move(frame));
+}
+
+void Interpreter::PopFrame(ExecutionState& state, const ExprRef& ret_value) {
+  Thread& thread = state.CurrentThread();
+  StackFrame frame = std::move(thread.frames.back());
+  thread.frames.pop_back();
+  for (uint32_t obj : frame.allocas) {
+    state.mem.Free(obj);
+  }
+  if (!thread.frames.empty() && frame.ret_reg >= 0 && ret_value != nullptr) {
+    thread.frames.back().regs[static_cast<size_t>(frame.ret_reg)] = ret_value;
+  }
+}
+
+StepResult Interpreter::FinishThread(ExecutionState& state) {
+  StepResult result;
+  Thread& thread = state.CurrentThread();
+  thread.status = ThreadStatus::kExited;
+  state.RecordEvent(SchedEvent::Kind::kThreadExit, thread.id, 0, {});
+  // Wake joiners.
+  for (Thread& t : state.threads) {
+    if (t.status == ThreadStatus::kBlockedJoin && t.join_tid == thread.id) {
+      t.status = ThreadStatus::kRunnable;
+      t.join_tid = ir::kInvalidIndex;
+    }
+  }
+  if (thread.id == 0) {
+    // Returning from main exits the program.
+    result.state_done = true;
+    return result;
+  }
+  if (!ScheduleNext(state)) {
+    result.state_done = true;
+    if (!state.AllExited()) {
+      result.bug = MakeDeadlockBug(state);
+    }
+  }
+  return result;
+}
+
+StepResult Interpreter::ExecRet(ExecutionState& state, const ir::Instruction& inst) {
+  Thread& thread = state.CurrentThread();
+  ExprRef ret_value;
+  if (!inst.operands.empty()) {
+    ret_value = EvalValue(state, thread.frames.back(), inst.operands[0]);
+  }
+  PopFrame(state, ret_value);
+  if (thread.frames.empty()) {
+    return FinishThread(state);
+  }
+  return {};
+}
+
+StepResult Interpreter::ExecCall(ExecutionState& state, const ir::Instruction& inst,
+                                 ir::InstRef site) {
+  StepResult result;
+  Thread& thread = state.CurrentThread();
+  StackFrame& frame = thread.frames.back();
+
+  uint32_t callee_index = inst.callee;
+  size_t first_arg = 0;
+  if (callee_index == ir::kInvalidIndex) {
+    // Indirect call: decode the function pointer.
+    ExprRef fp = EvalValue(state, frame, inst.operands[0]);
+    uint64_t ptr;
+    if (!ConcretizeU64(state, fp, &ptr)) {
+      result.state_done = true;
+      return result;
+    }
+    if (ptr == 0) {
+      result.state_done = true;
+      result.bug = MakeBug(BugInfo::Kind::kNullDeref, site, thread.id, 0,
+                           "indirect call through null function pointer");
+      return result;
+    }
+    if (!IsFunctionPointer(ptr) || FunctionIndexOf(ptr) >= module_->NumFunctions()) {
+      result.state_done = true;
+      result.bug = MakeBug(BugInfo::Kind::kInternalError, site, thread.id, ptr,
+                           "indirect call to a non-function address");
+      return result;
+    }
+    callee_index = FunctionIndexOf(ptr);
+    first_arg = 1;
+  }
+
+  const ir::Function& callee = module_->Func(callee_index);
+  if (callee.is_external) {
+    return ExecExternal(state, inst, callee, site);
+  }
+
+  std::vector<ExprRef> args;
+  for (size_t i = first_arg; i < inst.operands.size(); ++i) {
+    args.push_back(EvalValue(state, frame, inst.operands[i]));
+  }
+  AdvancePc(state);  // Return resumes after the call.
+  PushFrame(state, callee_index, args, inst.result);
+  return result;
+}
+
+StepResult Interpreter::ExecExternal(ExecutionState& state, const ir::Instruction& inst,
+                                     const ir::Function& callee, ir::InstRef site) {
+  StepResult result;
+  Thread& thread = state.CurrentThread();
+  StackFrame& frame = thread.frames.back();
+
+  std::vector<ExprRef> args;
+  for (const ir::Value& v : inst.operands) {
+    args.push_back(EvalValue(state, frame, v));
+  }
+  auto set_result = [&](const ExprRef& v) {
+    if (inst.result >= 0) {
+      frame.regs[static_cast<size_t>(inst.result)] = v;
+    }
+  };
+  auto fail = [&](BugInfo bug) {
+    result.state_done = true;
+    result.bug = std::move(bug);
+  };
+
+  switch (LookupExternal(callee.name)) {
+    case ExternalId::kGetchar: {
+      ExprRef v = MakeInput(state, "getchar", 32);
+      if (!v->IsConst()) {
+        // getchar() yields an unsigned char (EOF excluded for simplicity).
+        state.constraints.push_back(
+            solver::MakeUle(v, solver::MakeConst(32, 255)));
+      }
+      set_result(v);
+      AdvancePc(state);
+      return result;
+    }
+    case ExternalId::kGetenv: {
+      uint64_t name_ptr;
+      if (!ConcretizeU64(state, args[0], &name_ptr)) {
+        result.state_done = true;
+        return result;
+      }
+      std::string name;
+      BugInfo bug;
+      if (!ReadCString(state, name_ptr, &name, site, &bug)) {
+        fail(std::move(bug));
+        return result;
+      }
+      uint32_t len = options_.env_string_len;
+      uint32_t obj = state.mem.Allocate(len, ObjectKind::kHeap, "env:" + name);
+      MemoryObject* mem = state.mem.FindWritable(obj);
+      for (uint32_t i = 0; i + 1 < len; ++i) {
+        mem->bytes[i] = MakeInput(state, "env:" + name + "[" + std::to_string(i) + "]", 8);
+      }
+      mem->bytes[len - 1] = solver::MakeConst(8, 0);
+      set_result(solver::MakeConst(64, MakePointer(obj, 0)));
+      AdvancePc(state);
+      return result;
+    }
+    case ExternalId::kInputI32:
+    case ExternalId::kInputI64: {
+      uint64_t name_ptr;
+      std::string name = "input";
+      BugInfo bug;
+      if (ConcretizeU64(state, args[0], &name_ptr) &&
+          !ReadCString(state, name_ptr, &name, site, &bug)) {
+        fail(std::move(bug));
+        return result;
+      }
+      uint32_t width = LookupExternal(callee.name) == ExternalId::kInputI32 ? 32 : 64;
+      set_result(MakeInput(state, name, width));
+      AdvancePc(state);
+      return result;
+    }
+    case ExternalId::kInputBytes: {
+      uint64_t buf, len, name_ptr;
+      std::string name = "bytes";
+      BugInfo bug;
+      if (!ConcretizeU64(state, args[0], &buf) ||
+          !ConcretizeU64(state, args[1], &len) ||
+          !ConcretizeU64(state, args[2], &name_ptr)) {
+        result.state_done = true;
+        return result;
+      }
+      if (!ReadCString(state, name_ptr, &name, site, &bug)) {
+        fail(std::move(bug));
+        return result;
+      }
+      for (uint64_t i = 0; i < len; ++i) {
+        ExprRef byte = MakeInput(state, name + "[" + std::to_string(i) + "]", 8);
+        if (!StoreBytes(state, buf + i, byte, site, &bug)) {
+          fail(std::move(bug));
+          return result;
+        }
+      }
+      AdvancePc(state);
+      return result;
+    }
+    case ExternalId::kMalloc: {
+      uint64_t size;
+      if (!ConcretizeU64(state, args[0], &size)) {
+        result.state_done = true;
+        return result;
+      }
+      if (size == 0) {
+        size = 1;
+      }
+      if (size > (uint64_t{1} << 24)) {
+        set_result(solver::MakeConst(64, 0));  // Simulated allocation failure.
+        AdvancePc(state);
+        return result;
+      }
+      uint32_t obj =
+          state.mem.Allocate(static_cast<uint32_t>(size), ObjectKind::kHeap, "malloc");
+      set_result(solver::MakeConst(64, MakePointer(obj, 0)));
+      AdvancePc(state);
+      return result;
+    }
+    case ExternalId::kFree: {
+      uint64_t ptr;
+      if (!ConcretizeU64(state, args[0], &ptr)) {
+        result.state_done = true;
+        return result;
+      }
+      if (ptr == 0) {
+        AdvancePc(state);  // free(NULL) is a no-op.
+        return result;
+      }
+      const MemoryObject* obj = state.mem.Find(PointerObject(ptr));
+      if (obj == nullptr || PointerOffset(ptr) != 0 || obj->kind != ObjectKind::kHeap) {
+        fail(MakeBug(BugInfo::Kind::kInvalidFree, site, thread.id, ptr,
+                     "free of a non-heap or interior pointer"));
+        return result;
+      }
+      if (obj->freed) {
+        fail(MakeBug(BugInfo::Kind::kDoubleFree, site, thread.id, ptr, "double free"));
+        return result;
+      }
+      state.mem.Free(PointerObject(ptr));
+      AdvancePc(state);
+      return result;
+    }
+    case ExternalId::kMemset: {
+      uint64_t ptr, len, value;
+      if (!ConcretizeU64(state, args[0], &ptr) ||
+          !ConcretizeU64(state, args[2], &len) ||
+          !ConcretizeU64(state, args[1], &value)) {
+        result.state_done = true;
+        return result;
+      }
+      BugInfo bug;
+      for (uint64_t i = 0; i < len; ++i) {
+        if (!StoreBytes(state, ptr + i, solver::MakeConst(8, value & 0xff), site,
+                        &bug)) {
+          fail(std::move(bug));
+          return result;
+        }
+      }
+      AdvancePc(state);
+      return result;
+    }
+    case ExternalId::kMemcpy: {
+      uint64_t dst, src, len;
+      if (!ConcretizeU64(state, args[0], &dst) ||
+          !ConcretizeU64(state, args[1], &src) ||
+          !ConcretizeU64(state, args[2], &len)) {
+        result.state_done = true;
+        return result;
+      }
+      BugInfo bug;
+      for (uint64_t i = 0; i < len; ++i) {
+        ExprRef byte;
+        if (!LoadBytes(state, src + i, 1, &byte, site, &bug) ||
+            !StoreBytes(state, dst + i, byte, site, &bug)) {
+          fail(std::move(bug));
+          return result;
+        }
+      }
+      AdvancePc(state);
+      return result;
+    }
+    case ExternalId::kStrlen: {
+      uint64_t ptr;
+      if (!ConcretizeU64(state, args[0], &ptr)) {
+        result.state_done = true;
+        return result;
+      }
+      std::string s;
+      BugInfo bug;
+      if (!ReadCString(state, ptr, &s, site, &bug)) {
+        fail(std::move(bug));
+        return result;
+      }
+      set_result(solver::MakeConst(64, s.size()));
+      AdvancePc(state);
+      return result;
+    }
+    case ExternalId::kPrintStr: {
+      uint64_t ptr;
+      if (!ConcretizeU64(state, args[0], &ptr)) {
+        result.state_done = true;
+        return result;
+      }
+      std::string s;
+      BugInfo bug;
+      if (!ReadCString(state, ptr, &s, site, &bug)) {
+        fail(std::move(bug));
+        return result;
+      }
+      state.output += s;
+      AdvancePc(state);
+      return result;
+    }
+    case ExternalId::kPrintI64: {
+      uint64_t v;
+      if (!ConcretizeU64(state, args[0], &v)) {
+        result.state_done = true;
+        return result;
+      }
+      state.output += std::to_string(static_cast<int64_t>(v));
+      AdvancePc(state);
+      return result;
+    }
+    case ExternalId::kExit:
+      result.state_done = true;
+      return result;
+    case ExternalId::kAbort:
+      fail(MakeBug(BugInfo::Kind::kAbort, site, thread.id, 0, "abort() called"));
+      return result;
+    case ExternalId::kAssert: {
+      ExprRef cond = args[0];
+      if (cond->IsConst()) {
+        if (cond->aux()) {
+          AdvancePc(state);
+        } else {
+          fail(MakeBug(BugInfo::Kind::kAssertFail, site, thread.id, 0,
+                       "assertion failed"));
+        }
+        return result;
+      }
+      bool may_fail = solver_->MayBeFalse(state.constraints, cond);
+      bool may_pass = solver_->MayBeTrue(state.constraints, cond);
+      if (may_fail && may_pass) {
+        // Fork the passing continuation; this state manifests the failure.
+        StatePtr child = state.Fork(next_state_id_++);
+        child->constraints.push_back(cond);
+        ++child->CurrentThread().frames.back().inst;
+        result.forks.push_back(std::move(child));
+        ++state.depth;
+      }
+      if (may_fail) {
+        state.constraints.push_back(solver::MakeLogicalNot(cond));
+        fail(MakeBug(BugInfo::Kind::kAssertFail, site, thread.id, 0,
+                     "assertion failed (symbolic)"));
+      } else {
+        state.constraints.push_back(cond);
+        AdvancePc(state);
+      }
+      return result;
+    }
+    case ExternalId::kThreadCreate: {
+      uint64_t fp;
+      if (!ConcretizeU64(state, args[0], &fp)) {
+        result.state_done = true;
+        return result;
+      }
+      if (!IsFunctionPointer(fp) || FunctionIndexOf(fp) >= module_->NumFunctions()) {
+        fail(MakeBug(BugInfo::Kind::kInternalError, site, thread.id, fp,
+                     "thread_create with a non-function pointer"));
+        return result;
+      }
+      uint32_t func = FunctionIndexOf(fp);
+      Thread new_thread;
+      new_thread.id = state.next_tid++;
+      const ir::Function& fn = module_->Func(func);
+      StackFrame tf;
+      tf.func = func;
+      tf.regs.assign(fn.num_regs, nullptr);
+      if (!fn.params.empty()) {
+        tf.regs[0] = args.size() > 1 ? args[1] : solver::MakeConst(64, 0);
+      }
+      new_thread.frames.push_back(std::move(tf));
+      uint32_t new_tid = new_thread.id;
+      state.threads.push_back(std::move(new_thread));
+      state.RecordEvent(SchedEvent::Kind::kThreadCreate, new_tid, 0, site);
+      set_result(solver::MakeConst(32, new_tid));
+      AdvancePc(state);
+      return result;
+    }
+    case ExternalId::kThreadJoin: {
+      uint64_t tid;
+      if (!ConcretizeU64(state, args[0], &tid)) {
+        result.state_done = true;
+        return result;
+      }
+      Thread* target = state.FindThread(static_cast<uint32_t>(tid));
+      if (target == nullptr || target->status == ThreadStatus::kExited) {
+        AdvancePc(state);
+        return result;
+      }
+      thread.status = ThreadStatus::kBlockedJoin;
+      thread.join_tid = static_cast<uint32_t>(tid);
+      if (!ScheduleNext(state)) {
+        result.state_done = true;
+        result.bug = MakeDeadlockBug(state);
+      }
+      return result;
+    }
+    case ExternalId::kMutexInit:
+    case ExternalId::kCondInit: {
+      uint64_t addr;
+      if (!ConcretizeU64(state, args[0], &addr)) {
+        result.state_done = true;
+        return result;
+      }
+      BugInfo bug;
+      if (!CheckAccess(state, addr, 1, /*is_write=*/true, site, &bug)) {
+        fail(std::move(bug));
+        return result;
+      }
+      if (LookupExternal(callee.name) == ExternalId::kMutexInit) {
+        state.mutexes[addr] = MutexState{};
+      } else {
+        state.cond_waiters[addr].clear();
+      }
+      AdvancePc(state);
+      return result;
+    }
+    case ExternalId::kMutexLock: {
+      uint64_t addr;
+      if (!ConcretizeU64(state, args[0], &addr)) {
+        result.state_done = true;
+        return result;
+      }
+      BugInfo bug;
+      if (!CheckAccess(state, addr, 1, /*is_write=*/true, site, &bug)) {
+        fail(std::move(bug));
+        return result;
+      }
+      MutexState& m = state.mutexes[addr];
+      if (!m.locked) {
+        m.locked = true;
+        m.holder = thread.id;
+        m.acquired_at = site;
+        state.RecordEvent(SchedEvent::Kind::kMutexLock, thread.id, addr, site);
+        AdvancePc(state);
+        if (options_.policy != nullptr && options_.services != nullptr) {
+          options_.policy->OnLockAcquired(*options_.services, state, addr, site);
+        }
+        return result;
+      }
+      if (m.holder == thread.id) {
+        // Non-recursive mutex relocked by its holder: self-deadlock.
+        fail(MakeBug(BugInfo::Kind::kDeadlock, site, thread.id, addr,
+                     "thread relocked a mutex it already holds"));
+        return result;
+      }
+      thread.status = ThreadStatus::kBlockedMutex;
+      thread.wait_mutex = addr;
+      if (options_.policy != nullptr && options_.services != nullptr) {
+        options_.policy->OnLockBlocked(*options_.services, state, addr, m.holder);
+      }
+      if (HasMutexCycle(state)) {
+        result.state_done = true;
+        result.bug = MakeDeadlockBug(state);
+        return result;
+      }
+      if (!ScheduleNext(state)) {
+        result.state_done = true;
+        result.bug = MakeDeadlockBug(state);
+      }
+      return result;
+    }
+    case ExternalId::kMutexUnlock: {
+      uint64_t addr;
+      if (!ConcretizeU64(state, args[0], &addr)) {
+        result.state_done = true;
+        return result;
+      }
+      auto it = state.mutexes.find(addr);
+      if (it == state.mutexes.end() || !it->second.locked ||
+          it->second.holder != thread.id) {
+        fail(MakeBug(BugInfo::Kind::kInvalidSync, site, thread.id, addr,
+                     "unlock of a mutex not held by this thread"));
+        return result;
+      }
+      it->second.locked = false;
+      it->second.holder = ir::kInvalidIndex;
+      // Wake all waiters; they re-execute their lock call and race for it.
+      for (Thread& t : state.threads) {
+        if (t.status == ThreadStatus::kBlockedMutex && t.wait_mutex == addr) {
+          t.status = ThreadStatus::kRunnable;
+          t.wait_mutex = 0;
+        }
+      }
+      state.RecordEvent(SchedEvent::Kind::kMutexUnlock, thread.id, addr, site);
+      AdvancePc(state);
+      if (options_.policy != nullptr && options_.services != nullptr) {
+        options_.policy->OnUnlock(*options_.services, state, addr);
+      }
+      return result;
+    }
+    case ExternalId::kCondWait: {
+      uint64_t cond_addr, mutex_addr;
+      if (!ConcretizeU64(state, args[0], &cond_addr) ||
+          !ConcretizeU64(state, args[1], &mutex_addr)) {
+        result.state_done = true;
+        return result;
+      }
+      if (!thread.cond_signaled) {
+        // Phase 1: release the mutex and sleep on the condvar.
+        auto it = state.mutexes.find(mutex_addr);
+        if (it == state.mutexes.end() || !it->second.locked ||
+            it->second.holder != thread.id) {
+          fail(MakeBug(BugInfo::Kind::kInvalidSync, site, thread.id, mutex_addr,
+                       "cond_wait without holding the mutex"));
+          return result;
+        }
+        it->second.locked = false;
+        it->second.holder = ir::kInvalidIndex;
+        for (Thread& t : state.threads) {
+          if (t.status == ThreadStatus::kBlockedMutex && t.wait_mutex == mutex_addr) {
+            t.status = ThreadStatus::kRunnable;
+            t.wait_mutex = 0;
+          }
+        }
+        thread.status = ThreadStatus::kBlockedCond;
+        thread.wait_cond = cond_addr;
+        thread.cond_saved_mutex = mutex_addr;
+        state.cond_waiters[cond_addr].push_back(thread.id);
+        state.RecordEvent(SchedEvent::Kind::kCondWait, thread.id, cond_addr, site);
+        if (!ScheduleNext(state)) {
+          result.state_done = true;
+          result.bug = MakeDeadlockBug(state);
+        }
+        return result;
+      }
+      // Phase 2 (signaled): reacquire the mutex.
+      MutexState& m = state.mutexes[mutex_addr];
+      if (!m.locked) {
+        m.locked = true;
+        m.holder = thread.id;
+        m.acquired_at = site;
+        thread.cond_signaled = false;
+        thread.cond_saved_mutex = 0;
+        state.RecordEvent(SchedEvent::Kind::kCondWake, thread.id, cond_addr, site);
+        AdvancePc(state);
+        if (options_.policy != nullptr && options_.services != nullptr) {
+          options_.policy->OnLockAcquired(*options_.services, state, mutex_addr, site);
+        }
+        return result;
+      }
+      thread.status = ThreadStatus::kBlockedMutex;
+      thread.wait_mutex = mutex_addr;
+      if (HasMutexCycle(state)) {
+        result.state_done = true;
+        result.bug = MakeDeadlockBug(state);
+        return result;
+      }
+      if (!ScheduleNext(state)) {
+        result.state_done = true;
+        result.bug = MakeDeadlockBug(state);
+      }
+      return result;
+    }
+    case ExternalId::kCondSignal:
+    case ExternalId::kCondBroadcast: {
+      uint64_t cond_addr;
+      if (!ConcretizeU64(state, args[0], &cond_addr)) {
+        result.state_done = true;
+        return result;
+      }
+      auto& waiters = state.cond_waiters[cond_addr];
+      bool broadcast = LookupExternal(callee.name) == ExternalId::kCondBroadcast;
+      size_t wake = broadcast ? waiters.size() : (waiters.empty() ? 0 : 1);
+      for (size_t i = 0; i < wake; ++i) {
+        Thread* t = state.FindThread(waiters[i]);
+        if (t != nullptr && t->status == ThreadStatus::kBlockedCond) {
+          t->status = ThreadStatus::kRunnable;
+          t->wait_cond = 0;
+          t->cond_signaled = true;
+        }
+      }
+      waiters.erase(waiters.begin(), waiters.begin() + wake);
+      AdvancePc(state);
+      return result;
+    }
+    case ExternalId::kYield: {
+      AdvancePc(state);
+      ScheduleNext(state);
+      return result;
+    }
+    case ExternalId::kUnknown:
+      break;
+  }
+  result.state_done = true;
+  result.bug = MakeBug(BugInfo::Kind::kInternalError, site, thread.id, 0,
+                       "call to unmodeled external '" + callee.name + "'");
+  return result;
+}
+
+}  // namespace esd::vm

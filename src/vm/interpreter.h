@@ -1,0 +1,187 @@
+// ESD VM: the instruction interpreter.
+//
+// One interpreter serves both modes the paper needs:
+//   - symbolic execution (synthesis): inputs are fresh symbolic variables,
+//     symbolic branches fork states, scheduling hooks fire at preemption
+//     points;
+//   - concrete execution (stress testing and deterministic playback): an
+//     InputProvider supplies input values, every expression stays constant,
+//     and a replay policy enforces the recorded schedule.
+// Using a single code path removes divergence between what synthesis
+// explored and what playback executes.
+#ifndef ESD_SRC_VM_INTERPRETER_H_
+#define ESD_SRC_VM_INTERPRETER_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/ir/module.h"
+#include "src/solver/solver.h"
+#include "src/vm/race_detector.h"
+#include "src/vm/schedule_policy.h"
+#include "src/vm/state.h"
+
+namespace esd::vm {
+
+struct BugInfo {
+  enum class Kind : uint8_t {
+    kNone,
+    kNullDeref,
+    kOutOfBounds,
+    kUseAfterFree,
+    kInvalidFree,
+    kDoubleFree,
+    kAssertFail,
+    kDivByZero,
+    kDeadlock,
+    kAbort,
+    kUnreachable,
+    kInvalidSync,
+    kInternalError,
+  };
+  Kind kind = Kind::kNone;
+  ir::InstRef pc;
+  uint32_t tid = 0;
+  uint64_t fault_addr = 0;
+  std::string message;
+
+  bool IsBug() const { return kind != Kind::kNone; }
+};
+
+std::string_view BugKindName(BugInfo::Kind kind);
+
+struct StepResult {
+  // New states created by this step (branch forks and schedule variants).
+  std::vector<StatePtr> forks;
+  // Set when the stepped state is finished (normal exit, infeasible path,
+  // or a bug in this state).
+  bool state_done = false;
+  BugInfo bug;  // kNone unless a bug terminated the state.
+};
+
+// Supplies concrete input values during playback / stress runs.
+class InputProvider {
+ public:
+  virtual ~InputProvider() = default;
+  virtual uint64_t GetValue(const std::string& name, uint32_t width) = 0;
+};
+
+class Interpreter {
+ public:
+  struct Options {
+    // Concrete mode when set: inputs come from the provider, no forking.
+    InputProvider* input_provider = nullptr;
+    SchedulePolicy* policy = nullptr;        // May be null (no schedule forks).
+    EngineServices* services = nullptr;      // Required when policy forks.
+    RaceDetector* race_detector = nullptr;   // Enables §4.2 lockset tracking.
+    // Branch-edge filter for the paper's critical-edge pruning: return false
+    // to forbid following edge (branch site -> target block).
+    std::function<bool(const ExecutionState&, ir::InstRef, uint32_t)> branch_filter;
+    // Upper bound for symbolic-buffer helpers (getenv and friends).
+    uint32_t env_string_len = 8;
+  };
+
+  Interpreter(const ir::Module* module, solver::ConstraintSolver* solver,
+              Options options);
+
+  // Builds the initial state: one thread running `entry` (usually "main").
+  StatePtr MakeInitialState(uint32_t entry_func, uint64_t state_id) const;
+
+  // Executes one instruction of `state`'s current thread (or resolves
+  // blocking/scheduling if it cannot run).
+  StepResult Step(ExecutionState& state);
+
+  const ir::Module& module() const { return *module_; }
+
+  // Hands out process-unique state ids (used for branch forks here and for
+  // schedule forks in the engine).
+  uint64_t AllocStateId() { return next_state_id_++; }
+
+  // Wired by the Engine at construction so schedule policies can fork.
+  void set_services(EngineServices* services) { options_.services = services; }
+
+  struct Stats {
+    uint64_t instructions = 0;
+    uint64_t branch_forks = 0;
+    uint64_t concretizations = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  // --- Value plumbing ---
+  solver::ExprRef EvalValue(const ExecutionState& state, const StackFrame& frame,
+                            const ir::Value& v) const;
+  static uint32_t TypeWidth(ir::Type t) { return ir::BitWidth(t); }
+
+  // --- Memory access helpers (set `bug` and return false on failure) ---
+  bool ConcretizeU64(ExecutionState& state, const solver::ExprRef& e, uint64_t* out);
+  bool CheckAccess(ExecutionState& state, uint64_t ptr, uint32_t bytes, bool is_write,
+                   ir::InstRef site, BugInfo* bug);
+  bool LoadBytes(ExecutionState& state, uint64_t ptr, uint32_t bytes,
+                 solver::ExprRef* out, ir::InstRef site, BugInfo* bug);
+  bool StoreBytes(ExecutionState& state, uint64_t ptr, const solver::ExprRef& value,
+                  ir::InstRef site, BugInfo* bug);
+  // Reads a NUL-terminated concrete string (concretizing symbolic bytes).
+  bool ReadCString(ExecutionState& state, uint64_t ptr, std::string* out,
+                   ir::InstRef site, BugInfo* bug);
+
+  // --- Inputs ---
+  solver::ExprRef MakeInput(ExecutionState& state, const std::string& base,
+                            uint32_t width);
+
+  // --- Scheduling ---
+  // Switches to thread `tid`, recording a schedule event.
+  void SwitchTo(ExecutionState& state, uint32_t tid);
+  // Picks and switches to a runnable thread; returns false if none exists.
+  bool ScheduleNext(ExecutionState& state);
+  // Detects a circular mutex wait (resource-allocation-graph cycle, [22]).
+  bool HasMutexCycle(const ExecutionState& state) const;
+  BugInfo MakeDeadlockBug(const ExecutionState& state) const;
+
+  // --- Instruction execution ---
+  StepResult ExecInstruction(ExecutionState& state, const ir::Instruction& inst,
+                             ir::InstRef site);
+  StepResult ExecCondBr(ExecutionState& state, const ir::Instruction& inst,
+                        ir::InstRef site);
+  StepResult ExecCall(ExecutionState& state, const ir::Instruction& inst,
+                      ir::InstRef site);
+  StepResult ExecRet(ExecutionState& state, const ir::Instruction& inst);
+  StepResult ExecExternal(ExecutionState& state, const ir::Instruction& inst,
+                          const ir::Function& callee, ir::InstRef site);
+  void PushFrame(ExecutionState& state, uint32_t func,
+                 const std::vector<solver::ExprRef>& args, int32_t ret_reg);
+  void PopFrame(ExecutionState& state, const solver::ExprRef& ret_value);
+  // Thread's bottom frame returned / thread exited.
+  StepResult FinishThread(ExecutionState& state);
+
+  void AdvancePc(ExecutionState& state) { ++state.CurrentFrame().inst; }
+
+  // Fires policy.BeforeSyncOp if the instruction is a preemption point.
+  void MaybePreemptionPoint(ExecutionState& state, const ir::Instruction& inst,
+                            ir::InstRef site);
+
+  const ir::Module* module_;
+  solver::ConstraintSolver* solver_;
+  Options options_;
+  Stats stats_;
+  uint64_t next_state_id_ = 1;
+};
+
+// Encodes function index `f` as a runtime function-pointer value.
+constexpr uint32_t kFunctionObjectBase = 0x40000000u;
+constexpr uint64_t FunctionPointer(uint32_t func_index) {
+  return MakePointer(kFunctionObjectBase + func_index, 0);
+}
+constexpr bool IsFunctionPointer(uint64_t ptr) {
+  return PointerObject(ptr) >= kFunctionObjectBase && PointerOffset(ptr) == 0;
+}
+constexpr uint32_t FunctionIndexOf(uint64_t ptr) {
+  return PointerObject(ptr) - kFunctionObjectBase;
+}
+
+}  // namespace esd::vm
+
+#endif  // ESD_SRC_VM_INTERPRETER_H_

@@ -1,0 +1,53 @@
+#include "src/vm/memory.h"
+
+namespace esd::vm {
+
+uint32_t AddressSpace::Allocate(uint32_t size, ObjectKind kind, std::string name) {
+  auto obj = std::make_shared<MemoryObject>();
+  obj->id = next_id_++;
+  obj->size = size;
+  obj->kind = kind;
+  obj->name = std::move(name);
+  obj->bytes.assign(size, solver::MakeConst(8, 0));
+  uint32_t id = obj->id;
+  objects_.emplace(id, std::move(obj));
+  return id;
+}
+
+uint32_t AddressSpace::AllocateInit(uint32_t size, ObjectKind kind, std::string name,
+                                    const std::vector<uint8_t>& init) {
+  uint32_t id = Allocate(size, kind, std::move(name));
+  MemoryObject* obj = FindWritable(id);
+  for (size_t i = 0; i < init.size() && i < obj->bytes.size(); ++i) {
+    obj->bytes[i] = solver::MakeConst(8, init[i]);
+  }
+  return id;
+}
+
+bool AddressSpace::Free(uint32_t id) {
+  auto it = objects_.find(id);
+  if (it == objects_.end() || it->second->freed) {
+    return false;
+  }
+  MemoryObject* obj = FindWritable(id);
+  obj->freed = true;
+  return true;
+}
+
+const MemoryObject* AddressSpace::Find(uint32_t id) const {
+  auto it = objects_.find(id);
+  return it == objects_.end() ? nullptr : it->second.get();
+}
+
+MemoryObject* AddressSpace::FindWritable(uint32_t id) {
+  auto it = objects_.find(id);
+  if (it == objects_.end()) {
+    return nullptr;
+  }
+  if (it->second.use_count() > 1) {
+    it->second = std::make_shared<MemoryObject>(*it->second);
+  }
+  return it->second.get();
+}
+
+}  // namespace esd::vm

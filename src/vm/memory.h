@@ -1,0 +1,69 @@
+// ESD VM: copy-on-write symbolic memory.
+//
+// The address space is a map from object ids to immutable-until-written
+// memory objects holding one width-8 Expr per byte. Pointers pack
+// (object id, offset) into 64 bits: id in the high 32 bits (id 0 is the null
+// object), offset in the low 32. Forked execution states share objects until
+// one of them writes — the copy-on-write scheme §6.1 of the paper credits
+// for ESD's scalability.
+#ifndef ESD_SRC_VM_MEMORY_H_
+#define ESD_SRC_VM_MEMORY_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/solver/expr.h"
+
+namespace esd::vm {
+
+enum class ObjectKind : uint8_t { kGlobal, kStack, kHeap };
+
+struct MemoryObject {
+  uint32_t id = 0;
+  uint32_t size = 0;
+  ObjectKind kind = ObjectKind::kGlobal;
+  bool freed = false;
+  std::string name;  // Global name or allocation-site label, for diagnostics.
+  std::vector<solver::ExprRef> bytes;
+};
+
+constexpr uint64_t MakePointer(uint32_t object_id, uint32_t offset) {
+  return (uint64_t{object_id} << 32) | offset;
+}
+constexpr uint32_t PointerObject(uint64_t ptr) { return static_cast<uint32_t>(ptr >> 32); }
+constexpr uint32_t PointerOffset(uint64_t ptr) { return static_cast<uint32_t>(ptr); }
+
+class AddressSpace {
+ public:
+  AddressSpace() = default;
+  // Copying shares all objects (copy-on-write).
+  AddressSpace(const AddressSpace&) = default;
+  AddressSpace& operator=(const AddressSpace&) = default;
+
+  // Allocates a zero-filled object; returns its id.
+  uint32_t Allocate(uint32_t size, ObjectKind kind, std::string name);
+  // Allocates and initializes from raw bytes (zero-filled beyond init).
+  uint32_t AllocateInit(uint32_t size, ObjectKind kind, std::string name,
+                        const std::vector<uint8_t>& init);
+
+  // Marks an object freed. The object is retained so later accesses can be
+  // diagnosed as use-after-free. Returns false if already freed or unknown.
+  bool Free(uint32_t id);
+
+  const MemoryObject* Find(uint32_t id) const;
+  // Returns a uniquely-owned object for writing, cloning if shared.
+  MemoryObject* FindWritable(uint32_t id);
+
+  size_t NumObjects() const { return objects_.size(); }
+
+ private:
+  std::map<uint32_t, std::shared_ptr<MemoryObject>> objects_;
+  uint32_t next_id_ = 1;
+};
+
+}  // namespace esd::vm
+
+#endif  // ESD_SRC_VM_MEMORY_H_

@@ -1,0 +1,63 @@
+// ESD VM: Eraser-style lockset data-race detection (§4.2).
+//
+// Tracks, per shared memory word, the set of locks consistently held across
+// accesses. When the candidate set becomes empty and at least two threads
+// touched the word with at least one write, the access sites are flagged as
+// a potential (harmful) data race; the race schedule strategy then inserts
+// preemption points at those sites. Because ESD drives the detector from
+// symbolic execution, it observes many paths, not just one workload (§4.2).
+#ifndef ESD_SRC_VM_RACE_DETECTOR_H_
+#define ESD_SRC_VM_RACE_DETECTOR_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "src/ir/instruction.h"
+#include "src/vm/state.h"
+
+namespace esd::vm {
+
+struct RaceReport {
+  uint64_t addr = 0;
+  ir::InstRef first_site;
+  ir::InstRef second_site;
+  bool second_is_write = false;
+};
+
+class RaceDetector {
+ public:
+  // Reports an access; returns a newly flagged race, if any. `held_locks`
+  // are the mutex addresses the accessing thread currently holds.
+  std::optional<RaceReport> OnAccess(uint64_t addr, uint32_t tid, bool is_write,
+                                     ir::InstRef site,
+                                     const std::set<uint64_t>& held_locks);
+
+  // Sites flagged as potential races (preemption points for the strategy).
+  const std::set<ir::InstRef>& FlaggedSites() const { return flagged_sites_; }
+  const std::vector<RaceReport>& Races() const { return races_; }
+
+  // Computes the lock addresses held by `tid` in `state`.
+  static std::set<uint64_t> HeldLocks(const ExecutionState& state, uint32_t tid);
+
+ private:
+  enum class WordState : uint8_t { kVirgin, kExclusive, kShared, kSharedModified };
+
+  struct WordInfo {
+    WordState st = WordState::kVirgin;
+    uint32_t first_tid = 0;
+    std::set<uint64_t> lockset;  // Candidate lockset C(v).
+    ir::InstRef last_site;
+    bool reported = false;
+  };
+
+  std::map<uint64_t, WordInfo> words_;
+  std::set<ir::InstRef> flagged_sites_;
+  std::vector<RaceReport> races_;
+};
+
+}  // namespace esd::vm
+
+#endif  // ESD_SRC_VM_RACE_DETECTOR_H_

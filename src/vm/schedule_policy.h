@@ -1,0 +1,96 @@
+// ESD VM: scheduling policy hooks.
+//
+// The paper treats the scheduler's decisions as symbolic (§4): every
+// preemption point may fork states that differ only in which thread runs
+// next. The interpreter announces preemption points through this interface;
+// policies implement the paper's strategies:
+//   - core/deadlock_strategy.h: the §4.1 inner/outer-lock heuristic;
+//   - core/race_strategy.h: the §4.2 lockset + common-stack-prefix heuristic;
+//   - baseline/kc.h: Chess-style bounded preemption at every sync op;
+//   - replay/replayer.h: deterministic enforcement of a recorded schedule.
+#ifndef ESD_SRC_VM_SCHEDULE_POLICY_H_
+#define ESD_SRC_VM_SCHEDULE_POLICY_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "src/ir/instruction.h"
+#include "src/vm/state.h"
+
+namespace esd::vm {
+
+struct SyncOp {
+  enum class Kind : uint8_t {
+    kMutexLock,
+    kMutexUnlock,
+    kCondWait,
+    kCondSignal,
+    kCondBroadcast,
+    kThreadCreate,
+    kThreadJoin,
+    kRacyLoad,
+    kRacyStore,
+    kYield,
+  };
+  Kind kind;
+  uint64_t addr = 0;  // Mutex / condvar / memory address, when applicable.
+  ir::InstRef site;
+};
+
+// Services the engine exposes to policies (forking schedule variants and
+// re-prioritizing states whose schedule distance changed).
+class EngineServices {
+ public:
+  virtual ~EngineServices() = default;
+  // Clones `state` (fresh id) without adding it to the searcher.
+  virtual StatePtr ForkState(const ExecutionState& state) = 0;
+  // Hands a forked state to the searcher.
+  virtual void AddState(StatePtr state) = 0;
+  // Tells the searcher that `state`'s priority inputs changed.
+  virtual void Reprioritize(const StatePtr& state) = 0;
+  // Looks up the live StatePtr for a state reference (for snapshots).
+  virtual StatePtr SharedRef(const ExecutionState& state) = 0;
+};
+
+class SchedulePolicy {
+ public:
+  virtual ~SchedulePolicy() = default;
+
+  // Consulted before every instruction: a forced thread switch (replay).
+  virtual std::optional<uint32_t> ForceSwitch(const ExecutionState& state) {
+    return std::nullopt;
+  }
+
+  // Whether loads/stores at `site` should be treated as preemption points
+  // (set by the race strategy for flagged potential races).
+  virtual bool IsPreemptionAccess(const ExecutionState& state, ir::InstRef site) {
+    return false;
+  }
+
+  // Called before a preemption-point operation executes. The policy may fork
+  // schedule variants (states where another thread runs instead).
+  virtual void BeforeSyncOp(EngineServices& services, ExecutionState& state,
+                            const SyncOp& op) {}
+
+  // Called after the current thread acquired mutex `addr`.
+  virtual void OnLockAcquired(EngineServices& services, ExecutionState& state,
+                              uint64_t addr, ir::InstRef site) {}
+
+  // Called when the current thread blocked on mutex `addr` held by `holder`.
+  virtual void OnLockBlocked(EngineServices& services, ExecutionState& state,
+                             uint64_t addr, uint32_t holder) {}
+
+  // Called after mutex `addr` was released.
+  virtual void OnUnlock(EngineServices& services, ExecutionState& state,
+                        uint64_t addr) {}
+
+  // Picks the next thread when the current one cannot continue. Returning
+  // nullopt selects the lowest-id runnable thread.
+  virtual std::optional<uint32_t> PickNextThread(const ExecutionState& state) {
+    return std::nullopt;
+  }
+};
+
+}  // namespace esd::vm
+
+#endif  // ESD_SRC_VM_SCHEDULE_POLICY_H_

@@ -1,0 +1,60 @@
+#include "src/vm/searcher.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace esd::vm {
+namespace {
+
+void EraseState(std::vector<StatePtr>* v, const StatePtr& state) {
+  v->erase(std::remove(v->begin(), v->end(), state), v->end());
+}
+
+}  // namespace
+
+void DfsSearcher::Remove(const StatePtr& state) { EraseState(&stack_, state); }
+
+void BfsSearcher::Remove(const StatePtr& state) {
+  queue_.erase(std::remove(queue_.begin(), queue_.end(), state), queue_.end());
+}
+
+void RandomPathSearcher::Remove(const StatePtr& state) { EraseState(&states_, state); }
+
+StatePtr RandomPathSearcher::Select() {
+  if (states_.empty()) {
+    return nullptr;
+  }
+  // Weight ~ 2^-depth, clamped so very deep states keep nonzero mass.
+  uint64_t min_depth = UINT64_MAX;
+  for (const StatePtr& s : states_) {
+    min_depth = std::min(min_depth, s->depth);
+  }
+  double total = 0.0;
+  std::vector<double> weights(states_.size());
+  for (size_t i = 0; i < states_.size(); ++i) {
+    double rel = static_cast<double>(states_[i]->depth - min_depth);
+    weights[i] = std::pow(2.0, -std::min(rel, 48.0));
+    total += weights[i];
+  }
+  std::uniform_real_distribution<double> dist(0.0, total);
+  double pick = dist(rng_);
+  for (size_t i = 0; i < states_.size(); ++i) {
+    pick -= weights[i];
+    if (pick <= 0.0) {
+      return states_[i];
+    }
+  }
+  return states_.back();
+}
+
+void RandomStateSearcher::Remove(const StatePtr& state) { EraseState(&states_, state); }
+
+StatePtr RandomStateSearcher::Select() {
+  if (states_.empty()) {
+    return nullptr;
+  }
+  std::uniform_int_distribution<size_t> dist(0, states_.size() - 1);
+  return states_[dist(rng_)];
+}
+
+}  // namespace esd::vm

@@ -1,0 +1,21 @@
+#include "src/vm/state.h"
+
+namespace esd::vm {
+
+StatePtr ExecutionState::Fork(uint64_t new_id) const {
+  auto child = std::make_shared<ExecutionState>(*this);
+  child->id = new_id;
+  child->parent_id = id;
+  child->depth = depth + 1;
+  return child;
+}
+
+solver::ExprRef ExecutionState::NewInput(const std::string& name, uint32_t width) {
+  uint64_t var_id = next_var_id++;
+  std::string unique = name + "#" + std::to_string(var_id);
+  solver::ExprRef var = solver::MakeVar(var_id, width, unique);
+  inputs.emplace_back(unique, var);
+  return var;
+}
+
+}  // namespace esd::vm

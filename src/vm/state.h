@@ -1,0 +1,178 @@
+// ESD VM: execution states.
+//
+// An execution state is the paper's unit of search: program counters and
+// stacks for every thread, a copy-on-write address space, the accumulated
+// path constraints, synchronization bookkeeping, and the schedule trace that
+// becomes the synthesized execution file. States fork at symbolic branches
+// and at scheduling decisions.
+#ifndef ESD_SRC_VM_STATE_H_
+#define ESD_SRC_VM_STATE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/ir/instruction.h"
+#include "src/solver/expr.h"
+#include "src/vm/memory.h"
+
+namespace esd::vm {
+
+class ExecutionState;
+using StatePtr = std::shared_ptr<ExecutionState>;
+
+struct StackFrame {
+  uint32_t func = ir::kInvalidIndex;
+  uint32_t block = 0;
+  uint32_t inst = 0;
+  std::vector<solver::ExprRef> regs;
+  // Register in the caller's frame receiving the return value (-1: none).
+  int32_t ret_reg = -1;
+  // Stack objects to release when this frame pops.
+  std::vector<uint32_t> allocas;
+};
+
+enum class ThreadStatus : uint8_t {
+  kRunnable,
+  kBlockedMutex,
+  kBlockedCond,
+  kBlockedJoin,
+  kExited,
+};
+
+struct Thread {
+  uint32_t id = 0;
+  ThreadStatus status = ThreadStatus::kRunnable;
+  std::vector<StackFrame> frames;
+  uint64_t wait_mutex = 0;        // Address when kBlockedMutex.
+  uint64_t wait_cond = 0;         // Address when kBlockedCond.
+  uint64_t cond_saved_mutex = 0;  // Mutex to reacquire after cond wakeup.
+  bool cond_signaled = false;     // Woken, waiting to reacquire the mutex.
+  uint32_t join_tid = ir::kInvalidIndex;  // Target when kBlockedJoin.
+
+  ir::InstRef Pc() const {
+    if (frames.empty()) {
+      return {};
+    }
+    const StackFrame& f = frames.back();
+    return ir::InstRef{f.func, f.block, f.inst};
+  }
+};
+
+struct MutexState {
+  bool locked = false;
+  uint32_t holder = ir::kInvalidIndex;
+  // Call site of the current holder's acquisition; the deadlock strategy
+  // compares this against the reported threads' inner-lock sites (§4.1).
+  ir::InstRef acquired_at;
+};
+
+// One entry of the serialized schedule trace; used both to detect the goal
+// interleaving and to emit the execution file for playback.
+struct SchedEvent {
+  enum class Kind : uint8_t {
+    kSwitch,       // Scheduler switched to thread `tid` at step `step`.
+    kMutexLock,    // `tid` acquired mutex `addr`.
+    kMutexUnlock,
+    kCondWait,
+    kCondWake,
+    kThreadCreate,  // `tid` = new thread id.
+    kThreadExit,
+  };
+  Kind kind;
+  uint32_t tid = 0;
+  uint64_t addr = 0;
+  uint64_t step = 0;
+  ir::InstRef site;
+};
+
+// Schedule-distance classification used by the deadlock strategy (§4.1):
+// states believed to be one context switch away from the reported deadlock
+// are "near" and get strong search priority.
+inline constexpr double kScheduleFar = 1.0;
+inline constexpr double kScheduleNear = 0.0;
+
+class ExecutionState {
+ public:
+  ExecutionState() = default;
+
+  // Deep-copies control state; shares memory objects copy-on-write.
+  StatePtr Fork(uint64_t new_id) const;
+
+  Thread& CurrentThread() { return threads[current_tid]; }
+  const Thread& CurrentThread() const { return threads[current_tid]; }
+  StackFrame& CurrentFrame() { return CurrentThread().frames.back(); }
+
+  Thread* FindThread(uint32_t tid) {
+    for (Thread& t : threads) {
+      if (t.id == tid) {
+        return &t;
+      }
+    }
+    return nullptr;
+  }
+
+  int RunnableCount() const {
+    int n = 0;
+    for (const Thread& t : threads) {
+      n += t.status == ThreadStatus::kRunnable ? 1 : 0;
+    }
+    return n;
+  }
+
+  bool AllExited() const {
+    for (const Thread& t : threads) {
+      if (t.status != ThreadStatus::kExited) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  void RecordEvent(SchedEvent::Kind kind, uint32_t tid, uint64_t addr,
+                   ir::InstRef site) {
+    sched_trace.push_back(SchedEvent{kind, tid, addr, steps, site});
+  }
+
+  // Allocates a fresh symbolic variable and remembers it as a program input.
+  solver::ExprRef NewInput(const std::string& name, uint32_t width);
+
+  // ---- Identity & bookkeeping ----
+  uint64_t id = 0;
+  uint64_t steps = 0;        // Instructions executed in this state's history.
+  uint64_t depth = 0;        // Fork depth (for tree searchers).
+  uint64_t parent_id = 0;
+  uint32_t preemptions = 0;  // Forced context switches (KC bounding).
+
+  // ---- Program state ----
+  AddressSpace mem;
+  std::vector<Thread> threads;
+  uint32_t current_tid = 0;
+  uint32_t next_tid = 1;
+
+  // ---- Symbolic state ----
+  std::vector<solver::ExprRef> constraints;
+  uint64_t next_var_id = 1;
+  // Input registry in creation order: (name, var expr).
+  std::vector<std::pair<std::string, solver::ExprRef>> inputs;
+
+  // ---- Synchronization ----
+  std::map<uint64_t, MutexState> mutexes;          // Keyed by mutex address.
+  std::map<uint64_t, std::vector<uint32_t>> cond_waiters;  // cond addr -> tids.
+
+  // ---- Traces & strategy metadata ----
+  std::vector<SchedEvent> sched_trace;
+  std::string output;  // Concatenated print_* output.
+  // The paper's K_S map: mutex address -> snapshot state forked just before
+  // that mutex was acquired (deadlock schedule synthesis, §4.1).
+  std::map<uint64_t, StatePtr> lock_snapshots;
+  double schedule_distance = kScheduleFar;
+  bool is_schedule_snapshot = false;
+};
+
+}  // namespace esd::vm
+
+#endif  // ESD_SRC_VM_STATE_H_

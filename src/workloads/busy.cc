@@ -1,0 +1,79 @@
+#include "src/workloads/busy.h"
+
+#include <sstream>
+
+namespace esd::workloads {
+
+std::string BusyFunctionText(std::string_view name, int bytes, int ways) {
+  std::ostringstream os;
+  os << "global $" << name << "_in = str \"" << name << "\"\n";
+  os << "func @" << name << "() : void {\n";
+  os << "entry:\n";
+  os << "  %buf = alloca " << bytes << "\n";
+  os << "  %acc = alloca 4\n";
+  os << "  store i32 1, %acc\n";
+  os << "  call @esd_input_bytes(%buf, i64 " << bytes << ", $" << name << "_in)\n";
+  os << "  br b0_load\n";
+  for (int b = 0; b < bytes; ++b) {
+    std::string done = b + 1 == bytes ? "fin" : "b" + std::to_string(b + 1) + "_load";
+    os << "b" << b << "_load:\n";
+    os << "  %p" << b << " = gep %buf, i64 " << b << ", 1\n";
+    os << "  %c" << b << " = load i8, %p" << b << "\n";
+    os << "  %w" << b << " = zext i32, %c" << b << "\n";
+    os << "  br b" << b << "_t0\n";
+    // (ways-1) chained range tests dispatch into `ways` handlers.
+    for (int k = 0; k < ways - 1; ++k) {
+      int threshold = (k + 1) * 256 / ways;
+      std::string handler = "b" + std::to_string(b) + "_h" + std::to_string(k);
+      std::string miss = k + 2 == ways
+                             ? "b" + std::to_string(b) + "_h" + std::to_string(k + 1)
+                             : "b" + std::to_string(b) + "_t" + std::to_string(k + 1);
+      os << "b" << b << "_t" << k << ":\n";
+      os << "  %d" << b << "_" << k << " = icmp ult %w" << b << ", i32 " << threshold
+         << "\n";
+      os << "  condbr %d" << b << "_" << k << ", " << handler << ", " << miss << "\n";
+    }
+    // Handlers: distinct mixing arithmetic, then on to the next byte.
+    for (int k = 0; k < ways; ++k) {
+      os << "b" << b << "_h" << k << ":\n";
+      os << "  %a" << b << "_" << k << " = load i32, %acc\n";
+      os << "  %m" << b << "_" << k << " = mul %a" << b << "_" << k << ", i32 "
+         << (2 * k + 3) << "\n";
+      os << "  %x" << b << "_" << k << " = xor %m" << b << "_" << k << ", i32 "
+         << (17 * (b + 1) + k) << "\n";
+      os << "  store %x" << b << "_" << k << ", %acc\n";
+      os << "  br " << done << "\n";
+    }
+  }
+  os << "fin:\n";
+  os << "  %final = load i32, %acc\n";
+  os << "  %wide = zext i64, %final\n";
+  os << "  %sink = and %wide, i64 65535\n";
+  os << "  %junk = add %sink, i64 1\n";
+  os << "  ret\n";
+  os << "}\n";
+  return os.str();
+}
+
+std::string GuardChainText(std::string_view cfg_name, std::string_view expect,
+                           std::string_view pass_label,
+                           std::string_view reject_label) {
+  std::ostringstream os;
+  size_t n = expect.size();
+  os << "  %cfg = alloca " << n << "\n";
+  os << "  call @esd_input_bytes(%cfg, i64 " << n << ", $" << cfg_name << ")\n";
+  os << "  br guard0\n";
+  for (size_t k = 0; k < n; ++k) {
+    std::string next =
+        k + 1 == n ? std::string(pass_label) : "guard" + std::to_string(k + 1);
+    os << "guard" << k << ":\n";
+    os << "  %gp" << k << " = gep %cfg, i64 " << k << ", 1\n";
+    os << "  %gc" << k << " = load i8, %gp" << k << "\n";
+    os << "  %gk" << k << " = icmp eq %gc" << k << ", i8 "
+       << static_cast<int>(static_cast<unsigned char>(expect[k])) << "\n";
+    os << "  condbr %gk" << k << ", " << next << ", " << reject_label << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace esd::workloads

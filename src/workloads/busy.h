@@ -1,0 +1,35 @@
+// ESD workloads: "busy" path-space generators.
+//
+// Real systems surround a bug with large amounts of input-dependent code
+// that has nothing to do with the failure (option parsing, error reporting,
+// alternative protocol handlers). This is what makes unguided search
+// hopeless in the paper's evaluation while ESD's pruning skips it outright.
+// BusyFunctionText emits a function that consumes `bytes` fresh symbolic
+// input bytes and dispatches `ways`-way on each — a path space of
+// ways^bytes that never reaches any bug.
+#ifndef ESD_SRC_WORKLOADS_BUSY_H_
+#define ESD_SRC_WORKLOADS_BUSY_H_
+
+#include <string>
+#include <string_view>
+
+namespace esd::workloads {
+
+// Emits the textual IR for `func @<name>() : void` plus the string global
+// `$<name>_in` it reads its input bytes through.
+std::string BusyFunctionText(std::string_view name, int bytes, int ways);
+
+// Emits a guard chain to paste into a function body: reads
+// strlen(expect) input bytes through global `$<cfg_name>` (which the caller
+// must declare with AddStringGlobal-style text) and compares them one by one
+// against `expect`. Control falls through to `pass_label` only when every
+// byte matches; any mismatch branches to `reject_label`. This is the shape
+// of real argument/config validation: a long chain of input-dependent
+// critical edges in front of the interesting code.
+std::string GuardChainText(std::string_view cfg_name, std::string_view expect,
+                           std::string_view pass_label,
+                           std::string_view reject_label);
+
+}  // namespace esd::workloads
+
+#endif  // ESD_SRC_WORKLOADS_BUSY_H_

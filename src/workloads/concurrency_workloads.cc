@@ -1,0 +1,315 @@
+// Concurrency (hang) workloads: the paper's Listing 1 running example, the
+// SQLite #1672-shaped recursive-lock deadlock, and the HawkNL
+// nlClose/nlShutdown deadlock.
+#include "src/workloads/busy.h"
+#include "src/workloads/workloads_internal.h"
+
+namespace esd::workloads {
+
+// ---------------------------------------------------------------------------
+// Listing 1: two threads run CriticalSection(); if mode==MOD_Y && idx==1,
+// the first thread releases M1 and reacquires it, opening a window in which
+// a second thread can take M1 and block on M2 -> circular wait.
+// ---------------------------------------------------------------------------
+Workload BuildListing1() {
+  Workload w;
+  w.name = "listing1";
+  w.manifestation = "hang";
+  w.expected_kind = vm::BugInfo::Kind::kDeadlock;
+  w.module = ParseWorkload(R"(
+global $mode = zero 4
+global $idx = zero 4
+global $m1 = zero 8
+global $m2 = zero 8
+global $env_mode = str "mode"
+
+func @critical_section() : void {
+entry:
+  call @mutex_lock($m1)            ; line 8
+  call @mutex_lock($m2)            ; line 9
+  %mv = load i32, $mode
+  %is_y = icmp eq %mv, i32 1
+  %iv = load i32, $idx
+  %is_one = icmp eq %iv, i32 1
+  %both = and %is_y, %is_one
+  condbr %both, swap, done         ; line 10
+swap:
+  call @mutex_unlock($m1)          ; line 11
+  call @mutex_lock($m1)            ; line 12 (deadlock inner lock)
+  br done
+done:
+  call @mutex_unlock($m2)
+  call @mutex_unlock($m1)
+  ret
+}
+
+func @worker(%arg: ptr) : void {
+entry:
+  call @critical_section()
+  ret
+}
+
+func @main() : i32 {
+entry:
+  %c = call @getchar()             ; line 1
+  %is_m = icmp eq %c, i32 109
+  condbr %is_m, inc, checkenv
+inc:
+  %old = load i32, $idx
+  %new = add %old, i32 1
+  store %new, $idx                 ; line 2: idx++
+  br checkenv
+checkenv:
+  %env = call @getenv($env_mode)   ; line 3
+  %e0 = load i8, %env
+  %is_y = icmp eq %e0, i8 89
+  condbr %is_y, mod_y, mod_z
+mod_y:
+  store i32 1, $mode               ; line 4: mode = MOD_Y
+  br spawn
+mod_z:
+  store i32 2, $mode               ; line 6: mode = MOD_Z
+  br spawn
+spawn:
+  %t1 = call @thread_create(@worker, null)
+  %t2 = call @thread_create(@worker, null)
+  call @thread_join(%t1)
+  call @thread_join(%t2)
+  ret i32 0
+}
+)");
+  w.trigger.inputs = {{"getchar", 109}, {"env:mode[0]", 'Y'}};
+  // T1 runs through unlock(M1) (3 sync events), then T2 takes M1 and blocks
+  // on M2, then T1 blocks reacquiring M1 -> circular wait.
+  w.trigger.schedule = {{1, 3, 2}, {2, 1, 1}};
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// SQLite (bug #1672 shape): the custom recursive-lock slow path takes the
+// lock-subsystem master mutex and then the database mutex; the WAL
+// checkpoint path takes them in the opposite order. The inversion only
+// exists when the database runs in WAL journal mode (environment-driven).
+// ---------------------------------------------------------------------------
+Workload BuildSqlite() {
+  Workload w;
+  w.name = "sqlite";
+  w.manifestation = "hang";
+  w.expected_kind = vm::BugInfo::Kind::kDeadlock;
+  w.module = ParseWorkload(BusyFunctionText("passive_checkpoint", 8, 4) + R"(
+global $sqlite_cfg = str "sqlite_cfg"
+global $master = zero 8
+global $db = zero 8
+global $journal_mode = zero 4
+global $page_count = zero 4
+global $env_jm = str "journal"
+
+func @sqlite_lock_enter() : void {
+entry:
+  call @mutex_lock($master)
+  call @mutex_lock($db)            ; inner lock of the writer thread
+  ret
+}
+
+func @sqlite_lock_leave() : void {
+entry:
+  call @mutex_unlock($db)
+  call @mutex_unlock($master)
+  ret
+}
+
+func @wal_checkpoint() : void {
+entry:
+  %jm = load i32, $journal_mode
+  %is_wal = icmp eq %jm, i32 2
+  condbr %is_wal, wal, passive
+passive:
+  call @passive_checkpoint()       ; rollback-journal checkpoint: big space
+  br done
+wal:
+  call @mutex_lock($db)
+  call @mutex_lock($master)        ; inner lock of the checkpointer
+  %pc = load i32, $page_count
+  %npc = add %pc, i32 1
+  store %npc, $page_count
+  call @mutex_unlock($master)
+  call @mutex_unlock($db)
+  br done
+done:
+  ret
+}
+
+func @db_writer(%arg: ptr) : void {
+entry:
+  call @sqlite_lock_enter()
+  %pc = load i32, $page_count
+  %npc = add %pc, i32 4
+  store %npc, $page_count
+  call @sqlite_lock_leave()
+  ret
+}
+
+func @checkpointer(%arg: ptr) : void {
+entry:
+  call @wal_checkpoint()
+  ret
+}
+
+func @main() : i32 {
+entry:
+)" + GuardChainText("sqlite_cfg", "journal_mode=wal", "accept", "reject") + R"(
+accept:
+  %env = call @getenv($env_jm)
+  %b = load i8, %env
+  %is_w = icmp eq %b, i8 119       ; 'w' selects WAL journal mode
+  condbr %is_w, wal, rollback
+wal:
+  store i32 2, $journal_mode
+  br run
+rollback:
+  store i32 1, $journal_mode
+  br run
+run:
+  %t1 = call @thread_create(@db_writer, null)
+  %t2 = call @thread_create(@checkpointer, null)
+  call @thread_join(%t1)
+  call @thread_join(%t2)
+  ret i32 0
+reject:
+  call @passive_checkpoint()
+  ret i32 1
+}
+)");
+  w.trigger.inputs = {{"env:journal[0]", 'w'}};
+  // The config/argument bytes that gate the buggy mode:
+  w.trigger.inputs["sqlite_cfg[0]"] = 'j';
+  w.trigger.inputs["sqlite_cfg[1]"] = 'o';
+  w.trigger.inputs["sqlite_cfg[2]"] = 'u';
+  w.trigger.inputs["sqlite_cfg[3]"] = 'r';
+  w.trigger.inputs["sqlite_cfg[4]"] = 'n';
+  w.trigger.inputs["sqlite_cfg[5]"] = 'a';
+  w.trigger.inputs["sqlite_cfg[6]"] = 'l';
+  w.trigger.inputs["sqlite_cfg[7]"] = '_';
+  w.trigger.inputs["sqlite_cfg[8]"] = 'm';
+  w.trigger.inputs["sqlite_cfg[9]"] = 'o';
+  w.trigger.inputs["sqlite_cfg[10]"] = 'd';
+  w.trigger.inputs["sqlite_cfg[11]"] = 'e';
+  w.trigger.inputs["sqlite_cfg[12]"] = '=';
+  w.trigger.inputs["sqlite_cfg[13]"] = 'w';
+  w.trigger.inputs["sqlite_cfg[14]"] = 'a';
+  w.trigger.inputs["sqlite_cfg[15]"] = 'l';
+
+  // T1 takes master (1 event), then T2 takes db and blocks on master, then
+  // T1 blocks on db.
+  w.trigger.schedule = {{1, 1, 2}, {2, 1, 1}};
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// HawkNL 1.6b3: nlClose() locks the per-socket mutex then the library
+// mutex; nlShutdown() locks the library mutex then the per-socket mutex.
+// Two threads calling them on the same socket deadlock.
+// ---------------------------------------------------------------------------
+Workload BuildHawknl() {
+  Workload w;
+  w.name = "hawknl";
+  w.manifestation = "hang";
+  w.expected_kind = vm::BugInfo::Kind::kDeadlock;
+  w.module = ParseWorkload(BusyFunctionText("report_socket_error", 8, 4) + R"(
+global $hawknl_cfg = str "hawknl_cfg"
+global $nl_global = zero 8
+global $sock_mutex = zero 8
+global $sock_open = zero 4
+global $nl_ok = zero 4
+global $in_init = str "nl_init"
+
+func @nl_close() : void {
+entry:
+  call @mutex_lock($sock_mutex)
+  %open = load i32, $sock_open
+  %is = icmp eq %open, i32 1
+  condbr %is, doclose, notopen
+notopen:
+  call @report_socket_error()      ; error formatting: big path space
+  br out
+doclose:
+  call @mutex_lock($nl_global)     ; inner lock of the closing thread
+  store i32 0, $sock_open
+  call @mutex_unlock($nl_global)
+  br out
+out:
+  call @mutex_unlock($sock_mutex)
+  ret
+}
+
+func @nl_shutdown() : void {
+entry:
+  call @mutex_lock($nl_global)
+  call @mutex_lock($sock_mutex)    ; inner lock of the shutdown thread
+  store i32 0, $nl_ok
+  store i32 0, $sock_open
+  call @mutex_unlock($sock_mutex)
+  call @mutex_unlock($nl_global)
+  ret
+}
+
+func @closer(%arg: ptr) : void {
+entry:
+  call @nl_close()
+  ret
+}
+
+func @shutdowner(%arg: ptr) : void {
+entry:
+  call @nl_shutdown()
+  ret
+}
+
+func @main() : i32 {
+entry:
+)" + GuardChainText("hawknl_cfg", "NL_REUSE_ADDRESS", "accept", "reject") + R"(
+accept:
+  %init = call @esd_input_i32($in_init)
+  %ok = icmp ne %init, i32 0
+  condbr %ok, opened, fail
+opened:
+  store i32 1, $sock_open
+  store i32 1, $nl_ok
+  %t1 = call @thread_create(@closer, null)
+  %t2 = call @thread_create(@shutdowner, null)
+  call @thread_join(%t1)
+  call @thread_join(%t2)
+  ret i32 0
+fail:
+  ret i32 1
+reject:
+  call @report_socket_error()
+  ret i32 1
+}
+)");
+  w.trigger.inputs = {{"nl_init", 1}};
+  // The config/argument bytes that gate the buggy mode:
+  w.trigger.inputs["hawknl_cfg[0]"] = 'N';
+  w.trigger.inputs["hawknl_cfg[1]"] = 'L';
+  w.trigger.inputs["hawknl_cfg[2]"] = '_';
+  w.trigger.inputs["hawknl_cfg[3]"] = 'R';
+  w.trigger.inputs["hawknl_cfg[4]"] = 'E';
+  w.trigger.inputs["hawknl_cfg[5]"] = 'U';
+  w.trigger.inputs["hawknl_cfg[6]"] = 'S';
+  w.trigger.inputs["hawknl_cfg[7]"] = 'E';
+  w.trigger.inputs["hawknl_cfg[8]"] = '_';
+  w.trigger.inputs["hawknl_cfg[9]"] = 'A';
+  w.trigger.inputs["hawknl_cfg[10]"] = 'D';
+  w.trigger.inputs["hawknl_cfg[11]"] = 'D';
+  w.trigger.inputs["hawknl_cfg[12]"] = 'R';
+  w.trigger.inputs["hawknl_cfg[13]"] = 'E';
+  w.trigger.inputs["hawknl_cfg[14]"] = 'S';
+  w.trigger.inputs["hawknl_cfg[15]"] = 'S';
+
+  // T1 takes sock_mutex (1 event), T2 takes nl_global and blocks on
+  // sock_mutex, T1 blocks on nl_global.
+  w.trigger.schedule = {{1, 1, 2}, {2, 1, 1}};
+  return w;
+}
+
+}  // namespace esd::workloads

@@ -1,0 +1,545 @@
+// Crash workloads: the ghttpd log-buffer overflow, the paste invalid free,
+// and the coreutils error-path segfaults (mknod, mkdir, mkfifo, tac).
+#include "src/workloads/busy.h"
+#include "src/workloads/workloads_internal.h"
+
+namespace esd::workloads {
+
+// ---------------------------------------------------------------------------
+// ghttpd: the Log() function copies the GET-request URL into a fixed buffer
+// with no bounds check (the vsprintf overflow of [16]). The overflow only
+// happens for well-formed GET requests with a long URL.
+// ---------------------------------------------------------------------------
+Workload BuildGhttpd() {
+  Workload w;
+  w.name = "ghttpd";
+  w.manifestation = "crash";
+  w.expected_kind = vm::BugInfo::Kind::kOutOfBounds;
+  w.module = ParseWorkload(BusyFunctionText("other_methods", 8, 4) + R"(
+global $ghttpd_cfg = str "ghttpd_cfg"
+global $reqname = str "request"
+global $hits = zero 4
+
+func @serve_log(%url: ptr) : void {
+entry:
+  %logbuf = alloca 16
+  %i = alloca 8
+  store i64 0, %i
+  br loop
+loop:
+  %iv = load i64, %i
+  %src = gep %url, %iv, 1
+  %c = load i8, %src
+  %isend = icmp eq %c, i8 0
+  condbr %isend, done, copy
+copy:
+  %dst = gep %logbuf, %iv, 1
+  store %c, %dst                   ; vsprintf-style copy: no bounds check
+  %next = add %iv, i64 1
+  store %next, %i
+  br loop
+done:
+  ret
+}
+
+func @handle_request() : void {
+entry:
+  %req = alloca 64
+  call @esd_input_bytes(%req, i64 40, $reqname)
+  %c0 = load i8, %req
+  %g = icmp eq %c0, i8 71          ; 'G'
+  condbr %g, m1, reject
+m1:
+  %p1 = gep %req, i64 1, 1
+  %c1 = load i8, %p1
+  %e = icmp eq %c1, i8 69          ; 'E'
+  condbr %e, m2, reject
+m2:
+  %p2 = gep %req, i64 2, 1
+  %c2 = load i8, %p2
+  %t = icmp eq %c2, i8 84          ; 'T'
+  condbr %t, m3, reject
+m3:
+  %p3 = gep %req, i64 3, 1
+  %c3 = load i8, %p3
+  %sp = icmp eq %c3, i8 32         ; ' '
+  condbr %sp, serve, reject
+serve:
+  %h = load i32, $hits
+  %nh = add %h, i32 1
+  store %nh, $hits
+  %url = gep %req, i64 4, 1
+  call @serve_log(%url)
+  ret
+reject:
+  call @other_methods()          ; POST/HEAD/... handling: huge path space
+  ret
+}
+
+func @main() : i32 {
+entry:
+)" + GuardChainText("ghttpd_cfg", "srvroot=/var/www", "accept", "reject") + R"(
+accept:
+  call @handle_request()
+  ret i32 0
+reject:
+  call @other_methods()
+  ret i32 1
+}
+)");
+  w.trigger.inputs = {{"request[0]", 'G'}, {"request[1]", 'E'},
+                      {"request[2]", 'T'}, {"request[3]", ' '}};
+  // The config/argument bytes that gate the buggy mode:
+  w.trigger.inputs["ghttpd_cfg[0]"] = 's';
+  w.trigger.inputs["ghttpd_cfg[1]"] = 'r';
+  w.trigger.inputs["ghttpd_cfg[2]"] = 'v';
+  w.trigger.inputs["ghttpd_cfg[3]"] = 'r';
+  w.trigger.inputs["ghttpd_cfg[4]"] = 'o';
+  w.trigger.inputs["ghttpd_cfg[5]"] = 'o';
+  w.trigger.inputs["ghttpd_cfg[6]"] = 't';
+  w.trigger.inputs["ghttpd_cfg[7]"] = '=';
+  w.trigger.inputs["ghttpd_cfg[8]"] = '/';
+  w.trigger.inputs["ghttpd_cfg[9]"] = 'v';
+  w.trigger.inputs["ghttpd_cfg[10]"] = 'a';
+  w.trigger.inputs["ghttpd_cfg[11]"] = 'r';
+  w.trigger.inputs["ghttpd_cfg[12]"] = '/';
+  w.trigger.inputs["ghttpd_cfg[13]"] = 'w';
+  w.trigger.inputs["ghttpd_cfg[14]"] = 'w';
+  w.trigger.inputs["ghttpd_cfg[15]"] = 'w';
+
+  // A long URL: 20 non-NUL bytes after the method overflow the 16-byte log
+  // buffer.
+  for (int i = 4; i < 26; ++i) {
+    w.trigger.inputs["request[" + std::to_string(i) + "]"] = 'A';
+  }
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// paste: delimiter parsing returns an interior pointer when the argument
+// begins with '-'; freeing it faults in the allocator.
+// ---------------------------------------------------------------------------
+Workload BuildPaste() {
+  Workload w;
+  w.name = "paste";
+  w.manifestation = "crash";
+  w.expected_kind = vm::BugInfo::Kind::kInvalidFree;
+  w.module = ParseWorkload(BusyFunctionText("serial_merge", 8, 4) + R"(
+global $paste_cfg = str "paste_cfg"
+global $argname = str "arg"
+global $stats = zero 4
+
+func @parse_delims(%arg: ptr) : ptr {
+entry:
+  %c = load i8, %arg
+  %dash = icmp eq %c, i8 45        ; leading '-': strip it
+  condbr %dash, skip, keep
+skip:
+  %p = gep %arg, i64 1, 1          ; interior pointer escapes
+  ret %p
+keep:
+  ret %arg
+}
+
+func @count_delims(%d: ptr) : i32 {
+entry:
+  %n = alloca 4
+  store i32 0, %n
+  %i = alloca 8
+  store i64 0, %i
+  br loop
+loop:
+  %iv = load i64, %i
+  %stop = icmp uge %iv, i64 4
+  condbr %stop, done, body
+body:
+  %p = gep %d, %iv, 1
+  %c = load i8, %p
+  %is = icmp eq %c, i8 44          ; ','
+  condbr %is, bump, next
+bump:
+  %nv = load i32, %n
+  %nn = add %nv, i32 1
+  store %nn, %n
+  br next
+next:
+  %ni = add %iv, i64 1
+  store %ni, %i
+  br loop
+done:
+  %r = load i32, %n
+  ret %r
+}
+
+func @main() : i32 {
+entry:
+)" + GuardChainText("paste_cfg", "delims=,;:|/-_=+", "accept", "reject") + R"(
+accept:
+  %buf = call @malloc(i64 16)
+  call @esd_input_bytes(%buf, i64 8, $argname)
+  %d = call @parse_delims(%buf)
+  %n = call @count_delims(%d)
+  store %n, $stats
+  %many = icmp ugt %n, i32 3
+  condbr %many, usage, dofree
+usage:
+  call @serial_merge()             ; the serial-merge mode: big path space
+  ret i32 1
+dofree:
+  call @free(%d)                   ; invalid free when arg began with '-'
+  ret i32 0
+reject:
+  call @serial_merge()
+  ret i32 1
+}
+)");
+  w.trigger.inputs = {{"arg[0]", '-'}, {"arg[1]", 'd'}};
+  // The config/argument bytes that gate the buggy mode:
+  w.trigger.inputs["paste_cfg[0]"] = 'd';
+  w.trigger.inputs["paste_cfg[1]"] = 'e';
+  w.trigger.inputs["paste_cfg[2]"] = 'l';
+  w.trigger.inputs["paste_cfg[3]"] = 'i';
+  w.trigger.inputs["paste_cfg[4]"] = 'm';
+  w.trigger.inputs["paste_cfg[5]"] = 's';
+  w.trigger.inputs["paste_cfg[6]"] = '=';
+  w.trigger.inputs["paste_cfg[7]"] = ',';
+  w.trigger.inputs["paste_cfg[8]"] = ';';
+  w.trigger.inputs["paste_cfg[9]"] = ':';
+  w.trigger.inputs["paste_cfg[10]"] = '|';
+  w.trigger.inputs["paste_cfg[11]"] = '/';
+  w.trigger.inputs["paste_cfg[12]"] = '-';
+  w.trigger.inputs["paste_cfg[13]"] = '_';
+  w.trigger.inputs["paste_cfg[14]"] = '=';
+  w.trigger.inputs["paste_cfg[15]"] = '+';
+
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// mknod: the mode parser returns NULL for out-of-range modes; the caller
+// dereferences the result on the error path without checking.
+// ---------------------------------------------------------------------------
+Workload BuildMknod() {
+  Workload w;
+  w.name = "mknod";
+  w.manifestation = "crash";
+  w.expected_kind = vm::BugInfo::Kind::kNullDeref;
+  w.module = ParseWorkload(BusyFunctionText("report_usage", 8, 4) + R"(
+global $mknod_cfg = str "mknod_cfg"
+global $modearg = str "mode_arg"
+global $devarg = str "dev_type"
+
+func @parse_mode(%m: i32) : ptr {
+entry:
+  %valid = icmp ult %m, i32 512
+  condbr %valid, ok, bad
+ok:
+  %p = call @malloc(i64 8)
+  store %m, %p
+  ret %p
+bad:
+  ret null                          ; error path: invalid mode
+}
+
+func @main() : i32 {
+entry:
+)" + GuardChainText("mknod_cfg", "mode=01777,dev=b", "accept", "reject") + R"(
+accept:
+  %m = call @esd_input_i32($modearg)
+  %d = call @esd_input_i32($devarg)
+  %ctx = call @parse_mode(%m)
+  %isb = icmp eq %d, i32 98         ; 'b': block device needs major/minor
+  condbr %isb, blockdev, chardev
+blockdev:
+  %mv = load i32, %ctx              ; null deref when mode was invalid
+  %set = or %mv, i32 24576
+  store %set, %ctx
+  ret i32 0
+chardev:
+  %ok = icmp ne %m, i32 0
+  condbr %ok, fine, usage
+fine:
+  ret i32 0
+usage:
+  call @report_usage()             ; localized usage/diagnostics machinery
+  ret i32 1
+reject:
+  call @report_usage()
+  ret i32 1
+}
+)");
+  w.trigger.inputs = {{"mode_arg", 4095}, {"dev_type", 'b'}};
+  // The config/argument bytes that gate the buggy mode:
+  w.trigger.inputs["mknod_cfg[0]"] = 'm';
+  w.trigger.inputs["mknod_cfg[1]"] = 'o';
+  w.trigger.inputs["mknod_cfg[2]"] = 'd';
+  w.trigger.inputs["mknod_cfg[3]"] = 'e';
+  w.trigger.inputs["mknod_cfg[4]"] = '=';
+  w.trigger.inputs["mknod_cfg[5]"] = '0';
+  w.trigger.inputs["mknod_cfg[6]"] = '1';
+  w.trigger.inputs["mknod_cfg[7]"] = '7';
+  w.trigger.inputs["mknod_cfg[8]"] = '7';
+  w.trigger.inputs["mknod_cfg[9]"] = '7';
+  w.trigger.inputs["mknod_cfg[10]"] = ',';
+  w.trigger.inputs["mknod_cfg[11]"] = 'd';
+  w.trigger.inputs["mknod_cfg[12]"] = 'e';
+  w.trigger.inputs["mknod_cfg[13]"] = 'v';
+  w.trigger.inputs["mknod_cfg[14]"] = '=';
+  w.trigger.inputs["mknod_cfg[15]"] = 'b';
+
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// mkdir: a NULL parent-directory context is dereferenced when reporting a
+// "verbose" success for an absolute path.
+// ---------------------------------------------------------------------------
+Workload BuildMkdir() {
+  Workload w;
+  w.name = "mkdir";
+  w.manifestation = "crash";
+  w.expected_kind = vm::BugInfo::Kind::kNullDeref;
+  w.module = ParseWorkload(BusyFunctionText("apply_selinux_context", 8, 4) + R"(
+global $mkdir_cfg = str "mkdir_cfg"
+global $patharg = str "path"
+global $flagarg = str "verbose_flag"
+
+func @lookup_parent(%path: ptr) : ptr {
+entry:
+  %c0 = load i8, %path
+  %abs = icmp eq %c0, i8 47         ; '/': absolute path
+  condbr %abs, absolute, relative
+absolute:
+  ret null                          ; error path: no parent context
+relative:
+  %p = call @malloc(i64 8)
+  ret %p
+}
+
+func @announce(%parent: ptr) : void {
+entry:
+  %v = load i32, %parent            ; null deref for absolute paths
+  call @print_i64(i64 1)
+  ret
+}
+
+func @main() : i32 {
+entry:
+)" + GuardChainText("mkdir_cfg", "parents=on,mode=7", "accept", "reject") + R"(
+accept:
+  %path = alloca 16
+  call @esd_input_bytes(%path, i64 8, $patharg)
+  %v = call @esd_input_i32($flagarg)
+  %parent = call @lookup_parent(%path)
+  %verbose = icmp eq %v, i32 118    ; 'v'
+  condbr %verbose, talk, quiet
+talk:
+  call @announce(%parent)
+  ret i32 0
+quiet:
+  call @apply_selinux_context()    ; the non-verbose path does real work
+  ret i32 0
+reject:
+  call @apply_selinux_context()
+  ret i32 1
+}
+)");
+  w.trigger.inputs = {{"path[0]", '/'}, {"verbose_flag", 'v'}};
+  // The config/argument bytes that gate the buggy mode:
+  w.trigger.inputs["mkdir_cfg[0]"] = 'p';
+  w.trigger.inputs["mkdir_cfg[1]"] = 'a';
+  w.trigger.inputs["mkdir_cfg[2]"] = 'r';
+  w.trigger.inputs["mkdir_cfg[3]"] = 'e';
+  w.trigger.inputs["mkdir_cfg[4]"] = 'n';
+  w.trigger.inputs["mkdir_cfg[5]"] = 't';
+  w.trigger.inputs["mkdir_cfg[6]"] = 's';
+  w.trigger.inputs["mkdir_cfg[7]"] = '=';
+  w.trigger.inputs["mkdir_cfg[8]"] = 'o';
+  w.trigger.inputs["mkdir_cfg[9]"] = 'n';
+  w.trigger.inputs["mkdir_cfg[10]"] = ',';
+  w.trigger.inputs["mkdir_cfg[11]"] = 'm';
+  w.trigger.inputs["mkdir_cfg[12]"] = 'o';
+  w.trigger.inputs["mkdir_cfg[13]"] = 'd';
+  w.trigger.inputs["mkdir_cfg[14]"] = 'e';
+  w.trigger.inputs["mkdir_cfg[15]"] = '=';
+  w.trigger.inputs["mkdir_cfg[16]"] = '7';
+
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// mkfifo: a zero umask-override argument takes the error path that loses
+// the fifo context.
+// ---------------------------------------------------------------------------
+Workload BuildMkfifo() {
+  Workload w;
+  w.name = "mkfifo";
+  w.manifestation = "crash";
+  w.expected_kind = vm::BugInfo::Kind::kNullDeref;
+  w.module = ParseWorkload(BusyFunctionText("parse_symbolic_mode", 8, 4) + R"(
+global $mkfifo_cfg = str "mkfifo_cfg"
+global $umaskarg = str "umask_arg"
+global $nodes = zero 8
+
+func @make_node(%mask: i32) : ptr {
+entry:
+  %z = icmp eq %mask, i32 0
+  condbr %z, bad, good
+bad:
+  ret null                          ; error path: zero umask rejected
+good:
+  %p = call @malloc(i64 16)
+  store %mask, %p
+  ret %p
+}
+
+func @register_node(%n: ptr) : void {
+entry:
+  %v = load i32, %n                 ; null deref on the error path
+  %w = zext i64, %v
+  store %w, $nodes
+  ret
+}
+
+func @main() : i32 {
+entry:
+)" + GuardChainText("mkfifo_cfg", "fifo_umask=00644", "accept", "reject") + R"(
+accept:
+  %mask = call @esd_input_i32($umaskarg)
+  %small = icmp ult %mask, i32 8
+  condbr %small, narrow, usage
+narrow:
+  %n = call @make_node(%mask)
+  call @register_node(%n)
+  ret i32 0
+usage:
+  call @parse_symbolic_mode()      ; "u+rwx"-style mode parsing: big space
+  ret i32 1
+reject:
+  call @parse_symbolic_mode()
+  ret i32 1
+}
+)");
+  w.trigger.inputs = {{"umask_arg", 0}};
+  // The config/argument bytes that gate the buggy mode:
+  w.trigger.inputs["mkfifo_cfg[0]"] = 'f';
+  w.trigger.inputs["mkfifo_cfg[1]"] = 'i';
+  w.trigger.inputs["mkfifo_cfg[2]"] = 'f';
+  w.trigger.inputs["mkfifo_cfg[3]"] = 'o';
+  w.trigger.inputs["mkfifo_cfg[4]"] = '_';
+  w.trigger.inputs["mkfifo_cfg[5]"] = 'u';
+  w.trigger.inputs["mkfifo_cfg[6]"] = 'm';
+  w.trigger.inputs["mkfifo_cfg[7]"] = 'a';
+  w.trigger.inputs["mkfifo_cfg[8]"] = 's';
+  w.trigger.inputs["mkfifo_cfg[9]"] = 'k';
+  w.trigger.inputs["mkfifo_cfg[10]"] = '=';
+  w.trigger.inputs["mkfifo_cfg[11]"] = '0';
+  w.trigger.inputs["mkfifo_cfg[12]"] = '0';
+  w.trigger.inputs["mkfifo_cfg[13]"] = '6';
+  w.trigger.inputs["mkfifo_cfg[14]"] = '4';
+  w.trigger.inputs["mkfifo_cfg[15]"] = '4';
+
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// tac: a file with no trailing newline and an empty first record makes
+// find_last() return NULL, which the record printer dereferences.
+// ---------------------------------------------------------------------------
+Workload BuildTac() {
+  Workload w;
+  w.name = "tac";
+  w.manifestation = "crash";
+  w.expected_kind = vm::BugInfo::Kind::kNullDeref;
+  w.module = ParseWorkload(BusyFunctionText("reverse_records", 8, 4) + R"(
+global $tac_cfg = str "tac_cfg"
+global $inname = str "tac_in"
+
+func @count_newlines(%buf: ptr) : i32 {
+entry:
+  %n = alloca 4
+  store i32 0, %n
+  %i = alloca 8
+  store i64 0, %i
+  br loop
+loop:
+  %iv = load i64, %i
+  %stop = icmp uge %iv, i64 6
+  condbr %stop, done, body
+body:
+  %p = gep %buf, %iv, 1
+  %c = load i8, %p
+  %is = icmp eq %c, i8 10
+  condbr %is, bump, next
+bump:
+  %nv = load i32, %n
+  %nn = add %nv, i32 1
+  store %nn, %n
+  br next
+next:
+  %ni = add %iv, i64 1
+  store %ni, %i
+  br loop
+done:
+  %r = load i32, %n
+  ret %r
+}
+
+func @find_last(%buf: ptr) : ptr {
+entry:
+  %c0 = load i8, %buf
+  %empty = icmp eq %c0, i8 0
+  condbr %empty, none, some
+none:
+  ret null                          ; empty input: no last record
+some:
+  ret %buf
+}
+
+func @main() : i32 {
+entry:
+)" + GuardChainText("tac_cfg", "separator=regex.$", "accept", "reject") + R"(
+accept:
+  %buf = alloca 16
+  call @esd_input_bytes(%buf, i64 6, $inname)
+  %n = call @count_newlines(%buf)
+  %nonl = icmp eq %n, i32 0
+  condbr %nonl, edge, normal
+edge:
+  %last = call @find_last(%buf)
+  %c = load i8, %last               ; null deref: empty file, no newline
+  %wide = zext i64, %c
+  call @print_i64(%wide)
+  ret i32 0
+normal:
+  call @reverse_records()          ; the regular record-reversal machinery
+  ret i32 0
+reject:
+  call @reverse_records()
+  ret i32 1
+}
+)");
+  w.trigger.inputs = {};
+  // The config/argument bytes that gate the buggy mode:
+  w.trigger.inputs["tac_cfg[0]"] = 's';
+  w.trigger.inputs["tac_cfg[1]"] = 'e';
+  w.trigger.inputs["tac_cfg[2]"] = 'p';
+  w.trigger.inputs["tac_cfg[3]"] = 'a';
+  w.trigger.inputs["tac_cfg[4]"] = 'r';
+  w.trigger.inputs["tac_cfg[5]"] = 'a';
+  w.trigger.inputs["tac_cfg[6]"] = 't';
+  w.trigger.inputs["tac_cfg[7]"] = 'o';
+  w.trigger.inputs["tac_cfg[8]"] = 'r';
+  w.trigger.inputs["tac_cfg[9]"] = '=';
+  w.trigger.inputs["tac_cfg[10]"] = 'r';
+  w.trigger.inputs["tac_cfg[11]"] = 'e';
+  w.trigger.inputs["tac_cfg[12]"] = 'g';
+  w.trigger.inputs["tac_cfg[13]"] = 'e';
+  w.trigger.inputs["tac_cfg[14]"] = 'x';
+  w.trigger.inputs["tac_cfg[15]"] = '.';
+  w.trigger.inputs["tac_cfg[16]"] = '$';
+  // All-zero input: no newlines and an empty record.
+  return w;
+}
+
+}  // namespace esd::workloads

@@ -1,0 +1,144 @@
+// The ls workload with four planted null-pointer dereferences (§7.2): the
+// paper adds these because KC (Klee+Chess) finds them within the one-hour
+// cap, giving Figure 2 a baseline that is not all timeouts. The bugs sit at
+// increasing guard depths behind the flag-parsing logic.
+#include "src/workloads/workloads_internal.h"
+
+namespace esd::workloads {
+
+namespace {
+
+constexpr char kLsProgram[] = R"(
+global $flagsname = str "flags"
+global $countname = str "entry_count"
+global $width = zero 4
+
+; Bug 1 (depth 1): the -a handler loses the hidden-entries list.
+func @hidden_entries() : ptr {
+entry:
+  ret null
+}
+
+; Bug 2 (depth 2): long+recursive listing drops the link context.
+func @link_context(%depth: i32) : ptr {
+entry:
+  %deep = icmp ugt %depth, i32 0
+  condbr %deep, has, none
+has:
+  %p = call @malloc(i64 8)
+  ret %p
+none:
+  ret null
+}
+
+; Bug 3 (depth 3): time-sort + reverse + size tie-break hits an empty
+; comparator table.
+func @comparator_table(%key: i32) : ptr {
+entry:
+  %known = icmp ult %key, i32 3
+  condbr %known, known_key, unknown
+known_key:
+  %p = call @malloc(i64 8)
+  store %key, %p
+  ret %p
+unknown:
+  ret null
+}
+
+; Bug 4 (depth 2 + data): column layout divides by a width derived from an
+; empty entry list.
+func @column_width(%count: i32) : ptr {
+entry:
+  %any = icmp ne %count, i32 0
+  condbr %any, some, empty
+some:
+  %p = call @malloc(i64 4)
+  store %count, %p
+  ret %p
+empty:
+  ret null
+}
+
+func @main() : i32 {
+entry:
+  %flags = alloca 8
+  call @esd_input_bytes(%flags, i64 4, $flagsname)
+  %count = call @esd_input_i32($countname)
+  %f0 = load i8, %flags
+  %is_a = icmp eq %f0, i8 97        ; 'a'
+  condbr %is_a, bug1, check2
+bug1:
+  %h = call @hidden_entries()
+  %hv = load i32, %h                ; ls1: null deref
+  call @print_i64(i64 1)
+  ret %hv
+check2:
+  %is_l = icmp eq %f0, i8 108       ; 'l'
+  condbr %is_l, l_mode, check3
+l_mode:
+  %p1 = gep %flags, i64 1, 1
+  %f1 = load i8, %p1
+  %is_r = icmp eq %f1, i8 82        ; 'R'
+  condbr %is_r, bug2, check3
+bug2:
+  %lc = call @link_context(i32 0)
+  %lv = load i32, %lc               ; ls2: null deref
+  ret %lv
+check3:
+  %is_t = icmp eq %f0, i8 116       ; 't'
+  condbr %is_t, t_mode, check4
+t_mode:
+  %p1b = gep %flags, i64 1, 1
+  %f1b = load i8, %p1b
+  %is_rev = icmp eq %f1b, i8 114    ; 'r'
+  condbr %is_rev, tr_mode, check4
+tr_mode:
+  %p2 = gep %flags, i64 2, 1
+  %f2 = load i8, %p2
+  %is_s = icmp eq %f2, i8 83        ; 'S'
+  condbr %is_s, bug3, check4
+bug3:
+  %cmp = call @comparator_table(i32 9)
+  %cv = load i32, %cmp              ; ls3: null deref
+  ret %cv
+check4:
+  %is_c = icmp eq %f0, i8 67        ; 'C'
+  condbr %is_c, c_mode, plain
+c_mode:
+  %cw = call @column_width(%count)
+  %wv = load i32, %cw               ; ls4: null deref when no entries
+  store %wv, $width
+  ret i32 0
+plain:
+  ret i32 0
+}
+)";
+
+}  // namespace
+
+Workload BuildLs(int bug_index) {
+  Workload w;
+  w.name = "ls" + std::to_string(bug_index);
+  w.manifestation = "crash";
+  w.expected_kind = vm::BugInfo::Kind::kNullDeref;
+  w.module = ParseWorkload(kLsProgram);
+  switch (bug_index) {
+    case 1:
+      w.trigger.inputs = {{"flags[0]", 'a'}};
+      break;
+    case 2:
+      w.trigger.inputs = {{"flags[0]", 'l'}, {"flags[1]", 'R'}};
+      break;
+    case 3:
+      w.trigger.inputs = {{"flags[0]", 't'}, {"flags[1]", 'r'}, {"flags[2]", 'S'}};
+      break;
+    case 4:
+      w.trigger.inputs = {{"flags[0]", 'C'}, {"entry_count", 0}};
+      break;
+    default:
+      break;
+  }
+  return w;
+}
+
+}  // namespace esd::workloads

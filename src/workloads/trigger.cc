@@ -1,0 +1,125 @@
+#include "src/workloads/trigger.h"
+
+#include "src/solver/solver.h"
+
+namespace esd::workloads {
+
+uint64_t PrefixInputProvider::GetValue(const std::string& name, uint32_t width) {
+  // Exact name first, then longest matching prefix.
+  auto it = values_.find(name);
+  if (it != values_.end()) {
+    return it->second;
+  }
+  size_t best_len = 0;
+  uint64_t best = 0;
+  for (const auto& [prefix, v] : values_) {
+    if (name.rfind(prefix, 0) == 0 && prefix.size() > best_len) {
+      best_len = prefix.size();
+      best = v;
+    }
+  }
+  return best;
+}
+
+uint64_t RandomInputProvider::GetValue(const std::string& name, uint32_t width) {
+  return rng_() & solver::WidthMask(width);
+}
+
+uint64_t ScriptedSyncPolicy::SyncEventCount(const vm::ExecutionState& state,
+                                            uint32_t tid) {
+  uint64_t n = 0;
+  for (const vm::SchedEvent& ev : state.sched_trace) {
+    switch (ev.kind) {
+      case vm::SchedEvent::Kind::kMutexLock:
+      case vm::SchedEvent::Kind::kMutexUnlock:
+      case vm::SchedEvent::Kind::kCondWait:
+      case vm::SchedEvent::Kind::kCondWake:
+        n += ev.tid == tid ? 1 : 0;
+        break;
+      default:
+        break;
+    }
+  }
+  return n;
+}
+
+std::optional<uint32_t> ScriptedSyncPolicy::ForceSwitch(
+    const vm::ExecutionState& state) {
+  // Find the last directive whose condition is satisfied; that directive's
+  // target thread should be running.
+  std::optional<uint32_t> pick;
+  for (const SyncSwitch& sw : script_) {
+    if (SyncEventCount(state, sw.after_tid) >= sw.count) {
+      pick = sw.to_tid;
+    } else {
+      break;
+    }
+  }
+  return pick;
+}
+
+std::optional<report::CoreDump> CaptureDump(const ir::Module& module,
+                                            const Trigger& trigger,
+                                            uint64_t max_instructions) {
+  solver::ConstraintSolver solver;
+  PrefixInputProvider inputs(trigger.inputs);
+  ScriptedSyncPolicy policy(trigger.schedule);
+  vm::Interpreter::Options options;
+  options.input_provider = &inputs;
+  options.policy = &policy;
+  vm::Interpreter interpreter(&module, &solver, options);
+  auto main_fn = module.FindFunction("main");
+  if (!main_fn.has_value()) {
+    return std::nullopt;
+  }
+  vm::StatePtr state = interpreter.MakeInitialState(*main_fn, 0);
+  vm::SingleRunResult run = vm::RunToCompletion(interpreter, *state, max_instructions);
+  if (!run.completed || !run.bug.IsBug()) {
+    return std::nullopt;
+  }
+  return report::CaptureCoreDump(*state, run.bug);
+}
+
+std::optional<uint32_t> RandomSchedulePolicy::PickNextThread(
+    const vm::ExecutionState& state) {
+  std::vector<uint32_t> runnable;
+  for (const vm::Thread& t : state.threads) {
+    if (t.status == vm::ThreadStatus::kRunnable) {
+      runnable.push_back(t.id);
+    }
+  }
+  if (runnable.empty()) {
+    return std::nullopt;
+  }
+  return runnable[rng_() % runnable.size()];
+}
+
+std::optional<uint32_t> RandomSchedulePolicy::ForceSwitch(
+    const vm::ExecutionState& state) {
+  // Preempt with small probability at every instruction, approximating an
+  // OS scheduler's timer interrupts.
+  if (rng_() % 97 != 0) {
+    return std::nullopt;
+  }
+  return PickNextThread(state);
+}
+
+vm::BugInfo StressRun(const ir::Module& module, uint64_t seed,
+                      uint64_t max_instructions) {
+  solver::ConstraintSolver solver;
+  RandomInputProvider inputs(seed * 2654435761u + 1);
+  RandomSchedulePolicy policy(seed);
+  vm::Interpreter::Options options;
+  options.input_provider = &inputs;
+  options.policy = &policy;
+  vm::Interpreter interpreter(&module, &solver, options);
+  auto main_fn = module.FindFunction("main");
+  if (!main_fn.has_value()) {
+    return {};
+  }
+  vm::StatePtr state = interpreter.MakeInitialState(*main_fn, 0);
+  vm::SingleRunResult run = vm::RunToCompletion(interpreter, *state, max_instructions);
+  return run.bug;
+}
+
+}  // namespace esd::workloads

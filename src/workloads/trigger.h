@@ -1,0 +1,97 @@
+// ESD workloads: failure triggers.
+//
+// The paper's bugs were reported from the field; our stand-in is a one-off
+// concrete run that manifests each workload's bug so a coredump can be
+// captured. A trigger is (a) fixed input values and (b) for concurrency
+// bugs, a scripted schedule expressed as "once thread X has performed N
+// synchronization events, run thread Y" directives — the minimal interleaving
+// knowledge a user's failing run embodies. Triggers are used only for
+// coredump capture and for the stress-testing baseline; ESD itself never
+// sees them.
+#ifndef ESD_SRC_WORKLOADS_TRIGGER_H_
+#define ESD_SRC_WORKLOADS_TRIGGER_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "src/report/coredump.h"
+#include "src/vm/engine.h"
+#include "src/vm/schedule_policy.h"
+
+namespace esd::workloads {
+
+// Serves fixed input values by name prefix (input names carry "#<id>"
+// suffixes; triggers address them by their stable prefix).
+class PrefixInputProvider : public vm::InputProvider {
+ public:
+  explicit PrefixInputProvider(std::map<std::string, uint64_t> values)
+      : values_(std::move(values)) {}
+  uint64_t GetValue(const std::string& name, uint32_t width) override;
+
+ private:
+  std::map<std::string, uint64_t> values_;
+};
+
+// Serves uniformly random inputs (stress testing, §7.2).
+class RandomInputProvider : public vm::InputProvider {
+ public:
+  explicit RandomInputProvider(uint64_t seed) : rng_(seed) {}
+  uint64_t GetValue(const std::string& name, uint32_t width) override;
+
+ private:
+  std::mt19937_64 rng_;
+};
+
+// "Once thread `after_tid` has recorded `count` sync events, run `to_tid`."
+struct SyncSwitch {
+  uint32_t after_tid = 0;
+  uint64_t count = 0;
+  uint32_t to_tid = 0;
+};
+
+// Enforces a list of SyncSwitch directives in order.
+class ScriptedSyncPolicy : public vm::SchedulePolicy {
+ public:
+  explicit ScriptedSyncPolicy(std::vector<SyncSwitch> script)
+      : script_(std::move(script)) {}
+  std::optional<uint32_t> ForceSwitch(const vm::ExecutionState& state) override;
+
+ private:
+  static uint64_t SyncEventCount(const vm::ExecutionState& state, uint32_t tid);
+  std::vector<SyncSwitch> script_;
+};
+
+struct Trigger {
+  std::map<std::string, uint64_t> inputs;
+  std::vector<SyncSwitch> schedule;
+};
+
+// Runs `module` concretely under the trigger and captures the coredump of
+// the failure (nullopt if the trigger fails to manifest a bug).
+std::optional<report::CoreDump> CaptureDump(const ir::Module& module,
+                                            const Trigger& trigger,
+                                            uint64_t max_instructions = 1'000'000);
+
+// One random-schedule, random-input stress run (§7.2 baseline). Returns the
+// bug it hit, if any.
+vm::BugInfo StressRun(const ir::Module& module, uint64_t seed,
+                      uint64_t max_instructions = 200'000);
+
+// A policy that inserts random thread switches at sync operations.
+class RandomSchedulePolicy : public vm::SchedulePolicy {
+ public:
+  explicit RandomSchedulePolicy(uint64_t seed) : rng_(seed) {}
+  std::optional<uint32_t> PickNextThread(const vm::ExecutionState& state) override;
+  std::optional<uint32_t> ForceSwitch(const vm::ExecutionState& state) override;
+
+ private:
+  std::mt19937_64 rng_;
+};
+
+}  // namespace esd::workloads
+
+#endif  // ESD_SRC_WORKLOADS_TRIGGER_H_

@@ -1,0 +1,108 @@
+#include "src/workloads/workloads.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/ir/parser.h"
+#include "src/ir/verifier.h"
+#include "src/workloads/workloads_internal.h"
+
+namespace esd::workloads {
+
+const char* ExternsPreamble() {
+  return R"(
+extern @getchar() : i32
+extern @getenv(ptr) : ptr
+extern @esd_input_i32(ptr) : i32
+extern @esd_input_i64(ptr) : i64
+extern @esd_input_bytes(ptr, i64, ptr)
+extern @malloc(i64) : ptr
+extern @free(ptr)
+extern @memset(ptr, i32, i64)
+extern @memcpy(ptr, ptr, i64)
+extern @strlen(ptr) : i64
+extern @print_str(ptr)
+extern @print_i64(i64)
+extern @exit(i32)
+extern @abort()
+extern @esd_assert(i1)
+extern @thread_create(ptr, ptr) : i32
+extern @thread_join(i32)
+extern @mutex_init(ptr)
+extern @mutex_lock(ptr)
+extern @mutex_unlock(ptr)
+extern @cond_init(ptr)
+extern @cond_wait(ptr, ptr)
+extern @cond_signal(ptr)
+extern @cond_broadcast(ptr)
+extern @yield()
+)";
+}
+
+std::shared_ptr<ir::Module> ParseWorkload(const std::string& body) {
+  auto module = std::make_shared<ir::Module>();
+  ir::ParseResult r = ir::ParseModule(std::string(ExternsPreamble()) + body,
+                                      module.get());
+  if (!r.ok) {
+    std::fprintf(stderr, "workload parse error: %s\n", r.error.c_str());
+    std::abort();
+  }
+  auto errors = ir::Verify(*module);
+  if (!errors.empty()) {
+    std::fprintf(stderr, "workload verify error: %s\n", errors[0].c_str());
+    std::abort();
+  }
+  return module;
+}
+
+std::vector<std::string> Table1Names() {
+  return {"sqlite", "hawknl", "ghttpd", "paste", "mknod", "mkdir", "mkfifo", "tac"};
+}
+
+std::vector<std::string> LsNames() { return {"ls1", "ls2", "ls3", "ls4"}; }
+
+Workload MakeWorkload(const std::string& name) {
+  if (name == "listing1") {
+    return BuildListing1();
+  }
+  if (name == "sqlite") {
+    return BuildSqlite();
+  }
+  if (name == "hawknl") {
+    return BuildHawknl();
+  }
+  if (name == "ghttpd") {
+    return BuildGhttpd();
+  }
+  if (name == "paste") {
+    return BuildPaste();
+  }
+  if (name == "mknod") {
+    return BuildMknod();
+  }
+  if (name == "mkdir") {
+    return BuildMkdir();
+  }
+  if (name == "mkfifo") {
+    return BuildMkfifo();
+  }
+  if (name == "tac") {
+    return BuildTac();
+  }
+  if (name == "ls1") {
+    return BuildLs(1);
+  }
+  if (name == "ls2") {
+    return BuildLs(2);
+  }
+  if (name == "ls3") {
+    return BuildLs(3);
+  }
+  if (name == "ls4") {
+    return BuildLs(4);
+  }
+  std::fprintf(stderr, "unknown workload '%s'\n", name.c_str());
+  std::abort();
+}
+
+}  // namespace esd::workloads

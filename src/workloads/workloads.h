@@ -1,0 +1,59 @@
+// ESD workloads: miniatures of the paper's evaluated bugs (Table 1, §7.1).
+//
+// Each workload is a program in ESD IR that preserves the *bug class* and
+// the *shape of the search problem* of the corresponding real-world bug:
+// the same kind of input-dependent guards in front of the bug, the same
+// synchronization structure for the interleaving, and a coredump with the
+// same content a user's failing run would produce. See DESIGN.md's
+// substitution table.
+//
+//   listing1 - the paper's running example (Listing 1 deadlock)
+//   sqlite   - hang: lock-order inversion between the recursive-lock master
+//              mutex and the db mutex (bug #1672 shape), WAL-mode guarded
+//   hawknl   - hang: nlClose()/nlShutdown() AB-BA on socket + global mutexes
+//   ghttpd   - crash: GET-request log buffer overflow (vsprintf shape)
+//   paste    - crash: invalid free of an interior pointer for '-' args
+//   mknod    - crash: null deref on an error-handling path
+//   mkdir    - crash: null deref on an error-handling path
+//   mkfifo   - crash: null deref on an error-handling path
+//   tac      - crash: null deref for a separator-edge-case input
+//   ls1..ls4 - the four planted null derefs used for Figure 2's baseline
+#ifndef ESD_SRC_WORKLOADS_WORKLOADS_H_
+#define ESD_SRC_WORKLOADS_WORKLOADS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/ir/module.h"
+#include "src/vm/interpreter.h"
+#include "src/workloads/trigger.h"
+
+namespace esd::workloads {
+
+struct Workload {
+  std::string name;
+  std::string manifestation;  // "hang" or "crash" (Table 1 column).
+  std::shared_ptr<ir::Module> module;
+  Trigger trigger;
+  vm::BugInfo::Kind expected_kind = vm::BugInfo::Kind::kNone;
+};
+
+// All Table 1 workloads, in the paper's order.
+std::vector<std::string> Table1Names();
+// The Figure 2 additions (ls1..ls4).
+std::vector<std::string> LsNames();
+
+// Builds a workload by name; aborts on unknown names.
+Workload MakeWorkload(const std::string& name);
+
+// The shared externs preamble used by all textual workloads.
+const char* ExternsPreamble();
+
+// Parses preamble + body, verifying the result (aborts on errors — workload
+// sources are compiled into the binary and must be valid).
+std::shared_ptr<ir::Module> ParseWorkload(const std::string& body);
+
+}  // namespace esd::workloads
+
+#endif  // ESD_SRC_WORKLOADS_WORKLOADS_H_

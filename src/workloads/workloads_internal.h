@@ -1,0 +1,22 @@
+// Internal builder declarations for the workload registry.
+#ifndef ESD_SRC_WORKLOADS_WORKLOADS_INTERNAL_H_
+#define ESD_SRC_WORKLOADS_WORKLOADS_INTERNAL_H_
+
+#include "src/workloads/workloads.h"
+
+namespace esd::workloads {
+
+Workload BuildListing1();
+Workload BuildSqlite();
+Workload BuildHawknl();
+Workload BuildGhttpd();
+Workload BuildPaste();
+Workload BuildMknod();
+Workload BuildMkdir();
+Workload BuildMkfifo();
+Workload BuildTac();
+Workload BuildLs(int bug_index);  // 1..4
+
+}  // namespace esd::workloads
+
+#endif  // ESD_SRC_WORKLOADS_WORKLOADS_INTERNAL_H_

@@ -1,0 +1,150 @@
+// Tests for the KC baseline (§7.2) and the BPF program generator (§7.3).
+#include <gtest/gtest.h>
+
+#include "src/baseline/kc.h"
+#include "src/bpf/generator.h"
+#include "src/core/synthesizer.h"
+#include "src/replay/replayer.h"
+#include "src/workloads/workloads.h"
+
+namespace esd {
+namespace {
+
+core::Goal GoalFor(const workloads::Workload& w) {
+  auto dump = workloads::CaptureDump(*w.module, w.trigger);
+  EXPECT_TRUE(dump.has_value());
+  return core::ExtractGoal(*w.module, *dump);
+}
+
+TEST(KcTest, DfsFindsShallowLsBug) {
+  workloads::Workload w = workloads::MakeWorkload("ls1");
+  baseline::KcOptions options;
+  options.strategy = baseline::KcOptions::Strategy::kDfs;
+  options.time_cap_seconds = 30.0;
+  baseline::KcResult r = baseline::RunKc(*w.module, GoalFor(w), options);
+  EXPECT_TRUE(r.found);
+}
+
+TEST(KcTest, RandomPathFindsShallowLsBug) {
+  workloads::Workload w = workloads::MakeWorkload("ls2");
+  baseline::KcOptions options;
+  options.strategy = baseline::KcOptions::Strategy::kRandomPath;
+  options.time_cap_seconds = 30.0;
+  options.seed = 7;
+  baseline::KcResult r = baseline::RunKc(*w.module, GoalFor(w), options);
+  EXPECT_TRUE(r.found);
+}
+
+TEST(KcTest, TimesOutOnRealBugWithinSmallCap) {
+  // The paper's point: unguided search does not find the real bugs within
+  // the experiment cap. With our miniature programs and a 2-second cap, KC
+  // must still be lost in the ghttpd reject-path space.
+  workloads::Workload w = workloads::MakeWorkload("ghttpd");
+  baseline::KcOptions options;
+  options.strategy = baseline::KcOptions::Strategy::kDfs;
+  options.time_cap_seconds = 2.0;
+  baseline::KcResult r = baseline::RunKc(*w.module, GoalFor(w), options);
+  EXPECT_FALSE(r.found);
+}
+
+TEST(KcTest, PreemptionBoundIsRespected) {
+  // With bound 0, no schedule variants fork at all, so the listing1
+  // deadlock is unreachable; DFS just exhausts the input space.
+  workloads::Workload w = workloads::MakeWorkload("listing1");
+  baseline::KcOptions options;
+  options.strategy = baseline::KcOptions::Strategy::kDfs;
+  options.preemption_bound = 0;
+  options.time_cap_seconds = 30.0;
+  baseline::KcResult r = baseline::RunKc(*w.module, GoalFor(w), options);
+  EXPECT_FALSE(r.found);
+  EXPECT_FALSE(r.timed_out);  // Exhausted, not timed out.
+}
+
+TEST(KcTest, WithPreemptionsCanFindListing1) {
+  // listing1 is the paper's tiny illustrative example (not part of Table 1):
+  // small enough that even KC's bounded search can reach the deadlock.
+  workloads::Workload w = workloads::MakeWorkload("listing1");
+  baseline::KcOptions options;
+  options.strategy = baseline::KcOptions::Strategy::kDfs;
+  options.time_cap_seconds = 60.0;
+  baseline::KcResult r = baseline::RunKc(*w.module, GoalFor(w), options);
+  EXPECT_TRUE(r.found);
+}
+
+TEST(BpfTest, GeneratedProgramIsValidAndScales) {
+  bpf::BpfParams small;
+  small.num_branches = 16;
+  bpf::BpfProgram ps = bpf::Generate(small);
+  bpf::BpfParams large = small;
+  large.num_branches = 256;
+  bpf::BpfProgram pl = bpf::Generate(large);
+  EXPECT_GT(pl.module->TotalInstructions(), ps.module->TotalInstructions() * 4);
+  EXPECT_GT(pl.kloc, ps.kloc);
+}
+
+TEST(BpfTest, TriggerManifestsDeadlock) {
+  for (uint32_t branches : {8u, 64u, 256u}) {
+    bpf::BpfParams params;
+    params.num_branches = branches;
+    params.input_dependent = branches;
+    bpf::BpfProgram program = bpf::Generate(params);
+    auto dump = workloads::CaptureDump(*program.module, program.trigger);
+    ASSERT_TRUE(dump.has_value()) << branches;
+    EXPECT_EQ(dump->kind, vm::BugInfo::Kind::kDeadlock) << branches;
+  }
+}
+
+TEST(BpfTest, StressDoesNotTrip) {
+  // §7.3: "we ran stress tests for one hour on each program. Neither of
+  // them deadlocked." Scaled down: a handful of random runs never deadlock.
+  bpf::BpfParams params;
+  params.num_branches = 64;
+  bpf::BpfProgram program = bpf::Generate(params);
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    vm::BugInfo bug = workloads::StressRun(*program.module, seed);
+    EXPECT_FALSE(bug.IsBug()) << "seed " << seed << ": " << bug.message;
+  }
+}
+
+TEST(BpfTest, EsdSynthesizesBpfDeadlock) {
+  bpf::BpfParams params;
+  params.num_branches = 64;
+  params.input_dependent = 64;
+  bpf::BpfProgram program = bpf::Generate(params);
+  auto dump = workloads::CaptureDump(*program.module, program.trigger);
+  ASSERT_TRUE(dump.has_value());
+  core::SynthesisOptions options;
+  options.time_cap_seconds = 60.0;
+  core::Synthesizer synthesizer(program.module.get(), options);
+  core::SynthesisResult result = synthesizer.Synthesize(*dump);
+  ASSERT_TRUE(result.success) << result.failure_reason;
+  replay::ReplayResult r =
+      replay::Replay(*program.module, result.file, replay::ReplayMode::kStrict);
+  EXPECT_TRUE(r.bug_reproduced) << r.bug.message;
+}
+
+TEST(BpfTest, ThreeThreadsThreeLocks) {
+  bpf::BpfParams params;
+  params.num_branches = 32;
+  params.num_threads = 3;
+  params.num_locks = 3;
+  bpf::BpfProgram program = bpf::Generate(params);
+  auto dump = workloads::CaptureDump(*program.module, program.trigger);
+  ASSERT_TRUE(dump.has_value());
+  EXPECT_EQ(dump->kind, vm::BugInfo::Kind::kDeadlock);
+}
+
+TEST(StressTest, RealBugsDoNotManifestUnderStress) {
+  // §7.2: stress testing and random inputs never reproduced the Table 1
+  // bugs.
+  for (const std::string& name : workloads::Table1Names()) {
+    workloads::Workload w = workloads::MakeWorkload(name);
+    for (uint64_t seed = 1; seed <= 5; ++seed) {
+      vm::BugInfo bug = workloads::StressRun(*w.module, seed, 50'000);
+      EXPECT_FALSE(bug.IsBug()) << name << " seed " << seed << ": " << bug.message;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace esd

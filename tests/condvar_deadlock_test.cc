@@ -1,0 +1,139 @@
+// Condition-variable hangs (§4.1: "ESD can check for the case when no
+// thread can make any progress and, if all threads are waiting either to be
+// signaled, to acquire a mutex, or to be joined by another thread, then ESD
+// identifies the situation as a deadlock.").
+//
+// The classic lost-wakeup bug: in "async" mode the producer publishes and
+// signals WITHOUT taking the mutex; if the signal fires before the consumer
+// starts waiting, the wakeup is lost and the consumer sleeps forever.
+#include <gtest/gtest.h>
+
+#include "src/core/synthesizer.h"
+#include "src/replay/replayer.h"
+#include "src/solver/solver.h"
+#include "src/workloads/workloads.h"
+
+namespace esd {
+namespace {
+
+constexpr char kLostWakeup[] = R"(
+global $m = zero 8
+global $c = zero 8
+global $ready = zero 4
+global $modename = str "sync_mode"
+global $modename_cache = zero 4
+
+func @consumer(%arg: ptr) : void {
+entry:
+  call @mutex_lock($m)
+  br check
+check:
+  %v = load i32, $ready
+  %is = icmp ne %v, i32 0
+  condbr %is, done, wait
+wait:
+  call @cond_wait($c, $m)      ; sleeps forever if the signal was lost
+  br check
+done:
+  call @mutex_unlock($m)
+  ret
+}
+
+func @producer(%arg: ptr) : void {
+entry:
+  %mode = load i32, $modename_cache
+  %async = icmp eq %mode, i32 97       ; 'a': the buggy fast path
+  condbr %async, fast, safe
+fast:
+  store i32 1, $ready                  ; publish without the mutex...
+  ret                                  ; ...and forget the wakeup entirely
+safe:
+  call @mutex_lock($m)
+  store i32 1, $ready
+  call @cond_signal($c)
+  call @mutex_unlock($m)
+  ret
+}
+
+func @main() : i32 {
+entry:
+  %mode = call @esd_input_i32($modename)
+  store %mode, $modename_cache
+  %t1 = call @thread_create(@producer, null)
+  %t2 = call @thread_create(@consumer, null)
+  call @thread_join(%t1)
+  call @thread_join(%t2)
+  ret i32 0
+}
+)";
+
+workloads::Workload MakeLostWakeup() {
+  workloads::Workload w;
+  w.name = "lostwake";
+  w.manifestation = "hang";
+  w.expected_kind = vm::BugInfo::Kind::kDeadlock;
+  w.module = workloads::ParseWorkload(kLostWakeup);
+  w.trigger.inputs = {{"sync_mode", 'a'}};
+  // The consumer (T2) runs first: it checks ready (still 0) and goes to
+  // sleep; the async producer then publishes without ever signaling.
+  w.trigger.schedule = {{2, 0, 2}};
+  return w;
+}
+
+TEST(CondvarDeadlockTest, TriggerManifestsLostWakeupHang) {
+  workloads::Workload w = MakeLostWakeup();
+  auto dump = workloads::CaptureDump(*w.module, w.trigger);
+  ASSERT_TRUE(dump.has_value());
+  EXPECT_EQ(dump->kind, vm::BugInfo::Kind::kDeadlock);
+  // The consumer must be reported blocked on the condvar.
+  bool consumer_on_cond = false;
+  for (const auto& t : dump->threads) {
+    if (t.status == vm::ThreadStatus::kBlockedCond) {
+      consumer_on_cond = true;
+    }
+  }
+  EXPECT_TRUE(consumer_on_cond);
+}
+
+TEST(CondvarDeadlockTest, SynthesizesAndReplays) {
+  workloads::Workload w = MakeLostWakeup();
+  auto dump = workloads::CaptureDump(*w.module, w.trigger);
+  ASSERT_TRUE(dump.has_value());
+  core::SynthesisOptions options;
+  options.time_cap_seconds = 60.0;
+  core::Synthesizer synthesizer(w.module.get(), options);
+  core::SynthesisResult result = synthesizer.Synthesize(*dump);
+  ASSERT_TRUE(result.success) << result.failure_reason;
+  // The inferred input must select the buggy async mode.
+  bool async_mode = false;
+  for (const auto& [name, value] : result.file.inputs) {
+    if (name.rfind("sync_mode", 0) == 0 && value == 'a') {
+      async_mode = true;
+    }
+  }
+  EXPECT_TRUE(async_mode);
+  replay::ReplayResult r =
+      replay::Replay(*w.module, result.file, replay::ReplayMode::kStrict);
+  EXPECT_TRUE(r.bug_reproduced) << r.bug.message;
+}
+
+TEST(CondvarDeadlockTest, SafeModeNeverHangs) {
+  workloads::Workload w = MakeLostWakeup();
+  // With the mutex-protected path ('s'), no schedule loses the wakeup.
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    solver::ConstraintSolver solver;
+    workloads::PrefixInputProvider inputs({{"sync_mode", 's'}});
+    workloads::RandomSchedulePolicy policy(seed);
+    vm::Interpreter::Options options;
+    options.input_provider = &inputs;
+    options.policy = &policy;
+    vm::Interpreter interp(w.module.get(), &solver, options);
+    vm::StatePtr s = interp.MakeInitialState(*w.module->FindFunction("main"), 1);
+    vm::SingleRunResult r = vm::RunToCompletion(interp, *s, 100000);
+    ASSERT_TRUE(r.completed);
+    EXPECT_FALSE(r.bug.IsBug()) << "seed " << seed << ": " << r.bug.message;
+  }
+}
+
+}  // namespace
+}  // namespace esd

@@ -1,0 +1,231 @@
+// Unit tests for the IR: builder, parser, printer round-trip, verifier.
+#include <gtest/gtest.h>
+
+#include "src/ir/builder.h"
+#include "src/ir/module.h"
+#include "src/ir/parser.h"
+#include "src/ir/printer.h"
+#include "src/ir/verifier.h"
+
+namespace esd::ir {
+namespace {
+
+constexpr char kSimpleProgram[] = R"(
+; a tiny program exercising most of the surface syntax
+global $greeting = str "hello"
+global $counter = zero 8
+extern @getchar() : i32
+extern @print_str(ptr)
+
+func @add3(%x: i32) : i32 {
+entry:
+  %r = add %x, i32 3
+  ret %r
+}
+
+func @main() : i32 {
+entry:
+  %c = call @getchar()
+  %v = call @add3(%c)
+  %is = icmp eq %v, i32 112
+  condbr %is, yes, no
+yes:
+  call @print_str($greeting)
+  ret i32 1
+no:
+  ret i32 0
+}
+)";
+
+TEST(ParserTest, ParsesSimpleProgram) {
+  Module m;
+  ParseResult r = ParseModule(kSimpleProgram, &m);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(m.NumGlobals(), 2u);
+  EXPECT_EQ(m.NumFunctions(), 4u);
+  auto main_index = m.FindFunction("main");
+  ASSERT_TRUE(main_index.has_value());
+  const Function& main_fn = m.Func(*main_index);
+  EXPECT_EQ(main_fn.blocks.size(), 3u);
+  EXPECT_EQ(main_fn.blocks[0].label, "entry");
+  EXPECT_TRUE(Verify(m).empty());
+}
+
+TEST(ParserTest, RoundTripsThroughPrinter) {
+  Module m1;
+  ASSERT_TRUE(ParseModule(kSimpleProgram, &m1).ok);
+  std::string text1 = PrintModule(m1);
+  Module m2;
+  ParseResult r = ParseModule(text1, &m2);
+  ASSERT_TRUE(r.ok) << r.error;
+  // A second round trip must be a fixed point.
+  EXPECT_EQ(text1, PrintModule(m2));
+}
+
+TEST(ParserTest, ReportsUndefinedRegister) {
+  Module m;
+  ParseResult r = ParseModule(R"(
+func @f() : i32 {
+entry:
+  %x = add %nope, i32 1
+  ret %x
+}
+)", &m);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("nope"), std::string::npos);
+}
+
+TEST(ParserTest, ReportsBadOpcode) {
+  Module m;
+  ParseResult r = ParseModule("func @f() : void {\nentry:\n  frobnicate\n}\n", &m);
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(ParserTest, ForwardBranchTargets) {
+  Module m;
+  ParseResult r = ParseModule(R"(
+func @f(%n: i32) : i32 {
+entry:
+  %z = icmp eq %n, i32 0
+  condbr %z, done, loop
+loop:
+  br done
+done:
+  ret i32 7
+}
+)", &m);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_TRUE(Verify(m).empty());
+}
+
+TEST(ParserTest, GlobalKinds) {
+  Module m;
+  ParseResult r = ParseModule(R"(
+global $a = zero 16
+global $b = str "x\n"
+global $c = bytes 4 [1 2 3 4]
+)", &m);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(m.GlobalAt(0).size, 16u);
+  EXPECT_TRUE(m.GlobalAt(0).init.empty());
+  ASSERT_EQ(m.GlobalAt(1).init.size(), 3u);  // 'x', '\n', NUL
+  EXPECT_EQ(m.GlobalAt(1).init[1], uint8_t{'\n'});
+  EXPECT_EQ(m.GlobalAt(2).init.size(), 4u);
+}
+
+TEST(BuilderTest, BuildsCallGraphWithForwardRefs) {
+  Module m;
+  ModuleBuilder mb(&m);
+  // main calls worker before worker is defined; the forward declaration
+  // provides the signature.
+  mb.DeclareFunction("worker", Type::kI32, {Type::kI32});
+  FunctionBuilder main_fb = mb.BeginFunction("main", Type::kI32, {});
+  Value v = main_fb.Call("worker", {FunctionBuilder::ConstI32(4)});
+  main_fb.Ret(v);
+  main_fb.Finish();
+  FunctionBuilder w = mb.BeginFunction("worker", Type::kI32, {Type::kI32});
+  w.Ret(w.Add(w.Param(0), FunctionBuilder::ConstI32(1)));
+  w.Finish();
+  ASSERT_TRUE(Verify(m).empty());
+}
+
+TEST(BuilderTest, CallBeforeDefinitionUsesPlaceholderReturnType) {
+  // A forward-referenced callee has an unknown (void) return type, so calls
+  // that need the result must declare or define the callee first.
+  Module m;
+  ModuleBuilder mb(&m);
+  mb.DeclareExternal("get", Type::kI32, {});
+  FunctionBuilder fb = mb.BeginFunction("main", Type::kI32, {});
+  Value v = fb.Call("get", {});
+  EXPECT_TRUE(v.IsValid());
+  fb.Ret(v);
+  fb.Finish();
+  EXPECT_TRUE(Verify(m).empty());
+}
+
+TEST(VerifierTest, CatchesMissingTerminator) {
+  Module m;
+  Function f;
+  f.name = "broken";
+  f.ret_type = Type::kVoid;
+  BasicBlock bb;
+  bb.label = "entry";
+  Instruction add;
+  add.op = Opcode::kAdd;
+  add.type = Type::kI32;
+  add.result = 0;
+  add.operands = {Value::Const(Type::kI32, 1), Value::Const(Type::kI32, 2)};
+  bb.insts.push_back(add);
+  f.blocks.push_back(bb);
+  f.num_regs = 1;
+  m.AddFunction(f);
+  auto errors = Verify(m);
+  ASSERT_FALSE(errors.empty());
+  EXPECT_NE(errors[0].find("terminator"), std::string::npos);
+}
+
+TEST(VerifierTest, CatchesTypeMismatch) {
+  Module m;
+  ModuleBuilder mb(&m);
+  FunctionBuilder fb = mb.BeginFunction("f", Type::kI32, {});
+  fb.Ret(FunctionBuilder::ConstI32(0));
+  fb.Finish();
+  // Manually corrupt: binary with mismatched operand types.
+  Instruction bad;
+  bad.op = Opcode::kAdd;
+  bad.type = Type::kI32;
+  bad.result = 0;
+  bad.operands = {Value::Const(Type::kI32, 1), Value::Const(Type::kI64, 2)};
+  m.Func(0).num_regs = 1;
+  m.Func(0).blocks[0].insts.insert(m.Func(0).blocks[0].insts.begin(), bad);
+  EXPECT_FALSE(Verify(m).empty());
+}
+
+TEST(VerifierTest, CatchesCallArityMismatch) {
+  Module m;
+  ModuleBuilder mb(&m);
+  mb.DeclareExternal("two_args", Type::kVoid, {Type::kI32, Type::kI32});
+  FunctionBuilder fb = mb.BeginFunction("f", Type::kVoid, {});
+  fb.Call("two_args", {FunctionBuilder::ConstI32(1)});  // Wrong arity.
+  fb.Ret();
+  fb.Finish();
+  auto errors = Verify(m);
+  ASSERT_FALSE(errors.empty());
+  EXPECT_NE(errors[0].find("arity"), std::string::npos);
+}
+
+TEST(ModuleTest, DescribeAndLookups) {
+  Module m;
+  ASSERT_TRUE(ParseModule(kSimpleProgram, &m).ok);
+  auto f = m.FindFunction("main");
+  ASSERT_TRUE(f.has_value());
+  InstRef ref{*f, 0, 0};
+  EXPECT_EQ(m.Describe(ref), "main:entry:0");
+  EXPECT_FALSE(m.FindFunction("nothere").has_value());
+  EXPECT_TRUE(m.FindGlobal("greeting").has_value());
+  EXPECT_GT(m.TotalInstructions(), 5u);
+}
+
+TEST(ParserTest, IndirectCallSyntax) {
+  Module m;
+  ParseResult r = ParseModule(R"(
+func @target(%x: i32) : i32 {
+entry:
+  ret %x
+}
+func @main() : i32 {
+entry:
+  %r = calli i32 @target(i32 9)
+  ret %r
+}
+)", &m);
+  ASSERT_TRUE(r.ok) << r.error;
+  const Function& main_fn = m.Func(*m.FindFunction("main"));
+  const Instruction& call = main_fn.blocks[0].insts[0];
+  EXPECT_EQ(call.op, Opcode::kCall);
+  EXPECT_EQ(call.callee, kInvalidIndex);  // Indirect.
+  EXPECT_EQ(call.operands.size(), 2u);    // fn ptr + 1 arg.
+}
+
+}  // namespace
+}  // namespace esd::ir

@@ -1,0 +1,287 @@
+// Unit tests for the expression DAG, simplifier, bit-blaster, and SAT core.
+#include <cstdint>
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "src/solver/bitblast.h"
+#include "src/solver/expr.h"
+#include "src/solver/sat.h"
+#include "src/solver/solver.h"
+
+namespace esd::solver {
+namespace {
+
+TEST(ExprTest, ConstFolding) {
+  ExprRef a = MakeConst(32, 7);
+  ExprRef b = MakeConst(32, 5);
+  EXPECT_TRUE(MakeAdd(a, b)->IsConstValue(12));
+  EXPECT_TRUE(MakeSub(a, b)->IsConstValue(2));
+  EXPECT_TRUE(MakeMul(a, b)->IsConstValue(35));
+  EXPECT_TRUE(MakeUDiv(a, b)->IsConstValue(1));
+  EXPECT_TRUE(MakeURem(a, b)->IsConstValue(2));
+  EXPECT_TRUE(MakeEq(a, a)->IsTrue());
+  EXPECT_TRUE(MakeEq(a, b)->IsFalse());
+  EXPECT_TRUE(MakeUlt(b, a)->IsTrue());
+}
+
+TEST(ExprTest, SignedFolding) {
+  ExprRef minus_one = MakeConst(32, 0xffffffff);
+  ExprRef two = MakeConst(32, 2);
+  EXPECT_TRUE(MakeSlt(minus_one, two)->IsTrue());
+  EXPECT_TRUE(MakeSDiv(minus_one, two)->IsConstValue(0));
+  EXPECT_TRUE(MakeAShr(minus_one, MakeConst(32, 4))->IsConstValue(0xffffffff));
+}
+
+TEST(ExprTest, IdentitySimplifications) {
+  ExprRef x = MakeVar(1, 32, "x");
+  EXPECT_EQ(MakeAdd(x, MakeConst(32, 0)).get(), x.get());
+  EXPECT_EQ(MakeMul(x, MakeConst(32, 1)).get(), x.get());
+  EXPECT_TRUE(MakeMul(x, MakeConst(32, 0))->IsConstValue(0));
+  EXPECT_TRUE(MakeXor(x, x)->IsConstValue(0));
+  EXPECT_TRUE(MakeEq(x, x)->IsTrue());
+  EXPECT_EQ(MakeNot(MakeNot(x)).get(), x.get());
+  EXPECT_TRUE(MakeAnd(x, MakeConst(32, 0))->IsConstValue(0));
+  EXPECT_EQ(MakeAnd(x, MakeConst(32, 0xffffffff)).get(), x.get());
+}
+
+TEST(ExprTest, ExtractConcatComposition) {
+  ExprRef x = MakeVar(1, 8, "x");
+  ExprRef y = MakeVar(2, 8, "y");
+  ExprRef cat = MakeConcat(x, y);
+  EXPECT_EQ(cat->width(), 16u);
+  EXPECT_EQ(MakeExtract(cat, 0, 8).get(), y.get());
+  EXPECT_EQ(MakeExtract(cat, 8, 8).get(), x.get());
+  ExprRef z = MakeZExt(x, 32);
+  EXPECT_TRUE(MakeExtract(z, 16, 8)->IsConstValue(0));
+  EXPECT_EQ(MakeExtract(z, 0, 8).get(), x.get());
+}
+
+TEST(ExprTest, EvalMatchesFold) {
+  std::map<uint64_t, uint64_t> env{{1, 0x1234}, {2, 0x77}};
+  ExprRef x = MakeVar(1, 16, "x");
+  ExprRef y = MakeVar(2, 16, "y");
+  EXPECT_EQ(EvalExpr(MakeAdd(x, y), env), (0x1234u + 0x77u) & 0xffff);
+  EXPECT_EQ(EvalExpr(MakeMul(x, y), env), (0x1234ull * 0x77ull) & 0xffff);
+  EXPECT_EQ(EvalExpr(MakeUlt(y, x), env), 1u);
+}
+
+TEST(SatTest, TrivialSatAndUnsat) {
+  SatSolver s;
+  uint32_t a = s.NewVar();
+  uint32_t b = s.NewVar();
+  s.AddBinary(Lit::Pos(a), Lit::Pos(b));
+  s.AddUnit(Lit::Neg(a));
+  EXPECT_EQ(s.Solve(), SatResult::kSat);
+  EXPECT_FALSE(s.ValueOf(a));
+  EXPECT_TRUE(s.ValueOf(b));
+}
+
+TEST(SatTest, Unsat) {
+  SatSolver s;
+  uint32_t a = s.NewVar();
+  uint32_t b = s.NewVar();
+  s.AddBinary(Lit::Pos(a), Lit::Pos(b));
+  s.AddBinary(Lit::Neg(a), Lit::Pos(b));
+  s.AddBinary(Lit::Pos(a), Lit::Neg(b));
+  s.AddBinary(Lit::Neg(a), Lit::Neg(b));
+  EXPECT_EQ(s.Solve(), SatResult::kUnsat);
+}
+
+// Pigeonhole(4 pigeons, 3 holes): classically UNSAT, requires real search.
+TEST(SatTest, Pigeonhole) {
+  SatSolver s;
+  constexpr int kPigeons = 4;
+  constexpr int kHoles = 3;
+  uint32_t v[kPigeons][kHoles];
+  for (auto& row : v) {
+    for (auto& x : row) {
+      x = s.NewVar();
+    }
+  }
+  for (int p = 0; p < kPigeons; ++p) {
+    std::vector<Lit> clause;
+    for (int h = 0; h < kHoles; ++h) {
+      clause.push_back(Lit::Pos(v[p][h]));
+    }
+    s.AddClause(clause);
+  }
+  for (int h = 0; h < kHoles; ++h) {
+    for (int p1 = 0; p1 < kPigeons; ++p1) {
+      for (int p2 = p1 + 1; p2 < kPigeons; ++p2) {
+        s.AddBinary(Lit::Neg(v[p1][h]), Lit::Neg(v[p2][h]));
+      }
+    }
+  }
+  EXPECT_EQ(s.Solve(), SatResult::kUnsat);
+}
+
+TEST(SolverTest, SimpleEquation) {
+  // x + 3 == 10  =>  x == 7.
+  ExprRef x = MakeVar(1, 32, "x");
+  ExprRef c = MakeEq(MakeAdd(x, MakeConst(32, 3)), MakeConst(32, 10));
+  ConstraintSolver solver;
+  Model model;
+  ASSERT_TRUE(solver.IsSatisfiable({c}, &model));
+  EXPECT_EQ(model.ValueOf(1), 7u);
+}
+
+TEST(SolverTest, UnsatisfiableConjunction) {
+  ExprRef x = MakeVar(1, 32, "x");
+  ExprRef c1 = MakeUlt(x, MakeConst(32, 5));
+  ExprRef c2 = MakeUlt(MakeConst(32, 9), x);
+  ConstraintSolver solver;
+  EXPECT_FALSE(solver.IsSatisfiable({c1, c2}));
+}
+
+TEST(SolverTest, MultiplicationInversion) {
+  // x * 6 == 42 has solutions (x = 7 works; model must satisfy).
+  ExprRef x = MakeVar(1, 16, "x");
+  ExprRef c = MakeEq(MakeMul(x, MakeConst(16, 6)), MakeConst(16, 42));
+  ConstraintSolver solver;
+  Model model;
+  ASSERT_TRUE(solver.IsSatisfiable({c}, &model));
+  EXPECT_EQ((model.ValueOf(1) * 6) & 0xffff, 42u);
+}
+
+TEST(SolverTest, DivisionConstraint) {
+  // x / 7 == 3 and x % 7 == 2  =>  x == 23.
+  ExprRef x = MakeVar(1, 32, "x");
+  ExprRef seven = MakeConst(32, 7);
+  ConstraintSolver solver;
+  Model model;
+  ASSERT_TRUE(solver.IsSatisfiable(
+      {MakeEq(MakeUDiv(x, seven), MakeConst(32, 3)),
+       MakeEq(MakeURem(x, seven), MakeConst(32, 2))},
+      &model));
+  EXPECT_EQ(model.ValueOf(1), 23u);
+}
+
+TEST(SolverTest, SignedComparisonModel) {
+  // x < 0 (signed) and x > -10 (signed).
+  ExprRef x = MakeVar(1, 32, "x");
+  ConstraintSolver solver;
+  Model model;
+  ASSERT_TRUE(solver.IsSatisfiable(
+      {MakeSlt(x, MakeConst(32, 0)),
+       MakeSlt(MakeConst(32, static_cast<uint32_t>(-10)), x)},
+      &model));
+  int32_t v = static_cast<int32_t>(model.ValueOf(1));
+  EXPECT_LT(v, 0);
+  EXPECT_GT(v, -10);
+}
+
+TEST(SolverTest, MayMustQueries) {
+  ExprRef x = MakeVar(1, 8, "x");
+  std::vector<ExprRef> path = {MakeUlt(x, MakeConst(8, 10))};
+  ConstraintSolver solver;
+  EXPECT_TRUE(solver.MayBeTrue(path, MakeEq(x, MakeConst(8, 5))));
+  EXPECT_FALSE(solver.MayBeTrue(path, MakeEq(x, MakeConst(8, 20))));
+  EXPECT_TRUE(solver.MustBeTrue(path, MakeUlt(x, MakeConst(8, 11))));
+  EXPECT_FALSE(solver.MustBeTrue(path, MakeUlt(x, MakeConst(8, 9))));
+}
+
+TEST(SolverTest, ByteConcatString) {
+  // Model KLEE-style per-byte string constraints: bytes "GET ".
+  ConstraintSolver solver;
+  std::vector<ExprRef> constraints;
+  const char* want = "GET ";
+  for (int i = 0; i < 4; ++i) {
+    ExprRef b = MakeVar(static_cast<uint64_t>(i), 8, "url" + std::to_string(i));
+    constraints.push_back(MakeEq(b, MakeConst(8, static_cast<uint8_t>(want[i]))));
+  }
+  Model model;
+  ASSERT_TRUE(solver.IsSatisfiable(constraints, &model));
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(model.ValueOf(static_cast<uint64_t>(i)),
+              static_cast<uint64_t>(want[i]));
+  }
+}
+
+// Property sweep: random expressions evaluated against the bit-blaster.
+// For each sampled (op, a, b), assert that constraining `op(x, y) == fold`
+// with x==a, y==b is SAT, and that `op(x,y) != fold` with x==a, y==b is
+// UNSAT. This cross-checks EvalExpr, the simplifier, and every circuit.
+class BlastPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BlastPropertyTest, CircuitMatchesEval) {
+  std::mt19937_64 rng(GetParam());
+  const ExprKind kOps[] = {ExprKind::kAdd,  ExprKind::kSub,  ExprKind::kMul,
+                           ExprKind::kUDiv, ExprKind::kSDiv, ExprKind::kURem,
+                           ExprKind::kSRem, ExprKind::kAnd,  ExprKind::kOr,
+                           ExprKind::kXor,  ExprKind::kShl,  ExprKind::kLShr,
+                           ExprKind::kAShr, ExprKind::kUlt,  ExprKind::kSlt,
+                           ExprKind::kUle,  ExprKind::kSle,  ExprKind::kEq};
+  const uint32_t kWidths[] = {8, 16, 32};
+  for (int iter = 0; iter < 6; ++iter) {
+    ExprKind op = kOps[rng() % std::size(kOps)];
+    uint32_t w = kWidths[rng() % std::size(kWidths)];
+    uint64_t av = rng() & WidthMask(w);
+    uint64_t bv = rng() & WidthMask(w);
+    if (op == ExprKind::kShl || op == ExprKind::kLShr || op == ExprKind::kAShr) {
+      bv %= (w + 4);  // Exercise out-of-range shifts occasionally.
+    }
+    ExprRef x = MakeVar(100, w, "x");
+    ExprRef y = MakeVar(101, w, "y");
+    ExprRef sym;
+    switch (op) {
+      case ExprKind::kAdd: sym = MakeAdd(x, y); break;
+      case ExprKind::kSub: sym = MakeSub(x, y); break;
+      case ExprKind::kMul: sym = MakeMul(x, y); break;
+      case ExprKind::kUDiv: sym = MakeUDiv(x, y); break;
+      case ExprKind::kSDiv: sym = MakeSDiv(x, y); break;
+      case ExprKind::kURem: sym = MakeURem(x, y); break;
+      case ExprKind::kSRem: sym = MakeSRem(x, y); break;
+      case ExprKind::kAnd: sym = MakeAnd(x, y); break;
+      case ExprKind::kOr: sym = MakeOr(x, y); break;
+      case ExprKind::kXor: sym = MakeXor(x, y); break;
+      case ExprKind::kShl: sym = MakeShl(x, y); break;
+      case ExprKind::kLShr: sym = MakeLShr(x, y); break;
+      case ExprKind::kAShr: sym = MakeAShr(x, y); break;
+      case ExprKind::kUlt: sym = MakeUlt(x, y); break;
+      case ExprKind::kSlt: sym = MakeSlt(x, y); break;
+      case ExprKind::kUle: sym = MakeUle(x, y); break;
+      case ExprKind::kSle: sym = MakeSle(x, y); break;
+      default: sym = MakeEq(x, y); break;
+    }
+    std::map<uint64_t, uint64_t> env{{100, av}, {101, bv}};
+    uint64_t expect = EvalExpr(sym, env);
+
+    ConstraintSolver solver;
+    std::vector<ExprRef> cs = {MakeEq(x, MakeConst(w, av)),
+                               MakeEq(y, MakeConst(w, bv)),
+                               MakeEq(sym, MakeConst(sym->width(), expect))};
+    EXPECT_TRUE(solver.IsSatisfiable(cs))
+        << "op=" << static_cast<int>(op) << " w=" << w << " a=" << av << " b=" << bv;
+
+    ConstraintSolver solver2;
+    std::vector<ExprRef> cs2 = {MakeEq(x, MakeConst(w, av)),
+                                MakeEq(y, MakeConst(w, bv)),
+                                MakeNe(sym, MakeConst(sym->width(), expect))};
+    EXPECT_FALSE(solver2.IsSatisfiable(cs2))
+        << "op=" << static_cast<int>(op) << " w=" << w << " a=" << av << " b=" << bv;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, BlastPropertyTest, ::testing::Range(1, 25));
+
+TEST(SolverTest, CacheCountsHits) {
+  ExprRef x = MakeVar(1, 32, "x");
+  ExprRef c = MakeUlt(x, MakeConst(32, 100));
+  ConstraintSolver solver;
+  EXPECT_TRUE(solver.IsSatisfiable({c}));
+  EXPECT_TRUE(solver.IsSatisfiable({c}));
+  EXPECT_GE(solver.stats().cex_hits + solver.stats().cache_hits, 1u);
+}
+
+TEST(SolverTest, IteBlasting) {
+  ExprRef c = MakeVar(1, 1, "c");
+  ExprRef x = MakeIte(c, MakeConst(32, 11), MakeConst(32, 22));
+  ConstraintSolver solver;
+  Model model;
+  ASSERT_TRUE(solver.IsSatisfiable({MakeEq(x, MakeConst(32, 22))}, &model));
+  EXPECT_EQ(model.ValueOf(1), 0u);
+}
+
+}  // namespace
+}  // namespace esd::solver

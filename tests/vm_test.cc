@@ -1,0 +1,526 @@
+// Unit tests for the VM: memory, interpreter semantics (concrete and
+// symbolic), threading, synchronization, bug detection, and searchers.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/ir/parser.h"
+#include "src/ir/verifier.h"
+#include "src/solver/solver.h"
+#include "src/vm/engine.h"
+#include "src/vm/interpreter.h"
+#include "src/vm/searcher.h"
+
+namespace esd::vm {
+namespace {
+
+constexpr char kExterns[] = R"(
+extern @getchar() : i32
+extern @getenv(ptr) : ptr
+extern @esd_input_i32(ptr) : i32
+extern @malloc(i64) : ptr
+extern @free(ptr)
+extern @esd_assert(i1)
+extern @abort()
+extern @exit(i32)
+extern @print_str(ptr)
+extern @print_i64(i64)
+extern @strlen(ptr) : i64
+extern @memcpy(ptr, ptr, i64)
+extern @memset(ptr, i32, i64)
+extern @thread_create(ptr, ptr) : i32
+extern @thread_join(i32)
+extern @mutex_init(ptr)
+extern @mutex_lock(ptr)
+extern @mutex_unlock(ptr)
+extern @cond_init(ptr)
+extern @cond_wait(ptr, ptr)
+extern @cond_signal(ptr)
+extern @cond_broadcast(ptr)
+extern @yield()
+)";
+
+ir::Module ParseOrDie(const std::string& body) {
+  ir::Module m;
+  ir::ParseResult r = ir::ParseModule(std::string(kExterns) + body, &m);
+  EXPECT_TRUE(r.ok) << r.error;
+  auto errors = ir::Verify(m);
+  EXPECT_TRUE(errors.empty()) << (errors.empty() ? "" : errors[0]);
+  return m;
+}
+
+// A provider returning fixed values by name prefix, 0 otherwise.
+class FixedInputs : public InputProvider {
+ public:
+  explicit FixedInputs(std::map<std::string, uint64_t> values)
+      : values_(std::move(values)) {}
+  uint64_t GetValue(const std::string& name, uint32_t width) override {
+    for (const auto& [prefix, v] : values_) {
+      if (name.rfind(prefix, 0) == 0) {
+        return v;
+      }
+    }
+    return 0;
+  }
+
+ private:
+  std::map<std::string, uint64_t> values_;
+};
+
+struct TestVm {
+  explicit TestVm(ir::Module module, Interpreter::Options options = {})
+      : mod(std::move(module)), interp(&mod, &solver, options) {}
+
+  StatePtr Boot() {
+    auto main_fn = mod.FindFunction("main");
+    EXPECT_TRUE(main_fn.has_value());
+    return interp.MakeInitialState(*main_fn, interp.AllocStateId());
+  }
+
+  ir::Module mod;
+  solver::ConstraintSolver solver;
+  Interpreter interp;
+};
+
+TEST(MemoryTest, CopyOnWriteSharesUntilWrite) {
+  AddressSpace a;
+  uint32_t id = a.Allocate(8, ObjectKind::kHeap, "obj");
+  AddressSpace b = a;  // Share.
+  const MemoryObject* before = b.Find(id);
+  EXPECT_EQ(a.Find(id), before);
+  MemoryObject* wa = a.FindWritable(id);
+  wa->bytes[0] = solver::MakeConst(8, 42);
+  // b still sees the old object.
+  EXPECT_NE(a.Find(id), b.Find(id));
+  EXPECT_TRUE(b.Find(id)->bytes[0]->IsConstValue(0));
+  EXPECT_TRUE(a.Find(id)->bytes[0]->IsConstValue(42));
+}
+
+TEST(MemoryTest, FreeKeepsObjectForDiagnosis) {
+  AddressSpace a;
+  uint32_t id = a.Allocate(8, ObjectKind::kHeap, "obj");
+  EXPECT_TRUE(a.Free(id));
+  EXPECT_FALSE(a.Free(id));  // Double free rejected here.
+  ASSERT_NE(a.Find(id), nullptr);
+  EXPECT_TRUE(a.Find(id)->freed);
+}
+
+TEST(InterpreterTest, ConcreteArithmetic) {
+  TestVm vm(ParseOrDie(R"(
+func @main() : i32 {
+entry:
+  %a = add i32 20, i32 22
+  %b = mul %a, i32 3
+  %c = sub %b, i32 26
+  %d = udiv %c, i32 10
+  %w = zext i64, %d
+  call @print_i64(%w)
+  ret %d
+}
+)"));
+  StatePtr s = vm.Boot();
+  ASSERT_TRUE(RunToCompletion(vm.interp, *s, 1000).completed);
+  EXPECT_EQ(s->output, "10");  // ((20+22)*3 - 26) / 10.
+}
+
+TEST(InterpreterTest, RunsStraightLineProgram) {
+  TestVm vm(ParseOrDie(R"(
+func @main() : i32 {
+entry:
+  %p = alloca 8
+  store i64 1234, %p
+  %v = load i64, %p
+  call @print_i64(%v)
+  ret i32 0
+}
+)"));
+  StatePtr s = vm.Boot();
+  SingleRunResult r = RunToCompletion(vm.interp, *s, 1000);
+  ASSERT_TRUE(r.completed);
+  EXPECT_FALSE(r.bug.IsBug()) << r.bug.message;
+  EXPECT_EQ(s->output, "1234");
+}
+
+TEST(InterpreterTest, ByteGranularLoadStore) {
+  TestVm vm(ParseOrDie(R"(
+func @main() : i32 {
+entry:
+  %p = alloca 4
+  store i32 305419896, %p      ; 0x12345678
+  %b0 = load i8, %p
+  %q = gep %p, i64 1, 1
+  %b1 = load i8, %q
+  %w0 = zext i64, %b0
+  %w1 = zext i64, %b1
+  call @print_i64(%w0)
+  call @print_i64(%w1)
+  ret i32 0
+}
+)"));
+  StatePtr s = vm.Boot();
+  ASSERT_TRUE(RunToCompletion(vm.interp, *s, 1000).completed);
+  EXPECT_EQ(s->output, "12086");  // Little endian: byte 0 = 0x78, byte 1 = 0x56.
+}
+
+TEST(InterpreterTest, DetectsNullDeref) {
+  TestVm vm(ParseOrDie(R"(
+func @main() : i32 {
+entry:
+  %v = load i32, null
+  ret %v
+}
+)"));
+  StatePtr s = vm.Boot();
+  SingleRunResult r = RunToCompletion(vm.interp, *s, 100);
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.bug.kind, BugInfo::Kind::kNullDeref);
+}
+
+TEST(InterpreterTest, DetectsOutOfBounds) {
+  TestVm vm(ParseOrDie(R"(
+func @main() : i32 {
+entry:
+  %p = alloca 4
+  %q = gep %p, i64 4, 1
+  store i8 1, %q
+  ret i32 0
+}
+)"));
+  StatePtr s = vm.Boot();
+  SingleRunResult r = RunToCompletion(vm.interp, *s, 100);
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.bug.kind, BugInfo::Kind::kOutOfBounds);
+}
+
+TEST(InterpreterTest, DetectsUseAfterFreeAndDoubleFree) {
+  TestVm vm(ParseOrDie(R"(
+func @main() : i32 {
+entry:
+  %p = call @malloc(i64 16)
+  call @free(%p)
+  %v = load i32, %p
+  ret %v
+}
+)"));
+  StatePtr s = vm.Boot();
+  SingleRunResult r = RunToCompletion(vm.interp, *s, 100);
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.bug.kind, BugInfo::Kind::kUseAfterFree);
+
+  TestVm vm2(ParseOrDie(R"(
+func @main() : i32 {
+entry:
+  %p = call @malloc(i64 16)
+  call @free(%p)
+  call @free(%p)
+  ret i32 0
+}
+)"));
+  StatePtr s2 = vm2.Boot();
+  SingleRunResult r2 = RunToCompletion(vm2.interp, *s2, 100);
+  ASSERT_TRUE(r2.completed);
+  EXPECT_EQ(r2.bug.kind, BugInfo::Kind::kDoubleFree);
+}
+
+TEST(InterpreterTest, DetectsInvalidFreeOfInteriorPointer) {
+  TestVm vm(ParseOrDie(R"(
+func @main() : i32 {
+entry:
+  %p = call @malloc(i64 16)
+  %q = gep %p, i64 4, 1
+  call @free(%q)
+  ret i32 0
+}
+)"));
+  StatePtr s = vm.Boot();
+  SingleRunResult r = RunToCompletion(vm.interp, *s, 100);
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.bug.kind, BugInfo::Kind::kInvalidFree);
+}
+
+TEST(InterpreterTest, ConcreteInputsViaProvider) {
+  FixedInputs inputs({{"getchar", 'm'}});
+  Interpreter::Options options;
+  options.input_provider = &inputs;
+  TestVm vm(ParseOrDie(R"(
+func @main() : i32 {
+entry:
+  %c = call @getchar()
+  %is = icmp eq %c, i32 109
+  condbr %is, yes, no
+yes:
+  call @print_i64(i64 1)
+  ret i32 0
+no:
+  call @print_i64(i64 0)
+  ret i32 0
+}
+)"), options);
+  StatePtr s = vm.Boot();
+  ASSERT_TRUE(RunToCompletion(vm.interp, *s, 100).completed);
+  EXPECT_EQ(s->output, "1");
+}
+
+TEST(InterpreterTest, SymbolicBranchForksBothWays) {
+  TestVm vm(ParseOrDie(R"(
+func @main() : i32 {
+entry:
+  %c = call @getchar()
+  %is = icmp eq %c, i32 109
+  condbr %is, yes, no
+yes:
+  ret i32 1
+no:
+  ret i32 0
+}
+)"));
+  DfsSearcher searcher;
+  Engine engine(&vm.interp, &searcher, {});
+  engine.Start(vm.Boot());
+  Engine::Result r = engine.Run(nullptr);
+  EXPECT_EQ(r.status, Engine::Result::Status::kExhausted);
+  EXPECT_GE(r.states_created, 2u);  // Initial + one fork.
+}
+
+TEST(InterpreterTest, SymbolicAssertFindsFailingInput) {
+  TestVm vm(ParseOrDie(R"(
+func @main() : i32 {
+entry:
+  %c = call @getchar()
+  %ok = icmp ne %c, i32 77
+  call @esd_assert(%ok)
+  ret i32 0
+}
+)"));
+  DfsSearcher searcher;
+  Engine engine(&vm.interp, &searcher, {});
+  engine.Start(vm.Boot());
+  Engine::Result r = engine.Run([](const ExecutionState&, const BugInfo& bug) {
+    return bug.kind == BugInfo::Kind::kAssertFail;
+  });
+  ASSERT_EQ(r.status, Engine::Result::Status::kGoalFound);
+  // Solve the goal state's constraints: getchar must have returned 77.
+  solver::Model model;
+  ASSERT_TRUE(vm.solver.IsSatisfiable(r.goal_state->constraints, &model));
+  ASSERT_EQ(r.goal_state->inputs.size(), 1u);
+  const auto& [name, var] = r.goal_state->inputs[0];
+  EXPECT_EQ(solver::EvalExpr(var, model.values), 77u);
+}
+
+TEST(InterpreterTest, GetenvProducesSymbolicNulTerminatedString) {
+  TestVm vm(ParseOrDie(R"(
+global $name = str "mode"
+func @main() : i32 {
+entry:
+  %e = call @getenv($name)
+  %b = load i8, %e
+  %is = icmp eq %b, i8 89
+  condbr %is, yes, no
+yes:
+  ret i32 1
+no:
+  ret i32 0
+}
+)"));
+  DfsSearcher searcher;
+  Engine engine(&vm.interp, &searcher, {});
+  engine.Start(vm.Boot());
+  Engine::Result r = engine.Run(nullptr);
+  EXPECT_EQ(r.status, Engine::Result::Status::kExhausted);
+  EXPECT_GE(r.states_created, 2u);
+}
+
+TEST(ThreadTest, CreateJoinRoundTrip) {
+  TestVm vm(ParseOrDie(R"(
+global $flag = zero 4
+func @worker(%arg: ptr) : void {
+entry:
+  store i32 7, $flag
+  ret
+}
+func @main() : i32 {
+entry:
+  %tid = call @thread_create(@worker, null)
+  call @thread_join(%tid)
+  %v = load i32, $flag
+  %w = zext i64, %v
+  call @print_i64(%w)
+  ret i32 0
+}
+)"));
+  StatePtr s = vm.Boot();
+  SingleRunResult r = RunToCompletion(vm.interp, *s, 1000);
+  ASSERT_TRUE(r.completed);
+  EXPECT_FALSE(r.bug.IsBug()) << r.bug.message;
+  EXPECT_EQ(s->output, "7");
+}
+
+TEST(ThreadTest, SelfRelockIsDeadlock) {
+  TestVm vm(ParseOrDie(R"(
+global $m = zero 8
+func @main() : i32 {
+entry:
+  call @mutex_lock($m)
+  call @mutex_lock($m)
+  ret i32 0
+}
+)"));
+  StatePtr s = vm.Boot();
+  SingleRunResult r = RunToCompletion(vm.interp, *s, 100);
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.bug.kind, BugInfo::Kind::kDeadlock);
+}
+
+TEST(ThreadTest, UnlockWithoutHoldIsInvalidSync) {
+  TestVm vm(ParseOrDie(R"(
+global $m = zero 8
+func @main() : i32 {
+entry:
+  call @mutex_unlock($m)
+  ret i32 0
+}
+)"));
+  StatePtr s = vm.Boot();
+  SingleRunResult r = RunToCompletion(vm.interp, *s, 100);
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.bug.kind, BugInfo::Kind::kInvalidSync);
+}
+
+TEST(ThreadTest, CondVarProducerConsumer) {
+  TestVm vm(ParseOrDie(R"(
+global $m = zero 8
+global $c = zero 8
+global $data = zero 4
+func @consumer(%arg: ptr) : void {
+entry:
+  call @mutex_lock($m)
+  br check
+check:
+  %v = load i32, $data
+  %ready = icmp ne %v, i32 0
+  condbr %ready, done, wait
+wait:
+  call @cond_wait($c, $m)
+  br check
+done:
+  %w = zext i64, %v
+  call @print_i64(%w)
+  call @mutex_unlock($m)
+  ret
+}
+func @main() : i32 {
+entry:
+  %tid = call @thread_create(@consumer, null)
+  call @mutex_lock($m)
+  store i32 42, $data
+  call @cond_signal($c)
+  call @mutex_unlock($m)
+  call @thread_join(%tid)
+  ret i32 0
+}
+)"));
+  StatePtr s = vm.Boot();
+  SingleRunResult r = RunToCompletion(vm.interp, *s, 10000);
+  ASSERT_TRUE(r.completed);
+  EXPECT_FALSE(r.bug.IsBug()) << r.bug.message;
+  EXPECT_EQ(s->output, "42");
+}
+
+TEST(ThreadTest, JoinCycleIsDeadlock) {
+  // Main joins a thread that blocks forever on a mutex main holds.
+  TestVm vm(ParseOrDie(R"(
+global $m = zero 8
+func @worker(%arg: ptr) : void {
+entry:
+  call @mutex_lock($m)
+  ret
+}
+func @main() : i32 {
+entry:
+  call @mutex_lock($m)
+  %tid = call @thread_create(@worker, null)
+  call @thread_join(%tid)
+  ret i32 0
+}
+)"));
+  StatePtr s = vm.Boot();
+  SingleRunResult r = RunToCompletion(vm.interp, *s, 1000);
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.bug.kind, BugInfo::Kind::kDeadlock);
+}
+
+TEST(SearcherTest, DfsPrefersNewestState) {
+  DfsSearcher s;
+  auto a = std::make_shared<ExecutionState>();
+  auto b = std::make_shared<ExecutionState>();
+  s.Add(a);
+  s.Add(b);
+  EXPECT_EQ(s.Select(), b);
+  s.Remove(b);
+  EXPECT_EQ(s.Select(), a);
+}
+
+TEST(SearcherTest, BfsPrefersOldestState) {
+  BfsSearcher s;
+  auto a = std::make_shared<ExecutionState>();
+  auto b = std::make_shared<ExecutionState>();
+  s.Add(a);
+  s.Add(b);
+  EXPECT_EQ(s.Select(), a);
+}
+
+TEST(SearcherTest, RandomPathFavorsShallowStates) {
+  RandomPathSearcher s(42);
+  auto shallow = std::make_shared<ExecutionState>();
+  shallow->depth = 0;
+  int shallow_picks = 0;
+  std::vector<StatePtr> deep;
+  s.Add(shallow);
+  for (int i = 0; i < 8; ++i) {
+    auto d = std::make_shared<ExecutionState>();
+    d->depth = 20;
+    deep.push_back(d);
+    s.Add(d);
+  }
+  for (int i = 0; i < 200; ++i) {
+    if (s.Select() == shallow) {
+      ++shallow_picks;
+    }
+  }
+  EXPECT_GT(shallow_picks, 150);  // ~2^20 weight ratio; should be nearly all.
+}
+
+TEST(RaceDetectorTest, FlagsUnlockedSharedWrite) {
+  RaceDetector det;
+  ir::InstRef s1{0, 0, 1};
+  ir::InstRef s2{0, 0, 2};
+  // T0 writes with lock 100; T1 writes with lock 200 (disjoint locksets).
+  EXPECT_FALSE(det.OnAccess(0x1000, 0, true, s1, {100}).has_value());
+  auto report = det.OnAccess(0x1000, 1, true, s2, {200});
+  ASSERT_TRUE(report.has_value());
+  EXPECT_EQ(report->addr, 0x1000u);
+  EXPECT_EQ(det.FlaggedSites().count(s1), 1u);
+  EXPECT_EQ(det.FlaggedSites().count(s2), 1u);
+}
+
+TEST(RaceDetectorTest, ConsistentLockingStaysQuiet) {
+  RaceDetector det;
+  ir::InstRef s1{0, 0, 1};
+  ir::InstRef s2{0, 0, 2};
+  EXPECT_FALSE(det.OnAccess(0x2000, 0, true, s1, {100}).has_value());
+  EXPECT_FALSE(det.OnAccess(0x2000, 1, true, s2, {100}).has_value());
+  EXPECT_FALSE(det.OnAccess(0x2000, 0, false, s1, {100}).has_value());
+  EXPECT_TRUE(det.FlaggedSites().empty());
+}
+
+TEST(RaceDetectorTest, ReadSharingWithoutWritesIsBenign) {
+  RaceDetector det;
+  ir::InstRef s1{0, 0, 1};
+  ir::InstRef s2{0, 0, 2};
+  EXPECT_FALSE(det.OnAccess(0x3000, 0, false, s1, {}).has_value());
+  EXPECT_FALSE(det.OnAccess(0x3000, 1, false, s2, {}).has_value());
+  EXPECT_TRUE(det.FlaggedSites().empty());
+}
+
+}  // namespace
+}  // namespace esd::vm

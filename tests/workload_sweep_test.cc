@@ -1,0 +1,162 @@
+// Parameterized sweeps: every workload through the full pipeline under
+// varying synthesizer configurations, and BPF programs across the parameter
+// grid. These are the property suites guarding the headline behavior: for
+// every (workload, configuration) pair, the synthesized execution must
+// deterministically reproduce the reported bug on playback.
+#include <gtest/gtest.h>
+
+#include "src/bpf/generator.h"
+#include "src/core/synthesizer.h"
+#include "src/replay/replayer.h"
+#include "src/workloads/workloads.h"
+
+namespace esd {
+namespace {
+
+std::vector<std::string> AllWorkloadNames() {
+  std::vector<std::string> names = workloads::Table1Names();
+  names.push_back("listing1");
+  for (const std::string& name : workloads::LsNames()) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+class WorkloadPipelineTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(WorkloadPipelineTest, SynthesizesAndReplaysBothModes) {
+  workloads::Workload w = workloads::MakeWorkload(GetParam());
+  auto dump = workloads::CaptureDump(*w.module, w.trigger);
+  ASSERT_TRUE(dump.has_value());
+  core::SynthesisOptions options;
+  options.time_cap_seconds = 60.0;
+  core::Synthesizer synthesizer(w.module.get(), options);
+  core::SynthesisResult result = synthesizer.Synthesize(*dump);
+  ASSERT_TRUE(result.success) << result.failure_reason;
+  EXPECT_EQ(result.bug.kind, w.expected_kind);
+
+  replay::ReplayResult strict =
+      replay::Replay(*w.module, result.file, replay::ReplayMode::kStrict);
+  EXPECT_TRUE(strict.bug_reproduced)
+      << "strict: " << vm::BugKindName(strict.bug.kind) << " " << strict.bug.message;
+  replay::ReplayResult hb =
+      replay::Replay(*w.module, result.file, replay::ReplayMode::kHappensBefore);
+  EXPECT_TRUE(hb.bug_reproduced)
+      << "hb: " << vm::BugKindName(hb.bug.kind) << " " << hb.bug.message;
+  // Determinism: identical instruction counts across repeated strict runs.
+  replay::ReplayResult again =
+      replay::Replay(*w.module, result.file, replay::ReplayMode::kStrict);
+  EXPECT_EQ(strict.instructions, again.instructions);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, WorkloadPipelineTest,
+                         ::testing::ValuesIn(AllWorkloadNames()),
+                         [](const auto& info) { return info.param; });
+
+// Seeds must not matter for success, only (possibly) for timing.
+class SeedSweepTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SeedSweepTest, Listing1RobustToSearchSeed) {
+  workloads::Workload w = workloads::MakeWorkload("listing1");
+  auto dump = workloads::CaptureDump(*w.module, w.trigger);
+  ASSERT_TRUE(dump.has_value());
+  core::SynthesisOptions options;
+  options.seed = GetParam();
+  options.time_cap_seconds = 60.0;
+  core::Synthesizer synthesizer(w.module.get(), options);
+  core::SynthesisResult result = synthesizer.Synthesize(*dump);
+  EXPECT_TRUE(result.success) << result.failure_reason;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweepTest, ::testing::Values(1, 2, 3, 17, 99));
+
+struct BpfCase {
+  uint32_t branches;
+  uint32_t threads;
+  uint32_t locks;
+  uint64_t seed;
+};
+
+class BpfSweepTest : public ::testing::TestWithParam<BpfCase> {};
+
+TEST_P(BpfSweepTest, GeneratedDeadlockSynthesizesAndReplays) {
+  const BpfCase& c = GetParam();
+  bpf::BpfParams params;
+  params.num_branches = c.branches;
+  params.input_dependent = c.branches;
+  params.num_threads = c.threads;
+  params.num_locks = c.locks;
+  params.seed = c.seed;
+  bpf::BpfProgram program = bpf::Generate(params);
+  auto dump = workloads::CaptureDump(*program.module, program.trigger);
+  ASSERT_TRUE(dump.has_value());
+  ASSERT_EQ(dump->kind, vm::BugInfo::Kind::kDeadlock);
+
+  core::SynthesisOptions options;
+  options.time_cap_seconds = 60.0;
+  core::Synthesizer synthesizer(program.module.get(), options);
+  core::SynthesisResult result = synthesizer.Synthesize(*dump);
+  ASSERT_TRUE(result.success) << result.failure_reason;
+  replay::ReplayResult r =
+      replay::Replay(*program.module, result.file, replay::ReplayMode::kStrict);
+  EXPECT_TRUE(r.bug_reproduced) << r.bug.message;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, BpfSweepTest,
+    ::testing::Values(BpfCase{8, 2, 2, 1}, BpfCase{32, 2, 2, 2},
+                      BpfCase{128, 2, 2, 3}, BpfCase{32, 3, 2, 4},
+                      BpfCase{32, 2, 3, 5}, BpfCase{64, 4, 4, 6},
+                      BpfCase{512, 2, 2, 7}),
+    [](const auto& info) {
+      return "b" + std::to_string(info.param.branches) + "t" +
+             std::to_string(info.param.threads) + "l" +
+             std::to_string(info.param.locks) + "s" +
+             std::to_string(info.param.seed);
+    });
+
+// Ablation property: full ESD must succeed with each single technique
+// disabled on the crash workloads (any one of the remaining techniques
+// suffices there; the benchmark quantifies the cost).
+struct AblationCase {
+  const char* workload;
+  bool proximity;
+  bool intermediate_goals;
+  bool critical_edges;
+};
+
+class AblationSweepTest : public ::testing::TestWithParam<AblationCase> {};
+
+TEST_P(AblationSweepTest, StillSolvesWithinGenerousCap) {
+  const AblationCase& c = GetParam();
+  workloads::Workload w = workloads::MakeWorkload(c.workload);
+  auto dump = workloads::CaptureDump(*w.module, w.trigger);
+  ASSERT_TRUE(dump.has_value());
+  core::SynthesisOptions options;
+  options.use_proximity = c.proximity;
+  options.use_intermediate_goals = c.intermediate_goals;
+  options.use_critical_edges = c.critical_edges;
+  options.time_cap_seconds = 60.0;
+  core::Synthesizer synthesizer(w.module.get(), options);
+  EXPECT_TRUE(synthesizer.Synthesize(*dump).success);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Variants, AblationSweepTest,
+    ::testing::Values(AblationCase{"mknod", false, true, true},
+                      AblationCase{"mknod", true, false, true},
+                      AblationCase{"mknod", true, true, false},
+                      AblationCase{"ghttpd", false, true, true},
+                      AblationCase{"ghttpd", true, true, false},
+                      AblationCase{"sqlite", true, false, true},
+                      AblationCase{"hawknl", false, true, true}),
+    [](const auto& info) {
+      std::string n = info.param.workload;
+      n += info.param.proximity ? "_p1" : "_p0";
+      n += info.param.intermediate_goals ? "g1" : "g0";
+      n += info.param.critical_edges ? "c1" : "c0";
+      return n;
+    });
+
+}  // namespace
+}  // namespace esd

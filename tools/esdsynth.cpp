@@ -1,0 +1,101 @@
+// esdsynth: synthesize a bug-bound execution from a coredump (§8).
+//
+//   esdsynth <program.esd> <coredump> [-o exec.out] [--time-cap SECONDS]
+//            [--with-race-det] [--no-proximity] [--no-intermediate-goals]
+//            [--no-critical-edges] [--seed N]
+//
+// Reads the program and the coredump, synthesizes an execution that
+// reproduces the reported bug, and writes the execution file for esdplay.
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "src/core/synthesizer.h"
+#include "src/replay/execution_file.h"
+#include "src/report/coredump.h"
+#include "tools/tool_common.h"
+
+namespace {
+
+void Usage() {
+  std::cerr << "usage: esdsynth <program.esd> <coredump> [-o exec.out]\n"
+            << "                [--time-cap SECONDS] [--with-race-det]\n"
+            << "                [--no-proximity] [--no-intermediate-goals]\n"
+            << "                [--no-critical-edges] [--seed N]\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace esd;
+  if (argc < 3) {
+    Usage();
+    return 2;
+  }
+  std::string program_path = argv[1];
+  std::string dump_path = argv[2];
+  std::string out_path = "execution.esdx";
+  core::SynthesisOptions options;
+  for (int i = 3; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "-o" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg == "--time-cap" && i + 1 < argc) {
+      options.time_cap_seconds = std::atof(argv[++i]);
+    } else if (arg == "--seed" && i + 1 < argc) {
+      options.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--with-race-det") {
+      options.enable_race_detection = true;
+    } else if (arg == "--no-proximity") {
+      options.use_proximity = false;
+    } else if (arg == "--no-intermediate-goals") {
+      options.use_intermediate_goals = false;
+    } else if (arg == "--no-critical-edges") {
+      options.use_critical_edges = false;
+    } else {
+      Usage();
+      return 2;
+    }
+  }
+
+  auto module = tools::LoadProgram(program_path);
+  if (module == nullptr) {
+    return 1;
+  }
+  auto dump_text = tools::ReadFile(dump_path);
+  if (!dump_text.has_value()) {
+    std::cerr << "error: cannot read '" << dump_path << "'\n";
+    return 1;
+  }
+  std::string error;
+  auto dump = report::ParseCoreDump(*module, *dump_text, &error);
+  if (!dump.has_value()) {
+    std::cerr << "error: " << dump_path << ": " << error << "\n";
+    return 1;
+  }
+
+  std::cout << "esdsynth: goal class '" << vm::BugKindName(dump->kind) << "' at "
+            << module->Describe(dump->fault_pc) << "\n";
+  core::Synthesizer synthesizer(module.get(), options);
+  core::SynthesisResult result = synthesizer.Synthesize(*dump);
+  for (const std::string& other : result.other_bugs) {
+    std::cout << "esdsynth: note: discovered a different bug on the way: " << other
+              << "\n";
+  }
+  if (!result.success) {
+    std::cerr << "esdsynth: synthesis failed: " << result.failure_reason << "\n";
+    return 1;
+  }
+  std::cout << "esdsynth: synthesized in " << result.seconds << "s ("
+            << result.instructions << " instructions, " << result.states_created
+            << " states, " << result.intermediate_goals << " intermediate goals)\n";
+  std::cout << "esdsynth: inferred " << result.file.inputs.size()
+            << " program inputs and a schedule with " << result.file.strict.size()
+            << " switch points\n";
+  if (!tools::WriteFile(out_path, replay::ExecutionFileToText(result.file))) {
+    std::cerr << "error: cannot write '" << out_path << "'\n";
+    return 1;
+  }
+  std::cout << "esdsynth: wrote " << out_path << "\n";
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Shared helpers for the esdsynth / esdplay / esdrun command-line tools.
+#ifndef ESD_TOOLS_TOOL_COMMON_H_
+#define ESD_TOOLS_TOOL_COMMON_H_
+
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "src/ir/parser.h"
+#include "src/ir/verifier.h"
+#include "src/workloads/workloads.h"
+
+namespace esd::tools {
+
+inline std::optional<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return std::nullopt;
+  }
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+inline bool WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) {
+    return false;
+  }
+  out << content;
+  return out.good();
+}
+
+// Loads a .esd program. If the file does not declare the standard externs
+// itself, the standard preamble is prepended.
+inline std::shared_ptr<ir::Module> LoadProgram(const std::string& path) {
+  auto text = ReadFile(path);
+  if (!text.has_value()) {
+    std::cerr << "error: cannot read '" << path << "'\n";
+    return nullptr;
+  }
+  std::string source = *text;
+  if (source.find("extern @getchar") == std::string::npos) {
+    source = std::string(workloads::ExternsPreamble()) + source;
+  }
+  auto module = std::make_shared<ir::Module>();
+  ir::ParseResult r = ir::ParseModule(source, module.get());
+  if (!r.ok) {
+    std::cerr << "error: " << path << ": " << r.error << "\n";
+    return nullptr;
+  }
+  auto errors = ir::Verify(*module);
+  if (!errors.empty()) {
+    std::cerr << "error: " << path << ": " << errors[0] << "\n";
+    return nullptr;
+  }
+  return module;
+}
+
+}  // namespace esd::tools
+
+#endif  // ESD_TOOLS_TOOL_COMMON_H_
