@@ -77,7 +77,7 @@ std::vector<uint32_t> DistanceCalculator::EntryTargets(
   return CallTargets(inst);
 }
 
-uint64_t DistanceCalculator::InstCost(uint32_t func, const ir::Instruction& inst,
+uint64_t DistanceCalculator::InstCost(uint32_t /*func*/, const ir::Instruction& inst,
                                       std::vector<uint32_t>* call_stack) {
   if (inst.op != ir::Opcode::kCall) {
     return 1;
@@ -220,7 +220,7 @@ const DistanceCalculator::GoalTable& DistanceCalculator::GetGoalTable(
   if (it != per_goal.end()) {
     return it->second;
   }
-  ++stats_.goal_tables;
+  stats_.goal_tables.fetch_add(1, std::memory_order_relaxed);
   const std::map<uint32_t, uint64_t>& entry = EntryDistances(goal);
   const ir::Function& fn = module_->Func(func);
   const FuncCosts& fc = Costs(func);
@@ -321,9 +321,31 @@ const std::map<uint32_t, uint64_t>& DistanceCalculator::EntryDistances(
   return entry_dists_.emplace(goal, std::move(entry)).first->second;
 }
 
+void DistanceCalculator::Prewarm(const std::vector<ir::InstRef>& goals) {
+  for (uint32_t f = 0; f < module_->NumFunctions(); ++f) {
+    if (module_->Func(f).is_external) {
+      continue;
+    }
+    (void)GetCfg(f);
+    (void)Costs(f);
+  }
+  // Invalid targets (malformed coredumps produce them) are prewarmed too:
+  // the critical-edge filter still issues queries for them, and a cache
+  // miss during the parallel search would mutate shared state.
+  for (const ir::InstRef& goal : goals) {
+    (void)EntryDistances(goal);
+    for (uint32_t f = 0; f < module_->NumFunctions(); ++f) {
+      if (module_->Func(f).is_external) {
+        continue;
+      }
+      (void)GetGoalTable(f, goal);
+    }
+  }
+}
+
 uint64_t DistanceCalculator::DistanceFrom(uint32_t func, uint32_t block, uint32_t inst,
                                           ir::InstRef goal) {
-  ++stats_.distance_queries;
+  stats_.distance_queries.fetch_add(1, std::memory_order_relaxed);
   const ir::Function& fn = module_->Func(func);
   if (fn.is_external || block >= fn.blocks.size()) {
     return kInfDistance;

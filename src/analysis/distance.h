@@ -18,6 +18,7 @@
 #ifndef ESD_SRC_ANALYSIS_DISTANCE_H_
 #define ESD_SRC_ANALYSIS_DISTANCE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -69,9 +70,20 @@ class DistanceCalculator {
 
   const Cfg& GetCfg(uint32_t func);
 
+  // Populates every lazy cache reachable during a search over `goals`: CFGs
+  // and cost tables for all defined functions, plus the per-goal entry
+  // distances and goal tables. After Prewarm returns, all the public query
+  // methods above are pure cache reads and therefore safe to call from many
+  // threads concurrently — this is what lets the parallel portfolio share
+  // one DistanceCalculator read-only across workers (§6's static artifacts).
+  // Queries for goals *not* passed to Prewarm still mutate the caches and
+  // must not race with other callers.
+  void Prewarm(const std::vector<ir::InstRef>& goals);
+
   struct Stats {
-    uint64_t goal_tables = 0;
-    uint64_t distance_queries = 0;
+    // Atomic so concurrent (post-Prewarm) readers can count without racing.
+    std::atomic<uint64_t> goal_tables{0};
+    std::atomic<uint64_t> distance_queries{0};
   };
   const Stats& stats() const { return stats_; }
 

@@ -10,7 +10,7 @@ namespace esd::baseline {
 
 void PreemptionBoundingPolicy::BeforeSyncOp(vm::EngineServices& services,
                                             vm::ExecutionState& state,
-                                            const vm::SyncOp& op) {
+                                            const vm::SyncOp& /*op*/) {
   if (state.preemptions >= bound_) {
     return;
   }

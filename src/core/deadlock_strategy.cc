@@ -77,7 +77,7 @@ void DeadlockStrategy::BeforeSyncOp(vm::EngineServices& services,
 }
 
 void DeadlockStrategy::OnLockAcquired(vm::EngineServices& services,
-                                      vm::ExecutionState& state, uint64_t addr,
+                                      vm::ExecutionState& state, uint64_t /*addr*/,
                                       ir::InstRef site) {
   if (!IsInnerLock(state.current_tid, site)) {
     return;  // Not the inner lock: let the thread run unimpeded (§4.1).
@@ -118,7 +118,7 @@ void DeadlockStrategy::OnLockBlocked(vm::EngineServices& services,
   }
 }
 
-void DeadlockStrategy::OnUnlock(vm::EngineServices& services,
+void DeadlockStrategy::OnUnlock(vm::EngineServices& /*services*/,
                                 vm::ExecutionState& state, uint64_t addr) {
   // A free mutex cannot be part of a deadlock: drop its snapshot (§4.1).
   state.lock_snapshots.erase(addr);

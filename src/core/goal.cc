@@ -4,7 +4,7 @@
 
 namespace esd::core {
 
-Goal ExtractGoal(const ir::Module& module, const report::CoreDump& dump) {
+Goal ExtractGoal(const ir::Module& /*module*/, const report::CoreDump& dump) {
   Goal goal;
   goal.kind = dump.kind;
   goal.description = dump.message;

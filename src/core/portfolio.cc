@@ -1,0 +1,238 @@
+#include "src/core/portfolio.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/core/search_setup.h"
+#include "src/replay/execution_file.h"
+#include "src/vm/engine.h"
+
+namespace esd::core {
+namespace {
+
+// Schedule-weight variants for the non-baseline workers (§4.1's bias knob).
+// Worker 0 keeps the default 1e7 so its configuration matches `jobs == 1`;
+// later workers sweep stronger and weaker biases.
+constexpr double kScheduleWeights[] = {1e7, 1e5, 1e9, 1e3};
+
+uint64_t WorkerSeed(const SynthesisOptions& options, size_t worker) {
+  // Worker 0 keeps the user's seed; the rest are decorrelated from it.
+  return worker == 0 ? options.seed
+                     : options.seed + worker * 0x9e3779b97f4a7c15ull;
+}
+
+std::unique_ptr<vm::Searcher> MakeWorkerSearcher(
+    size_t worker, size_t jobs, const SynthesisOptions& options,
+    analysis::DistanceCalculator* distances,
+    const std::vector<ProximitySearcher::SearchGoal>& search_goals,
+    std::string* strategy) {
+  uint64_t seed = WorkerSeed(options, worker);
+  char buf[64];
+  if (jobs > 1 && worker == jobs - 1) {
+    // The portfolio's baseline slot: quasi-random path coverage (§7.2),
+    // insurance against goals the distance heuristic misleads.
+    std::snprintf(buf, sizeof(buf), "random-path(seed=%llu)",
+                  static_cast<unsigned long long>(seed));
+    *strategy = buf;
+    return std::make_unique<vm::RandomPathSearcher>(seed);
+  }
+  if (!options.use_proximity) {
+    // Ablation portfolio: worker 0 keeps the jobs==1 configuration (BFS);
+    // duplicating the deterministic BFS across further workers would add
+    // zero coverage while draining the shared budget, so the rest run
+    // uniform-random state selection with decorrelated seeds.
+    if (worker == 0) {
+      *strategy = "bfs";
+      return std::make_unique<vm::BfsSearcher>();
+    }
+    std::snprintf(buf, sizeof(buf), "random-state(seed=%llu)",
+                  static_cast<unsigned long long>(seed));
+    *strategy = buf;
+    return std::make_unique<vm::RandomStateSearcher>(seed);
+  }
+  ProximitySearcher::Options popts;
+  popts.seed = seed;
+  popts.schedule_weight =
+      kScheduleWeights[worker % (sizeof(kScheduleWeights) / sizeof(double))];
+  std::snprintf(buf, sizeof(buf), "proximity(seed=%llu,w=%.0e)",
+                static_cast<unsigned long long>(seed), popts.schedule_weight);
+  *strategy = buf;
+  return std::make_unique<ProximitySearcher>(distances, search_goals, popts);
+}
+
+// Everything one worker produces; written only by its own thread.
+struct WorkerOutcome {
+  WorkerReport report;
+  vm::Engine::Result::Status status = vm::Engine::Result::Status::kExhausted;
+  bool solved = false;  // Winner only: constraints solved, file built.
+  replay::ExecutionFile file;
+  vm::BugInfo bug;
+  std::vector<std::string> other_bugs;
+};
+
+}  // namespace
+
+SynthesisResult RunPortfolio(
+    const ir::Module* module, const Goal& goal,
+    analysis::DistanceCalculator* distances,
+    const std::vector<ProximitySearcher::SearchGoal>& search_goals,
+    const SynthesisOptions& options) {
+  SynthesisResult result;
+  const size_t jobs = options.jobs;
+  auto start_time = std::chrono::steady_clock::now();
+
+  auto main_fn = module->FindFunction("main");
+  if (!main_fn.has_value()) {
+    result.failure_reason = "program has no main function";
+    return result;
+  }
+
+  // Make every lazy table any worker can touch hot, so the shared
+  // DistanceCalculator is read-only from here on (see distance.h). Charged
+  // to the reported wall clock (start_time is already running) but outside
+  // the engine time cap: on modules large enough for prewarming all
+  // (function, goal) tables to rival the cap, prefer `jobs 1`, which fills
+  // them lazily, capped, for only the pairs the search touches.
+  distances->Prewarm(GoalTargets(search_goals));
+
+  // The prototype initial state. Workers fork it copy-on-write; keeping the
+  // prototype alive for the whole run pins shared MemoryObjects at
+  // use_count >= 2, so no worker can mutate a shared object in place.
+  solver::ConstraintSolver proto_solver;
+  vm::Interpreter proto_interp(module, &proto_solver, {});
+  vm::StatePtr prototype = proto_interp.MakeInitialState(*main_fn, 0);
+
+  std::atomic<bool> cancel{false};
+  std::atomic<int> winner{-1};
+  std::atomic<uint64_t> shared_instructions{0};
+  std::atomic<uint64_t> shared_states{0};
+
+  std::vector<WorkerOutcome> outcomes(jobs);
+  auto worker_body = [&](size_t w) {
+    WorkerOutcome& out = outcomes[w];
+    out.report.seed = WorkerSeed(options, w);
+
+    solver::ConstraintSolver solver;
+    vm::RaceDetector race_detector;
+    bool want_races = false;
+    std::unique_ptr<vm::SchedulePolicy> policy = MakeSchedulePolicy(
+        goal, options.enable_race_detection, &race_detector, &want_races);
+
+    vm::Interpreter::Options iopts;
+    iopts.policy = policy.get();
+    iopts.race_detector = want_races ? &race_detector : nullptr;
+    if (options.use_critical_edges) {
+      iopts.branch_filter = MakeCriticalEdgeFilter(&goal, distances);
+    }
+    vm::Interpreter interpreter(module, &solver, iopts);
+
+    std::unique_ptr<vm::Searcher> searcher = MakeWorkerSearcher(
+        w, jobs, options, distances, search_goals, &out.report.strategy);
+
+    vm::Engine::Options eopts;
+    eopts.time_cap_seconds = options.time_cap_seconds;
+    eopts.max_instructions = options.max_instructions;
+    eopts.max_states = options.max_states;
+    eopts.cancel = &cancel;
+    eopts.shared_instructions = &shared_instructions;
+    eopts.shared_max_instructions = options.max_instructions;
+    eopts.shared_states = &shared_states;
+    eopts.shared_max_states = options.max_states;
+
+    vm::Engine engine(&interpreter, searcher.get(), eopts);
+    engine.set_unexpected_bug_callback(
+        [&out](const vm::ExecutionState&, const vm::BugInfo& bug) {
+          out.other_bugs.push_back(std::string(vm::BugKindName(bug.kind)) + ": " +
+                                   bug.message);
+        });
+    engine.Start(prototype->Fork(interpreter.AllocStateId()));
+
+    vm::Engine::Result run = engine.Run(
+        [&goal](const vm::ExecutionState& state, const vm::BugInfo& bug) {
+          return GoalMatches(goal, state, bug);
+        });
+    out.status = run.status;
+    out.report.seconds = run.seconds;
+    out.report.instructions = run.instructions;
+    out.report.states_created = run.states_created;
+
+    if (run.status == vm::Engine::Result::Status::kGoalFound) {
+      int expected = -1;
+      if (winner.compare_exchange_strong(expected, static_cast<int>(w))) {
+        // This worker won the race: stop the others, then finish its
+        // pipeline — solve the path constraints and build the file (§5.1).
+        cancel.store(true, std::memory_order_relaxed);
+        out.report.winner = true;
+        out.report.status = "goal";
+        solver::Model model;
+        if (solver.IsSatisfiable(run.goal_state->constraints, &model)) {
+          out.solved = true;
+          out.bug = run.bug;
+          out.file =
+              replay::BuildExecutionFile(*module, *run.goal_state, run.bug, model);
+        } else {
+          out.report.status = "error";
+        }
+      } else {
+        out.report.status = "goal(lost)";  // Another worker claimed first.
+      }
+    } else if (run.status == vm::Engine::Result::Status::kCancelled) {
+      out.report.status = "cancelled";
+    } else if (run.status == vm::Engine::Result::Status::kLimitReached) {
+      out.report.status = "limit";
+    } else {
+      out.report.status = "exhausted";
+    }
+    out.report.solver_queries = solver.stats().queries;
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(jobs);
+  for (size_t w = 0; w < jobs; ++w) {
+    threads.emplace_back(worker_body, w);
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  result.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                                 start_time)
+                       .count();
+
+  // Merge portfolio-wide accounting.
+  bool any_limit = false;
+  for (size_t w = 0; w < jobs; ++w) {
+    WorkerOutcome& out = outcomes[w];
+    result.instructions += out.report.instructions;
+    result.states_created += out.report.states_created;
+    result.solver_queries += out.report.solver_queries;
+    for (std::string& bug : out.other_bugs) {
+      result.other_bugs.push_back(std::move(bug));
+    }
+    any_limit |= out.status == vm::Engine::Result::Status::kLimitReached;
+    result.workers.push_back(std::move(out.report));
+  }
+
+  int win = winner.load();
+  if (win < 0) {
+    result.failure_reason = any_limit
+                                ? "search budget exhausted before reaching the goal"
+                                : "search space exhausted without manifesting the goal";
+    return result;
+  }
+  result.winning_worker = win;
+  WorkerOutcome& best = outcomes[static_cast<size_t>(win)];
+  if (!best.solved) {
+    result.failure_reason = "goal state constraints unexpectedly unsatisfiable";
+    return result;
+  }
+  result.success = true;
+  result.bug = best.bug;
+  result.file = std::move(best.file);
+  return result;
+}
+
+}  // namespace esd::core

@@ -1,0 +1,52 @@
+// ESD core: the parallel portfolio synthesis engine.
+//
+// §6 credits copy-on-write state sharing for ESD's scalability; this module
+// turns that into wall-clock speedup on multicore hardware. N worker
+// threads race to the goal, each running a private Engine + Interpreter +
+// ConstraintSolver over its own copy-on-write fork of the initial state.
+// The workers differ only in search strategy — a portfolio:
+//
+//   worker 0       proximity search, exactly the `jobs == 1` configuration
+//                  (same seed, same schedule weight);
+//   workers 1..N-2 proximity search with decorrelated RNG seeds and varied
+//                  schedule_weight biases (§4.1's knob);
+//   worker N-1     a RandomPath baseline (§7.2), insurance against goals
+//                  the distance heuristic misleads.
+//
+// Shared across workers, read-only: the ir::Module, the extracted Goal, the
+// search-goal list, and one DistanceCalculator whose lazy caches are
+// prewarmed (DistanceCalculator::Prewarm) before the first worker starts.
+// Shared and mutable: one std::atomic cancellation flag (first worker to
+// manifest the goal wins and stops the rest) and atomic instruction/state
+// budgets so the portfolio as a whole respects SynthesisOptions limits.
+//
+// Memory safety of the state sharing: forks of the initial state share
+// MemoryObjects through shared_ptr (atomic refcounts). A worker clones an
+// object before writing whenever use_count > 1; the prototype state keeps
+// one reference alive for the whole run, so an object visible to two
+// workers can never appear uniquely owned, and in-place mutation only ever
+// happens on worker-private objects.
+#ifndef ESD_SRC_CORE_PORTFOLIO_H_
+#define ESD_SRC_CORE_PORTFOLIO_H_
+
+#include "src/analysis/distance.h"
+#include "src/core/goal.h"
+#include "src/core/proximity_searcher.h"
+#include "src/core/synthesizer.h"
+
+namespace esd::core {
+
+// Races `options.jobs` workers to `goal`. `distances` must already be
+// constructed for `module`; RunPortfolio prewarms it for `search_goals`.
+// Returns the winning worker's result with merged portfolio-wide stats
+// (instructions / states / solver queries summed, `workers` filled,
+// `winning_worker` set). `result.intermediate_goals` is left untouched —
+// the caller counts those while building `search_goals`.
+SynthesisResult RunPortfolio(const ir::Module* module, const Goal& goal,
+                             analysis::DistanceCalculator* distances,
+                             const std::vector<ProximitySearcher::SearchGoal>& search_goals,
+                             const SynthesisOptions& options);
+
+}  // namespace esd::core
+
+#endif  // ESD_SRC_CORE_PORTFOLIO_H_

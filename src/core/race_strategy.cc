@@ -54,7 +54,7 @@ bool RaceStrategy::IsPreemptionAccess(const vm::ExecutionState& state,
 }
 
 void RaceStrategy::BeforeSyncOp(vm::EngineServices& services,
-                                vm::ExecutionState& state, const vm::SyncOp& op) {
+                                vm::ExecutionState& state, const vm::SyncOp& /*op*/) {
   // Fork fine-grain schedule variants at racy accesses and at sync ops once
   // the common-prefix gate opens: one variant per other runnable thread,
   // bounded by the per-lineage preemption budget.

@@ -1,0 +1,54 @@
+// ESD core: shared search-configuration helpers.
+//
+// The pieces of the synthesis pipeline that are identical for the
+// single-threaded engine (synthesizer.cc) and every parallel portfolio
+// worker (portfolio.cc): deriving the search-goal list from the extracted
+// goal, the critical-edge branch filter (§3.3 path abandonment), and the
+// per-bug-class schedule policy (§4). Keeping them in one place guarantees
+// `--jobs 1` and each portfolio worker explore under the same rules.
+#ifndef ESD_SRC_CORE_SEARCH_SETUP_H_
+#define ESD_SRC_CORE_SEARCH_SETUP_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/analysis/distance.h"
+#include "src/core/goal.h"
+#include "src/core/proximity_searcher.h"
+#include "src/vm/interpreter.h"
+#include "src/vm/race_detector.h"
+#include "src/vm/schedule_policy.h"
+
+namespace esd::core {
+
+// Builds the per-thread final goals plus (optionally) the §3.2 intermediate
+// goals derived by static analysis. `intermediate_count`, when non-null,
+// receives the number of intermediate goals appended.
+std::vector<ProximitySearcher::SearchGoal> BuildSearchGoals(
+    const ir::Module& module, analysis::DistanceCalculator& distances,
+    const Goal& goal, bool use_intermediate_goals, size_t* intermediate_count);
+
+// The distance targets a search over `search_goals` can query: used to
+// prewarm the shared DistanceCalculator before portfolio workers start.
+std::vector<ir::InstRef> GoalTargets(
+    const std::vector<ProximitySearcher::SearchGoal>& search_goals);
+
+// The §3.3 critical-edge branch filter: returns false for branch edges from
+// which the current thread's goal is unreachable. `goal` and `distances`
+// must outlive the returned function. Thread-safe once `distances` has been
+// prewarmed for every goal target.
+std::function<bool(const vm::ExecutionState&, ir::InstRef, uint32_t)>
+MakeCriticalEdgeFilter(const Goal* goal, analysis::DistanceCalculator* distances);
+
+// The §4 schedule strategy for the goal's bug class (deadlock or race), or
+// null when no strategy applies. `detector` must outlive the policy.
+// `want_races` receives whether the lockset detector should run.
+std::unique_ptr<vm::SchedulePolicy> MakeSchedulePolicy(const Goal& goal,
+                                                       bool enable_race_detection,
+                                                       vm::RaceDetector* detector,
+                                                       bool* want_races);
+
+}  // namespace esd::core
+
+#endif  // ESD_SRC_CORE_SEARCH_SETUP_H_

@@ -1,10 +1,9 @@
 #include "src/core/synthesizer.h"
 
 #include "src/analysis/distance.h"
-#include "src/analysis/reaching_defs.h"
-#include "src/core/deadlock_strategy.h"
+#include "src/core/portfolio.h"
 #include "src/core/proximity_searcher.h"
-#include "src/core/race_strategy.h"
+#include "src/core/search_setup.h"
 #include "src/vm/engine.h"
 
 namespace esd::core {
@@ -23,25 +22,21 @@ SynthesisResult Synthesizer::SynthesizeGoal(const Goal& goal) {
   }
 
   // 2. Static phase (§3.2): distance tables, critical edges, intermediate
-  // goals.
+  // goals. Computed once; read-only during the search (shared by every
+  // worker when jobs > 1).
   analysis::DistanceCalculator distances(module_);
-  std::vector<ProximitySearcher::SearchGoal> search_goals;
-  for (const ThreadGoal& tg : goal.threads) {
-    search_goals.push_back(ProximitySearcher::SearchGoal{tg.target, tg.tid});
-  }
-  if (options_.use_intermediate_goals) {
-    for (const ThreadGoal& tg : goal.threads) {
-      auto sets = analysis::DeriveIntermediateGoals(*module_, distances, tg.target);
-      for (const analysis::IntermediateGoalSet& set : sets) {
-        // Each disjunctive set contributes one virtual queue per candidate
-        // store; reaching any of them is progress toward the critical edge.
-        for (const ir::InstRef& store : set.stores) {
-          search_goals.push_back(ProximitySearcher::SearchGoal{
-              store, ProximitySearcher::SearchGoal::kAnyThread});
-          ++result.intermediate_goals;
-        }
-      }
-    }
+  std::vector<ProximitySearcher::SearchGoal> search_goals =
+      BuildSearchGoals(*module_, distances, goal, options_.use_intermediate_goals,
+                       &result.intermediate_goals);
+
+  // Parallel portfolio (jobs > 1): N engines race under a shared budget;
+  // see portfolio.h. The jobs == 1 path below stays byte-identical to the
+  // classic single-threaded engine.
+  if (options_.jobs > 1) {
+    size_t intermediate_goals = result.intermediate_goals;
+    result = RunPortfolio(module_, goal, &distances, search_goals, options_);
+    result.intermediate_goals = intermediate_goals;
+    return result;
   }
 
   // 3. Search strategy (§3.3): proximity-guided selection over the virtual
@@ -57,14 +52,9 @@ SynthesisResult Synthesizer::SynthesizeGoal(const Goal& goal) {
 
   // 4. Schedule strategy by bug class (§4).
   vm::RaceDetector race_detector;
-  std::unique_ptr<vm::SchedulePolicy> policy;
-  bool want_races = options_.enable_race_detection ||
-                    goal.kind == vm::BugInfo::Kind::kAssertFail;
-  if (goal.kind == vm::BugInfo::Kind::kDeadlock) {
-    policy = std::make_unique<DeadlockStrategy>(goal);
-  } else if (want_races) {
-    policy = std::make_unique<RaceStrategy>(goal, &race_detector);
-  }
+  bool want_races = false;
+  std::unique_ptr<vm::SchedulePolicy> policy = MakeSchedulePolicy(
+      goal, options_.enable_race_detection, &race_detector, &want_races);
 
   // 5. Interpreter with critical-edge pruning: abandon branch edges from
   // which the current thread's goal is unreachable.
@@ -73,49 +63,7 @@ SynthesisResult Synthesizer::SynthesizeGoal(const Goal& goal) {
   iopts.policy = policy.get();
   iopts.race_detector = want_races ? &race_detector : nullptr;
   if (options_.use_critical_edges) {
-    const Goal* goal_ptr = &goal;
-    analysis::DistanceCalculator* dc = &distances;
-    iopts.branch_filter = [goal_ptr, dc](const vm::ExecutionState& state,
-                                         ir::InstRef site, uint32_t target) {
-      std::vector<ir::InstRef> stack;
-      for (const vm::StackFrame& f : state.CurrentThread().frames) {
-        stack.push_back(ir::InstRef{f.func, f.block, f.inst});
-      }
-      const ThreadGoal* tg = goal_ptr->ForThread(state.current_tid);
-      if (tg != nullptr) {
-        return dc->ThreadCanReachGoal(stack, target, tg->target);
-      }
-      if (goal_ptr->HasWildcardThreads()) {
-        // Any thread may fill a wildcard role: the edge is useful if it can
-        // still reach any wildcard target (or the thread can exit, letting
-        // others fill the roles).
-        for (const ThreadGoal& wildcard : goal_ptr->threads) {
-          if (wildcard.tid == kAnyTid &&
-              dc->ThreadCanReachGoal(stack, target, wildcard.target)) {
-            return true;
-          }
-        }
-        // Still fine if this thread merely finishes while others deadlock.
-        return true;
-      }
-      // A thread outside the goal set: its own path matters only while some
-      // goal thread has not been created yet — it must still be able to
-      // reach the thread_create that spawns it (EntryTargets makes spawn
-      // sites count as entries into the spawned function).
-      for (const ThreadGoal& goal_thread : goal_ptr->threads) {
-        bool exists = false;
-        for (const vm::Thread& t : state.threads) {
-          if (t.id == goal_thread.tid) {
-            exists = true;
-            break;
-          }
-        }
-        if (!exists) {
-          return dc->ThreadCanReachGoal(stack, target, goal_thread.target);
-        }
-      }
-      return true;  // All goal threads already exist.
-    };
+    iopts.branch_filter = MakeCriticalEdgeFilter(&goal, &distances);
   }
   vm::Interpreter interpreter(module_, &solver, iopts);
 

@@ -27,12 +27,33 @@ struct SynthesisOptions {
   uint64_t max_instructions = 50'000'000;
   size_t max_states = 200'000;
   uint64_t seed = 1;
+  // Parallel portfolio width (§6 scalability). 1 = the classic
+  // single-threaded engine, byte-identical to the pre-portfolio behavior.
+  // N > 1 races N worker threads — each with its own engine, searcher
+  // variant, and solver over a copy-on-write fork of the initial state —
+  // until the first one manifests the goal; the instruction/state budgets
+  // above are then shared portfolio-wide.
+  size_t jobs = 1;
   // §3.3 focusing techniques (ablation switches):
   bool use_proximity = true;           // Proximity-guided state selection.
   bool use_intermediate_goals = true;  // Static anchor points (§3.2).
   bool use_critical_edges = true;      // Path abandonment / edge pruning.
   // §4.2: run the lockset detector even for non-race bugs.
   bool enable_race_detection = false;
+};
+
+// Per-worker accounting for a portfolio run (`jobs` > 1).
+struct WorkerReport {
+  std::string strategy;  // e.g. "proximity(seed=3,w=1e+07)" or "random-path".
+  uint64_t seed = 0;
+  bool winner = false;
+  // "goal" (winner), "goal(lost)" (reached the goal but another worker
+  // claimed the win first), "cancelled", "limit", "exhausted", or "error".
+  std::string status;
+  double seconds = 0.0;
+  uint64_t instructions = 0;
+  uint64_t states_created = 0;
+  uint64_t solver_queries = 0;
 };
 
 struct SynthesisResult {
@@ -45,10 +66,14 @@ struct SynthesisResult {
   std::vector<std::string> other_bugs;
 
   double seconds = 0.0;
-  uint64_t instructions = 0;
-  uint64_t states_created = 0;
+  uint64_t instructions = 0;    // Summed across workers when jobs > 1.
+  uint64_t states_created = 0;  // Summed across workers when jobs > 1.
   size_t intermediate_goals = 0;
-  uint64_t solver_queries = 0;
+  uint64_t solver_queries = 0;  // Summed across workers when jobs > 1.
+
+  // Portfolio accounting (empty / -1 for jobs == 1).
+  std::vector<WorkerReport> workers;
+  int winning_worker = -1;
 };
 
 class Synthesizer {

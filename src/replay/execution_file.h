@@ -8,6 +8,31 @@
 //   - happens-before events: the order of synchronization operations, which
 //     lets playback run with natural parallelism while preserving the
 //     orderings that matter.
+//
+// On-disk format (text, line-oriented; written by ExecutionFileToText and
+// read back by ParseExecutionFile):
+//
+//   execution v1                      mandatory header, exact match
+//   bug <kind>                        bug kind name (see vm::BugKindName),
+//                                     e.g. "deadlock" or "null-deref"
+//   description <free text>           human-readable one-liner (may be empty)
+//   input <name> = <value>            one line per program input; <name> is
+//                                     the symbolic input name (e.g.
+//                                     "getchar#3"), <value> a decimal u64.
+//                                     Zero or more, sorted by name.
+//   switch <step> <tid>               strict schedule: after <step>
+//                                     instruction attempts, thread <tid>
+//                                     runs. Zero or more, in step order.
+//   hb <kind> <tid> <addr> <site>     happens-before event: <kind> is one of
+//                                     switch | lock | unlock | cond-wait |
+//                                     cond-wake | create | exit; <addr> the
+//                                     mutex/condvar address (decimal, 0 when
+//                                     unused); <site> a "func:block:inst"
+//                                     location. Zero or more, in trace order.
+//
+// Unknown directives are a parse error; blank lines are ignored. The
+// `switch` and `hb` sections are independent encodings of the same
+// schedule — esdplay picks one (strict by default, `--hb` for the latter).
 #ifndef ESD_SRC_REPLAY_EXECUTION_FILE_H_
 #define ESD_SRC_REPLAY_EXECUTION_FILE_H_
 

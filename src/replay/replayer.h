@@ -24,7 +24,7 @@ namespace esd::replay {
 class FileInputProvider : public vm::InputProvider {
  public:
   explicit FileInputProvider(const ExecutionFile* file) : file_(file) {}
-  uint64_t GetValue(const std::string& name, uint32_t width) override {
+  uint64_t GetValue(const std::string& name, uint32_t /*width*/) override {
     auto it = file_->inputs.find(name);
     return it == file_->inputs.end() ? 0 : it->second;
   }

@@ -67,8 +67,22 @@ bool ConstraintSolver::IsSatisfiable(const std::vector<ExprRef>& constraints,
     }
   }
   bool sat = SolveUncached(live, model);
-  query_cache_[key] = sat;
+  CacheInsert(key, sat);
   return sat;
+}
+
+void ConstraintSolver::CacheInsert(size_t key, bool sat) {
+  auto [it, inserted] = query_cache_.emplace(key, sat);
+  if (!inserted) {
+    it->second = sat;
+    return;
+  }
+  query_order_.push_back(key);
+  if (query_cache_.size() > kQueryCacheCap) {
+    query_cache_.erase(query_order_.front());
+    query_order_.pop_front();
+    ++stats_.cache_evictions;
+  }
 }
 
 bool ConstraintSolver::SolveUncached(const std::vector<ExprRef>& constraints,

@@ -11,6 +11,7 @@
 #define ESD_SRC_SOLVER_SOLVER_H_
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <optional>
 #include <string>
@@ -48,14 +49,25 @@ class ConstraintSolver {
   // Is `cond` implied by `constraints`?
   bool MustBeTrue(const std::vector<ExprRef>& constraints, const ExprRef& cond);
 
+  // Upper bound on query-cache entries. A long search issues millions of
+  // distinct queries; an unbounded cache grows monotonically for the whole
+  // run (and, with one solver per portfolio worker, once per worker). At
+  // the cap the oldest entry is evicted FIFO — recent queries are the ones
+  // the counterexample cache misses and the search re-asks.
+  static constexpr size_t kQueryCacheCap = 1 << 16;
+
   struct Stats {
     uint64_t queries = 0;
     uint64_t cache_hits = 0;
     uint64_t cex_hits = 0;  // Counterexample-cache fast-path hits.
     uint64_t sat_calls = 0;
     uint64_t sliced_constraints = 0;  // Dropped by independence slicing.
+    uint64_t cache_evictions = 0;     // FIFO evictions at kQueryCacheCap.
   };
   const Stats& stats() const { return stats_; }
+
+  // Current query-cache occupancy (always <= kQueryCacheCap).
+  size_t query_cache_size() const { return query_cache_.size(); }
 
   // KLEE-style constraint independence: the subset of `constraints` that
   // transitively shares symbolic variables with `cond`. For branch
@@ -69,7 +81,10 @@ class ConstraintSolver {
 
   size_t HashQuery(const std::vector<ExprRef>& constraints) const;
 
+  void CacheInsert(size_t key, bool sat);
+
   std::unordered_map<size_t, bool> query_cache_;
+  std::deque<size_t> query_order_;  // Insertion order, for FIFO eviction.
   std::optional<Model> last_model_;
   Stats stats_;
 };

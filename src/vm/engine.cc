@@ -1,5 +1,7 @@
 #include "src/vm/engine.h"
 
+#include <algorithm>
+
 namespace esd::vm {
 
 Engine::Engine(Interpreter* interpreter, Searcher* searcher, Options options)
@@ -10,9 +12,16 @@ Engine::Engine(Interpreter* interpreter, Searcher* searcher, Options options)
 void Engine::Register(const StatePtr& state) {
   live_.emplace(state.get(), state);
   ++states_created_;
+  if (options_.shared_states != nullptr) {
+    options_.shared_states->fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
-void Engine::Unregister(const StatePtr& state) { live_.erase(state.get()); }
+void Engine::Unregister(const StatePtr& state) {
+  if (live_.erase(state.get()) > 0 && options_.shared_states != nullptr) {
+    options_.shared_states->fetch_sub(1, std::memory_order_relaxed);
+  }
+}
 
 void Engine::Start(StatePtr initial) {
   Register(initial);
@@ -44,10 +53,51 @@ Engine::Result Engine::Run(const BugMatcher& matcher) {
         .count();
   };
 
+  // Portfolio bookkeeping: instructions executed since the last flush into
+  // the shared counter. Flushing in batches keeps the shared cacheline out
+  // of the hot loop, but the batch must stay small relative to the shared
+  // budget or the budget is never checked before the workers' local caps —
+  // so the period shrinks to ~1/8 of a small budget.
+  constexpr uint64_t kFlushPeriod = 256;
+  uint64_t flush_period = kFlushPeriod;
+  if (options_.shared_max_instructions != 0) {
+    flush_period = std::min<uint64_t>(
+        kFlushPeriod, std::max<uint64_t>(1, options_.shared_max_instructions / 8));
+  }
+  uint64_t unflushed = 0;
+  bool shared_budget_hit = false;
+  auto flush_shared = [&] {
+    if (options_.shared_instructions != nullptr && unflushed > 0) {
+      uint64_t total = options_.shared_instructions->fetch_add(
+                           unflushed, std::memory_order_relaxed) +
+                       unflushed;
+      unflushed = 0;
+      if (options_.shared_max_instructions != 0 &&
+          total >= options_.shared_max_instructions) {
+        shared_budget_hit = true;
+      }
+    }
+  };
+
   while (!searcher_->Empty()) {
+    if (options_.cancel != nullptr &&
+        options_.cancel->load(std::memory_order_relaxed)) {
+      result.status = Result::Status::kCancelled;
+      break;
+    }
     if (instructions >= options_.max_instructions || live_.size() > options_.max_states) {
       result.status = Result::Status::kLimitReached;
       break;
+    }
+    if (unflushed >= flush_period) {
+      flush_shared();
+      if (shared_budget_hit ||
+          (options_.shared_states != nullptr && options_.shared_max_states != 0 &&
+           options_.shared_states->load(std::memory_order_relaxed) >=
+               options_.shared_max_states)) {
+        result.status = Result::Status::kLimitReached;
+        break;
+      }
     }
     if ((instructions & 0x3ff) == 0 && elapsed() > options_.time_cap_seconds) {
       result.status = Result::Status::kLimitReached;
@@ -59,6 +109,7 @@ Engine::Result Engine::Run(const BugMatcher& matcher) {
     }
     StepResult step = interpreter_->Step(*state);
     ++instructions;
+    ++unflushed;
     for (StatePtr& fork : step.forks) {
       Register(fork);
       searcher_->Add(std::move(fork));
@@ -81,6 +132,7 @@ Engine::Result Engine::Run(const BugMatcher& matcher) {
       searcher_->Update(state);
     }
   }
+  flush_shared();
   result.instructions = instructions;
   result.states_created = states_created_;
   result.seconds = elapsed();

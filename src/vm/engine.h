@@ -8,6 +8,7 @@
 #ifndef ESD_SRC_VM_ENGINE_H_
 #define ESD_SRC_VM_ENGINE_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <functional>
@@ -24,6 +25,23 @@ class Engine : public EngineServices {
     uint64_t max_instructions = 100'000'000;
     size_t max_states = 1'000'000;
     double time_cap_seconds = 3600.0;
+    // ---- Cooperative portfolio controls (all optional) ----
+    // Checked every step; when another worker sets it, Run returns
+    // kCancelled. Null for standalone (single-engine) runs.
+    const std::atomic<bool>* cancel = nullptr;
+    // Portfolio-wide budgets shared by all racing workers. Instruction
+    // counts are flushed into `shared_instructions` in batches of up to 256
+    // (shrunk for small budgets, so the hot loop stays contention-free yet
+    // the check still fires); when the sum crosses
+    // `shared_max_instructions` (0 = unlimited) the run stops with
+    // kLimitReached. `shared_states`/`shared_max_states` bound the total
+    // number of *live* states across the portfolio the same way (the
+    // counter is decremented when a state finishes, mirroring the local
+    // live_.size() check).
+    std::atomic<uint64_t>* shared_instructions = nullptr;
+    uint64_t shared_max_instructions = 0;
+    std::atomic<uint64_t>* shared_states = nullptr;
+    uint64_t shared_max_states = 0;
   };
 
   // Decides whether a bug terminating some state is the goal.
@@ -37,7 +55,8 @@ class Engine : public EngineServices {
   void Start(StatePtr initial);
 
   struct Result {
-    enum class Status { kGoalFound, kExhausted, kLimitReached };
+    // kCancelled: another portfolio worker won the race (Options::cancel).
+    enum class Status { kGoalFound, kExhausted, kLimitReached, kCancelled };
     Status status = Status::kExhausted;
     StatePtr goal_state;
     BugInfo bug;

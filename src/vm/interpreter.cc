@@ -150,7 +150,7 @@ StatePtr Interpreter::MakeInitialState(uint32_t entry_func, uint64_t state_id) c
   return state;
 }
 
-ExprRef Interpreter::EvalValue(const ExecutionState& state, const StackFrame& frame,
+ExprRef Interpreter::EvalValue(const ExecutionState& /*state*/, const StackFrame& frame,
                                const ir::Value& v) const {
   switch (v.kind) {
     case ir::Value::Kind::kReg:

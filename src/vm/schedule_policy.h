@@ -57,36 +57,36 @@ class SchedulePolicy {
   virtual ~SchedulePolicy() = default;
 
   // Consulted before every instruction: a forced thread switch (replay).
-  virtual std::optional<uint32_t> ForceSwitch(const ExecutionState& state) {
+  virtual std::optional<uint32_t> ForceSwitch(const ExecutionState& /*state*/) {
     return std::nullopt;
   }
 
   // Whether loads/stores at `site` should be treated as preemption points
   // (set by the race strategy for flagged potential races).
-  virtual bool IsPreemptionAccess(const ExecutionState& state, ir::InstRef site) {
+  virtual bool IsPreemptionAccess(const ExecutionState& /*state*/, ir::InstRef /*site*/) {
     return false;
   }
 
   // Called before a preemption-point operation executes. The policy may fork
   // schedule variants (states where another thread runs instead).
-  virtual void BeforeSyncOp(EngineServices& services, ExecutionState& state,
-                            const SyncOp& op) {}
+  virtual void BeforeSyncOp(EngineServices& /*services*/, ExecutionState& /*state*/,
+                            const SyncOp& /*op*/) {}
 
   // Called after the current thread acquired mutex `addr`.
-  virtual void OnLockAcquired(EngineServices& services, ExecutionState& state,
-                              uint64_t addr, ir::InstRef site) {}
+  virtual void OnLockAcquired(EngineServices& /*services*/, ExecutionState& /*state*/,
+                              uint64_t /*addr*/, ir::InstRef /*site*/) {}
 
   // Called when the current thread blocked on mutex `addr` held by `holder`.
-  virtual void OnLockBlocked(EngineServices& services, ExecutionState& state,
-                             uint64_t addr, uint32_t holder) {}
+  virtual void OnLockBlocked(EngineServices& /*services*/, ExecutionState& /*state*/,
+                             uint64_t /*addr*/, uint32_t /*holder*/) {}
 
   // Called after mutex `addr` was released.
-  virtual void OnUnlock(EngineServices& services, ExecutionState& state,
-                        uint64_t addr) {}
+  virtual void OnUnlock(EngineServices& /*services*/, ExecutionState& /*state*/,
+                        uint64_t /*addr*/) {}
 
   // Picks the next thread when the current one cannot continue. Returning
   // nullopt selects the lowest-id runnable thread.
-  virtual std::optional<uint32_t> PickNextThread(const ExecutionState& state) {
+  virtual std::optional<uint32_t> PickNextThread(const ExecutionState& /*state*/) {
     return std::nullopt;
   }
 };

@@ -28,7 +28,7 @@ class Searcher {
   virtual StatePtr Select() = 0;
   virtual bool Empty() const = 0;
   // Notifies that `state`'s position/priority may have changed.
-  virtual void Update(const StatePtr& state) {}
+  virtual void Update(const StatePtr& /*state*/) {}
   virtual size_t Size() const = 0;
 };
 

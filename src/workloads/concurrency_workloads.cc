@@ -312,4 +312,65 @@ reject:
   return w;
 }
 
+// ---------------------------------------------------------------------------
+// Racy counter: the §4.2 lost-update window. Two threads load/add/store the
+// same global without a lock; the interleaving that overlaps the two
+// read-modify-write bodies loses one increment and fails the assert.
+// ---------------------------------------------------------------------------
+std::shared_ptr<ir::Module> RacyCounterModule() {
+  return ParseWorkload(R"(
+global $counter = zero 4
+global $iters_name = str "iters"
+
+func @bump(%arg: ptr) : void {
+entry:
+  %v = load i32, $counter        ; racy read
+  %n = add %v, i32 1
+  %pad = mul %n, i32 1
+  store %n, $counter             ; racy write (lost-update window above)
+  ret
+}
+
+func @main() : i32 {
+entry:
+  %iters = call @esd_input_i32($iters_name)
+  %go = icmp eq %iters, i32 2
+  condbr %go, run, skip
+run:
+  %t1 = call @thread_create(@bump, null)
+  %t2 = call @thread_create(@bump, null)
+  call @thread_join(%t1)
+  call @thread_join(%t2)
+  %v = load i32, $counter
+  %ok = icmp eq %v, i32 2
+  call @esd_assert(%ok)          ; fails iff an increment was lost
+  ret i32 0
+skip:
+  ret i32 0
+}
+)");
+}
+
+report::CoreDump AssertSiteDump(const ir::Module& module) {
+  report::CoreDump dump;
+  dump.kind = vm::BugInfo::Kind::kAssertFail;
+  uint32_t main_fn = *module.FindFunction("main");
+  const ir::Function& fn = module.Func(main_fn);
+  for (uint32_t b = 0; b < fn.blocks.size(); ++b) {
+    for (uint32_t i = 0; i < fn.blocks[b].insts.size(); ++i) {
+      const ir::Instruction& inst = fn.blocks[b].insts[i];
+      if (inst.op == ir::Opcode::kCall && inst.callee != ir::kInvalidIndex &&
+          module.Func(inst.callee).name == "esd_assert") {
+        dump.fault_pc = ir::InstRef{main_fn, b, i};
+      }
+    }
+  }
+  dump.fault_tid = 0;
+  report::ThreadDump td;
+  td.tid = 0;
+  td.stack = {dump.fault_pc};
+  dump.threads.push_back(td);
+  return dump;
+}
+
 }  // namespace esd::workloads

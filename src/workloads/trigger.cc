@@ -4,7 +4,7 @@
 
 namespace esd::workloads {
 
-uint64_t PrefixInputProvider::GetValue(const std::string& name, uint32_t width) {
+uint64_t PrefixInputProvider::GetValue(const std::string& name, uint32_t /*width*/) {
   // Exact name first, then longest matching prefix.
   auto it = values_.find(name);
   if (it != values_.end()) {
@@ -21,7 +21,7 @@ uint64_t PrefixInputProvider::GetValue(const std::string& name, uint32_t width) 
   return best;
 }
 
-uint64_t RandomInputProvider::GetValue(const std::string& name, uint32_t width) {
+uint64_t RandomInputProvider::GetValue(const std::string& /*name*/, uint32_t width) {
   return rng_() & solver::WidthMask(width);
 }
 

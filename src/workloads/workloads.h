@@ -50,6 +50,17 @@ Workload MakeWorkload(const std::string& name);
 // The shared externs preamble used by all textual workloads.
 const char* ExternsPreamble();
 
+// The §4.2 lost-update data race shared by tests and benches: two threads
+// increment a global without a lock; the bug report is the failed
+// esd_assert in main, not the racy access itself ("B is where the
+// inconsistency was detected — not where the race occurred", §3.1).
+std::shared_ptr<ir::Module> RacyCounterModule();
+
+// The handmade coredump such a report embodies: a kAssertFail at the
+// esd_assert call site in @main, faulting thread 0. Works for any module
+// whose main calls esd_assert exactly once.
+report::CoreDump AssertSiteDump(const ir::Module& module);
+
 // Parses preamble + body, verifying the result (aborts on errors — workload
 // sources are compiled into the binary and must be valid).
 std::shared_ptr<ir::Module> ParseWorkload(const std::string& body);

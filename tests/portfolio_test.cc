@@ -1,0 +1,168 @@
+// Tests for the parallel portfolio synthesis engine: jobs == 1 must stay
+// identical to the classic single-threaded engine, jobs > 1 must synthesize
+// valid, replayable execution files for deadlock and race workloads under
+// cooperative cancellation and shared budgets.
+#include <gtest/gtest.h>
+
+#include "src/core/synthesizer.h"
+#include "src/replay/replayer.h"
+#include "src/workloads/workloads.h"
+
+namespace esd {
+namespace {
+
+using workloads::CaptureDump;
+using workloads::MakeWorkload;
+using workloads::Workload;
+
+core::SynthesisResult SynthesizeWorkload(const Workload& w,
+                                         core::SynthesisOptions options) {
+  auto dump = CaptureDump(*w.module, w.trigger);
+  EXPECT_TRUE(dump.has_value()) << w.name << ": trigger did not manifest the bug";
+  if (!dump.has_value()) {
+    return {};
+  }
+  core::Synthesizer synthesizer(w.module.get(), options);
+  return synthesizer.Synthesize(*dump);
+}
+
+void ExpectReplayReproduces(const Workload& w, const core::SynthesisResult& result) {
+  ASSERT_TRUE(result.success) << result.failure_reason;
+  replay::ReplayResult strict =
+      replay::Replay(*w.module, result.file, replay::ReplayMode::kStrict);
+  EXPECT_TRUE(strict.completed) << w.name;
+  EXPECT_TRUE(strict.bug_reproduced)
+      << w.name << ": strict replay got '" << vm::BugKindName(strict.bug.kind)
+      << "' (" << strict.bug.message << ") wanted " << result.file.bug_kind;
+}
+
+// --- jobs == 1 must match the classic engine exactly -----------------------
+
+TEST(Portfolio, SingleJobMatchesClassicEngine) {
+  Workload w = MakeWorkload("listing1");
+  core::SynthesisOptions defaults;  // jobs defaults to 1.
+  core::SynthesisResult classic = SynthesizeWorkload(w, defaults);
+  ASSERT_TRUE(classic.success) << classic.failure_reason;
+
+  core::SynthesisOptions explicit_one;
+  explicit_one.jobs = 1;
+  core::SynthesisResult single = SynthesizeWorkload(w, explicit_one);
+  ASSERT_TRUE(single.success) << single.failure_reason;
+
+  // Same seed, same strategy: the searches are deterministic and must agree
+  // step for step, and the synthesized executions must be identical.
+  EXPECT_EQ(single.instructions, classic.instructions);
+  EXPECT_EQ(single.states_created, classic.states_created);
+  EXPECT_EQ(single.solver_queries, classic.solver_queries);
+  EXPECT_EQ(replay::Fingerprint(single.file), replay::Fingerprint(classic.file));
+  EXPECT_TRUE(single.workers.empty());
+  EXPECT_EQ(single.winning_worker, -1);
+}
+
+// --- jobs > 1 on the deadlock workload --------------------------------------
+
+TEST(Portfolio, ParallelSynthesizesDeadlock) {
+  Workload w = MakeWorkload("listing1");
+  core::SynthesisOptions options;
+  options.jobs = 4;
+  core::SynthesisResult result = SynthesizeWorkload(w, options);
+  ASSERT_TRUE(result.success) << result.failure_reason;
+  EXPECT_EQ(result.bug.kind, vm::BugInfo::Kind::kDeadlock);
+  ExpectReplayReproduces(w, result);
+
+  // Worker accounting: one report per worker, exactly one winner, and the
+  // merged counters are the sums of the per-worker ones.
+  ASSERT_EQ(result.workers.size(), 4u);
+  ASSERT_GE(result.winning_worker, 0);
+  ASSERT_LT(result.winning_worker, 4);
+  int winners = 0;
+  uint64_t instructions = 0;
+  for (const core::WorkerReport& wr : result.workers) {
+    winners += wr.winner ? 1 : 0;
+    instructions += wr.instructions;
+    EXPECT_FALSE(wr.strategy.empty());
+    EXPECT_FALSE(wr.status.empty());
+  }
+  EXPECT_EQ(winners, 1);
+  EXPECT_TRUE(result.workers[result.winning_worker].winner);
+  EXPECT_EQ(result.workers[result.winning_worker].status, "goal");
+  EXPECT_EQ(result.instructions, instructions);
+}
+
+TEST(Portfolio, ParallelIsSeedRobust) {
+  // A portfolio with decorrelated seeds should succeed for several base
+  // seeds (each worker explores differently; any one finishing suffices).
+  for (uint64_t seed : {7u, 1234u}) {
+    Workload w = MakeWorkload("listing1");
+    core::SynthesisOptions options;
+    options.jobs = 3;
+    options.seed = seed;
+    core::SynthesisResult result = SynthesizeWorkload(w, options);
+    EXPECT_TRUE(result.success) << "seed " << seed << ": " << result.failure_reason;
+  }
+}
+
+// --- jobs > 1 on the race workload -------------------------------------------
+
+TEST(Portfolio, ParallelSynthesizesRace) {
+  // The §4.2 lost-update race: the report is the assert in main, not the
+  // racy access itself.
+  auto module = workloads::RacyCounterModule();
+  report::CoreDump dump = workloads::AssertSiteDump(*module);
+
+  core::SynthesisOptions options;
+  options.jobs = 3;
+  core::Synthesizer synthesizer(module.get(), options);
+  core::SynthesisResult result = synthesizer.Synthesize(dump);
+  ASSERT_TRUE(result.success) << result.failure_reason;
+  EXPECT_EQ(result.bug.kind, vm::BugInfo::Kind::kAssertFail);
+
+  replay::ReplayResult strict =
+      replay::Replay(*module, result.file, replay::ReplayMode::kStrict);
+  EXPECT_TRUE(strict.completed);
+  EXPECT_TRUE(strict.bug_reproduced)
+      << "replay got '" << vm::BugKindName(strict.bug.kind) << "'";
+}
+
+// --- Shared budgets and cancellation -----------------------------------------
+
+TEST(Portfolio, SharedInstructionBudgetStopsAllWorkers) {
+  Workload w = MakeWorkload("sqlite");
+  core::SynthesisOptions options;
+  options.jobs = 3;
+  options.max_instructions = 60;  // Far too small to reach the goal.
+  core::SynthesisResult result = SynthesizeWorkload(w, options);
+  ASSERT_FALSE(result.success);
+  EXPECT_NE(result.failure_reason.find("budget"), std::string::npos)
+      << result.failure_reason;
+  // The shared counter bounds the portfolio-wide total: each worker checks
+  // it every flush period (budget/8 = 7 here), so after the total crosses
+  // 60 each of the 3 workers can run at most one more period.
+  EXPECT_LE(result.instructions, 59u + 3 * 7u);
+  for (const core::WorkerReport& wr : result.workers) {
+    EXPECT_FALSE(wr.winner);
+  }
+}
+
+TEST(Portfolio, LosersReportCancelledOrFinished) {
+  Workload w = MakeWorkload("listing1");
+  core::SynthesisOptions options;
+  options.jobs = 4;
+  core::SynthesisResult result = SynthesizeWorkload(w, options);
+  ASSERT_TRUE(result.success) << result.failure_reason;
+  for (int i = 0; i < 4; ++i) {
+    const core::WorkerReport& wr = result.workers[i];
+    if (i == result.winning_worker) {
+      EXPECT_EQ(wr.status, "goal");
+    } else {
+      // A loser was either cancelled mid-search or finished on its own
+      // (goal found but lost the claim race, exhausted, or over budget).
+      EXPECT_TRUE(wr.status == "cancelled" || wr.status == "goal(lost)" ||
+                  wr.status == "exhausted" || wr.status == "limit")
+          << wr.status;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace esd

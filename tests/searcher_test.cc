@@ -1,0 +1,126 @@
+// Tests for the ProximitySearcher's lazy-heap bookkeeping: entries carry a
+// version stamp and are dropped at pop time when stale (§6.2), so Update and
+// Remove never touch the heaps directly.
+#include <gtest/gtest.h>
+
+#include "src/analysis/distance.h"
+#include "src/core/proximity_searcher.h"
+#include "src/ir/module.h"
+
+namespace esd {
+namespace {
+
+using core::ProximitySearcher;
+
+// With no goals the searcher degenerates to "least steps first", which lets
+// the tests control priorities directly through state.steps.
+class ProximitySearcherTest : public ::testing::Test {
+ protected:
+  ProximitySearcherTest()
+      : distances_(&module_),
+        searcher_(&distances_, {}, ProximitySearcher::Options{}) {}
+
+  vm::StatePtr MakeState(uint64_t id, uint64_t steps) {
+    auto state = std::make_shared<vm::ExecutionState>();
+    state->id = id;
+    state->steps = steps;
+    return state;
+  }
+
+  ir::Module module_;  // Empty: the degenerate goal never queries distances.
+  analysis::DistanceCalculator distances_;
+  ProximitySearcher searcher_;
+};
+
+TEST_F(ProximitySearcherTest, SelectsLowestPriority) {
+  vm::StatePtr a = MakeState(1, 0);
+  vm::StatePtr b = MakeState(2, 5);
+  searcher_.Add(a);
+  searcher_.Add(b);
+  EXPECT_EQ(searcher_.Size(), 2u);
+  EXPECT_EQ(searcher_.Select(), a);
+}
+
+TEST_F(ProximitySearcherTest, UpdateStampsOutStaleEntries) {
+  vm::StatePtr a = MakeState(1, 0);
+  vm::StatePtr b = MakeState(2, 5);
+  searcher_.Add(a);
+  searcher_.Add(b);
+  ASSERT_EQ(searcher_.Select(), a);
+
+  // a's priority worsens; Update re-pushes it with a new version stamp. The
+  // old heap entry (priority 0) still physically sits in the heap but must
+  // be recognized as stale and evicted at pop time — not returned.
+  a->steps = 10;
+  searcher_.Update(a);
+  EXPECT_EQ(searcher_.Select(), b);
+
+  // And the reverse: improving a state resurfaces it immediately.
+  a->steps = 1;
+  searcher_.Update(a);
+  EXPECT_EQ(searcher_.Select(), a);
+}
+
+TEST_F(ProximitySearcherTest, RemovedStatesAreSkippedLazily) {
+  vm::StatePtr a = MakeState(1, 0);
+  vm::StatePtr b = MakeState(2, 5);
+  searcher_.Add(a);
+  searcher_.Add(b);
+
+  // Remove the best state: its heap entries expire lazily, so the next
+  // Select must skip over them and return b.
+  searcher_.Remove(a);
+  EXPECT_EQ(searcher_.Size(), 1u);
+  EXPECT_EQ(searcher_.Select(), b);
+
+  searcher_.Remove(b);
+  EXPECT_TRUE(searcher_.Empty());
+  EXPECT_EQ(searcher_.Select(), nullptr);
+}
+
+TEST_F(ProximitySearcherTest, ExpiredWeakEntriesAreSkipped) {
+  vm::StatePtr a = MakeState(1, 0);
+  vm::StatePtr b = MakeState(2, 5);
+  searcher_.Add(a);
+  searcher_.Add(b);
+  // Drop the state entirely: the heap's weak_ptr expires. Select must not
+  // crash or return null while a live state remains.
+  searcher_.Remove(a);
+  a.reset();
+  EXPECT_EQ(searcher_.Select(), b);
+}
+
+TEST_F(ProximitySearcherTest, ReAddAfterRemoveGetsFreshStamp) {
+  vm::StatePtr a = MakeState(1, 0);
+  searcher_.Add(a);
+  searcher_.Remove(a);
+  // Re-adding after removal mints a new stamp; the stale entry from the
+  // first Add must not satisfy the new registration.
+  a->steps = 7;
+  searcher_.Add(a);
+  EXPECT_EQ(searcher_.Select(), a);
+  EXPECT_EQ(searcher_.Size(), 1u);
+}
+
+TEST_F(ProximitySearcherTest, ManyUpdatesConverge) {
+  // Stress the lazy heap: repeated Updates pile up stale entries; Select
+  // must always return the currently-best live state.
+  std::vector<vm::StatePtr> states;
+  for (uint64_t i = 0; i < 8; ++i) {
+    states.push_back(MakeState(i, i));
+    searcher_.Add(states.back());
+  }
+  for (int round = 0; round < 50; ++round) {
+    vm::StatePtr& s = states[round % states.size()];
+    s->steps = 100 + round;
+    searcher_.Update(s);
+  }
+  uint64_t best = ~uint64_t{0};
+  for (const vm::StatePtr& s : states) {
+    best = std::min(best, s->steps);
+  }
+  EXPECT_EQ(searcher_.Select()->steps, best);
+}
+
+}  // namespace
+}  // namespace esd

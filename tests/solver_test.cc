@@ -274,6 +274,93 @@ TEST(SolverTest, CacheCountsHits) {
   EXPECT_GE(solver.stats().cex_hits + solver.stats().cache_hits, 1u);
 }
 
+TEST(SolverTest, QueryCacheIsBounded) {
+  // The query cache must not grow without bound across a long search: after
+  // kQueryCacheCap distinct queries, the oldest entries are evicted FIFO.
+  ConstraintSolver solver;
+  const size_t extra = 100;
+  for (size_t i = 0; i < ConstraintSolver::kQueryCacheCap + extra; ++i) {
+    // Distinct single-variable queries; each misses every cache layer.
+    EXPECT_TRUE(solver.IsSatisfiable({MakeVar(i + 1, 1, "b")}));
+  }
+  EXPECT_EQ(solver.query_cache_size(), ConstraintSolver::kQueryCacheCap);
+  EXPECT_EQ(solver.stats().cache_evictions, extra);
+}
+
+TEST(SolverTest, QueryCacheStillHitsAfterEvictions) {
+  ConstraintSolver solver;
+  // An unsat query is answered from the cache on re-ask (sat answers must
+  // re-solve when a model is requested, so unsat is the cacheable case).
+  ExprRef x = MakeVar(1, 32, "x");
+  std::vector<ExprRef> unsat = {MakeEq(x, MakeConst(32, 1)),
+                                MakeEq(x, MakeConst(32, 2))};
+  EXPECT_FALSE(solver.IsSatisfiable(unsat));
+  uint64_t sat_calls = solver.stats().sat_calls;
+  EXPECT_FALSE(solver.IsSatisfiable(unsat));
+  EXPECT_EQ(solver.stats().sat_calls, sat_calls);  // Cache, not the SAT solver.
+  EXPECT_GE(solver.stats().cache_hits, 1u);
+}
+
+TEST(SlicingTest, DisjointVariableSetsYieldEmptySlice) {
+  // cond shares no variables with any constraint: the slice is empty (all
+  // constraints are satisfiable by path-consistency and can be dropped).
+  ExprRef x = MakeVar(1, 32, "x");
+  ExprRef y = MakeVar(2, 32, "y");
+  ExprRef z = MakeVar(3, 32, "z");
+  std::vector<ExprRef> constraints = {MakeUlt(x, MakeConst(32, 10)),
+                                      MakeEq(y, MakeConst(32, 4))};
+  auto slice = ConstraintSolver::IndependentSlice(constraints,
+                                                  MakeUlt(z, MakeConst(32, 2)));
+  EXPECT_TRUE(slice.empty());
+}
+
+TEST(SlicingTest, DirectOverlapIsKept) {
+  ExprRef x = MakeVar(1, 32, "x");
+  ExprRef y = MakeVar(2, 32, "y");
+  std::vector<ExprRef> constraints = {MakeUlt(x, MakeConst(32, 10)),
+                                      MakeEq(y, MakeConst(32, 4))};
+  auto slice = ConstraintSolver::IndependentSlice(constraints,
+                                                  MakeUlt(x, MakeConst(32, 5)));
+  ASSERT_EQ(slice.size(), 1u);
+  EXPECT_TRUE(Expr::Equal(slice[0], constraints[0]));
+}
+
+TEST(SlicingTest, TransitiveOverlapIsClosed) {
+  // cond mentions only z, but z is tied to y and y to x: the closure must
+  // pull in the whole chain while leaving the unrelated w constraint out.
+  ExprRef x = MakeVar(1, 32, "x");
+  ExprRef y = MakeVar(2, 32, "y");
+  ExprRef z = MakeVar(3, 32, "z");
+  ExprRef w = MakeVar(4, 32, "w");
+  std::vector<ExprRef> constraints = {
+      MakeEq(MakeAdd(x, y), MakeConst(32, 7)),   // x <-> y
+      MakeEq(MakeAdd(y, z), MakeConst(32, 9)),   // y <-> z
+      MakeUlt(w, MakeConst(32, 3)),              // independent
+  };
+  auto slice = ConstraintSolver::IndependentSlice(constraints,
+                                                  MakeUlt(z, MakeConst(32, 100)));
+  ASSERT_EQ(slice.size(), 2u);
+  EXPECT_TRUE(Expr::Equal(slice[0], constraints[0]));
+  EXPECT_TRUE(Expr::Equal(slice[1], constraints[1]));
+}
+
+TEST(SlicingTest, SlicedAnswerMatchesUnsliced) {
+  // Feasibility answers must be unchanged by slicing (MayBeTrue slices
+  // internally; compare against a direct full-set query).
+  ExprRef x = MakeVar(1, 32, "x");
+  ExprRef y = MakeVar(2, 32, "y");
+  std::vector<ExprRef> constraints = {MakeUlt(x, MakeConst(32, 10)),
+                                      MakeEq(y, MakeConst(32, 4))};
+  ExprRef cond = MakeEq(x, MakeConst(32, 3));
+  ConstraintSolver with_slicing;
+  bool sliced = with_slicing.MayBeTrue(constraints, cond);
+  ConstraintSolver direct;
+  std::vector<ExprRef> all = constraints;
+  all.push_back(cond);
+  EXPECT_EQ(sliced, direct.IsSatisfiable(all));
+  EXPECT_GE(with_slicing.stats().sliced_constraints, 1u);
+}
+
 TEST(SolverTest, IteBlasting) {
   ExprRef c = MakeVar(1, 1, "c");
   ExprRef x = MakeIte(c, MakeConst(32, 11), MakeConst(32, 22));

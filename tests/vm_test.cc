@@ -54,7 +54,7 @@ class FixedInputs : public InputProvider {
  public:
   explicit FixedInputs(std::map<std::string, uint64_t> values)
       : values_(std::move(values)) {}
-  uint64_t GetValue(const std::string& name, uint32_t width) override {
+  uint64_t GetValue(const std::string& name, uint32_t /*width*/) override {
     for (const auto& [prefix, v] : values_) {
       if (name.rfind(prefix, 0) == 0) {
         return v;

@@ -16,15 +16,32 @@
 
 namespace {
 
-void Usage() {
-  std::cerr << "usage: esdcheck <program.esd> [--time-cap SECONDS]"
-            << " [--static-only]\n";
+void Usage(std::ostream& os = std::cerr) {
+  os << "usage: esdcheck <program.esd> [options]\n"
+     << "\n"
+     << "Runs the RacerX-style static lock-order checker, then validates\n"
+     << "each warning by asking ESD to synthesize an execution that actually\n"
+     << "deadlocks at the reported acquisition sites. Warnings ESD cannot\n"
+     << "realize are reported as probable false positives.\n"
+     << "\n"
+     << "options:\n"
+     << "  --time-cap SECONDS  synthesis budget per warning (default 30)\n"
+     << "  --static-only       report the static warnings without ESD\n"
+     << "                      validation\n"
+     << "  -h, --help          show this help\n";
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace esd;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "-h" || arg == "--help") {
+      Usage(std::cout);
+      return 0;
+    }
+  }
   if (argc < 2) {
     Usage();
     return 2;

@@ -17,9 +17,19 @@
 
 namespace {
 
-void Usage() {
-  std::cerr << "usage: esdplay <program.esd> <exec file> [--hb] [--trace]"
-            << " [--max-steps N]\n";
+void Usage(std::ostream& os = std::cerr) {
+  os << "usage: esdplay <program.esd> <exec file> [options]\n"
+     << "\n"
+     << "Deterministically plays back an execution file synthesized by\n"
+     << "esdsynth, re-manifesting the recorded bug.\n"
+     << "\n"
+     << "options:\n"
+     << "  --hb            enforce the happens-before schedule (natural\n"
+     << "                  parallelism) instead of the strict serial one\n"
+     << "  --trace         print every executed instruction (thread,\n"
+     << "                  location, text) while replaying\n"
+     << "  --max-steps N   abort after N instructions (default 10000000)\n"
+     << "  -h, --help      show this help\n";
 }
 
 // A step-by-step replay that prints every executed instruction.
@@ -67,6 +77,13 @@ int TraceReplay(const esd::ir::Module& module, const esd::replay::ExecutionFile&
 
 int main(int argc, char** argv) {
   using namespace esd;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "-h" || arg == "--help") {
+      Usage(std::cout);
+      return 0;
+    }
+  }
   if (argc < 3) {
     Usage();
     return 2;

@@ -19,15 +19,35 @@
 
 namespace {
 
-void Usage() {
-  std::cerr << "usage: esdrun <program.esd> [--input name=value]... [--seed N]\n"
-            << "              [--dump out.core] [--max-steps N]\n";
+void Usage(std::ostream& os = std::cerr) {
+  os << "usage: esdrun <program.esd> [options]\n"
+     << "\n"
+     << "Runs the program concretely (the \"end user side\": no tracing, no\n"
+     << "instrumentation). If it fails, writes the coredump a production\n"
+     << "crash handler would produce, ready for esdsynth.\n"
+     << "\n"
+     << "options:\n"
+     << "  --input name=value  fix the program input with this name prefix\n"
+     << "                      (e.g. --input getchar=109); repeatable. When\n"
+     << "                      absent, inputs are drawn randomly from --seed\n"
+     << "  --seed N            RNG seed for random inputs and the schedule\n"
+     << "                      (default 0)\n"
+     << "  --dump FILE         coredump output path (default core.txt)\n"
+     << "  --max-steps N       abort after N instructions (default 5000000)\n"
+     << "  -h, --help          show this help\n";
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace esd;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "-h" || arg == "--help") {
+      Usage(std::cout);
+      return 0;
+    }
+  }
   if (argc < 2) {
     Usage();
     return 2;

@@ -1,8 +1,8 @@
 // esdsynth: synthesize a bug-bound execution from a coredump (§8).
 //
 //   esdsynth <program.esd> <coredump> [-o exec.out] [--time-cap SECONDS]
-//            [--with-race-det] [--no-proximity] [--no-intermediate-goals]
-//            [--no-critical-edges] [--seed N]
+//            [--jobs N] [--with-race-det] [--no-proximity]
+//            [--no-intermediate-goals] [--no-critical-edges] [--seed N]
 //
 // Reads the program and the coredump, synthesizes an execution that
 // reproduces the reported bug, and writes the execution file for esdplay.
@@ -17,17 +17,40 @@
 
 namespace {
 
-void Usage() {
-  std::cerr << "usage: esdsynth <program.esd> <coredump> [-o exec.out]\n"
-            << "                [--time-cap SECONDS] [--with-race-det]\n"
-            << "                [--no-proximity] [--no-intermediate-goals]\n"
-            << "                [--no-critical-edges] [--seed N]\n";
+void Usage(std::ostream& os = std::cerr) {
+  os << "usage: esdsynth <program.esd> <coredump> [options]\n"
+     << "\n"
+     << "Synthesizes an execution that reproduces the bug reported in the\n"
+     << "coredump and writes an execution file for esdplay.\n"
+     << "\n"
+     << "options:\n"
+     << "  -o FILE                 output execution file"
+     << " (default execution.esdx)\n"
+     << "  --time-cap SECONDS      give up after this much wall-clock time"
+     << " (default 180)\n"
+     << "  --jobs N                race N parallel search workers (portfolio\n"
+     << "                          of strategies; first to the goal wins).\n"
+     << "                          1 = classic single-threaded engine\n"
+     << "  --seed N                search RNG seed (default 1)\n"
+     << "  --with-race-det         run the lockset race detector even for\n"
+     << "                          non-race bug classes\n"
+     << "  --no-proximity          ablation: disable proximity-guided search\n"
+     << "  --no-intermediate-goals ablation: disable static anchor points\n"
+     << "  --no-critical-edges     ablation: disable path abandonment\n"
+     << "  -h, --help              show this help\n";
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace esd;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "-h" || arg == "--help") {
+      Usage(std::cout);
+      return 0;
+    }
+  }
   if (argc < 3) {
     Usage();
     return 2;
@@ -44,6 +67,16 @@ int main(int argc, char** argv) {
       options.time_cap_seconds = std::atof(argv[++i]);
     } else if (arg == "--seed" && i + 1 < argc) {
       options.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--jobs" && i + 1 < argc) {
+      const char* text = argv[++i];
+      char* end = nullptr;
+      unsigned long long jobs = std::strtoull(text, &end, 10);
+      if (end == text || *end != '\0' || jobs == 0 || jobs > 256) {
+        std::cerr << "error: --jobs must be an integer in [1, 256], got '"
+                  << text << "'\n";
+        return 2;
+      }
+      options.jobs = static_cast<size_t>(jobs);
     } else if (arg == "--with-race-det") {
       options.enable_race_detection = true;
     } else if (arg == "--no-proximity") {
@@ -89,6 +122,14 @@ int main(int argc, char** argv) {
   std::cout << "esdsynth: synthesized in " << result.seconds << "s ("
             << result.instructions << " instructions, " << result.states_created
             << " states, " << result.intermediate_goals << " intermediate goals)\n";
+  for (size_t w = 0; w < result.workers.size(); ++w) {
+    const core::WorkerReport& wr = result.workers[w];
+    std::cout << "esdsynth:   worker " << w << " [" << wr.strategy << "] "
+              << wr.status << (wr.winner ? " *winner*" : "") << ": "
+              << wr.instructions << " instructions, " << wr.states_created
+              << " states, " << wr.solver_queries << " solver queries in "
+              << wr.seconds << "s\n";
+  }
   std::cout << "esdsynth: inferred " << result.file.inputs.size()
             << " program inputs and a schedule with " << result.file.strict.size()
             << " switch points\n";
