@@ -39,6 +39,10 @@ DistanceCalculator::DistanceCalculator(const ir::Module* module) : module_(modul
 }
 
 const Cfg& DistanceCalculator::GetCfg(uint32_t func) {
+  std::unique_lock<std::recursive_mutex> lock(mu_, std::defer_lock);
+  if (!Sealed()) {
+    lock.lock();  // Sealed caches hold every function; before that, fill.
+  }
   auto it = cfgs_.find(func);
   if (it == cfgs_.end()) {
     it = cfgs_.emplace(func, std::make_unique<Cfg>(*module_, func)).first;
@@ -172,16 +176,24 @@ uint64_t DistanceCalculator::FunctionCost(uint32_t func) {
   if (fn.is_external) {
     return 1;
   }
+  std::unique_lock<std::recursive_mutex> lock(mu_, std::defer_lock);
+  if (!Sealed()) {
+    lock.lock();
+  }
   Costs(func);
   return function_cost_[func];
 }
 
 uint64_t DistanceCalculator::Dist2Ret(ir::InstRef at) {
-  const FuncCosts& fc = Costs(at.func);
   const ir::Function& fn = module_->Func(at.func);
-  if (at.block >= fn.blocks.size()) {
+  if (fn.is_external || at.block >= fn.blocks.size()) {
     return kInfDistance;
   }
+  std::unique_lock<std::recursive_mutex> lock(mu_, std::defer_lock);
+  if (!Sealed()) {
+    lock.lock();
+  }
+  const FuncCosts& fc = Costs(at.func);
   uint64_t prefix = 0;
   for (uint32_t i = 0; i < at.inst && i < fn.blocks[at.block].insts.size(); ++i) {
     prefix = SatAdd(prefix, fc.inst_cost[fc.block_start[at.block] + i]);
@@ -215,7 +227,16 @@ uint64_t DistanceCalculator::OpportunityCost(
 
 const DistanceCalculator::GoalTable& DistanceCalculator::GetGoalTable(
     uint32_t func, ir::InstRef goal) {
-  auto& per_goal = goal_tables_[goal];
+  auto pg = goal_tables_.find(goal);
+  if (pg != goal_tables_.end()) {
+    auto hit = pg->second.find(func);
+    if (hit != pg->second.end()) {
+      return hit->second;
+    }
+  }
+  // Miss: un-prewarmed goal (mu_ held; see EntryDistances) or pre-seal
+  // lazy fill. Sealed fills go to the overflow map.
+  auto& per_goal = (Sealed() ? overflow_goal_tables_ : goal_tables_)[goal];
   auto it = per_goal.find(func);
   if (it != per_goal.end()) {
     return it->second;
@@ -264,6 +285,16 @@ const std::map<uint32_t, uint64_t>& DistanceCalculator::EntryDistances(
   auto cached = entry_dists_.find(goal);
   if (cached != entry_dists_.end()) {
     return cached->second;
+  }
+  // Miss: the goal was not prewarmed, so mu_ is held (FastFor was false in
+  // every public entry point). Once sealed, fill the overflow map so the
+  // lock-free readers of the primary map never observe a rebalance.
+  auto& store = Sealed() ? overflow_entry_dists_ : entry_dists_;
+  if (Sealed()) {
+    auto oc = store.find(goal);
+    if (oc != store.end()) {
+      return oc->second;
+    }
   }
   std::map<uint32_t, uint64_t> entry;
   // Fixed point: E(f) can only shrink as more call-entry paths are found.
@@ -318,28 +349,36 @@ const std::map<uint32_t, uint64_t>& DistanceCalculator::EntryDistances(
       break;
     }
   }
-  return entry_dists_.emplace(goal, std::move(entry)).first->second;
+  return store.emplace(goal, std::move(entry)).first->second;
 }
 
 void DistanceCalculator::Prewarm(const std::vector<ir::InstRef>& goals) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  // Every function — externals included, so a sealed-cache lookup can never
+  // miss and fall into an unlocked fill (externals get empty CFG/cost
+  // tables, matching their early-return query semantics).
   for (uint32_t f = 0; f < module_->NumFunctions(); ++f) {
-    if (module_->Func(f).is_external) {
-      continue;
-    }
     (void)GetCfg(f);
     (void)Costs(f);
   }
   // Invalid targets (malformed coredumps produce them) are prewarmed too:
   // the critical-edge filter still issues queries for them, and a cache
-  // miss during the parallel search would mutate shared state.
+  // miss during the parallel search would otherwise go through the locked
+  // overflow path on every query.
   for (const ir::InstRef& goal : goals) {
     (void)EntryDistances(goal);
     for (uint32_t f = 0; f < module_->NumFunctions(); ++f) {
-      if (module_->Func(f).is_external) {
-        continue;
-      }
       (void)GetGoalTable(f, goal);
     }
+  }
+  if (!Sealed()) {
+    prewarmed_goals_.insert(goals.begin(), goals.end());
+    // Release-publish the now-complete primary caches: queries for these
+    // goals bypass the mutex from here on. A second Prewarm call (none in
+    // the current pipeline) warms the overflow caches under the lock
+    // instead, since prewarmed_goals_ must stay frozen once readers may
+    // exist.
+    sealed_.store(true, std::memory_order_release);
   }
 }
 
@@ -371,11 +410,19 @@ uint64_t DistanceCalculator::DistanceFrom(uint32_t func, uint32_t block, uint32_
 }
 
 uint64_t DistanceCalculator::Distance(ir::InstRef at, ir::InstRef goal) {
+  std::unique_lock<std::recursive_mutex> lock(mu_, std::defer_lock);
+  if (!FastFor(goal)) {
+    lock.lock();
+  }
   return DistanceFrom(at.func, at.block, at.inst, goal);
 }
 
 uint64_t DistanceCalculator::ThreadDistance(const std::vector<ir::InstRef>& stack,
                                             ir::InstRef goal) {
+  std::unique_lock<std::recursive_mutex> lock(mu_, std::defer_lock);
+  if (!FastFor(goal)) {
+    lock.lock();
+  }
   if (stack.empty()) {
     return kInfDistance;
   }
@@ -399,6 +446,10 @@ uint64_t DistanceCalculator::ThreadDistance(const std::vector<ir::InstRef>& stac
 
 bool DistanceCalculator::ThreadCanReachGoal(const std::vector<ir::InstRef>& stack,
                                             uint32_t block, ir::InstRef goal) {
+  std::unique_lock<std::recursive_mutex> lock(mu_, std::defer_lock);
+  if (!FastFor(goal)) {
+    lock.lock();
+  }
   if (stack.empty()) {
     return false;
   }
@@ -429,6 +480,10 @@ bool DistanceCalculator::ThreadCanReachGoal(const std::vector<ir::InstRef>& stac
 
 bool DistanceCalculator::CanReachGoal(uint32_t func, uint32_t block, ir::InstRef goal,
                                       bool allow_return) {
+  std::unique_lock<std::recursive_mutex> lock(mu_, std::defer_lock);
+  if (!FastFor(goal)) {
+    lock.lock();
+  }
   const ir::Function& fn = module_->Func(func);
   if (fn.is_external || block >= fn.blocks.size()) {
     return false;

@@ -22,6 +22,8 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <set>
 #include <vector>
 
 #include "src/analysis/cfg.h"
@@ -72,12 +74,18 @@ class DistanceCalculator {
 
   // Populates every lazy cache reachable during a search over `goals`: CFGs
   // and cost tables for all defined functions, plus the per-goal entry
-  // distances and goal tables. After Prewarm returns, all the public query
-  // methods above are pure cache reads and therefore safe to call from many
-  // threads concurrently — this is what lets the parallel portfolio share
-  // one DistanceCalculator read-only across workers (§6's static artifacts).
-  // Queries for goals *not* passed to Prewarm still mutate the caches and
-  // must not race with other callers.
+  // distances and goal tables. After Prewarm returns, queries for those
+  // goals are pure cache reads — this is what lets the parallel portfolio
+  // share one DistanceCalculator across workers (§6's static artifacts).
+  //
+  // Thread-safety contract: after the first Prewarm returns ("sealed"),
+  // queries for prewarmed goals take a lock-free fast path — the sealed
+  // caches are complete and never mutated again. Queries for goals *not*
+  // passed to Prewarm fill *overflow* caches lazily under the internal
+  // mutex, so they are safe from any thread (they serialize; the sealed
+  // caches the fast path reads are untouched). Prewarm itself must finish
+  // before concurrent queries start (the portfolio prewarms before
+  // spawning workers).
   void Prewarm(const std::vector<ir::InstRef>& goals);
 
   struct Stats {
@@ -125,14 +133,34 @@ class DistanceCalculator {
   // goal thread runs. Used for goal reachability, not for call costs.
   std::vector<uint32_t> EntryTargets(const ir::Instruction& inst) const;
 
+  // True once Prewarm sealed the primary caches (then complete for every
+  // function and every prewarmed goal, and read-only from there on).
+  bool Sealed() const { return sealed_.load(std::memory_order_acquire); }
+  // Lock-free fast path available: sealed, and `goal` was prewarmed.
+  bool FastFor(const ir::InstRef& goal) const {
+    return Sealed() && prewarmed_goals_.count(goal) > 0;
+  }
+
   const ir::Module* module_;
+  // Guards every lazy fill. Recursive because the fill paths are mutually
+  // recursive (GetGoalTable -> EntryDistances -> Costs -> GetCfg). After
+  // Prewarm seals the primary caches, queries for prewarmed goals bypass
+  // it entirely; only queries for other goals (possible with malformed
+  // coredumps) take it and fill the overflow caches.
+  mutable std::recursive_mutex mu_;
+  std::atomic<bool> sealed_{false};
+  std::set<ir::InstRef> prewarmed_goals_;  // Read-only once sealed.
   std::map<uint32_t, std::unique_ptr<Cfg>> cfgs_;
   std::map<uint32_t, FuncCosts> costs_;
   std::map<uint32_t, uint64_t> function_cost_;
   std::vector<uint32_t> address_taken_;  // Candidate indirect-call targets.
-  // goal -> (function -> tables).
+  // goal -> (function -> tables). Once sealed, new goals fill the overflow
+  // maps (under mu_) so fast-path readers of the primary maps never race
+  // with a rebalance.
   std::map<ir::InstRef, std::map<uint32_t, GoalTable>> goal_tables_;
   std::map<ir::InstRef, std::map<uint32_t, uint64_t>> entry_dists_;
+  std::map<ir::InstRef, std::map<uint32_t, GoalTable>> overflow_goal_tables_;
+  std::map<ir::InstRef, std::map<uint32_t, uint64_t>> overflow_entry_dists_;
   Stats stats_;
 };
 

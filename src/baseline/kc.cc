@@ -10,19 +10,26 @@ namespace esd::baseline {
 
 void PreemptionBoundingPolicy::BeforeSyncOp(vm::EngineServices& services,
                                             vm::ExecutionState& state,
-                                            const vm::SyncOp& /*op*/) {
+                                            const vm::SyncOp& op) {
+  // The op is about to execute: wake sleeping operations it interferes with
+  // (no-op unless sleep sets are enabled and populated).
+  WakeSleepers(state, op);
   if (state.preemptions >= bound_) {
     return;
   }
   for (const vm::Thread& t : state.threads) {
-    if (t.id == state.current_tid || t.status != vm::ThreadStatus::kRunnable) {
+    if (t.id == state.current_tid || t.status != vm::ThreadStatus::kRunnable ||
+        ShouldSkipFork(state, t.id)) {
       continue;
     }
     vm::StatePtr variant = services.ForkState(state);
     variant->current_tid = t.id;
     ++variant->preemptions;
     variant->RecordEvent(vm::SchedEvent::Kind::kSwitch, t.id, 0, t.Pc());
-    services.AddState(variant);
+    RecordPreempted(*variant, state.current_tid, op);
+    if (!services.AddState(variant)) {
+      continue;  // Deduped: an identical variant is already explored.
+    }
     ++schedule_forks_;
     ++state.depth;  // The continuing state also descends in the fork tree.
   }
@@ -33,6 +40,7 @@ KcResult RunKc(const ir::Module& module, const core::Goal& goal,
   KcResult result;
   solver::ConstraintSolver solver;
   PreemptionBoundingPolicy policy(options.preemption_bound);
+  policy.set_sleep_sets(options.sleep_sets);
 
   std::unique_ptr<vm::Searcher> searcher;
   if (options.strategy == KcOptions::Strategy::kDfs) {
@@ -50,10 +58,14 @@ KcResult RunKc(const ir::Module& module, const core::Goal& goal,
     return result;
   }
 
+  vm::FingerprintTable visited;
   vm::Engine::Options eopts;
   eopts.time_cap_seconds = options.time_cap_seconds;
   eopts.max_instructions = options.max_instructions;
   eopts.max_states = options.max_states;
+  if (options.dedup) {
+    eopts.visited = &visited;
+  }
   vm::Engine engine(&interpreter, searcher.get(), eopts);
   engine.Start(interpreter.MakeInitialState(*main_fn, interpreter.AllocStateId()));
 
@@ -66,6 +78,8 @@ KcResult RunKc(const ir::Module& module, const core::Goal& goal,
   result.seconds = run.seconds;
   result.instructions = run.instructions;
   result.states_created = run.states_created;
+  result.states_deduped = run.states_deduped;
+  result.sleep_set_skips = policy.sleep_set_skips();
   return result;
 }
 

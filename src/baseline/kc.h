@@ -48,6 +48,11 @@ struct KcOptions {
   uint64_t max_instructions = 500'000'000;
   size_t max_states = 500'000;
   uint64_t seed = 1;
+  // Redundant-interleaving pruning (off by default so the baseline stays
+  // the literal Klee+Chess reference point; the pruning benches flip these
+  // to measure the same machinery under KC).
+  bool sleep_sets = false;
+  bool dedup = false;
 };
 
 struct KcResult {
@@ -56,6 +61,8 @@ struct KcResult {
   double seconds = 0.0;
   uint64_t instructions = 0;
   uint64_t states_created = 0;
+  uint64_t states_deduped = 0;
+  uint64_t sleep_set_skips = 0;
 };
 
 // Searches `module` for an execution manifesting `goal`.

@@ -6,21 +6,35 @@ bool DeadlockStrategy::IsInnerLock(uint32_t tid, ir::InstRef site) const {
   return goal_.IsGoalSite(tid, site);
 }
 
-bool DeadlockStrategy::PreemptCurrent(vm::ExecutionState& state) {
+uint32_t DeadlockStrategy::PickPreemptTarget(const vm::ExecutionState& state,
+                                             bool respect_sleep) {
   size_t n = state.threads.size();
   for (size_t i = 1; i <= n; ++i) {
     const vm::Thread& t = state.threads[(state.current_tid + i) % n];
-    if (t.id != state.current_tid && t.status == vm::ThreadStatus::kRunnable) {
-      state.current_tid = t.id;
-      state.RecordEvent(vm::SchedEvent::Kind::kSwitch, t.id, 0, t.Pc());
-      return true;
+    if (t.id != state.current_tid && t.status == vm::ThreadStatus::kRunnable &&
+        !(respect_sleep && ShouldSkipFork(state, t.id))) {
+      return t.id;
     }
   }
-  return false;
+  return ir::kInvalidIndex;
+}
+
+bool DeadlockStrategy::PreemptCurrent(vm::ExecutionState& state) {
+  uint32_t target = PickPreemptTarget(state, /*respect_sleep=*/false);
+  if (target == ir::kInvalidIndex) {
+    return false;
+  }
+  state.current_tid = target;
+  state.RecordEvent(vm::SchedEvent::Kind::kSwitch, target, 0,
+                    state.CurrentThread().Pc());
+  return true;
 }
 
 void DeadlockStrategy::BeforeSyncOp(vm::EngineServices& services,
                                     vm::ExecutionState& state, const vm::SyncOp& op) {
+  // The operation is about to execute: sleeping operations it interferes
+  // with must be woken before any fork-gating below consults the sleep set.
+  WakeSleepers(state, op);
   // When the reported hang involves a condvar wait, the ordering of condvar
   // and thread-lifecycle operations matters too (a signal that fires before
   // the wait is lost; a thread spawned later may need to run first). Fork
@@ -38,7 +52,8 @@ void DeadlockStrategy::BeforeSyncOp(vm::EngineServices& services,
                     op.kind == vm::SyncOp::Kind::kThreadCreate ||
                     op.kind == vm::SyncOp::Kind::kThreadJoin)) {
     for (const vm::Thread& t : state.threads) {
-      if (t.id == state.current_tid || t.status != vm::ThreadStatus::kRunnable) {
+      if (t.id == state.current_tid || t.status != vm::ThreadStatus::kRunnable ||
+          ShouldSkipFork(state, t.id)) {
         continue;
       }
       vm::StatePtr variant = services.ForkState(state);
@@ -46,7 +61,10 @@ void DeadlockStrategy::BeforeSyncOp(vm::EngineServices& services,
       variant->RecordEvent(vm::SchedEvent::Kind::kSwitch, t.id, 0, t.Pc());
       variant->is_schedule_snapshot = true;
       variant->schedule_distance = vm::kScheduleFar;
-      services.AddState(variant);
+      RecordPreempted(*variant, state.current_tid, op);
+      if (!services.AddState(variant)) {
+        continue;  // Deduped: an identical variant is already explored.
+      }
       ++state.depth;
       ++stats_.snapshots;
     }
@@ -62,16 +80,28 @@ void DeadlockStrategy::BeforeSyncOp(vm::EngineServices& services,
   // The mutex is free and the current thread is about to acquire it. Fork
   // the alternative in which the thread is preempted just before the
   // acquisition (paper: "forks off an execution state in which the current
-  // thread is preempted"), and remember it in K_S.
-  vm::StatePtr snapshot = services.ForkState(state);
-  if (!PreemptCurrent(*snapshot)) {
-    return;  // No other runnable thread; the snapshot would be identical.
+  // thread is preempted"), and remember it in K_S. Pick the preemption
+  // target first so sleeping threads (whose wake-up is covered by an earlier
+  // sibling) never cost a fork.
+  uint32_t target = PickPreemptTarget(state, /*respect_sleep=*/true);
+  if (target == ir::kInvalidIndex) {
+    return;  // No eligible thread; the snapshot would be identical/redundant.
   }
+  vm::StatePtr snapshot = services.ForkState(state);
+  snapshot->current_tid = target;
+  snapshot->RecordEvent(vm::SchedEvent::Kind::kSwitch, target, 0,
+                        snapshot->CurrentThread().Pc());
+  RecordPreempted(*snapshot, state.current_tid, op);
   snapshot->is_schedule_snapshot = true;
   // Snapshots start schedule-far; rollbacks promote them to near (§4.1).
   snapshot->schedule_distance = vm::kScheduleFar;
+  if (!services.AddState(snapshot)) {
+    // Deduped: an identical state is already being explored. Do not record
+    // it in K_S — a rollback boost of a state the searcher does not hold
+    // would be a silent no-op.
+    return;
+  }
   state.lock_snapshots[op.addr] = snapshot;
-  services.AddState(snapshot);
   ++state.depth;  // The continuing state also descends in the fork tree.
   ++stats_.snapshots;
 }

@@ -45,9 +45,14 @@ class DeadlockStrategy : public vm::SchedulePolicy {
  private:
   // Is `site` the reported inner-lock call of thread `tid`?
   bool IsInnerLock(uint32_t tid, ir::InstRef site) const;
-  // Switches `state`'s current thread away from `tid` if another thread is
-  // runnable; returns true if a switch happened.
-  static bool PreemptCurrent(vm::ExecutionState& state);
+  // Round-robin scan for the thread the current one would be preempted in
+  // favor of (kInvalidIndex if none). With `respect_sleep`, threads whose
+  // parked operation is asleep are skipped (fork gating); forced switches
+  // pass false. The one selection policy for both fork and rollback paths.
+  uint32_t PickPreemptTarget(const vm::ExecutionState& state, bool respect_sleep);
+  // Switches `state`'s current thread away if another thread is runnable;
+  // returns true if a switch happened.
+  bool PreemptCurrent(vm::ExecutionState& state);
 
   Goal goal_;
   Stats stats_;

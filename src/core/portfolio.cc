@@ -110,6 +110,17 @@ SynthesisResult RunPortfolio(
   std::atomic<int> winner{-1};
   std::atomic<uint64_t> shared_instructions{0};
   std::atomic<uint64_t> shared_states{0};
+  // Visited-fingerprint table for state dedup: one table shared by every
+  // worker (sharded mutexes; a duplicate found by any worker prunes it for
+  // all) or one private table per worker (no cross-worker synchronization).
+  // bench_pruning measures both configurations.
+  vm::FingerprintTable shared_visited;
+  std::vector<std::unique_ptr<vm::FingerprintTable>> private_visited(jobs);
+  if (options.dedup && !options.dedup_shared) {
+    for (auto& table : private_visited) {
+      table = std::make_unique<vm::FingerprintTable>();
+    }
+  }
 
   std::vector<WorkerOutcome> outcomes(jobs);
   auto worker_body = [&](size_t w) {
@@ -119,8 +130,9 @@ SynthesisResult RunPortfolio(
     solver::ConstraintSolver solver;
     vm::RaceDetector race_detector;
     bool want_races = false;
-    std::unique_ptr<vm::SchedulePolicy> policy = MakeSchedulePolicy(
-        goal, options.enable_race_detection, &race_detector, &want_races);
+    std::unique_ptr<vm::SchedulePolicy> policy =
+        MakeSchedulePolicy(goal, options.enable_race_detection, &race_detector,
+                           &want_races, options.sleep_sets);
 
     vm::Interpreter::Options iopts;
     iopts.policy = policy.get();
@@ -142,6 +154,10 @@ SynthesisResult RunPortfolio(
     eopts.shared_max_instructions = options.max_instructions;
     eopts.shared_states = &shared_states;
     eopts.shared_max_states = options.max_states;
+    if (options.dedup) {
+      eopts.visited = options.dedup_shared ? &shared_visited
+                                           : private_visited[w].get();
+    }
 
     vm::Engine engine(&interpreter, searcher.get(), eopts);
     engine.set_unexpected_bug_callback(
@@ -159,6 +175,9 @@ SynthesisResult RunPortfolio(
     out.report.seconds = run.seconds;
     out.report.instructions = run.instructions;
     out.report.states_created = run.states_created;
+    out.report.states_deduped = run.states_deduped;
+    out.report.sleep_set_skips =
+        policy != nullptr ? policy->sleep_set_skips() : 0;
 
     if (run.status == vm::Engine::Result::Status::kGoalFound) {
       int expected = -1;
@@ -208,6 +227,8 @@ SynthesisResult RunPortfolio(
     WorkerOutcome& out = outcomes[w];
     result.instructions += out.report.instructions;
     result.states_created += out.report.states_created;
+    result.states_deduped += out.report.states_deduped;
+    result.sleep_set_skips += out.report.sleep_set_skips;
     result.solver_queries += out.report.solver_queries;
     for (std::string& bug : out.other_bugs) {
       result.other_bugs.push_back(std::move(bug));

@@ -103,9 +103,11 @@ vm::StatePtr ProximitySearcher::Select() {
   if (live_.empty()) {
     return nullptr;
   }
-  // Uniformly random choice among the virtual queues (§3.4).
-  std::uniform_int_distribution<size_t> dist(0, queues_.size() - 1);
-  size_t start = dist(rng_);
+  // Uniformly random choice among the virtual queues (§3.4). Modulo draw
+  // instead of std::uniform_int_distribution: the distribution's mapping is
+  // implementation-defined, and `--jobs 1` synthesis must be
+  // bit-reproducible across standard libraries for the same seed.
+  size_t start = rng_() % queues_.size();
   for (size_t i = 0; i < queues_.size(); ++i) {
     Heap& heap = queues_[(start + i) % queues_.size()];
     while (!heap.empty()) {

@@ -54,7 +54,10 @@ bool RaceStrategy::IsPreemptionAccess(const vm::ExecutionState& state,
 }
 
 void RaceStrategy::BeforeSyncOp(vm::EngineServices& services,
-                                vm::ExecutionState& state, const vm::SyncOp& /*op*/) {
+                                vm::ExecutionState& state, const vm::SyncOp& op) {
+  // The operation is about to execute; wake sleeping operations it
+  // interferes with before the gates below consult the sleep set.
+  WakeSleepers(state, op);
   // Fork fine-grain schedule variants at racy accesses and at sync ops once
   // the common-prefix gate opens: one variant per other runnable thread,
   // bounded by the per-lineage preemption budget.
@@ -63,7 +66,8 @@ void RaceStrategy::BeforeSyncOp(vm::EngineServices& services,
     return;
   }
   for (const vm::Thread& t : state.threads) {
-    if (t.id == state.current_tid || t.status != vm::ThreadStatus::kRunnable) {
+    if (t.id == state.current_tid || t.status != vm::ThreadStatus::kRunnable ||
+        ShouldSkipFork(state, t.id)) {
       continue;
     }
     vm::StatePtr variant = services.ForkState(state);
@@ -71,7 +75,10 @@ void RaceStrategy::BeforeSyncOp(vm::EngineServices& services,
     ++variant->preemptions;
     variant->RecordEvent(vm::SchedEvent::Kind::kSwitch, t.id, 0, t.Pc());
     variant->is_schedule_snapshot = true;
-    services.AddState(variant);
+    RecordPreempted(*variant, state.current_tid, op);
+    if (!services.AddState(variant)) {
+      continue;  // Deduped: an identical variant is already explored.
+    }
     ++state.depth;  // The continuing state also descends in the fork tree.
     ++stats_.schedule_forks;
   }

@@ -90,18 +90,22 @@ MakeCriticalEdgeFilter(const Goal* goal, analysis::DistanceCalculator* distances
 std::unique_ptr<vm::SchedulePolicy> MakeSchedulePolicy(const Goal& goal,
                                                        bool enable_race_detection,
                                                        vm::RaceDetector* detector,
-                                                       bool* want_races) {
+                                                       bool* want_races,
+                                                       bool sleep_sets) {
   bool races = enable_race_detection || goal.kind == vm::BugInfo::Kind::kAssertFail;
   if (want_races != nullptr) {
     *want_races = races;
   }
+  std::unique_ptr<vm::SchedulePolicy> policy;
   if (goal.kind == vm::BugInfo::Kind::kDeadlock) {
-    return std::make_unique<DeadlockStrategy>(goal);
+    policy = std::make_unique<DeadlockStrategy>(goal);
+  } else if (races) {
+    policy = std::make_unique<RaceStrategy>(goal, detector);
   }
-  if (races) {
-    return std::make_unique<RaceStrategy>(goal, detector);
+  if (policy != nullptr) {
+    policy->set_sleep_sets(sleep_sets);
   }
-  return nullptr;
+  return policy;
 }
 
 }  // namespace esd::core

@@ -44,10 +44,12 @@ MakeCriticalEdgeFilter(const Goal* goal, analysis::DistanceCalculator* distances
 // The §4 schedule strategy for the goal's bug class (deadlock or race), or
 // null when no strategy applies. `detector` must outlive the policy.
 // `want_races` receives whether the lockset detector should run.
+// `sleep_sets` enables sleep-set pruning of redundant schedule forks.
 std::unique_ptr<vm::SchedulePolicy> MakeSchedulePolicy(const Goal& goal,
                                                        bool enable_race_detection,
                                                        vm::RaceDetector* detector,
-                                                       bool* want_races);
+                                                       bool* want_races,
+                                                       bool sleep_sets = false);
 
 }  // namespace esd::core
 

@@ -50,11 +50,13 @@ SynthesisResult Synthesizer::SynthesizeGoal(const Goal& goal) {
     searcher = std::make_unique<vm::BfsSearcher>();
   }
 
-  // 4. Schedule strategy by bug class (§4).
+  // 4. Schedule strategy by bug class (§4), with sleep-set pruning of
+  // redundant schedule forks when enabled.
   vm::RaceDetector race_detector;
   bool want_races = false;
-  std::unique_ptr<vm::SchedulePolicy> policy = MakeSchedulePolicy(
-      goal, options_.enable_race_detection, &race_detector, &want_races);
+  std::unique_ptr<vm::SchedulePolicy> policy =
+      MakeSchedulePolicy(goal, options_.enable_race_detection, &race_detector,
+                         &want_races, options_.sleep_sets);
 
   // 5. Interpreter with critical-edge pruning: abandon branch edges from
   // which the current thread's goal is unreachable.
@@ -73,10 +75,14 @@ SynthesisResult Synthesizer::SynthesizeGoal(const Goal& goal) {
     return result;
   }
 
+  vm::FingerprintTable visited;
   vm::Engine::Options eopts;
   eopts.time_cap_seconds = options_.time_cap_seconds;
   eopts.max_instructions = options_.max_instructions;
   eopts.max_states = options_.max_states;
+  if (options_.dedup) {
+    eopts.visited = &visited;
+  }
   vm::Engine engine(&interpreter, searcher.get(), eopts);
   engine.set_unexpected_bug_callback(
       [&result](const vm::ExecutionState&, const vm::BugInfo& bug) {
@@ -93,6 +99,8 @@ SynthesisResult Synthesizer::SynthesizeGoal(const Goal& goal) {
   result.seconds = run.seconds;
   result.instructions = run.instructions;
   result.states_created = run.states_created;
+  result.states_deduped = run.states_deduped;
+  result.sleep_set_skips = policy != nullptr ? policy->sleep_set_skips() : 0;
   result.solver_queries = solver.stats().queries;
 
   if (run.status != vm::Engine::Result::Status::kGoalFound) {

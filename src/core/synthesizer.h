@@ -40,6 +40,19 @@ struct SynthesisOptions {
   bool use_critical_edges = true;      // Path abandonment / edge pruning.
   // §4.2: run the lockset detector even for non-race bugs.
   bool enable_race_detection = false;
+  // ---- Redundant-interleaving pruning ----
+  // State deduplication: drop schedule forks / prune states whose 64-bit
+  // fingerprint (pcs + registers + memory + sync objects + constraints) was
+  // already explored. Counted in SynthesisResult::states_deduped.
+  bool dedup = true;
+  // With jobs > 1: one fingerprint table shared by all workers (behind
+  // sharded mutexes) instead of a private table per worker. Shared finds
+  // more duplicates (cross-worker); private avoids all synchronization.
+  // bench_pruning measures both.
+  bool dedup_shared = true;
+  // Sleep sets: a schedule fork's child records the preempted (thread, op)
+  // pair and skips re-forking it until a dependent operation wakes it.
+  bool sleep_sets = true;
 };
 
 // Per-worker accounting for a portfolio run (`jobs` > 1).
@@ -53,6 +66,8 @@ struct WorkerReport {
   double seconds = 0.0;
   uint64_t instructions = 0;
   uint64_t states_created = 0;
+  uint64_t states_deduped = 0;
+  uint64_t sleep_set_skips = 0;
   uint64_t solver_queries = 0;
 };
 
@@ -68,6 +83,11 @@ struct SynthesisResult {
   double seconds = 0.0;
   uint64_t instructions = 0;    // Summed across workers when jobs > 1.
   uint64_t states_created = 0;  // Summed across workers when jobs > 1.
+  // Pruning accounting (both summed across workers when jobs > 1): states
+  // dropped as already-visited duplicates, and schedule forks skipped
+  // because the target operation was sleeping.
+  uint64_t states_deduped = 0;
+  uint64_t sleep_set_skips = 0;
   size_t intermediate_goals = 0;
   uint64_t solver_queries = 0;  // Summed across workers when jobs > 1.
 

@@ -1,5 +1,6 @@
 #include "src/replay/execution_file.h"
 
+#include <set>
 #include <sstream>
 
 namespace esd::replay {
@@ -93,7 +94,17 @@ std::optional<ExecutionFile> ParseExecutionFile(const std::string& text,
     return fail("missing 'execution v1' header");
   }
   ExecutionFile file;
+  size_t line_no = 1;
+  // A record whose line carries extra tokens is as untrustworthy as one
+  // missing fields: the writer and this parser disagree about the format.
+  auto trailing = [](std::istringstream& ls) {
+    std::string extra;
+    return static_cast<bool>(ls >> extra);
+  };
+  auto at = [&line_no] { return " (line " + std::to_string(line_no) + ")"; };
+  std::set<uint32_t> created_tids;
   while (std::getline(is, line)) {
+    ++line_no;
     std::istringstream ls(line);
     std::string word;
     ls >> word;
@@ -101,7 +112,12 @@ std::optional<ExecutionFile> ParseExecutionFile(const std::string& text,
       continue;
     }
     if (word == "bug") {
-      ls >> file.bug_kind;
+      if (!(ls >> file.bug_kind)) {
+        return fail("truncated bug record" + at());
+      }
+      if (trailing(ls)) {
+        return fail("trailing garbage after bug kind" + at());
+      }
     } else if (word == "description") {
       std::string rest;
       std::getline(ls, rest);
@@ -112,27 +128,68 @@ std::optional<ExecutionFile> ParseExecutionFile(const std::string& text,
     } else if (word == "input") {
       std::string name, eq;
       uint64_t value;
-      ls >> name >> eq >> value;
-      if (eq != "=") {
-        return fail("malformed input line");
+      if (!(ls >> name >> eq)) {
+        return fail("truncated input record" + at());
       }
-      file.inputs[name] = value;
+      if (eq != "=" || !(ls >> value)) {
+        return fail("malformed input line" + at());
+      }
+      if (trailing(ls)) {
+        return fail("trailing garbage after input value" + at());
+      }
+      if (!file.inputs.emplace(name, value).second) {
+        return fail("duplicate input '" + name + "'" + at());
+      }
     } else if (word == "switch") {
       SwitchPoint sp;
-      ls >> sp.step >> sp.tid;
+      if (!(ls >> sp.step >> sp.tid)) {
+        return fail("truncated switch record" + at());
+      }
+      if (trailing(ls)) {
+        return fail("trailing garbage after switch record" + at());
+      }
+      if (sp.tid > kMaxScheduleTid) {
+        return fail("switch tid " + std::to_string(sp.tid) + " out of range" + at());
+      }
+      // Steps must be non-decreasing. Equal steps are legitimate: a
+      // schedule fork created before its thread's first instruction puts
+      // two switches at the same step, and strict replay correctly lets
+      // the later one win.
+      if (!file.strict.empty() && sp.step < file.strict.back().step) {
+        return fail("switch points out of step order" + at());
+      }
       file.strict.push_back(sp);
     } else if (word == "hb") {
       std::string kind_word;
       HbEvent hb;
-      ls >> kind_word >> hb.tid >> hb.addr >> hb.site;
+      if (!(ls >> kind_word >> hb.tid >> hb.addr >> hb.site)) {
+        return fail("truncated hb record" + at());
+      }
+      if (trailing(ls)) {
+        return fail("trailing garbage after hb record" + at());
+      }
       auto kind = ParseEventKind(kind_word);
       if (!kind.has_value()) {
-        return fail("bad hb event kind '" + kind_word + "'");
+        return fail("bad hb event kind '" + kind_word + "'" + at());
       }
       hb.kind = *kind;
+      if (hb.tid > kMaxScheduleTid) {
+        return fail("hb tid " + std::to_string(hb.tid) + " out of range" + at());
+      }
+      if (hb.kind == vm::SchedEvent::Kind::kThreadCreate) {
+        // `create` events name the spawned thread; the main thread (tid 0)
+        // is never created and no tid can be created twice.
+        if (hb.tid == 0) {
+          return fail("hb create of thread 0 (main is never created)" + at());
+        }
+        if (!created_tids.insert(hb.tid).second) {
+          return fail("duplicate hb create of thread " + std::to_string(hb.tid) +
+                      at());
+        }
+      }
       file.happens_before.push_back(std::move(hb));
     } else {
-      return fail("unknown directive '" + word + "'");
+      return fail("unknown directive '" + word + "'" + at());
     }
   }
   return file;

@@ -49,6 +49,11 @@
 
 namespace esd::replay {
 
+// Upper bound on thread ids accepted from parsed schedules: synthesis
+// creates at most a handful of threads, so a larger tid marks a corrupt
+// (or hostile) file rather than a plausible schedule.
+inline constexpr uint32_t kMaxScheduleTid = 1u << 20;
+
 // "After `step` instruction attempts, thread `tid` runs."
 struct SwitchPoint {
   uint64_t step = 0;

@@ -23,7 +23,21 @@ void Engine::Unregister(const StatePtr& state) {
   }
 }
 
+bool Engine::AlreadyVisited(const ExecutionState& state) {
+  if (options_.visited == nullptr) {
+    return false;
+  }
+  if (options_.visited->InsertIfAbsent(state.Fingerprint())) {
+    return false;
+  }
+  ++states_deduped_;
+  return true;
+}
+
 void Engine::Start(StatePtr initial) {
+  if (options_.visited != nullptr) {
+    options_.visited->InsertIfAbsent(initial->Fingerprint());
+  }
   Register(initial);
   searcher_->Add(std::move(initial));
 }
@@ -32,9 +46,13 @@ StatePtr Engine::ForkState(const ExecutionState& state) {
   return state.Fork(interpreter_->AllocStateId());
 }
 
-void Engine::AddState(StatePtr state) {
+bool Engine::AddState(StatePtr state) {
+  if (AlreadyVisited(*state)) {
+    return false;  // An identical state was already explored: drop the fork.
+  }
   Register(state);
   searcher_->Add(std::move(state));
+  return true;
 }
 
 void Engine::Reprioritize(const StatePtr& state) { searcher_->Update(state); }
@@ -111,8 +129,19 @@ Engine::Result Engine::Run(const BugMatcher& matcher) {
     ++instructions;
     ++unflushed;
     for (StatePtr& fork : step.forks) {
+      if (AlreadyVisited(*fork)) {
+        continue;
+      }
       Register(fork);
       searcher_->Add(std::move(fork));
+    }
+    if (!step.state_done && step.sync_point && AlreadyVisited(*state)) {
+      // The state just completed a synchronization operation and landed on a
+      // fingerprint some other interleaving already produced: everything it
+      // could still do is covered by that state's exploration. Prune it.
+      searcher_->Remove(state);
+      Unregister(state);
+      continue;
     }
     if (step.state_done) {
       searcher_->Remove(state);
@@ -135,6 +164,7 @@ Engine::Result Engine::Run(const BugMatcher& matcher) {
   flush_shared();
   result.instructions = instructions;
   result.states_created = states_created_;
+  result.states_deduped = states_deduped_;
   result.seconds = elapsed();
   return result;
 }

@@ -14,6 +14,7 @@
 #include <functional>
 #include <map>
 
+#include "src/vm/fingerprint.h"
 #include "src/vm/interpreter.h"
 #include "src/vm/searcher.h"
 
@@ -42,6 +43,13 @@ class Engine : public EngineServices {
     uint64_t shared_max_instructions = 0;
     std::atomic<uint64_t>* shared_states = nullptr;
     uint64_t shared_max_states = 0;
+    // ---- State deduplication (redundant-interleaving pruning) ----
+    // When set, every newly registered state and every state passing a
+    // synchronization point is fingerprinted; states whose fingerprint was
+    // already seen are dropped and counted in Result::states_deduped. The
+    // table may be private to this engine or shared by a portfolio (it is
+    // internally sharded + locked). Null disables deduplication.
+    FingerprintTable* visited = nullptr;
   };
 
   // Decides whether a bug terminating some state is the goal.
@@ -62,6 +70,9 @@ class Engine : public EngineServices {
     BugInfo bug;
     uint64_t instructions = 0;
     uint64_t states_created = 0;
+    // States dropped (at fork registration or at a sync point) because an
+    // identical state had already been explored. Zero when dedup is off.
+    uint64_t states_deduped = 0;
     double seconds = 0.0;
   };
 
@@ -71,7 +82,7 @@ class Engine : public EngineServices {
 
   // EngineServices:
   StatePtr ForkState(const ExecutionState& state) override;
-  void AddState(StatePtr state) override;
+  bool AddState(StatePtr state) override;
   void Reprioritize(const StatePtr& state) override;
   StatePtr SharedRef(const ExecutionState& state) override;
 
@@ -80,6 +91,9 @@ class Engine : public EngineServices {
  private:
   void Register(const StatePtr& state);
   void Unregister(const StatePtr& state);
+  // True if `state`'s fingerprint was already visited (dedup enabled only);
+  // records the fingerprint otherwise.
+  bool AlreadyVisited(const ExecutionState& state);
 
   Interpreter* interpreter_;
   Searcher* searcher_;
@@ -87,6 +101,7 @@ class Engine : public EngineServices {
   std::map<const ExecutionState*, StatePtr> live_;
   BugCallback unexpected_cb_;
   uint64_t states_created_ = 0;
+  uint64_t states_deduped_ = 0;
 };
 
 // Runs a single state to completion without a searcher (concrete stress runs

@@ -1,0 +1,69 @@
+// ESD VM: the visited-fingerprint table for state deduplication.
+//
+// A set of 64-bit state fingerprints (ExecutionState::Fingerprint) recording
+// which states the search has already queued or passed through a
+// synchronization point. The engine drops schedule forks and prunes running
+// states whose fingerprint is already present — two interleavings of
+// independent operations reconverge to the same fingerprint, so only one
+// representative keeps exploring.
+//
+// The table is sharded by fingerprint so a parallel portfolio can share one
+// instance: each shard has its own mutex, and InsertIfAbsent touches exactly
+// one shard. With `jobs == 1` (or per-worker tables) the mutexes are
+// uncontended. bench_pruning measures the shared-table and per-worker-table
+// configurations against each other.
+#ifndef ESD_SRC_VM_FINGERPRINT_H_
+#define ESD_SRC_VM_FINGERPRINT_H_
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_set>
+#include <vector>
+
+namespace esd::vm {
+
+// SplitMix64 finalizer: the full-avalanche 64-bit mix every fingerprint
+// component goes through. Shared by the state fingerprint (state.cc) and
+// the memory content hash (memory.cc) — the two must stay bit-identical,
+// since the state fingerprint folds in the hash memory.cc maintains.
+inline uint64_t FingerprintMix64(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
+}
+
+class FingerprintTable {
+ public:
+  explicit FingerprintTable(size_t shards = 16) : shards_(shards) {}
+
+  // Returns true if `fp` was absent (and is now recorded); false if some
+  // state with this fingerprint was already seen.
+  bool InsertIfAbsent(uint64_t fp) {
+    Shard& shard = shards_[(fp >> 48) % shards_.size()];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    return shard.set.insert(fp).second;
+  }
+
+  size_t Size() const {
+    size_t n = 0;
+    for (const Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      n += shard.set.size();
+    }
+    return n;
+  }
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_set<uint64_t> set;
+  };
+  std::vector<Shard> shards_;
+};
+
+}  // namespace esd::vm
+
+#endif  // ESD_SRC_VM_FINGERPRINT_H_

@@ -40,6 +40,35 @@ enum class ExternalId {
   kUnknown,
 };
 
+// The one mapping from externals to synchronization operations: used both
+// to announce preemption points to schedule policies and to mark
+// StepResult::sync_point for the engine's dedup — a single table so the
+// two can never drift.
+std::optional<SyncOp::Kind> SyncKindOf(ExternalId id) {
+  switch (id) {
+    case ExternalId::kMutexLock:
+      return SyncOp::Kind::kMutexLock;
+    case ExternalId::kMutexUnlock:
+      return SyncOp::Kind::kMutexUnlock;
+    case ExternalId::kCondWait:
+      return SyncOp::Kind::kCondWait;
+    case ExternalId::kCondSignal:
+      return SyncOp::Kind::kCondSignal;
+    case ExternalId::kCondBroadcast:
+      return SyncOp::Kind::kCondBroadcast;
+    case ExternalId::kThreadCreate:
+      return SyncOp::Kind::kThreadCreate;
+    case ExternalId::kThreadJoin:
+      return SyncOp::Kind::kThreadJoin;
+    case ExternalId::kYield:
+      return SyncOp::Kind::kYield;
+    default:
+      return std::nullopt;
+  }
+}
+
+bool IsSyncExternal(ExternalId id) { return SyncKindOf(id).has_value(); }
+
 ExternalId LookupExternal(const std::string& name) {
   static const std::map<std::string, ExternalId> kMap = {
       {"getchar", ExternalId::kGetchar},
@@ -184,8 +213,7 @@ bool Interpreter::ConcretizeU64(ExecutionState& state, const ExprRef& e,
     return false;  // Infeasible path; caller terminates the state.
   }
   uint64_t value = solver::EvalExpr(e, model.values);
-  state.constraints.push_back(
-      solver::MakeEq(e, solver::MakeConst(e->width(), value)));
+  state.AddConstraint(solver::MakeEq(e, solver::MakeConst(e->width(), value)));
   *out = value;
   return true;
 }
@@ -232,6 +260,9 @@ bool Interpreter::LoadBytes(ExecutionState& state, uint64_t ptr, uint32_t bytes,
     value = solver::MakeConcat(obj->bytes[offset + i], value);
   }
   *out = value;
+  // Even unflagged reads can interfere with a sleeping racy store.
+  state.SleepSetWakeAccess(MakePointer(PointerObject(ptr), offset),
+                           /*is_write=*/false);
   if (options_.race_detector != nullptr) {
     auto held = RaceDetector::HeldLocks(state, state.current_tid);
     options_.race_detector->OnAccess(MakePointer(PointerObject(ptr), offset),
@@ -254,8 +285,12 @@ bool Interpreter::StoreBytes(ExecutionState& state, uint64_t ptr, const ExprRef&
   uint32_t offset = PointerOffset(ptr);
   ExprRef wide = value->width() == 1 ? solver::MakeZExt(value, 8) : value;
   for (uint32_t i = 0; i < bytes; ++i) {
-    obj->bytes[offset + i] = solver::MakeExtract(wide, i * 8, 8);
+    // WriteByte keeps the address space's incremental content hash current.
+    state.mem.WriteByte(obj, offset + i, solver::MakeExtract(wide, i * 8, 8));
   }
+  // Even unflagged writes can interfere with a sleeping racy access.
+  state.SleepSetWakeAccess(MakePointer(PointerObject(ptr), offset),
+                           /*is_write=*/true);
   if (options_.race_detector != nullptr) {
     auto held = RaceDetector::HeldLocks(state, state.current_tid);
     options_.race_detector->OnAccess(MakePointer(PointerObject(ptr), offset),
@@ -436,34 +471,11 @@ void Interpreter::MaybePreemptionPoint(ExecutionState& state,
   if (!callee.is_external) {
     return;
   }
-  switch (LookupExternal(callee.name)) {
-    case ExternalId::kMutexLock:
-      op.kind = SyncOp::Kind::kMutexLock;
-      break;
-    case ExternalId::kMutexUnlock:
-      op.kind = SyncOp::Kind::kMutexUnlock;
-      break;
-    case ExternalId::kCondWait:
-      op.kind = SyncOp::Kind::kCondWait;
-      break;
-    case ExternalId::kCondSignal:
-      op.kind = SyncOp::Kind::kCondSignal;
-      break;
-    case ExternalId::kCondBroadcast:
-      op.kind = SyncOp::Kind::kCondBroadcast;
-      break;
-    case ExternalId::kThreadCreate:
-      op.kind = SyncOp::Kind::kThreadCreate;
-      break;
-    case ExternalId::kThreadJoin:
-      op.kind = SyncOp::Kind::kThreadJoin;
-      break;
-    case ExternalId::kYield:
-      op.kind = SyncOp::Kind::kYield;
-      break;
-    default:
-      return;
+  std::optional<SyncOp::Kind> kind = SyncKindOf(LookupExternal(callee.name));
+  if (!kind.has_value()) {
+    return;
   }
+  op.kind = *kind;
   if (!inst.operands.empty()) {
     const StackFrame& frame = state.CurrentThread().frames.back();
     ExprRef a0 = EvalValue(state, frame, inst.operands[0]);
@@ -509,6 +521,8 @@ StepResult Interpreter::Step(ExecutionState& state) {
   MaybePreemptionPoint(state, *inst, site);
   ++stats_.instructions;
   ++state.steps;
+  // StepResult::sync_point is set by ExecExternal for synchronization calls
+  // (including ones reached through an indirect call).
   return ExecInstruction(state, *inst, site);
 }
 
@@ -572,7 +586,7 @@ StepResult Interpreter::ExecInstruction(ExecutionState& state,
                                "division by zero (symbolic divisor)");
           return result;
         }
-        state.constraints.push_back(nonzero);
+        state.AddConstraint(nonzero);
       }
       switch (inst.op) {
         case ir::Opcode::kUDiv: set_result(solver::MakeUDiv(a, b)); break;
@@ -745,7 +759,7 @@ StepResult Interpreter::ExecCondBr(ExecutionState& state, const ir::Instruction&
     StatePtr child = state.Fork(next_state_id_++);
     // Child takes the false edge.
     StackFrame& child_frame = child->CurrentThread().frames.back();
-    child->constraints.push_back(solver::MakeLogicalNot(cond));
+    child->AddConstraint(solver::MakeLogicalNot(cond));
     child_frame.block = inst.succ_false;
     child_frame.inst = 0;
     result.forks.push_back(std::move(child));
@@ -753,13 +767,13 @@ StepResult Interpreter::ExecCondBr(ExecutionState& state, const ir::Instruction&
     // the execution tree (KLEE's process-tree semantics; RandomPath weights
     // depend on this).
     ++state.depth;
-    state.constraints.push_back(cond);
+    state.AddConstraint(cond);
     frame.block = inst.succ_true;
     frame.inst = 0;
     return result;
   }
   if (feasible_true || feasible_false) {
-    state.constraints.push_back(feasible_true ? cond : solver::MakeLogicalNot(cond));
+    state.AddConstraint(feasible_true ? cond : solver::MakeLogicalNot(cond));
     frame.block = feasible_true ? inst.succ_true : inst.succ_false;
     frame.inst = 0;
     return result;
@@ -899,13 +913,17 @@ StepResult Interpreter::ExecExternal(ExecutionState& state, const ir::Instructio
     result.bug = std::move(bug);
   };
 
-  switch (LookupExternal(callee.name)) {
+  // Resolve the external once; every case below (and the sync_point flag
+  // the engine's dedup relies on) reuses it.
+  const ExternalId ext = LookupExternal(callee.name);
+  result.sync_point = IsSyncExternal(ext);
+
+  switch (ext) {
     case ExternalId::kGetchar: {
       ExprRef v = MakeInput(state, "getchar", 32);
       if (!v->IsConst()) {
         // getchar() yields an unsigned char (EOF excluded for simplicity).
-        state.constraints.push_back(
-            solver::MakeUle(v, solver::MakeConst(32, 255)));
+        state.AddConstraint(solver::MakeUle(v, solver::MakeConst(32, 255)));
       }
       set_result(v);
       AdvancePc(state);
@@ -927,9 +945,10 @@ StepResult Interpreter::ExecExternal(ExecutionState& state, const ir::Instructio
       uint32_t obj = state.mem.Allocate(len, ObjectKind::kHeap, "env:" + name);
       MemoryObject* mem = state.mem.FindWritable(obj);
       for (uint32_t i = 0; i + 1 < len; ++i) {
-        mem->bytes[i] = MakeInput(state, "env:" + name + "[" + std::to_string(i) + "]", 8);
+        state.mem.WriteByte(
+            mem, i, MakeInput(state, "env:" + name + "[" + std::to_string(i) + "]", 8));
       }
-      mem->bytes[len - 1] = solver::MakeConst(8, 0);
+      state.mem.WriteByte(mem, len - 1, solver::MakeConst(8, 0));
       set_result(solver::MakeConst(64, MakePointer(obj, 0)));
       AdvancePc(state);
       return result;
@@ -944,7 +963,7 @@ StepResult Interpreter::ExecExternal(ExecutionState& state, const ir::Instructio
         fail(std::move(bug));
         return result;
       }
-      uint32_t width = LookupExternal(callee.name) == ExternalId::kInputI32 ? 32 : 64;
+      uint32_t width = ext == ExternalId::kInputI32 ? 32 : 64;
       set_result(MakeInput(state, name, width));
       AdvancePc(state);
       return result;
@@ -1120,17 +1139,17 @@ StepResult Interpreter::ExecExternal(ExecutionState& state, const ir::Instructio
       if (may_fail && may_pass) {
         // Fork the passing continuation; this state manifests the failure.
         StatePtr child = state.Fork(next_state_id_++);
-        child->constraints.push_back(cond);
+        child->AddConstraint(cond);
         ++child->CurrentThread().frames.back().inst;
         result.forks.push_back(std::move(child));
         ++state.depth;
       }
       if (may_fail) {
-        state.constraints.push_back(solver::MakeLogicalNot(cond));
+        state.AddConstraint(solver::MakeLogicalNot(cond));
         fail(MakeBug(BugInfo::Kind::kAssertFail, site, thread.id, 0,
                      "assertion failed (symbolic)"));
       } else {
-        state.constraints.push_back(cond);
+        state.AddConstraint(cond);
         AdvancePc(state);
       }
       return result;
@@ -1195,7 +1214,7 @@ StepResult Interpreter::ExecExternal(ExecutionState& state, const ir::Instructio
         fail(std::move(bug));
         return result;
       }
-      if (LookupExternal(callee.name) == ExternalId::kMutexInit) {
+      if (ext == ExternalId::kMutexInit) {
         state.mutexes[addr] = MutexState{};
       } else {
         state.cond_waiters[addr].clear();
@@ -1348,7 +1367,7 @@ StepResult Interpreter::ExecExternal(ExecutionState& state, const ir::Instructio
         return result;
       }
       auto& waiters = state.cond_waiters[cond_addr];
-      bool broadcast = LookupExternal(callee.name) == ExternalId::kCondBroadcast;
+      bool broadcast = ext == ExternalId::kCondBroadcast;
       size_t wake = broadcast ? waiters.size() : (waiters.empty() ? 0 : 1);
       for (size_t i = 0; i < wake; ++i) {
         Thread* t = state.FindThread(waiters[i]);

@@ -59,6 +59,10 @@ struct StepResult {
   // Set when the stepped state is finished (normal exit, infeasible path,
   // or a bug in this state).
   bool state_done = false;
+  // The step executed a synchronization call: interleavings of independent
+  // operations reconverge at these boundaries, so the engine's state
+  // deduplication fingerprints the state here.
+  bool sync_point = false;
   BugInfo bug;  // kNone unless a bug terminated the state.
 };
 

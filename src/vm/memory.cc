@@ -1,6 +1,25 @@
 #include "src/vm/memory.h"
 
+#include "src/vm/fingerprint.h"
+
 namespace esd::vm {
+namespace {
+
+constexpr auto Mix64 = FingerprintMix64;
+
+// Contribution of one byte to the address-space content hash. A zero
+// constant contributes nothing, so untouched (zero-filled) bytes are free.
+uint64_t ByteHash(uint32_t obj_id, uint32_t offset, const solver::ExprRef& v) {
+  if (v == nullptr || v->IsConstValue(0)) {
+    return 0;
+  }
+  return Mix64((uint64_t{obj_id} << 32 | offset) ^
+               Mix64(static_cast<uint64_t>(v->hash())));
+}
+
+constexpr uint64_t kFreedSalt = 0x9e3779b97f4a7c15ull;
+
+}  // namespace
 
 uint32_t AddressSpace::Allocate(uint32_t size, ObjectKind kind, std::string name) {
   auto obj = std::make_shared<MemoryObject>();
@@ -19,7 +38,7 @@ uint32_t AddressSpace::AllocateInit(uint32_t size, ObjectKind kind, std::string 
   uint32_t id = Allocate(size, kind, std::move(name));
   MemoryObject* obj = FindWritable(id);
   for (size_t i = 0; i < init.size() && i < obj->bytes.size(); ++i) {
-    obj->bytes[i] = solver::MakeConst(8, init[i]);
+    WriteByte(obj, static_cast<uint32_t>(i), solver::MakeConst(8, init[i]));
   }
   return id;
 }
@@ -31,6 +50,7 @@ bool AddressSpace::Free(uint32_t id) {
   }
   MemoryObject* obj = FindWritable(id);
   obj->freed = true;
+  content_hash_ ^= Mix64(uint64_t{id} ^ kFreedSalt);
   return true;
 }
 
@@ -48,6 +68,13 @@ MemoryObject* AddressSpace::FindWritable(uint32_t id) {
     it->second = std::make_shared<MemoryObject>(*it->second);
   }
   return it->second.get();
+}
+
+void AddressSpace::WriteByte(MemoryObject* obj, uint32_t offset,
+                             solver::ExprRef value) {
+  content_hash_ ^= ByteHash(obj->id, offset, obj->bytes[offset]) ^
+                   ByteHash(obj->id, offset, value);
+  obj->bytes[offset] = std::move(value);
 }
 
 }  // namespace esd::vm

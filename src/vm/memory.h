@@ -6,6 +6,16 @@
 // object), offset in the low 32. Forked execution states share objects until
 // one of them writes — the copy-on-write scheme §6.1 of the paper credits
 // for ESD's scalability.
+//
+// The address space also maintains an incremental 64-bit content hash for
+// the state-deduplication layer: every byte written through WriteByte XORs
+// out the old byte's contribution and XORs in the new one, so the hash of
+// the whole address space stays current at O(1) per store. Zero-valued
+// constant bytes contribute nothing, which makes a freshly allocated
+// (zero-filled) object hash-neutral and keeps allocation O(size) without a
+// hashing pass. Byte contributions use the expression's structural hash, so
+// two states that store equal values through different execution orders
+// converge to the same content hash.
 #ifndef ESD_SRC_VM_MEMORY_H_
 #define ESD_SRC_VM_MEMORY_H_
 
@@ -39,7 +49,7 @@ constexpr uint32_t PointerOffset(uint64_t ptr) { return static_cast<uint32_t>(pt
 class AddressSpace {
  public:
   AddressSpace() = default;
-  // Copying shares all objects (copy-on-write).
+  // Copying shares all objects (copy-on-write) and inherits the content hash.
   AddressSpace(const AddressSpace&) = default;
   AddressSpace& operator=(const AddressSpace&) = default;
 
@@ -57,11 +67,17 @@ class AddressSpace {
   // Returns a uniquely-owned object for writing, cloning if shared.
   MemoryObject* FindWritable(uint32_t id);
 
+  // Writes one byte, keeping the content hash current. `obj` must belong to
+  // this address space (come from FindWritable) and `offset` be in bounds.
+  void WriteByte(MemoryObject* obj, uint32_t offset, solver::ExprRef value);
+
   size_t NumObjects() const { return objects_.size(); }
+  uint64_t content_hash() const { return content_hash_; }
 
  private:
   std::map<uint32_t, std::shared_ptr<MemoryObject>> objects_;
   uint32_t next_id_ = 1;
+  uint64_t content_hash_ = 0;
 };
 
 }  // namespace esd::vm

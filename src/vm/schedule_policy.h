@@ -19,23 +19,8 @@
 
 namespace esd::vm {
 
-struct SyncOp {
-  enum class Kind : uint8_t {
-    kMutexLock,
-    kMutexUnlock,
-    kCondWait,
-    kCondSignal,
-    kCondBroadcast,
-    kThreadCreate,
-    kThreadJoin,
-    kRacyLoad,
-    kRacyStore,
-    kYield,
-  };
-  Kind kind;
-  uint64_t addr = 0;  // Mutex / condvar / memory address, when applicable.
-  ir::InstRef site;
-};
+// SyncOp is defined in state.h (the state's sleep set records them); it is
+// re-exported here for policy implementations.
 
 // Services the engine exposes to policies (forking schedule variants and
 // re-prioritizing states whose schedule distance changed).
@@ -44,8 +29,11 @@ class EngineServices {
   virtual ~EngineServices() = default;
   // Clones `state` (fresh id) without adding it to the searcher.
   virtual StatePtr ForkState(const ExecutionState& state) = 0;
-  // Hands a forked state to the searcher.
-  virtual void AddState(StatePtr state) = 0;
+  // Hands a forked state to the searcher. Returns false if the engine
+  // dropped it instead (state deduplication: an identical state was already
+  // explored) — callers must not keep references expecting it to be
+  // searched or reprioritized.
+  virtual bool AddState(StatePtr state) = 0;
   // Tells the searcher that `state`'s priority inputs changed.
   virtual void Reprioritize(const StatePtr& state) = 0;
   // Looks up the live StatePtr for a state reference (for snapshots).
@@ -89,6 +77,46 @@ class SchedulePolicy {
   virtual std::optional<uint32_t> PickNextThread(const ExecutionState& /*state*/) {
     return std::nullopt;
   }
+
+  // ---- Sleep sets (shared by every forking policy) ----
+  //
+  // When enabled, a policy about to fork schedule variants at a preemption
+  // point should:
+  //   1. call WakeSleepers(state, op) first (the op is about to execute and
+  //      may interfere with sleeping operations);
+  //   2. skip forking to any thread for which ShouldSkipFork returns true —
+  //      the continuation it would create is covered by an earlier sibling
+  //      and nothing dependent has happened since;
+  //   3. record the preempted thread in each child with RecordPreempted.
+  void set_sleep_sets(bool enabled) { sleep_sets_ = enabled; }
+  bool sleep_sets_enabled() const { return sleep_sets_; }
+  uint64_t sleep_set_skips() const { return sleep_skips_; }
+
+ protected:
+  void WakeSleepers(ExecutionState& state, const SyncOp& op) {
+    if (sleep_sets_) {
+      state.SleepSetWake(op);
+    }
+  }
+
+  bool ShouldSkipFork(const ExecutionState& state, uint32_t tid) {
+    if (!sleep_sets_ || !state.SleepSetBlocks(tid)) {
+      return false;
+    }
+    ++sleep_skips_;
+    return true;
+  }
+
+  void RecordPreempted(ExecutionState& child, uint32_t preempted_tid,
+                       const SyncOp& op) {
+    if (sleep_sets_) {
+      child.SleepSetInsert(preempted_tid, op);
+    }
+  }
+
+ private:
+  bool sleep_sets_ = false;
+  uint64_t sleep_skips_ = 0;
 };
 
 }  // namespace esd::vm

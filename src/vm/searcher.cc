@@ -10,6 +10,14 @@ void EraseState(std::vector<StatePtr>* v, const StatePtr& state) {
   v->erase(std::remove(v->begin(), v->end(), state), v->end());
 }
 
+// Draws in [0, 1) from the top 53 bits of one engine output. Used instead
+// of std::uniform_real_distribution, whose draw sequence is
+// implementation-defined — searches must be bit-reproducible across
+// standard libraries and platforms for the same seed.
+double UnitReal(std::mt19937_64& rng) {
+  return static_cast<double>(rng() >> 11) * 0x1.0p-53;
+}
+
 }  // namespace
 
 void DfsSearcher::Remove(const StatePtr& state) { EraseState(&stack_, state); }
@@ -36,8 +44,7 @@ StatePtr RandomPathSearcher::Select() {
     weights[i] = std::pow(2.0, -std::min(rel, 48.0));
     total += weights[i];
   }
-  std::uniform_real_distribution<double> dist(0.0, total);
-  double pick = dist(rng_);
+  double pick = UnitReal(rng_) * total;
   for (size_t i = 0; i < states_.size(); ++i) {
     pick -= weights[i];
     if (pick <= 0.0) {
@@ -53,8 +60,10 @@ StatePtr RandomStateSearcher::Select() {
   if (states_.empty()) {
     return nullptr;
   }
-  std::uniform_int_distribution<size_t> dist(0, states_.size() - 1);
-  return states_[dist(rng_)];
+  // Modulo draw (not std::uniform_int_distribution, which is
+  // implementation-defined): bias is negligible for live-set sizes and the
+  // sequence is identical on every platform.
+  return states_[rng_() % states_.size()];
 }
 
 }  // namespace esd::vm

@@ -1,6 +1,68 @@
 #include "src/vm/state.h"
 
+#include <algorithm>
+
+#include "src/vm/fingerprint.h"
+
 namespace esd::vm {
+namespace {
+
+constexpr auto Mix64 = FingerprintMix64;
+
+// Order-sensitive fold (sequences where order matters must not XOR-cancel).
+uint64_t Fold(uint64_t h, uint64_t v) { return Mix64(h ^ Mix64(v)); }
+
+uint64_t HashInstRef(ir::InstRef r) {
+  return (uint64_t{r.func} << 40) ^ (uint64_t{r.block} << 20) ^ r.inst;
+}
+
+bool IsRacy(SyncOp::Kind k) {
+  return k == SyncOp::Kind::kRacyLoad || k == SyncOp::Kind::kRacyStore;
+}
+
+// Conservative wake rule: does executing `op` interfere with sleeping `e`?
+bool Dependent(const SyncOp& e, const SyncOp& op) {
+  if (IsRacy(e.kind) && IsRacy(op.kind)) {
+    // Two data accesses: dependent when they may touch the same data and at
+    // least one writes. Addresses are compared at *object* granularity
+    // (multi-byte accesses at different offsets of one object can overlap;
+    // byte-exact comparison would leave a conflicting entry asleep), and an
+    // address of 0 means the pointer was symbolic at the preemption point —
+    // independence cannot be shown, so it conflicts with everything.
+    if (e.addr == 0 || op.addr == 0) {
+      return true;
+    }
+    return PointerObject(e.addr) == PointerObject(op.addr) &&
+           (e.kind == SyncOp::Kind::kRacyStore ||
+            op.kind == SyncOp::Kind::kRacyStore);
+  }
+  if (op.kind == SyncOp::Kind::kYield || e.kind == SyncOp::Kind::kYield) {
+    return false;  // Yields order nothing.
+  }
+  // Sync-object operations: same address interferes. Condvar and
+  // thread-lifecycle operations change wakeup/thread structure in ways the
+  // address alone does not capture, so they wake everything (conservative;
+  // mutex-only code keeps its pruning).
+  auto broad = [](SyncOp::Kind k) {
+    return k == SyncOp::Kind::kCondWait || k == SyncOp::Kind::kCondSignal ||
+           k == SyncOp::Kind::kCondBroadcast || k == SyncOp::Kind::kThreadCreate ||
+           k == SyncOp::Kind::kThreadJoin;
+  };
+  if (broad(op.kind) || broad(e.kind)) {
+    return true;
+  }
+  if (IsRacy(e.kind) || IsRacy(op.kind)) {
+    // Mixed data/sync pair: the lock word lives inside an object a data
+    // access may touch, so compare at object granularity (and a symbolic
+    // address conflicts with everything).
+    return e.addr == 0 || op.addr == 0 ||
+           PointerObject(e.addr) == PointerObject(op.addr);
+  }
+  // Mutex vs. mutex: the exact lock address identifies the object.
+  return e.addr == op.addr;
+}
+
+}  // namespace
 
 StatePtr ExecutionState::Fork(uint64_t new_id) const {
   auto child = std::make_shared<ExecutionState>(*this);
@@ -16,6 +78,137 @@ solver::ExprRef ExecutionState::NewInput(const std::string& name, uint32_t width
   solver::ExprRef var = solver::MakeVar(var_id, width, unique);
   inputs.emplace_back(unique, var);
   return var;
+}
+
+void ExecutionState::AddConstraint(solver::ExprRef c) {
+  constraints_digest = Fold(constraints_digest, static_cast<uint64_t>(c->hash()));
+  constraints.push_back(std::move(c));
+}
+
+bool ExecutionState::SleepSetBlocks(uint32_t tid) const {
+  for (const SleepEntry& e : sleep_set) {
+    if (e.tid != tid) {
+      continue;
+    }
+    for (const Thread& t : threads) {
+      if (t.id == tid) {
+        // Only a thread still parked at the recorded site is asleep; if it
+        // has moved, the entry is stale (dropped lazily by SleepSetWake).
+        return t.Pc() == e.op.site;
+      }
+    }
+  }
+  return false;
+}
+
+void ExecutionState::SleepSetInsert(uint32_t tid, const SyncOp& op) {
+  sleep_set.push_back(SleepEntry{tid, op});
+}
+
+void ExecutionState::SleepSetWake(const SyncOp& op) {
+  if (sleep_set.empty()) {
+    return;
+  }
+  auto stale = [this](const SleepEntry& e) {
+    if (e.tid == current_tid) {
+      return true;  // Its thread is running: the parked continuation is live.
+    }
+    for (const Thread& t : threads) {
+      if (t.id == e.tid) {
+        return t.Pc() != e.op.site;
+      }
+    }
+    return true;  // Thread gone.
+  };
+  sleep_set.erase(std::remove_if(sleep_set.begin(), sleep_set.end(),
+                                 [&](const SleepEntry& e) {
+                                   return stale(e) || Dependent(e.op, op);
+                                 }),
+                  sleep_set.end());
+}
+
+void ExecutionState::SleepSetWakeAccess(uint64_t addr, bool is_write) {
+  if (sleep_set.empty()) {
+    return;
+  }
+  SyncOp op;
+  op.kind = is_write ? SyncOp::Kind::kRacyStore : SyncOp::Kind::kRacyLoad;
+  op.addr = addr;
+  sleep_set.erase(std::remove_if(sleep_set.begin(), sleep_set.end(),
+                                 [&](const SleepEntry& e) {
+                                   return Dependent(e.op, op);
+                                 }),
+                  sleep_set.end());
+}
+
+uint64_t ExecutionState::Fingerprint() const {
+  uint64_t h = 0x2545f4914f6cdd1dull;
+  // Control state: which thread runs, per-thread stacks and registers.
+  h = Fold(h, current_tid);
+  h = Fold(h, next_tid);
+  h = Fold(h, preemptions);  // KC bounding: budgets left must match to merge.
+  for (const Thread& t : threads) {
+    uint64_t th = Fold(uint64_t{t.id} << 8, static_cast<uint64_t>(t.status));
+    th = Fold(th, t.wait_mutex);
+    th = Fold(th, t.wait_cond);
+    th = Fold(th, t.cond_saved_mutex ^ (t.cond_signaled ? 1u : 0u));
+    th = Fold(th, t.join_tid);
+    for (const StackFrame& f : t.frames) {
+      th = Fold(th, HashInstRef(ir::InstRef{f.func, f.block, f.inst}));
+      for (size_t r = 0; r < f.regs.size(); ++r) {
+        if (f.regs[r] != nullptr) {
+          th = Fold(th, (uint64_t{static_cast<uint32_t>(r)} << 32) ^
+                            static_cast<uint64_t>(f.regs[r]->hash()));
+        }
+      }
+    }
+    h ^= Mix64(th);  // XOR-fold across threads (id-keyed, order-free).
+  }
+  // Memory: incremental content hash maintained by the address space.
+  h = Fold(h, mem.content_hash());
+  // Sync objects. An unlocked mutex contributes nothing, so "never locked"
+  // and "locked then unlocked" states agree.
+  for (const auto& [addr, m] : mutexes) {
+    if (m.locked) {
+      h ^= Mix64(Fold(Fold(addr, m.holder), HashInstRef(m.acquired_at)));
+    }
+  }
+  for (const auto& [addr, waiters] : cond_waiters) {
+    uint64_t ch = addr;
+    for (uint32_t w : waiters) {
+      ch = Fold(ch, w);
+    }
+    if (!waiters.empty()) {
+      h ^= Mix64(ch);
+    }
+  }
+  // Symbolic state: the rolling constraint digest (maintained by
+  // AddConstraint) and input counter. Different path conditions must never
+  // be merged.
+  h = Fold(h, next_var_id);
+  h = Fold(h, constraints_digest);
+  // Active sleep entries. A state whose sleep set suppresses forks must not
+  // be merged with (or cover) one that would still fork them — the classic
+  // sleep-sets-plus-state-caching unsoundness: the suppressed interleaving
+  // would be explored by neither. Only *active* entries matter (thread
+  // still parked at the recorded site and not currently scheduled); stale
+  // entries influence nothing and would just block legitimate merges.
+  // Wrapping addition keeps the fold order-free without letting duplicate
+  // entries cancel.
+  for (const SleepEntry& e : sleep_set) {
+    if (e.tid == current_tid) {
+      continue;
+    }
+    for (const Thread& t : threads) {
+      if (t.id == e.tid && t.Pc() == e.op.site) {
+        h += Mix64(Fold(Fold(uint64_t{e.tid} << 8 | static_cast<uint64_t>(e.op.kind),
+                             e.op.addr),
+                        HashInstRef(e.op.site)));
+        break;
+      }
+    }
+  }
+  return h;
 }
 
 }  // namespace esd::vm

@@ -95,6 +95,37 @@ struct SchedEvent {
 inline constexpr double kScheduleFar = 1.0;
 inline constexpr double kScheduleNear = 0.0;
 
+// A synchronization (or flagged racy) operation announced to schedule
+// policies at preemption points. Lives here (not in schedule_policy.h) so
+// the state's sleep set can record them.
+struct SyncOp {
+  enum class Kind : uint8_t {
+    kMutexLock,
+    kMutexUnlock,
+    kCondWait,
+    kCondSignal,
+    kCondBroadcast,
+    kThreadCreate,
+    kThreadJoin,
+    kRacyLoad,
+    kRacyStore,
+    kYield,
+  };
+  Kind kind;
+  uint64_t addr = 0;  // Mutex / condvar / memory address, when applicable.
+  ir::InstRef site;
+};
+
+// One sleeping operation: thread `tid` was parked at `op.site`, about to
+// perform `op`, when a schedule fork chose to run another thread instead.
+// The continuation that lets `tid` proceed immediately is covered by the
+// fork's sibling, so re-forking back to `tid` is redundant until some
+// dependent operation executes (see ExecutionState::SleepSetWake).
+struct SleepEntry {
+  uint32_t tid = 0;
+  SyncOp op;
+};
+
 class ExecutionState {
  public:
   ExecutionState() = default;
@@ -140,6 +171,40 @@ class ExecutionState {
   // Allocates a fresh symbolic variable and remembers it as a program input.
   solver::ExprRef NewInput(const std::string& name, uint32_t width);
 
+  // Appends a path constraint, keeping the rolling constraint digest the
+  // fingerprint folds in current (O(1) instead of rehashing the whole
+  // vector per fingerprint). All constraint appends must go through here —
+  // a direct push to `constraints` would silently stale the digest.
+  void AddConstraint(solver::ExprRef c);
+
+  // ---- Redundancy pruning (sleep sets + state fingerprint) ----
+
+  // True if thread `tid` is asleep here: a sleep entry records it parked at
+  // exactly its current pc. Schedule policies skip forking to such threads.
+  bool SleepSetBlocks(uint32_t tid) const;
+  // Records that `tid` (about to perform `op`) was the not-chosen side of a
+  // schedule fork in this state.
+  void SleepSetInsert(uint32_t tid, const SyncOp& op);
+  // An operation is about to execute in this state: wake (drop) every sleep
+  // entry dependent on it — same memory address with a write involved for
+  // racy pairs, same address for sync objects, and conservatively any
+  // condvar/thread-lifecycle operation. Entries of the current thread and
+  // entries whose thread moved past the recorded site are dropped as stale.
+  void SleepSetWake(const SyncOp& op);
+  // A plain (unflagged) load or store at `addr`: wakes dependent entries.
+  // Cheap no-op while the sleep set is empty.
+  void SleepSetWakeAccess(uint64_t addr, bool is_write);
+
+  // 64-bit fingerprint of everything that determines this state's future
+  // behavior: per-thread stacks / registers / blocking state, the memory
+  // content hash maintained incrementally by AddressSpace, sync-object
+  // state, the path-constraint digest, and the scheduled thread. States
+  // reached through different interleavings of independent operations
+  // collide (that is the point); states differing in any behavior-relevant
+  // component do not (modulo 64-bit hash collisions). Traces, priorities,
+  // and other search metadata are excluded.
+  uint64_t Fingerprint() const;
+
   // ---- Identity & bookkeeping ----
   uint64_t id = 0;
   uint64_t steps = 0;        // Instructions executed in this state's history.
@@ -154,7 +219,10 @@ class ExecutionState {
   uint32_t next_tid = 1;
 
   // ---- Symbolic state ----
-  std::vector<solver::ExprRef> constraints;
+  std::vector<solver::ExprRef> constraints;  // Append via AddConstraint.
+  // Rolling order-sensitive digest of `constraints` (structural hashes),
+  // maintained by AddConstraint and copied with the state on fork.
+  uint64_t constraints_digest = 0;
   uint64_t next_var_id = 1;
   // Input registry in creation order: (name, var expr).
   std::vector<std::pair<std::string, solver::ExprRef>> inputs;
@@ -171,6 +239,8 @@ class ExecutionState {
   std::map<uint64_t, StatePtr> lock_snapshots;
   double schedule_distance = kScheduleFar;
   bool is_schedule_snapshot = false;
+  // Sleeping (thread, operation) pairs; forks copy it with the state.
+  std::vector<SleepEntry> sleep_set;
 };
 
 }  // namespace esd::vm

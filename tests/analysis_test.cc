@@ -2,6 +2,10 @@
 // critical edges, reaching definitions, and the lock-order checker.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+#include <vector>
+
 #include "src/analysis/cfg.h"
 #include "src/analysis/critical_edges.h"
 #include "src/analysis/distance.h"
@@ -428,6 +432,60 @@ TEST(LockOrderTest, FindsRealWorkloadInversions) {
     workloads::Workload w = workloads::MakeWorkload(name);
     EXPECT_GE(FindLockOrderWarnings(*w.module).size(), 1u) << name;
   }
+}
+
+// Regression test for the portfolio data race: queries for goals that were
+// *not* passed to Prewarm fill the lazy caches, and under a portfolio those
+// queries arrive from several workers at once. The caches are now guarded
+// by an internal mutex, so concurrent un-prewarmed queries must be safe.
+// Run under ThreadSanitizer (the CI tsan job does) to exercise the guard.
+TEST(DistanceTest, ConcurrentLazyFillIsThreadSafe) {
+  ir::Module m = Parse(R"(
+func @leaf(%x: i32) : i32 {
+entry:
+  %r = add %x, i32 1
+  ret %r
+}
+func @mid(%x: i32) : i32 {
+entry:
+  %a = call @leaf(%x)
+  %b = call @leaf(%a)
+  ret %b
+}
+func @main() : i32 {
+entry:
+  %v = call @mid(i32 3)
+  %w = call @mid(%v)
+  ret i32 0
+}
+)");
+  uint32_t leaf = *m.FindFunction("leaf");
+  uint32_t mid = *m.FindFunction("mid");
+  uint32_t main_fn = *m.FindFunction("main");
+  DistanceCalculator dc(&m);
+  // Prewarm only one goal; the threads below all query a different one,
+  // racing on the lazy per-goal tables.
+  dc.Prewarm({ir::InstRef{leaf, 0, 0}});
+  ir::InstRef cold_goal{mid, 0, 1};
+  std::vector<std::thread> threads;
+  std::atomic<uint64_t> sink{0};
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&dc, &sink, cold_goal, main_fn, mid] {
+      for (int i = 0; i < 200; ++i) {
+        sink += dc.Distance(ir::InstRef{main_fn, 0, 0}, cold_goal);
+        std::vector<ir::InstRef> stack{ir::InstRef{main_fn, 0, 1},
+                                       ir::InstRef{mid, 0, 0}};
+        sink += dc.ThreadDistance(stack, cold_goal);
+        sink += dc.ThreadCanReachGoal(stack, 0, cold_goal) ? 1 : 0;
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  // All threads computed the same (cached) answers; spot-check one.
+  EXPECT_LT(dc.Distance(ir::InstRef{main_fn, 0, 0}, cold_goal),
+            analysis::kInfDistance);
 }
 
 }  // namespace

@@ -83,9 +83,12 @@ TEST(PatchValidationTest, BuggyVersionSynthesizesPatchedDoesNot) {
   auto dump = workloads::CaptureDump(*buggy.module, buggy.trigger);
   ASSERT_TRUE(dump.has_value());
 
-  // Against the buggy build ESD reproduces the deadlock.
+  // Against the buggy build ESD reproduces the deadlock. With redundant
+  // interleavings pruned the synthesis takes milliseconds; the caps here
+  // (and below) only bound a regressed worst case without loosening what
+  // is asserted.
   core::SynthesisOptions options;
-  options.time_cap_seconds = 30.0;
+  options.time_cap_seconds = 10.0;
   core::Synthesizer on_buggy(buggy.module.get(), options);
   EXPECT_TRUE(on_buggy.Synthesize(*dump).success);
 
@@ -108,12 +111,18 @@ TEST(PatchValidationTest, BuggyVersionSynthesizesPatchedDoesNot) {
   t2.target = ir::InstRef{cs, 0, 1};  // lock(M2)
   goal.threads = {t1, t2};
 
+  // State dedup closes the patched build's interleaving space: the search
+  // *exhausts* it (strongest possible patch-validation verdict) instead of
+  // running into the time cap.
   core::SynthesisOptions patched_options;
-  patched_options.time_cap_seconds = 15.0;
+  patched_options.time_cap_seconds = 5.0;
   core::Synthesizer on_patched(patched.get(), patched_options);
   core::SynthesisResult result = on_patched.SynthesizeGoal(goal);
   EXPECT_FALSE(result.success)
       << "patched build still deadlocks: " << result.bug.message;
+  EXPECT_NE(result.failure_reason.find("exhausted without manifesting"),
+            std::string::npos)
+      << "expected exhaustive coverage, got: " << result.failure_reason;
 }
 
 TEST(PatchValidationTest, PatchedProgramRunsCleanUnderStress) {

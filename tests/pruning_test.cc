@@ -1,0 +1,326 @@
+// Tests for the redundant-interleaving pruning layer: the execution-state
+// fingerprint (state dedup), sleep-set recording/wakeup, the engine's
+// visited-table integration, and the determinism guarantee that `--jobs 1`
+// synthesis is bit-reproducible run to run.
+#include <gtest/gtest.h>
+
+#include "src/core/synthesizer.h"
+#include "src/replay/replayer.h"
+#include "src/vm/fingerprint.h"
+#include "src/vm/interpreter.h"
+#include "src/vm/state.h"
+#include "src/workloads/workloads.h"
+
+namespace esd {
+namespace {
+
+// ---- Fingerprint unit tests -------------------------------------------------
+
+// Two threads touch disjoint data: executing them in either order must
+// reconverge to the same fingerprint (that collision is what lets the
+// engine drop one of the two interleavings).
+TEST(StateFingerprint, CommutingInterleavingsReconverge) {
+  auto module = workloads::ParseWorkload(R"(
+global $x = zero 4
+global $y = zero 4
+global $m1 = zero 8
+global $m2 = zero 8
+
+func @t1(%a: ptr) : void {
+entry:
+  call @mutex_lock($m1)
+  store i32 7, $x
+  call @mutex_unlock($m1)
+  ret
+}
+
+func @t2(%a: ptr) : void {
+entry:
+  call @mutex_lock($m2)
+  store i32 9, $y
+  call @mutex_unlock($m2)
+  ret
+}
+
+func @main() : i32 {
+entry:
+  %a = call @thread_create(@t1, null)
+  %b = call @thread_create(@t2, null)
+  call @yield()
+  call @yield()
+  ret i32 0
+}
+)");
+  solver::ConstraintSolver solver;
+  vm::Interpreter interp(module.get(), &solver, {});
+  uint32_t main_fn = *module->FindFunction("main");
+  vm::StatePtr a = interp.MakeInitialState(main_fn, 1);
+  // Execute main's two thread_create calls; both threads now exist.
+  interp.Step(*a);
+  interp.Step(*a);
+  vm::StatePtr b = a->Fork(2);
+
+  // a: t1's lock+store, then t2's lock+store. b: the reverse order.
+  auto run = [&](vm::ExecutionState& s, uint32_t tid, int steps) {
+    s.current_tid = tid;
+    for (int i = 0; i < steps; ++i) {
+      interp.Step(s);
+    }
+  };
+  run(*a, 1, 2);
+  run(*a, 2, 2);
+  run(*b, 2, 2);
+  run(*b, 1, 2);
+  a->current_tid = 0;
+  b->current_tid = 0;
+  EXPECT_EQ(a->Fingerprint(), b->Fingerprint())
+      << "independent operations must commute to the same fingerprint";
+
+  // Advancing only one of them (t1's unlock) must break the collision...
+  run(*a, 1, 1);
+  a->current_tid = 0;
+  EXPECT_NE(a->Fingerprint(), b->Fingerprint());
+  // ...and performing the same operation in the other restores it.
+  run(*b, 1, 1);
+  b->current_tid = 0;
+  EXPECT_EQ(a->Fingerprint(), b->Fingerprint());
+}
+
+TEST(StateFingerprint, MemoryContentDistinguishes) {
+  vm::ExecutionState a;
+  vm::ExecutionState b;
+  uint32_t ia = a.mem.Allocate(4, vm::ObjectKind::kGlobal, "g");
+  uint32_t ib = b.mem.Allocate(4, vm::ObjectKind::kGlobal, "g");
+  ASSERT_EQ(a.Fingerprint(), b.Fingerprint());
+
+  a.mem.WriteByte(a.mem.FindWritable(ia), 0, solver::MakeConst(8, 5));
+  EXPECT_NE(a.Fingerprint(), b.Fingerprint());
+
+  b.mem.WriteByte(b.mem.FindWritable(ib), 0, solver::MakeConst(8, 6));
+  EXPECT_NE(a.Fingerprint(), b.Fingerprint()) << "different bytes, same site";
+
+  b.mem.WriteByte(b.mem.FindWritable(ib), 0, solver::MakeConst(8, 5));
+  EXPECT_EQ(a.Fingerprint(), b.Fingerprint()) << "equal content must collide";
+
+  // Overwriting back to zero restores the untouched-object hash.
+  a.mem.WriteByte(a.mem.FindWritable(ia), 0, solver::MakeConst(8, 0));
+  b.mem.WriteByte(b.mem.FindWritable(ib), 0, solver::MakeConst(8, 0));
+  vm::ExecutionState fresh;
+  fresh.mem.Allocate(4, vm::ObjectKind::kGlobal, "g");
+  EXPECT_EQ(a.Fingerprint(), fresh.Fingerprint());
+  EXPECT_EQ(b.Fingerprint(), fresh.Fingerprint());
+}
+
+TEST(StateFingerprint, SyncStateDistinguishes) {
+  vm::ExecutionState a;
+  vm::ExecutionState b;
+  ASSERT_EQ(a.Fingerprint(), b.Fingerprint());
+  // A locked mutex changes the fingerprint; an unlocked entry does not
+  // (so "never locked" and "locked then released" states can merge).
+  a.mutexes[64] = vm::MutexState{true, 1, ir::InstRef{0, 0, 0}};
+  EXPECT_NE(a.Fingerprint(), b.Fingerprint());
+  b.mutexes[64] = vm::MutexState{false, ir::kInvalidIndex, {}};
+  EXPECT_NE(a.Fingerprint(), b.Fingerprint());
+  a.mutexes[64].locked = false;
+  EXPECT_EQ(a.Fingerprint(), b.Fingerprint());
+  // Condvar wait queues count too.
+  a.cond_waiters[128] = {1, 2};
+  EXPECT_NE(a.Fingerprint(), b.Fingerprint());
+}
+
+TEST(StateFingerprint, ConstraintsDistinguish) {
+  // Identical control/memory but different path conditions must not merge:
+  // one state may still reach the bug for some input, the other not.
+  vm::ExecutionState a;
+  vm::ExecutionState b;
+  solver::ExprRef v = solver::MakeVar(1, 32, "x#1");
+  a.AddConstraint(solver::MakeEq(v, solver::MakeConst(32, 3)));
+  b.AddConstraint(solver::MakeNe(v, solver::MakeConst(32, 3)));
+  EXPECT_NE(a.Fingerprint(), b.Fingerprint());
+  // The same constraint appended to both restores nothing — the digests
+  // already diverged (order-sensitive rolling fold).
+  solver::ExprRef extra = solver::MakeUle(v, solver::MakeConst(32, 9));
+  a.AddConstraint(extra);
+  b.AddConstraint(extra);
+  EXPECT_NE(a.Fingerprint(), b.Fingerprint());
+}
+
+// ---- Sleep-set unit tests ---------------------------------------------------
+
+vm::ExecutionState TwoThreadState() {
+  vm::ExecutionState st;
+  for (uint32_t id = 0; id < 2; ++id) {
+    vm::Thread t;
+    t.id = id;
+    vm::StackFrame f;
+    f.func = id;  // Distinct pcs per thread.
+    t.frames.push_back(f);
+    st.threads.push_back(std::move(t));
+  }
+  st.current_tid = 0;
+  return st;
+}
+
+vm::SyncOp MakeOp(vm::SyncOp::Kind kind, uint64_t addr, ir::InstRef site) {
+  vm::SyncOp op;
+  op.kind = kind;
+  op.addr = addr;
+  op.site = site;
+  return op;
+}
+
+TEST(SleepSet, BlocksUntilDependentMutexOpWakes) {
+  vm::ExecutionState st = TwoThreadState();
+  ir::InstRef t1_pc = st.threads[1].Pc();
+  st.SleepSetInsert(1, MakeOp(vm::SyncOp::Kind::kMutexLock, 100, t1_pc));
+  EXPECT_TRUE(st.SleepSetBlocks(1));
+  EXPECT_FALSE(st.SleepSetBlocks(0));
+
+  // An operation on a different mutex is independent: still asleep.
+  st.SleepSetWake(MakeOp(vm::SyncOp::Kind::kMutexLock, 200, {}));
+  EXPECT_TRUE(st.SleepSetBlocks(1));
+
+  // Touching the same mutex is dependent: woken.
+  st.SleepSetWake(MakeOp(vm::SyncOp::Kind::kMutexUnlock, 100, {}));
+  EXPECT_FALSE(st.SleepSetBlocks(1));
+}
+
+TEST(SleepSet, RacyAccessesWakeOnConflictOnly) {
+  vm::ExecutionState st = TwoThreadState();
+  ir::InstRef t1_pc = st.threads[1].Pc();
+  // Addresses are (object, offset) pairs; dependence is judged at object
+  // granularity so multi-byte accesses overlapping at different offsets
+  // still conflict.
+  const uint64_t obj5 = vm::MakePointer(5, 0);
+  const uint64_t obj6 = vm::MakePointer(6, 0);
+  st.SleepSetInsert(1, MakeOp(vm::SyncOp::Kind::kRacyStore, obj5, t1_pc));
+  // Writes to a different object are independent.
+  st.SleepSetWakeAccess(obj6, /*is_write=*/true);
+  EXPECT_TRUE(st.SleepSetBlocks(1));
+  // A plain read elsewhere in the same object conflicts with the sleeping
+  // store (it may overlap).
+  st.SleepSetWakeAccess(vm::MakePointer(5, 2), /*is_write=*/false);
+  EXPECT_FALSE(st.SleepSetBlocks(1));
+
+  // A sleeping *load* is not woken by other loads (read-read commutes)...
+  st.SleepSetInsert(1, MakeOp(vm::SyncOp::Kind::kRacyLoad, obj5, t1_pc));
+  st.SleepSetWakeAccess(obj5, /*is_write=*/false);
+  EXPECT_TRUE(st.SleepSetBlocks(1));
+  // ...but is woken by a write to the same object.
+  st.SleepSetWakeAccess(obj5, /*is_write=*/true);
+  EXPECT_FALSE(st.SleepSetBlocks(1));
+
+  // A racy operation whose pointer was symbolic at the preemption point
+  // records address 0: independence cannot be shown, so anything wakes it.
+  st.SleepSetInsert(1, MakeOp(vm::SyncOp::Kind::kRacyStore, 0, t1_pc));
+  st.SleepSetWakeAccess(obj6, /*is_write=*/false);
+  EXPECT_FALSE(st.SleepSetBlocks(1));
+}
+
+TEST(SleepSet, CondAndThreadOpsWakeEverything) {
+  vm::ExecutionState st = TwoThreadState();
+  ir::InstRef t1_pc = st.threads[1].Pc();
+  st.SleepSetInsert(1, MakeOp(vm::SyncOp::Kind::kMutexLock, 100, t1_pc));
+  st.SleepSetWake(MakeOp(vm::SyncOp::Kind::kCondSignal, 999, {}));
+  EXPECT_FALSE(st.SleepSetBlocks(1)) << "condvar ops wake conservatively";
+
+  st.SleepSetInsert(1, MakeOp(vm::SyncOp::Kind::kMutexLock, 100, t1_pc));
+  st.SleepSetWake(MakeOp(vm::SyncOp::Kind::kThreadCreate, 0, {}));
+  EXPECT_FALSE(st.SleepSetBlocks(1)) << "thread lifecycle wakes conservatively";
+}
+
+TEST(SleepSet, EntryGoesStaleWhenThreadMoves) {
+  vm::ExecutionState st = TwoThreadState();
+  ir::InstRef t1_pc = st.threads[1].Pc();
+  st.SleepSetInsert(1, MakeOp(vm::SyncOp::Kind::kMutexLock, 100, t1_pc));
+  ASSERT_TRUE(st.SleepSetBlocks(1));
+  // The sleeping thread executed something on its own: the recorded parked
+  // operation is no longer what it would run, so it must not block forks.
+  ++st.threads[1].frames.back().inst;
+  EXPECT_FALSE(st.SleepSetBlocks(1));
+}
+
+TEST(FingerprintTable, InsertIfAbsentIsIdempotent) {
+  vm::FingerprintTable table;
+  EXPECT_TRUE(table.InsertIfAbsent(42));
+  EXPECT_FALSE(table.InsertIfAbsent(42));
+  EXPECT_TRUE(table.InsertIfAbsent(43));
+  EXPECT_EQ(table.Size(), 2u);
+}
+
+// ---- End-to-end: pruning preserves synthesis, cuts the explored space -------
+
+TEST(Pruning, DeadlockSynthesisStillReplaysAndExploresLess) {
+  workloads::Workload w = workloads::MakeWorkload("listing1");
+  auto dump = workloads::CaptureDump(*w.module, w.trigger);
+  ASSERT_TRUE(dump.has_value());
+
+  core::SynthesisOptions off;
+  off.dedup = false;
+  off.sleep_sets = false;
+  core::SynthesisResult unpruned = core::Synthesizer(w.module.get(), off)
+                                       .Synthesize(*dump);
+  ASSERT_TRUE(unpruned.success) << unpruned.failure_reason;
+  EXPECT_EQ(unpruned.states_deduped, 0u);
+  EXPECT_EQ(unpruned.sleep_set_skips, 0u);
+
+  core::SynthesisOptions on;  // Pruning defaults on.
+  core::SynthesisResult pruned = core::Synthesizer(w.module.get(), on)
+                                     .Synthesize(*dump);
+  ASSERT_TRUE(pruned.success) << pruned.failure_reason;
+  EXPECT_GT(pruned.states_deduped, 0u);
+  EXPECT_LT(pruned.states_created, unpruned.states_created);
+
+  replay::ReplayResult r =
+      replay::Replay(*w.module, pruned.file, replay::ReplayMode::kStrict);
+  EXPECT_TRUE(r.completed);
+  EXPECT_TRUE(r.bug_reproduced) << "pruned search synthesized '"
+                                << vm::BugKindName(r.bug.kind) << "'";
+}
+
+TEST(Pruning, PortfolioSharedAndPrivateTablesBothWork) {
+  workloads::Workload w = workloads::MakeWorkload("listing1");
+  auto dump = workloads::CaptureDump(*w.module, w.trigger);
+  ASSERT_TRUE(dump.has_value());
+  for (bool shared : {true, false}) {
+    core::SynthesisOptions options;
+    options.jobs = 3;
+    options.dedup_shared = shared;
+    core::SynthesisResult result =
+        core::Synthesizer(w.module.get(), options).Synthesize(*dump);
+    ASSERT_TRUE(result.success)
+        << (shared ? "shared" : "private") << ": " << result.failure_reason;
+    replay::ReplayResult r =
+        replay::Replay(*w.module, result.file, replay::ReplayMode::kStrict);
+    EXPECT_TRUE(r.bug_reproduced);
+  }
+}
+
+// ---- Determinism: `--jobs 1` synthesis is bit-reproducible ------------------
+
+TEST(Determinism, SingleJobRunsAreBitIdentical) {
+  // Two independent synthesizer instances, same options: the execution
+  // files must match byte for byte (the RNGs are all constructor-seeded and
+  // no implementation-defined distribution is used anywhere in the search).
+  for (const char* name : {"listing1", "mknod"}) {
+    workloads::Workload w = workloads::MakeWorkload(name);
+    auto dump = workloads::CaptureDump(*w.module, w.trigger);
+    ASSERT_TRUE(dump.has_value()) << name;
+    core::SynthesisOptions options;
+    options.seed = 7;
+    core::SynthesisResult r1 = core::Synthesizer(w.module.get(), options)
+                                   .Synthesize(*dump);
+    core::SynthesisResult r2 = core::Synthesizer(w.module.get(), options)
+                                   .Synthesize(*dump);
+    ASSERT_TRUE(r1.success && r2.success) << name;
+    EXPECT_EQ(r1.instructions, r2.instructions) << name;
+    EXPECT_EQ(r1.states_created, r2.states_created) << name;
+    EXPECT_EQ(r1.states_deduped, r2.states_deduped) << name;
+    EXPECT_EQ(replay::ExecutionFileToText(r1.file),
+              replay::ExecutionFileToText(r2.file))
+        << name << ": --jobs 1 synthesis must be bit-reproducible";
+  }
+}
+
+}  // namespace
+}  // namespace esd

@@ -40,6 +40,86 @@ TEST(ExecutionFileTest, RejectsGarbage) {
       replay::ParseExecutionFile("execution v1\nfrobnicate 3\n", &error).has_value());
 }
 
+// A malformed execution file must produce a precise error, not a nonsense
+// schedule that playback then chases. One case per corruption class.
+TEST(ExecutionFileTest, RejectsMalformedRecords) {
+  auto parse_fails = [](const std::string& body, const std::string& want_error) {
+    std::string error;
+    auto parsed = replay::ParseExecutionFile("execution v1\n" + body, &error);
+    EXPECT_FALSE(parsed.has_value()) << body;
+    EXPECT_NE(error.find(want_error), std::string::npos)
+        << "for body '" << body << "' got error '" << error << "'";
+  };
+
+  // Truncated records (missing fields).
+  parse_fails("bug\n", "truncated bug");
+  parse_fails("switch 12\n", "truncated switch");
+  parse_fails("hb lock 1 77\n", "truncated hb");
+  parse_fails("input getchar#1 =\n", "malformed input");
+  parse_fails("input getchar#1\n", "truncated input");
+
+  // Trailing garbage after a complete record.
+  parse_fails("switch 12 1 junk\n", "trailing garbage");
+  parse_fails("hb lock 1 77 f:entry:0 junk\n", "trailing garbage");
+  parse_fails("input getchar#1 = 9 junk\n", "trailing garbage");
+  parse_fails("bug deadlock junk\n", "trailing garbage");
+
+  // Non-numeric where numbers are required.
+  parse_fails("switch twelve 1\n", "truncated switch");
+  parse_fails("input getchar#1 = many\n", "malformed input");
+
+  // Out-of-range tids.
+  parse_fails("switch 5 99999999\n", "out of range");
+  parse_fails("hb lock 99999999 77 f:entry:0\n", "out of range");
+
+  // Out-of-order switch points (a non-causal strict schedule). Equal steps
+  // are allowed: nested schedule forks legitimately record two switches at
+  // one step, and strict replay lets the later one win.
+  parse_fails("switch 9 1\nswitch 5 2\n", "out of step order");
+  {
+    std::string error;
+    EXPECT_TRUE(replay::ParseExecutionFile(
+                    "execution v1\nswitch 5 1\nswitch 5 2\n", &error)
+                    .has_value())
+        << error;
+  }
+
+  // Duplicate thread creations and creation of the main thread.
+  parse_fails("hb create 3 0 f:entry:0\nhb create 3 0 f:entry:1\n",
+              "duplicate hb create");
+  parse_fails("hb create 0 0 f:entry:0\n", "thread 0");
+
+  // Duplicate inputs (one value would silently win).
+  parse_fails("input getchar#1 = 9\ninput getchar#1 = 10\n", "duplicate input");
+
+  // The happy path still parses.
+  std::string error;
+  auto ok = replay::ParseExecutionFile(
+      "execution v1\nbug deadlock\ndescription two threads\n"
+      "input getchar#1 = 109\nswitch 5 1\nswitch 9 2\n"
+      "hb create 1 0 f:entry:0\nhb lock 1 77 f:entry:1\n",
+      &error);
+  ASSERT_TRUE(ok.has_value()) << error;
+  EXPECT_EQ(ok->strict.size(), 2u);
+  EXPECT_EQ(ok->happens_before.size(), 2u);
+}
+
+TEST(ExecutionFileTest, SynthesizedFilesRoundTripThroughParser) {
+  // End-to-end guard: what BuildExecutionFile emits must satisfy the
+  // hardened parser (step ordering, tid ranges, single creation per tid).
+  workloads::Workload w = workloads::MakeWorkload("listing1");
+  auto dump = workloads::CaptureDump(*w.module, w.trigger);
+  ASSERT_TRUE(dump.has_value());
+  core::Synthesizer synth(w.module.get(), {});
+  auto result = synth.Synthesize(*dump);
+  ASSERT_TRUE(result.success) << result.failure_reason;
+  std::string error;
+  auto parsed =
+      replay::ParseExecutionFile(replay::ExecutionFileToText(result.file), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(replay::Fingerprint(*parsed), replay::Fingerprint(result.file));
+}
+
 TEST(FingerprintTest, IdenticalExecutionsShareFingerprint) {
   // §8 triage: two dumps of the same bug synthesize to the same execution.
   workloads::Workload w = workloads::MakeWorkload("mkfifo");

@@ -3,6 +3,7 @@
 //   esdsynth <program.esd> <coredump> [-o exec.out] [--time-cap SECONDS]
 //            [--jobs N] [--with-race-det] [--no-proximity]
 //            [--no-intermediate-goals] [--no-critical-edges] [--seed N]
+//            [--dedup | --no-dedup] [--dedup-private] [--no-sleep-sets]
 //
 // Reads the program and the coredump, synthesizes an execution that
 // reproduces the reported bug, and writes the execution file for esdplay.
@@ -34,6 +35,14 @@ void Usage(std::ostream& os = std::cerr) {
      << "  --seed N                search RNG seed (default 1)\n"
      << "  --with-race-det         run the lockset race detector even for\n"
      << "                          non-race bug classes\n"
+     << "  --dedup / --no-dedup    state deduplication: drop schedule forks\n"
+     << "                          whose fingerprint (pcs, memory, sync\n"
+     << "                          state, constraints) was already explored\n"
+     << "                          (default on)\n"
+     << "  --dedup-private         with --jobs N: per-worker fingerprint\n"
+     << "                          tables instead of one shared table\n"
+     << "  --no-sleep-sets         disable sleep-set pruning of redundant\n"
+     << "                          schedule forks (default on)\n"
      << "  --no-proximity          ablation: disable proximity-guided search\n"
      << "  --no-intermediate-goals ablation: disable static anchor points\n"
      << "  --no-critical-edges     ablation: disable path abandonment\n"
@@ -79,6 +88,14 @@ int main(int argc, char** argv) {
       options.jobs = static_cast<size_t>(jobs);
     } else if (arg == "--with-race-det") {
       options.enable_race_detection = true;
+    } else if (arg == "--dedup") {
+      options.dedup = true;
+    } else if (arg == "--no-dedup") {
+      options.dedup = false;
+    } else if (arg == "--dedup-private") {
+      options.dedup_shared = false;
+    } else if (arg == "--no-sleep-sets") {
+      options.sleep_sets = false;
     } else if (arg == "--no-proximity") {
       options.use_proximity = false;
     } else if (arg == "--no-intermediate-goals") {
@@ -121,13 +138,17 @@ int main(int argc, char** argv) {
   }
   std::cout << "esdsynth: synthesized in " << result.seconds << "s ("
             << result.instructions << " instructions, " << result.states_created
-            << " states, " << result.intermediate_goals << " intermediate goals)\n";
+            << " states, " << result.states_deduped << " deduped, "
+            << result.sleep_set_skips << " sleep-set skips, "
+            << result.intermediate_goals << " intermediate goals)\n";
   for (size_t w = 0; w < result.workers.size(); ++w) {
     const core::WorkerReport& wr = result.workers[w];
     std::cout << "esdsynth:   worker " << w << " [" << wr.strategy << "] "
               << wr.status << (wr.winner ? " *winner*" : "") << ": "
               << wr.instructions << " instructions, " << wr.states_created
-              << " states, " << wr.solver_queries << " solver queries in "
+              << " states (" << wr.states_deduped << " deduped, "
+              << wr.sleep_set_skips << " sleep-set skips), "
+              << wr.solver_queries << " solver queries in "
               << wr.seconds << "s\n";
   }
   std::cout << "esdsynth: inferred " << result.file.inputs.size()
