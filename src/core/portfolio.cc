@@ -9,6 +9,7 @@
 
 #include "src/core/search_setup.h"
 #include "src/replay/execution_file.h"
+#include "src/solver/query_cache.h"
 #include "src/vm/engine.h"
 
 namespace esd::core {
@@ -72,6 +73,7 @@ struct WorkerOutcome {
   replay::ExecutionFile file;
   vm::BugInfo bug;
   std::vector<std::string> other_bugs;
+  solver::ConstraintSolver::Stats solver_stats;
 };
 
 }  // namespace
@@ -121,13 +123,21 @@ SynthesisResult RunPortfolio(
       table = std::make_unique<vm::FingerprintTable>();
     }
   }
+  // Solver pipeline stage 3 (shared): one query/counterexample cache shared
+  // by every worker's ConstraintSolver. Workers chase the same goal through
+  // the same program, so one worker's solve short-circuits the others'
+  // identical component queries (--solver-cache-private opts out; each
+  // solver still keeps its private caches either way).
+  solver::SharedSolverCache shared_solver_cache;
+  solver::SharedSolverCache* shared_cache_ptr =
+      options.solver_cache_shared ? &shared_solver_cache : nullptr;
 
   std::vector<WorkerOutcome> outcomes(jobs);
   auto worker_body = [&](size_t w) {
     WorkerOutcome& out = outcomes[w];
     out.report.seed = WorkerSeed(options, w);
 
-    solver::ConstraintSolver solver;
+    solver::ConstraintSolver solver(MakeSolverOptions(options, shared_cache_ptr));
     vm::RaceDetector race_detector;
     bool want_races = false;
     std::unique_ptr<vm::SchedulePolicy> policy =
@@ -137,6 +147,7 @@ SynthesisResult RunPortfolio(
     vm::Interpreter::Options iopts;
     iopts.policy = policy.get();
     iopts.race_detector = want_races ? &race_detector : nullptr;
+    iopts.rewrite_constraints = options.solver_rewrite;
     if (options.use_critical_edges) {
       iopts.branch_filter = MakeCriticalEdgeFilter(&goal, distances);
     }
@@ -207,6 +218,9 @@ SynthesisResult RunPortfolio(
       out.report.status = "exhausted";
     }
     out.report.solver_queries = solver.stats().queries;
+    out.report.solver_shared_hits = solver.stats().shared_hits;
+    out.report.sat_conflicts = solver.stats().sat_conflicts;
+    out.solver_stats = solver.stats();
   };
 
   std::vector<std::thread> threads;
@@ -229,13 +243,14 @@ SynthesisResult RunPortfolio(
     result.states_created += out.report.states_created;
     result.states_deduped += out.report.states_deduped;
     result.sleep_set_skips += out.report.sleep_set_skips;
-    result.solver_queries += out.report.solver_queries;
+    result.solver.Accumulate(out.solver_stats);
     for (std::string& bug : out.other_bugs) {
       result.other_bugs.push_back(std::move(bug));
     }
     any_limit |= out.status == vm::Engine::Result::Status::kLimitReached;
     result.workers.push_back(std::move(out.report));
   }
+  result.solver_queries = result.solver.queries;  // Legacy scalar view.
 
   int win = winner.load();
   if (win < 0) {

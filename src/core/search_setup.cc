@@ -6,6 +6,16 @@
 
 namespace esd::core {
 
+solver::SolverOptions MakeSolverOptions(const SynthesisOptions& options,
+                                        solver::SharedSolverCache* shared_cache) {
+  solver::SolverOptions sopts;
+  sopts.rewrite = options.solver_rewrite;
+  sopts.slice = options.solver_slice;
+  sopts.incremental = options.solver_incremental;
+  sopts.shared_cache = shared_cache;
+  return sopts;
+}
+
 std::vector<ProximitySearcher::SearchGoal> BuildSearchGoals(
     const ir::Module& module, analysis::DistanceCalculator& distances,
     const Goal& goal, bool use_intermediate_goals, size_t* intermediate_count) {

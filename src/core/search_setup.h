@@ -16,11 +16,17 @@
 #include "src/analysis/distance.h"
 #include "src/core/goal.h"
 #include "src/core/proximity_searcher.h"
+#include "src/core/synthesizer.h"
 #include "src/vm/interpreter.h"
 #include "src/vm/race_detector.h"
 #include "src/vm/schedule_policy.h"
 
 namespace esd::core {
+
+// Maps the SynthesisOptions solver toggles onto solver::SolverOptions.
+// `shared_cache` (may be null) is the portfolio-wide cache for jobs > 1.
+solver::SolverOptions MakeSolverOptions(const SynthesisOptions& options,
+                                        solver::SharedSolverCache* shared_cache);
 
 // Builds the per-thread final goals plus (optionally) the §3.2 intermediate
 // goals derived by static analysis. `intermediate_count`, when non-null,

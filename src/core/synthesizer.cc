@@ -59,11 +59,14 @@ SynthesisResult Synthesizer::SynthesizeGoal(const Goal& goal) {
                          &want_races, options_.sleep_sets);
 
   // 5. Interpreter with critical-edge pruning: abandon branch edges from
-  // which the current thread's goal is unreachable.
-  solver::ConstraintSolver solver;
+  // which the current thread's goal is unreachable. The solver runs the
+  // incremental pipeline per the solver_* toggles (no shared cache: there
+  // is only one worker).
+  solver::ConstraintSolver solver(MakeSolverOptions(options_, nullptr));
   vm::Interpreter::Options iopts;
   iopts.policy = policy.get();
   iopts.race_detector = want_races ? &race_detector : nullptr;
+  iopts.rewrite_constraints = options_.solver_rewrite;
   if (options_.use_critical_edges) {
     iopts.branch_filter = MakeCriticalEdgeFilter(&goal, &distances);
   }
@@ -101,7 +104,8 @@ SynthesisResult Synthesizer::SynthesizeGoal(const Goal& goal) {
   result.states_created = run.states_created;
   result.states_deduped = run.states_deduped;
   result.sleep_set_skips = policy != nullptr ? policy->sleep_set_skips() : 0;
-  result.solver_queries = solver.stats().queries;
+  result.solver = solver.stats();
+  result.solver_queries = result.solver.queries;  // Legacy scalar view.
 
   if (run.status != vm::Engine::Result::Status::kGoalFound) {
     result.failure_reason =
@@ -114,7 +118,10 @@ SynthesisResult Synthesizer::SynthesizeGoal(const Goal& goal) {
   // 7. Solve the path constraints into concrete inputs (§5.1) and emit the
   // execution file.
   solver::Model model;
-  if (!solver.IsSatisfiable(run.goal_state->constraints, &model)) {
+  bool solved = solver.IsSatisfiable(run.goal_state->constraints, &model);
+  result.solver = solver.stats();  // Include the final model solve.
+  result.solver_queries = result.solver.queries;
+  if (!solved) {
     result.failure_reason = "goal state constraints unexpectedly unsatisfiable";
     return result;
   }

@@ -19,6 +19,7 @@
 #include "src/core/goal.h"
 #include "src/replay/execution_file.h"
 #include "src/report/coredump.h"
+#include "src/solver/solver.h"
 
 namespace esd::core {
 
@@ -53,6 +54,20 @@ struct SynthesisOptions {
   // Sleep sets: a schedule fork's child records the preempted (thread, op)
   // pair and skips re-forking it until a dependent operation wakes it.
   bool sleep_sets = true;
+  // ---- Incremental constraint-solving pipeline (see src/solver/solver.h) --
+  // Stage 1: canonicalizing expression rewriter, applied both at
+  // ExecutionState::AddConstraint and before bit-blasting.
+  bool solver_rewrite = true;
+  // Stage 2: partition each query into independent components over shared
+  // variables; solve and cache per component.
+  bool solver_slice = true;
+  // Stage 4: assumption-based incremental SAT (persistent session keeping
+  // learned clauses and bit-blasted circuits across queries).
+  bool solver_incremental = true;
+  // Stage 3, jobs > 1: one query/counterexample cache shared by all workers
+  // (sharded mutexes) instead of per-worker caches only. Mirrors the
+  // --dedup shared/private split; cross-worker hits are counted per worker.
+  bool solver_cache_shared = true;
 };
 
 // Per-worker accounting for a portfolio run (`jobs` > 1).
@@ -69,6 +84,9 @@ struct WorkerReport {
   uint64_t states_deduped = 0;
   uint64_t sleep_set_skips = 0;
   uint64_t solver_queries = 0;
+  // Shared-solver-cache hits answered by another worker's solve.
+  uint64_t solver_shared_hits = 0;
+  uint64_t sat_conflicts = 0;
 };
 
 struct SynthesisResult {
@@ -90,6 +108,11 @@ struct SynthesisResult {
   uint64_t sleep_set_skips = 0;
   size_t intermediate_goals = 0;
   uint64_t solver_queries = 0;  // Summed across workers when jobs > 1.
+  // Full solver-pipeline accounting (cache layers, rewrites, components,
+  // and the underlying SAT effort), summed across workers when jobs > 1.
+  // esdsynth prints this so bench regressions are diagnosable from tool
+  // output.
+  solver::ConstraintSolver::Stats solver;
 
   // Portfolio accounting (empty / -1 for jobs == 1).
   std::vector<WorkerReport> workers;

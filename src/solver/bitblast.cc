@@ -262,15 +262,15 @@ void BitBlaster::Divide(const std::vector<Lit>& a, const std::vector<Lit>& b,
 }
 
 const std::vector<Lit>& BitBlaster::Blast(const ExprRef& e) {
-  auto it = cache_.find(e.get());
+  auto it = cache_.find(e);
   if (it != cache_.end()) {
     return it->second;
   }
   std::vector<Lit> bits = BlastNode(e);
   assert(bits.size() == e->width());
-  auto [pos, inserted] = cache_.emplace(e.get(), std::move(bits));
-  // Keep the expression alive as long as the cache references its pointer.
-  pinned_.push_back(e);
+  // References into an unordered_map stay valid across rehashes, so handing
+  // out `pos->second` while recursive Blast() calls keep inserting is safe.
+  auto [pos, inserted] = cache_.emplace(e, std::move(bits));
   return pos->second;
 }
 
@@ -279,13 +279,14 @@ std::vector<Lit> BitBlaster::BlastNode(const ExprRef& e) {
     case ExprKind::kConst:
       return ConstBits(e->width(), e->aux());
     case ExprKind::kVar: {
-      auto it = var_bits_.find(e->aux());
+      auto key = std::make_pair(e->aux(), e->width());
+      auto it = var_bits_.find(key);
       if (it == var_bits_.end()) {
         std::vector<Lit> bits(e->width());
         for (uint32_t i = 0; i < e->width(); ++i) {
           bits[i] = NewLit();
         }
-        it = var_bits_.emplace(e->aux(), std::move(bits)).first;
+        it = var_bits_.emplace(key, std::move(bits)).first;
         vars_.emplace(e->aux(), e);
       }
       return it->second;
@@ -406,9 +407,21 @@ void BitBlaster::AssertTrue(const ExprRef& e) {
   sat_->AddUnit(Blast(e)[0]);
 }
 
+void BitBlaster::AppendVarScope(const ExprRef& var_expr,
+                                std::vector<uint32_t>* scope) const {
+  assert(var_expr->kind() == ExprKind::kVar);
+  auto it = var_bits_.find(std::make_pair(var_expr->aux(), var_expr->width()));
+  if (it == var_bits_.end()) {
+    return;
+  }
+  for (Lit l : it->second) {
+    scope->push_back(l.var());
+  }
+}
+
 uint64_t BitBlaster::ModelValue(const ExprRef& var_expr) const {
   assert(var_expr->kind() == ExprKind::kVar);
-  auto it = var_bits_.find(var_expr->aux());
+  auto it = var_bits_.find(std::make_pair(var_expr->aux(), var_expr->width()));
   if (it == var_bits_.end()) {
     return 0;
   }

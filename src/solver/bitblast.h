@@ -1,14 +1,23 @@
 // ESD solver: Tseitin bit-blasting of bitvector expressions to CNF.
 //
-// A BitBlaster owns a SatSolver and translates Expr DAGs into circuits over
-// SAT literals. Each distinct Expr node (by pointer) is translated once and
-// cached, so shared subtrees cost one circuit.
+// A BitBlaster translates Expr DAGs into circuits over SAT literals for the
+// SatSolver it is bound to. Each structurally distinct expression is
+// translated once and cached (keyed by structural hash + equality, not by
+// node pointer), so shared subtrees cost one circuit — including across
+// queries when the blaster is kept alive as a persistent per-solver session
+// (the incremental pipeline in solver.cc): a subtree re-built by a later
+// query re-uses the clauses already emitted for it.
+//
+// The emitted clauses are purely definitional (out <-> f(inputs)); nothing
+// is asserted until AssertTrue. That is what makes session reuse sound: the
+// accumulated circuits never constrain the inputs on their own.
 #ifndef ESD_SRC_SOLVER_BITBLAST_H_
 #define ESD_SRC_SOLVER_BITBLAST_H_
 
 #include <cstdint>
 #include <map>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/solver/expr.h"
@@ -33,6 +42,11 @@ class BitBlaster {
 
   // All symbolic variables encountered during blasting, id -> expr.
   const std::map<uint64_t, ExprRef>& vars() const { return vars_; }
+
+  // The SAT variable indices backing `var_expr`'s bits, appended to
+  // `scope`; no-op if the variable was never blasted. Used to build the
+  // decision scope for SatSolver::SolveAssuming in session mode.
+  void AppendVarScope(const ExprRef& var_expr, std::vector<uint32_t>* scope) const;
 
  private:
   Lit TrueLit();
@@ -67,10 +81,25 @@ class BitBlaster {
 
   std::vector<Lit> BlastNode(const ExprRef& e);
 
+  struct ExprRefHash {
+    size_t operator()(const ExprRef& e) const { return e->hash(); }
+  };
+  struct ExprRefEq {
+    bool operator()(const ExprRef& a, const ExprRef& b) const {
+      return Expr::Equal(a, b);
+    }
+  };
+
   SatSolver* sat_;
-  std::unordered_map<const Expr*, std::vector<Lit>> cache_;
-  std::vector<ExprRef> pinned_;  // Keeps cached Expr pointers alive.
-  std::map<uint64_t, std::vector<Lit>> var_bits_;  // var id -> bits
+  // Structural circuit cache; the keys keep the expressions alive.
+  std::unordered_map<ExprRef, std::vector<Lit>, ExprRefHash, ExprRefEq> cache_;
+  // Variable bits keyed by (id, width): across a long-lived session,
+  // distinct execution states may mint different variables under one id
+  // (per-state counters), and they must not alias a bit vector of the
+  // wrong width. Two same-width variables sharing an id may share bits —
+  // they never co-occur in one query, and the bits are unconstrained on
+  // their own (assertions are assumption-gated).
+  std::map<std::pair<uint64_t, uint32_t>, std::vector<Lit>> var_bits_;
   std::map<uint64_t, ExprRef> vars_;
   Lit true_lit_{0};
   bool have_true_lit_ = false;

@@ -460,14 +460,29 @@ uint64_t EvalExpr(const ExprRef& e, const std::map<uint64_t, uint64_t>& assignme
   }
 }
 
-void CollectVars(const ExprRef& e, std::map<uint64_t, ExprRef>* vars) {
+namespace {
+
+void CollectVarsWalk(const ExprRef& e, std::set<const Expr*>* seen,
+                     std::map<uint64_t, ExprRef>* vars) {
+  if (!seen->insert(e.get()).second) {
+    return;  // Shared subtree: already walked once.
+  }
   if (e->kind() == ExprKind::kVar) {
     vars->emplace(e->aux(), e);
     return;
   }
   for (const ExprRef& k : e->kids()) {
-    CollectVars(k, vars);
+    CollectVarsWalk(k, seen, vars);
   }
+}
+
+}  // namespace
+
+void CollectVars(const ExprRef& e, std::map<uint64_t, ExprRef>* vars) {
+  // Walk each node once by identity: expressions are DAGs, and a path-count
+  // traversal is exponential on heavily shared ones.
+  std::set<const Expr*> seen;
+  CollectVarsWalk(e, &seen, vars);
 }
 
 size_t ExprSize(const ExprRef& e) {

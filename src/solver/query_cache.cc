@@ -1,0 +1,59 @@
+#include "src/solver/query_cache.h"
+
+namespace esd::solver {
+
+std::optional<SharedSolverCache::Hit> SharedSolverCache::Lookup(
+    size_t key, const void* self) const {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end()) {
+    return std::nullopt;
+  }
+  Hit hit;
+  hit.sat = it->second.sat;
+  hit.has_model = it->second.has_model;
+  if (hit.has_model) {
+    hit.model = it->second.model;  // Copied under the lock.
+  }
+  hit.cross_worker = it->second.owner != self;
+  return hit;
+}
+
+void SharedSolverCache::Insert(size_t key, bool sat, const Model* model,
+                               const void* self) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto [it, inserted] = shard.map.try_emplace(key);
+  if (!inserted) {
+    // First writer wins; only upgrade a model-less sat entry with values so
+    // later model requests can be served cross-worker too.
+    if (it->second.sat && !it->second.has_model && sat && model != nullptr) {
+      it->second.model = *model;
+      it->second.has_model = true;
+    }
+    return;
+  }
+  it->second.sat = sat;
+  it->second.owner = self;
+  if (model != nullptr) {
+    it->second.model = *model;
+    it->second.has_model = true;
+  }
+  shard.order.push_back(key);
+  if (shard.map.size() > kShardCap) {
+    shard.map.erase(shard.order.front());
+    shard.order.pop_front();
+  }
+}
+
+size_t SharedSolverCache::size() const {
+  size_t n = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    n += shard.map.size();
+  }
+  return n;
+}
+
+}  // namespace esd::solver

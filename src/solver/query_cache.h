@@ -1,0 +1,73 @@
+// ESD solver: the shared portfolio query/counterexample cache (stage 4).
+//
+// Portfolio workers (`--jobs N`) explore the same program toward the same
+// goal, so they keep asking the same component-level satisfiability
+// questions. This cache lets an answer computed by one worker short-circuit
+// the SAT call in every other worker, mirroring the `--dedup` shared
+// fingerprint table: sharded, mutex-striped (one lock per shard, never held
+// across a solve), bounded FIFO per shard.
+//
+// Entries record the inserting solver so a lookup can tell a *cross-worker*
+// hit (the interesting, portfolio-only win) from a worker re-finding its own
+// answer after local eviction. Satisfiable entries carry the model, which a
+// consumer must re-validate by evaluation against its own constraint set
+// before trusting — re-validation makes sharing safe even across the rare
+// 64-bit key collision.
+#ifndef ESD_SRC_SOLVER_QUERY_CACHE_H_
+#define ESD_SRC_SOLVER_QUERY_CACHE_H_
+
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+#include "src/solver/solver.h"  // For Model; solver.h only forward-declares us.
+
+namespace esd::solver {
+
+class SharedSolverCache {
+ public:
+  struct Hit {
+    bool sat = false;
+    bool has_model = false;
+    Model model;
+    bool cross_worker = false;  // Inserted by a different solver than `self`.
+  };
+
+  // `self` identifies the asking solver (any stable pointer).
+  std::optional<Hit> Lookup(size_t key, const void* self) const;
+
+  // Records an answer. `model` may be null (unsat, or sat answers found
+  // without materializing values). First writer wins; re-inserting an
+  // existing key only upgrades a model-less sat entry with a model.
+  void Insert(size_t key, bool sat, const Model* model, const void* self);
+
+  size_t size() const;
+
+  static constexpr size_t kShards = 16;
+  // Per-shard FIFO bound: kShards * kShardCap entries total, matching the
+  // order of magnitude of the per-worker query cache.
+  static constexpr size_t kShardCap = 1 << 12;
+
+ private:
+  struct Entry {
+    bool sat = false;
+    bool has_model = false;
+    Model model;
+    const void* owner = nullptr;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<size_t, Entry> map;
+    std::deque<size_t> order;  // Insertion order, for FIFO eviction.
+  };
+
+  Shard& ShardFor(size_t key) const { return shards_[key % kShards]; }
+
+  mutable Shard shards_[kShards];
+};
+
+}  // namespace esd::solver
+
+#endif  // ESD_SRC_SOLVER_QUERY_CACHE_H_

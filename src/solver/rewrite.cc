@@ -1,0 +1,321 @@
+#include "src/solver/rewrite.h"
+
+#include <cassert>
+
+namespace esd::solver {
+namespace {
+
+// Rebuilds `e` with canonical kids through the simplifying factories, which
+// fold constants, apply identities, and move constants right of commutative
+// operators. kids.size() matches the node's arity by construction.
+ExprRef Rebuild(const ExprRef& e, std::vector<ExprRef> kids) {
+  switch (e->kind()) {
+    case ExprKind::kConst:
+    case ExprKind::kVar:
+      return e;
+    case ExprKind::kAdd:
+      return MakeAdd(kids[0], kids[1]);
+    case ExprKind::kSub:
+      return MakeSub(kids[0], kids[1]);
+    case ExprKind::kMul:
+      return MakeMul(kids[0], kids[1]);
+    case ExprKind::kUDiv:
+      return MakeUDiv(kids[0], kids[1]);
+    case ExprKind::kSDiv:
+      return MakeSDiv(kids[0], kids[1]);
+    case ExprKind::kURem:
+      return MakeURem(kids[0], kids[1]);
+    case ExprKind::kSRem:
+      return MakeSRem(kids[0], kids[1]);
+    case ExprKind::kAnd:
+      return MakeAnd(kids[0], kids[1]);
+    case ExprKind::kOr:
+      return MakeOr(kids[0], kids[1]);
+    case ExprKind::kXor:
+      return MakeXor(kids[0], kids[1]);
+    case ExprKind::kShl:
+      return MakeShl(kids[0], kids[1]);
+    case ExprKind::kLShr:
+      return MakeLShr(kids[0], kids[1]);
+    case ExprKind::kAShr:
+      return MakeAShr(kids[0], kids[1]);
+    case ExprKind::kNot:
+      return MakeNot(kids[0]);
+    case ExprKind::kEq:
+      return MakeEq(kids[0], kids[1]);
+    case ExprKind::kUlt:
+      return MakeUlt(kids[0], kids[1]);
+    case ExprKind::kUle:
+      return MakeUle(kids[0], kids[1]);
+    case ExprKind::kSlt:
+      return MakeSlt(kids[0], kids[1]);
+    case ExprKind::kSle:
+      return MakeSle(kids[0], kids[1]);
+    case ExprKind::kConcat:
+      return MakeConcat(kids[0], kids[1]);
+    case ExprKind::kExtract:
+      return MakeExtract(kids[0], static_cast<uint32_t>(e->aux()), e->width());
+    case ExprKind::kZExt:
+      return MakeZExt(kids[0], e->width());
+    case ExprKind::kSExt:
+      return MakeSExt(kids[0], e->width());
+    case ExprKind::kIte:
+      return MakeIte(kids[0], kids[1], kids[2]);
+  }
+  assert(false && "unhandled expr kind");
+  return e;
+}
+
+bool IsComplement(const ExprRef& a, const ExprRef& b) {
+  if (a->kind() == ExprKind::kNot && Expr::Equal(a->kids()[0], b)) {
+    return true;
+  }
+  return b->kind() == ExprKind::kNot && Expr::Equal(b->kids()[0], a);
+}
+
+// x & (x | y) == x and x | (x & y) == x (either operand order).
+bool Absorbs(const ExprRef& compound, ExprKind inner_kind, const ExprRef& x) {
+  return compound->kind() == inner_kind &&
+         (Expr::Equal(compound->kids()[0], x) ||
+          Expr::Equal(compound->kids()[1], x));
+}
+
+// One top-node rewrite step on a node whose kids are already canonical.
+// Returns the input unchanged when no rule applies.
+ExprRef TopRule(const ExprRef& e) {
+  const auto& kids = e->kids();
+  uint32_t w = e->width();
+  uint64_t mask = WidthMask(w);
+  switch (e->kind()) {
+    case ExprKind::kSub:
+      // x - c canonicalizes to x + (-c): sub/add spellings of the same
+      // offset must hash equal, and the add reassociation below then folds
+      // whole chains.
+      if (kids[1]->IsConst()) {
+        return MakeAdd(kids[0], MakeConst(w, 0 - kids[1]->aux()));
+      }
+      break;
+    case ExprKind::kAdd:
+    case ExprKind::kMul:
+    case ExprKind::kAnd:
+    case ExprKind::kOr:
+    case ExprKind::kXor: {
+      // Complement and absorption rules for the bitwise connectives.
+      if (e->kind() == ExprKind::kAnd) {
+        if (IsComplement(kids[0], kids[1])) {
+          return MakeConst(w, 0);
+        }
+        if (Absorbs(kids[0], ExprKind::kOr, kids[1])) {
+          return kids[1];
+        }
+        if (Absorbs(kids[1], ExprKind::kOr, kids[0])) {
+          return kids[0];
+        }
+      }
+      if (e->kind() == ExprKind::kOr) {
+        if (IsComplement(kids[0], kids[1])) {
+          return MakeConst(w, mask);
+        }
+        if (Absorbs(kids[0], ExprKind::kAnd, kids[1])) {
+          return kids[1];
+        }
+        if (Absorbs(kids[1], ExprKind::kAnd, kids[0])) {
+          return kids[0];
+        }
+      }
+      if (e->kind() == ExprKind::kXor && IsComplement(kids[0], kids[1])) {
+        return MakeConst(w, mask);
+      }
+      // Constant reassociation: (x op c1) op c2 -> x op (c1 op c2). The
+      // factories keep constants on the right, so only that shape occurs.
+      if (kids[1]->IsConst() && kids[0]->kind() == e->kind() &&
+          kids[0]->kids()[1]->IsConst()) {
+        uint64_t c1 = kids[0]->kids()[1]->aux();
+        uint64_t c2 = kids[1]->aux();
+        uint64_t c = 0;
+        switch (e->kind()) {
+          case ExprKind::kAdd: c = c1 + c2; break;
+          case ExprKind::kMul: c = c1 * c2; break;
+          case ExprKind::kAnd: c = c1 & c2; break;
+          case ExprKind::kOr: c = c1 | c2; break;
+          default: c = c1 ^ c2; break;
+        }
+        return Rebuild(e, {kids[0]->kids()[0], MakeConst(w, c)});
+      }
+      break;
+    }
+    case ExprKind::kNot:
+      // Negated comparisons flip into their dual: the solver then sees one
+      // canonical predicate per branch polarity.
+      if (w == 1) {
+        const ExprRef& c = kids[0];
+        if (c->kind() == ExprKind::kUlt) {
+          return MakeUle(c->kids()[1], c->kids()[0]);
+        }
+        if (c->kind() == ExprKind::kUle) {
+          return MakeUlt(c->kids()[1], c->kids()[0]);
+        }
+        if (c->kind() == ExprKind::kSlt) {
+          return MakeSle(c->kids()[1], c->kids()[0]);
+        }
+        if (c->kind() == ExprKind::kSle) {
+          return MakeSlt(c->kids()[1], c->kids()[0]);
+        }
+      }
+      break;
+    case ExprKind::kEq: {
+      // Shift invertible constant operations onto the constant side:
+      // (x + c1) == c2  ->  x == c2 - c1, and likewise for xor and bitwise
+      // not. Zero-extension strips when the constant fits.
+      const ExprRef& a = kids[0];
+      const ExprRef& b = kids[1];
+      if (b->IsConst()) {
+        uint32_t aw = a->width();
+        if (a->kind() == ExprKind::kAdd && a->kids()[1]->IsConst()) {
+          return MakeEq(a->kids()[0],
+                        MakeConst(aw, b->aux() - a->kids()[1]->aux()));
+        }
+        if (a->kind() == ExprKind::kXor && a->kids()[1]->IsConst()) {
+          return MakeEq(a->kids()[0],
+                        MakeConst(aw, b->aux() ^ a->kids()[1]->aux()));
+        }
+        if (a->kind() == ExprKind::kNot) {
+          return MakeEq(a->kids()[0], MakeConst(aw, ~b->aux()));
+        }
+        if (a->kind() == ExprKind::kZExt) {
+          const ExprRef& inner = a->kids()[0];
+          if ((b->aux() & WidthMask(inner->width())) != b->aux()) {
+            return MakeFalse();  // Constant outside the zero-extended range.
+          }
+          return MakeEq(inner, MakeConst(inner->width(), b->aux()));
+        }
+      }
+      break;
+    }
+    case ExprKind::kUlt: {
+      const ExprRef& a = kids[0];
+      const ExprRef& b = kids[1];
+      uint32_t aw = a->width();
+      uint64_t amask = WidthMask(aw);
+      if (b->IsConst()) {
+        if (b->aux() == 0) {
+          return MakeFalse();
+        }
+        if (b->aux() == 1) {
+          return MakeEq(a, MakeConst(aw, 0));
+        }
+        if (b->aux() == amask) {
+          return MakeLogicalNot(MakeEq(a, MakeConst(aw, amask)));
+        }
+      }
+      if (a->IsConst()) {
+        if (a->aux() == amask) {
+          return MakeFalse();
+        }
+        if (a->aux() == 0) {
+          return MakeLogicalNot(MakeEq(b, MakeConst(aw, 0)));
+        }
+      }
+      break;
+    }
+    case ExprKind::kUle: {
+      const ExprRef& a = kids[0];
+      const ExprRef& b = kids[1];
+      uint32_t aw = a->width();
+      uint64_t amask = WidthMask(aw);
+      if (b->IsConst()) {
+        if (b->aux() == amask) {
+          return MakeTrue();
+        }
+        if (b->aux() == 0) {
+          return MakeEq(a, MakeConst(aw, 0));
+        }
+      }
+      if (a->IsConst()) {
+        if (a->aux() == 0) {
+          return MakeTrue();
+        }
+        if (a->aux() == amask) {
+          return MakeEq(b, MakeConst(aw, amask));
+        }
+      }
+      break;
+    }
+    case ExprKind::kSlt: {
+      uint32_t aw = kids[0]->width();
+      uint64_t smin = uint64_t{1} << (aw - 1);
+      uint64_t smax = WidthMask(aw) >> 1;
+      if (kids[1]->IsConstValue(smin) || kids[0]->IsConstValue(smax)) {
+        return MakeFalse();  // Nothing is below SMIN / above SMAX.
+      }
+      break;
+    }
+    case ExprKind::kSle: {
+      uint32_t aw = kids[0]->width();
+      uint64_t smin = uint64_t{1} << (aw - 1);
+      uint64_t smax = WidthMask(aw) >> 1;
+      if (kids[1]->IsConstValue(smax) || kids[0]->IsConstValue(smin)) {
+        return MakeTrue();  // Everything is at most SMAX / at least SMIN.
+      }
+      break;
+    }
+    case ExprKind::kIte:
+      if (kids[0]->kind() == ExprKind::kNot) {
+        return MakeIte(kids[0]->kids()[0], kids[2], kids[1]);
+      }
+      break;
+    default:
+      break;
+  }
+  return e;
+}
+
+}  // namespace
+
+ExprRef Rewriter::RewriteCached(const ExprRef& e) {
+  if (e->kids().empty()) {
+    return e;  // Constants and variables are already canonical.
+  }
+  if (auto it = memo_.find(e.get()); it != memo_.end()) {
+    return it->second;
+  }
+  std::vector<ExprRef> kids;
+  kids.reserve(e->kids().size());
+  for (const ExprRef& k : e->kids()) {
+    kids.push_back(RewriteCached(k));
+  }
+  ExprRef out = Rebuild(e, std::move(kids));
+  // Iterate the top rules to a fixpoint: one rule's output is often another
+  // rule's input (e.g. sub->add normalization enabling add reassociation).
+  // Each rule strictly shrinks or canonicalizes, so this terminates fast;
+  // the bound is sheer paranoia.
+  for (int i = 0; i < 8; ++i) {
+    ExprRef next = TopRule(out);
+    if (next.get() == out.get()) {
+      break;
+    }
+    out = std::move(next);
+  }
+  if (memo_.size() >= kMemoCap) {
+    memo_.clear();
+    pinned_.clear();
+  }
+  memo_.emplace(e.get(), out);
+  pinned_.push_back(e);
+  return out;
+}
+
+ExprRef Rewriter::Rewrite(const ExprRef& e) {
+  ExprRef out = RewriteCached(e);
+  if (out.get() != e.get() && !Expr::Equal(out, e)) {
+    ++rewritten_;
+  }
+  return out;
+}
+
+ExprRef RewriteExpr(const ExprRef& e) {
+  Rewriter rewriter;
+  return rewriter.Rewrite(e);
+}
+
+}  // namespace esd::solver

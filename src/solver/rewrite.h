@@ -1,0 +1,59 @@
+// ESD solver: the canonicalizing expression rewriter (pipeline stage 1).
+//
+// Rewrite() normalizes an expression DAG bottom-up so that structurally
+// different spellings of the same predicate converge on one canonical form:
+// constants are folded and pulled to the right of commutative operators (by
+// rebuilding every node through the simplifying factories in expr.h), chains
+// of constant operations are reassociated into a single constant, compare
+// nodes against constant bounds collapse, negations distribute over
+// comparisons, and equalities shift constant offsets onto the literal side.
+//
+// Every rule is a full semantic equivalence: for all assignments,
+// EvalExpr(Rewrite(e)) == EvalExpr(e). The payoff is downstream — canonical
+// queries hash equal, so the solver's query caches hit across syntactic
+// variants, and trivially-true constraints fold to the constant 1 and never
+// reach the SAT layer (tests/solver_property_test.cc checks both the
+// equivalence and each directed rule).
+#ifndef ESD_SRC_SOLVER_REWRITE_H_
+#define ESD_SRC_SOLVER_REWRITE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/solver/expr.h"
+
+namespace esd::solver {
+
+// A memoizing rewriter. One instance per ConstraintSolver amortizes the
+// DAG walk across queries that share subtrees (the common case: path
+// constraints grow by one per branch).
+class Rewriter {
+ public:
+  // Returns the canonical form of `e` (possibly `e` itself).
+  ExprRef Rewrite(const ExprRef& e);
+
+  // Number of Rewrite() calls whose result differed from the input.
+  uint64_t rewritten() const { return rewritten_; }
+
+  // Memo upper bound; beyond it the memo (and its pins) are dropped so a
+  // long search cannot grow the table monotonically.
+  static constexpr size_t kMemoCap = 1 << 16;
+
+ private:
+  ExprRef RewriteCached(const ExprRef& e);
+
+  // Memo keyed by node identity. The keys pin their inputs alive via
+  // pinned_, so pointer reuse cannot alias two distinct expressions.
+  std::unordered_map<const Expr*, ExprRef> memo_;
+  std::vector<ExprRef> pinned_;
+  uint64_t rewritten_ = 0;
+};
+
+// One-shot convenience (fresh memo per call): used by
+// vm::ExecutionState::AddConstraint to canonicalize at construction time.
+ExprRef RewriteExpr(const ExprRef& e);
+
+}  // namespace esd::solver
+
+#endif  // ESD_SRC_SOLVER_REWRITE_H_

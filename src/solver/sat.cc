@@ -23,6 +23,10 @@ void SatSolver::AddClause(std::vector<Lit> lits) {
   if (unsat_) {
     return;
   }
+  // Incremental use adds clauses between Solve() calls, which may have left
+  // decision-level assignments on the trail; the top-level simplifications
+  // below are only sound against level-0 (formula-implied) assignments.
+  Backtrack(0);
   // Remove duplicate literals; detect tautologies.
   std::sort(lits.begin(), lits.end(),
             [](Lit a, Lit b) { return a.code < b.code; });
@@ -219,14 +223,17 @@ void SatSolver::Backtrack(uint32_t target_level) {
   propagate_head_ = keep;
 }
 
-Lit SatSolver::PickBranchLit() {
+Lit SatSolver::PickBranchLit(const std::vector<uint32_t>* scope) {
+  uint32_t n = scope != nullptr ? static_cast<uint32_t>(scope->size()) : NumVars();
+  auto var_at = [this, scope](uint32_t i) {
+    return scope != nullptr ? (*scope)[i] : i;
+  };
   // Occasionally pick a random unassigned variable to escape heavy tails.
   rng_state_ = rng_state_ * 6364136223846793005ull + 1442695040888963407ull;
-  if ((rng_state_ >> 33) % 100 < 2) {
-    uint32_t n = NumVars();
+  if (n > 0 && (rng_state_ >> 33) % 100 < 2) {
     uint32_t start = static_cast<uint32_t>((rng_state_ >> 17) % n);
     for (uint32_t i = 0; i < n; ++i) {
-      uint32_t v = (start + i) % n;
+      uint32_t v = var_at((start + i) % n);
       if (assign_[v] == kUndef) {
         return Lit::Neg(v);
       }
@@ -236,7 +243,8 @@ Lit SatSolver::PickBranchLit() {
   double best = -1.0;
   uint32_t best_var = 0;
   bool found = false;
-  for (uint32_t v = 0; v < NumVars(); ++v) {
+  for (uint32_t i = 0; i < n; ++i) {
+    uint32_t v = var_at(i);
     if (assign_[v] == kUndef && activity_[v] > best) {
       best = activity_[v];
       best_var = v;
@@ -266,6 +274,14 @@ uint64_t SatSolver::Luby(uint64_t i) {
 }
 
 SatResult SatSolver::Solve(int64_t max_conflicts) {
+  return SolveAssuming({}, {}, max_conflicts);
+}
+
+SatResult SatSolver::SolveAssuming(const std::vector<Lit>& assumptions,
+                                   const std::vector<uint32_t>& decision_scope,
+                                   int64_t max_conflicts) {
+  const std::vector<uint32_t>* scope =
+      decision_scope.empty() ? nullptr : &decision_scope;
   if (unsat_) {
     return SatResult::kUnsat;
   }
@@ -287,6 +303,7 @@ SatResult SatSolver::Solve(int64_t max_conflicts) {
       ++conflicts_this_restart;
       ++total_conflicts;
       if (trail_lim_.empty()) {
+        unsat_ = true;  // Conflict at level 0: unsat regardless of assumptions.
         return SatResult::kUnsat;
       }
       std::vector<Lit> learnt;
@@ -296,6 +313,7 @@ SatResult SatSolver::Solve(int64_t max_conflicts) {
       if (learnt.size() == 1) {
         Backtrack(0);
         if (LitValue(learnt[0]) == kFalse) {
+          unsat_ = true;  // Learned unit contradicts the top level.
           return SatResult::kUnsat;
         }
         if (LitValue(learnt[0]) == kUndef) {
@@ -324,11 +342,31 @@ SatResult SatSolver::Solve(int64_t max_conflicts) {
       continue;
     }
 
-    Lit next = PickBranchLit();
-    if (next.code == 0xffffffffu) {
-      return SatResult::kSat;  // All variables assigned.
+    // Establish assumption decisions first (restarts cancel them, so this
+    // runs every iteration): an already-true assumption gets an empty
+    // decision level as a placeholder, an already-false one means the
+    // instance is unsat under these assumptions, an unassigned one becomes
+    // the next decision.
+    Lit next{0xffffffffu};
+    while (trail_lim_.size() < assumptions.size()) {
+      Lit a = assumptions[trail_lim_.size()];
+      int8_t v = LitValue(a);
+      if (v == kTrue) {
+        trail_lim_.push_back(static_cast<uint32_t>(trail_.size()));
+      } else if (v == kFalse) {
+        return SatResult::kUnsat;  // Unsat under the assumptions only.
+      } else {
+        next = a;
+        break;
+      }
     }
-    ++stats_.decisions;
+    if (next.code == 0xffffffffu) {
+      next = PickBranchLit(scope);
+      if (next.code == 0xffffffffu) {
+        return SatResult::kSat;  // Every (in-scope) variable assigned.
+      }
+      ++stats_.decisions;
+    }
     trail_lim_.push_back(static_cast<uint32_t>(trail_.size()));
     Enqueue(next, kNoReason);
   }

@@ -4,6 +4,13 @@
 // two-watched-literal propagation, VSIDS-style activity ordering, first-UIP
 // conflict analysis, and Luby restarts. It decides the CNF produced by the
 // bit-blaster (see bitblast.h).
+//
+// The solver is incremental: clauses may be added between Solve() calls,
+// and SolveAssuming() decides the instance under a set of assumption
+// literals without committing them — learned clauses and variable activity
+// persist across calls, so repeated related queries (the constraint
+// solver's workload) get cheaper over time instead of re-searching from
+// scratch.
 #ifndef ESD_SRC_SOLVER_SAT_H_
 #define ESD_SRC_SOLVER_SAT_H_
 
@@ -44,9 +51,34 @@ class SatSolver {
   void AddTernary(Lit a, Lit b, Lit c) { AddClause({a, b, c}); }
 
   // Decides the instance. `max_conflicts` < 0 means no limit; on limit the
-  // result is kUnknown. Queries are one-shot: callers encode "assumptions"
-  // as unit clauses on a fresh solver.
+  // result is kUnknown.
   SatResult Solve(int64_t max_conflicts = -1);
+
+  // Decides the instance under `assumptions` (each treated as a decision
+  // before any free decision, MiniSat-style). kUnsat means "unsatisfiable
+  // under these assumptions" — the clause database is untouched, and a
+  // later call with different assumptions may well be kSat. Learned clauses
+  // never resolve on decisions, so everything learned remains valid for
+  // future calls. Duplicate assumptions are fine; contradictory ones yield
+  // kUnsat.
+  //
+  // `decision_scope`, when non-empty, restricts free decisions to those
+  // variables; the solver answers kSat as soon as every scope variable is
+  // assigned and propagation is conflict-free. This is how an incremental
+  // session avoids re-assigning the thousands of variables accumulated by
+  // past queries: with the scope set to the *circuit input* variables of
+  // the assumed constraints, every in-cone gate output is forced by unit
+  // propagation once its inputs are assigned (Tseitin gate clauses are
+  // propagation-complete under a full input assignment), and every
+  // out-of-cone clause is definitional — a gate-consistent extension always
+  // exists and satisfies all learned clauses, which are implied by the gate
+  // clauses alone. An empty scope means "all variables" (classic behavior:
+  // the model covers everything).
+  SatResult SolveAssuming(const std::vector<Lit>& assumptions,
+                          const std::vector<uint32_t>& decision_scope = {},
+                          int64_t max_conflicts = -1);
+
+  size_t NumClauses() const { return clauses_.size(); }
 
   // Valid after Solve() returned kSat.
   bool ValueOf(uint32_t var) const { return assign_[var] == kTrue; }
@@ -83,7 +115,8 @@ class SatSolver {
   void Backtrack(uint32_t level);
   void BumpVar(uint32_t var);
   void DecayActivities();
-  Lit PickBranchLit();
+  // Picks the next decision variable; `scope` null means all variables.
+  Lit PickBranchLit(const std::vector<uint32_t>* scope);
   void AttachClause(uint32_t ci);
   static uint64_t Luby(uint64_t i);
 

@@ -3,6 +3,7 @@
 #include <set>
 
 #include "src/solver/bitblast.h"
+#include "src/solver/query_cache.h"
 #include "src/solver/sat.h"
 
 namespace esd::solver {
@@ -17,31 +18,83 @@ bool ModelSatisfies(const Model& model, const std::vector<ExprRef>& constraints)
   return true;
 }
 
+void MergeModel(const Model& from, Model* into) {
+  into->values.insert(from.values.begin(), from.values.end());
+  into->names.insert(from.names.begin(), from.names.end());
+}
+
+// SplitMix64 finalizer: decorrelates structural hashes before combining.
+uint64_t MixHash(uint64_t h) {
+  h += 0x9e3779b97f4a7c15ull;
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ull;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebull;
+  return h ^ (h >> 31);
+}
+
 }  // namespace
 
+// The persistent incremental session (pipeline stage 4): one SatSolver whose
+// learned clauses and activities accumulate, and one BitBlaster whose
+// structural circuit cache spans queries.
+struct ConstraintSolver::SatSession {
+  SatSolver sat;
+  BitBlaster blaster{&sat};
+};
+
+ConstraintSolver::ConstraintSolver() = default;
+
+ConstraintSolver::ConstraintSolver(const SolverOptions& options)
+    : options_(options) {}
+
+ConstraintSolver::~ConstraintSolver() = default;
+
+void ConstraintSolver::Stats::Accumulate(const Stats& other) {
+  queries += other.queries;
+  cache_hits += other.cache_hits;
+  cex_hits += other.cex_hits;
+  sat_calls += other.sat_calls;
+  sliced_constraints += other.sliced_constraints;
+  cache_evictions += other.cache_evictions;
+  rewrites += other.rewrites;
+  components += other.components;
+  shared_hits += other.shared_hits;
+  session_resets += other.session_resets;
+  sat_conflicts += other.sat_conflicts;
+  sat_decisions += other.sat_decisions;
+  sat_propagations += other.sat_propagations;
+  sat_learned += other.sat_learned;
+}
+
 size_t ConstraintSolver::HashQuery(const std::vector<ExprRef>& constraints) const {
-  size_t h = 0x51ed270b;
+  uint64_t h = 0x51ed270b;
   for (const ExprRef& c : constraints) {
-    // Order-independent combination so permuted constraint sets hit.
-    h ^= c->hash() * 0x9e3779b97f4a7c15ull;
+    // Commutative but duplicate-sensitive: a wrapping sum of mixed hashes,
+    // so permuted constraint sets still hit while repeated constraints do
+    // not cancel (an XOR combine would make {C, C} collide with {D, D} for
+    // any C and D — and a cached unsat served for the wrong set is a wrong
+    // answer, not a slow one).
+    h += MixHash(c->hash());
   }
-  return h;
+  return static_cast<size_t>(h);
 }
 
 bool ConstraintSolver::IsSatisfiable(const std::vector<ExprRef>& constraints,
                                      Model* model) {
   ++stats_.queries;
-  // Constant-level short circuit.
+  // Stage 1: canonicalize, fold, and drop trivially-true constraints (a
+  // rewritten-to-false constraint decides the query outright).
   std::vector<ExprRef> live;
   live.reserve(constraints.size());
   for (const ExprRef& c : constraints) {
-    if (c->IsFalse()) {
+    ExprRef r = options_.rewrite ? rewriter_.Rewrite(c) : c;
+    if (r->IsFalse()) {
       return false;
     }
-    if (!c->IsTrue()) {
-      live.push_back(c);
+    if (!r->IsTrue()) {
+      live.push_back(std::move(r));
     }
   }
+  stats_.rewrites = rewriter_.rewritten();
   if (live.empty()) {
     if (model) {
       *model = Model{};
@@ -57,18 +110,79 @@ bool ConstraintSolver::IsSatisfiable(const std::vector<ExprRef>& constraints,
     }
     return true;
   }
-  size_t key = HashQuery(live);
-  if (auto it = query_cache_.find(key); it != query_cache_.end() && !model) {
-    // Cache answers only "is it satisfiable"; model requests must solve so
-    // the caller gets a concrete assignment.
-    if (!it->second) {
-      ++stats_.cache_hits;
+
+  // Stage 2: connected components over shared variables. Each component is
+  // cached and solved on its own, so a query differing from a past one only
+  // in unrelated constraints still hits per-component.
+  std::vector<std::vector<ExprRef>> components =
+      options_.slice ? PartitionIndependent(live)
+                     : std::vector<std::vector<ExprRef>>{live};
+  stats_.components += components.size();
+
+  Model merged;
+  bool complete = true;  // False when some component's values were skipped.
+  for (const std::vector<ExprRef>& comp : components) {
+    size_t key = HashQuery(comp);
+    // Stage 3a: per-solver query cache. A cached unsat answer decides the
+    // whole conjunction even when a model was requested (there is nothing
+    // to model); a cached sat answer suffices only when no values are
+    // needed — otherwise fall through to the shared cache or a solve.
+    if (auto it = query_cache_.find(key); it != query_cache_.end()) {
+      if (!it->second) {
+        ++stats_.cache_hits;
+        return false;
+      }
+      if (model == nullptr) {
+        ++stats_.cache_hits;
+        complete = false;
+        continue;
+      }
+    }
+    // Stage 3b: shared portfolio cache. Models are re-validated by
+    // evaluation before use, so a stale or colliding entry can never
+    // produce a wrong assignment.
+    if (options_.shared_cache != nullptr) {
+      if (auto hit = options_.shared_cache->Lookup(key, this)) {
+        bool usable = !hit->sat || model == nullptr ||
+                      (hit->has_model && ModelSatisfies(hit->model, comp));
+        if (usable) {
+          if (hit->cross_worker) {
+            ++stats_.shared_hits;
+          } else {
+            ++stats_.cache_hits;
+          }
+          CacheInsert(key, hit->sat);
+          if (!hit->sat) {
+            return false;
+          }
+          if (hit->has_model) {
+            MergeModel(hit->model, &merged);
+          } else {
+            complete = false;
+          }
+          continue;
+        }
+      }
+    }
+    // Stage 4: solve the component (incremental session or one-shot).
+    Model comp_model;
+    bool sat = SolveComponent(comp, &comp_model);
+    CacheInsert(key, sat);
+    if (options_.shared_cache != nullptr) {
+      options_.shared_cache->Insert(key, sat, sat ? &comp_model : nullptr, this);
+    }
+    if (!sat) {
       return false;
     }
+    MergeModel(comp_model, &merged);
   }
-  bool sat = SolveUncached(live, model);
-  CacheInsert(key, sat);
-  return sat;
+  if (complete) {
+    last_model_ = merged;
+  }
+  if (model) {
+    *model = std::move(merged);
+  }
+  return true;
 }
 
 void ConstraintSolver::CacheInsert(size_t key, bool sat) {
@@ -85,26 +199,81 @@ void ConstraintSolver::CacheInsert(size_t key, bool sat) {
   }
 }
 
-bool ConstraintSolver::SolveUncached(const std::vector<ExprRef>& constraints,
-                                     Model* model) {
+bool ConstraintSolver::SolveComponent(const std::vector<ExprRef>& constraints,
+                                      Model* model) {
   ++stats_.sat_calls;
+  if (options_.incremental) {
+    if (session_ != nullptr && session_->sat.NumClauses() > kSessionClauseCap) {
+      // Learned clauses are an accelerator, not state answers depend on:
+      // discarding the session is always sound, only slower.
+      session_.reset();
+      ++stats_.session_resets;
+    }
+    if (session_ == nullptr) {
+      session_ = std::make_unique<SatSession>();
+    }
+    std::vector<Lit> assumptions;
+    assumptions.reserve(constraints.size());
+    for (const ExprRef& c : constraints) {
+      assumptions.push_back(session_->blaster.Blast(c)[0]);
+    }
+    // Decision scope: this query's circuit-input variables only. The
+    // session has accumulated variables from every past query; deciding
+    // them all again would make each query cost O(session size). With the
+    // cone's inputs assigned, unit propagation forces every in-cone gate,
+    // and out-of-cone circuits are definitional (see SolveAssuming's
+    // contract in sat.h).
+    std::map<uint64_t, ExprRef> vars;
+    for (const ExprRef& c : constraints) {
+      CollectVars(c, &vars);
+    }
+    std::vector<uint32_t> scope;
+    for (const auto& [id, var] : vars) {
+      session_->blaster.AppendVarScope(var, &scope);
+    }
+    // A variable-free live constraint cannot occur (the factories fold
+    // constant DAGs), but if `scope` ever ends up empty, SolveAssuming
+    // treats it as "all variables" — slower, still correct.
+    SatSolver::Stats before = session_->sat.stats();
+    SatResult result = session_->sat.SolveAssuming(assumptions, scope);
+    const SatSolver::Stats& after = session_->sat.stats();
+    stats_.sat_conflicts += after.conflicts - before.conflicts;
+    stats_.sat_decisions += after.decisions - before.decisions;
+    stats_.sat_propagations += after.propagations - before.propagations;
+    stats_.sat_learned += after.learned_clauses - before.learned_clauses;
+    if (result != SatResult::kSat) {
+      return false;
+    }
+    if (model) {
+      // Only this component's variables: variables from past queries are
+      // unconstrained (and deliberately undecided) in this solution.
+      for (const auto& [id, var] : vars) {
+        model->values[id] = session_->blaster.ModelValue(var);
+        model->names[id] = var->name();
+      }
+    }
+    return true;
+  }
+  // One-shot path (--no-solver-incremental): fresh solver per query,
+  // constraints asserted as unit clauses.
   SatSolver sat;
   BitBlaster blaster(&sat);
   for (const ExprRef& c : constraints) {
     blaster.AssertTrue(c);
   }
   SatResult result = sat.Solve();
+  stats_.sat_conflicts += sat.stats().conflicts;
+  stats_.sat_decisions += sat.stats().decisions;
+  stats_.sat_propagations += sat.stats().propagations;
+  stats_.sat_learned += sat.stats().learned_clauses;
   if (result != SatResult::kSat) {
     return false;
   }
-  Model m;
-  for (const auto& [id, var] : blaster.vars()) {
-    m.values[id] = blaster.ModelValue(var);
-    m.names[id] = var->name();
-  }
-  last_model_ = m;
   if (model) {
-    *model = std::move(m);
+    for (const auto& [id, var] : blaster.vars()) {
+      model->values[id] = blaster.ModelValue(var);
+      model->names[id] = var->name();
+    }
   }
   return true;
 }
@@ -158,6 +327,45 @@ std::vector<ExprRef> ConstraintSolver::IndependentSlice(
     }
   }
   return slice;
+}
+
+std::vector<std::vector<ExprRef>> ConstraintSolver::PartitionIndependent(
+    const std::vector<ExprRef>& constraints) {
+  // Union-find over constraint indices, linked through shared variable ids.
+  std::vector<size_t> parent(constraints.size());
+  for (size_t i = 0; i < parent.size(); ++i) {
+    parent[i] = i;
+  }
+  auto find = [&parent](size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];  // Path halving.
+      x = parent[x];
+    }
+    return x;
+  };
+  std::map<uint64_t, size_t> var_owner;  // var id -> first constraint index.
+  for (size_t i = 0; i < constraints.size(); ++i) {
+    std::map<uint64_t, ExprRef> vars;
+    CollectVars(constraints[i], &vars);
+    for (const auto& [id, unused] : vars) {
+      auto [it, inserted] = var_owner.try_emplace(id, i);
+      if (!inserted) {
+        parent[find(i)] = find(it->second);
+      }
+    }
+  }
+  // Emit components ordered by first constraint occurrence (deterministic).
+  std::map<size_t, size_t> root_to_index;
+  std::vector<std::vector<ExprRef>> components;
+  for (size_t i = 0; i < constraints.size(); ++i) {
+    size_t root = find(i);
+    auto [it, inserted] = root_to_index.try_emplace(root, components.size());
+    if (inserted) {
+      components.emplace_back();
+    }
+    components[it->second].push_back(constraints[i]);
+  }
+  return components;
 }
 
 bool ConstraintSolver::MayBeTrue(const std::vector<ExprRef>& constraints,

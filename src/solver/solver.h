@@ -2,25 +2,48 @@
 //
 // Answers satisfiability and implication queries over path constraints and
 // produces concrete models (the program inputs ESD reports). Mirrors the
-// role STP plays under KLEE in the paper's prototype. Two layers keep the
-// common path fast, as in KLEE:
-//   1. a counterexample cache: the model from the last kSat answer for a
-//      prefix set is re-checked by cheap evaluation before any SAT call;
-//   2. a query cache keyed on the structural hash of the constraint set.
+// role STP plays under KLEE in the paper's prototype.
+//
+// Queries run through a four-stage incremental pipeline (each stage
+// individually gated by SolverOptions, all on by default):
+//
+//   1. rewrite     — canonicalization (rewrite.h): syntactic variants of
+//                    the same predicate hash equal; trivially-true
+//                    constraints vanish before any further work.
+//   2. slice       — the constraint set is partitioned into connected
+//                    components over shared symbolic variables (KLEE-style
+//                    independence); each component is solved and cached on
+//                    its own, so unrelated path constraints no longer
+//                    perturb cache keys.
+//   3. cache       — a counterexample cache (the last model, re-checked by
+//                    cheap evaluation), a bounded per-solver query cache,
+//                    and optionally a shared portfolio cache
+//                    (query_cache.h) consulted by every `--jobs N` worker.
+//   4. incremental — cache misses hit a persistent SatSolver + BitBlaster
+//                    session: constraints become assumption literals
+//                    (SatSolver::SolveAssuming), so learned clauses and
+//                    variable activity survive across queries and shared
+//                    subtrees are bit-blasted once per search, not once per
+//                    query.
 #ifndef ESD_SRC_SOLVER_SOLVER_H_
 #define ESD_SRC_SOLVER_SOLVER_H_
 
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "src/solver/expr.h"
+#include "src/solver/rewrite.h"
+#include "src/solver/sat.h"
 
 namespace esd::solver {
+
+class SharedSolverCache;  // query_cache.h
 
 // A satisfying assignment: symbolic-variable id -> concrete value. Variables
 // absent from the map are unconstrained (any value works; use 0).
@@ -35,9 +58,22 @@ struct Model {
   }
 };
 
+// Gates for the pipeline stages above. The defaults are the fast path;
+// the switches exist for the bench_solver ablation and esdsynth's
+// --no-solver-* flags.
+struct SolverOptions {
+  bool rewrite = true;      // Stage 1: canonicalizing rewriter.
+  bool slice = true;        // Stage 2: independence partitioning.
+  bool incremental = true;  // Stage 4: assumption-based SAT session.
+  // Stage 3, portfolio only: cache shared across workers (not owned).
+  SharedSolverCache* shared_cache = nullptr;
+};
+
 class ConstraintSolver {
  public:
-  ConstraintSolver() = default;
+  ConstraintSolver();
+  explicit ConstraintSolver(const SolverOptions& options);
+  ~ConstraintSolver();
 
   // Is the conjunction of `constraints` satisfiable? Fills `model` (may be
   // null) on success.
@@ -56,6 +92,11 @@ class ConstraintSolver {
   // the counterexample cache misses and the search re-asks.
   static constexpr size_t kQueryCacheCap = 1 << 16;
 
+  // Incremental-session bound: past this many accumulated clauses the
+  // persistent SatSolver/BitBlaster session is discarded and rebuilt lazily
+  // (learned clauses are an accelerator, not state the answers depend on).
+  static constexpr size_t kSessionClauseCap = 1 << 20;
+
   struct Stats {
     uint64_t queries = 0;
     uint64_t cache_hits = 0;
@@ -63,6 +104,19 @@ class ConstraintSolver {
     uint64_t sat_calls = 0;
     uint64_t sliced_constraints = 0;  // Dropped by independence slicing.
     uint64_t cache_evictions = 0;     // FIFO evictions at kQueryCacheCap.
+    // ---- Pipeline counters ----
+    uint64_t rewrites = 0;         // Constraints changed by the rewriter.
+    uint64_t components = 0;       // Independent components processed.
+    uint64_t shared_hits = 0;      // Cross-worker shared-cache hits.
+    uint64_t session_resets = 0;   // Incremental sessions discarded at cap.
+    // ---- Underlying SAT effort (accumulated across Solve calls) ----
+    uint64_t sat_conflicts = 0;
+    uint64_t sat_decisions = 0;
+    uint64_t sat_propagations = 0;
+    uint64_t sat_learned = 0;
+
+    // Sums `other` into this (portfolio-wide merging).
+    void Accumulate(const Stats& other);
   };
   const Stats& stats() const { return stats_; }
 
@@ -76,16 +130,31 @@ class ConstraintSolver {
   static std::vector<ExprRef> IndependentSlice(const std::vector<ExprRef>& constraints,
                                                const ExprRef& cond);
 
+  // Partitions `constraints` into connected components over shared symbolic
+  // variables: two constraints land in one component iff they are linked by
+  // a chain of common variables. Components are independently satisfiable,
+  // so the conjunction is SAT iff every component is (stage 2 above).
+  static std::vector<std::vector<ExprRef>> PartitionIndependent(
+      const std::vector<ExprRef>& constraints);
+
  private:
-  bool SolveUncached(const std::vector<ExprRef>& constraints, Model* model);
+  struct SatSession;  // Persistent SatSolver + BitBlaster (solver.cc).
+
+  // Solves one independent component, appending its values to `model` when
+  // non-null. Routes through the incremental session or a one-shot solver
+  // per options_.incremental.
+  bool SolveComponent(const std::vector<ExprRef>& constraints, Model* model);
 
   size_t HashQuery(const std::vector<ExprRef>& constraints) const;
 
   void CacheInsert(size_t key, bool sat);
 
+  SolverOptions options_;
   std::unordered_map<size_t, bool> query_cache_;
   std::deque<size_t> query_order_;  // Insertion order, for FIFO eviction.
   std::optional<Model> last_model_;
+  std::unique_ptr<SatSession> session_;
+  Rewriter rewriter_;
   Stats stats_;
 };
 

@@ -6,6 +6,7 @@
 
 #include "src/solver/bitblast.h"
 #include "src/solver/expr.h"
+#include "src/solver/query_cache.h"
 #include "src/solver/sat.h"
 #include "src/solver/solver.h"
 
@@ -368,6 +369,292 @@ TEST(SolverTest, IteBlasting) {
   Model model;
   ASSERT_TRUE(solver.IsSatisfiable({MakeEq(x, MakeConst(32, 22))}, &model));
   EXPECT_EQ(model.ValueOf(1), 0u);
+}
+
+// ---- Assumption-based incremental SAT --------------------------------------
+
+TEST(SatAssumptionTest, AnswersVaryWithAssumptionsOnOneInstance) {
+  SatSolver s;
+  uint32_t a = s.NewVar();
+  uint32_t b = s.NewVar();
+  s.AddBinary(Lit::Pos(a), Lit::Pos(b));  // a | b
+  EXPECT_EQ(s.SolveAssuming({Lit::Neg(a)}), SatResult::kSat);
+  EXPECT_TRUE(s.ValueOf(b));
+  // Unsat under these assumptions only — the instance stays usable...
+  EXPECT_EQ(s.SolveAssuming({Lit::Neg(a), Lit::Neg(b)}), SatResult::kUnsat);
+  // ...and later calls with other assumptions still succeed.
+  EXPECT_EQ(s.SolveAssuming({Lit::Pos(a)}), SatResult::kSat);
+  EXPECT_EQ(s.Solve(), SatResult::kSat);
+}
+
+TEST(SatAssumptionTest, ContradictoryAndDuplicateAssumptions) {
+  SatSolver s;
+  uint32_t a = s.NewVar();
+  s.AddUnit(Lit::Pos(s.NewVar()));  // Unrelated level-0 fact.
+  EXPECT_EQ(s.SolveAssuming({Lit::Pos(a), Lit::Pos(a)}), SatResult::kSat);
+  EXPECT_EQ(s.SolveAssuming({Lit::Pos(a), Lit::Neg(a)}), SatResult::kUnsat);
+  EXPECT_EQ(s.SolveAssuming({Lit::Pos(a)}), SatResult::kSat);
+}
+
+TEST(SatAssumptionTest, ClausesMayBeAddedBetweenSolves) {
+  SatSolver s;
+  uint32_t a = s.NewVar();
+  uint32_t b = s.NewVar();
+  s.AddBinary(Lit::Pos(a), Lit::Pos(b));
+  EXPECT_EQ(s.SolveAssuming({Lit::Neg(a)}), SatResult::kSat);
+  s.AddUnit(Lit::Neg(b));  // New top-level fact after a solve.
+  EXPECT_EQ(s.SolveAssuming({Lit::Neg(a)}), SatResult::kUnsat);
+  EXPECT_EQ(s.SolveAssuming({Lit::Pos(a)}), SatResult::kSat);
+  EXPECT_FALSE(s.ValueOf(b));
+}
+
+TEST(SatAssumptionTest, DecisionScopeSkipsForeignVariables) {
+  // A thousand free variables from "past queries" must not be decided when
+  // the scope restricts the solve to the two that matter.
+  SatSolver s;
+  for (int i = 0; i < 1000; ++i) {
+    s.NewVar();
+  }
+  uint32_t a = s.NewVar();
+  uint32_t b = s.NewVar();
+  s.AddBinary(Lit::Neg(a), Lit::Pos(b));  // a -> b
+  uint64_t before = s.stats().decisions;
+  EXPECT_EQ(s.SolveAssuming({Lit::Pos(a)}, {a, b}), SatResult::kSat);
+  EXPECT_TRUE(s.ValueOf(b));
+  // At most the scope could have been decided (a is an assumption, b is
+  // propagated, so in fact zero free decisions happen).
+  EXPECT_LE(s.stats().decisions - before, 2u);
+}
+
+TEST(SatAssumptionTest, LearnedClausesPersistAcrossCalls) {
+  // Pigeonhole(4,3) decided under assumptions: refuting it once teaches the
+  // solver enough that a second refutation is strictly cheaper.
+  SatSolver s;
+  constexpr int kPigeons = 4;
+  constexpr int kHoles = 3;
+  uint32_t v[kPigeons][kHoles];
+  for (auto& row : v) {
+    for (auto& x : row) {
+      x = s.NewVar();
+    }
+  }
+  uint32_t gate = s.NewVar();  // Assumption literal gating the hard core.
+  for (int p = 0; p < kPigeons; ++p) {
+    std::vector<Lit> clause{Lit::Neg(gate)};
+    for (int h = 0; h < kHoles; ++h) {
+      clause.push_back(Lit::Pos(v[p][h]));
+    }
+    s.AddClause(clause);
+  }
+  for (int h = 0; h < kHoles; ++h) {
+    for (int p1 = 0; p1 < kPigeons; ++p1) {
+      for (int p2 = p1 + 1; p2 < kPigeons; ++p2) {
+        s.AddTernary(Lit::Neg(gate), Lit::Neg(v[p1][h]), Lit::Neg(v[p2][h]));
+      }
+    }
+  }
+  EXPECT_EQ(s.SolveAssuming({Lit::Pos(gate)}), SatResult::kUnsat);
+  uint64_t first = s.stats().conflicts;
+  EXPECT_GT(first, 0u);
+  EXPECT_EQ(s.SolveAssuming({Lit::Pos(gate)}), SatResult::kUnsat);
+  uint64_t second = s.stats().conflicts - first;
+  EXPECT_LT(second, first);
+  // Without the gate the instance is satisfiable (everything off).
+  EXPECT_EQ(s.Solve(), SatResult::kSat);
+}
+
+// ---- Independence partitioning (pipeline stage 2) --------------------------
+
+TEST(PartitionTest, SplitsUnrelatedConstraintsAndKeepsChains) {
+  ExprRef x = MakeVar(1, 32, "x");
+  ExprRef y = MakeVar(2, 32, "y");
+  ExprRef z = MakeVar(3, 32, "z");
+  ExprRef w = MakeVar(4, 32, "w");
+  std::vector<ExprRef> constraints = {
+      MakeUlt(x, MakeConst(32, 10)),            // component A
+      MakeEq(y, MakeConst(32, 4)),              // component B
+      MakeEq(MakeAdd(x, z), MakeConst(32, 7)),  // joins z into A
+      MakeUlt(w, MakeConst(32, 3)),             // component C
+  };
+  auto components = ConstraintSolver::PartitionIndependent(constraints);
+  ASSERT_EQ(components.size(), 3u);
+  EXPECT_EQ(components[0].size(), 2u);  // x-chain, in first-seen order.
+  EXPECT_TRUE(Expr::Equal(components[0][0], constraints[0]));
+  EXPECT_TRUE(Expr::Equal(components[0][1], constraints[2]));
+  EXPECT_EQ(components[1].size(), 1u);
+  EXPECT_EQ(components[2].size(), 1u);
+}
+
+TEST(PartitionTest, ComponentAnswersComposeIntoOneModel) {
+  // Two unrelated equation systems: solved per component, merged model.
+  ExprRef x = MakeVar(1, 32, "x");
+  ExprRef y = MakeVar(2, 32, "y");
+  ConstraintSolver solver;
+  Model model;
+  ASSERT_TRUE(solver.IsSatisfiable(
+      {MakeEq(MakeAdd(x, MakeConst(32, 3)), MakeConst(32, 10)),
+       MakeEq(MakeMul(y, MakeConst(32, 3)), MakeConst(32, 12))},
+      &model));
+  EXPECT_EQ(model.ValueOf(1), 7u);
+  // 3 is invertible mod 2^32, so y == 4 is the unique solution.
+  EXPECT_EQ(model.ValueOf(2), 4u);
+  EXPECT_GE(solver.stats().components, 2u);
+}
+
+TEST(PartitionTest, UnsatComponentDecidesConjunction) {
+  ExprRef x = MakeVar(1, 32, "x");
+  ExprRef y = MakeVar(2, 32, "y");
+  ConstraintSolver solver;
+  EXPECT_FALSE(solver.IsSatisfiable({MakeEq(y, MakeConst(32, 5)),
+                                     MakeUlt(x, MakeConst(32, 4)),
+                                     MakeUlt(MakeConst(32, 9), x)}));
+}
+
+// ---- Query-cache satellites ------------------------------------------------
+
+TEST(SolverTest, UnsatAnswerCachedEvenWhenModelRequested) {
+  // A cached unsat answer short-circuits later *model* requests too: there
+  // is nothing to model, so skipping the cache was pure waste.
+  ConstraintSolver solver;
+  ExprRef x = MakeVar(1, 32, "x");
+  std::vector<ExprRef> unsat = {MakeUlt(x, MakeConst(32, 4)),
+                                MakeUlt(MakeConst(32, 9), x)};
+  Model model;
+  EXPECT_FALSE(solver.IsSatisfiable(unsat, &model));
+  uint64_t sat_calls = solver.stats().sat_calls;
+  Model model2;
+  EXPECT_FALSE(solver.IsSatisfiable(unsat, &model2));
+  EXPECT_EQ(solver.stats().sat_calls, sat_calls);
+  EXPECT_GE(solver.stats().cache_hits, 1u);
+}
+
+TEST(SolverTest, DuplicatedConstraintsDoNotCollideInTheQueryCache) {
+  // Regression: an XOR-combined query hash cancels repeated constraints, so
+  // every multiset with pairwise-duplicated members hashed to the seed —
+  // and a cached unsat for {C, C, C', C'} was then served for the
+  // satisfiable {D, D}.
+  ConstraintSolver solver;
+  ExprRef x = MakeVar(1, 32, "x");
+  ExprRef y = MakeVar(2, 32, "y");
+  std::vector<ExprRef> unsat_dup = {MakeUlt(x, MakeConst(32, 4)),
+                                    MakeUlt(x, MakeConst(32, 4)),
+                                    MakeUlt(MakeConst(32, 9), x),
+                                    MakeUlt(MakeConst(32, 9), x)};
+  EXPECT_FALSE(solver.IsSatisfiable(unsat_dup));
+  std::vector<ExprRef> sat_dup = {MakeEq(y, MakeConst(32, 5)),
+                                  MakeEq(y, MakeConst(32, 5))};
+  EXPECT_TRUE(solver.IsSatisfiable(sat_dup));
+}
+
+TEST(SolverTest, PipelineOnAndOffAgreeOnRandomQueries) {
+  std::mt19937_64 rng(20260730);
+  SolverOptions off;
+  off.rewrite = false;
+  off.slice = false;
+  off.incremental = false;
+  ConstraintSolver with(SolverOptions{});
+  ConstraintSolver without(off);
+  const uint32_t w = 8;
+  for (int round = 0; round < 60; ++round) {
+    ExprRef x = MakeVar(1, w, "x");
+    ExprRef y = MakeVar(2, w, "y");
+    std::vector<ExprRef> cs;
+    for (int i = 0; i < 3; ++i) {
+      ExprRef lhs = rng() & 1 ? MakeAdd(x, MakeConst(w, rng())) : MakeMul(y, x);
+      ExprRef c = MakeConst(w, rng());
+      cs.push_back(rng() & 1 ? MakeEq(lhs, c) : MakeUlt(lhs, c));
+    }
+    Model model;
+    bool sat_on = with.IsSatisfiable(cs, &model);
+    bool sat_off = without.IsSatisfiable(cs);
+    ASSERT_EQ(sat_on, sat_off) << "round " << round;
+    if (sat_on) {
+      // The pipeline's model must actually satisfy the original set.
+      for (const ExprRef& c : cs) {
+        EXPECT_NE(EvalExpr(c, model.values), 0u) << ExprToString(c);
+      }
+    }
+  }
+}
+
+TEST(SolverTest, IncrementalSessionKeepsQueriesIndependent) {
+  // Queries must not leak constraints into each other through the shared
+  // session: x == 5 first, then x == 9 (same variable) must both be sat.
+  ConstraintSolver solver;
+  ExprRef x = MakeVar(1, 32, "x");
+  Model m1;
+  ASSERT_TRUE(solver.IsSatisfiable({MakeEq(x, MakeConst(32, 5))}, &m1));
+  EXPECT_EQ(m1.ValueOf(1), 5u);
+  Model m2;
+  ASSERT_TRUE(solver.IsSatisfiable({MakeEq(x, MakeConst(32, 9))}, &m2));
+  EXPECT_EQ(m2.ValueOf(1), 9u);
+  // And unsat under one query is not unsat forever.
+  EXPECT_FALSE(solver.IsSatisfiable(
+      {MakeEq(x, MakeConst(32, 1)), MakeEq(x, MakeConst(32, 2))}));
+  Model m3;
+  ASSERT_TRUE(solver.IsSatisfiable({MakeEq(x, MakeConst(32, 1))}, &m3));
+  EXPECT_EQ(m3.ValueOf(1), 1u);
+}
+
+TEST(SolverTest, SessionHandlesVarIdReusedAtDifferentWidths) {
+  // Distinct execution states may mint different variables under one id
+  // (per-state counters); the session must not alias their bit vectors.
+  ConstraintSolver solver;
+  ExprRef wide = MakeVar(1, 32, "wide");
+  Model m1;
+  ASSERT_TRUE(solver.IsSatisfiable({MakeEq(wide, MakeConst(32, 100000))}, &m1));
+  EXPECT_EQ(m1.ValueOf(1), 100000u);
+  ExprRef narrow = MakeVar(1, 8, "narrow");
+  Model m2;
+  ASSERT_TRUE(solver.IsSatisfiable({MakeEq(narrow, MakeConst(8, 77))}, &m2));
+  EXPECT_EQ(m2.ValueOf(1), 77u);
+}
+
+// ---- Shared portfolio cache (pipeline stage 4) -----------------------------
+
+TEST(SharedCacheTest, CrossWorkerUnsatHitSkipsTheSatCall) {
+  SharedSolverCache cache;
+  SolverOptions opts;
+  opts.shared_cache = &cache;
+  ConstraintSolver worker_a(opts);
+  ConstraintSolver worker_b(opts);
+  ExprRef x = MakeVar(1, 32, "x");
+  std::vector<ExprRef> unsat = {MakeUlt(x, MakeConst(32, 4)),
+                                MakeUlt(MakeConst(32, 9), x)};
+  EXPECT_FALSE(worker_a.IsSatisfiable(unsat));
+  EXPECT_FALSE(worker_b.IsSatisfiable(unsat));
+  EXPECT_EQ(worker_b.stats().sat_calls, 0u);
+  EXPECT_EQ(worker_b.stats().shared_hits, 1u);
+  // A's own re-ask is a local hit, not a cross-worker one.
+  EXPECT_FALSE(worker_a.IsSatisfiable(unsat));
+  EXPECT_EQ(worker_a.stats().shared_hits, 0u);
+}
+
+TEST(SharedCacheTest, CrossWorkerModelIsValidatedAndReused) {
+  SharedSolverCache cache;
+  SolverOptions opts;
+  opts.shared_cache = &cache;
+  ConstraintSolver worker_a(opts);
+  ConstraintSolver worker_b(opts);
+  ExprRef x = MakeVar(1, 32, "x");
+  std::vector<ExprRef> q = {MakeEq(MakeAdd(x, MakeConst(32, 3)), MakeConst(32, 10))};
+  Model ma;
+  ASSERT_TRUE(worker_a.IsSatisfiable(q, &ma));
+  Model mb;
+  ASSERT_TRUE(worker_b.IsSatisfiable(q, &mb));
+  EXPECT_EQ(mb.ValueOf(1), 7u);
+  EXPECT_EQ(worker_b.stats().sat_calls, 0u);  // Served by A's model.
+  EXPECT_EQ(worker_b.stats().shared_hits, 1u);
+}
+
+TEST(SharedCacheTest, BoundedPerShard) {
+  SharedSolverCache cache;
+  const size_t overfill = SharedSolverCache::kShards * SharedSolverCache::kShardCap + 500;
+  for (size_t i = 0; i < overfill; ++i) {
+    cache.Insert(i, true, nullptr, &cache);
+  }
+  EXPECT_LE(cache.size(), SharedSolverCache::kShards * SharedSolverCache::kShardCap);
+  EXPECT_GT(cache.size(), 0u);
 }
 
 }  // namespace

@@ -4,6 +4,9 @@
 //            [--jobs N] [--with-race-det] [--no-proximity]
 //            [--no-intermediate-goals] [--no-critical-edges] [--seed N]
 //            [--dedup | --no-dedup] [--dedup-private] [--no-sleep-sets]
+//            [--no-solver-rewrite] [--no-solver-slice]
+//            [--no-solver-incremental] [--no-solver-pipeline]
+//            [--solver-cache-shared | --solver-cache-private]
 //
 // Reads the program and the coredump, synthesizes an execution that
 // reproduces the reported bug, and writes the execution file for esdplay.
@@ -43,6 +46,18 @@ void Usage(std::ostream& os = std::cerr) {
      << "                          tables instead of one shared table\n"
      << "  --no-sleep-sets         disable sleep-set pruning of redundant\n"
      << "                          schedule forks (default on)\n"
+     << "  --no-solver-rewrite     disable the canonicalizing expression\n"
+     << "                          rewriter (solver pipeline stage 1)\n"
+     << "  --no-solver-slice       disable independence partitioning of\n"
+     << "                          queries into components (stage 2)\n"
+     << "  --no-solver-incremental disable the assumption-based incremental\n"
+     << "                          SAT session (stage 4)\n"
+     << "  --no-solver-pipeline    disable all three of the above and the\n"
+     << "                          shared solver cache\n"
+     << "  --solver-cache-shared / --solver-cache-private\n"
+     << "                          with --jobs N: one solver query cache\n"
+     << "                          shared by all workers (default) or\n"
+     << "                          per-worker caches only\n"
      << "  --no-proximity          ablation: disable proximity-guided search\n"
      << "  --no-intermediate-goals ablation: disable static anchor points\n"
      << "  --no-critical-edges     ablation: disable path abandonment\n"
@@ -96,6 +111,21 @@ int main(int argc, char** argv) {
       options.dedup_shared = false;
     } else if (arg == "--no-sleep-sets") {
       options.sleep_sets = false;
+    } else if (arg == "--no-solver-rewrite") {
+      options.solver_rewrite = false;
+    } else if (arg == "--no-solver-slice") {
+      options.solver_slice = false;
+    } else if (arg == "--no-solver-incremental") {
+      options.solver_incremental = false;
+    } else if (arg == "--no-solver-pipeline") {
+      options.solver_rewrite = false;
+      options.solver_slice = false;
+      options.solver_incremental = false;
+      options.solver_cache_shared = false;
+    } else if (arg == "--solver-cache-shared") {
+      options.solver_cache_shared = true;
+    } else if (arg == "--solver-cache-private") {
+      options.solver_cache_shared = false;
     } else if (arg == "--no-proximity") {
       options.use_proximity = false;
     } else if (arg == "--no-intermediate-goals") {
@@ -141,6 +171,16 @@ int main(int argc, char** argv) {
             << " states, " << result.states_deduped << " deduped, "
             << result.sleep_set_skips << " sleep-set skips, "
             << result.intermediate_goals << " intermediate goals)\n";
+  const auto& ss = result.solver;
+  std::cout << "esdsynth: solver: " << ss.queries << " queries, "
+            << ss.cache_hits << " cache hits, " << ss.cex_hits << " cex hits, "
+            << ss.shared_hits << " shared hits, " << ss.sat_calls
+            << " SAT calls over " << ss.components << " components ("
+            << ss.rewrites << " rewrites)\n"
+            << "esdsynth: solver: SAT effort: " << ss.sat_conflicts
+            << " conflicts, " << ss.sat_decisions << " decisions, "
+            << ss.sat_propagations << " propagations, " << ss.sat_learned
+            << " learned clauses\n";
   for (size_t w = 0; w < result.workers.size(); ++w) {
     const core::WorkerReport& wr = result.workers[w];
     std::cout << "esdsynth:   worker " << w << " [" << wr.strategy << "] "
@@ -148,8 +188,9 @@ int main(int argc, char** argv) {
               << wr.instructions << " instructions, " << wr.states_created
               << " states (" << wr.states_deduped << " deduped, "
               << wr.sleep_set_skips << " sleep-set skips), "
-              << wr.solver_queries << " solver queries in "
-              << wr.seconds << "s\n";
+              << wr.solver_queries << " solver queries ("
+              << wr.solver_shared_hits << " shared hits, " << wr.sat_conflicts
+              << " conflicts) in " << wr.seconds << "s\n";
   }
   std::cout << "esdsynth: inferred " << result.file.inputs.size()
             << " program inputs and a schedule with " << result.file.strict.size()
