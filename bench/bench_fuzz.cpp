@@ -1,0 +1,82 @@
+// Benchmarks the scenario-fuzzing subsystem: oracle throughput over the
+// generated family, per bug kind. Every later performance PR is gated on
+// this sweep staying green — a synthesis regression shows up here as
+// either a throughput collapse or an outright verdict failure.
+//
+// For each kind the bench runs N seeded scenarios through the full oracle
+// (synthesis + strict/hb replay + determinism + pruning/solver ablations)
+// and reports scenarios/second plus aggregate search/solver effort. The
+// process exits nonzero if any verdict fails, or (SMOKE off) if
+// throughput drops below the floor of 5 scenarios/second — generous
+// against the measured ~100/s, so only a catastrophic regression trips it.
+//
+// Environment knobs:
+//   ESD_FUZZ_SEEDS   scenarios per kind (default 60).
+//   ESD_BENCH_SMOKE  nonzero: run everything but skip the throughput gate.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/fuzz/generator.h"
+#include "src/fuzz/oracle.h"
+
+using namespace esd;
+
+int main() {
+  const char* seeds_env = std::getenv("ESD_FUZZ_SEEDS");
+  uint64_t seeds = seeds_env != nullptr ? std::strtoull(seeds_env, nullptr, 10) : 60;
+  bool smoke = std::getenv("ESD_BENCH_SMOKE") != nullptr;
+
+  std::printf("kind      seeds   pass   sec      scen/s   states     queries\n");
+  bool all_ok = true;
+  bool throughput_ok = true;
+  for (fuzz::BugKind kind :
+       {fuzz::BugKind::kDeadlock, fuzz::BugKind::kRace, fuzz::BugKind::kCrash}) {
+    uint64_t pass = 0;
+    uint64_t states = 0;
+    uint64_t queries = 0;
+    auto start = std::chrono::steady_clock::now();
+    for (uint64_t i = 0; i < seeds; ++i) {
+      fuzz::GeneratorParams params;
+      params.kind = kind;
+      params.seed = 10'000 + i;
+      fuzz::GeneratedProgram program = fuzz::Generate(params);
+      fuzz::OracleOptions options;
+      fuzz::OracleVerdict verdict = fuzz::CheckScenario(program, options);
+      if (verdict.ok) {
+        ++pass;
+        states += verdict.result.states_created;
+        queries += verdict.result.solver.queries;
+      } else {
+        all_ok = false;
+        std::fprintf(stderr, "FAIL: kind=%s seed=%llu stage=%s: %s\n",
+                     std::string(fuzz::BugKindName(kind)).c_str(),
+                     static_cast<unsigned long long>(10'000 + i),
+                     verdict.stage.c_str(), verdict.failure.c_str());
+      }
+    }
+    double sec = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                               start)
+                     .count();
+    double rate = sec > 0 ? static_cast<double>(seeds) / sec : 0.0;
+    std::printf("%-9s %-7llu %-6llu %-8.3f %-8.1f %-10llu %llu\n",
+                std::string(fuzz::BugKindName(kind)).c_str(),
+                static_cast<unsigned long long>(seeds),
+                static_cast<unsigned long long>(pass), sec, rate,
+                static_cast<unsigned long long>(states),
+                static_cast<unsigned long long>(queries));
+    if (rate < 5.0) {
+      throughput_ok = false;
+    }
+  }
+  if (!all_ok) {
+    std::fprintf(stderr, "bench_fuzz: FAILED (oracle verdict)\n");
+    return 1;
+  }
+  if (!smoke && !throughput_ok) {
+    std::fprintf(stderr, "bench_fuzz: FAILED (throughput below 5 scenarios/s)\n");
+    return 1;
+  }
+  std::printf("bench_fuzz: OK%s\n", smoke ? " (smoke: gates skipped)" : "");
+  return 0;
+}

@@ -1,0 +1,480 @@
+#include "src/fuzz/generator.h"
+
+#include <algorithm>
+#include <random>
+#include <sstream>
+
+#include "src/ir/parser.h"
+#include "src/ir/verifier.h"
+#include "src/workloads/workloads.h"
+
+namespace esd::fuzz {
+namespace {
+
+// Where a noise statement lands relative to the planted-bug skeleton.
+enum class Slot { kPre, kMid, kPost };
+
+// Deterministic slot assignment: spread noise around the skeleton. Lock
+// noise inside a bug thread must never precede the planted sync ops (it
+// would shift the trigger's sync-event counts), so it is forced to kPost.
+Slot SlotFor(const NoiseStmt& stmt, size_t index, bool bug_thread) {
+  if (bug_thread && stmt.op == NoiseStmt::Op::kLockNoise) {
+    return Slot::kPost;
+  }
+  switch (index % 3) {
+    case 0:
+      return Slot::kPre;
+    case 1:
+      return Slot::kMid;
+    default:
+      return Slot::kPost;
+  }
+}
+
+// Emits worker bodies. Register and block names are generated from a
+// per-function counter, so statements can be dropped or reordered by the
+// shrinker without ever colliding.
+class Emitter {
+ public:
+  explicit Emitter(const ScenarioSpec& spec) : spec_(spec) {}
+
+  std::string Run() {
+    EmitGlobals();
+    if (spec_.kind == BugKind::kCrash && spec_.crash_null_deref) {
+      os_ << "func @fz_lost_buffer() : ptr {\n"
+          << "entry:\n"
+          << "  ret null\n"
+          << "}\n\n";
+    }
+    for (uint32_t t = 0; t < spec_.threads.size(); ++t) {
+      EmitWorker(t);
+    }
+    EmitMain();
+    return os_.str();
+  }
+
+ private:
+  void EmitGlobals() {
+    for (uint32_t i = 0; i < spec_.num_inputs; ++i) {
+      os_ << "global $fzin" << i << " = zero 4\n";
+      os_ << "global $fzin" << i << "_name = str \"fz_in" << i << "\"\n";
+    }
+    for (uint32_t l = 0; l < spec_.num_locks; ++l) {
+      os_ << "global $fzl" << l << " = zero 8\n";
+    }
+    for (uint32_t t = 0; t < spec_.threads.size(); ++t) {
+      os_ << "global $fznl" << t << " = zero 8\n";
+      os_ << "global $fzscr" << t << " = zero 4\n";
+    }
+    if (spec_.kind == BugKind::kDeadlock) {
+      os_ << "global $fzshared = zero 4\n";
+    }
+    if (spec_.kind == BugKind::kRace) {
+      os_ << "global $fzrace = zero 4\n";
+    }
+    if (spec_.kind == BugKind::kCrash) {
+      os_ << "global $fzcrk = zero 4\n";
+      os_ << "global $fzcr_name = str \"fz_crash\"\n";
+    }
+    os_ << "\n";
+  }
+
+  std::string Tmp() { return "%v" + std::to_string(tmp_++); }
+  std::string Blk() { return "b" + std::to_string(blk_++); }
+
+  void EmitNoise(const NoiseStmt& n, uint32_t t) {
+    switch (n.op) {
+      case NoiseStmt::Op::kArith: {
+        std::string a = Tmp(), b = Tmp(), c = Tmp();
+        os_ << "  " << a << " = load i32, %acc\n";
+        os_ << "  " << b << " = mul " << a << ", i32 " << (n.a | 1u) << "\n";
+        os_ << "  " << c << " = add " << b << ", i32 " << n.b << "\n";
+        os_ << "  store " << c << ", %acc\n";
+        break;
+      }
+      case NoiseStmt::Op::kTouch: {
+        std::string a = Tmp(), b = Tmp();
+        os_ << "  " << a << " = load i32, $fzscr" << t << "\n";
+        os_ << "  " << b << " = add " << a << ", i32 " << n.a << "\n";
+        os_ << "  store " << b << ", $fzscr" << t << "\n";
+        break;
+      }
+      case NoiseStmt::Op::kInputMix: {
+        std::string a = Tmp(), b = Tmp(), c = Tmp(), d = Tmp();
+        os_ << "  " << a << " = load i32, $fzin" << n.input << "\n";
+        os_ << "  " << b << " = mul " << a << ", i32 " << (n.a | 1u) << "\n";
+        os_ << "  " << c << " = load i32, %acc\n";
+        os_ << "  " << d << " = xor " << c << ", " << b << "\n";
+        os_ << "  store " << d << ", %acc\n";
+        break;
+      }
+      case NoiseStmt::Op::kBranch: {
+        std::string v = Tmp(), c = Tmp(), h1 = Tmp(), h2 = Tmp();
+        std::string taken = Blk(), join = Blk();
+        os_ << "  " << v << " = load i32, $fzin" << n.input << "\n";
+        os_ << "  " << c << " = icmp ugt " << v << ", i32 " << n.a << "\n";
+        os_ << "  condbr " << c << ", " << taken << ", " << join << "\n";
+        os_ << taken << ":\n";
+        os_ << "  " << h1 << " = load i32, %acc\n";
+        os_ << "  " << h2 << " = add " << h1 << ", i32 " << (n.b + 1u) << "\n";
+        os_ << "  store " << h2 << ", %acc\n";
+        os_ << "  br " << join << "\n";
+        os_ << join << ":\n";
+        break;
+      }
+      case NoiseStmt::Op::kLockNoise: {
+        std::string a = Tmp(), b = Tmp();
+        os_ << "  call @mutex_lock($fznl" << t << ")\n";
+        os_ << "  " << a << " = load i32, $fzscr" << t << "\n";
+        os_ << "  " << b << " = add " << a << ", i32 " << (n.a + 1u) << "\n";
+        os_ << "  store " << b << ", $fzscr" << t << "\n";
+        os_ << "  call @mutex_unlock($fznl" << t << ")\n";
+        break;
+      }
+    }
+  }
+
+  void EmitSlot(uint32_t t, Slot slot) {
+    const ThreadSpec& ts = spec_.threads[t];
+    bool bug_thread = t < spec_.BugThreads();
+    for (size_t i = 0; i < ts.noise.size(); ++i) {
+      if (SlotFor(ts.noise[i], i, bug_thread) == slot) {
+        EmitNoise(ts.noise[i], t);
+      }
+    }
+  }
+
+  void EmitWorker(uint32_t t) {
+    tmp_ = 0;
+    blk_ = 0;
+    os_ << "func @fzworker" << t << "(%arg: ptr) : void {\n";
+    os_ << "entry:\n";
+    os_ << "  %acc = alloca 4\n";
+    os_ << "  store i32 1, %acc\n";
+    EmitSlot(t, Slot::kPre);
+    bool bug_thread = t < spec_.BugThreads();
+    if (bug_thread) {
+      switch (spec_.kind) {
+        case BugKind::kDeadlock:
+          EmitDeadlockSkeleton(t);
+          break;
+        case BugKind::kRace:
+          EmitRaceSkeleton(t);
+          break;
+        case BugKind::kCrash:
+          EmitCrashSkeleton();
+          break;
+      }
+    } else {
+      EmitSlot(t, Slot::kMid);
+    }
+    EmitSlot(t, Slot::kPost);
+    os_ << "  ret\n";
+    os_ << "}\n\n";
+  }
+
+  // Thread 0 takes lock_a then lock_b; thread 1 inverts: the lock-order
+  // cycle. The mid-slot noise sits inside the outer lock, widening the
+  // preemption window without adding sync events.
+  void EmitDeadlockSkeleton(uint32_t t) {
+    uint32_t outer = t == 0 ? spec_.lock_a : spec_.lock_b;
+    uint32_t inner = t == 0 ? spec_.lock_b : spec_.lock_a;
+    std::string a = Tmp(), b = Tmp();
+    os_ << "  call @mutex_lock($fzl" << outer << ")\n";
+    EmitSlot(t, Slot::kMid);
+    os_ << "  call @mutex_lock($fzl" << inner << ")\n";
+    os_ << "  " << a << " = load i32, $fzshared\n";
+    os_ << "  " << b << " = add " << a << ", i32 1\n";
+    os_ << "  store " << b << ", $fzshared\n";
+    os_ << "  call @mutex_unlock($fzl" << inner << ")\n";
+    os_ << "  call @mutex_unlock($fzl" << outer << ")\n";
+  }
+
+  // The unsynchronized window on $fzrace. Lost-update: load/add/store with
+  // the window held open by mid-slot noise. Write/write: a plain store,
+  // whose ordering against the sibling thread's store decides the final
+  // value main asserts on.
+  void EmitRaceSkeleton(uint32_t t) {
+    uint32_t delta = t == 0 ? spec_.race_delta_a : spec_.race_delta_b;
+    if (spec_.race_write_write) {
+      EmitSlot(t, Slot::kMid);
+      os_ << "  store i32 " << delta << ", $fzrace\n";
+      return;
+    }
+    std::string a = Tmp(), b = Tmp();
+    os_ << "  " << a << " = load i32, $fzrace\n";
+    os_ << "  " << b << " = add " << a << ", i32 " << delta << "\n";
+    EmitSlot(t, Slot::kMid);
+    os_ << "  store " << b << ", $fzrace\n";
+  }
+
+  // The input-guarded failure: main routes the fz_crash input into $fzcrk;
+  // the worker re-derives the magic through an odd multiplication (unique
+  // solution mod 2^32) and either fails an esd_assert or chases a null
+  // buffer on the armed path.
+  void EmitCrashSkeleton() {
+    uint32_t magic = spec_.crash_mul * spec_.crash_secret;
+    std::string k = Tmp(), m = Tmp();
+    os_ << "  " << k << " = load i32, $fzcrk\n";
+    os_ << "  " << m << " = mul " << k << ", i32 " << spec_.crash_mul << "\n";
+    EmitSlot(0, Slot::kMid);
+    if (spec_.crash_null_deref) {
+      std::string c = Tmp(), p = Tmp(), x = Tmp();
+      std::string boom = Blk(), done = Blk();
+      os_ << "  " << c << " = icmp eq " << m << ", i32 " << magic << "\n";
+      os_ << "  condbr " << c << ", " << boom << ", " << done << "\n";
+      os_ << boom << ":\n";
+      os_ << "  " << p << " = call @fz_lost_buffer()\n";
+      os_ << "  " << x << " = load i32, " << p << "\n";
+      os_ << "  store " << x << ", %acc\n";
+      os_ << "  br " << done << "\n";
+      os_ << done << ":\n";
+    } else {
+      std::string bad = Tmp();
+      os_ << "  " << bad << " = icmp ne " << m << ", i32 " << magic << "\n";
+      os_ << "  call @esd_assert(" << bad << ")\n";
+    }
+  }
+
+  void EmitMain() {
+    tmp_ = 0;
+    blk_ = 0;
+    os_ << "func @main() : i32 {\n";
+    os_ << "entry:\n";
+    for (uint32_t i = 0; i < spec_.num_inputs; ++i) {
+      os_ << "  %in" << i << " = call @esd_input_i32($fzin" << i << "_name)\n";
+      os_ << "  store %in" << i << ", $fzin" << i << "\n";
+    }
+    std::string next = spec_.guards.empty() ? "arm" : "guard0";
+    os_ << "  br " << next << "\n";
+    for (size_t g = 0; g < spec_.guards.size(); ++g) {
+      const Guard& guard = spec_.guards[g];
+      uint32_t magic = guard.mul * guard.secret + guard.add;
+      std::string m = Tmp(), a = Tmp(), c = Tmp();
+      std::string pass =
+          g + 1 == spec_.guards.size() ? "arm" : "guard" + std::to_string(g + 1);
+      os_ << "guard" << g << ":\n";
+      os_ << "  " << m << " = mul %in" << guard.input << ", i32 " << guard.mul
+          << "\n";
+      os_ << "  " << a << " = add " << m << ", i32 " << guard.add << "\n";
+      os_ << "  " << c << " = icmp eq " << a << ", i32 " << magic << "\n";
+      os_ << "  condbr " << c << ", " << pass << ", reject\n";
+    }
+    os_ << "arm:\n";
+    if (spec_.kind == BugKind::kCrash) {
+      os_ << "  %crk = call @esd_input_i32($fzcr_name)\n";
+      os_ << "  store %crk, $fzcrk\n";
+    }
+    for (uint32_t t = 0; t < spec_.threads.size(); ++t) {
+      os_ << "  %t" << t << " = call @thread_create(@fzworker" << t
+          << ", null)\n";
+    }
+    for (uint32_t t = 0; t < spec_.threads.size(); ++t) {
+      os_ << "  call @thread_join(%t" << t << ")\n";
+    }
+    if (spec_.kind == BugKind::kRace) {
+      // The detection site (§3.1): the assert fails iff the schedule lost
+      // an update (read/write) or flipped the store order (write/write).
+      uint32_t expected = spec_.race_write_write
+                              ? spec_.race_delta_b
+                              : spec_.race_delta_a + spec_.race_delta_b;
+      std::string v = Tmp(), ok = Tmp();
+      os_ << "  " << v << " = load i32, $fzrace\n";
+      os_ << "  " << ok << " = icmp eq " << v << ", i32 " << expected << "\n";
+      os_ << "  call @esd_assert(" << ok << ")\n";
+    }
+    os_ << "  ret i32 0\n";
+    if (!spec_.guards.empty()) {
+      os_ << "reject:\n";
+      os_ << "  ret i32 1\n";
+    }
+    os_ << "}\n";
+  }
+
+  const ScenarioSpec& spec_;
+  std::ostringstream os_;
+  int tmp_ = 0;
+  int blk_ = 0;
+};
+
+}  // namespace
+
+std::string_view BugKindName(BugKind kind) {
+  switch (kind) {
+    case BugKind::kDeadlock:
+      return "deadlock";
+    case BugKind::kRace:
+      return "race";
+    case BugKind::kCrash:
+      return "crash";
+  }
+  return "?";
+}
+
+std::optional<BugKind> ParseBugKindName(std::string_view name) {
+  if (name == "deadlock") {
+    return BugKind::kDeadlock;
+  }
+  if (name == "race") {
+    return BugKind::kRace;
+  }
+  if (name == "crash") {
+    return BugKind::kCrash;
+  }
+  return std::nullopt;
+}
+
+uint32_t ScenarioSpec::BugThreads() const {
+  return kind == BugKind::kCrash ? 1 : 2;
+}
+
+size_t ScenarioSpec::StatementCount() const {
+  size_t count = guards.size();
+  for (const ThreadSpec& t : threads) {
+    count += t.noise.size();
+  }
+  return count;
+}
+
+GeneratedProgram Generate(const GeneratorParams& params) {
+  std::mt19937_64 rng(params.seed * 0x9e3779b97f4a7c15ull + 1);
+  ScenarioSpec spec;
+  spec.kind = params.kind;
+  spec.seed = params.seed;
+
+  uint32_t bug_threads = spec.BugThreads();
+  uint32_t threads = params.num_threads != 0
+                         ? std::max(params.num_threads, bug_threads)
+                         : bug_threads + static_cast<uint32_t>(rng() % 2);
+  uint32_t locks = params.num_locks != 0 ? std::max(params.num_locks, 2u)
+                                         : 2 + static_cast<uint32_t>(rng() % 2);
+  uint32_t guard_depth = params.guard_depth != 0
+                             ? params.guard_depth
+                             : 1 + static_cast<uint32_t>(rng() % 3);
+  uint32_t noise = params.noise_per_thread != 0
+                       ? params.noise_per_thread
+                       : 1 + static_cast<uint32_t>(rng() % 4);
+
+  spec.num_locks = locks;
+  spec.num_inputs = guard_depth + 1 + static_cast<uint32_t>(rng() % 2);
+  for (uint32_t g = 0; g < guard_depth; ++g) {
+    Guard guard;
+    guard.input = g;  // Distinct per guard: the conjunction stays satisfiable.
+    guard.mul = (3 + 2 * static_cast<uint32_t>(rng() % 23)) | 1u;
+    guard.add = static_cast<uint32_t>(rng() % 97);
+    guard.secret = 2 + static_cast<uint32_t>(rng() % 450);
+    spec.guards.push_back(guard);
+  }
+
+  if (spec.kind == BugKind::kDeadlock) {
+    spec.lock_a = static_cast<uint32_t>(rng() % locks);
+    spec.lock_b = (spec.lock_a + 1 + static_cast<uint32_t>(rng() % (locks - 1))) %
+                  locks;
+  }
+  if (spec.kind == BugKind::kRace) {
+    spec.race_write_write = rng() % 2 == 0;
+    spec.race_delta_a = 1 + static_cast<uint32_t>(rng() % 9);
+    spec.race_delta_b = 1 + static_cast<uint32_t>(rng() % 9);
+    if (spec.race_write_write && spec.race_delta_a == spec.race_delta_b) {
+      spec.race_delta_b += 1;  // Distinct stores, or no order violation.
+    }
+  }
+  if (spec.kind == BugKind::kCrash) {
+    spec.crash_null_deref = rng() % 2 == 0;
+    spec.crash_secret = 2 + static_cast<uint32_t>(rng() % 450);
+    spec.crash_mul = (3 + 2 * static_cast<uint32_t>(rng() % 23)) | 1u;
+  }
+
+  for (uint32_t t = 0; t < threads; ++t) {
+    ThreadSpec ts;
+    for (uint32_t s = 0; s < noise; ++s) {
+      NoiseStmt n;
+      uint32_t pick = static_cast<uint32_t>(rng() % 6);
+      switch (pick) {
+        case 0:
+          n.op = NoiseStmt::Op::kArith;
+          break;
+        case 1:
+          n.op = NoiseStmt::Op::kTouch;
+          break;
+        case 2:
+          n.op = NoiseStmt::Op::kInputMix;
+          break;
+        case 3:
+        case 4:
+          n.op = NoiseStmt::Op::kBranch;
+          break;
+        default:
+          n.op = NoiseStmt::Op::kLockNoise;
+          break;
+      }
+      n.input = static_cast<uint32_t>(rng() % spec.num_inputs);
+      n.a = 1 + static_cast<uint32_t>(rng() % 200);
+      n.b = static_cast<uint32_t>(rng() % 100);
+      ts.noise.push_back(n);
+    }
+    spec.threads.push_back(std::move(ts));
+  }
+
+  return Materialize(spec);
+}
+
+GeneratedProgram Materialize(const ScenarioSpec& spec) {
+  GeneratedProgram program;
+  program.spec = spec;
+  program.source = Emitter(spec).Run();
+  program.module = workloads::ParseWorkload(program.source);
+
+  for (uint32_t i = 0; i < spec.num_inputs; ++i) {
+    uint64_t filler = (i * 13 + 5) % 200;
+    program.trigger.inputs["fz_in" + std::to_string(i)] = filler;
+  }
+  for (const Guard& guard : spec.guards) {
+    program.trigger.inputs["fz_in" + std::to_string(guard.input)] = guard.secret;
+  }
+  switch (spec.kind) {
+    case BugKind::kDeadlock:
+      program.expected_kind = vm::BugInfo::Kind::kDeadlock;
+      // Worker 0 (tid 1) acquires its outer lock (1 sync event), then
+      // worker 1 (tid 2) acquires the inverse outer lock and blocks; worker
+      // 0 then blocks on its inner lock: circular wait.
+      program.trigger.schedule = {{1, 1, 2}, {2, 1, 1}};
+      break;
+    case BugKind::kRace:
+      // The racy window has no sync events, so no SyncSwitch script can
+      // express the interleaving; the oracle reports the race via the
+      // assert-site coredump instead (workloads::AssertSiteDump).
+      program.expected_kind = vm::BugInfo::Kind::kAssertFail;
+      break;
+    case BugKind::kCrash:
+      program.trigger.inputs["fz_crash"] = spec.crash_secret;
+      program.expected_kind = spec.crash_null_deref
+                                  ? vm::BugInfo::Kind::kNullDeref
+                                  : vm::BugInfo::Kind::kAssertFail;
+      break;
+  }
+  return program;
+}
+
+std::string ReproText(const GeneratedProgram& program) {
+  const ScenarioSpec& spec = program.spec;
+  std::ostringstream os;
+  os << "; esdfuzz repro: kind=" << BugKindName(spec.kind)
+     << " seed=" << spec.seed << " threads=" << spec.threads.size()
+     << " locks=" << spec.num_locks << " guards=" << spec.guards.size()
+     << " stmts=" << spec.StatementCount() << "\n";
+  os << "; expected bug: " << vm::BugKindName(program.expected_kind) << "\n";
+  for (const auto& [name, value] : program.trigger.inputs) {
+    os << "; trigger input " << name << " = " << value << "\n";
+  }
+  for (const workloads::SyncSwitch& sw : program.trigger.schedule) {
+    os << "; trigger schedule: after T" << sw.after_tid << " has " << sw.count
+       << " sync events, run T" << sw.to_tid << "\n";
+  }
+  os << "; regenerate: esdfuzz --kind " << BugKindName(spec.kind)
+     << " --seed-base " << spec.seed << " --seeds 1\n";
+  os << "\n" << program.source;
+  return os.str();
+}
+
+}  // namespace esd::fuzz

@@ -1,0 +1,150 @@
+// ESD fuzz: the randomized concurrent-program generator (esdfuzz).
+//
+// Turns the fixed Table-1 workload suite into a scenario family of
+// unbounded size: every 64-bit seed deterministically expands into a
+// well-formed multithreaded IR program with one *planted* bug whose
+// trigger (inputs + interleaving) the generator knows exactly. Three bug
+// kinds cover the paper's bug classes:
+//
+//   deadlock  two worker threads acquire a chosen lock pair in opposite
+//             orders (a lock-order cycle); remaining threads and
+//             statements are schedule noise.
+//   race      two workers hit a chosen shared variable unsynchronized —
+//             either a read/write lost-update window (both run a
+//             load/add/store body) or a write/write order violation (both
+//             store different constants); main detects the inconsistency
+//             with a single esd_assert after the joins, so the report
+//             points at the detection site, not the race (§3.1).
+//   crash     an input-guarded failure inside a worker: an esd_assert
+//             over arithmetic of a program input, or a null-pointer
+//             dereference behind a guarded helper that loses a buffer.
+//
+// In every kind, main gates the buggy region behind a chain of arithmetic
+// guards (input * odd-constant + constant == magic), so synthesis cannot
+// reach the planted bug without the solver pipeline inverting the
+// arithmetic. Thread count, lock count, guard-chain depth and
+// noise-statement density all derive from the seed (or can be pinned via
+// GeneratorParams).
+//
+// Generation is two-staged: the seed first expands into a structured
+// ScenarioSpec (guards, per-thread statement lists, planted-bug shape),
+// and Materialize() lowers the spec to IR text + module + trigger. The
+// Shrinker edits the spec and re-materializes, which keeps every shrink
+// candidate well-formed by construction.
+#ifndef ESD_SRC_FUZZ_GENERATOR_H_
+#define ESD_SRC_FUZZ_GENERATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/ir/module.h"
+#include "src/vm/interpreter.h"
+#include "src/workloads/trigger.h"
+
+namespace esd::fuzz {
+
+enum class BugKind : uint8_t { kDeadlock, kRace, kCrash };
+
+std::string_view BugKindName(BugKind kind);
+std::optional<BugKind> ParseBugKindName(std::string_view name);
+
+struct GeneratorParams {
+  BugKind kind = BugKind::kDeadlock;
+  uint64_t seed = 1;
+  // 0 = derive from the seed. Generate() records the effective values in
+  // the returned spec.
+  uint32_t num_threads = 0;  // Worker threads (>= bug threads for the kind).
+  uint32_t num_locks = 0;    // Shared locks (>= 2 for deadlocks).
+  uint32_t guard_depth = 0;  // Arithmetic input guards in front of the bug.
+  uint32_t noise_per_thread = 0;  // Noise statements woven into each worker.
+};
+
+// One noise statement in a worker body. All noise is race-free by
+// construction: it touches only the thread's private accumulator, the
+// thread's private scratch global, or (read-only) the guard inputs.
+struct NoiseStmt {
+  enum class Op : uint8_t {
+    kArith,     // acc = acc * a + b (private alloca).
+    kTouch,     // scratch_t = scratch_t + a (private global).
+    kInputMix,  // acc = acc ^ (input[i] * a): symbolic data, solver pressure.
+    kBranch,    // input-dependent diamond over input[i] (CFG noise).
+    kLockNoise, // lock/unlock of the thread's noise lock around an arith op
+                // (sync noise; only emitted outside planted-bug windows).
+  };
+  Op op = Op::kArith;
+  uint32_t input = 0;  // For kInputMix / kBranch.
+  uint32_t a = 1;
+  uint32_t b = 0;
+};
+
+// An arithmetic input guard in main: pass iff
+//   input[index] * mul + add == mul * secret + add   (mul odd, so invertible)
+// i.e. iff input[index] == secret, but phrased so the solver must crack the
+// arithmetic rather than pattern-match a constant.
+struct Guard {
+  uint32_t input = 0;
+  uint32_t mul = 1;  // Odd.
+  uint32_t add = 0;
+  uint32_t secret = 0;
+};
+
+struct ThreadSpec {
+  std::vector<NoiseStmt> noise;  // Woven around the planted-bug skeleton.
+};
+
+struct ScenarioSpec {
+  BugKind kind = BugKind::kDeadlock;
+  uint64_t seed = 0;
+  uint32_t num_inputs = 1;  // Guard-input globals ($fzin<i>).
+  uint32_t num_locks = 2;
+  std::vector<Guard> guards;
+  std::vector<ThreadSpec> threads;
+
+  // Planted-bug shape. Bug threads are always threads 0 (and 1 when the
+  // kind needs a pair), so shrinking can only drop threads from the tail.
+  uint32_t lock_a = 0;  // Deadlock: first thread's outer lock...
+  uint32_t lock_b = 1;  // ...and inner lock (second thread inverts).
+  bool race_write_write = false;
+  uint32_t race_delta_a = 1;  // Lost-update increments / ww store values.
+  uint32_t race_delta_b = 1;
+  bool crash_null_deref = false;  // Otherwise: guarded esd_assert failure.
+  uint32_t crash_secret = 0;      // Input value that arms the crash.
+  uint32_t crash_mul = 1;         // Odd multiplier routing the crash guard.
+
+  // How many leading threads carry the planted bug (2, or 1 for crashes).
+  uint32_t BugThreads() const;
+  // Spec-level size: noise statements + guards (the shrinker's metric).
+  size_t StatementCount() const;
+};
+
+// A materialized scenario: the spec plus everything the oracle needs.
+struct GeneratedProgram {
+  ScenarioSpec spec;
+  std::string source;  // IR text (externs preamble not included).
+  std::shared_ptr<ir::Module> module;
+  workloads::Trigger trigger;  // Manifests the planted bug (see oracle.h).
+  vm::BugInfo::Kind expected_kind = vm::BugInfo::Kind::kNone;
+};
+
+// Deterministically expands the seed into a scenario. Same params -> same
+// spec, source, module text, and trigger, on every platform.
+GeneratedProgram Generate(const GeneratorParams& params);
+
+// Lowers a (possibly shrinker-edited) spec to IR + trigger. Aborts if the
+// emitted program fails to parse or verify — the emitter is expected to be
+// correct by construction, and a violation is a generator bug.
+GeneratedProgram Materialize(const ScenarioSpec& spec);
+
+// A self-contained textual repro: a comment header (seed, params, trigger)
+// followed by the IR source. The result is a valid .esd program file:
+// esdsynth/esdrun load it directly (the externs preamble is prepended by
+// the tools).
+std::string ReproText(const GeneratedProgram& program);
+
+}  // namespace esd::fuzz
+
+#endif  // ESD_SRC_FUZZ_GENERATOR_H_

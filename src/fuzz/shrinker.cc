@@ -1,0 +1,149 @@
+#include "src/fuzz/shrinker.h"
+
+#include <algorithm>
+
+namespace esd::fuzz {
+namespace {
+
+// Materializes `candidate` and accepts it (into `best`) if the failure
+// survives. Returns true on acceptance.
+bool TryAccept(const ScenarioSpec& candidate, const ShrinkPredicate& still_failing,
+               GeneratedProgram* best, ShrinkStats* stats) {
+  ++stats->attempts;
+  GeneratedProgram program = Materialize(candidate);
+  if (!still_failing(program)) {
+    return false;
+  }
+  ++stats->accepted;
+  *best = std::move(program);
+  return true;
+}
+
+// Pass 1: drop noise threads from the tail (bug threads stay).
+bool DropThreads(GeneratedProgram* best, const ShrinkPredicate& still_failing,
+                 ShrinkStats* stats) {
+  bool changed = false;
+  while (best->spec.threads.size() > best->spec.BugThreads()) {
+    ScenarioSpec candidate = best->spec;
+    candidate.threads.pop_back();
+    if (!TryAccept(candidate, still_failing, best, stats)) {
+      break;
+    }
+    changed = true;
+  }
+  return changed;
+}
+
+// Pass 2: ddmin on each thread's noise list — drop chunks, halving the
+// chunk size down to single statements.
+bool DropStatements(GeneratedProgram* best, const ShrinkPredicate& still_failing,
+                    ShrinkStats* stats) {
+  bool changed = false;
+  for (size_t t = 0; t < best->spec.threads.size(); ++t) {
+    size_t chunk = std::max<size_t>(1, best->spec.threads[t].noise.size() / 2);
+    while (chunk >= 1) {
+      bool dropped_any = false;
+      size_t at = 0;
+      while (at < best->spec.threads[t].noise.size()) {
+        ScenarioSpec candidate = best->spec;
+        auto& noise = candidate.threads[t].noise;
+        size_t len = std::min(chunk, noise.size() - at);
+        noise.erase(noise.begin() + static_cast<ptrdiff_t>(at),
+                    noise.begin() + static_cast<ptrdiff_t>(at + len));
+        if (TryAccept(candidate, still_failing, best, stats)) {
+          changed = dropped_any = true;
+          // `at` now points at the statement after the dropped chunk.
+        } else {
+          at += chunk;
+        }
+      }
+      if (chunk == 1 && !dropped_any) {
+        break;
+      }
+      chunk = chunk == 1 ? 1 : chunk / 2;
+      if (chunk == 1 && dropped_any) {
+        continue;  // One more singleton sweep after a successful round.
+      }
+    }
+  }
+  return changed;
+}
+
+// Pass 3: drop guards one at a time (from the back, so remaining guard
+// labels stay contiguous after re-materialization).
+bool DropGuards(GeneratedProgram* best, const ShrinkPredicate& still_failing,
+                ShrinkStats* stats) {
+  bool changed = false;
+  size_t g = best->spec.guards.size();
+  while (g-- > 0) {
+    if (g >= best->spec.guards.size()) {
+      continue;
+    }
+    ScenarioSpec candidate = best->spec;
+    candidate.guards.erase(candidate.guards.begin() + static_cast<ptrdiff_t>(g));
+    if (TryAccept(candidate, still_failing, best, stats)) {
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+// Pass 4: shrink the lock set to what the planted bug needs. Lock indices
+// referenced by the deadlock pair are remapped onto {0, 1}.
+bool ShrinkLocks(GeneratedProgram* best, const ShrinkPredicate& still_failing,
+                 ShrinkStats* stats) {
+  ScenarioSpec candidate = best->spec;
+  uint32_t needed = candidate.kind == BugKind::kDeadlock ? 2 : 0;
+  if (candidate.num_locks <= std::max(needed, 1u)) {
+    return false;
+  }
+  candidate.num_locks = std::max(needed, 1u);
+  if (candidate.kind == BugKind::kDeadlock) {
+    candidate.lock_a = 0;
+    candidate.lock_b = 1;
+  }
+  return TryAccept(candidate, still_failing, best, stats);
+}
+
+}  // namespace
+
+GeneratedProgram Shrink(const GeneratedProgram& failing,
+                        const ShrinkPredicate& still_failing, ShrinkStats* stats) {
+  ShrinkStats local;
+  if (stats == nullptr) {
+    stats = &local;
+  }
+  stats->stmts_before = failing.spec.StatementCount();
+  GeneratedProgram best = failing;
+  bool changed = true;
+  while (changed) {
+    ++stats->rounds;
+    changed = false;
+    changed |= DropThreads(&best, still_failing, stats);
+    changed |= DropStatements(&best, still_failing, stats);
+    changed |= DropGuards(&best, still_failing, stats);
+    changed |= ShrinkLocks(&best, still_failing, stats);
+  }
+  stats->stmts_after = best.spec.StatementCount();
+  return best;
+}
+
+GeneratedProgram ShrinkFailingScenario(const GeneratedProgram& failing,
+                                       const OracleOptions& options,
+                                       ShrinkStats* stats) {
+  OracleVerdict original = CheckScenario(failing, options);
+  if (original.ok) {
+    if (stats != nullptr) {
+      stats->stmts_before = stats->stmts_after = failing.spec.StatementCount();
+    }
+    return failing;  // Nothing to shrink: the oracle accepts the scenario.
+  }
+  ShrinkPredicate same_stage = [&options,
+                                stage = original.stage](const GeneratedProgram& p) {
+    OracleVerdict v = CheckScenario(p, options);
+    return !v.ok && v.stage == stage;
+  };
+  return Shrink(failing, same_stage, stats);
+}
+
+}  // namespace esd::fuzz

@@ -1,0 +1,55 @@
+// ESD fuzz: greedy delta-debugging of failing generated scenarios.
+//
+// When the oracle rejects a scenario, the raw program carries all the
+// generator's noise; the shrinker minimizes it while the failure persists,
+// so the repro a human (or CI artifact) sees is close to minimal. Classic
+// greedy ddmin over the ScenarioSpec — never over raw IR text — so every
+// candidate re-materializes into a well-formed program by construction:
+//
+//   1. drop whole noise threads (bug threads are never dropped),
+//   2. drop noise statements, largest chunks first, halving down to
+//      singletons,
+//   3. drop arithmetic guards,
+//   4. shrink the lock set to the locks the planted bug uses.
+//
+// Each accepted edit must keep the predicate (by default: "the oracle
+// still fails at the same stage") true; rounds repeat until a fixpoint.
+#ifndef ESD_SRC_FUZZ_SHRINKER_H_
+#define ESD_SRC_FUZZ_SHRINKER_H_
+
+#include <cstddef>
+#include <functional>
+
+#include "src/fuzz/generator.h"
+#include "src/fuzz/oracle.h"
+
+namespace esd::fuzz {
+
+struct ShrinkStats {
+  size_t rounds = 0;
+  size_t attempts = 0;   // Candidate programs materialized and re-checked.
+  size_t accepted = 0;   // Edits that kept the failure alive.
+  size_t stmts_before = 0;
+  size_t stmts_after = 0;
+};
+
+// Returns true if the candidate is still "interesting" (still failing).
+using ShrinkPredicate = std::function<bool(const GeneratedProgram&)>;
+
+// Minimizes `failing` under an arbitrary predicate.
+GeneratedProgram Shrink(const GeneratedProgram& failing,
+                        const ShrinkPredicate& still_failing,
+                        ShrinkStats* stats = nullptr);
+
+// Convenience wrapper: the predicate is "CheckScenario still fails at the
+// stage the original failed at" (matching stages keeps the shrinker from
+// wandering onto an unrelated failure). `options` should disable the
+// checks that are irrelevant to the original failure only if the caller
+// knows that; by default the full oracle re-runs per candidate.
+GeneratedProgram ShrinkFailingScenario(const GeneratedProgram& failing,
+                                       const OracleOptions& options,
+                                       ShrinkStats* stats = nullptr);
+
+}  // namespace esd::fuzz
+
+#endif  // ESD_SRC_FUZZ_SHRINKER_H_

@@ -36,6 +36,49 @@ std::optional<vm::SchedEvent::Kind> ParseEventKind(std::string_view s) {
   return std::nullopt;
 }
 
+// Input names come from program str globals and may legally contain
+// whitespace, which would shear the token-based `input <name> = <value>`
+// record (or, with a newline, smuggle a bogus extra line). Percent-escape
+// the offenders on write and decode on parse: replay still looks names up
+// by their exact original bytes, and the escaping is canonical so the
+// serialize -> parse -> serialize round trip stays byte-identical.
+std::string EscapeName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (unsigned char c : name) {
+    if (c == '%' || c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+      char buf[4];
+      std::snprintf(buf, sizeof(buf), "%%%02x", c);
+      out += buf;
+    } else {
+      out += static_cast<char>(c);
+    }
+  }
+  return out;
+}
+
+std::string UnescapeName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (size_t i = 0; i < name.size(); ++i) {
+    if (name[i] == '%' && i + 2 < name.size()) {
+      auto hex = [](char c) -> int {
+        if (c >= '0' && c <= '9') return c - '0';
+        if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+        return -1;
+      };
+      int hi = hex(name[i + 1]), lo = hex(name[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out += static_cast<char>(hi * 16 + lo);
+        i += 2;
+        continue;
+      }
+    }
+    out += name[i];
+  }
+  return out;
+}
+
 }  // namespace
 
 ExecutionFile BuildExecutionFile(const ir::Module& module,
@@ -66,9 +109,20 @@ std::string ExecutionFileToText(const ExecutionFile& file) {
   std::ostringstream os;
   os << "execution v1\n";
   os << "bug " << file.bug_kind << "\n";
-  os << "description " << file.description << "\n";
+  // The description is free text (bug messages); the format is
+  // line-oriented and the parser reads the rest of this one line, so any
+  // embedded line break would silently corrupt the records that follow.
+  // Flatten to spaces — the parse -> serialize round trip is then
+  // byte-stable.
+  std::string description = file.description;
+  for (char& c : description) {
+    if (c == '\n' || c == '\r') {
+      c = ' ';
+    }
+  }
+  os << "description " << description << "\n";
   for (const auto& [name, value] : file.inputs) {
-    os << "input " << name << " = " << value << "\n";
+    os << "input " << EscapeName(name) << " = " << value << "\n";
   }
   for (const SwitchPoint& sp : file.strict) {
     os << "switch " << sp.step << " " << sp.tid << "\n";
@@ -137,6 +191,7 @@ std::optional<ExecutionFile> ParseExecutionFile(const std::string& text,
       if (trailing(ls)) {
         return fail("trailing garbage after input value" + at());
       }
+      name = UnescapeName(name);
       if (!file.inputs.emplace(name, value).second) {
         return fail("duplicate input '" + name + "'" + at());
       }

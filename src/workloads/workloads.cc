@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "src/fuzz/generator.h"
 #include "src/ir/parser.h"
 #include "src/ir/verifier.h"
 #include "src/workloads/workloads_internal.h"
@@ -61,7 +62,47 @@ std::vector<std::string> Table1Names() {
 
 std::vector<std::string> LsNames() { return {"ls1", "ls2", "ls3", "ls4"}; }
 
+// Generated-scenario adapters: "fuzz:<kind>:<seed>" materializes an
+// esdfuzz scenario as a regular workload, so every tool and test that
+// consumes the registry can run against the unbounded generated family.
+// Note race scenarios' triggers carry inputs but no schedule (the racy
+// window has no sync events), so CaptureDump does not apply to them; use
+// fuzz::MakeReport for the report instead.
+static std::optional<Workload> MakeFuzzWorkload(const std::string& name) {
+  if (name.rfind("fuzz:", 0) != 0) {
+    return std::nullopt;
+  }
+  size_t colon = name.find(':', 5);
+  if (colon == std::string::npos) {
+    return std::nullopt;
+  }
+  auto kind = fuzz::ParseBugKindName(name.substr(5, colon - 5));
+  if (!kind.has_value()) {
+    return std::nullopt;
+  }
+  char* end = nullptr;
+  uint64_t seed = std::strtoull(name.c_str() + colon + 1, &end, 10);
+  if (end == name.c_str() + colon + 1 || *end != '\0') {
+    return std::nullopt;
+  }
+  fuzz::GeneratorParams params;
+  params.kind = *kind;
+  params.seed = seed;
+  fuzz::GeneratedProgram program = fuzz::Generate(params);
+  Workload w;
+  w.name = name;
+  w.manifestation =
+      *kind == fuzz::BugKind::kDeadlock ? "hang" : "crash";
+  w.module = program.module;
+  w.trigger = program.trigger;
+  w.expected_kind = program.expected_kind;
+  return w;
+}
+
 Workload MakeWorkload(const std::string& name) {
+  if (auto fuzzed = MakeFuzzWorkload(name); fuzzed.has_value()) {
+    return *fuzzed;
+  }
   if (name == "listing1") {
     return BuildListing1();
   }

@@ -18,6 +18,14 @@
 //   mkfifo   - crash: null deref on an error-handling path
 //   tac      - crash: null deref for a separator-edge-case input
 //   ls1..ls4 - the four planted null derefs used for Figure 2's baseline
+//
+// Beyond the fixed suite, "fuzz:<kind>:<seed>" names (kind in
+// deadlock|race|crash) materialize esdfuzz generated scenarios
+// (src/fuzz/generator.h) as workloads, giving registry consumers access
+// to the unbounded generated family. Race scenarios carry inputs but no
+// sync-event schedule (their buggy window has no sync events), so
+// CaptureDump does not apply to them; build their report with
+// fuzz::MakeReport (the assert-site dump) instead.
 #ifndef ESD_SRC_WORKLOADS_WORKLOADS_H_
 #define ESD_SRC_WORKLOADS_WORKLOADS_H_
 

@@ -1,0 +1,148 @@
+// Negative-path contract for the command-line tools: every user mistake —
+// an unknown flag, a missing file, a malformed input file — must produce a
+// nonzero exit and exactly one diagnostic line on stderr, with no crash
+// and no partial output file left behind. The tools are exercised as real
+// subprocesses (ESD_TOOL_DIR is injected by CMake).
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <sys/wait.h>
+
+namespace {
+
+std::string ToolDir() { return ESD_TOOL_DIR; }
+
+struct RunResult {
+  int exit_code = -1;
+  std::string stderr_text;
+};
+
+// Runs `command`, swallowing stdout and capturing stderr.
+RunResult RunCommand(const std::string& command) {
+  RunResult result;
+  std::string wrapped = command + " 2>&1 1>/dev/null";
+  FILE* pipe = popen(wrapped.c_str(), "r");
+  if (pipe == nullptr) {
+    return result;
+  }
+  std::array<char, 4096> buf;
+  size_t n;
+  while ((n = fread(buf.data(), 1, buf.size(), pipe)) > 0) {
+    result.stderr_text.append(buf.data(), n);
+  }
+  int status = pclose(pipe);
+  if (WIFEXITED(status)) {
+    result.exit_code = WEXITSTATUS(status);
+  } else {
+    result.exit_code = 128;  // Signal: the "no crash" assertions will fail.
+  }
+  return result;
+}
+
+size_t LineCount(const std::string& text) {
+  size_t lines = 0;
+  for (char c : text) {
+    if (c == '\n') {
+      ++lines;
+    }
+  }
+  return lines;
+}
+
+bool FileExists(const std::string& path) {
+  std::ifstream in(path);
+  return in.good();
+}
+
+void WriteTo(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  out << content;
+}
+
+// Asserts the negative-path contract: nonzero exit (but a clean exit, not
+// a signal), exactly one diagnostic line.
+void ExpectOneLineFailure(const std::string& command) {
+  RunResult r = RunCommand(command);
+  EXPECT_GT(r.exit_code, 0) << command;
+  EXPECT_LT(r.exit_code, 128) << command << " died on a signal";
+  EXPECT_EQ(LineCount(r.stderr_text), 1u)
+      << command << "\nstderr was:\n" << r.stderr_text;
+  EXPECT_NE(r.stderr_text.find("error"), std::string::npos) << command;
+}
+
+class CliNegativeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "esd_cli_negative";
+    std::string mk = "mkdir -p " + dir_;
+    ASSERT_EQ(std::system(mk.c_str()), 0);
+    program_ = dir_ + "/prog.esd";
+    WriteTo(program_, R"(
+func @main() : i32 {
+entry:
+  ret i32 0
+}
+)");
+    bad_exec_ = dir_ + "/bad.esdx";
+    WriteTo(bad_exec_, "execution v1\nbug deadlock\nwat 1 2\n");
+    bad_core_ = dir_ + "/bad.core";
+    WriteTo(bad_core_, "this is not a coredump\n");
+    bad_prog_ = dir_ + "/bad.esd";
+    WriteTo(bad_prog_, "func @main( {{{\n");
+  }
+
+  std::string Tool(const std::string& name) { return ToolDir() + "/" + name; }
+
+  std::string dir_, program_, bad_exec_, bad_core_, bad_prog_;
+};
+
+TEST_F(CliNegativeTest, UnknownFlagIsOneLineError) {
+  ExpectOneLineFailure(Tool("esdsynth") + " a.esd a.core --wat");
+  ExpectOneLineFailure(Tool("esdplay") + " a.esd a.esdx --wat");
+  ExpectOneLineFailure(Tool("esdrun") + " a.esd --wat");
+  ExpectOneLineFailure(Tool("esdcheck") + " a.esd --wat");
+  ExpectOneLineFailure(Tool("esdfuzz") + " --wat");
+}
+
+TEST_F(CliNegativeTest, MissingFileIsOneLineError) {
+  ExpectOneLineFailure(Tool("esdsynth") + " " + dir_ + "/absent.esd " + dir_ +
+                       "/absent.core");
+  ExpectOneLineFailure(Tool("esdplay") + " " + program_ + " " + dir_ +
+                       "/absent.esdx");
+  ExpectOneLineFailure(Tool("esdrun") + " " + dir_ + "/absent.esd");
+  ExpectOneLineFailure(Tool("esdcheck") + " " + dir_ + "/absent.esd");
+}
+
+TEST_F(CliNegativeTest, MalformedInputIsOneLineError) {
+  // Malformed execution file (esdplay), coredump (esdsynth), program
+  // (esdrun/esdcheck): each parser reports one precise diagnostic.
+  ExpectOneLineFailure(Tool("esdplay") + " " + program_ + " " + bad_exec_);
+  ExpectOneLineFailure(Tool("esdsynth") + " " + program_ + " " + bad_core_);
+  ExpectOneLineFailure(Tool("esdrun") + " " + bad_prog_);
+  ExpectOneLineFailure(Tool("esdcheck") + " " + bad_prog_);
+}
+
+TEST_F(CliNegativeTest, FailedSynthesisLeavesNoPartialOutput) {
+  std::string out = dir_ + "/never_written.esdx";
+  RunResult r = RunCommand(Tool("esdsynth") + " " + program_ + " " + bad_core_ +
+                    " -o " + out);
+  EXPECT_GT(r.exit_code, 0);
+  EXPECT_FALSE(FileExists(out))
+      << "esdsynth left a partial output file after a failed run";
+}
+
+TEST_F(CliNegativeTest, MissingArgumentsPrintUsage) {
+  // No-argument invocations are user exploration, not scripting mistakes:
+  // they get the full usage text (many lines), still with a nonzero exit
+  // so scripts cannot mistake it for success.
+  for (const char* tool : {"esdsynth", "esdplay"}) {
+    RunResult r = RunCommand(Tool(tool));
+    EXPECT_EQ(r.exit_code, 2) << tool;
+    EXPECT_NE(r.stderr_text.find("usage:"), std::string::npos) << tool;
+  }
+}
+
+}  // namespace

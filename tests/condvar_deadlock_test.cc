@@ -67,6 +67,95 @@ entry:
 }
 )";
 
+// The classic spurious/stolen-wakeup bug: consumers re-check the predicate
+// with `if` instead of `while` in "if" mode. One producer publishes a
+// single item and *broadcasts*; both waiting consumers wake, the first
+// legitimately consumes it, and the second — woken with nothing left —
+// consumes anyway because it never re-checks. Its in-consumer esd_assert
+// on a non-negative count fails. In "while" mode every wakeup re-checks
+// and nothing can go negative (the main thread re-publishes for the
+// re-checking consumer so the safe mode also terminates).
+constexpr char kSpuriousWakeup[] = R"(
+global $m = zero 8
+global $c = zero 8
+global $count = zero 4
+global $modename = str "check_mode"
+global $mode_cache = zero 4
+
+func @consumer(%arg: ptr) : void {
+entry:
+  call @mutex_lock($m)
+  %mode = load i32, $mode_cache
+  %unsafe = icmp eq %mode, i32 105   ; 'i': `if`-based predicate check
+  condbr %unsafe, if_check, while_check
+if_check:
+  %v = load i32, $count
+  %has = icmp ne %v, i32 0
+  condbr %has, consume, wait_once
+wait_once:
+  call @cond_wait($c, $m)
+  br consume                         ; BUG: no re-check after the wakeup
+while_check:
+  %w = load i32, $count
+  %whas = icmp ne %w, i32 0
+  condbr %whas, consume, wait_loop
+wait_loop:
+  call @cond_wait($c, $m)
+  br while_check
+consume:
+  %cv = load i32, $count
+  %cn = sub %cv, i32 1
+  store %cn, $count
+  %nonneg = icmp sge %cn, i32 0
+  call @esd_assert(%nonneg)          ; fails iff a wakeup was consumed twice
+  call @mutex_unlock($m)
+  ret
+}
+
+func @producer(%arg: ptr) : void {
+entry:
+  call @mutex_lock($m)
+  %v = load i32, $count
+  %n = add %v, i32 1
+  store %n, $count
+  call @cond_broadcast($c)           ; wakes BOTH waiting consumers
+  call @mutex_unlock($m)
+  ret
+}
+
+func @main() : i32 {
+entry:
+  %mode = call @esd_input_i32($modename)
+  store %mode, $mode_cache
+  %t1 = call @thread_create(@consumer, null)
+  %t2 = call @thread_create(@consumer, null)
+  %t3 = call @thread_create(@producer, null)
+  call @thread_join(%t3)
+  %t4 = call @thread_create(@producer, null)  ; second item: `while` mode stays live
+  call @thread_join(%t4)
+  call @thread_join(%t1)
+  call @thread_join(%t2)
+  ret i32 0
+}
+)";
+
+workloads::Workload MakeSpuriousWakeup() {
+  workloads::Workload w;
+  w.name = "spurious";
+  w.manifestation = "crash";
+  w.expected_kind = vm::BugInfo::Kind::kAssertFail;
+  w.module = workloads::ParseWorkload(kSpuriousWakeup);
+  w.trigger.inputs = {{"check_mode", 'i'}};
+  // Both consumers go to sleep (lock + cond-wait = 2 sync events each); the
+  // producer publishes one item and broadcasts (lock + unlock = 2 events;
+  // the signal itself records none). C1 then wakes (cond-wake), consumes
+  // the item and unlocks (4 events total), and finally C2 — woken with
+  // nothing left — consumes without a re-check and trips the assert.
+  w.trigger.schedule = {
+      {1, 0, 1}, {1, 2, 2}, {2, 2, 3}, {3, 2, 1}, {1, 4, 2}};
+  return w;
+}
+
 workloads::Workload MakeLostWakeup() {
   workloads::Workload w;
   w.name = "lostwake";
@@ -115,6 +204,87 @@ TEST(CondvarDeadlockTest, SynthesizesAndReplays) {
   replay::ReplayResult r =
       replay::Replay(*w.module, result.file, replay::ReplayMode::kStrict);
   EXPECT_TRUE(r.bug_reproduced) << r.bug.message;
+}
+
+// The PR-2 pruning machinery (sleep sets + state dedup) must not suppress
+// the buggy interleaving of either condvar scenario: synthesis succeeds
+// with pruning on (default) and with pruning off, and the two agree on
+// feasibility. A failure on the "on" side is precisely the "sleep set put
+// the schedule fork to sleep and nothing woke it" class of bug.
+TEST(CondvarDeadlockTest, PruningOnAndOffBothSynthesizeLostWakeup) {
+  workloads::Workload w = MakeLostWakeup();
+  auto dump = workloads::CaptureDump(*w.module, w.trigger);
+  ASSERT_TRUE(dump.has_value());
+  for (bool pruning : {true, false}) {
+    core::SynthesisOptions options;
+    options.dedup = pruning;
+    options.sleep_sets = pruning;
+    options.time_cap_seconds = 60.0;
+    core::Synthesizer synthesizer(w.module.get(), options);
+    core::SynthesisResult result = synthesizer.Synthesize(*dump);
+    ASSERT_TRUE(result.success)
+        << "pruning " << (pruning ? "on" : "off") << ": "
+        << result.failure_reason;
+    replay::ReplayResult r =
+        replay::Replay(*w.module, result.file, replay::ReplayMode::kStrict);
+    EXPECT_TRUE(r.bug_reproduced)
+        << "pruning " << (pruning ? "on" : "off") << ": " << r.bug.message;
+  }
+}
+
+TEST(CondvarSpuriousWakeupTest, TriggerManifestsDoubleConsume) {
+  workloads::Workload w = MakeSpuriousWakeup();
+  auto dump = workloads::CaptureDump(*w.module, w.trigger);
+  ASSERT_TRUE(dump.has_value());
+  EXPECT_EQ(dump->kind, vm::BugInfo::Kind::kAssertFail);
+}
+
+TEST(CondvarSpuriousWakeupTest, PruningOnAndOffBothSynthesize) {
+  workloads::Workload w = MakeSpuriousWakeup();
+  auto dump = workloads::CaptureDump(*w.module, w.trigger);
+  ASSERT_TRUE(dump.has_value());
+  for (bool pruning : {true, false}) {
+    core::SynthesisOptions options;
+    options.dedup = pruning;
+    options.sleep_sets = pruning;
+    options.time_cap_seconds = 60.0;
+    core::Synthesizer synthesizer(w.module.get(), options);
+    core::SynthesisResult result = synthesizer.Synthesize(*dump);
+    ASSERT_TRUE(result.success)
+        << "pruning " << (pruning ? "on" : "off") << ": "
+        << result.failure_reason;
+    EXPECT_EQ(result.bug.kind, vm::BugInfo::Kind::kAssertFail);
+    // The inferred input must select the `if`-based re-check-free mode.
+    bool if_mode = false;
+    for (const auto& [name, value] : result.file.inputs) {
+      if (name.rfind("check_mode", 0) == 0 && value == 'i') {
+        if_mode = true;
+      }
+    }
+    EXPECT_TRUE(if_mode);
+    replay::ReplayResult r =
+        replay::Replay(*w.module, result.file, replay::ReplayMode::kStrict);
+    EXPECT_TRUE(r.bug_reproduced)
+        << "pruning " << (pruning ? "on" : "off") << ": " << r.bug.message;
+  }
+}
+
+TEST(CondvarSpuriousWakeupTest, WhileModeNeverGoesNegative) {
+  workloads::Workload w = MakeSpuriousWakeup();
+  // With `while`-based re-checks ('w'), no schedule double-consumes.
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    solver::ConstraintSolver solver;
+    workloads::PrefixInputProvider inputs({{"check_mode", 'w'}});
+    workloads::RandomSchedulePolicy policy(seed);
+    vm::Interpreter::Options options;
+    options.input_provider = &inputs;
+    options.policy = &policy;
+    vm::Interpreter interp(w.module.get(), &solver, options);
+    vm::StatePtr s = interp.MakeInitialState(*w.module->FindFunction("main"), 1);
+    vm::SingleRunResult r = vm::RunToCompletion(interp, *s, 100000);
+    ASSERT_TRUE(r.completed) << "seed " << seed;
+    EXPECT_FALSE(r.bug.IsBug()) << "seed " << seed << ": " << r.bug.message;
+  }
 }
 
 TEST(CondvarDeadlockTest, SafeModeNeverHangs) {

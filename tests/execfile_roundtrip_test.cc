@@ -1,0 +1,158 @@
+// Round-trip property for the execution-file format: for any file the
+// engine can produce, serialize -> parse -> serialize must be
+// byte-identical (the paper's §8 bug-triage story hashes these files, so
+// a lossy round trip would split one bug into many fingerprints). The
+// schedules come from two sources: real synthesized executions over the
+// esdfuzz generated family, and adversarial structure built directly.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+
+#include "src/fuzz/generator.h"
+#include "src/fuzz/oracle.h"
+#include "src/replay/execution_file.h"
+
+namespace esd {
+namespace {
+
+// serialize -> parse -> serialize == serialize, and the parsed structure
+// equals the input field-for-field.
+void ExpectRoundTrips(const replay::ExecutionFile& file, const std::string& label) {
+  std::string text = replay::ExecutionFileToText(file);
+  std::string error;
+  auto parsed = replay::ParseExecutionFile(text, &error);
+  ASSERT_TRUE(parsed.has_value()) << label << ": " << error;
+  EXPECT_EQ(replay::ExecutionFileToText(*parsed), text) << label;
+  EXPECT_EQ(parsed->inputs, file.inputs) << label;
+  EXPECT_EQ(parsed->strict.size(), file.strict.size()) << label;
+  EXPECT_EQ(parsed->happens_before.size(), file.happens_before.size()) << label;
+  EXPECT_EQ(replay::Fingerprint(*parsed), replay::Fingerprint(file)) << label;
+}
+
+// Real schedules: synthesized executions across the generated scenario
+// family (deadlock schedules carry hb lock/unlock/create events, race
+// schedules dense strict switch lists, crash schedules input-only files).
+TEST(ExecutionFileRoundTripTest, GeneratorProducedSchedules) {
+  for (uint64_t seed = 100; seed < 140; ++seed) {
+    fuzz::GeneratorParams params;
+    params.seed = seed;
+    params.kind = static_cast<fuzz::BugKind>(seed % 3);
+    fuzz::GeneratedProgram program = fuzz::Generate(params);
+    fuzz::OracleOptions options;
+    options.check_ablations = false;
+    fuzz::OracleVerdict verdict = fuzz::CheckScenario(program, options);
+    ASSERT_TRUE(verdict.ok) << "seed " << seed << ": " << verdict.failure;
+    ExpectRoundTrips(verdict.result.file, "seed " + std::to_string(seed));
+  }
+}
+
+// Structural fuzz over the file contents themselves, independent of the
+// engine: random (valid) inputs, switch points, and hb events.
+TEST(ExecutionFileRoundTripTest, RandomizedStructures) {
+  std::mt19937_64 rng(7);
+  for (int iter = 0; iter < 200; ++iter) {
+    replay::ExecutionFile file;
+    file.bug_kind = iter % 2 == 0 ? "deadlock" : "assert-fail";
+    file.description = iter % 3 == 0 ? "" : "lost update at counter#" +
+                                                std::to_string(rng() % 100);
+    size_t inputs = rng() % 6;
+    for (size_t i = 0; i < inputs; ++i) {
+      file.inputs["in" + std::to_string(rng() % 50) + "#" +
+                  std::to_string(i)] = rng();
+    }
+    uint64_t step = 0;
+    size_t switches = rng() % 8;
+    for (size_t i = 0; i < switches; ++i) {
+      step += rng() % 40;  // Non-decreasing, duplicates allowed.
+      file.strict.push_back(
+          {step, static_cast<uint32_t>(rng() % 5)});
+    }
+    size_t events = rng() % 8;
+    uint32_t next_created = 1;
+    for (size_t i = 0; i < events; ++i) {
+      replay::HbEvent hb;
+      switch (rng() % 4) {
+        case 0:
+          hb.kind = vm::SchedEvent::Kind::kMutexLock;
+          break;
+        case 1:
+          hb.kind = vm::SchedEvent::Kind::kMutexUnlock;
+          break;
+        case 2:
+          hb.kind = vm::SchedEvent::Kind::kThreadCreate;
+          break;
+        default:
+          hb.kind = vm::SchedEvent::Kind::kCondWake;
+          break;
+      }
+      hb.tid = hb.kind == vm::SchedEvent::Kind::kThreadCreate
+                   ? next_created++
+                   : static_cast<uint32_t>(rng() % 4);
+      hb.addr = rng() % 100000;
+      hb.site = "f" + std::to_string(rng() % 9) + ":b" +
+                std::to_string(rng() % 9) + ":" + std::to_string(rng() % 20);
+      file.happens_before.push_back(std::move(hb));
+    }
+    ExpectRoundTrips(file, "iter " + std::to_string(iter));
+  }
+}
+
+// The asymmetry this suite exposed: descriptions are free text copied
+// from bug messages, and an embedded newline used to smuggle a second
+// (garbage) line into the serialized file — the parse then failed or
+// dropped records. The writer now flattens line breaks; the round trip
+// must survive and stay stable.
+TEST(ExecutionFileRoundTripTest, DescriptionWithLineBreaksIsFlattened) {
+  replay::ExecutionFile file;
+  file.bug_kind = "deadlock";
+  file.description = "first line\nsecond line\r\nthird";
+  file.inputs["x#0"] = 7;
+  std::string text = replay::ExecutionFileToText(file);
+  std::string error;
+  auto parsed = replay::ParseExecutionFile(text, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->description, "first line second line  third");
+  EXPECT_EQ(parsed->inputs, file.inputs);
+  // Stable from the first re-serialization on.
+  EXPECT_EQ(replay::ExecutionFileToText(*parsed), text);
+}
+
+// Input names come from program str globals and may contain whitespace
+// (or '%'); the writer percent-escapes them so the token-based record
+// survives, and the parser decodes back to the exact original bytes —
+// replay looks inputs up by those bytes, so lossy handling would break
+// playback, not just aesthetics.
+TEST(ExecutionFileRoundTripTest, InputNamesWithWhitespaceSurvive) {
+  replay::ExecutionFile file;
+  file.bug_kind = "null-deref";
+  file.inputs["buf size#3"] = 41;
+  file.inputs["tab\there"] = 1;
+  file.inputs["new\nline"] = 2;
+  file.inputs["pct%20literal"] = 3;
+  std::string text = replay::ExecutionFileToText(file);
+  std::string error;
+  auto parsed = replay::ParseExecutionFile(text, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->inputs, file.inputs);
+  EXPECT_EQ(replay::ExecutionFileToText(*parsed), text);
+}
+
+// Descriptions with leading/trailing spaces must survive unchanged (the
+// parser strips exactly the one separator space the writer adds).
+TEST(ExecutionFileRoundTripTest, DescriptionSpacesPreserved) {
+  for (const char* desc : {"", " ", "  padded  ", "a  b"}) {
+    replay::ExecutionFile file;
+    file.bug_kind = "abort";
+    file.description = desc;
+    std::string text = replay::ExecutionFileToText(file);
+    std::string error;
+    auto parsed = replay::ParseExecutionFile(text, &error);
+    ASSERT_TRUE(parsed.has_value()) << "desc '" << desc << "': " << error;
+    EXPECT_EQ(parsed->description, desc);
+    EXPECT_EQ(replay::ExecutionFileToText(*parsed), text);
+  }
+}
+
+}  // namespace
+}  // namespace esd

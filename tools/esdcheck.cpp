@@ -57,7 +57,7 @@ int main(int argc, char** argv) {
     } else if (arg == "--static-only") {
       static_only = true;
     } else {
-      Usage();
+      std::cerr << "error: unknown option or missing argument: '" << arg << "' (try --help)\n";
       return 2;
     }
   }

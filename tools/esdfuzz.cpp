@@ -1,0 +1,171 @@
+// esdfuzz: scenario fuzzing for the synthesis engine.
+//
+//   esdfuzz [--seeds N] [--seed-base S] [--kind deadlock|race|crash|mixed]
+//           [--jobs N] [--time-cap SECONDS] [--no-ablations] [--shrink]
+//           [--out-dir DIR] [--inject-kind-mismatch]
+//
+// Expands each seed into a random concurrent program with a planted bug
+// (src/fuzz/generator.h), then runs the differential oracle: full-engine
+// synthesis must find the planted bug, the execution file must replay
+// deterministically, and the pruning/solver ablations must agree on
+// feasibility. Any failing scenario is a real engine (or generator) bug;
+// its self-contained repro is written to --out-dir, delta-debugged to a
+// near-minimal program first when --shrink is given.
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/fuzz/generator.h"
+#include "src/fuzz/oracle.h"
+#include "src/fuzz/shrinker.h"
+#include "src/replay/execution_file.h"
+#include "src/report/coredump.h"
+#include "tools/tool_common.h"
+
+namespace {
+
+void Usage(std::ostream& os = std::cerr) {
+  os << "usage: esdfuzz [options]\n"
+     << "\n"
+     << "Sweeps randomly generated concurrent programs with planted bugs\n"
+     << "through the full synthesis engine and checks the oracle\n"
+     << "invariants: planted bug found, execution file replays\n"
+     << "deterministically, pruning/solver ablations agree.\n"
+     << "\n"
+     << "options:\n"
+     << "  --seeds N          scenarios to run (default 20)\n"
+     << "  --seed-base S      first seed; scenario i uses seed S+i\n"
+     << "                     (default 1)\n"
+     << "  --kind K           deadlock | race | crash | mixed (default\n"
+     << "                     mixed: kind cycles with the seed)\n"
+     << "  --jobs N           portfolio width for each synthesis run\n"
+     << "                     (default 1)\n"
+     << "  --time-cap SECONDS per-synthesis budget (default 30)\n"
+     << "  --no-ablations     skip the pruning-off / solver-pipeline-off\n"
+     << "                     agreement runs\n"
+     << "  --shrink           delta-debug failing scenarios to a minimal\n"
+     << "                     repro before writing it\n"
+     << "  --out-dir DIR      where failure repros are written (default .)\n"
+     << "  --inject-kind-mismatch\n"
+     << "                     fault injection: expect the wrong bug kind,\n"
+     << "                     so every scenario fails (exercises the\n"
+     << "                     failure path and --shrink)\n"
+     << "  -h, --help         show this help\n";
+}
+
+// A wrong-but-valid kind for fault injection: anything differing from the
+// planted kind fails the oracle's kind check.
+esd::vm::BugInfo::Kind MismatchedKind(esd::vm::BugInfo::Kind planted) {
+  return planted == esd::vm::BugInfo::Kind::kDeadlock
+             ? esd::vm::BugInfo::Kind::kAssertFail
+             : esd::vm::BugInfo::Kind::kDeadlock;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace esd;
+  uint64_t seeds = 20;
+  uint64_t seed_base = 1;
+  std::string kind_arg = "mixed";
+  bool shrink = false;
+  bool inject_mismatch = false;
+  std::string out_dir = ".";
+  fuzz::OracleOptions oracle;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "-h" || arg == "--help") {
+      Usage(std::cout);
+      return 0;
+    } else if (arg == "--seeds" && i + 1 < argc) {
+      seeds = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--seed-base" && i + 1 < argc) {
+      seed_base = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--kind" && i + 1 < argc) {
+      kind_arg = argv[++i];
+      if (kind_arg != "mixed" && !fuzz::ParseBugKindName(kind_arg).has_value()) {
+        std::cerr << "error: --kind must be deadlock, race, crash or mixed, "
+                  << "got '" << kind_arg << "'\n";
+        return 2;
+      }
+    } else if (arg == "--jobs" && i + 1 < argc) {
+      oracle.jobs = static_cast<size_t>(std::strtoull(argv[++i], nullptr, 10));
+      if (oracle.jobs == 0 || oracle.jobs > 256) {
+        std::cerr << "error: --jobs must be in [1, 256]\n";
+        return 2;
+      }
+    } else if (arg == "--time-cap" && i + 1 < argc) {
+      oracle.time_cap_seconds = std::atof(argv[++i]);
+    } else if (arg == "--no-ablations") {
+      oracle.check_ablations = false;
+    } else if (arg == "--shrink") {
+      shrink = true;
+    } else if (arg == "--out-dir" && i + 1 < argc) {
+      out_dir = argv[++i];
+    } else if (arg == "--inject-kind-mismatch") {
+      inject_mismatch = true;
+    } else {
+      std::cerr << "error: unknown option or missing argument: '" << arg << "' (try --help)\n";
+      return 2;
+    }
+  }
+
+  uint64_t failures = 0;
+  uint64_t passed = 0;
+  for (uint64_t i = 0; i < seeds; ++i) {
+    uint64_t seed = seed_base + i;
+    fuzz::GeneratorParams params;
+    params.seed = seed;
+    if (kind_arg == "mixed") {
+      params.kind = static_cast<fuzz::BugKind>(seed % 3);
+    } else {
+      params.kind = *fuzz::ParseBugKindName(kind_arg);
+    }
+    fuzz::GeneratedProgram program = fuzz::Generate(params);
+    fuzz::OracleOptions options = oracle;
+    if (inject_mismatch) {
+      options.expect_kind_override = MismatchedKind(program.expected_kind);
+    }
+    fuzz::OracleVerdict verdict = fuzz::CheckScenario(program, options);
+    if (verdict.ok) {
+      ++passed;
+      std::cout << "esdfuzz: seed " << seed << " ["
+                << fuzz::BugKindName(params.kind) << "] ok: "
+                << verdict.result.states_created << " states, "
+                << verdict.result.solver.queries << " solver queries, "
+                << "fingerprint " << replay::Fingerprint(verdict.result.file)
+                << "\n";
+      continue;
+    }
+    ++failures;
+    std::cout << "esdfuzz: seed " << seed << " ["
+              << fuzz::BugKindName(params.kind) << "] FAIL at stage '"
+              << verdict.stage << "': " << verdict.failure << "\n";
+    fuzz::GeneratedProgram repro = program;
+    if (shrink) {
+      fuzz::ShrinkStats stats;
+      repro = fuzz::ShrinkFailingScenario(program, options, &stats);
+      std::cout << "esdfuzz: shrunk seed " << seed << " from "
+                << stats.stmts_before << " to " << stats.stmts_after
+                << " statements (" << stats.attempts << " attempts, "
+                << stats.rounds << " rounds)\n";
+    }
+    std::string prefix = out_dir + "/esdfuzz_seed" + std::to_string(seed);
+    if (!tools::WriteFile(prefix + ".esd", fuzz::ReproText(repro))) {
+      std::cerr << "error: cannot write '" << prefix << ".esd'\n";
+      return 1;
+    }
+    std::cout << "esdfuzz: repro written to " << prefix << ".esd";
+    auto dump = fuzz::MakeReport(repro);
+    if (dump.has_value() &&
+        tools::WriteFile(prefix + ".core",
+                         report::CoreDumpToText(*repro.module, *dump))) {
+      std::cout << " (+ " << prefix << ".core for esdsynth)";
+    }
+    std::cout << "\n";
+  }
+  std::cout << "esdfuzz: " << passed << "/" << seeds << " scenarios passed, "
+            << failures << " failed\n";
+  return failures == 0 ? 0 : 1;
+}

@@ -102,7 +102,7 @@ int main(int argc, char** argv) {
     } else if (arg == "--max-steps" && i + 1 < argc) {
       max_steps = std::strtoull(argv[++i], nullptr, 10);
     } else {
-      Usage();
+      std::cerr << "error: unknown option or missing argument: '" << arg << "' (try --help)\n";
       return 2;
     }
   }

@@ -64,7 +64,7 @@ int main(int argc, char** argv) {
       std::string kv = argv[++i];
       size_t eq = kv.find('=');
       if (eq == std::string::npos) {
-        Usage();
+        std::cerr << "error: --input expects name=value, got '" << kv << "'\n";
         return 2;
       }
       inputs[kv.substr(0, eq)] = std::strtoull(kv.c_str() + eq + 1, nullptr, 0);
@@ -76,7 +76,7 @@ int main(int argc, char** argv) {
     } else if (arg == "--max-steps" && i + 1 < argc) {
       max_steps = std::strtoull(argv[++i], nullptr, 10);
     } else {
-      Usage();
+      std::cerr << "error: unknown option or missing argument: '" << arg << "' (try --help)\n";
       return 2;
     }
   }

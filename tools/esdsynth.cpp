@@ -133,7 +133,7 @@ int main(int argc, char** argv) {
     } else if (arg == "--no-critical-edges") {
       options.use_critical_edges = false;
     } else {
-      Usage();
+      std::cerr << "error: unknown option or missing argument: '" << arg << "' (try --help)\n";
       return 2;
     }
   }
