@@ -31,7 +31,9 @@ int main() {
   bool all_ok = true;
   bool throughput_ok = true;
   for (fuzz::BugKind kind :
-       {fuzz::BugKind::kDeadlock, fuzz::BugKind::kRace, fuzz::BugKind::kCrash}) {
+       {fuzz::BugKind::kDeadlock, fuzz::BugKind::kRace, fuzz::BugKind::kCrash,
+        fuzz::BugKind::kRwUpgrade, fuzz::BugKind::kSemLostSignal,
+        fuzz::BugKind::kBarrierMismatch}) {
     uint64_t pass = 0;
     uint64_t states = 0;
     uint64_t queries = 0;

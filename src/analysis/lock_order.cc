@@ -1,13 +1,15 @@
 #include "src/analysis/lock_order.h"
 
 #include <algorithm>
+#include <map>
 #include <set>
+#include <string>
 
 namespace esd::analysis {
 namespace {
 
-// Resolves a mutex_lock/mutex_unlock operand to a global index, if it is a
-// direct global reference (the common case for library-wide mutexes).
+// Resolves a sync call's lock operand to a global index, if it is a direct
+// global reference (the common case for library-wide sync objects).
 bool GlobalMutexOperand(const ir::Instruction& inst, uint32_t* global_index) {
   if (inst.operands.empty() ||
       inst.operands[0].kind != ir::Value::Kind::kGlobalRef) {
@@ -17,12 +19,50 @@ bool GlobalMutexOperand(const ir::Instruction& inst, uint32_t* global_index) {
   return true;
 }
 
+// How a sync external participates in the lock-order walk.
+struct AcquireClass {
+  bool acquires = false;  // Enters the held set.
+  bool releases = false;  // Leaves the held set.
+  bool blocking = false;  // A blocking acquire records an order edge.
+  bool shared = false;    // Read-mode acquisition (rwlock_rdlock).
+};
+
+AcquireClass ClassifySyncCall(const std::string& name) {
+  if (name == "mutex_lock") {
+    return {true, false, true, false};
+  }
+  if (name == "mutex_trylock" || name == "rwlock_trywrlock") {
+    return {true, false, false, false};  // Non-blocking: held, no edge.
+  }
+  if (name == "rwlock_tryrdlock") {
+    return {true, false, false, true};
+  }
+  if (name == "rwlock_wrlock") {
+    return {true, false, true, false};
+  }
+  if (name == "rwlock_rdlock") {
+    return {true, false, true, true};
+  }
+  if (name == "sem_wait") {
+    // Binary-semaphore-as-mutex usage: a blocking acquire of the sem
+    // global, released by sem_post.
+    return {true, false, true, false};
+  }
+  if (name == "mutex_unlock" || name == "rwlock_unlock" || name == "sem_post") {
+    return {false, true, false, false};
+  }
+  return {};
+}
+
 class Walker {
  public:
+  // Held set: global index -> held in shared (read) mode.
+  using HeldSet = std::map<uint32_t, bool>;
+
   explicit Walker(const ir::Module& module) : module_(module) {}
 
   void WalkEntry(uint32_t func) {
-    std::set<uint32_t> held;
+    HeldSet held;
     std::vector<uint32_t> call_stack;
     WalkFunction(func, &held, &call_stack);
   }
@@ -33,7 +73,7 @@ class Walker {
   // Path-insensitively walks blocks in order, maintaining the held set. A
   // block is visited at most once per (function, entry-held-set) pair to
   // bound the traversal.
-  void WalkFunction(uint32_t func, std::set<uint32_t>* held,
+  void WalkFunction(uint32_t func, HeldSet* held,
                     std::vector<uint32_t>* call_stack) {
     const ir::Function& fn = module_.Func(func);
     if (fn.is_external || fn.blocks.empty()) {
@@ -45,8 +85,8 @@ class Walker {
     }
     call_stack->push_back(func);
     // Worklist of (block, held-set at entry).
-    std::vector<std::pair<uint32_t, std::set<uint32_t>>> work;
-    std::set<std::pair<uint32_t, std::set<uint32_t>>> seen;
+    std::vector<std::pair<uint32_t, HeldSet>> work;
+    std::set<std::pair<uint32_t, HeldSet>> seen;
     work.emplace_back(0, *held);
     while (!work.empty()) {
       auto [b, entry_held] = work.back();
@@ -54,7 +94,7 @@ class Walker {
       if (!seen.emplace(b, entry_held).second) {
         continue;
       }
-      std::set<uint32_t> current = entry_held;
+      HeldSet current = entry_held;
       const ir::BasicBlock& bb = fn.blocks[b];
       for (uint32_t i = 0; i < bb.insts.size(); ++i) {
         const ir::Instruction& inst = bb.insts[i];
@@ -62,21 +102,35 @@ class Walker {
           continue;
         }
         const ir::Function& callee = module_.Func(inst.callee);
-        uint32_t mutex_global = 0;
-        if (callee.is_external && callee.name == "mutex_lock" &&
-            GlobalMutexOperand(inst, &mutex_global)) {
-          for (uint32_t held_mutex : current) {
-            if (held_mutex != mutex_global) {
-              edges_.push_back(LockOrderEdge{held_mutex, mutex_global,
-                                             ir::InstRef{func, b, i}});
+        if (!callee.is_external) {
+          WalkFunction(inst.callee, &current, call_stack);
+          continue;
+        }
+        AcquireClass cls = ClassifySyncCall(callee.name);
+        uint32_t lock_global = 0;
+        if ((!cls.acquires && !cls.releases) ||
+            !GlobalMutexOperand(inst, &lock_global)) {
+          continue;
+        }
+        if (cls.releases) {
+          current.erase(lock_global);
+          continue;
+        }
+        if (cls.blocking) {
+          for (const auto& [held_lock, held_shared] : current) {
+            if (held_lock != lock_global) {
+              edges_.push_back(LockOrderEdge{held_lock, lock_global,
+                                             ir::InstRef{func, b, i},
+                                             held_shared, cls.shared});
             }
           }
-          current.insert(mutex_global);
-        } else if (callee.is_external && callee.name == "mutex_unlock" &&
-                   GlobalMutexOperand(inst, &mutex_global)) {
-          current.erase(mutex_global);
-        } else if (!callee.is_external) {
-          WalkFunction(inst.callee, &current, call_stack);
+        }
+        // Strongest mode wins on re-acquisition: a read-to-write upgrade
+        // must flip the held entry to exclusive, or the shared/shared
+        // warning filter would suppress real inversions downstream.
+        auto [entry, inserted] = current.emplace(lock_global, cls.shared);
+        if (!inserted) {
+          entry->second = entry->second && cls.shared;
         }
       }
       if (!bb.insts.empty()) {
@@ -137,6 +191,16 @@ std::vector<LockOrderWarning> FindLockOrderWarnings(const ir::Module& module) {
     for (size_t j = i + 1; j < edges.size(); ++j) {
       if (edges[i].first_mutex_global != edges[j].second_mutex_global ||
           edges[i].second_mutex_global != edges[j].first_mutex_global) {
+        continue;
+      }
+      // Mode filter: the inversion deadlocks only if on *each* lock the
+      // hold and the acquire conflict — shared/shared (two read holds of
+      // one rwlock) never blocks, so such pairs are not warnings.
+      bool lock_a_shared =
+          edges[i].first_shared && edges[j].second_shared;
+      bool lock_b_shared =
+          edges[i].second_shared && edges[j].first_shared;
+      if (lock_a_shared || lock_b_shared) {
         continue;
       }
       // One warning per unordered pair of acquisition sites.

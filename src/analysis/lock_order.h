@@ -22,11 +22,22 @@
 
 namespace esd::analysis {
 
-// One "acquired `second` while holding `first`" fact.
+// One "acquired `second` while holding `first`" fact. The checker covers
+// every blocking acquire over a global sync object: mutex_lock,
+// rwlock_rdlock/wrlock (an rwlock participates in cycles like a mutex,
+// modulo the shared-mode exception below), and sem_wait (the mutex-like
+// binary-semaphore usage). mutex_trylock and the rwlock try variants add
+// to the held set when walked but record no edge — a non-blocking acquire
+// cannot close a circular wait.
 struct LockOrderEdge {
-  uint32_t first_mutex_global = 0;   // Global index of the held mutex.
-  uint32_t second_mutex_global = 0;  // Global index of the acquired mutex.
+  uint32_t first_mutex_global = 0;   // Global index of the held object.
+  uint32_t second_mutex_global = 0;  // Global index of the acquired object.
   ir::InstRef acquire_site;          // The lock call acquiring `second`.
+  // Shared (read) mode markers: a read-held rwlock does not block another
+  // read acquisition, so inversions that are shared/shared on a lock
+  // cannot deadlock and are filtered out of the warnings.
+  bool first_shared = false;   // `first` was held in read mode.
+  bool second_shared = false;  // `second` is acquired in read mode.
 };
 
 // A potential AB-BA deadlock: two edges with inverted order.
@@ -35,11 +46,12 @@ struct LockOrderWarning {
   LockOrderEdge ba;  // A acquired while holding B.
 };
 
-// All lock-order edges over global mutexes, from every thread entry point
-// (main plus every address-taken function).
+// All lock-order edges over global sync objects, from every thread entry
+// point (main plus every address-taken function).
 std::vector<LockOrderEdge> CollectLockOrderEdges(const ir::Module& module);
 
-// Pairs inverted edges into warnings.
+// Pairs inverted edges into warnings, dropping pairs whose modes cannot
+// conflict (shared/shared on either lock).
 std::vector<LockOrderWarning> FindLockOrderWarnings(const ir::Module& module);
 
 }  // namespace esd::analysis

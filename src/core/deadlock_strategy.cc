@@ -35,22 +35,30 @@ void DeadlockStrategy::BeforeSyncOp(vm::EngineServices& services,
   // The operation is about to execute: sleeping operations it interferes
   // with must be woken before any fork-gating below consults the sleep set.
   WakeSleepers(state, op);
-  // When the reported hang involves a condvar wait, the ordering of condvar
-  // and thread-lifecycle operations matters too (a signal that fires before
-  // the wait is lost; a thread spawned later may need to run first). Fork
-  // one variant per other runnable thread, preempting the current one
-  // before the operation. Mutex-only deadlocks keep the paper's §4.1
-  // preemption points ("solely the calls to synchronization primitives,
-  // like mutex lock and unlock").
-  bool cond_goal = false;
+  // When the reported hang involves a wait beyond a plain mutex (condvar,
+  // rwlock, semaphore, barrier), the ordering of those operations and of
+  // thread lifecycle matters too (a signal or post that fires before the
+  // wait is lost; a reader that arrives before the upgrade closes the
+  // window; a thread spawned later may need to run first). Fork one
+  // variant per other runnable thread, preempting the current one before
+  // the operation. Mutex-only deadlocks keep the paper's §4.1 preemption
+  // points ("solely the calls to synchronization primitives, like mutex
+  // lock and unlock").
+  bool sync_goal = false;
   for (const ThreadGoal& tg : goal_.threads) {
-    cond_goal = cond_goal || tg.blocked_on_cond;
+    sync_goal = sync_goal || tg.blocked_on_sync;
   }
-  if (cond_goal && (op.kind == vm::SyncOp::Kind::kCondWait ||
+  if (sync_goal && (op.kind == vm::SyncOp::Kind::kCondWait ||
                     op.kind == vm::SyncOp::Kind::kCondSignal ||
                     op.kind == vm::SyncOp::Kind::kCondBroadcast ||
                     op.kind == vm::SyncOp::Kind::kThreadCreate ||
-                    op.kind == vm::SyncOp::Kind::kThreadJoin)) {
+                    op.kind == vm::SyncOp::Kind::kThreadJoin ||
+                    op.kind == vm::SyncOp::Kind::kRwRdLock ||
+                    op.kind == vm::SyncOp::Kind::kRwWrLock ||
+                    op.kind == vm::SyncOp::Kind::kRwUnlock ||
+                    op.kind == vm::SyncOp::Kind::kSemWait ||
+                    op.kind == vm::SyncOp::Kind::kSemPost ||
+                    op.kind == vm::SyncOp::Kind::kBarrierWait)) {
     for (const vm::Thread& t : state.threads) {
       if (t.id == state.current_tid || t.status != vm::ThreadStatus::kRunnable ||
           ShouldSkipFork(state, t.id)) {
@@ -70,12 +78,20 @@ void DeadlockStrategy::BeforeSyncOp(vm::EngineServices& services,
     }
     return;
   }
-  if (op.kind != vm::SyncOp::Kind::kMutexLock || op.addr == 0) {
+  // Acquire-like operations get the K_S snapshot treatment: mutex lock
+  // (incl. trylock), rwlock read/write acquisition, and semaphore wait.
+  bool acquire_like = op.kind == vm::SyncOp::Kind::kMutexLock ||
+                      op.kind == vm::SyncOp::Kind::kRwRdLock ||
+                      op.kind == vm::SyncOp::Kind::kRwWrLock ||
+                      op.kind == vm::SyncOp::Kind::kSemWait;
+  if (!acquire_like || op.addr == 0) {
     return;
   }
-  auto it = state.mutexes.find(op.addr);
-  if (it != state.mutexes.end() && it->second.locked) {
-    return;  // Held: handled by OnLockBlocked after the op executes.
+  if (op.kind == vm::SyncOp::Kind::kMutexLock) {
+    auto it = state.mutexes.find(op.addr);
+    if (it != state.mutexes.end() && it->second.locked) {
+      return;  // Held: handled by OnLockBlocked after the op executes.
+    }
   }
   // The mutex is free and the current thread is about to acquire it. Fork
   // the alternative in which the thread is preempted just before the

@@ -10,21 +10,24 @@ Goal ExtractGoal(const ir::Module& /*module*/, const report::CoreDump& dump) {
   goal.description = dump.message;
   goal.fault_addr = dump.fault_addr;
   if (dump.kind == vm::BugInfo::Kind::kDeadlock) {
-    // Every thread blocked on a mutex (or stuck in a condition-variable
-    // wait that will never be signaled — §4.1's "no thread can make any
-    // progress" case) participates; its inner lock / wait is the call at
-    // the top of its reported stack.
+    // Every thread blocked on a synchronization object — a mutex, an
+    // rwlock, a semaphore, a barrier, or a condition-variable wait that
+    // will never be signaled (§4.1's "no thread can make any progress"
+    // case) — participates; its inner lock / wait is the call at the top
+    // of its reported stack. Join waits are excluded: the joined thread's
+    // own blockage is the actionable goal.
     for (const report::ThreadDump& t : dump.threads) {
-      if ((t.status == vm::ThreadStatus::kBlockedMutex ||
-           t.status == vm::ThreadStatus::kBlockedCond) &&
-          !t.stack.empty()) {
-        ThreadGoal tg;
-        tg.tid = t.tid;
-        tg.target = t.stack.back();
-        tg.stack = t.stack;
-        tg.blocked_on_cond = t.status == vm::ThreadStatus::kBlockedCond;
-        goal.threads.push_back(std::move(tg));
+      if (t.status == vm::ThreadStatus::kRunnable ||
+          t.status == vm::ThreadStatus::kExited ||
+          t.status == vm::ThreadStatus::kBlockedJoin || t.stack.empty()) {
+        continue;
       }
+      ThreadGoal tg;
+      tg.tid = t.tid;
+      tg.target = t.stack.back();
+      tg.stack = t.stack;
+      tg.blocked_on_sync = t.status != vm::ThreadStatus::kBlockedMutex;
+      goal.threads.push_back(std::move(tg));
     }
     return goal;
   }
@@ -64,9 +67,8 @@ bool GoalMatches(const Goal& goal, const vm::ExecutionState& state,
         if (std::find(used.begin(), used.end(), t.id) != used.end()) {
           continue;
         }
-        if ((t.status == vm::ThreadStatus::kBlockedMutex ||
-             t.status == vm::ThreadStatus::kBlockedCond) &&
-            t.Pc() == tg.target) {
+        if (vm::IsBlockedStatus(t.status) &&
+            t.status != vm::ThreadStatus::kBlockedJoin && t.Pc() == tg.target) {
           used.push_back(t.id);
           found = true;
           break;

@@ -29,10 +29,12 @@ struct ThreadGoal {
   // The full reported call stack, outermost first (used for matching and
   // for the common-prefix heuristic of §4.2).
   std::vector<ir::InstRef> stack;
-  // For hangs: the thread was reported blocked in a condvar wait (rather
-  // than a mutex acquisition). Widens the schedule strategy's preemption
-  // points to condvar and thread-lifecycle operations.
-  bool blocked_on_cond = false;
+  // For hangs: the thread was reported blocked on something other than a
+  // plain mutex acquisition (a condvar wait, an rwlock read/write wait, a
+  // semaphore wait, or a barrier). Widens the schedule strategy's
+  // preemption points beyond mutex lock/unlock to condvar,
+  // rwlock/semaphore/barrier, and thread-lifecycle operations.
+  bool blocked_on_sync = false;
 };
 
 struct Goal {

@@ -71,7 +71,32 @@ double ProximitySearcher::Priority(const vm::ExecutionState& state,
   // took its inner lock has "no remaining path" to it, yet is exactly the
   // state to run).
   double path = static_cast<double>(std::min<uint64_t>(dist, kPathDistanceCap));
-  return state.schedule_distance * options_.schedule_weight + path;
+  // Full-manifestation drive: when *every* reported goal thread is parked
+  // (blocked) at its target simultaneously, the deadlock is one scheduling
+  // round from detection — drive such states to completion ahead of the
+  // frontier (see kBlockedGoalBonus). The all-of-them condition matters: a
+  // single parked goal thread is routinely transient (a barrier that will
+  // release, a semaphore about to be posted), and rewarding it floods the
+  // drive stratum with safe-path states. Only concrete per-thread goals
+  // count; intermediate and wildcard goals carry no parked-thread notion.
+  size_t thread_goals = 0;
+  size_t parked = 0;
+  for (const SearchGoal& g : goals_) {
+    if (!g.target.IsValid() || g.tid == SearchGoal::kAnyThread) {
+      continue;
+    }
+    ++thread_goals;
+    for (const vm::Thread& t : state.threads) {
+      if (t.id == g.tid && vm::IsBlockedStatus(t.status) && !t.frames.empty() &&
+          t.Pc() == g.target) {
+        ++parked;
+        break;
+      }
+    }
+  }
+  double bonus =
+      thread_goals > 0 && parked == thread_goals ? kBlockedGoalBonus : 0.0;
+  return state.schedule_distance * options_.schedule_weight + path - bonus;
 }
 
 void ProximitySearcher::PushAll(const vm::StatePtr& state) {

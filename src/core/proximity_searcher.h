@@ -39,6 +39,25 @@ class ProximitySearcher : public vm::Searcher {
   // schedule-distance bias always dominates.
   static constexpr uint64_t kPathDistanceCap = 1'000'000;
 
+  // Subtracted from the priority when *every* goal thread is blocked at
+  // its target (the deadlock has fully manifested; only the remaining
+  // threads need driving to blockage). Strictly larger than the
+  // path-distance cap so such states always outrank the exploration
+  // frontier — without this they tie with it and starve (a frontier of
+  // tens of thousands of equal-priority states advances each lineage once
+  // per frontier-size selections). Kept below schedule_weight so the §4.1
+  // schedule-distance bias still dominates.
+  static constexpr double kBlockedGoalBonus = 2'000'000.0;
+
+  // Priorities below this are in a "drive to completion" stratum (some
+  // goal thread blocked at its target, or schedule-near): see the Entry
+  // comparator. Matches the default schedule weight — states on the plain
+  // far frontier sit at schedule_weight + path and stay above it. Only tie
+  // *order* depends on this constant, never correctness, so a
+  // non-default Options::schedule_weight merely shifts which ties are
+  // driven.
+  static constexpr double kDriveTieThreshold = 1e7;
+
   // `goals`: the final per-thread goals (goal.threads) plus any intermediate
   // goals; each entry is (target instruction, thread id or kAnyThread).
   struct SearchGoal {
@@ -62,7 +81,24 @@ class ProximitySearcher : public vm::Searcher {
     double priority;
     uint64_t stamp;
     std::weak_ptr<vm::ExecutionState> state;
-    bool operator>(const Entry& other) const { return priority > other.priority; }
+    // Tie policy. Below kDriveTieThreshold — the schedule-near and
+    // blocked-goal strata, where part of the reported deadlock has already
+    // manifested — ties break LIFO (largest stamp pops first): the engine
+    // restamps a state after every step, so the state just stepped keeps
+    // running and the almost-manifest lineage drives to completion instead
+    // of round-robining over the whole tied stratum. At or above the
+    // threshold (the plain exploration frontier) ties stay unordered:
+    // heap-mixed exploration is what escapes the self-replicating
+    // schedule-fork families that pruning-off ablations produce, where a
+    // strict LIFO would dive into ever-newer clones forever. The flag is a
+    // pure function of the priority, so the ordering remains a strict weak
+    // order.
+    bool operator>(const Entry& other) const {
+      if (priority != other.priority) {
+        return priority > other.priority;
+      }
+      return priority < kDriveTieThreshold && stamp < other.stamp;
+    }
   };
   using Heap = std::priority_queue<Entry, std::vector<Entry>, std::greater<>>;
 

@@ -66,7 +66,7 @@ class Emitter {
       os_ << "global $fznl" << t << " = zero 8\n";
       os_ << "global $fzscr" << t << " = zero 4\n";
     }
-    if (spec_.kind == BugKind::kDeadlock) {
+    if (spec_.kind == BugKind::kDeadlock || spec_.kind == BugKind::kRwUpgrade) {
       os_ << "global $fzshared = zero 4\n";
     }
     if (spec_.kind == BugKind::kRace) {
@@ -75,6 +75,16 @@ class Emitter {
     if (spec_.kind == BugKind::kCrash) {
       os_ << "global $fzcrk = zero 4\n";
       os_ << "global $fzcr_name = str \"fz_crash\"\n";
+    }
+    if (spec_.kind == BugKind::kRwUpgrade) {
+      os_ << "global $fzrw = zero 8\n";
+    }
+    if (spec_.kind == BugKind::kSemLostSignal) {
+      os_ << "global $fzready = zero 8\n";
+      os_ << "global $fzdone = zero 8\n";
+    }
+    if (spec_.kind == BugKind::kBarrierMismatch) {
+      os_ << "global $fzb = zero 8\n";
     }
     os_ << "\n";
   }
@@ -164,6 +174,15 @@ class Emitter {
         case BugKind::kCrash:
           EmitCrashSkeleton();
           break;
+        case BugKind::kRwUpgrade:
+          EmitRwUpgradeSkeleton(t);
+          break;
+        case BugKind::kSemLostSignal:
+          EmitSemLostSignalSkeleton(t);
+          break;
+        case BugKind::kBarrierMismatch:
+          EmitBarrierSkeleton(t);
+          break;
       }
     } else {
       EmitSlot(t, Slot::kMid);
@@ -236,6 +255,51 @@ class Emitter {
     }
   }
 
+  // Both upgrade in place: rdlock, read, (mid noise widens the window),
+  // wrlock — each blocks on the other's read hold once both rdlocked.
+  void EmitRwUpgradeSkeleton(uint32_t t) {
+    std::string a = Tmp(), b = Tmp();
+    os_ << "  call @rwlock_rdlock($fzrw)\n";
+    os_ << "  " << a << " = load i32, $fzshared\n";
+    EmitSlot(t, Slot::kMid);
+    os_ << "  call @rwlock_wrlock($fzrw)\n";
+    os_ << "  " << b << " = add " << a << ", i32 1\n";
+    os_ << "  store " << b << ", $fzshared\n";
+    os_ << "  call @rwlock_unlock($fzrw)\n";
+  }
+
+  // Thread 0 consumes: it briefly borrows the handoff token (mid noise
+  // widens the borrow window), returns it, then waits for the producer's
+  // signal. Thread 1 produces through a trywait fast path that drops the
+  // signal whenever its trywait lands inside the borrow window.
+  void EmitSemLostSignalSkeleton(uint32_t t) {
+    if (t == 0) {
+      os_ << "  call @sem_wait($fzready)\n";
+      EmitSlot(t, Slot::kMid);
+      os_ << "  call @sem_post($fzready)\n";
+      os_ << "  call @sem_wait($fzdone)\n";
+      return;
+    }
+    EmitSlot(t, Slot::kMid);
+    std::string r = Tmp(), got = Tmp();
+    std::string fwd = Blk(), out = Blk();
+    os_ << "  " << r << " = call @sem_trywait($fzready)\n";
+    os_ << "  " << got << " = icmp eq " << r << ", i32 1\n";
+    os_ << "  condbr " << got << ", " << fwd << ", " << out << "\n";
+    os_ << fwd << ":\n";
+    os_ << "  call @sem_post($fzready)\n";
+    os_ << "  call @sem_post($fzdone)\n";
+    os_ << "  br " << out << "\n";
+    os_ << out << ":\n";
+  }
+
+  // Both workers arrive at a barrier initialized for three parties; the
+  // third party never comes.
+  void EmitBarrierSkeleton(uint32_t t) {
+    EmitSlot(t, Slot::kMid);
+    os_ << "  call @barrier_wait($fzb)\n";
+  }
+
   void EmitMain() {
     tmp_ = 0;
     blk_ = 0;
@@ -264,6 +328,17 @@ class Emitter {
     if (spec_.kind == BugKind::kCrash) {
       os_ << "  %crk = call @esd_input_i32($fzcr_name)\n";
       os_ << "  store %crk, $fzcrk\n";
+    }
+    if (spec_.kind == BugKind::kRwUpgrade) {
+      os_ << "  call @rwlock_init($fzrw)\n";
+    }
+    if (spec_.kind == BugKind::kSemLostSignal) {
+      os_ << "  call @sem_init($fzready, i32 1)\n";
+      os_ << "  call @sem_init($fzdone, i32 0)\n";
+    }
+    if (spec_.kind == BugKind::kBarrierMismatch) {
+      // One party more than will ever arrive: the planted count mismatch.
+      os_ << "  call @barrier_init($fzb, i32 3)\n";
     }
     for (uint32_t t = 0; t < spec_.threads.size(); ++t) {
       os_ << "  %t" << t << " = call @thread_create(@fzworker" << t
@@ -307,19 +382,22 @@ std::string_view BugKindName(BugKind kind) {
       return "race";
     case BugKind::kCrash:
       return "crash";
+    case BugKind::kRwUpgrade:
+      return "rwlock-upgrade";
+    case BugKind::kSemLostSignal:
+      return "sem-lost-signal";
+    case BugKind::kBarrierMismatch:
+      return "barrier-mismatch";
   }
   return "?";
 }
 
 std::optional<BugKind> ParseBugKindName(std::string_view name) {
-  if (name == "deadlock") {
-    return BugKind::kDeadlock;
-  }
-  if (name == "race") {
-    return BugKind::kRace;
-  }
-  if (name == "crash") {
-    return BugKind::kCrash;
+  for (uint32_t k = 0; k < kNumBugKinds; ++k) {
+    auto kind = static_cast<BugKind>(k);
+    if (BugKindName(kind) == name) {
+      return kind;
+    }
   }
   return std::nullopt;
 }
@@ -451,6 +529,25 @@ GeneratedProgram Materialize(const ScenarioSpec& spec) {
       program.expected_kind = spec.crash_null_deref
                                   ? vm::BugInfo::Kind::kNullDeref
                                   : vm::BugInfo::Kind::kAssertFail;
+      break;
+    case BugKind::kRwUpgrade:
+      program.expected_kind = vm::BugInfo::Kind::kDeadlock;
+      // Worker 0 (tid 1) read-locks (1 sync event) and is preempted;
+      // worker 1 (tid 2) read-locks and blocks upgrading; worker 0 then
+      // blocks upgrading too: circular wait on the read holds.
+      program.trigger.schedule = {{1, 1, 2}, {2, 1, 1}};
+      break;
+    case BugKind::kSemLostSignal:
+      program.expected_kind = vm::BugInfo::Kind::kDeadlock;
+      // Right after the consumer's sem_wait (its first counted sync event)
+      // run the producer (tid 2): its trywait lands inside the borrow
+      // window, fails, and the consumer's wakeup is dropped.
+      program.trigger.schedule = {{1, 1, 2}};
+      break;
+    case BugKind::kBarrierMismatch:
+      program.expected_kind = vm::BugInfo::Kind::kDeadlock;
+      // Any schedule hangs once the guards are solved; the trigger only
+      // needs the inputs.
       break;
   }
   return program;

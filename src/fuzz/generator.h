@@ -47,7 +47,23 @@
 
 namespace esd::fuzz {
 
-enum class BugKind : uint8_t { kDeadlock, kRace, kCrash };
+// The planted-bug families. Beyond the original three, the sync-surface
+// kinds plant: a reader-writer upgrade deadlock (both bug threads read-lock
+// then upgrade in place), a semaphore lost-signal (a trywait fast path
+// drops the consumer's wakeup when the token is briefly borrowed), and a
+// barrier count mismatch (one more party configured than ever arrives).
+// All three manifest as deadlocks; their triggers differ in whether the
+// interleaving (rwlock-upgrade, sem-lost-signal) or just the guarded
+// inputs (barrier-mismatch) arm the hang.
+enum class BugKind : uint8_t {
+  kDeadlock,
+  kRace,
+  kCrash,
+  kRwUpgrade,
+  kSemLostSignal,
+  kBarrierMismatch,
+};
+inline constexpr uint32_t kNumBugKinds = 6;
 
 std::string_view BugKindName(BugKind kind);
 std::optional<BugKind> ParseBugKindName(std::string_view name);

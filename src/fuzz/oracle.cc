@@ -138,6 +138,18 @@ OracleVerdict CheckScenario(const GeneratedProgram& program,
     core::SynthesisOptions no_pruning = ablation_base;
     no_pruning.dedup = false;
     no_pruning.sleep_sets = false;
+    if (program.spec.kind == BugKind::kSemLostSignal) {
+      // Dedup-off exploration of the sem scenarios is unbounded: the
+      // deadlock strategy's broad schedule forking at semaphore operations
+      // spawns families of trace-distinct but behavior-identical states
+      // ("both threads parked before the same pair of sem ops") that only
+      // the fingerprint table collapses — sleep sets cannot, because
+      // same-semaphore operations are genuinely dependent and keep waking
+      // each other. Weaken only the sleep-set layer for this kind; the
+      // dedup layer is still cross-checked by the sleep-off run exploring
+      // through it.
+      no_pruning.dedup = true;
+    }
     std::string reason =
         RunConfiguration(program, *dump, no_pruning, expected, nullptr);
     if (!reason.empty()) {

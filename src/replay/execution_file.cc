@@ -22,12 +22,30 @@ std::string_view EventKindName(vm::SchedEvent::Kind kind) {
       return "create";
     case vm::SchedEvent::Kind::kThreadExit:
       return "exit";
+    case vm::SchedEvent::Kind::kRwRdLock:
+      return "rd-lock";
+    case vm::SchedEvent::Kind::kRwWrLock:
+      return "wr-lock";
+    case vm::SchedEvent::Kind::kRwUnlock:
+      return "rw-unlock";
+    case vm::SchedEvent::Kind::kSemWait:
+      return "sem-wait";
+    case vm::SchedEvent::Kind::kSemPost:
+      return "sem-post";
+    case vm::SchedEvent::Kind::kBarrierWait:
+      return "barrier";
+    case vm::SchedEvent::Kind::kTryFail:
+      return "try-fail";
   }
   return "?";
 }
 
+// Name-based lookup keeps old files parseable unchanged: the v1 event names
+// retain their meaning, and the rwlock/semaphore/barrier names are a pure
+// extension (files that never use them serialize byte-identically to
+// before).
 std::optional<vm::SchedEvent::Kind> ParseEventKind(std::string_view s) {
-  for (int k = 0; k <= static_cast<int>(vm::SchedEvent::Kind::kThreadExit); ++k) {
+  for (int k = 0; k <= static_cast<int>(vm::SchedEvent::Kind::kTryFail); ++k) {
     auto kind = static_cast<vm::SchedEvent::Kind>(k);
     if (EventKindName(kind) == s) {
       return kind;

@@ -36,7 +36,16 @@ std::optional<uint32_t> HbReplayPolicy::ForceSwitch(const vm::ExecutionState& st
   if (next_event_ >= file_->happens_before.size()) {
     return std::nullopt;  // All orderings satisfied; run freely.
   }
-  return file_->happens_before[next_event_].tid;
+  const HbEvent& next = file_->happens_before[next_event_];
+  if (next.kind == vm::SchedEvent::Kind::kThreadCreate) {
+    // A create event names the spawned thread, but it is *performed* by
+    // the creator (recorded in addr; 0 = main in legacy files). Forcing
+    // the not-yet-existing spawned tid would fall through to whatever
+    // thread happens to be current, letting it run past operations the
+    // trace orders after the create.
+    return static_cast<uint32_t>(next.addr);
+  }
+  return next.tid;
 }
 
 ReplayResult Replay(const ir::Module& module, const ExecutionFile& file,

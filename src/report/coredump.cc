@@ -15,6 +15,14 @@ std::string_view StatusName(vm::ThreadStatus s) {
       return "blocked-cond";
     case vm::ThreadStatus::kBlockedJoin:
       return "blocked-join";
+    case vm::ThreadStatus::kBlockedRwRead:
+      return "blocked-rw-read";
+    case vm::ThreadStatus::kBlockedRwWrite:
+      return "blocked-rw-write";
+    case vm::ThreadStatus::kBlockedSem:
+      return "blocked-sem";
+    case vm::ThreadStatus::kBlockedBarrier:
+      return "blocked-barrier";
     case vm::ThreadStatus::kExited:
       return "exited";
   }
@@ -33,6 +41,18 @@ std::optional<vm::ThreadStatus> ParseStatus(std::string_view s) {
   }
   if (s == "blocked-join") {
     return vm::ThreadStatus::kBlockedJoin;
+  }
+  if (s == "blocked-rw-read") {
+    return vm::ThreadStatus::kBlockedRwRead;
+  }
+  if (s == "blocked-rw-write") {
+    return vm::ThreadStatus::kBlockedRwWrite;
+  }
+  if (s == "blocked-sem") {
+    return vm::ThreadStatus::kBlockedSem;
+  }
+  if (s == "blocked-barrier") {
+    return vm::ThreadStatus::kBlockedBarrier;
   }
   if (s == "exited") {
     return vm::ThreadStatus::kExited;
@@ -89,7 +109,9 @@ CoreDump CaptureCoreDump(const vm::ExecutionState& state, const vm::BugInfo& bug
     ThreadDump td;
     td.tid = t.id;
     td.status = t.status;
-    td.wait_mutex = t.wait_mutex;
+    // The contended object's address: the mutex for mutex waits, else the
+    // rwlock/semaphore/barrier the thread is parked on.
+    td.wait_mutex = t.wait_mutex != 0 ? t.wait_mutex : t.wait_sync;
     for (const vm::StackFrame& f : t.frames) {
       td.stack.push_back(ir::InstRef{f.func, f.block, f.inst});
     }

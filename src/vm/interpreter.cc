@@ -1,52 +1,17 @@
 #include "src/vm/interpreter.h"
 
+#include <algorithm>
 #include <cassert>
+#include <functional>
 #include <map>
 #include <sstream>
 
 namespace esd::vm {
-namespace {
 
-using solver::ExprRef;
-
-// External functions handled by the VM (the paper's environment model plus
-// the POSIX-thread layer of §6.1).
-enum class ExternalId {
-  kGetchar,
-  kGetenv,
-  kInputI32,
-  kInputI64,
-  kInputBytes,
-  kMalloc,
-  kFree,
-  kMemset,
-  kMemcpy,
-  kStrlen,
-  kPrintStr,
-  kPrintI64,
-  kExit,
-  kAbort,
-  kAssert,
-  kThreadCreate,
-  kThreadJoin,
-  kMutexInit,
-  kMutexLock,
-  kMutexUnlock,
-  kCondInit,
-  kCondWait,
-  kCondSignal,
-  kCondBroadcast,
-  kYield,
-  kUnknown,
-};
-
-// The one mapping from externals to synchronization operations: used both
-// to announce preemption points to schedule policies and to mark
-// StepResult::sync_point for the engine's dedup — a single table so the
-// two can never drift.
 std::optional<SyncOp::Kind> SyncKindOf(ExternalId id) {
   switch (id) {
     case ExternalId::kMutexLock:
+    case ExternalId::kMutexTryLock:
       return SyncOp::Kind::kMutexLock;
     case ExternalId::kMutexUnlock:
       return SyncOp::Kind::kMutexUnlock;
@@ -60,14 +25,27 @@ std::optional<SyncOp::Kind> SyncKindOf(ExternalId id) {
       return SyncOp::Kind::kThreadCreate;
     case ExternalId::kThreadJoin:
       return SyncOp::Kind::kThreadJoin;
+    case ExternalId::kRwRdLock:
+    case ExternalId::kRwTryRdLock:
+      return SyncOp::Kind::kRwRdLock;
+    case ExternalId::kRwWrLock:
+    case ExternalId::kRwTryWrLock:
+      return SyncOp::Kind::kRwWrLock;
+    case ExternalId::kRwUnlock:
+      return SyncOp::Kind::kRwUnlock;
+    case ExternalId::kSemWait:
+    case ExternalId::kSemTryWait:
+      return SyncOp::Kind::kSemWait;
+    case ExternalId::kSemPost:
+      return SyncOp::Kind::kSemPost;
+    case ExternalId::kBarrierWait:
+      return SyncOp::Kind::kBarrierWait;
     case ExternalId::kYield:
       return SyncOp::Kind::kYield;
     default:
       return std::nullopt;
   }
 }
-
-bool IsSyncExternal(ExternalId id) { return SyncKindOf(id).has_value(); }
 
 ExternalId LookupExternal(const std::string& name) {
   static const std::map<std::string, ExternalId> kMap = {
@@ -90,16 +68,93 @@ ExternalId LookupExternal(const std::string& name) {
       {"thread_join", ExternalId::kThreadJoin},
       {"mutex_init", ExternalId::kMutexInit},
       {"mutex_lock", ExternalId::kMutexLock},
+      {"mutex_trylock", ExternalId::kMutexTryLock},
       {"mutex_unlock", ExternalId::kMutexUnlock},
       {"cond_init", ExternalId::kCondInit},
       {"cond_wait", ExternalId::kCondWait},
       {"cond_signal", ExternalId::kCondSignal},
       {"cond_broadcast", ExternalId::kCondBroadcast},
+      {"rwlock_init", ExternalId::kRwLockInit},
+      {"rwlock_rdlock", ExternalId::kRwRdLock},
+      {"rwlock_tryrdlock", ExternalId::kRwTryRdLock},
+      {"rwlock_wrlock", ExternalId::kRwWrLock},
+      {"rwlock_trywrlock", ExternalId::kRwTryWrLock},
+      {"rwlock_unlock", ExternalId::kRwUnlock},
+      {"sem_init", ExternalId::kSemInit},
+      {"sem_wait", ExternalId::kSemWait},
+      {"sem_trywait", ExternalId::kSemTryWait},
+      {"sem_post", ExternalId::kSemPost},
+      {"barrier_init", ExternalId::kBarrierInit},
+      {"barrier_wait", ExternalId::kBarrierWait},
       {"yield", ExternalId::kYield},
       {"sleep_ms", ExternalId::kYield},
   };
   auto it = kMap.find(name);
   return it == kMap.end() ? ExternalId::kUnknown : it->second;
+}
+
+namespace {
+
+using solver::ExprRef;
+
+bool IsSyncExternal(ExternalId id) { return SyncKindOf(id).has_value(); }
+
+// The sync-dispatch table. Includes the *_init calls (object bookkeeping
+// belongs with its primitive) even though they are not preemption points.
+const Interpreter::SyncHandler* FindSyncHandler(ExternalId id) {
+  static const std::map<ExternalId, Interpreter::SyncHandler> kTable = {
+      {ExternalId::kThreadCreate, &Interpreter::ExecThreadCreate},
+      {ExternalId::kThreadJoin, &Interpreter::ExecThreadJoin},
+      {ExternalId::kMutexInit, &Interpreter::ExecSyncObjectInit},
+      {ExternalId::kCondInit, &Interpreter::ExecSyncObjectInit},
+      {ExternalId::kRwLockInit, &Interpreter::ExecSyncObjectInit},
+      {ExternalId::kSemInit, &Interpreter::ExecSyncObjectInit},
+      {ExternalId::kBarrierInit, &Interpreter::ExecSyncObjectInit},
+      {ExternalId::kMutexLock, &Interpreter::ExecMutexLock},
+      {ExternalId::kMutexTryLock, &Interpreter::ExecMutexLock},
+      {ExternalId::kMutexUnlock, &Interpreter::ExecMutexUnlock},
+      {ExternalId::kCondWait, &Interpreter::ExecCondWait},
+      {ExternalId::kCondSignal, &Interpreter::ExecCondWake},
+      {ExternalId::kCondBroadcast, &Interpreter::ExecCondWake},
+      {ExternalId::kRwRdLock, &Interpreter::ExecRwLock},
+      {ExternalId::kRwTryRdLock, &Interpreter::ExecRwLock},
+      {ExternalId::kRwWrLock, &Interpreter::ExecRwLock},
+      {ExternalId::kRwTryWrLock, &Interpreter::ExecRwLock},
+      {ExternalId::kRwUnlock, &Interpreter::ExecRwUnlock},
+      {ExternalId::kSemWait, &Interpreter::ExecSemWait},
+      {ExternalId::kSemTryWait, &Interpreter::ExecSemWait},
+      {ExternalId::kSemPost, &Interpreter::ExecSemPost},
+      {ExternalId::kBarrierWait, &Interpreter::ExecBarrierWait},
+      {ExternalId::kYield, &Interpreter::ExecYield},
+  };
+  auto it = kTable.find(id);
+  return it == kTable.end() ? nullptr : &it->second;
+}
+
+// Minimum argument count each external requires. A module may declare its
+// own extern signatures (bypassing the canonical preamble), and the
+// verifier only checks calls against the module's declarations — so a
+// short call must fail as a malformed-module error here rather than read
+// args[] out of bounds.
+size_t MinArgsOf(ExternalId id) {
+  switch (id) {
+    case ExternalId::kGetchar:
+    case ExternalId::kExit:
+    case ExternalId::kAbort:
+    case ExternalId::kYield:
+    case ExternalId::kUnknown:
+      return 0;
+    case ExternalId::kInputBytes:
+    case ExternalId::kMemset:
+    case ExternalId::kMemcpy:
+      return 3;
+    case ExternalId::kCondWait:
+    case ExternalId::kSemInit:
+    case ExternalId::kBarrierInit:
+      return 2;
+    default:
+      return 1;
+  }
 }
 
 BugInfo MakeBug(BugInfo::Kind kind, ir::InstRef pc, uint32_t tid, uint64_t addr,
@@ -265,7 +320,8 @@ bool Interpreter::LoadBytes(ExecutionState& state, uint64_t ptr, uint32_t bytes,
   state.SleepSetWakeAccess(MakePointer(PointerObject(ptr), offset),
                            /*is_write=*/false);
   if (options_.race_detector != nullptr) {
-    auto held = RaceDetector::HeldLocks(state, state.current_tid);
+    auto held = RaceDetector::HeldLocksForAccess(state, state.current_tid,
+                                                 /*is_write=*/false);
     options_.race_detector->OnAccess(MakePointer(PointerObject(ptr), offset),
                                      state.current_tid, /*is_write=*/false, site,
                                      held);
@@ -293,7 +349,8 @@ bool Interpreter::StoreBytes(ExecutionState& state, uint64_t ptr, const ExprRef&
   state.SleepSetWakeAccess(MakePointer(PointerObject(ptr), offset),
                            /*is_write=*/true);
   if (options_.race_detector != nullptr) {
-    auto held = RaceDetector::HeldLocks(state, state.current_tid);
+    auto held = RaceDetector::HeldLocksForAccess(state, state.current_tid,
+                                                 /*is_write=*/true);
     options_.race_detector->OnAccess(MakePointer(PointerObject(ptr), offset),
                                      state.current_tid, /*is_write=*/true, site, held);
   }
@@ -372,35 +429,57 @@ bool Interpreter::ScheduleNext(ExecutionState& state) {
   return false;
 }
 
-bool Interpreter::HasMutexCycle(const ExecutionState& state) const {
-  // Wait-for edges: thread -> holder of the mutex it waits on.
-  std::map<uint32_t, uint32_t> waits_for;
+bool Interpreter::HasSyncCycle(const ExecutionState& state) const {
+  // Wait-for edges: a blocked thread -> every thread that must release the
+  // contended object before it can proceed. A mutex waiter has one such
+  // edge (the holder); an rwlock write waiter needs the writer *and* every
+  // other reader gone, so any single cycle through one of those edges is
+  // already a genuine deadlock (all edges are conjunctive).
+  std::map<uint32_t, std::vector<uint32_t>> waits_for;
   for (const Thread& t : state.threads) {
     if (t.status == ThreadStatus::kBlockedMutex) {
       auto it = state.mutexes.find(t.wait_mutex);
       if (it != state.mutexes.end() && it->second.locked) {
-        waits_for[t.id] = it->second.holder;
+        waits_for[t.id].push_back(it->second.holder);
+      }
+    } else if (t.status == ThreadStatus::kBlockedRwRead ||
+               t.status == ThreadStatus::kBlockedRwWrite) {
+      auto it = state.rwlocks.find(t.wait_sync);
+      if (it == state.rwlocks.end()) {
+        continue;
+      }
+      if (it->second.writer != ir::kInvalidIndex) {
+        waits_for[t.id].push_back(it->second.writer);
+      }
+      if (t.status == ThreadStatus::kBlockedRwWrite) {
+        for (uint32_t reader : it->second.readers) {
+          if (reader != t.id) {
+            waits_for[t.id].push_back(reader);
+          }
+        }
       }
     }
+    // Semaphore and barrier waits have no owner: no edges.
   }
-  for (const auto& [start, unused] : waits_for) {
-    uint32_t slow = start;
-    uint32_t fast = start;
-    for (;;) {
-      auto f1 = waits_for.find(fast);
-      if (f1 == waits_for.end()) {
-        break;
+  // DFS cycle detection over the (multi-edge) wait-for graph.
+  std::map<uint32_t, int> color;  // 0 unvisited, 1 on stack, 2 done.
+  std::function<bool(uint32_t)> dfs = [&](uint32_t tid) {
+    color[tid] = 1;
+    auto it = waits_for.find(tid);
+    if (it != waits_for.end()) {
+      for (uint32_t next : it->second) {
+        int c = color.count(next) != 0 ? color[next] : 0;
+        if (c == 1 || (c == 0 && dfs(next))) {
+          return true;
+        }
       }
-      fast = f1->second;
-      auto f2 = waits_for.find(fast);
-      if (f2 == waits_for.end()) {
-        break;
-      }
-      fast = f2->second;
-      slow = waits_for[slow];
-      if (slow == fast) {
-        return true;
-      }
+    }
+    color[tid] = 2;
+    return false;
+  };
+  for (const auto& [tid, unused] : waits_for) {
+    if (color.count(tid) == 0 && dfs(tid)) {
+      return true;
     }
   }
   return false;
@@ -421,6 +500,18 @@ BugInfo Interpreter::MakeDeadlockBug(const ExecutionState& state) const {
       case ThreadStatus::kBlockedJoin:
         os << "join(T" << t.join_tid << ")";
         break;
+      case ThreadStatus::kBlockedRwRead:
+        os << "rwlock-rd@" << t.wait_sync;
+        break;
+      case ThreadStatus::kBlockedRwWrite:
+        os << "rwlock-wr@" << t.wait_sync;
+        break;
+      case ThreadStatus::kBlockedSem:
+        os << "sem@" << t.wait_sync;
+        break;
+      case ThreadStatus::kBlockedBarrier:
+        os << "barrier@" << t.wait_sync;
+        break;
       case ThreadStatus::kExited:
         os << "exited";
         break;
@@ -430,13 +521,26 @@ BugInfo Interpreter::MakeDeadlockBug(const ExecutionState& state) const {
     }
   }
   BugInfo bug = MakeBug(BugInfo::Kind::kDeadlock, {}, state.current_tid, 0, os.str());
-  // Use the first blocked thread's pc as the representative location.
+  // Use the first lock-blocked thread's pc as the representative location
+  // (mutex waiters first to keep legacy report shapes stable, then rwlock
+  // waiters — both name the contended object in fault_addr).
   for (const Thread& t : state.threads) {
     if (t.status == ThreadStatus::kBlockedMutex) {
       bug.pc = t.Pc();
       bug.tid = t.id;
       bug.fault_addr = t.wait_mutex;
-      break;
+      return bug;
+    }
+  }
+  for (const Thread& t : state.threads) {
+    if (t.status == ThreadStatus::kBlockedRwRead ||
+        t.status == ThreadStatus::kBlockedRwWrite ||
+        t.status == ThreadStatus::kBlockedSem ||
+        t.status == ThreadStatus::kBlockedBarrier) {
+      bug.pc = t.Pc();
+      bug.tid = t.id;
+      bug.fault_addr = t.wait_sync;
+      return bug;
     }
   }
   return bug;
@@ -918,6 +1022,20 @@ StepResult Interpreter::ExecExternal(ExecutionState& state, const ir::Instructio
   // the engine's dedup relies on) reuses it.
   const ExternalId ext = LookupExternal(callee.name);
   result.sync_point = IsSyncExternal(ext);
+  if (args.size() < MinArgsOf(ext)) {
+    fail(MakeBug(BugInfo::Kind::kInternalError, site, thread.id, 0,
+                 "external '" + callee.name + "' called with too few arguments"));
+    return result;
+  }
+
+  // Synchronization externals dispatch through the handler table; only the
+  // environment-model externals remain in the switch below.
+  if (const SyncHandler* handler = FindSyncHandler(ext)) {
+    SyncCall call{ext, inst, site, args};
+    StepResult sync_result = (this->*(*handler))(state, call);
+    sync_result.sync_point = result.sync_point;
+    return sync_result;
+  }
 
   switch (ext) {
     case ExternalId::kGetchar: {
@@ -1155,244 +1273,605 @@ StepResult Interpreter::ExecExternal(ExecutionState& state, const ir::Instructio
       }
       return result;
     }
-    case ExternalId::kThreadCreate: {
-      uint64_t fp;
-      if (!ConcretizeU64(state, args[0], &fp)) {
-        result.state_done = true;
-        return result;
-      }
-      if (!IsFunctionPointer(fp) || FunctionIndexOf(fp) >= module_->NumFunctions()) {
-        fail(MakeBug(BugInfo::Kind::kInternalError, site, thread.id, fp,
-                     "thread_create with a non-function pointer"));
-        return result;
-      }
-      uint32_t func = FunctionIndexOf(fp);
-      Thread new_thread;
-      new_thread.id = state.next_tid++;
-      const ir::Function& fn = module_->Func(func);
-      StackFrame tf;
-      tf.func = func;
-      tf.regs.assign(fn.num_regs, nullptr);
-      if (!fn.params.empty()) {
-        tf.regs[0] = args.size() > 1 ? args[1] : solver::MakeConst(64, 0);
-      }
-      new_thread.frames.push_back(std::move(tf));
-      uint32_t new_tid = new_thread.id;
-      state.threads.push_back(std::move(new_thread));
-      state.RecordEvent(SchedEvent::Kind::kThreadCreate, new_tid, 0, site);
-      set_result(solver::MakeConst(32, new_tid));
-      AdvancePc(state);
-      return result;
-    }
-    case ExternalId::kThreadJoin: {
-      uint64_t tid;
-      if (!ConcretizeU64(state, args[0], &tid)) {
-        result.state_done = true;
-        return result;
-      }
-      Thread* target = state.FindThread(static_cast<uint32_t>(tid));
-      if (target == nullptr || target->status == ThreadStatus::kExited) {
-        AdvancePc(state);
-        return result;
-      }
-      thread.status = ThreadStatus::kBlockedJoin;
-      thread.join_tid = static_cast<uint32_t>(tid);
-      if (!ScheduleNext(state)) {
-        result.state_done = true;
-        result.bug = MakeDeadlockBug(state);
-      }
-      return result;
-    }
-    case ExternalId::kMutexInit:
-    case ExternalId::kCondInit: {
-      uint64_t addr;
-      if (!ConcretizeU64(state, args[0], &addr)) {
-        result.state_done = true;
-        return result;
-      }
-      BugInfo bug;
-      if (!CheckAccess(state, addr, 1, /*is_write=*/true, site, &bug)) {
-        fail(std::move(bug));
-        return result;
-      }
-      if (ext == ExternalId::kMutexInit) {
-        state.mutexes[addr] = MutexState{};
-      } else {
-        state.cond_waiters[addr].clear();
-      }
-      AdvancePc(state);
-      return result;
-    }
-    case ExternalId::kMutexLock: {
-      uint64_t addr;
-      if (!ConcretizeU64(state, args[0], &addr)) {
-        result.state_done = true;
-        return result;
-      }
-      BugInfo bug;
-      if (!CheckAccess(state, addr, 1, /*is_write=*/true, site, &bug)) {
-        fail(std::move(bug));
-        return result;
-      }
-      MutexState& m = state.mutexes[addr];
-      if (!m.locked) {
-        m.locked = true;
-        m.holder = thread.id;
-        m.acquired_at = site;
-        state.RecordEvent(SchedEvent::Kind::kMutexLock, thread.id, addr, site);
-        AdvancePc(state);
-        if (options_.policy != nullptr && options_.services != nullptr) {
-          options_.policy->OnLockAcquired(*options_.services, state, addr, site);
-        }
-        return result;
-      }
-      if (m.holder == thread.id) {
-        // Non-recursive mutex relocked by its holder: self-deadlock.
-        fail(MakeBug(BugInfo::Kind::kDeadlock, site, thread.id, addr,
-                     "thread relocked a mutex it already holds"));
-        return result;
-      }
-      thread.status = ThreadStatus::kBlockedMutex;
-      thread.wait_mutex = addr;
-      if (options_.policy != nullptr && options_.services != nullptr) {
-        options_.policy->OnLockBlocked(*options_.services, state, addr, m.holder);
-      }
-      if (HasMutexCycle(state)) {
-        result.state_done = true;
-        result.bug = MakeDeadlockBug(state);
-        return result;
-      }
-      if (!ScheduleNext(state)) {
-        result.state_done = true;
-        result.bug = MakeDeadlockBug(state);
-      }
-      return result;
-    }
-    case ExternalId::kMutexUnlock: {
-      uint64_t addr;
-      if (!ConcretizeU64(state, args[0], &addr)) {
-        result.state_done = true;
-        return result;
-      }
-      auto it = state.mutexes.find(addr);
-      if (it == state.mutexes.end() || !it->second.locked ||
-          it->second.holder != thread.id) {
-        fail(MakeBug(BugInfo::Kind::kInvalidSync, site, thread.id, addr,
-                     "unlock of a mutex not held by this thread"));
-        return result;
-      }
-      it->second.locked = false;
-      it->second.holder = ir::kInvalidIndex;
-      // Wake all waiters; they re-execute their lock call and race for it.
-      for (Thread& t : state.threads) {
-        if (t.status == ThreadStatus::kBlockedMutex && t.wait_mutex == addr) {
-          t.status = ThreadStatus::kRunnable;
-          t.wait_mutex = 0;
-        }
-      }
-      state.RecordEvent(SchedEvent::Kind::kMutexUnlock, thread.id, addr, site);
-      AdvancePc(state);
-      if (options_.policy != nullptr && options_.services != nullptr) {
-        options_.policy->OnUnlock(*options_.services, state, addr);
-      }
-      return result;
-    }
-    case ExternalId::kCondWait: {
-      uint64_t cond_addr, mutex_addr;
-      if (!ConcretizeU64(state, args[0], &cond_addr) ||
-          !ConcretizeU64(state, args[1], &mutex_addr)) {
-        result.state_done = true;
-        return result;
-      }
-      if (!thread.cond_signaled) {
-        // Phase 1: release the mutex and sleep on the condvar.
-        auto it = state.mutexes.find(mutex_addr);
-        if (it == state.mutexes.end() || !it->second.locked ||
-            it->second.holder != thread.id) {
-          fail(MakeBug(BugInfo::Kind::kInvalidSync, site, thread.id, mutex_addr,
-                       "cond_wait without holding the mutex"));
-          return result;
-        }
-        it->second.locked = false;
-        it->second.holder = ir::kInvalidIndex;
-        for (Thread& t : state.threads) {
-          if (t.status == ThreadStatus::kBlockedMutex && t.wait_mutex == mutex_addr) {
-            t.status = ThreadStatus::kRunnable;
-            t.wait_mutex = 0;
-          }
-        }
-        thread.status = ThreadStatus::kBlockedCond;
-        thread.wait_cond = cond_addr;
-        thread.cond_saved_mutex = mutex_addr;
-        state.cond_waiters[cond_addr].push_back(thread.id);
-        state.RecordEvent(SchedEvent::Kind::kCondWait, thread.id, cond_addr, site);
-        if (!ScheduleNext(state)) {
-          result.state_done = true;
-          result.bug = MakeDeadlockBug(state);
-        }
-        return result;
-      }
-      // Phase 2 (signaled): reacquire the mutex.
-      MutexState& m = state.mutexes[mutex_addr];
-      if (!m.locked) {
-        m.locked = true;
-        m.holder = thread.id;
-        m.acquired_at = site;
-        thread.cond_signaled = false;
-        thread.cond_saved_mutex = 0;
-        state.RecordEvent(SchedEvent::Kind::kCondWake, thread.id, cond_addr, site);
-        AdvancePc(state);
-        if (options_.policy != nullptr && options_.services != nullptr) {
-          options_.policy->OnLockAcquired(*options_.services, state, mutex_addr, site);
-        }
-        return result;
-      }
-      thread.status = ThreadStatus::kBlockedMutex;
-      thread.wait_mutex = mutex_addr;
-      if (HasMutexCycle(state)) {
-        result.state_done = true;
-        result.bug = MakeDeadlockBug(state);
-        return result;
-      }
-      if (!ScheduleNext(state)) {
-        result.state_done = true;
-        result.bug = MakeDeadlockBug(state);
-      }
-      return result;
-    }
-    case ExternalId::kCondSignal:
-    case ExternalId::kCondBroadcast: {
-      uint64_t cond_addr;
-      if (!ConcretizeU64(state, args[0], &cond_addr)) {
-        result.state_done = true;
-        return result;
-      }
-      auto& waiters = state.cond_waiters[cond_addr];
-      bool broadcast = ext == ExternalId::kCondBroadcast;
-      size_t wake = broadcast ? waiters.size() : (waiters.empty() ? 0 : 1);
-      for (size_t i = 0; i < wake; ++i) {
-        Thread* t = state.FindThread(waiters[i]);
-        if (t != nullptr && t->status == ThreadStatus::kBlockedCond) {
-          t->status = ThreadStatus::kRunnable;
-          t->wait_cond = 0;
-          t->cond_signaled = true;
-        }
-      }
-      waiters.erase(waiters.begin(), waiters.begin() + wake);
-      AdvancePc(state);
-      return result;
-    }
-    case ExternalId::kYield: {
-      AdvancePc(state);
-      ScheduleNext(state);
-      return result;
-    }
-    case ExternalId::kUnknown:
-      break;
+    default:
+      break;  // kUnknown, plus sync ids (already dispatched above).
   }
   result.state_done = true;
   result.bug = MakeBug(BugInfo::Kind::kInternalError, site, thread.id, 0,
                        "call to unmodeled external '" + callee.name + "'");
+  return result;
+}
+
+// ---- Synchronization handlers (table-driven; see FindSyncHandler) ----
+
+StepResult Interpreter::BlockCurrentThread(ExecutionState& state) {
+  StepResult result;
+  if (HasSyncCycle(state)) {
+    result.state_done = true;
+    result.bug = MakeDeadlockBug(state);
+    return result;
+  }
+  if (!ScheduleNext(state)) {
+    result.state_done = true;
+    result.bug = MakeDeadlockBug(state);
+  }
+  return result;
+}
+
+StepResult Interpreter::ExecThreadCreate(ExecutionState& state, const SyncCall& call) {
+  StepResult result;
+  Thread& thread = state.CurrentThread();
+  uint64_t fp;
+  if (!ConcretizeU64(state, call.args[0], &fp)) {
+    result.state_done = true;
+    return result;
+  }
+  if (!IsFunctionPointer(fp) || FunctionIndexOf(fp) >= module_->NumFunctions()) {
+    result.state_done = true;
+    result.bug = MakeBug(BugInfo::Kind::kInternalError, call.site, thread.id, fp,
+                         "thread_create with a non-function pointer");
+    return result;
+  }
+  uint32_t func = FunctionIndexOf(fp);
+  Thread new_thread;
+  new_thread.id = state.next_tid++;
+  const ir::Function& fn = module_->Func(func);
+  StackFrame tf;
+  tf.func = func;
+  tf.regs.assign(fn.num_regs, nullptr);
+  if (!fn.params.empty()) {
+    tf.regs[0] = call.args.size() > 1 ? call.args[1] : solver::MakeConst(64, 0);
+  }
+  new_thread.frames.push_back(std::move(tf));
+  uint32_t new_tid = new_thread.id;
+  // push_back may reallocate `state.threads`, so the current thread (and
+  // its result register) must be re-resolved afterwards, never cached.
+  const uint32_t creator_tid = thread.id;
+  state.threads.push_back(std::move(new_thread));
+  // The event names the spawned thread; `addr` carries the *creator* so
+  // happens-before replay knows which thread must run to perform the
+  // create (legacy files carry 0 there — main — which is what they meant).
+  state.RecordEvent(SchedEvent::Kind::kThreadCreate, new_tid, creator_tid,
+                    call.site);
+  if (call.inst.result >= 0) {
+    state.CurrentThread().frames.back().regs[static_cast<size_t>(call.inst.result)] =
+        solver::MakeConst(32, new_tid);
+  }
+  AdvancePc(state);
+  return result;
+}
+
+StepResult Interpreter::ExecThreadJoin(ExecutionState& state, const SyncCall& call) {
+  StepResult result;
+  Thread& thread = state.CurrentThread();
+  uint64_t tid;
+  if (!ConcretizeU64(state, call.args[0], &tid)) {
+    result.state_done = true;
+    return result;
+  }
+  Thread* target = state.FindThread(static_cast<uint32_t>(tid));
+  if (target == nullptr || target->status == ThreadStatus::kExited) {
+    AdvancePc(state);
+    return result;
+  }
+  thread.status = ThreadStatus::kBlockedJoin;
+  thread.join_tid = static_cast<uint32_t>(tid);
+  return BlockCurrentThread(state);
+}
+
+StepResult Interpreter::ExecSyncObjectInit(ExecutionState& state, const SyncCall& call) {
+  StepResult result;
+  Thread& thread = state.CurrentThread();
+  uint64_t addr;
+  if (!ConcretizeU64(state, call.args[0], &addr)) {
+    result.state_done = true;
+    return result;
+  }
+  BugInfo bug;
+  if (!CheckAccess(state, addr, 1, /*is_write=*/true, call.site, &bug)) {
+    result.state_done = true;
+    result.bug = std::move(bug);
+    return result;
+  }
+  switch (call.ext) {
+    case ExternalId::kMutexInit:
+      state.mutexes[addr] = MutexState{};
+      break;
+    case ExternalId::kCondInit:
+      state.cond_waiters[addr].clear();
+      break;
+    case ExternalId::kRwLockInit:
+      state.rwlocks[addr] = RwLockState{};
+      break;
+    case ExternalId::kSemInit: {
+      uint64_t count;
+      if (!ConcretizeU64(state, call.args[1], &count)) {
+        result.state_done = true;
+        return result;
+      }
+      state.semaphores[addr] = SemState{static_cast<uint32_t>(count)};
+      break;
+    }
+    case ExternalId::kBarrierInit: {
+      uint64_t count;
+      if (!ConcretizeU64(state, call.args[1], &count)) {
+        result.state_done = true;
+        return result;
+      }
+      if (count == 0) {
+        result.state_done = true;
+        result.bug = MakeBug(BugInfo::Kind::kInvalidSync, call.site, thread.id, addr,
+                             "barrier_init with a zero participant count");
+        return result;
+      }
+      state.barriers[addr] = BarrierState{static_cast<uint32_t>(count), {}};
+      break;
+    }
+    default:
+      break;
+  }
+  AdvancePc(state);
+  return result;
+}
+
+StepResult Interpreter::ExecMutexLock(ExecutionState& state, const SyncCall& call) {
+  StepResult result;
+  Thread& thread = state.CurrentThread();
+  const bool try_only = call.ext == ExternalId::kMutexTryLock;
+  uint64_t addr;
+  if (!ConcretizeU64(state, call.args[0], &addr)) {
+    result.state_done = true;
+    return result;
+  }
+  BugInfo bug;
+  if (!CheckAccess(state, addr, 1, /*is_write=*/true, call.site, &bug)) {
+    result.state_done = true;
+    result.bug = std::move(bug);
+    return result;
+  }
+  auto set_try_result = [&](uint64_t v) {
+    if (call.inst.result >= 0) {
+      thread.frames.back().regs[static_cast<size_t>(call.inst.result)] =
+          solver::MakeConst(32, v);
+    }
+  };
+  MutexState& m = state.mutexes[addr];
+  if (!m.locked) {
+    m.locked = true;
+    m.holder = thread.id;
+    m.acquired_at = call.site;
+    state.RecordEvent(SchedEvent::Kind::kMutexLock, thread.id, addr, call.site);
+    if (try_only) {
+      set_try_result(1);
+    }
+    AdvancePc(state);
+    if (options_.policy != nullptr && options_.services != nullptr) {
+      options_.policy->OnLockAcquired(*options_.services, state, addr, call.site);
+    }
+    return result;
+  }
+  if (try_only) {
+    // Contended (or already self-held): fail without blocking. The
+    // kTryFail event orders the failed attempt inside the holder's
+    // critical section for happens-before replay.
+    state.RecordEvent(SchedEvent::Kind::kTryFail, thread.id, addr, call.site);
+    set_try_result(0);
+    AdvancePc(state);
+    return result;
+  }
+  if (m.holder == thread.id) {
+    // Non-recursive mutex relocked by its holder: self-deadlock.
+    result.state_done = true;
+    result.bug = MakeBug(BugInfo::Kind::kDeadlock, call.site, thread.id, addr,
+                         "thread relocked a mutex it already holds");
+    return result;
+  }
+  thread.status = ThreadStatus::kBlockedMutex;
+  thread.wait_mutex = addr;
+  if (options_.policy != nullptr && options_.services != nullptr) {
+    options_.policy->OnLockBlocked(*options_.services, state, addr, m.holder);
+  }
+  return BlockCurrentThread(state);
+}
+
+StepResult Interpreter::ExecMutexUnlock(ExecutionState& state, const SyncCall& call) {
+  StepResult result;
+  Thread& thread = state.CurrentThread();
+  uint64_t addr;
+  if (!ConcretizeU64(state, call.args[0], &addr)) {
+    result.state_done = true;
+    return result;
+  }
+  auto it = state.mutexes.find(addr);
+  if (it == state.mutexes.end() || !it->second.locked ||
+      it->second.holder != thread.id) {
+    result.state_done = true;
+    result.bug = MakeBug(BugInfo::Kind::kInvalidSync, call.site, thread.id, addr,
+                         "unlock of a mutex not held by this thread");
+    return result;
+  }
+  it->second.locked = false;
+  it->second.holder = ir::kInvalidIndex;
+  // Wake all waiters; they re-execute their lock call and race for it.
+  for (Thread& t : state.threads) {
+    if (t.status == ThreadStatus::kBlockedMutex && t.wait_mutex == addr) {
+      t.status = ThreadStatus::kRunnable;
+      t.wait_mutex = 0;
+    }
+  }
+  state.RecordEvent(SchedEvent::Kind::kMutexUnlock, thread.id, addr, call.site);
+  AdvancePc(state);
+  if (options_.policy != nullptr && options_.services != nullptr) {
+    options_.policy->OnUnlock(*options_.services, state, addr);
+  }
+  return result;
+}
+
+StepResult Interpreter::ExecCondWait(ExecutionState& state, const SyncCall& call) {
+  StepResult result;
+  Thread& thread = state.CurrentThread();
+  uint64_t cond_addr, mutex_addr;
+  if (!ConcretizeU64(state, call.args[0], &cond_addr) ||
+      !ConcretizeU64(state, call.args[1], &mutex_addr)) {
+    result.state_done = true;
+    return result;
+  }
+  if (!thread.cond_signaled) {
+    // Phase 1: release the mutex and sleep on the condvar.
+    auto it = state.mutexes.find(mutex_addr);
+    if (it == state.mutexes.end() || !it->second.locked ||
+        it->second.holder != thread.id) {
+      result.state_done = true;
+      result.bug = MakeBug(BugInfo::Kind::kInvalidSync, call.site, thread.id,
+                           mutex_addr, "cond_wait without holding the mutex");
+      return result;
+    }
+    it->second.locked = false;
+    it->second.holder = ir::kInvalidIndex;
+    for (Thread& t : state.threads) {
+      if (t.status == ThreadStatus::kBlockedMutex && t.wait_mutex == mutex_addr) {
+        t.status = ThreadStatus::kRunnable;
+        t.wait_mutex = 0;
+      }
+    }
+    thread.status = ThreadStatus::kBlockedCond;
+    thread.wait_cond = cond_addr;
+    thread.cond_saved_mutex = mutex_addr;
+    state.cond_waiters[cond_addr].push_back(thread.id);
+    state.RecordEvent(SchedEvent::Kind::kCondWait, thread.id, cond_addr, call.site);
+    if (!ScheduleNext(state)) {
+      result.state_done = true;
+      result.bug = MakeDeadlockBug(state);
+    }
+    return result;
+  }
+  // Phase 2 (signaled): reacquire the mutex.
+  MutexState& m = state.mutexes[mutex_addr];
+  if (!m.locked) {
+    m.locked = true;
+    m.holder = thread.id;
+    m.acquired_at = call.site;
+    thread.cond_signaled = false;
+    thread.cond_saved_mutex = 0;
+    state.RecordEvent(SchedEvent::Kind::kCondWake, thread.id, cond_addr, call.site);
+    AdvancePc(state);
+    if (options_.policy != nullptr && options_.services != nullptr) {
+      options_.policy->OnLockAcquired(*options_.services, state, mutex_addr,
+                                      call.site);
+    }
+    return result;
+  }
+  thread.status = ThreadStatus::kBlockedMutex;
+  thread.wait_mutex = mutex_addr;
+  return BlockCurrentThread(state);
+}
+
+StepResult Interpreter::ExecCondWake(ExecutionState& state, const SyncCall& call) {
+  StepResult result;
+  uint64_t cond_addr;
+  if (!ConcretizeU64(state, call.args[0], &cond_addr)) {
+    result.state_done = true;
+    return result;
+  }
+  auto& waiters = state.cond_waiters[cond_addr];
+  const bool broadcast = call.ext == ExternalId::kCondBroadcast;
+  // Single-waiter semantics, pinned: a signal wakes exactly one *eligible*
+  // waiter (thread still alive and still blocked on this condvar). Stale
+  // entries — e.g. a waiter that exited while parked — are dropped rather
+  // than silently consuming the signal, and a broadcast wakes every
+  // eligible waiter, never more.
+  size_t budget = broadcast ? waiters.size() : 1;
+  size_t i = 0;
+  while (i < waiters.size() && budget > 0) {
+    Thread* t = state.FindThread(waiters[i]);
+    if (t == nullptr || t->status != ThreadStatus::kBlockedCond ||
+        t->wait_cond != cond_addr) {
+      waiters.erase(waiters.begin() + static_cast<ptrdiff_t>(i));
+      continue;  // Stale entry: drop it without spending the wake budget.
+    }
+    t->status = ThreadStatus::kRunnable;
+    t->wait_cond = 0;
+    t->cond_signaled = true;
+    waiters.erase(waiters.begin() + static_cast<ptrdiff_t>(i));
+    --budget;
+  }
+  AdvancePc(state);
+  return result;
+}
+
+StepResult Interpreter::ExecRwLock(ExecutionState& state, const SyncCall& call) {
+  StepResult result;
+  Thread& thread = state.CurrentThread();
+  const bool want_write = call.ext == ExternalId::kRwWrLock ||
+                          call.ext == ExternalId::kRwTryWrLock;
+  const bool try_only = call.ext == ExternalId::kRwTryRdLock ||
+                        call.ext == ExternalId::kRwTryWrLock;
+  uint64_t addr;
+  if (!ConcretizeU64(state, call.args[0], &addr)) {
+    result.state_done = true;
+    return result;
+  }
+  BugInfo bug;
+  if (!CheckAccess(state, addr, 1, /*is_write=*/true, call.site, &bug)) {
+    result.state_done = true;
+    result.bug = std::move(bug);
+    return result;
+  }
+  auto set_try_result = [&](uint64_t v) {
+    if (call.inst.result >= 0) {
+      thread.frames.back().regs[static_cast<size_t>(call.inst.result)] =
+          solver::MakeConst(32, v);
+    }
+  };
+  RwLockState& rw = state.rwlocks[addr];
+  if (rw.writer == thread.id) {
+    if (try_only) {
+      // A try operation never blocks: the writer's own re-request simply
+      // fails (POSIX EBUSY/EDEADLK), like mutex_trylock on a self-held
+      // mutex.
+      state.RecordEvent(SchedEvent::Kind::kTryFail, thread.id, addr, call.site);
+      set_try_result(0);
+      AdvancePc(state);
+      return result;
+    }
+    // The active writer blocking on either mode can never proceed.
+    result.state_done = true;
+    result.bug = MakeBug(BugInfo::Kind::kDeadlock, call.site, thread.id, addr,
+                         "thread re-acquired an rwlock it holds for writing");
+    return result;
+  }
+  const uint32_t own_reads = rw.ReaderCount(thread.id);
+  bool acquirable;
+  if (want_write) {
+    // Write acquisition: free, or an upgrade by the sole reader. With other
+    // readers present the writer must wait for them to drain — the
+    // schedule-dependent upgrade-deadlock window.
+    acquirable = rw.writer == ir::kInvalidIndex &&
+                 rw.readers.size() == own_reads;
+  } else {
+    // Read acquisition: any number of readers share; only an active writer
+    // excludes. Recursive read re-acquisition is allowed (counting).
+    acquirable = rw.writer == ir::kInvalidIndex;
+  }
+  if (acquirable) {
+    if (want_write) {
+      // An upgrade consumes the thread's read holds.
+      rw.readers.erase(std::remove(rw.readers.begin(), rw.readers.end(), thread.id),
+                       rw.readers.end());
+      rw.writer = thread.id;
+      rw.acquired_at = call.site;
+      state.RecordEvent(SchedEvent::Kind::kRwWrLock, thread.id, addr, call.site);
+    } else {
+      rw.readers.push_back(thread.id);
+      state.RecordEvent(SchedEvent::Kind::kRwRdLock, thread.id, addr, call.site);
+    }
+    if (try_only) {
+      set_try_result(1);
+    }
+    AdvancePc(state);
+    if (options_.policy != nullptr && options_.services != nullptr) {
+      options_.policy->OnLockAcquired(*options_.services, state, addr, call.site);
+    }
+    return result;
+  }
+  if (try_only) {
+    state.RecordEvent(SchedEvent::Kind::kTryFail, thread.id, addr, call.site);
+    set_try_result(0);
+    AdvancePc(state);
+    return result;
+  }
+  thread.status = want_write ? ThreadStatus::kBlockedRwWrite
+                             : ThreadStatus::kBlockedRwRead;
+  thread.wait_sync = addr;
+  if (options_.policy != nullptr && options_.services != nullptr) {
+    // The blocking "holder": the active writer, else the first other
+    // reader (an upgrade wait is a wait on the remaining readers).
+    uint32_t holder = rw.writer;
+    if (holder == ir::kInvalidIndex) {
+      for (uint32_t reader : rw.readers) {
+        if (reader != thread.id) {
+          holder = reader;
+          break;
+        }
+      }
+    }
+    if (holder != ir::kInvalidIndex) {
+      options_.policy->OnLockBlocked(*options_.services, state, addr, holder);
+    }
+  }
+  return BlockCurrentThread(state);
+}
+
+StepResult Interpreter::ExecRwUnlock(ExecutionState& state, const SyncCall& call) {
+  StepResult result;
+  Thread& thread = state.CurrentThread();
+  uint64_t addr;
+  if (!ConcretizeU64(state, call.args[0], &addr)) {
+    result.state_done = true;
+    return result;
+  }
+  auto it = state.rwlocks.find(addr);
+  if (it == state.rwlocks.end() ||
+      (it->second.writer != thread.id && it->second.ReaderCount(thread.id) == 0)) {
+    result.state_done = true;
+    result.bug = MakeBug(BugInfo::Kind::kInvalidSync, call.site, thread.id, addr,
+                         "rwlock_unlock of a lock not held by this thread");
+    return result;
+  }
+  RwLockState& rw = it->second;
+  if (rw.writer == thread.id) {
+    rw.writer = ir::kInvalidIndex;
+    rw.acquired_at = {};
+  } else {
+    // Drop one read hold (recursive reads release one level at a time).
+    auto pos = std::find(rw.readers.begin(), rw.readers.end(), thread.id);
+    rw.readers.erase(pos);
+  }
+  // Wake every thread blocked on this rwlock; each re-executes its lock
+  // call and re-evaluates acquirability (readers may now share, an
+  // upgrading writer may now be the sole reader).
+  for (Thread& t : state.threads) {
+    if ((t.status == ThreadStatus::kBlockedRwRead ||
+         t.status == ThreadStatus::kBlockedRwWrite) &&
+        t.wait_sync == addr) {
+      t.status = ThreadStatus::kRunnable;
+      t.wait_sync = 0;
+    }
+  }
+  state.RecordEvent(SchedEvent::Kind::kRwUnlock, thread.id, addr, call.site);
+  AdvancePc(state);
+  if (rw.Free() && options_.policy != nullptr && options_.services != nullptr) {
+    options_.policy->OnUnlock(*options_.services, state, addr);
+  }
+  return result;
+}
+
+StepResult Interpreter::ExecSemWait(ExecutionState& state, const SyncCall& call) {
+  StepResult result;
+  Thread& thread = state.CurrentThread();
+  const bool try_only = call.ext == ExternalId::kSemTryWait;
+  uint64_t addr;
+  if (!ConcretizeU64(state, call.args[0], &addr)) {
+    result.state_done = true;
+    return result;
+  }
+  BugInfo bug;
+  if (!CheckAccess(state, addr, 1, /*is_write=*/true, call.site, &bug)) {
+    result.state_done = true;
+    result.bug = std::move(bug);
+    return result;
+  }
+  auto set_try_result = [&](uint64_t v) {
+    if (call.inst.result >= 0) {
+      thread.frames.back().regs[static_cast<size_t>(call.inst.result)] =
+          solver::MakeConst(32, v);
+    }
+  };
+  SemState& sem = state.semaphores[addr];
+  if (sem.count > 0) {
+    --sem.count;
+    state.RecordEvent(SchedEvent::Kind::kSemWait, thread.id, addr, call.site);
+    if (try_only) {
+      set_try_result(1);
+    }
+    AdvancePc(state);
+    if (options_.policy != nullptr && options_.services != nullptr) {
+      options_.policy->OnLockAcquired(*options_.services, state, addr, call.site);
+    }
+    return result;
+  }
+  if (try_only) {
+    state.RecordEvent(SchedEvent::Kind::kTryFail, thread.id, addr, call.site);
+    set_try_result(0);
+    AdvancePc(state);
+    return result;
+  }
+  thread.status = ThreadStatus::kBlockedSem;
+  thread.wait_sync = addr;
+  return BlockCurrentThread(state);
+}
+
+StepResult Interpreter::ExecSemPost(ExecutionState& state, const SyncCall& call) {
+  StepResult result;
+  Thread& thread = state.CurrentThread();
+  uint64_t addr;
+  if (!ConcretizeU64(state, call.args[0], &addr)) {
+    result.state_done = true;
+    return result;
+  }
+  BugInfo bug;
+  if (!CheckAccess(state, addr, 1, /*is_write=*/true, call.site, &bug)) {
+    result.state_done = true;
+    result.bug = std::move(bug);
+    return result;
+  }
+  ++state.semaphores[addr].count;
+  // Wake every waiter; they re-execute sem_wait and race for the count.
+  for (Thread& t : state.threads) {
+    if (t.status == ThreadStatus::kBlockedSem && t.wait_sync == addr) {
+      t.status = ThreadStatus::kRunnable;
+      t.wait_sync = 0;
+    }
+  }
+  state.RecordEvent(SchedEvent::Kind::kSemPost, thread.id, addr, call.site);
+  AdvancePc(state);
+  if (options_.policy != nullptr && options_.services != nullptr) {
+    options_.policy->OnUnlock(*options_.services, state, addr);
+  }
+  return result;
+}
+
+StepResult Interpreter::ExecBarrierWait(ExecutionState& state, const SyncCall& call) {
+  StepResult result;
+  Thread& thread = state.CurrentThread();
+  uint64_t addr;
+  if (!ConcretizeU64(state, call.args[0], &addr)) {
+    result.state_done = true;
+    return result;
+  }
+  BugInfo bug;
+  if (!CheckAccess(state, addr, 1, /*is_write=*/true, call.site, &bug)) {
+    result.state_done = true;
+    result.bug = std::move(bug);
+    return result;
+  }
+  if (thread.barrier_released) {
+    // Re-executed after the release: the wait completes.
+    thread.barrier_released = false;
+    state.RecordEvent(SchedEvent::Kind::kBarrierWait, thread.id, addr, call.site);
+    AdvancePc(state);
+    return result;
+  }
+  BarrierState& bar = state.barriers[addr];
+  if (bar.required != 0 && bar.waiting.size() + 1 >= bar.required) {
+    // Last arrival: release everyone. The released threads re-execute
+    // barrier_wait and complete via the barrier_released flag; this thread
+    // passes immediately. A count mismatch (required never reached) leaves
+    // the arrivals parked forever — the global no-progress check reports
+    // the deadlock.
+    for (uint32_t waiting_tid : bar.waiting) {
+      Thread* t = state.FindThread(waiting_tid);
+      if (t != nullptr && t->status == ThreadStatus::kBlockedBarrier) {
+        t->status = ThreadStatus::kRunnable;
+        t->wait_sync = 0;
+        t->barrier_released = true;
+      }
+    }
+    bar.waiting.clear();
+    state.RecordEvent(SchedEvent::Kind::kBarrierWait, thread.id, addr, call.site);
+    AdvancePc(state);
+    return result;
+  }
+  bar.waiting.push_back(thread.id);
+  thread.status = ThreadStatus::kBlockedBarrier;
+  thread.wait_sync = addr;
+  return BlockCurrentThread(state);
+}
+
+StepResult Interpreter::ExecYield(ExecutionState& state, const SyncCall& /*call*/) {
+  StepResult result;
+  AdvancePc(state);
+  ScheduleNext(state);
   return result;
 }
 

@@ -53,6 +53,63 @@ struct BugInfo {
 
 std::string_view BugKindName(BugInfo::Kind kind);
 
+// External functions handled by the VM (the paper's environment model plus
+// the POSIX-thread layer of §6.1: mutexes, condvars, reader-writer locks,
+// counting semaphores, barriers, and thread lifecycle).
+enum class ExternalId : uint8_t {
+  kGetchar,
+  kGetenv,
+  kInputI32,
+  kInputI64,
+  kInputBytes,
+  kMalloc,
+  kFree,
+  kMemset,
+  kMemcpy,
+  kStrlen,
+  kPrintStr,
+  kPrintI64,
+  kExit,
+  kAbort,
+  kAssert,
+  kThreadCreate,
+  kThreadJoin,
+  kMutexInit,
+  kMutexLock,
+  kMutexTryLock,
+  kMutexUnlock,
+  kCondInit,
+  kCondWait,
+  kCondSignal,
+  kCondBroadcast,
+  kRwLockInit,
+  kRwRdLock,
+  kRwTryRdLock,
+  kRwWrLock,
+  kRwTryWrLock,
+  kRwUnlock,
+  kSemInit,
+  kSemWait,
+  kSemTryWait,
+  kSemPost,
+  kBarrierInit,
+  kBarrierWait,
+  kYield,
+  kUnknown,
+};
+
+// Resolves an external function name (e.g. "rwlock_rdlock") to its id;
+// kUnknown for unmodeled names.
+ExternalId LookupExternal(const std::string& name);
+
+// The one mapping from externals to synchronization operations: used both
+// to announce preemption points to schedule policies and to mark
+// StepResult::sync_point for the engine's dedup — a single table so the
+// two can never drift. Try variants map to their blocking siblings' kinds
+// (same object, same dependency footprint). nullopt for non-sync externals
+// (including the *_init calls, which touch no other thread).
+std::optional<SyncOp::Kind> SyncKindOf(ExternalId id);
+
 struct StepResult {
   // New states created by this step (branch forks and schedule variants).
   std::vector<StatePtr> forks;
@@ -75,6 +132,34 @@ class InputProvider {
 
 class Interpreter {
  public:
+  // One synchronization-external call, as handed to a SyncHandler: the
+  // resolved id, the call instruction (for result plumbing), its site, and
+  // the pre-evaluated arguments.
+  struct SyncCall {
+    ExternalId ext;
+    const ir::Instruction& inst;
+    ir::InstRef site;
+    const std::vector<solver::ExprRef>& args;
+  };
+  // Table-driven sync dispatch: every synchronization external resolves to
+  // one of these through the table in interpreter.cc, instead of growing
+  // the ExecExternal switch per primitive. The handlers are public only so
+  // the table can name them; call through Step(), never directly.
+  using SyncHandler = StepResult (Interpreter::*)(ExecutionState&, const SyncCall&);
+  StepResult ExecThreadCreate(ExecutionState& state, const SyncCall& call);
+  StepResult ExecThreadJoin(ExecutionState& state, const SyncCall& call);
+  StepResult ExecSyncObjectInit(ExecutionState& state, const SyncCall& call);
+  StepResult ExecMutexLock(ExecutionState& state, const SyncCall& call);
+  StepResult ExecMutexUnlock(ExecutionState& state, const SyncCall& call);
+  StepResult ExecCondWait(ExecutionState& state, const SyncCall& call);
+  StepResult ExecCondWake(ExecutionState& state, const SyncCall& call);
+  StepResult ExecRwLock(ExecutionState& state, const SyncCall& call);
+  StepResult ExecRwUnlock(ExecutionState& state, const SyncCall& call);
+  StepResult ExecSemWait(ExecutionState& state, const SyncCall& call);
+  StepResult ExecSemPost(ExecutionState& state, const SyncCall& call);
+  StepResult ExecBarrierWait(ExecutionState& state, const SyncCall& call);
+  StepResult ExecYield(ExecutionState& state, const SyncCall& call);
+
   struct Options {
     // Concrete mode when set: inputs come from the provider, no forking.
     InputProvider* input_provider = nullptr;
@@ -144,8 +229,12 @@ class Interpreter {
   void SwitchTo(ExecutionState& state, uint32_t tid);
   // Picks and switches to a runnable thread; returns false if none exists.
   bool ScheduleNext(ExecutionState& state);
-  // Detects a circular mutex wait (resource-allocation-graph cycle, [22]).
-  bool HasMutexCycle(const ExecutionState& state) const;
+  // Detects a circular wait in the resource-allocation graph [22] spanning
+  // mutexes and rwlocks (a blocked writer waits on every current holder, so
+  // any directed cycle is a genuine deadlock). Semaphore and barrier waits
+  // have no owner and contribute no edges; those deadlocks surface through
+  // the global no-runnable-thread check instead.
+  bool HasSyncCycle(const ExecutionState& state) const;
   BugInfo MakeDeadlockBug(const ExecutionState& state) const;
 
   // --- Instruction execution ---
@@ -158,6 +247,10 @@ class Interpreter {
   StepResult ExecRet(ExecutionState& state, const ir::Instruction& inst);
   StepResult ExecExternal(ExecutionState& state, const ir::Instruction& inst,
                           const ir::Function& callee, ir::InstRef site);
+  // Shared tail for every blocking sync path: with the thread already
+  // marked blocked, run the cycle detector and schedule the next runnable
+  // thread (reporting a deadlock when none exists).
+  StepResult BlockCurrentThread(ExecutionState& state);
   void PushFrame(ExecutionState& state, uint32_t func,
                  const std::vector<solver::ExprRef>& args, int32_t ret_reg);
   void PopFrame(ExecutionState& state, const solver::ExprRef& ret_value);

@@ -11,6 +11,24 @@ std::set<uint64_t> RaceDetector::HeldLocks(const ExecutionState& state, uint32_t
       held.insert(addr);
     }
   }
+  for (const auto& [addr, rw] : state.rwlocks) {
+    if (rw.writer == tid) {
+      held.insert(addr);
+    }
+  }
+  return held;
+}
+
+std::set<uint64_t> RaceDetector::HeldLocksForAccess(const ExecutionState& state,
+                                                    uint32_t tid, bool is_write) {
+  std::set<uint64_t> held = HeldLocks(state, tid);
+  if (!is_write) {
+    for (const auto& [addr, rw] : state.rwlocks) {
+      if (rw.ReaderCount(tid) > 0) {
+        held.insert(addr);
+      }
+    }
+  }
   return held;
 }
 

@@ -39,8 +39,18 @@ class RaceDetector {
   const std::set<ir::InstRef>& FlaggedSites() const { return flagged_sites_; }
   const std::vector<RaceReport>& Races() const { return races_; }
 
-  // Computes the lock addresses held by `tid` in `state`.
+  // Computes the lock addresses held by `tid` in `state`: mutexes plus
+  // write-held rwlocks (both exclude every conflicting access).
   static std::set<uint64_t> HeldLocks(const ExecutionState& state, uint32_t tid);
+
+  // The Eraser rwlock refinement: for the lockset protecting an *access*,
+  // a write-held rwlock always counts, while a read-held rwlock counts
+  // only for reads — a read lock orders the access against writers (who
+  // must hold the write side), but two read-holding writers would still
+  // race. Semaphores contribute nothing: they provide ordering, not
+  // mutual exclusion over a region.
+  static std::set<uint64_t> HeldLocksForAccess(const ExecutionState& state,
+                                               uint32_t tid, bool is_write);
 
  private:
   enum class WordState : uint8_t { kVirgin, kExclusive, kShared, kSharedModified };

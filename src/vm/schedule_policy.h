@@ -64,7 +64,9 @@ class SchedulePolicy {
   virtual void OnLockAcquired(EngineServices& /*services*/, ExecutionState& /*state*/,
                               uint64_t /*addr*/, ir::InstRef /*site*/) {}
 
-  // Called when the current thread blocked on mutex `addr` held by `holder`.
+  // Called when the current thread blocked on mutex `addr` held by `holder`
+  // (also fired for rwlock blocking, with the writer / a remaining reader
+  // as the holder).
   virtual void OnLockBlocked(EngineServices& /*services*/, ExecutionState& /*state*/,
                              uint64_t /*addr*/, uint32_t /*holder*/) {}
 

@@ -59,7 +59,16 @@ bool Dependent(const SyncOp& e, const SyncOp& op) {
     return e.addr == 0 || op.addr == 0 ||
            PointerObject(e.addr) == PointerObject(op.addr);
   }
-  // Mutex vs. mutex: the exact lock address identifies the object.
+  // Sync object vs. sync object (mutex / rwlock / semaphore / barrier
+  // operations alike): the exact address identifies the object; a zero
+  // address means the pointer was symbolic at the preemption point, so
+  // independence cannot be shown and the pair conservatively conflicts.
+  // Note two rdlocks of the same rwlock are treated as dependent even
+  // though both can hold simultaneously — their order still decides when an
+  // upgrading writer may proceed, so commuting them is not sound.
+  if (e.addr == 0 || op.addr == 0) {
+    return true;
+  }
   return e.addr == op.addr;
 }
 
@@ -160,6 +169,7 @@ uint64_t ExecutionState::Fingerprint() const {
     th = Fold(th, t.wait_cond);
     th = Fold(th, t.cond_saved_mutex ^ (t.cond_signaled ? 1u : 0u));
     th = Fold(th, t.join_tid);
+    th = Fold(th, t.wait_sync ^ (t.barrier_released ? 2u : 0u));
     for (const StackFrame& f : t.frames) {
       th = Fold(th, HashInstRef(ir::InstRef{f.func, f.block, f.inst}));
       for (size_t r = 0; r < f.regs.size(); ++r) {
@@ -188,6 +198,46 @@ uint64_t ExecutionState::Fingerprint() const {
     if (!waiters.empty()) {
       h ^= Mix64(ch);
     }
+  }
+  // Rwlocks: a fully free lock contributes nothing, so "never used" and
+  // "acquired then released" agree. Readers fold order-free (wrapping add of
+  // mixed entries) — the hold multiset, not the acquisition order, is what
+  // determines future behavior.
+  for (const auto& [addr, rw] : rwlocks) {
+    if (rw.Free()) {
+      continue;
+    }
+    uint64_t rh = Fold(addr, rw.writer);
+    uint64_t readers = 0;
+    for (uint32_t r : rw.readers) {
+      readers += Mix64(uint64_t{r} + 0x9e3779b97f4a7c15ull);
+    }
+    rh = Fold(rh, readers);
+    if (rw.writer != ir::kInvalidIndex) {
+      rh = Fold(rh, HashInstRef(rw.acquired_at));
+    }
+    h ^= Mix64(rh);
+  }
+  // Semaphores: count 0 behaves exactly like an absent entry (both block).
+  for (const auto& [addr, sem] : semaphores) {
+    if (sem.count != 0) {
+      h ^= Mix64(Fold(addr, sem.count));
+    }
+  }
+  // Barriers: the required count matters even with nobody waiting (it
+  // decides how many future arrivals release), so every initialized barrier
+  // contributes. Waiters fold order-free — releases are all-at-once.
+  for (const auto& [addr, bar] : barriers) {
+    if (bar.required == 0 && bar.waiting.empty()) {
+      continue;
+    }
+    uint64_t bh = Fold(addr, bar.required);
+    uint64_t waiting = 0;
+    for (uint32_t w : bar.waiting) {
+      waiting += Mix64(uint64_t{w} + 0x9e3779b97f4a7c15ull);
+    }
+    bh = Fold(bh, waiting);
+    h ^= Mix64(bh);
   }
   // Symbolic state: the rolling constraint digest (maintained by
   // AddConstraint) and input counter. Different path conditions must never

@@ -41,7 +41,15 @@ enum class ThreadStatus : uint8_t {
   kBlockedCond,
   kBlockedJoin,
   kExited,
+  kBlockedRwRead,   // Waiting to read-acquire a reader-writer lock.
+  kBlockedRwWrite,  // Waiting to write-acquire (possibly an upgrade).
+  kBlockedSem,      // Waiting for a semaphore count to become positive.
+  kBlockedBarrier,  // Arrived at a barrier that is not yet full.
 };
+
+inline bool IsBlockedStatus(ThreadStatus s) {
+  return s != ThreadStatus::kRunnable && s != ThreadStatus::kExited;
+}
 
 struct Thread {
   uint32_t id = 0;
@@ -52,6 +60,10 @@ struct Thread {
   uint64_t cond_saved_mutex = 0;  // Mutex to reacquire after cond wakeup.
   bool cond_signaled = false;     // Woken, waiting to reacquire the mutex.
   uint32_t join_tid = ir::kInvalidIndex;  // Target when kBlockedJoin.
+  // Rwlock / semaphore / barrier address when blocked on one of them.
+  uint64_t wait_sync = 0;
+  // Released from a barrier; the re-executed barrier_wait completes.
+  bool barrier_released = false;
 
   ir::InstRef Pc() const {
     if (frames.empty()) {
@@ -70,17 +82,65 @@ struct MutexState {
   ir::InstRef acquired_at;
 };
 
+// Reader-writer lock. Write acquisition by the sole reader upgrades in
+// place; with other readers present the writer blocks until they drain —
+// which is exactly the schedule-dependent upgrade deadlock when two readers
+// both try to upgrade. Read acquisition is recursive (counting): a tid may
+// appear in `readers` more than once.
+struct RwLockState {
+  uint32_t writer = ir::kInvalidIndex;  // kInvalidIndex: no active writer.
+  std::vector<uint32_t> readers;        // Multiset of read-holding tids.
+  ir::InstRef acquired_at;              // The active writer's acquisition site.
+
+  bool Free() const { return writer == ir::kInvalidIndex && readers.empty(); }
+  uint32_t ReaderCount(uint32_t tid) const {
+    uint32_t n = 0;
+    for (uint32_t r : readers) {
+      n += r == tid ? 1 : 0;
+    }
+    return n;
+  }
+};
+
+// Counting semaphore. A nonexistent entry behaves as count 0.
+struct SemState {
+  uint32_t count = 0;
+};
+
+// Barrier: `required` arrivals release everyone. `required == 0` means
+// uninitialized (barrier_wait on it blocks forever and barrier_init rejects
+// a zero count as invalid-sync).
+struct BarrierState {
+  uint32_t required = 0;
+  std::vector<uint32_t> waiting;  // Tids parked at the barrier.
+};
+
 // One entry of the serialized schedule trace; used both to detect the goal
 // interleaving and to emit the execution file for playback.
 struct SchedEvent {
   enum class Kind : uint8_t {
     kSwitch,       // Scheduler switched to thread `tid` at step `step`.
-    kMutexLock,    // `tid` acquired mutex `addr`.
+    kMutexLock,    // `tid` acquired mutex `addr` (lock or successful trylock).
     kMutexUnlock,
     kCondWait,
     kCondWake,
     kThreadCreate,  // `tid` = new thread id.
     kThreadExit,
+    // Appended after kThreadExit so the text names above keep their
+    // numeric positions (the on-disk format is name-based; see
+    // replay/execution_file.cc for the names).
+    kRwRdLock,    // `tid` read-acquired rwlock `addr` (incl. tryrdlock).
+    kRwWrLock,    // `tid` write-acquired rwlock `addr` (incl. upgrade).
+    kRwUnlock,
+    kSemWait,     // `tid` decremented semaphore `addr` (incl. trywait).
+    kSemPost,
+    kBarrierWait,  // `tid` passed barrier `addr`.
+    // A try operation (mutex_trylock, rwlock_try*, sem_trywait) observed
+    // the object busy/empty and failed without blocking. Recorded so
+    // happens-before replay can order the failed attempt inside the
+    // contention window that made it fail — without it the attempt leaves
+    // no trace and the window is unreproducible from hb events alone.
+    kTryFail,
   };
   Kind kind;
   uint32_t tid = 0;
@@ -100,7 +160,8 @@ inline constexpr double kScheduleNear = 0.0;
 // the state's sleep set can record them.
 struct SyncOp {
   enum class Kind : uint8_t {
-    kMutexLock,
+    kMutexLock,  // Also announced for mutex_trylock (same object, same
+                 // dependency footprint whether or not it would block).
     kMutexUnlock,
     kCondWait,
     kCondSignal,
@@ -110,6 +171,12 @@ struct SyncOp {
     kRacyLoad,
     kRacyStore,
     kYield,
+    kRwRdLock,  // Also announced for the try variants.
+    kRwWrLock,
+    kRwUnlock,
+    kSemWait,   // Also announced for sem_trywait.
+    kSemPost,
+    kBarrierWait,
   };
   Kind kind;
   uint64_t addr = 0;  // Mutex / condvar / memory address, when applicable.
@@ -240,6 +307,9 @@ class ExecutionState {
   // ---- Synchronization ----
   std::map<uint64_t, MutexState> mutexes;          // Keyed by mutex address.
   std::map<uint64_t, std::vector<uint32_t>> cond_waiters;  // cond addr -> tids.
+  std::map<uint64_t, RwLockState> rwlocks;         // Keyed by rwlock address.
+  std::map<uint64_t, SemState> semaphores;         // Keyed by sem address.
+  std::map<uint64_t, BarrierState> barriers;       // Keyed by barrier address.
 
   // ---- Traces & strategy metadata ----
   std::vector<SchedEvent> sched_trace;

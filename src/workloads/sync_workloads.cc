@@ -1,0 +1,247 @@
+// Sync-surface workloads: planted bugs for the rwlock / semaphore /
+// barrier / trylock primitives, mirroring the bug families the paper's
+// Table 1 suite covers for mutexes and condvars:
+//
+//   rwupgrade - hang: two cache refreshers read-lock, find the cache stale,
+//               and upgrade in place; with both read holds live neither
+//               writer can proceed (the classic rwlock upgrade deadlock).
+//               An input selects the buggy in-place-upgrade mode.
+//   semdrop   - hang: a producer hands a token through a semaphore with
+//               sem_trywait on its fast path; when the trywait lands while
+//               the token is briefly borrowed, the failure path forgets to
+//               signal the consumer — a lost signal, the consumer waits
+//               forever.
+//   barrier3  - hang: a configuration branch initializes the phase barrier
+//               for 3 parties ("coordinator counts itself") but the
+//               coordinator never arrives; the 2 workers park forever — a
+//               barrier count mismatch.
+//   trybank   - crash: a "quick audit" asserts that mutex_trylock on the
+//               ledger always succeeds; it fails exactly when a teller
+//               holds the ledger lock at that instant.
+#include "src/workloads/workloads_internal.h"
+
+namespace esd::workloads {
+
+Workload BuildRwUpgrade() {
+  Workload w;
+  w.name = "rwupgrade";
+  w.manifestation = "hang";
+  w.expected_kind = vm::BugInfo::Kind::kDeadlock;
+  w.module = ParseWorkload(R"(
+global $rw = zero 8
+global $cache = zero 4
+global $modename = str "refresh_mode"
+global $mode_cache = zero 4
+
+func @refresher(%arg: ptr) : void {
+entry:
+  call @rwlock_rdlock($rw)
+  %v = load i32, $cache
+  %stale = icmp eq %v, i32 0
+  condbr %stale, refresh, fresh
+refresh:
+  %mode = load i32, $mode_cache
+  %inplace = icmp eq %mode, i32 117   ; 'u': upgrade without releasing
+  condbr %inplace, upgrade, safe
+upgrade:
+  call @rwlock_wrlock($rw)            ; BUG: both readers upgrading -> cycle
+  store i32 1, $cache
+  call @rwlock_unlock($rw)
+  ret
+safe:
+  call @rwlock_unlock($rw)            ; drop the read hold first
+  call @rwlock_wrlock($rw)
+  store i32 1, $cache
+  call @rwlock_unlock($rw)
+  ret
+fresh:
+  call @rwlock_unlock($rw)
+  ret
+}
+
+func @main() : i32 {
+entry:
+  %mode = call @esd_input_i32($modename)
+  store %mode, $mode_cache
+  call @rwlock_init($rw)
+  %t1 = call @thread_create(@refresher, null)
+  %t2 = call @thread_create(@refresher, null)
+  call @thread_join(%t1)
+  call @thread_join(%t2)
+  ret i32 0
+}
+)");
+  w.trigger.inputs = {{"refresh_mode", 'u'}};
+  // Both refreshers take the read lock before either upgrades: T1 rdlocks
+  // (1 sync event) and is preempted; T2 rdlocks and tries to upgrade
+  // (blocks on T1's read hold); T1 then upgrades too -> circular wait.
+  w.trigger.schedule = {{1, 1, 2}, {2, 1, 1}};
+  return w;
+}
+
+Workload BuildSemDrop() {
+  Workload w;
+  w.name = "semdrop";
+  w.manifestation = "hang";
+  w.expected_kind = vm::BugInfo::Kind::kDeadlock;
+  w.module = ParseWorkload(R"(
+global $ready = zero 8
+global $done = zero 8
+global $handoffname = str "handoff_mode"
+global $mode_cache = zero 4
+
+func @consumer(%arg: ptr) : void {
+entry:
+  call @sem_wait($ready)              ; borrow the handoff token...
+  call @sem_post($ready)              ; ...and return it
+  call @sem_wait($done)               ; then wait for the producer's signal
+  ret
+}
+
+func @producer(%arg: ptr) : void {
+entry:
+  %mode = load i32, $mode_cache
+  %fast = icmp eq %mode, i32 116      ; 't': trywait fast path
+  condbr %fast, fast, safe
+fast:
+  %r = call @sem_trywait($ready)
+  %got = icmp eq %r, i32 1
+  condbr %got, forward, out           ; BUG: a failed trywait drops the signal
+forward:
+  call @sem_post($ready)
+  call @sem_post($done)
+  br out
+safe:
+  call @sem_wait($ready)              ; waits for the token instead
+  call @sem_post($ready)
+  call @sem_post($done)
+  br out
+out:
+  ret
+}
+
+func @main() : i32 {
+entry:
+  %mode = call @esd_input_i32($handoffname)
+  store %mode, $mode_cache
+  call @sem_init($ready, i32 1)
+  call @sem_init($done, i32 0)
+  %t1 = call @thread_create(@consumer, null)
+  %t2 = call @thread_create(@producer, null)
+  call @thread_join(%t1)
+  call @thread_join(%t2)
+  ret i32 0
+}
+)");
+  w.trigger.inputs = {{"handoff_mode", 't'}};
+  // The producer's trywait must land inside the consumer's borrow window:
+  // right after the consumer's sem_wait (its 1st counted sync event), run
+  // the producer (tid 2).
+  w.trigger.schedule = {{1, 1, 2}};
+  return w;
+}
+
+Workload BuildBarrier3() {
+  Workload w;
+  w.name = "barrier3";
+  w.manifestation = "hang";
+  w.expected_kind = vm::BugInfo::Kind::kDeadlock;
+  w.module = ParseWorkload(R"(
+global $b = zero 8
+global $stage = zero 4
+global $cfgname = str "parties"
+
+func @stageworker(%arg: ptr) : void {
+entry:
+  %v = load i32, $stage
+  %n = add %v, i32 1
+  store %n, $stage
+  call @barrier_wait($b)
+  ret
+}
+
+func @main() : i32 {
+entry:
+  %p = call @esd_input_i32($cfgname)
+  %coord = icmp eq %p, i32 3          ; "coordinator counts itself" config
+  condbr %coord, initboth, initworkers
+initboth:
+  call @barrier_init($b, i32 3)       ; BUG: main never calls barrier_wait
+  br spawn
+initworkers:
+  call @barrier_init($b, i32 2)
+  br spawn
+spawn:
+  %t1 = call @thread_create(@stageworker, null)
+  %t2 = call @thread_create(@stageworker, null)
+  call @thread_join(%t1)
+  call @thread_join(%t2)
+  ret i32 0
+}
+)");
+  w.trigger.inputs = {{"parties", 3}};
+  w.trigger.schedule = {};  // Any schedule hangs once the config is armed.
+  return w;
+}
+
+Workload BuildTryBank() {
+  Workload w;
+  w.name = "trybank";
+  w.manifestation = "crash";
+  w.expected_kind = vm::BugInfo::Kind::kAssertFail;
+  w.module = ParseWorkload(R"(
+global $m = zero 8
+global $balance = zero 4
+global $pathname = str "audit_mode"
+global $mode_cache = zero 4
+
+func @auditor(%arg: ptr) : void {
+entry:
+  %mode = load i32, $mode_cache
+  %lockfree = icmp eq %mode, i32 113  ; 'q': quick audit via trylock
+  condbr %lockfree, quick, careful
+quick:
+  %r = call @mutex_trylock($m)
+  %got = icmp eq %r, i32 1
+  call @esd_assert(%got)              ; BUG: the ledger can be busy
+  %v = load i32, $balance
+  store %v, $balance
+  call @mutex_unlock($m)
+  ret
+careful:
+  call @mutex_lock($m)
+  %w = load i32, $balance
+  store %w, $balance
+  call @mutex_unlock($m)
+  ret
+}
+
+func @teller(%arg: ptr) : void {
+entry:
+  call @mutex_lock($m)
+  %v = load i32, $balance
+  %n = add %v, i32 10
+  store %n, $balance
+  call @mutex_unlock($m)
+  ret
+}
+
+func @main() : i32 {
+entry:
+  %mode = call @esd_input_i32($pathname)
+  store %mode, $mode_cache
+  %t1 = call @thread_create(@teller, null)
+  %t2 = call @thread_create(@auditor, null)
+  call @thread_join(%t1)
+  call @thread_join(%t2)
+  ret i32 0
+}
+)");
+  w.trigger.inputs = {{"audit_mode", 'q'}};
+  // The teller takes the ledger lock (1 sync event) and is preempted; the
+  // auditor's trylock then fails and the assert fires.
+  w.trigger.schedule = {{1, 1, 2}};
+  return w;
+}
+
+}  // namespace esd::workloads

@@ -34,6 +34,13 @@ uint64_t ScriptedSyncPolicy::SyncEventCount(const vm::ExecutionState& state,
       case vm::SchedEvent::Kind::kMutexUnlock:
       case vm::SchedEvent::Kind::kCondWait:
       case vm::SchedEvent::Kind::kCondWake:
+      case vm::SchedEvent::Kind::kRwRdLock:
+      case vm::SchedEvent::Kind::kRwWrLock:
+      case vm::SchedEvent::Kind::kRwUnlock:
+      case vm::SchedEvent::Kind::kSemWait:
+      case vm::SchedEvent::Kind::kSemPost:
+      case vm::SchedEvent::Kind::kBarrierWait:
+      case vm::SchedEvent::Kind::kTryFail:
         n += ev.tid == tid ? 1 : 0;
         break;
       default:

@@ -36,6 +36,19 @@ extern @cond_init(ptr)
 extern @cond_wait(ptr, ptr)
 extern @cond_signal(ptr)
 extern @cond_broadcast(ptr)
+extern @mutex_trylock(ptr) : i32
+extern @rwlock_init(ptr)
+extern @rwlock_rdlock(ptr)
+extern @rwlock_tryrdlock(ptr) : i32
+extern @rwlock_wrlock(ptr)
+extern @rwlock_trywrlock(ptr) : i32
+extern @rwlock_unlock(ptr)
+extern @sem_init(ptr, i32)
+extern @sem_wait(ptr)
+extern @sem_trywait(ptr) : i32
+extern @sem_post(ptr)
+extern @barrier_init(ptr, i32)
+extern @barrier_wait(ptr)
 extern @yield()
 )";
 }
@@ -61,6 +74,10 @@ std::vector<std::string> Table1Names() {
 }
 
 std::vector<std::string> LsNames() { return {"ls1", "ls2", "ls3", "ls4"}; }
+
+std::vector<std::string> SyncNames() {
+  return {"rwupgrade", "semdrop", "barrier3", "trybank"};
+}
 
 // Generated-scenario adapters: "fuzz:<kind>:<seed>" materializes an
 // esdfuzz scenario as a regular workload, so every tool and test that
@@ -91,8 +108,9 @@ static std::optional<Workload> MakeFuzzWorkload(const std::string& name) {
   fuzz::GeneratedProgram program = fuzz::Generate(params);
   Workload w;
   w.name = name;
-  w.manifestation =
-      *kind == fuzz::BugKind::kDeadlock ? "hang" : "crash";
+  w.manifestation = program.expected_kind == vm::BugInfo::Kind::kDeadlock
+                        ? "hang"
+                        : "crash";
   w.module = program.module;
   w.trigger = program.trigger;
   w.expected_kind = program.expected_kind;
@@ -141,6 +159,18 @@ Workload MakeWorkload(const std::string& name) {
   }
   if (name == "ls4") {
     return BuildLs(4);
+  }
+  if (name == "rwupgrade") {
+    return BuildRwUpgrade();
+  }
+  if (name == "semdrop") {
+    return BuildSemDrop();
+  }
+  if (name == "barrier3") {
+    return BuildBarrier3();
+  }
+  if (name == "trybank") {
+    return BuildTryBank();
   }
   std::fprintf(stderr, "unknown workload '%s'\n", name.c_str());
   std::abort();

@@ -18,6 +18,10 @@
 //   mkfifo   - crash: null deref on an error-handling path
 //   tac      - crash: null deref for a separator-edge-case input
 //   ls1..ls4 - the four planted null derefs used for Figure 2's baseline
+//   rwupgrade - hang: rwlock upgrade deadlock (two readers upgrade in place)
+//   semdrop  - hang: semaphore lost-signal (trywait fast path drops the post)
+//   barrier3 - hang: barrier count mismatch (3 parties configured, 2 arrive)
+//   trybank  - crash: mutex_trylock TOCTOU (assert that the lock is free)
 //
 // Beyond the fixed suite, "fuzz:<kind>:<seed>" names (kind in
 // deadlock|race|crash) materialize esdfuzz generated scenarios
@@ -51,6 +55,10 @@ struct Workload {
 std::vector<std::string> Table1Names();
 // The Figure 2 additions (ls1..ls4).
 std::vector<std::string> LsNames();
+// The sync-surface additions: rwlock upgrade deadlock (rwupgrade),
+// semaphore lost-signal (semdrop), barrier count mismatch (barrier3), and
+// the mutex_trylock TOCTOU assert (trybank).
+std::vector<std::string> SyncNames();
 
 // Builds a workload by name; aborts on unknown names.
 Workload MakeWorkload(const std::string& name);

@@ -16,6 +16,10 @@ Workload BuildMkdir();
 Workload BuildMkfifo();
 Workload BuildTac();
 Workload BuildLs(int bug_index);  // 1..4
+Workload BuildRwUpgrade();
+Workload BuildSemDrop();
+Workload BuildBarrier3();
+Workload BuildTryBank();
 
 }  // namespace esd::workloads
 

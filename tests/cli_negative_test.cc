@@ -125,6 +125,31 @@ TEST_F(CliNegativeTest, MalformedInputIsOneLineError) {
   ExpectOneLineFailure(Tool("esdcheck") + " " + bad_prog_);
 }
 
+TEST_F(CliNegativeTest, MalformedSyncSurfaceRecordsAreOneLineErrors) {
+  // The sync-surface event records (rd-lock / sem-wait / barrier /
+  // try-fail) get the same precise one-line rejection as the legacy
+  // records: truncated fields, trailing garbage, unknown kinds.
+  struct BadExec {
+    const char* name;
+    const char* body;
+  };
+  const BadExec kBad[] = {
+      {"truncated_sem", "execution v1\nbug deadlock\nhb sem-wait 1\n"},
+      {"trailing_rd", "execution v1\nbug deadlock\nhb rd-lock 1 72 f:b:0 x\n"},
+      {"unknown_kind", "execution v1\nbug deadlock\nhb spin-lock 1 72 f:b:0\n"},
+      {"bad_tryfail", "execution v1\nbug deadlock\nhb try-fail nope 0 f:b:0\n"},
+  };
+  for (const BadExec& bad : kBad) {
+    std::string path = dir_ + "/" + bad.name + ".esdx";
+    WriteTo(path, bad.body);
+    ExpectOneLineFailure(Tool("esdplay") + " " + program_ + " " + path);
+  }
+}
+
+TEST_F(CliNegativeTest, EsdfuzzRejectsUnknownKind) {
+  ExpectOneLineFailure(Tool("esdfuzz") + " --kind spinlock --seeds 1");
+}
+
 TEST_F(CliNegativeTest, FailedSynthesisLeavesNoPartialOutput) {
   std::string out = dir_ + "/never_written.esdx";
   RunResult r = RunCommand(Tool("esdsynth") + " " + program_ + " " + bad_core_ +

@@ -287,6 +287,92 @@ TEST(CondvarSpuriousWakeupTest, WhileModeNeverGoesNegative) {
   }
 }
 
+// Single-waiter semantics, pinned as a regression test. The wakeup-path
+// audit (done while adding semaphore wakeups) confirmed signal must wake
+// exactly one waiter even when the waiter list holds entries that are no
+// longer eligible: the wake loop now skips stale entries without spending
+// the wake budget on them, instead of consuming the signal against the
+// head entry regardless of its state. Two waiters + one signal => exactly
+// one woken (cond_signaled), one still parked, one list entry left.
+TEST(CondvarSignalSemantics, SignalWakesExactlyOneWaiterBroadcastWakesAll) {
+  constexpr char kTwoWaiters[] = R"(
+global $m = zero 8
+global $c = zero 8
+
+func @waiter(%arg: ptr) : void {
+entry:
+  call @mutex_lock($m)
+  call @cond_wait($c, $m)
+  call @mutex_unlock($m)
+  ret
+}
+
+func @main() : i32 {
+entry:
+  %t1 = call @thread_create(@waiter, null)
+  %t2 = call @thread_create(@waiter, null)
+  call @yield()              ; both waiters park (each: lock, wait)
+  call @cond_signal($c)
+  call @cond_signal($c)      ; second signal wakes the remaining waiter
+  call @thread_join(%t1)
+  call @thread_join(%t2)
+  ret i32 0
+}
+)";
+  auto module = workloads::ParseWorkload(kTwoWaiters);
+  solver::ConstraintSolver solver;
+  vm::Interpreter interp(module.get(), &solver, {});
+  vm::StatePtr state = interp.MakeInitialState(*module->FindFunction("main"), 1);
+
+  // Step until both waiters are parked on the condvar.
+  auto both_parked = [](const vm::ExecutionState& s) {
+    int parked = 0;
+    for (const vm::Thread& t : s.threads) {
+      parked += t.status == vm::ThreadStatus::kBlockedCond ? 1 : 0;
+    }
+    return parked == 2;
+  };
+  for (int i = 0; i < 1000 && !both_parked(*state); ++i) {
+    ASSERT_FALSE(interp.Step(*state).state_done);
+  }
+  ASSERT_TRUE(both_parked(*state));
+  uint64_t cond_addr = 0;
+  for (const vm::Thread& t : state->threads) {
+    if (t.status == vm::ThreadStatus::kBlockedCond) {
+      cond_addr = t.wait_cond;
+    }
+  }
+  ASSERT_EQ(state->cond_waiters.at(cond_addr).size(), 2u);
+
+  // Step until the first signal has executed: exactly one waiter is woken
+  // (runnable with cond_signaled), the other remains parked.
+  auto one_woken = [](const vm::ExecutionState& s) {
+    int woken = 0;
+    for (const vm::Thread& t : s.threads) {
+      woken += t.cond_signaled ? 1 : 0;
+    }
+    return woken >= 1;
+  };
+  for (int i = 0; i < 1000 && !one_woken(*state); ++i) {
+    ASSERT_FALSE(interp.Step(*state).state_done);
+  }
+  int woken = 0;
+  int parked = 0;
+  for (const vm::Thread& t : state->threads) {
+    woken += t.cond_signaled ? 1 : 0;
+    parked += t.status == vm::ThreadStatus::kBlockedCond ? 1 : 0;
+  }
+  EXPECT_EQ(woken, 1) << "a signal must wake exactly one waiter";
+  EXPECT_EQ(parked, 1) << "the second waiter stays parked until its signal";
+  EXPECT_EQ(state->cond_waiters.at(cond_addr).size(), 1u);
+
+  // The program drains both waiters with the second signal and exits clean.
+  vm::SingleRunResult rest = vm::RunToCompletion(interp, *state, 100000);
+  ASSERT_TRUE(rest.completed);
+  EXPECT_FALSE(rest.bug.IsBug()) << rest.bug.message;
+  EXPECT_TRUE(state->AllExited());
+}
+
 TEST(CondvarDeadlockTest, SafeModeNeverHangs) {
   workloads::Workload w = MakeLostWakeup();
   // With the mutex-protected path ('s'), no schedule loses the wakeup.

@@ -32,18 +32,74 @@ void ExpectRoundTrips(const replay::ExecutionFile& file, const std::string& labe
 
 // Real schedules: synthesized executions across the generated scenario
 // family (deadlock schedules carry hb lock/unlock/create events, race
-// schedules dense strict switch lists, crash schedules input-only files).
+// schedules dense strict switch lists, crash schedules input-only files,
+// and the sync-surface kinds rd-lock/wr-lock/sem-wait/sem-post/try-fail
+// records).
 TEST(ExecutionFileRoundTripTest, GeneratorProducedSchedules) {
   for (uint64_t seed = 100; seed < 140; ++seed) {
     fuzz::GeneratorParams params;
     params.seed = seed;
-    params.kind = static_cast<fuzz::BugKind>(seed % 3);
+    params.kind = static_cast<fuzz::BugKind>(seed % fuzz::kNumBugKinds);
     fuzz::GeneratedProgram program = fuzz::Generate(params);
     fuzz::OracleOptions options;
     options.check_ablations = false;
     fuzz::OracleVerdict verdict = fuzz::CheckScenario(program, options);
     ASSERT_TRUE(verdict.ok) << "seed " << seed << ": " << verdict.failure;
     ExpectRoundTrips(verdict.result.file, "seed " + std::to_string(seed));
+  }
+}
+
+// Files written before the sync-surface extension parse unchanged (the
+// extension is name-based and purely additive), and the new record names
+// parse back to the right kinds.
+TEST(ExecutionFileRoundTripTest, LegacyAndExtendedEventNamesParse) {
+  const char* text =
+      "execution v1\n"
+      "bug deadlock\n"
+      "description legacy file\n"
+      "input x#1 = 3\n"
+      "switch 5 1\n"
+      "hb create 1 0 main:entry:0\n"
+      "hb lock 1 64 f:b:0\n"
+      "hb unlock 1 64 f:b:1\n"
+      "hb rd-lock 1 72 f:b:2\n"
+      "hb wr-lock 2 72 f:b:3\n"
+      "hb rw-unlock 2 72 f:b:4\n"
+      "hb sem-wait 1 80 f:b:5\n"
+      "hb sem-post 2 80 f:b:6\n"
+      "hb barrier 1 88 f:b:7\n"
+      "hb try-fail 2 64 f:b:8\n";
+  std::string error;
+  auto parsed = replay::ParseExecutionFile(text, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  ASSERT_EQ(parsed->happens_before.size(), 10u);
+  EXPECT_EQ(parsed->happens_before[3].kind, vm::SchedEvent::Kind::kRwRdLock);
+  EXPECT_EQ(parsed->happens_before[6].kind, vm::SchedEvent::Kind::kSemWait);
+  EXPECT_EQ(parsed->happens_before[8].kind, vm::SchedEvent::Kind::kBarrierWait);
+  EXPECT_EQ(parsed->happens_before[9].kind, vm::SchedEvent::Kind::kTryFail);
+  EXPECT_EQ(replay::ExecutionFileToText(*parsed), text);
+}
+
+// Malformed sync-surface records fail with one precise diagnostic, like
+// every other malformed record.
+TEST(ExecutionFileRoundTripTest, MalformedExtendedRecordsRejected) {
+  struct BadCase {
+    const char* line;
+    const char* expect;
+  };
+  const BadCase kBad[] = {
+      {"hb sem-wait 1", "truncated hb record"},
+      {"hb rd-lock 1 72 f:b:0 extra", "trailing garbage"},
+      {"hb spin-lock 1 72 f:b:0", "bad hb event kind"},
+      {"hb try-fail nope 64 f:b:0", "truncated hb record"},
+  };
+  for (const BadCase& bad : kBad) {
+    std::string text = std::string("execution v1\nbug deadlock\n") + bad.line + "\n";
+    std::string error;
+    auto parsed = replay::ParseExecutionFile(text, &error);
+    EXPECT_FALSE(parsed.has_value()) << bad.line;
+    EXPECT_NE(error.find(bad.expect), std::string::npos)
+        << bad.line << " -> " << error;
   }
 }
 
@@ -72,7 +128,10 @@ TEST(ExecutionFileRoundTripTest, RandomizedStructures) {
     uint32_t next_created = 1;
     for (size_t i = 0; i < events; ++i) {
       replay::HbEvent hb;
-      switch (rng() % 4) {
+      // The full event vocabulary, including the sync-surface extension
+      // kinds (rwlock / semaphore / barrier / try-fail), randomly
+      // interleaved with the original ones.
+      switch (rng() % 11) {
         case 0:
           hb.kind = vm::SchedEvent::Kind::kMutexLock;
           break;
@@ -81,6 +140,27 @@ TEST(ExecutionFileRoundTripTest, RandomizedStructures) {
           break;
         case 2:
           hb.kind = vm::SchedEvent::Kind::kThreadCreate;
+          break;
+        case 3:
+          hb.kind = vm::SchedEvent::Kind::kRwRdLock;
+          break;
+        case 4:
+          hb.kind = vm::SchedEvent::Kind::kRwWrLock;
+          break;
+        case 5:
+          hb.kind = vm::SchedEvent::Kind::kRwUnlock;
+          break;
+        case 6:
+          hb.kind = vm::SchedEvent::Kind::kSemWait;
+          break;
+        case 7:
+          hb.kind = vm::SchedEvent::Kind::kSemPost;
+          break;
+        case 8:
+          hb.kind = vm::SchedEvent::Kind::kBarrierWait;
+          break;
+        case 9:
+          hb.kind = vm::SchedEvent::Kind::kTryFail;
           break;
         default:
           hb.kind = vm::SchedEvent::Kind::kCondWake;

@@ -64,6 +64,73 @@ TEST(FuzzOracleTest, FixedSeedCorpusAllKindsPassWithinBudget) {
   EXPECT_LT(elapsed, cap) << "corpus sweep must stay CI-cheap";
 }
 
+// The sync-surface corpus bump: >= 60 additional fixed seeds cycling the
+// three new planted-bug kinds (rwlock-upgrade, sem-lost-signal,
+// barrier-mismatch), full oracle including ablation agreement, within a
+// 10-second budget on the optimized tier-1 build (instrumented builds
+// relax via ESD_FUZZ_TIME_CAP, scaled to stay proportionate to the main
+// corpus cap).
+TEST(FuzzOracleTest, SyncSurfaceCorpusAllKindsPassWithinBudget) {
+  constexpr uint64_t kSeedBase = 1;
+  constexpr uint64_t kSeeds = 63;
+  auto start = std::chrono::steady_clock::now();
+  uint64_t per_kind[3] = {0, 0, 0};
+  for (uint64_t seed = kSeedBase; seed < kSeedBase + kSeeds; ++seed) {
+    fuzz::GeneratorParams params;
+    params.seed = seed;
+    params.kind = static_cast<fuzz::BugKind>(3 + seed % 3);
+    fuzz::GeneratedProgram program = fuzz::Generate(params);
+    ++per_kind[seed % 3];
+    fuzz::OracleOptions options;
+    options.time_cap_seconds = 20.0;
+    fuzz::OracleVerdict verdict = fuzz::CheckScenario(program, options);
+    ASSERT_TRUE(verdict.ok)
+        << "seed " << seed << " [" << fuzz::BugKindName(program.spec.kind)
+        << "] failed at stage '" << verdict.stage << "': " << verdict.failure;
+  }
+  double elapsed = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+  EXPECT_GE(per_kind[0], 21u);
+  EXPECT_GE(per_kind[1], 21u);
+  EXPECT_GE(per_kind[2], 21u);
+  const char* cap_env = std::getenv("ESD_FUZZ_TIME_CAP");
+  double cap = cap_env != nullptr ? std::atof(cap_env) / 6.0 : 10.0;
+  EXPECT_LT(elapsed, cap) << "sync-surface corpus must stay CI-cheap";
+}
+
+// The shrinker handles the sync-surface statements: a fault-injected
+// rwlock-upgrade scenario shrinks below half its statement count while the
+// injected failure survives, and the shrunk program still passes the
+// honest oracle.
+TEST(FuzzShrinkerTest, ShrinksSyncSurfaceScenario) {
+  fuzz::GeneratorParams params;
+  params.kind = fuzz::BugKind::kRwUpgrade;
+  params.seed = 77;
+  params.num_threads = 3;
+  params.guard_depth = 3;
+  params.noise_per_thread = 6;
+  fuzz::GeneratedProgram program = fuzz::Generate(params);
+  ASSERT_GE(program.spec.StatementCount(), 20u);
+
+  fuzz::OracleOptions options;
+  options.expect_kind_override = vm::BugInfo::Kind::kAssertFail;  // Injected.
+  fuzz::OracleVerdict before = fuzz::CheckScenario(program, options);
+  ASSERT_FALSE(before.ok);
+  ASSERT_EQ(before.stage, "kind");
+
+  fuzz::ShrinkStats stats;
+  fuzz::GeneratedProgram shrunk =
+      fuzz::ShrinkFailingScenario(program, options, &stats);
+  EXPECT_LE(stats.stmts_after * 2, stats.stmts_before);
+
+  fuzz::OracleVerdict after = fuzz::CheckScenario(shrunk, options);
+  EXPECT_FALSE(after.ok);
+  EXPECT_EQ(after.stage, before.stage);
+  fuzz::OracleVerdict honest = fuzz::CheckScenario(shrunk, fuzz::OracleOptions{});
+  EXPECT_TRUE(honest.ok) << honest.failure;
+}
+
 // The portfolio path: a handful of scenarios under --jobs 4 (shared
 // fingerprint table + shared solver cache exercised cross-worker).
 TEST(FuzzOracleTest, PortfolioJobsSweep) {

@@ -19,6 +19,9 @@ std::vector<std::string> AllWorkloadNames() {
   for (const std::string& name : workloads::LsNames()) {
     names.push_back(name);
   }
+  for (const std::string& name : workloads::SyncNames()) {
+    names.push_back(name);
+  }
   return names;
 }
 

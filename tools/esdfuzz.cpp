@@ -37,8 +37,9 @@ void Usage(std::ostream& os = std::cerr) {
      << "  --seeds N          scenarios to run (default 20)\n"
      << "  --seed-base S      first seed; scenario i uses seed S+i\n"
      << "                     (default 1)\n"
-     << "  --kind K           deadlock | race | crash | mixed (default\n"
-     << "                     mixed: kind cycles with the seed)\n"
+     << "  --kind K           deadlock | race | crash | rwlock-upgrade |\n"
+     << "                     sem-lost-signal | barrier-mismatch | mixed\n"
+     << "                     (default mixed: kind cycles with the seed)\n"
      << "  --jobs N           portfolio width for each synthesis run\n"
      << "                     (default 1)\n"
      << "  --time-cap SECONDS per-synthesis budget (default 30)\n"
@@ -85,8 +86,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--kind" && i + 1 < argc) {
       kind_arg = argv[++i];
       if (kind_arg != "mixed" && !fuzz::ParseBugKindName(kind_arg).has_value()) {
-        std::cerr << "error: --kind must be deadlock, race, crash or mixed, "
-                  << "got '" << kind_arg << "'\n";
+        std::cerr << "error: --kind must be deadlock, race, crash, "
+                  << "rwlock-upgrade, sem-lost-signal, barrier-mismatch or "
+                  << "mixed, got '" << kind_arg << "'\n";
         return 2;
       }
     } else if (arg == "--jobs" && i + 1 < argc) {
@@ -118,7 +120,7 @@ int main(int argc, char** argv) {
     fuzz::GeneratorParams params;
     params.seed = seed;
     if (kind_arg == "mixed") {
-      params.kind = static_cast<fuzz::BugKind>(seed % 3);
+      params.kind = static_cast<fuzz::BugKind>(seed % fuzz::kNumBugKinds);
     } else {
       params.kind = *fuzz::ParseBugKindName(kind_arg);
     }
