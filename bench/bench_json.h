@@ -1,0 +1,351 @@
+// BENCH_*.json: machine-readable perf-trajectory records.
+//
+// Every benchmark binary that measures end-to-end synthesis emits one
+// `BENCH_<name>.json` next to its table output: a JSON array with one record
+// per workload, carrying the states/sec throughput, the hot-path event
+// counters (src/core/event_counters.h), and the git revision the numbers
+// were measured at. CI uploads the files as artifacts and fails the
+// perf-trajectory job when states/sec regresses by more than 10% against
+// the committed baselines in bench/baselines/ (bench/check_perf_trajectory.py).
+//
+// The schema is deliberately flat so the checker stays a page of python:
+//
+//   [
+//     {
+//       "workload": "listing1",
+//       "states_per_sec": 68493.2,
+//       "counters": { "state_forks": 6599, "pages_copied": 1210, ... },
+//       "git_rev": "7245d32"
+//     },
+//     ...
+//   ]
+//
+// Environment knobs:
+//   ESD_GIT_REV         revision stamp override (CI sets this; when absent,
+//                       `git rev-parse --short HEAD` is asked, then "unknown")
+//   ESD_BENCH_JSON_DIR  output directory for BENCH_*.json (default cwd)
+#ifndef ESD_BENCH_BENCH_JSON_H_
+#define ESD_BENCH_BENCH_JSON_H_
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/core/event_counters.h"
+
+namespace esd::bench {
+
+// One perf-trajectory sample: how fast one workload ran and what the hot
+// paths did while it ran.
+struct BenchRecord {
+  std::string workload;
+  double states_per_sec = 0.0;
+  // Machine-speed calibration measured in the same load window as
+  // states_per_sec: FingerprintMix64 throughput of a fixed scalar loop.
+  // The CI gate divides states_per_sec by this, so a slow or loaded runner
+  // does not read as an engine regression. 0 = not measured (the gate then
+  // compares raw states/sec).
+  double calib_ops_per_sec = 0.0;
+  EventCounters counters;
+  std::string git_rev;
+};
+
+// Revision stamp for the records: ESD_GIT_REV when set (CI exports it from
+// the checkout), else the working tree's `git rev-parse --short HEAD`, else
+// "unknown" (the schema requires the key, not a live repository).
+inline std::string GitRev() {
+  if (const char* env = std::getenv("ESD_GIT_REV");
+      env != nullptr && env[0] != '\0') {
+    return env;
+  }
+  std::string rev;
+  if (FILE* pipe = ::popen("git rev-parse --short HEAD 2>/dev/null", "r")) {
+    char buf[64];
+    if (std::fgets(buf, sizeof(buf), pipe) != nullptr) {
+      rev = buf;
+      while (!rev.empty() && (rev.back() == '\n' || rev.back() == '\r')) {
+        rev.pop_back();
+      }
+    }
+    ::pclose(pipe);
+  }
+  return rev.empty() ? "unknown" : rev;
+}
+
+namespace json_detail {
+
+inline void AppendEscaped(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+// %.17g: enough digits that the round-trip through ParseRecords is exact.
+inline void AppendNumber(std::string* out, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  *out += buf;
+}
+
+}  // namespace json_detail
+
+// Serializes records as the JSON array documented in the header comment.
+// Counter fields are emitted in EventCounters::ForEachField order.
+inline std::string RecordsToJson(const std::vector<BenchRecord>& records) {
+  std::string out = "[\n";
+  for (size_t i = 0; i < records.size(); ++i) {
+    const BenchRecord& r = records[i];
+    out += "  {\n    \"workload\": ";
+    json_detail::AppendEscaped(&out, r.workload);
+    out += ",\n    \"states_per_sec\": ";
+    json_detail::AppendNumber(&out, r.states_per_sec);
+    out += ",\n    \"calib_ops_per_sec\": ";
+    json_detail::AppendNumber(&out, r.calib_ops_per_sec);
+    out += ",\n    \"counters\": {";
+    bool first = true;
+    EventCounters::ForEachField(
+        [&](std::string_view name, uint64_t EventCounters::*field) {
+          out += first ? " " : ", ";
+          first = false;
+          out += '"';
+          out += name;
+          out += "\": ";
+          out += std::to_string(r.counters.*field);
+        });
+    out += " },\n    \"git_rev\": ";
+    json_detail::AppendEscaped(&out, r.git_rev);
+    out += "\n  }";
+    out += i + 1 < records.size() ? ",\n" : "\n";
+  }
+  out += "]\n";
+  return out;
+}
+
+namespace json_detail {
+
+// Minimal recursive-descent reader for exactly the BENCH_*.json subset:
+// arrays, objects, strings with the escapes AppendEscaped emits, and
+// numbers. Returns nullopt from ParseRecords on anything malformed or on a
+// record missing a required key.
+struct Reader {
+  const char* p;
+  const char* end;
+
+  void SkipWs() {
+    while (p < end && std::isspace(static_cast<unsigned char>(*p))) {
+      ++p;
+    }
+  }
+  bool Consume(char c) {
+    SkipWs();
+    if (p < end && *p == c) {
+      ++p;
+      return true;
+    }
+    return false;
+  }
+  bool ReadString(std::string* out) {
+    SkipWs();
+    if (p >= end || *p != '"') {
+      return false;
+    }
+    ++p;
+    out->clear();
+    while (p < end && *p != '"') {
+      if (*p == '\\') {
+        if (++p >= end) {
+          return false;
+        }
+        switch (*p) {
+          case '"':
+            out->push_back('"');
+            break;
+          case '\\':
+            out->push_back('\\');
+            break;
+          case 'n':
+            out->push_back('\n');
+            break;
+          case 't':
+            out->push_back('\t');
+            break;
+          case 'u': {
+            if (end - p < 5) {
+              return false;
+            }
+            char hex[5] = {p[1], p[2], p[3], p[4], '\0'};
+            out->push_back(static_cast<char>(std::strtoul(hex, nullptr, 16)));
+            p += 4;
+            break;
+          }
+          default:
+            return false;
+        }
+        ++p;
+      } else {
+        out->push_back(*p++);
+      }
+    }
+    return Consume('"');
+  }
+  bool ReadNumber(double* out) {
+    SkipWs();
+    char* after = nullptr;
+    *out = std::strtod(p, &after);
+    if (after == p) {
+      return false;
+    }
+    p = after;
+    return true;
+  }
+};
+
+}  // namespace json_detail
+
+// Parses text produced by RecordsToJson (or hand-edited baselines with the
+// same shape) back into records. Unknown counter names are rejected; a
+// record missing any of the four required keys is rejected.
+inline std::optional<std::vector<BenchRecord>> ParseRecords(
+    const std::string& text) {
+  json_detail::Reader r{text.data(), text.data() + text.size()};
+  if (!r.Consume('[')) {
+    return std::nullopt;
+  }
+  std::vector<BenchRecord> records;
+  if (r.Consume(']')) {
+    return records;
+  }
+  do {
+    if (!r.Consume('{')) {
+      return std::nullopt;
+    }
+    BenchRecord rec;
+    bool have_workload = false, have_sps = false, have_counters = false,
+         have_rev = false;
+    do {
+      std::string key;
+      if (!r.ReadString(&key) || !r.Consume(':')) {
+        return std::nullopt;
+      }
+      if (key == "workload") {
+        have_workload = r.ReadString(&rec.workload);
+        if (!have_workload) {
+          return std::nullopt;
+        }
+      } else if (key == "states_per_sec") {
+        have_sps = r.ReadNumber(&rec.states_per_sec);
+        if (!have_sps) {
+          return std::nullopt;
+        }
+      } else if (key == "calib_ops_per_sec") {
+        // Optional (absent in pre-calibration baselines): 0 when missing.
+        if (!r.ReadNumber(&rec.calib_ops_per_sec)) {
+          return std::nullopt;
+        }
+      } else if (key == "git_rev") {
+        have_rev = r.ReadString(&rec.git_rev);
+        if (!have_rev) {
+          return std::nullopt;
+        }
+      } else if (key == "counters") {
+        if (!r.Consume('{')) {
+          return std::nullopt;
+        }
+        have_counters = true;
+        if (!r.Consume('}')) {
+          do {
+            std::string field;
+            double value = 0.0;
+            if (!r.ReadString(&field) || !r.Consume(':') ||
+                !r.ReadNumber(&value)) {
+              return std::nullopt;
+            }
+            bool known = false;
+            EventCounters::ForEachField(
+                [&](std::string_view name, uint64_t EventCounters::*ptr) {
+                  if (name == field) {
+                    rec.counters.*ptr = static_cast<uint64_t>(value);
+                    known = true;
+                  }
+                });
+            if (!known) {
+              return std::nullopt;
+            }
+          } while (r.Consume(','));
+          if (!r.Consume('}')) {
+            return std::nullopt;
+          }
+        }
+      } else {
+        return std::nullopt;
+      }
+    } while (r.Consume(','));
+    if (!r.Consume('}') ||
+        !(have_workload && have_sps && have_counters && have_rev)) {
+      return std::nullopt;
+    }
+    records.push_back(std::move(rec));
+  } while (r.Consume(','));
+  if (!r.Consume(']')) {
+    return std::nullopt;
+  }
+  r.SkipWs();
+  if (r.p != r.end) {
+    return std::nullopt;
+  }
+  return records;
+}
+
+// Writes BENCH_<name>.json into ESD_BENCH_JSON_DIR (default: cwd). Returns
+// the path written, or nullopt on I/O failure.
+inline std::optional<std::string> WriteBenchJson(
+    const std::string& name, const std::vector<BenchRecord>& records) {
+  std::string dir = ".";
+  if (const char* env = std::getenv("ESD_BENCH_JSON_DIR");
+      env != nullptr && env[0] != '\0') {
+    dir = env;
+  }
+  std::string path = dir + "/BENCH_" + name + ".json";
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return std::nullopt;
+  }
+  std::string text = RecordsToJson(records);
+  size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  bool ok = std::fclose(f) == 0 && written == text.size();
+  if (!ok) {
+    return std::nullopt;
+  }
+  return path;
+}
+
+}  // namespace esd::bench
+
+#endif  // ESD_BENCH_BENCH_JSON_H_

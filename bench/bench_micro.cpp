@@ -2,9 +2,21 @@
 // calls out: solver queries (the KLEE-style caches), the Algorithm-1
 // distance computation with its §6.2 caching, copy-on-write state forks,
 // and raw interpreter throughput.
+//
+// After the google-benchmark tables, main() runs one full synthesis per
+// trajectory workload and writes BENCH_micro.json (states/sec + hot-path
+// event counters; see bench/bench_json.h) for the CI perf-trajectory gate.
+//
+// Environment knobs:
+//   ESD_BENCH_CAP_S   time cap for the trajectory synthesis runs (default 10).
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "bench/bench_json.h"
 #include "src/analysis/distance.h"
+#include "src/core/synthesizer.h"
 #include "src/solver/solver.h"
 #include "src/vm/engine.h"
 #include "src/workloads/workloads.h"
@@ -125,4 +137,36 @@ BENCHMARK(BM_InterpreterThroughput);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+
+  // Perf-trajectory records: full synthesis on the standard workloads whose
+  // triggers ship with the repo, best of three end-to-end runs each. These
+  // are the states/sec numbers the CI regression gate tracks for the micro
+  // substrate (see bench/bench_common.h).
+  std::vector<bench::BenchRecord> trajectory;
+  const std::string git_rev = bench::GitRev();
+  for (const char* name : {"listing1", "sqlite"}) {
+    workloads::Workload w = workloads::MakeWorkload(name);
+    auto dump = workloads::CaptureDump(*w.module, w.trigger);
+    if (!dump.has_value()) {
+      std::fprintf(stderr, "bench_micro: %s: trigger did not manifest\n", name);
+      return 1;
+    }
+    core::SynthesisOptions options;
+    options.time_cap_seconds = bench::CapSeconds();
+    trajectory.push_back(bench::MeasureTrajectory(name, w.module.get(), *dump,
+                                                  options, git_rev));
+  }
+  if (auto path = bench::WriteBenchJson("micro", trajectory); path.has_value()) {
+    std::printf("wrote %s (%zu workloads)\n", path->c_str(), trajectory.size());
+  } else {
+    std::fprintf(stderr, "bench_micro: cannot write BENCH_micro.json\n");
+    return 1;
+  }
+  return 0;
+}

@@ -20,12 +20,15 @@
 // Environment knobs:
 //   ESD_BENCH_JOBS    max worker count for the parallel rows (default 4).
 //   ESD_BENCH_CAP_S   per-run time cap in seconds (default 10).
+//   ESD_BENCH_SMOKE   nonzero: run everything (including the BENCH_*.json
+//                     emission) but skip the pruning bar (CI smoke).
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "bench/bench_json.h"
 #include "src/core/synthesizer.h"
 #include "src/replay/replayer.h"
 
@@ -134,11 +137,17 @@ int MaxJobs() {
   return jobs < 1 ? 1 : jobs;
 }
 
+bool SmokeMode() {
+  const char* env = std::getenv("ESD_BENCH_SMOKE");
+  return env != nullptr && std::atoi(env) != 0;
+}
+
 }  // namespace
 
 int main() {
   double cap = bench::CapSeconds();
   int max_jobs = MaxJobs();
+  bool smoke = SmokeMode();
 
   std::vector<BenchCase> cases;
   for (const char* name : {"listing1", "sqlite"}) {
@@ -239,6 +248,25 @@ int main() {
       }
     }
   }
+  // Perf-trajectory records for the CI regression gate: the deterministic
+  // jobs == 1 default configuration (dedup + sleep sets on), best of three
+  // runs per workload (see bench/bench_common.h).
+  std::vector<bench::BenchRecord> trajectory;
+  const std::string git_rev = bench::GitRev();
+  for (const BenchCase& c : cases) {
+    core::SynthesisOptions options;
+    options.time_cap_seconds = cap;
+    trajectory.push_back(
+        bench::MeasureTrajectory(c.name, c.module.get(), c.dump, options, git_rev));
+  }
+  if (auto path = bench::WriteBenchJson("pruning", trajectory);
+      path.has_value()) {
+    std::printf("\nwrote %s (%zu workloads)\n", path->c_str(),
+                trajectory.size());
+  } else {
+    std::fprintf(stderr, "bench_pruning: cannot write BENCH_pruning.json\n");
+    return 1;
+  }
   std::printf("\n(states = execution states registered by the engine; every "
               "successful run's execution\n file is verified by strict "
               "playback. jobs=1 rows are deterministic; the 30%% pruning\n "
@@ -247,7 +275,7 @@ int main() {
     std::fprintf(stderr, "bench_pruning: a synthesized execution failed to replay\n");
     return 1;
   }
-  if (!bar_met) {
+  if (!bar_met && !smoke) {
     std::fprintf(stderr,
                  "bench_pruning: pruning reduced states by less than 30%% on a "
                  "jobs=1 workload\n");

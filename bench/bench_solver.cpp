@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "bench/bench_json.h"
 #include "src/core/synthesizer.h"
 #include "src/replay/replayer.h"
 
@@ -494,6 +495,25 @@ int main() {
     }
   }
 
+  // Perf-trajectory records for the CI regression gate: the deterministic
+  // jobs == 1 full-pipeline configuration, best of three runs per workload
+  // (see bench/bench_common.h).
+  std::vector<bench::BenchRecord> trajectory;
+  const std::string git_rev = bench::GitRev();
+  for (const BenchCase& c : cases) {
+    core::SynthesisOptions options;
+    options.time_cap_seconds = cap;
+    trajectory.push_back(
+        bench::MeasureTrajectory(c.name, c.module.get(), c.dump, options, git_rev));
+  }
+  if (auto path = bench::WriteBenchJson("solver", trajectory);
+      path.has_value()) {
+    std::printf("\nwrote %s (%zu workloads)\n", path->c_str(),
+                trajectory.size());
+  } else {
+    std::fprintf(stderr, "bench_solver: cannot write BENCH_solver.json\n");
+    return 1;
+  }
   std::printf("\n(SATcall/conflicts/propagate sum the solver-pipeline "
               "counters across workers; shared =\n cross-worker shared-cache "
               "hits. Every successful run's execution file is verified by\n "

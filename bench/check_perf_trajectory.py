@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Perf-trajectory gate: compare freshly emitted BENCH_*.json against the
+committed baselines in bench/baselines/.
+
+Usage:
+    check_perf_trajectory.py <baseline_dir> <current_dir> [--threshold PCT]
+
+For every BENCH_<name>.json in <baseline_dir>, the same file must exist in
+<current_dir>, and every baseline workload's states_per_sec must be within
+PCT percent (default 10) below the baseline value. Improvements and new
+workloads are always fine; a missing file, a missing workload, or a
+regression beyond the threshold fails the gate.
+
+When both records carry calib_ops_per_sec (the fixed FingerprintMix64
+calibration loop measured in the same load window as the synthesis runs),
+the gate compares *normalized* throughput — states_per_sec divided by
+calib_ops_per_sec — so a slower or more loaded machine than the one that
+produced the baseline does not read as an engine regression. Without
+calibration on either side, raw states/sec is compared.
+
+Counters are informational (printed on regression for diagnosis), not gated:
+they shift legitimately whenever the engine's exploration changes, while
+states/sec is the trajectory the ISSUE gates.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+
+def load_records(path):
+    with open(path) as f:
+        data = json.load(f)
+    if not isinstance(data, list):
+        raise ValueError(f"{path}: expected a JSON array of records")
+    records = {}
+    for rec in data:
+        for key in ("workload", "states_per_sec", "counters", "git_rev"):
+            if key not in rec:
+                raise ValueError(f"{path}: record missing required key '{key}'")
+        records[rec["workload"]] = rec
+    return records
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline_dir", type=pathlib.Path)
+    parser.add_argument("current_dir", type=pathlib.Path)
+    parser.add_argument("--threshold", type=float, default=10.0,
+                        help="max allowed states/sec regression, percent")
+    args = parser.parse_args()
+
+    baselines = sorted(args.baseline_dir.glob("BENCH_*.json"))
+    if not baselines:
+        print(f"error: no BENCH_*.json baselines in {args.baseline_dir}",
+              file=sys.stderr)
+        return 1
+
+    failed = False
+    for baseline_path in baselines:
+        current_path = args.current_dir / baseline_path.name
+        if not current_path.exists():
+            print(f"FAIL {baseline_path.name}: not emitted by the bench run")
+            failed = True
+            continue
+        base = load_records(baseline_path)
+        cur = load_records(current_path)
+        for workload, base_rec in sorted(base.items()):
+            if workload not in cur:
+                print(f"FAIL {baseline_path.name}/{workload}: workload missing "
+                      f"from the current run")
+                failed = True
+                continue
+            cur_rec = cur[workload]
+            base_sps = float(base_rec["states_per_sec"])
+            cur_sps = float(cur_rec["states_per_sec"])
+            base_calib = float(base_rec.get("calib_ops_per_sec", 0.0))
+            cur_calib = float(cur_rec.get("calib_ops_per_sec", 0.0))
+            if base_calib > 0 and cur_calib > 0:
+                base_val, cur_val = base_sps / base_calib, cur_sps / cur_calib
+                how = "states/calib-op"
+            else:
+                base_val, cur_val = base_sps, cur_sps
+                how = "states/sec (uncalibrated)"
+            delta = (100.0 * (cur_val - base_val) / base_val
+                     if base_val > 0 else 0.0)
+            verdict = "ok" if delta >= -args.threshold else "FAIL"
+            print(f"{verdict:4} {baseline_path.name}/{workload}: "
+                  f"{cur_sps:,.0f} states/sec vs baseline {base_sps:,.0f}, "
+                  f"{how} {delta:+.1f}% (gate -{args.threshold:.0f}%) "
+                  f"[baseline rev {base_rec['git_rev']}, "
+                  f"current rev {cur_rec['git_rev']}]")
+            if verdict == "FAIL":
+                failed = True
+                print(f"     baseline counters: {base_rec['counters']}")
+                print(f"     current  counters: {cur[workload]['counters']}")
+
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

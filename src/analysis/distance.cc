@@ -126,6 +126,7 @@ void DistanceCalculator::ComputeCosts(uint32_t func, std::vector<uint32_t>* call
     uint64_t sum = 0;
     for (const ir::Instruction& inst : fn.blocks[b].insts) {
       uint64_t c = InstCost(func, inst, call_stack);
+      fc.inst_prefix.push_back(sum);  // Cost of the block before this inst.
       fc.inst_cost.push_back(c);
       sum = SatAdd(sum, c);
     }
@@ -164,11 +165,13 @@ void DistanceCalculator::ComputeCosts(uint32_t func, std::vector<uint32_t>* call
 }
 
 const DistanceCalculator::FuncCosts& DistanceCalculator::Costs(uint32_t func) {
-  if (!costs_.count(func)) {
-    std::vector<uint32_t> call_stack{func};
-    ComputeCosts(func, &call_stack);
+  auto it = costs_.find(func);
+  if (it != costs_.end()) {
+    return it->second;
   }
-  return costs_[func];
+  std::vector<uint32_t> call_stack{func};
+  ComputeCosts(func, &call_stack);
+  return costs_.find(func)->second;
 }
 
 uint64_t DistanceCalculator::FunctionCost(uint32_t func) {
@@ -194,10 +197,10 @@ uint64_t DistanceCalculator::Dist2Ret(ir::InstRef at) {
     lock.lock();
   }
   const FuncCosts& fc = Costs(at.func);
-  uint64_t prefix = 0;
-  for (uint32_t i = 0; i < at.inst && i < fn.blocks[at.block].insts.size(); ++i) {
-    prefix = SatAdd(prefix, fc.inst_cost[fc.block_start[at.block] + i]);
-  }
+  size_t n = fn.blocks[at.block].insts.size();
+  uint64_t prefix = at.inst >= n
+                        ? fc.block_cost[at.block]
+                        : fc.inst_prefix[fc.block_start[at.block] + at.inst];
   uint64_t e = fc.exit_dist[at.block];
   if (e >= kInfDistance) {
     return kInfDistance;
@@ -275,6 +278,27 @@ const DistanceCalculator::GoalTable& DistanceCalculator::GetGoalTable(
         table.goal_dist[p] = cand;
         heap.emplace(cand, p);
       }
+    }
+  }
+  // Flatten to per-instruction distances (what DistanceFrom serves), by a
+  // backward pass per block: D[j] = min(opportunity(j), cost(j) + D[j+1]),
+  // seeded past the last instruction with the best successor-block table
+  // entry. SatAdd distributes over min, so this equals the forward suffix
+  // scan DistanceFrom used to run per query.
+  table.inst_dist.assign(fc.inst_cost.size() + fn.blocks.size(), kInfDistance);
+  for (uint32_t b = 0; b < fn.blocks.size(); ++b) {
+    size_t base = fc.block_start[b] + b;
+    size_t n = fn.blocks[b].insts.size();
+    uint64_t after = kInfDistance;
+    for (uint32_t s : cfg.Block(b).succs) {
+      after = std::min(after, table.goal_dist[s]);
+    }
+    table.inst_dist[base + n] = after;
+    for (size_t j = n; j-- > 0;) {
+      uint64_t d = SatAdd(fc.inst_cost[fc.block_start[b] + j],
+                          table.inst_dist[base + j + 1]);
+      d = std::min(d, OpportunityCost(func, b, static_cast<uint32_t>(j), goal, entry));
+      table.inst_dist[base + j] = d;
     }
   }
   return per_goal.emplace(func, std::move(table)).first->second;
@@ -390,23 +414,12 @@ uint64_t DistanceCalculator::DistanceFrom(uint32_t func, uint32_t block, uint32_
     return kInfDistance;
   }
   const FuncCosts& fc = Costs(func);
-  const std::map<uint32_t, uint64_t>& entry = EntryDistances(goal);
   const GoalTable& table = GetGoalTable(func, goal);
-  const Cfg& cfg = GetCfg(func);
-
-  // Best opportunity at or after `inst` within this block.
-  uint64_t cost_from_i = 0;
-  uint64_t best = kInfDistance;
-  for (uint32_t j = inst; j < fn.blocks[block].insts.size(); ++j) {
-    best = std::min(best,
-                    SatAdd(cost_from_i, OpportunityCost(func, block, j, goal, entry)));
-    cost_from_i = SatAdd(cost_from_i, fc.inst_cost[fc.block_start[block] + j]);
-  }
-  // Or leave the block: cost of the remaining suffix plus successor tables.
-  for (uint32_t s : cfg.Block(block).succs) {
-    best = std::min(best, SatAdd(cost_from_i, table.goal_dist[s]));
-  }
-  return best;
+  // Precomputed at table-build time: best opportunity at or after `inst`
+  // within this block, or the remaining suffix plus a successor table.
+  size_t n = fn.blocks[block].insts.size();
+  size_t j = inst < n ? inst : n;
+  return table.inst_dist[fc.block_start[block] + block + j];
 }
 
 uint64_t DistanceCalculator::Distance(ir::InstRef at, ir::InstRef goal) {

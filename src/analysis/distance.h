@@ -98,6 +98,7 @@ class DistanceCalculator {
  private:
   struct FuncCosts {
     std::vector<uint64_t> inst_cost;    // Flattened per (block, inst).
+    std::vector<uint64_t> inst_prefix;  // Sum of costs before inst (same layout).
     std::vector<uint64_t> block_cost;   // Sum of inst costs per block.
     std::vector<uint64_t> block_start;  // Offset of block b in inst_cost.
     std::vector<uint64_t> exit_dist;    // Min cost from block start to return.
@@ -107,6 +108,13 @@ class DistanceCalculator {
   // progress" (goal instruction or a call leading toward it).
   struct GoalTable {
     std::vector<uint64_t> goal_dist;  // Per block.
+    // Min cost from each instruction (DistanceFrom's answer), flattened with
+    // one extra end-of-block slot per block: block b occupies
+    // [block_start[b] + b, block_start[b] + b + insts.size()], where the
+    // last slot is the best distance via a successor block. Precomputed so
+    // the per-instruction state-selection queries are single array reads
+    // instead of a suffix scan over opportunity costs (§6.2).
+    std::vector<uint64_t> inst_dist;
   };
 
   const FuncCosts& Costs(uint32_t func);

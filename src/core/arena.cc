@@ -1,0 +1,188 @@
+#include "src/core/arena.h"
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+namespace esd::core {
+namespace {
+
+constexpr std::size_t kGranule = 16;
+constexpr std::size_t kMaxSmall = 1024;
+constexpr std::size_t kNumClasses = kMaxSmall / kGranule;
+constexpr std::size_t kSlabBytes = 16 * 1024;
+// Magazine tuning: refill grabs kBatch blocks; a magazine that grows past
+// kFlushAt returns kBatch blocks to the central pool.
+constexpr std::size_t kBatch = 256;
+constexpr std::size_t kFlushAt = 1024;
+
+struct Node {
+  Node* next;
+};
+
+constexpr std::size_t ClassIndex(std::size_t size) {
+  return (size + kGranule - 1) / kGranule - 1;
+}
+constexpr std::size_t ClassSize(std::size_t cls) { return (cls + 1) * kGranule; }
+
+std::atomic<std::size_t> g_slab_bytes{0};
+
+// Central pool: per-class free lists fed by slab carving. Leaky by design —
+// slabs are never freed, so blocks stay valid for the process lifetime and
+// the pool itself (a function-local `new`) survives static destruction.
+class CentralPool {
+ public:
+  static CentralPool& Get() {
+    static CentralPool* pool = new CentralPool();
+    return *pool;
+  }
+
+  // Pops up to `want` blocks of class `cls` into a chain; carves a fresh
+  // slab when the list is empty. Returns the chain head (never null).
+  Node* PopBatch(std::size_t cls, std::size_t want) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (lists_[cls] == nullptr) {
+      CarveSlabLocked(cls);
+    }
+    Node* head = lists_[cls];
+    Node* tail = head;
+    std::size_t taken = 1;
+    while (taken < want && tail->next != nullptr) {
+      tail = tail->next;
+      ++taken;
+    }
+    lists_[cls] = tail->next;
+    tail->next = nullptr;
+    return head;
+  }
+
+  // Pushes a chain of blocks back onto the class list.
+  void PushChain(std::size_t cls, Node* head, Node* tail) {
+    std::lock_guard<std::mutex> lock(mu_);
+    tail->next = lists_[cls];
+    lists_[cls] = head;
+  }
+
+  void PushOne(std::size_t cls, Node* node) { PushChain(cls, node, node); }
+
+ private:
+  void CarveSlabLocked(std::size_t cls) {
+    std::size_t block = ClassSize(cls);
+    std::size_t count = kSlabBytes / block;
+    auto* base = static_cast<char*>(::operator new(kSlabBytes));
+    g_slab_bytes.fetch_add(kSlabBytes, std::memory_order_relaxed);
+    Node* head = nullptr;
+    for (std::size_t i = count; i > 0; --i) {
+      auto* node = reinterpret_cast<Node*>(base + (i - 1) * block);
+      node->next = head;
+      head = node;
+    }
+    lists_[cls] = head;
+  }
+
+  std::mutex mu_;
+  Node* lists_[kNumClasses] = {};
+};
+
+// Per-thread magazine. The raw-pointer mirror (g_magazine) lets the hot
+// path test liveness without touching the function-local thread_local
+// after its destructor has run (worker-thread exit, process teardown);
+// once dead, alloc/free fall through to the locked central pool.
+struct Magazine {
+  Node* head[kNumClasses] = {};
+  std::uint32_t count[kNumClasses] = {};
+
+  ~Magazine();
+};
+
+thread_local Magazine* g_magazine = nullptr;
+thread_local bool g_magazine_dead = false;
+
+Magazine* EnsureMagazine() {
+  if (g_magazine_dead) {
+    return nullptr;
+  }
+  static thread_local Magazine magazine;
+  g_magazine = &magazine;
+  return g_magazine;
+}
+
+Magazine::~Magazine() {
+  CentralPool& central = CentralPool::Get();
+  for (std::size_t cls = 0; cls < kNumClasses; ++cls) {
+    if (head[cls] != nullptr) {
+      Node* tail = head[cls];
+      while (tail->next != nullptr) {
+        tail = tail->next;
+      }
+      central.PushChain(cls, head[cls], tail);
+      head[cls] = nullptr;
+    }
+  }
+  g_magazine = nullptr;
+  g_magazine_dead = true;
+}
+
+}  // namespace
+
+void* ArenaAlloc(std::size_t size) {
+  if (size == 0) {
+    size = 1;
+  }
+  if (size > kMaxSmall) {
+    return ::operator new(size);
+  }
+  std::size_t cls = ClassIndex(size);
+  Magazine* m = g_magazine != nullptr ? g_magazine : EnsureMagazine();
+  if (m == nullptr) {  // Thread is past magazine teardown.
+    Node* node = CentralPool::Get().PopBatch(cls, 1);
+    return node;
+  }
+  Node* node = m->head[cls];
+  if (node == nullptr) {
+    node = CentralPool::Get().PopBatch(cls, kBatch);
+    std::uint32_t got = 0;
+    for (Node* n = node; n != nullptr; n = n->next) {
+      ++got;
+    }
+    m->count[cls] = got;
+  }
+  m->head[cls] = node->next;
+  --m->count[cls];
+  return node;
+}
+
+void ArenaFree(void* p, std::size_t size) noexcept {
+  if (p == nullptr) {
+    return;
+  }
+  if (size > kMaxSmall) {
+    ::operator delete(p);
+    return;
+  }
+  std::size_t cls = ClassIndex(size);
+  auto* node = static_cast<Node*>(p);
+  Magazine* m = g_magazine != nullptr ? g_magazine : EnsureMagazine();
+  if (m == nullptr) {
+    CentralPool::Get().PushOne(cls, node);
+    return;
+  }
+  node->next = m->head[cls];
+  m->head[cls] = node;
+  if (++m->count[cls] >= kFlushAt) {
+    Node* head = m->head[cls];
+    Node* tail = head;
+    for (std::size_t i = 1; i < kBatch; ++i) {
+      tail = tail->next;
+    }
+    m->head[cls] = tail->next;
+    m->count[cls] -= kBatch;
+    CentralPool::Get().PushChain(cls, head, tail);
+  }
+}
+
+std::size_t ArenaSlabBytes() {
+  return g_slab_bytes.load(std::memory_order_relaxed);
+}
+
+}  // namespace esd::core

@@ -1,0 +1,69 @@
+// Pooled small-object arena for the state-engine hot path.
+//
+// Fork-heavy synthesis churns three allocation shapes at enormous rates:
+// ExecutionState clones, Expr nodes, and COW memory pages. All are small,
+// fixed-shape, and die in bursts, which makes the general-purpose allocator
+// (with its size-class search, locking, and thread cache maintenance) the
+// dominant cost of fork/destroy. This arena replaces it for those types:
+//
+//   - blocks are rounded to 16-byte size classes up to 1 KiB; larger
+//     requests fall through to ::operator new;
+//   - each thread keeps a magazine of per-class free lists, so alloc/free
+//     on the hot path is a pointer pop/push with no locking;
+//   - magazines refill from (and overflow to) a central, mutex-protected
+//     pool that carves blocks out of slabs that are never returned to the
+//     OS — a leaky singleton, so frees that arrive during static
+//     destruction or after a portfolio worker thread has exited remain
+//     safe (they take the locked central path).
+//
+// ArenaAllocator<T> adapts the arena to the standard allocator interface
+// so shared_ptr-managed objects can live in it via std::allocate_shared
+// (the control block and payload share one pooled allocation).
+#ifndef ESD_SRC_CORE_ARENA_H_
+#define ESD_SRC_CORE_ARENA_H_
+
+#include <cstddef>
+#include <new>
+
+namespace esd::core {
+
+// Allocates a block of at least `size` bytes (16-byte aligned).
+void* ArenaAlloc(std::size_t size);
+// Returns a block obtained from ArenaAlloc(size). `size` must match.
+void ArenaFree(void* p, std::size_t size) noexcept;
+
+// Arena occupancy, for tests: total bytes carved into slabs on this
+// process so far (monotone; the arena never shrinks).
+std::size_t ArenaSlabBytes();
+
+template <typename T>
+struct ArenaAllocator {
+  using value_type = T;
+
+  ArenaAllocator() noexcept = default;
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    if (n == 1) {
+      return static_cast<T*>(ArenaAlloc(sizeof(T)));
+    }
+    return static_cast<T*>(::operator new(n * sizeof(T)));
+  }
+  void deallocate(T* p, std::size_t n) noexcept {
+    if (n == 1) {
+      ArenaFree(p, sizeof(T));
+      return;
+    }
+    ::operator delete(p);
+  }
+
+  template <typename U>
+  bool operator==(const ArenaAllocator<U>&) const noexcept {
+    return true;
+  }
+};
+
+}  // namespace esd::core
+
+#endif  // ESD_SRC_CORE_ARENA_H_

@@ -88,8 +88,8 @@ void DeadlockStrategy::BeforeSyncOp(vm::EngineServices& services,
     return;
   }
   if (op.kind == vm::SyncOp::Kind::kMutexLock) {
-    auto it = state.mutexes.find(op.addr);
-    if (it != state.mutexes.end() && it->second.locked) {
+    auto it = state.mutexes().find(op.addr);
+    if (it != state.mutexes().end() && it->second.locked) {
       return;  // Held: handled by OnLockBlocked after the op executes.
     }
   }
@@ -141,8 +141,8 @@ void DeadlockStrategy::OnLockAcquired(vm::EngineServices& services,
 void DeadlockStrategy::OnLockBlocked(vm::EngineServices& services,
                                      vm::ExecutionState& state, uint64_t addr,
                                      uint32_t holder) {
-  auto it = state.mutexes.find(addr);
-  if (it == state.mutexes.end()) {
+  auto it = state.mutexes().find(addr);
+  if (it == state.mutexes().end()) {
     return;
   }
   if (!IsInnerLock(holder, it->second.acquired_at)) {

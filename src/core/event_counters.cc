@@ -1,0 +1,29 @@
+#include "src/core/event_counters.h"
+
+namespace esd {
+
+namespace internal {
+thread_local EventCounters* g_event_counters = nullptr;
+}  // namespace internal
+
+void EventCounters::Add(const EventCounters& other) {
+  ForEachField([&](std::string_view, uint64_t EventCounters::*field) {
+    this->*field += other.*field;
+  });
+}
+
+void EventCounters::ForEachField(
+    const std::function<void(std::string_view, uint64_t EventCounters::*)>& fn) {
+  fn("state_forks", &EventCounters::state_forks);
+  fn("pages_copied", &EventCounters::pages_copied);
+  fn("bytes_hashed", &EventCounters::bytes_hashed);
+  fn("frontier_pushes", &EventCounters::frontier_pushes);
+  fn("frontier_pops", &EventCounters::frontier_pops);
+  fn("fingerprint_probes", &EventCounters::fingerprint_probes);
+  fn("sync_fold_reuses", &EventCounters::sync_fold_reuses);
+  fn("sync_fold_recomputes", &EventCounters::sync_fold_recomputes);
+  fn("solver_calls", &EventCounters::solver_calls);
+  fn("expr_allocs", &EventCounters::expr_allocs);
+}
+
+}  // namespace esd

@@ -136,6 +136,9 @@ SynthesisResult RunPortfolio(
   auto worker_body = [&](size_t w) {
     WorkerOutcome& out = outcomes[w];
     out.report.seed = WorkerSeed(options, w);
+    // Every hot-path CountEvent on this thread lands in the worker's own
+    // report — no shared state, no locks (see event_counters.h).
+    ScopedEventCounters counter_scope(&out.report.counters);
 
     solver::ConstraintSolver solver(MakeSolverOptions(options, shared_cache_ptr));
     vm::RaceDetector race_detector;
@@ -243,6 +246,7 @@ SynthesisResult RunPortfolio(
     result.states_created += out.report.states_created;
     result.states_deduped += out.report.states_deduped;
     result.sleep_set_skips += out.report.sleep_set_skips;
+    result.counters.Add(out.report.counters);
     result.solver.Accumulate(out.solver_stats);
     for (std::string& bug : out.other_bugs) {
       result.other_bugs.push_back(std::move(bug));

@@ -2,20 +2,18 @@
 
 #include <algorithm>
 
+#include "src/core/event_counters.h"
+
 namespace esd::core {
-namespace {
 
-// Builds the call-stack InstRef vector (outermost first) for a thread.
-std::vector<ir::InstRef> StackOf(const vm::Thread& thread) {
-  std::vector<ir::InstRef> stack;
-  stack.reserve(thread.frames.size());
+const std::vector<ir::InstRef>& ProximitySearcher::StackOf(const vm::Thread& thread) {
+  stack_scratch_.clear();
+  stack_scratch_.reserve(thread.frames.size());
   for (const vm::StackFrame& f : thread.frames) {
-    stack.push_back(ir::InstRef{f.func, f.block, f.inst});
+    stack_scratch_.push_back(ir::InstRef{f.func, f.block, f.inst});
   }
-  return stack;
+  return stack_scratch_;
 }
-
-}  // namespace
 
 ProximitySearcher::ProximitySearcher(analysis::DistanceCalculator* distances,
                                      std::vector<SearchGoal> goals, Options options)
@@ -28,7 +26,7 @@ ProximitySearcher::ProximitySearcher(analysis::DistanceCalculator* distances,
 }
 
 double ProximitySearcher::Priority(const vm::ExecutionState& state,
-                                   const SearchGoal& goal) {
+                                   const SearchGoal& goal, double bonus) {
   uint64_t dist = analysis::kInfDistance;
   if (!goal.target.IsValid()) {
     dist = state.steps;  // Degenerate goal: prefer least-stepped states.
@@ -71,6 +69,10 @@ double ProximitySearcher::Priority(const vm::ExecutionState& state,
   // took its inner lock has "no remaining path" to it, yet is exactly the
   // state to run).
   double path = static_cast<double>(std::min<uint64_t>(dist, kPathDistanceCap));
+  return state.schedule_distance * options_.schedule_weight + path - bonus;
+}
+
+double ProximitySearcher::BlockedGoalBonus(const vm::ExecutionState& state) const {
   // Full-manifestation drive: when *every* reported goal thread is parked
   // (blocked) at its target simultaneously, the deadlock is one scheduling
   // round from detection — drive such states to completion ahead of the
@@ -79,6 +81,8 @@ double ProximitySearcher::Priority(const vm::ExecutionState& state,
   // release, a semaphore about to be posted), and rewarding it floods the
   // drive stratum with safe-path states. Only concrete per-thread goals
   // count; intermediate and wildcard goals carry no parked-thread notion.
+  // Goal-independent, so PushAll computes it once per state instead of once
+  // per (state, goal).
   size_t thread_goals = 0;
   size_t parked = 0;
   for (const SearchGoal& g : goals_) {
@@ -94,15 +98,15 @@ double ProximitySearcher::Priority(const vm::ExecutionState& state,
       }
     }
   }
-  double bonus =
-      thread_goals > 0 && parked == thread_goals ? kBlockedGoalBonus : 0.0;
-  return state.schedule_distance * options_.schedule_weight + path - bonus;
+  return thread_goals > 0 && parked == thread_goals ? kBlockedGoalBonus : 0.0;
 }
 
 void ProximitySearcher::PushAll(const vm::StatePtr& state) {
   uint64_t stamp = live_[state.get()].second;
+  CountEvent(&EventCounters::frontier_pushes, goals_.size());
+  double bonus = BlockedGoalBonus(*state);
   for (size_t q = 0; q < goals_.size(); ++q) {
-    queues_[q].push(Entry{Priority(*state, goals_[q]), stamp, state});
+    queues_[q].push(Entry{Priority(*state, goals_[q], bonus), stamp, state});
   }
 }
 
@@ -141,6 +145,7 @@ vm::StatePtr ProximitySearcher::Select() {
       if (state != nullptr) {
         auto it = live_.find(state.get());
         if (it != live_.end() && it->second.second == top.stamp) {
+          CountEvent(&EventCounters::frontier_pops);
           return state;
         }
       }

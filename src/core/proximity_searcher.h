@@ -15,10 +15,10 @@
 #define ESD_SRC_CORE_PROXIMITY_SEARCHER_H_
 
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <queue>
 #include <random>
+#include <unordered_map>
 #include <vector>
 
 #include "src/analysis/distance.h"
@@ -102,14 +102,27 @@ class ProximitySearcher : public vm::Searcher {
   };
   using Heap = std::priority_queue<Entry, std::vector<Entry>, std::greater<>>;
 
-  double Priority(const vm::ExecutionState& state, const SearchGoal& goal);
+  double Priority(const vm::ExecutionState& state, const SearchGoal& goal,
+                  double bonus);
+  // The kBlockedGoalBonus term: goal-independent, hoisted out of the
+  // per-goal Priority loop.
+  double BlockedGoalBonus(const vm::ExecutionState& state) const;
   void PushAll(const vm::StatePtr& state);
+  // Fills stack_scratch_ with the thread's call-stack InstRefs (outermost
+  // first); reused across calls so the per-step Priority loop is
+  // allocation-free.
+  const std::vector<ir::InstRef>& StackOf(const vm::Thread& thread);
 
   analysis::DistanceCalculator* distances_;
   std::vector<SearchGoal> goals_;
   Options options_;
   std::vector<Heap> queues_;  // One per goal.
-  std::map<const vm::ExecutionState*, std::pair<vm::StatePtr, uint64_t>> live_;
+  std::vector<ir::InstRef> stack_scratch_;
+  // Hashed by state pointer: probed on every push (stamp read) and every
+  // pop (stamp validation), so lookup cost matters more than order; the
+  // only full iteration is the rare all-stale rebuild in Select.
+  std::unordered_map<const vm::ExecutionState*, std::pair<vm::StatePtr, uint64_t>>
+      live_;
   std::mt19937_64 rng_;
   uint64_t next_stamp_ = 1;
 };

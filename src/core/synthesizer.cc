@@ -39,6 +39,11 @@ SynthesisResult Synthesizer::SynthesizeGoal(const Goal& goal) {
     return result;
   }
 
+  // Hot-path event counters for the single-worker run: one sink on this
+  // thread for the rest of the pipeline (jobs > 1 installs one per worker
+  // inside the portfolio instead).
+  ScopedEventCounters counter_scope(&result.counters);
+
   // 3. Search strategy (§3.3): proximity-guided selection over the virtual
   // queues, or plain BFS when the heuristic is disabled (ablation).
   std::unique_ptr<vm::Searcher> searcher;

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "src/core/event_counters.h"
 #include "src/core/goal.h"
 #include "src/replay/execution_file.h"
 #include "src/report/coredump.h"
@@ -87,6 +88,9 @@ struct WorkerReport {
   // Shared-solver-cache hits answered by another worker's solve.
   uint64_t solver_shared_hits = 0;
   uint64_t sat_conflicts = 0;
+  // Hot-path event counters collected by this worker's thread-local sink
+  // (state forks, COW page copies, frontier traffic, ...).
+  EventCounters counters;
 };
 
 struct SynthesisResult {
@@ -113,6 +117,9 @@ struct SynthesisResult {
   // esdsynth prints this so bench regressions are diagnosable from tool
   // output.
   solver::ConstraintSolver::Stats solver;
+  // Hot-path event counters, summed across workers when jobs > 1. Printed
+  // by `esdsynth --counters` and embedded in the BENCH_*.json emitters.
+  EventCounters counters;
 
   // Portfolio accounting (empty / -1 for jobs == 1).
   std::vector<WorkerReport> workers;

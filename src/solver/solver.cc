@@ -2,6 +2,7 @@
 
 #include <set>
 
+#include "src/core/event_counters.h"
 #include "src/solver/bitblast.h"
 #include "src/solver/query_cache.h"
 #include "src/solver/sat.h"
@@ -81,6 +82,7 @@ size_t ConstraintSolver::HashQuery(const std::vector<ExprRef>& constraints) cons
 bool ConstraintSolver::IsSatisfiable(const std::vector<ExprRef>& constraints,
                                      Model* model) {
   ++stats_.queries;
+  CountEvent(&EventCounters::solver_calls);
   // Stage 1: canonicalize, fold, and drop trivially-true constraints (a
   // rewritten-to-false constraint decides the query outright).
   std::vector<ExprRef> live;

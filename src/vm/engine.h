@@ -12,7 +12,7 @@
 #include <chrono>
 #include <cstdint>
 #include <functional>
-#include <map>
+#include <unordered_map>
 
 #include "src/vm/fingerprint.h"
 #include "src/vm/interpreter.h"
@@ -98,7 +98,7 @@ class Engine : public EngineServices {
   Interpreter* interpreter_;
   Searcher* searcher_;
   Options options_;
-  std::map<const ExecutionState*, StatePtr> live_;
+  std::unordered_map<const ExecutionState*, StatePtr> live_;
   BugCallback unexpected_cb_;
   uint64_t states_created_ = 0;
   uint64_t states_deduped_ = 0;

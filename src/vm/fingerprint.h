@@ -7,6 +7,11 @@
 // independent operations reconverge to the same fingerprint, so only one
 // representative keeps exploring.
 //
+// Each shard is an open-addressing table (linear probing over a power-of-two
+// flat array, empty slot = 0, the fingerprint 0 itself tracked by a side
+// flag), so an InsertIfAbsent is a cache-friendly probe with no per-element
+// node allocation — the only allocation is the amortized table doubling.
+//
 // The table is sharded by fingerprint so a parallel portfolio can share one
 // instance: each shard has its own mutex, and InsertIfAbsent touches exactly
 // one shard. With `jobs == 1` (or per-worker tables) the mutexes are
@@ -17,8 +22,10 @@
 
 #include <cstdint>
 #include <mutex>
-#include <unordered_set>
+#include <utility>
 #include <vector>
+
+#include "src/core/event_counters.h"
 
 namespace esd::vm {
 
@@ -42,16 +49,17 @@ class FingerprintTable {
   // Returns true if `fp` was absent (and is now recorded); false if some
   // state with this fingerprint was already seen.
   bool InsertIfAbsent(uint64_t fp) {
+    CountEvent(&EventCounters::fingerprint_probes);
     Shard& shard = shards_[(fp >> 48) % shards_.size()];
     std::lock_guard<std::mutex> lock(shard.mu);
-    return shard.set.insert(fp).second;
+    return shard.Insert(fp);
   }
 
   size_t Size() const {
     size_t n = 0;
     for (const Shard& shard : shards_) {
       std::lock_guard<std::mutex> lock(shard.mu);
-      n += shard.set.size();
+      n += shard.used + (shard.has_zero ? 1 : 0);
     }
     return n;
   }
@@ -59,7 +67,56 @@ class FingerprintTable {
  private:
   struct Shard {
     mutable std::mutex mu;
-    std::unordered_set<uint64_t> set;
+    // Flat open-addressing array; 0 marks an empty slot. Sized lazily on
+    // first insert, doubled at 3/4 occupancy.
+    std::vector<uint64_t> slots;
+    size_t used = 0;
+    bool has_zero = false;
+
+    bool Insert(uint64_t fp) {
+      if (fp == 0) {
+        if (has_zero) {
+          return false;
+        }
+        has_zero = true;
+        return true;
+      }
+      if (slots.empty()) {
+        slots.assign(kInitialSlots, 0);
+      } else if (used * 4 >= slots.size() * 3) {  // Keep load under 3/4.
+        Grow();
+      }
+      uint64_t* slot = Probe(slots, fp);
+      if (*slot == fp) {
+        return false;
+      }
+      *slot = fp;
+      ++used;
+      return true;
+    }
+
+    // First slot holding `fp` or the empty slot where it belongs. The
+    // fingerprint is already avalanche-mixed, so low bits index directly.
+    static uint64_t* Probe(std::vector<uint64_t>& table, uint64_t fp) {
+      size_t mask = table.size() - 1;
+      size_t i = static_cast<size_t>(fp) & mask;
+      while (table[i] != 0 && table[i] != fp) {
+        i = (i + 1) & mask;
+      }
+      return &table[i];
+    }
+
+    void Grow() {
+      std::vector<uint64_t> bigger(slots.size() * 2, 0);
+      for (uint64_t fp : slots) {
+        if (fp != 0) {
+          *Probe(bigger, fp) = fp;
+        }
+      }
+      slots = std::move(bigger);
+    }
+
+    static constexpr size_t kInitialSlots = 1024;
   };
   std::vector<Shard> shards_;
 };

@@ -93,6 +93,19 @@ ExternalId LookupExternal(const std::string& name) {
   return it == kMap.end() ? ExternalId::kUnknown : it->second;
 }
 
+ExternalId Interpreter::ExternalIdOf(uint32_t func_index) {
+  constexpr uint8_t kUnresolved = 0xff;
+  static_assert(static_cast<uint8_t>(ExternalId::kUnknown) < kUnresolved);
+  if (external_ids_.empty()) {
+    external_ids_.assign(module_->NumFunctions(), kUnresolved);
+  }
+  uint8_t& slot = external_ids_[func_index];
+  if (slot == kUnresolved) {
+    slot = static_cast<uint8_t>(LookupExternal(module_->Func(func_index).name));
+  }
+  return static_cast<ExternalId>(slot);
+}
+
 namespace {
 
 using solver::ExprRef;
@@ -311,9 +324,9 @@ bool Interpreter::LoadBytes(ExecutionState& state, uint64_t ptr, uint32_t bytes,
   const MemoryObject* obj = state.mem.Find(PointerObject(ptr));
   uint32_t offset = PointerOffset(ptr);
   // Little-endian: byte at offset is least significant.
-  ExprRef value = obj->bytes[offset];
+  ExprRef value = obj->ByteAt(offset);
   for (uint32_t i = 1; i < bytes; ++i) {
-    value = solver::MakeConcat(obj->bytes[offset + i], value);
+    value = solver::MakeConcat(obj->ByteAt(offset + i), value);
   }
   *out = value;
   // Even unflagged reads can interfere with a sleeping racy store.
@@ -434,51 +447,71 @@ bool Interpreter::HasSyncCycle(const ExecutionState& state) const {
   // contended object before it can proceed. A mutex waiter has one such
   // edge (the holder); an rwlock write waiter needs the writer *and* every
   // other reader gone, so any single cycle through one of those edges is
-  // already a genuine deadlock (all edges are conjunctive).
-  std::map<uint32_t, std::vector<uint32_t>> waits_for;
+  // already a genuine deadlock (all edges are conjunctive). Edges live in
+  // one flat list scanned per node: the graph has at most a handful of
+  // threads, and this runs on every blocking operation.
+  std::vector<std::pair<uint32_t, uint32_t>> edges;
   for (const Thread& t : state.threads) {
     if (t.status == ThreadStatus::kBlockedMutex) {
-      auto it = state.mutexes.find(t.wait_mutex);
-      if (it != state.mutexes.end() && it->second.locked) {
-        waits_for[t.id].push_back(it->second.holder);
+      auto it = state.mutexes().find(t.wait_mutex);
+      if (it != state.mutexes().end() && it->second.locked) {
+        edges.emplace_back(t.id, it->second.holder);
       }
     } else if (t.status == ThreadStatus::kBlockedRwRead ||
                t.status == ThreadStatus::kBlockedRwWrite) {
-      auto it = state.rwlocks.find(t.wait_sync);
-      if (it == state.rwlocks.end()) {
+      auto it = state.rwlocks().find(t.wait_sync);
+      if (it == state.rwlocks().end()) {
         continue;
       }
       if (it->second.writer != ir::kInvalidIndex) {
-        waits_for[t.id].push_back(it->second.writer);
+        edges.emplace_back(t.id, it->second.writer);
       }
       if (t.status == ThreadStatus::kBlockedRwWrite) {
         for (uint32_t reader : it->second.readers) {
           if (reader != t.id) {
-            waits_for[t.id].push_back(reader);
+            edges.emplace_back(t.id, reader);
           }
         }
       }
     }
     // Semaphore and barrier waits have no owner: no edges.
   }
-  // DFS cycle detection over the (multi-edge) wait-for graph.
-  std::map<uint32_t, int> color;  // 0 unvisited, 1 on stack, 2 done.
-  std::function<bool(uint32_t)> dfs = [&](uint32_t tid) {
-    color[tid] = 1;
-    auto it = waits_for.find(tid);
-    if (it != waits_for.end()) {
-      for (uint32_t next : it->second) {
-        int c = color.count(next) != 0 ? color[next] : 0;
-        if (c == 1 || (c == 0 && dfs(next))) {
+  if (edges.empty()) {
+    return false;
+  }
+  // DFS cycle detection over the (multi-edge) wait-for graph. Colors keyed
+  // by tid in a flat sorted list of the tids appearing in any edge.
+  std::vector<uint32_t> tids;
+  for (const auto& [from, to] : edges) {
+    tids.push_back(from);
+    tids.push_back(to);
+  }
+  std::sort(tids.begin(), tids.end());
+  tids.erase(std::unique(tids.begin(), tids.end()), tids.end());
+  std::vector<uint8_t> color(tids.size(), 0);  // 0 unvisited, 1 on stack, 2 done.
+  struct Dfs {
+    const std::vector<std::pair<uint32_t, uint32_t>>& edges;
+    const std::vector<uint32_t>& tids;
+    std::vector<uint8_t>& color;
+    bool Run(size_t u) {
+      color[u] = 1;
+      for (const auto& [from, to] : edges) {
+        if (from != tids[u]) {
+          continue;
+        }
+        size_t v = static_cast<size_t>(
+            std::lower_bound(tids.begin(), tids.end(), to) - tids.begin());
+        if (color[v] == 1 || (color[v] == 0 && Run(v))) {
           return true;
         }
       }
+      color[u] = 2;
+      return false;
     }
-    color[tid] = 2;
-    return false;
   };
-  for (const auto& [tid, unused] : waits_for) {
-    if (color.count(tid) == 0 && dfs(tid)) {
+  Dfs dfs{edges, tids, color};
+  for (size_t u = 0; u < tids.size(); ++u) {
+    if (color[u] == 0 && dfs.Run(u)) {
       return true;
     }
   }
@@ -576,7 +609,7 @@ void Interpreter::MaybePreemptionPoint(ExecutionState& state,
   if (!callee.is_external) {
     return;
   }
-  std::optional<SyncOp::Kind> kind = SyncKindOf(LookupExternal(callee.name));
+  std::optional<SyncOp::Kind> kind = SyncKindOf(ExternalIdOf(inst.callee));
   if (!kind.has_value()) {
     return;
   }
@@ -986,7 +1019,7 @@ StepResult Interpreter::ExecCall(ExecutionState& state, const ir::Instruction& i
 
   const ir::Function& callee = module_->Func(callee_index);
   if (callee.is_external) {
-    return ExecExternal(state, inst, callee, site);
+    return ExecExternal(state, inst, callee_index, site);
   }
 
   std::vector<ExprRef> args;
@@ -999,8 +1032,9 @@ StepResult Interpreter::ExecCall(ExecutionState& state, const ir::Instruction& i
 }
 
 StepResult Interpreter::ExecExternal(ExecutionState& state, const ir::Instruction& inst,
-                                     const ir::Function& callee, ir::InstRef site) {
+                                     uint32_t callee_index, ir::InstRef site) {
   StepResult result;
+  const ir::Function& callee = module_->Func(callee_index);
   Thread& thread = state.CurrentThread();
   StackFrame& frame = thread.frames.back();
 
@@ -1020,7 +1054,7 @@ StepResult Interpreter::ExecExternal(ExecutionState& state, const ir::Instructio
 
   // Resolve the external once; every case below (and the sync_point flag
   // the engine's dedup relies on) reuses it.
-  const ExternalId ext = LookupExternal(callee.name);
+  const ExternalId ext = ExternalIdOf(callee_index);
   result.sync_point = IsSyncExternal(ext);
   if (args.size() < MinArgsOf(ext)) {
     fail(MakeBug(BugInfo::Kind::kInternalError, site, thread.id, 0,
@@ -1375,13 +1409,13 @@ StepResult Interpreter::ExecSyncObjectInit(ExecutionState& state, const SyncCall
   }
   switch (call.ext) {
     case ExternalId::kMutexInit:
-      state.mutexes[addr] = MutexState{};
+      state.mutable_mutexes()[addr] = MutexState{};
       break;
     case ExternalId::kCondInit:
-      state.cond_waiters[addr].clear();
+      state.mutable_cond_waiters()[addr].clear();
       break;
     case ExternalId::kRwLockInit:
-      state.rwlocks[addr] = RwLockState{};
+      state.mutable_rwlocks()[addr] = RwLockState{};
       break;
     case ExternalId::kSemInit: {
       uint64_t count;
@@ -1389,7 +1423,7 @@ StepResult Interpreter::ExecSyncObjectInit(ExecutionState& state, const SyncCall
         result.state_done = true;
         return result;
       }
-      state.semaphores[addr] = SemState{static_cast<uint32_t>(count)};
+      state.mutable_semaphores()[addr] = SemState{static_cast<uint32_t>(count)};
       break;
     }
     case ExternalId::kBarrierInit: {
@@ -1404,7 +1438,7 @@ StepResult Interpreter::ExecSyncObjectInit(ExecutionState& state, const SyncCall
                              "barrier_init with a zero participant count");
         return result;
       }
-      state.barriers[addr] = BarrierState{static_cast<uint32_t>(count), {}};
+      state.mutable_barriers()[addr] = BarrierState{static_cast<uint32_t>(count), {}};
       break;
     }
     default:
@@ -1435,7 +1469,7 @@ StepResult Interpreter::ExecMutexLock(ExecutionState& state, const SyncCall& cal
           solver::MakeConst(32, v);
     }
   };
-  MutexState& m = state.mutexes[addr];
+  MutexState& m = state.mutable_mutexes()[addr];
   if (!m.locked) {
     m.locked = true;
     m.holder = thread.id;
@@ -1482,8 +1516,8 @@ StepResult Interpreter::ExecMutexUnlock(ExecutionState& state, const SyncCall& c
     result.state_done = true;
     return result;
   }
-  auto it = state.mutexes.find(addr);
-  if (it == state.mutexes.end() || !it->second.locked ||
+  auto it = state.mutable_mutexes().find(addr);
+  if (it == state.mutable_mutexes().end() || !it->second.locked ||
       it->second.holder != thread.id) {
     result.state_done = true;
     result.bug = MakeBug(BugInfo::Kind::kInvalidSync, call.site, thread.id, addr,
@@ -1518,8 +1552,8 @@ StepResult Interpreter::ExecCondWait(ExecutionState& state, const SyncCall& call
   }
   if (!thread.cond_signaled) {
     // Phase 1: release the mutex and sleep on the condvar.
-    auto it = state.mutexes.find(mutex_addr);
-    if (it == state.mutexes.end() || !it->second.locked ||
+    auto it = state.mutable_mutexes().find(mutex_addr);
+    if (it == state.mutable_mutexes().end() || !it->second.locked ||
         it->second.holder != thread.id) {
       result.state_done = true;
       result.bug = MakeBug(BugInfo::Kind::kInvalidSync, call.site, thread.id,
@@ -1537,7 +1571,7 @@ StepResult Interpreter::ExecCondWait(ExecutionState& state, const SyncCall& call
     thread.status = ThreadStatus::kBlockedCond;
     thread.wait_cond = cond_addr;
     thread.cond_saved_mutex = mutex_addr;
-    state.cond_waiters[cond_addr].push_back(thread.id);
+    state.mutable_cond_waiters()[cond_addr].push_back(thread.id);
     state.RecordEvent(SchedEvent::Kind::kCondWait, thread.id, cond_addr, call.site);
     if (!ScheduleNext(state)) {
       result.state_done = true;
@@ -1546,7 +1580,7 @@ StepResult Interpreter::ExecCondWait(ExecutionState& state, const SyncCall& call
     return result;
   }
   // Phase 2 (signaled): reacquire the mutex.
-  MutexState& m = state.mutexes[mutex_addr];
+  MutexState& m = state.mutable_mutexes()[mutex_addr];
   if (!m.locked) {
     m.locked = true;
     m.holder = thread.id;
@@ -1573,7 +1607,7 @@ StepResult Interpreter::ExecCondWake(ExecutionState& state, const SyncCall& call
     result.state_done = true;
     return result;
   }
-  auto& waiters = state.cond_waiters[cond_addr];
+  auto& waiters = state.mutable_cond_waiters()[cond_addr];
   const bool broadcast = call.ext == ExternalId::kCondBroadcast;
   // Single-waiter semantics, pinned: a signal wakes exactly one *eligible*
   // waiter (thread still alive and still blocked on this condvar). Stale
@@ -1623,7 +1657,7 @@ StepResult Interpreter::ExecRwLock(ExecutionState& state, const SyncCall& call) 
           solver::MakeConst(32, v);
     }
   };
-  RwLockState& rw = state.rwlocks[addr];
+  RwLockState& rw = state.mutable_rwlocks()[addr];
   if (rw.writer == thread.id) {
     if (try_only) {
       // A try operation never blocks: the writer's own re-request simply
@@ -1710,8 +1744,8 @@ StepResult Interpreter::ExecRwUnlock(ExecutionState& state, const SyncCall& call
     result.state_done = true;
     return result;
   }
-  auto it = state.rwlocks.find(addr);
-  if (it == state.rwlocks.end() ||
+  auto it = state.mutable_rwlocks().find(addr);
+  if (it == state.mutable_rwlocks().end() ||
       (it->second.writer != thread.id && it->second.ReaderCount(thread.id) == 0)) {
     result.state_done = true;
     result.bug = MakeBug(BugInfo::Kind::kInvalidSync, call.site, thread.id, addr,
@@ -1767,7 +1801,7 @@ StepResult Interpreter::ExecSemWait(ExecutionState& state, const SyncCall& call)
           solver::MakeConst(32, v);
     }
   };
-  SemState& sem = state.semaphores[addr];
+  SemState& sem = state.mutable_semaphores()[addr];
   if (sem.count > 0) {
     --sem.count;
     state.RecordEvent(SchedEvent::Kind::kSemWait, thread.id, addr, call.site);
@@ -1805,7 +1839,7 @@ StepResult Interpreter::ExecSemPost(ExecutionState& state, const SyncCall& call)
     result.bug = std::move(bug);
     return result;
   }
-  ++state.semaphores[addr].count;
+  ++state.mutable_semaphores()[addr].count;
   // Wake every waiter; they re-execute sem_wait and race for the count.
   for (Thread& t : state.threads) {
     if (t.status == ThreadStatus::kBlockedSem && t.wait_sync == addr) {
@@ -1842,7 +1876,7 @@ StepResult Interpreter::ExecBarrierWait(ExecutionState& state, const SyncCall& c
     AdvancePc(state);
     return result;
   }
-  BarrierState& bar = state.barriers[addr];
+  BarrierState& bar = state.mutable_barriers()[addr];
   if (bar.required != 0 && bar.waiting.size() + 1 >= bar.required) {
     // Last arrival: release everyone. The released threads re-execute
     // barrier_wait and complete via the barrier_released flag; this thread

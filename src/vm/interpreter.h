@@ -246,7 +246,7 @@ class Interpreter {
                       ir::InstRef site);
   StepResult ExecRet(ExecutionState& state, const ir::Instruction& inst);
   StepResult ExecExternal(ExecutionState& state, const ir::Instruction& inst,
-                          const ir::Function& callee, ir::InstRef site);
+                          uint32_t callee_index, ir::InstRef site);
   // Shared tail for every blocking sync path: with the thread already
   // marked blocked, run the cycle detector and schedule the next runnable
   // thread (reporting a deadlock when none exists).
@@ -263,11 +263,17 @@ class Interpreter {
   void MaybePreemptionPoint(ExecutionState& state, const ir::Instruction& inst,
                             ir::InstRef site);
 
+  // LookupExternal(Func(i).name), memoized per function index: the
+  // string-keyed lookup sits on the per-instruction hot path (every
+  // external call and preemption point resolves it).
+  ExternalId ExternalIdOf(uint32_t func_index);
+
   const ir::Module* module_;
   solver::ConstraintSolver* solver_;
   Options options_;
   Stats stats_;
   uint64_t next_state_id_ = 1;
+  std::vector<uint8_t> external_ids_;  // Lazily filled by ExternalIdOf.
 };
 
 // Encodes function index `f` as a runtime function-pointer value.

@@ -1,5 +1,7 @@
 #include "src/vm/memory.h"
 
+#include "src/core/arena.h"
+#include "src/core/event_counters.h"
 #include "src/vm/fingerprint.h"
 
 namespace esd::vm {
@@ -7,8 +9,9 @@ namespace {
 
 constexpr auto Mix64 = FingerprintMix64;
 
-// Contribution of one byte to the address-space content hash. A zero
-// constant contributes nothing, so untouched (zero-filled) bytes are free.
+// Contribution of one byte to the page and address-space content hashes. A
+// zero constant (or a never-written null slot) contributes nothing, so
+// untouched bytes are free.
 uint64_t ByteHash(uint32_t obj_id, uint32_t offset, const solver::ExprRef& v) {
   if (v == nullptr || v->IsConstValue(0)) {
     return 0;
@@ -21,15 +24,20 @@ constexpr uint64_t kFreedSalt = 0x9e3779b97f4a7c15ull;
 
 }  // namespace
 
+const solver::ExprRef& ZeroByte() {
+  static const solver::ExprRef kZero = solver::MakeConst(8, 0);
+  return kZero;
+}
+
 uint32_t AddressSpace::Allocate(uint32_t size, ObjectKind kind, std::string name) {
   auto obj = std::make_shared<MemoryObject>();
-  obj->id = next_id_++;
+  obj->id = static_cast<uint32_t>(objects_.size()) + 1;
   obj->size = size;
   obj->kind = kind;
   obj->name = std::move(name);
-  obj->bytes.assign(size, solver::MakeConst(8, 0));
+  obj->pages.resize((size + kPageSize - 1) >> kPageSizeLog2);  // All zero pages.
   uint32_t id = obj->id;
-  objects_.emplace(id, std::move(obj));
+  objects_.push_back(std::move(obj));
   return id;
 }
 
@@ -37,44 +45,58 @@ uint32_t AddressSpace::AllocateInit(uint32_t size, ObjectKind kind, std::string 
                                     const std::vector<uint8_t>& init) {
   uint32_t id = Allocate(size, kind, std::move(name));
   MemoryObject* obj = FindWritable(id);
-  for (size_t i = 0; i < init.size() && i < obj->bytes.size(); ++i) {
+  for (size_t i = 0; i < init.size() && i < size; ++i) {
     WriteByte(obj, static_cast<uint32_t>(i), solver::MakeConst(8, init[i]));
   }
   return id;
 }
 
 bool AddressSpace::Free(uint32_t id) {
-  auto it = objects_.find(id);
-  if (it == objects_.end() || it->second->freed) {
+  const MemoryObject* obj = Find(id);
+  if (obj == nullptr || obj->freed) {
     return false;
   }
-  MemoryObject* obj = FindWritable(id);
-  obj->freed = true;
+  MemoryObject* writable = FindWritable(id);
+  writable->freed = true;
   content_hash_ ^= Mix64(uint64_t{id} ^ kFreedSalt);
   return true;
 }
 
 const MemoryObject* AddressSpace::Find(uint32_t id) const {
-  auto it = objects_.find(id);
-  return it == objects_.end() ? nullptr : it->second.get();
+  if (id == 0 || id > objects_.size()) {
+    return nullptr;
+  }
+  return objects_[id - 1].get();
 }
 
 MemoryObject* AddressSpace::FindWritable(uint32_t id) {
-  auto it = objects_.find(id);
-  if (it == objects_.end()) {
+  if (id == 0 || id > objects_.size()) {
     return nullptr;
   }
-  if (it->second.use_count() > 1) {
-    it->second = std::make_shared<MemoryObject>(*it->second);
+  std::shared_ptr<MemoryObject>& slot = objects_[id - 1];
+  if (slot.use_count() > 1) {
+    slot = std::make_shared<MemoryObject>(*slot);  // Pages stay shared.
   }
-  return it->second.get();
+  return slot.get();
 }
 
 void AddressSpace::WriteByte(MemoryObject* obj, uint32_t offset,
                              solver::ExprRef value) {
-  content_hash_ ^= ByteHash(obj->id, offset, obj->bytes[offset]) ^
-                   ByteHash(obj->id, offset, value);
-  obj->bytes[offset] = std::move(value);
+  PageRef& page = obj->pages[offset >> kPageSizeLog2];
+  if (page == nullptr) {
+    page = std::allocate_shared<MemoryPage>(core::ArenaAllocator<MemoryPage>());
+    CountEvent(&EventCounters::pages_copied);
+  } else if (page.use_count() > 1) {
+    // Hash carried over by the copy, no re-walk.
+    page = std::allocate_shared<MemoryPage>(core::ArenaAllocator<MemoryPage>(), *page);
+    CountEvent(&EventCounters::pages_copied);
+  }
+  solver::ExprRef& slot = page->bytes[offset & (kPageSize - 1)];
+  uint64_t delta = ByteHash(obj->id, offset, slot) ^ ByteHash(obj->id, offset, value);
+  page->hash ^= delta;
+  content_hash_ ^= delta;
+  CountEvent(&EventCounters::bytes_hashed);
+  slot = std::move(value);
 }
 
 }  // namespace esd::vm

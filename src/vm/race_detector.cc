@@ -6,12 +6,12 @@ namespace esd::vm {
 
 std::set<uint64_t> RaceDetector::HeldLocks(const ExecutionState& state, uint32_t tid) {
   std::set<uint64_t> held;
-  for (const auto& [addr, mutex] : state.mutexes) {
+  for (const auto& [addr, mutex] : state.mutexes()) {
     if (mutex.locked && mutex.holder == tid) {
       held.insert(addr);
     }
   }
-  for (const auto& [addr, rw] : state.rwlocks) {
+  for (const auto& [addr, rw] : state.rwlocks()) {
     if (rw.writer == tid) {
       held.insert(addr);
     }
@@ -23,7 +23,7 @@ std::set<uint64_t> RaceDetector::HeldLocksForAccess(const ExecutionState& state,
                                                     uint32_t tid, bool is_write) {
   std::set<uint64_t> held = HeldLocks(state, tid);
   if (!is_write) {
-    for (const auto& [addr, rw] : state.rwlocks) {
+    for (const auto& [addr, rw] : state.rwlocks()) {
       if (rw.ReaderCount(tid) > 0) {
         held.insert(addr);
       }

@@ -38,15 +38,15 @@ StatePtr RandomPathSearcher::Select() {
     min_depth = std::min(min_depth, s->depth);
   }
   double total = 0.0;
-  std::vector<double> weights(states_.size());
+  weights_.assign(states_.size(), 0.0);
   for (size_t i = 0; i < states_.size(); ++i) {
     double rel = static_cast<double>(states_[i]->depth - min_depth);
-    weights[i] = std::pow(2.0, -std::min(rel, 48.0));
-    total += weights[i];
+    weights_[i] = std::pow(2.0, -std::min(rel, 48.0));
+    total += weights_[i];
   }
   double pick = UnitReal(rng_) * total;
   for (size_t i = 0; i < states_.size(); ++i) {
-    pick -= weights[i];
+    pick -= weights_[i];
     if (pick <= 0.0) {
       return states_[i];
     }

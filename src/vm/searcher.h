@@ -74,6 +74,7 @@ class RandomPathSearcher : public Searcher {
 
  private:
   std::vector<StatePtr> states_;
+  std::vector<double> weights_;  // Select() scratch, reused across calls.
   std::mt19937_64 rng_;
 };
 

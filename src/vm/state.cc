@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/core/arena.h"
+#include "src/core/event_counters.h"
 #include "src/solver/rewrite.h"
 #include "src/vm/fingerprint.h"
 
@@ -75,7 +77,9 @@ bool Dependent(const SyncOp& e, const SyncOp& op) {
 }  // namespace
 
 StatePtr ExecutionState::Fork(uint64_t new_id) const {
-  auto child = std::make_shared<ExecutionState>(*this);
+  CountEvent(&EventCounters::state_forks);
+  auto child = std::allocate_shared<ExecutionState>(
+      core::ArenaAllocator<ExecutionState>(), *this);
   child->id = new_id;
   child->parent_id = id;
   child->depth = depth + 1;
@@ -183,62 +187,16 @@ uint64_t ExecutionState::Fingerprint() const {
   }
   // Memory: incremental content hash maintained by the address space.
   h = Fold(h, mem.content_hash());
-  // Sync objects. An unlocked mutex contributes nothing, so "never locked"
-  // and "locked then unlocked" states agree.
-  for (const auto& [addr, m] : mutexes) {
-    if (m.locked) {
-      h ^= Mix64(Fold(Fold(addr, m.holder), HashInstRef(m.acquired_at)));
-    }
+  // Sync objects: a pure XOR aggregate, memoized — recomputed only after a
+  // mutation through a mutable_* accessor invalidated it.
+  if (!sync_fold_valid_) {
+    sync_fold_ = SyncFold();
+    sync_fold_valid_ = true;
+    CountEvent(&EventCounters::sync_fold_recomputes);
+  } else {
+    CountEvent(&EventCounters::sync_fold_reuses);
   }
-  for (const auto& [addr, waiters] : cond_waiters) {
-    uint64_t ch = addr;
-    for (uint32_t w : waiters) {
-      ch = Fold(ch, w);
-    }
-    if (!waiters.empty()) {
-      h ^= Mix64(ch);
-    }
-  }
-  // Rwlocks: a fully free lock contributes nothing, so "never used" and
-  // "acquired then released" agree. Readers fold order-free (wrapping add of
-  // mixed entries) — the hold multiset, not the acquisition order, is what
-  // determines future behavior.
-  for (const auto& [addr, rw] : rwlocks) {
-    if (rw.Free()) {
-      continue;
-    }
-    uint64_t rh = Fold(addr, rw.writer);
-    uint64_t readers = 0;
-    for (uint32_t r : rw.readers) {
-      readers += Mix64(uint64_t{r} + 0x9e3779b97f4a7c15ull);
-    }
-    rh = Fold(rh, readers);
-    if (rw.writer != ir::kInvalidIndex) {
-      rh = Fold(rh, HashInstRef(rw.acquired_at));
-    }
-    h ^= Mix64(rh);
-  }
-  // Semaphores: count 0 behaves exactly like an absent entry (both block).
-  for (const auto& [addr, sem] : semaphores) {
-    if (sem.count != 0) {
-      h ^= Mix64(Fold(addr, sem.count));
-    }
-  }
-  // Barriers: the required count matters even with nobody waiting (it
-  // decides how many future arrivals release), so every initialized barrier
-  // contributes. Waiters fold order-free — releases are all-at-once.
-  for (const auto& [addr, bar] : barriers) {
-    if (bar.required == 0 && bar.waiting.empty()) {
-      continue;
-    }
-    uint64_t bh = Fold(addr, bar.required);
-    uint64_t waiting = 0;
-    for (uint32_t w : bar.waiting) {
-      waiting += Mix64(uint64_t{w} + 0x9e3779b97f4a7c15ull);
-    }
-    bh = Fold(bh, waiting);
-    h ^= Mix64(bh);
-  }
+  h ^= sync_fold_;
   // Symbolic state: the rolling constraint digest (maintained by
   // AddConstraint) and input counter. Different path conditions must never
   // be merged.
@@ -266,6 +224,68 @@ uint64_t ExecutionState::Fingerprint() const {
     }
   }
   return h;
+}
+
+
+uint64_t ExecutionState::SyncFold() const {
+  uint64_t sf = 0;
+  // An unlocked mutex contributes nothing, so "never locked" and "locked
+  // then unlocked" states agree.
+  for (const auto& [addr, m] : mutexes_) {
+    if (m.locked) {
+      sf ^= Mix64(Fold(Fold(addr, m.holder), HashInstRef(m.acquired_at)));
+    }
+  }
+  for (const auto& [addr, waiters] : cond_waiters_) {
+    uint64_t ch = addr;
+    for (uint32_t w : waiters) {
+      ch = Fold(ch, w);
+    }
+    if (!waiters.empty()) {
+      sf ^= Mix64(ch);
+    }
+  }
+  // Rwlocks: a fully free lock contributes nothing, so "never used" and
+  // "acquired then released" agree. Readers fold order-free (wrapping add of
+  // mixed entries) — the hold multiset, not the acquisition order, is what
+  // determines future behavior.
+  for (const auto& [addr, rw] : rwlocks_) {
+    if (rw.Free()) {
+      continue;
+    }
+    uint64_t rh = Fold(addr, rw.writer);
+    uint64_t readers = 0;
+    for (uint32_t r : rw.readers) {
+      readers += Mix64(uint64_t{r} + 0x9e3779b97f4a7c15ull);
+    }
+    rh = Fold(rh, readers);
+    if (rw.writer != ir::kInvalidIndex) {
+      rh = Fold(rh, HashInstRef(rw.acquired_at));
+    }
+    sf ^= Mix64(rh);
+  }
+  // Semaphores: count 0 behaves exactly like an absent entry (both block).
+  for (const auto& [addr, sem] : semaphores_) {
+    if (sem.count != 0) {
+      sf ^= Mix64(Fold(addr, sem.count));
+    }
+  }
+  // Barriers: the required count matters even with nobody waiting (it
+  // decides how many future arrivals release), so every initialized barrier
+  // contributes. Waiters fold order-free — releases are all-at-once.
+  for (const auto& [addr, bar] : barriers_) {
+    if (bar.required == 0 && bar.waiting.empty()) {
+      continue;
+    }
+    uint64_t bh = Fold(addr, bar.required);
+    uint64_t waiting = 0;
+    for (uint32_t w : bar.waiting) {
+      waiting += Mix64(uint64_t{w} + 0x9e3779b97f4a7c15ull);
+    }
+    bh = Fold(bh, waiting);
+    sf ^= Mix64(bh);
+  }
+  return sf;
 }
 
 }  // namespace esd::vm

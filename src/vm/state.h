@@ -149,6 +149,63 @@ struct SchedEvent {
   ir::InstRef site;
 };
 
+// Append-only schedule trace with copy-on-write chunk sharing. Forking a
+// state used to deep-copy the whole trace — O(events executed so far) per
+// fork, the dominant fork cost on long executions. Instead the trace is a
+// list of fixed-size chunks held by shared_ptr: a fork copies only the
+// chunk-pointer vector, and the first append after a fork clones just the
+// (partially filled) last chunk. Every chunk except the last is full, so
+// indexing stays O(1). The interface is the subset of std::vector the
+// trace's consumers use (append, size, operator[], range-for).
+class SchedTrace {
+ public:
+  void push_back(const SchedEvent& ev) {
+    if (chunks_.empty() || chunks_.back()->size() == kChunk) {
+      chunks_.push_back(std::make_shared<std::vector<SchedEvent>>());
+      chunks_.back()->reserve(kChunk);
+    } else if (chunks_.back().use_count() > 1) {
+      // Shared with a fork sibling: clone the tail chunk before appending.
+      chunks_.back() = std::make_shared<std::vector<SchedEvent>>(*chunks_.back());
+    }
+    chunks_.back()->push_back(ev);
+    ++size_;
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  const SchedEvent& operator[](size_t i) const {
+    return (*chunks_[i >> kChunkLog2])[i & (kChunk - 1)];
+  }
+
+  class const_iterator {
+   public:
+    const_iterator(const SchedTrace* trace, size_t index)
+        : trace_(trace), index_(index) {}
+    const SchedEvent& operator*() const { return (*trace_)[index_]; }
+    const_iterator& operator++() {
+      ++index_;
+      return *this;
+    }
+    bool operator!=(const const_iterator& other) const {
+      return index_ != other.index_;
+    }
+
+   private:
+    const SchedTrace* trace_;
+    size_t index_;
+  };
+  const_iterator begin() const { return {this, 0}; }
+  const_iterator end() const { return {this, size_}; }
+
+ private:
+  static constexpr size_t kChunkLog2 = 6;
+  static constexpr size_t kChunk = size_t{1} << kChunkLog2;
+
+  std::vector<std::shared_ptr<std::vector<SchedEvent>>> chunks_;
+  size_t size_ = 0;
+};
+
 // Schedule-distance classification used by the deadlock strategy (§4.1):
 // states believed to be one context switch away from the reported deadlock
 // are "near" and get strong search priority.
@@ -305,14 +362,41 @@ class ExecutionState {
   std::vector<std::pair<std::string, solver::ExprRef>> inputs;
 
   // ---- Synchronization ----
-  std::map<uint64_t, MutexState> mutexes;          // Keyed by mutex address.
-  std::map<uint64_t, std::vector<uint32_t>> cond_waiters;  // cond addr -> tids.
-  std::map<uint64_t, RwLockState> rwlocks;         // Keyed by rwlock address.
-  std::map<uint64_t, SemState> semaphores;         // Keyed by sem address.
-  std::map<uint64_t, BarrierState> barriers;       // Keyed by barrier address.
+  // The five sync-object maps live behind paired accessors: readers use the
+  // const form; writers must go through the mutable_* form, which
+  // invalidates the memoized sync fold the fingerprint reuses (the compiler
+  // enforces that no mutation can skip the invalidation). Keyed by the sync
+  // object's address; cond_waiters maps condvar address -> waiting tids.
+  const std::map<uint64_t, MutexState>& mutexes() const { return mutexes_; }
+  const std::map<uint64_t, std::vector<uint32_t>>& cond_waiters() const {
+    return cond_waiters_;
+  }
+  const std::map<uint64_t, RwLockState>& rwlocks() const { return rwlocks_; }
+  const std::map<uint64_t, SemState>& semaphores() const { return semaphores_; }
+  const std::map<uint64_t, BarrierState>& barriers() const { return barriers_; }
+  std::map<uint64_t, MutexState>& mutable_mutexes() {
+    sync_fold_valid_ = false;
+    return mutexes_;
+  }
+  std::map<uint64_t, std::vector<uint32_t>>& mutable_cond_waiters() {
+    sync_fold_valid_ = false;
+    return cond_waiters_;
+  }
+  std::map<uint64_t, RwLockState>& mutable_rwlocks() {
+    sync_fold_valid_ = false;
+    return rwlocks_;
+  }
+  std::map<uint64_t, SemState>& mutable_semaphores() {
+    sync_fold_valid_ = false;
+    return semaphores_;
+  }
+  std::map<uint64_t, BarrierState>& mutable_barriers() {
+    sync_fold_valid_ = false;
+    return barriers_;
+  }
 
   // ---- Traces & strategy metadata ----
-  std::vector<SchedEvent> sched_trace;
+  SchedTrace sched_trace;
   std::string output;  // Concatenated print_* output.
   // The paper's K_S map: mutex address -> snapshot state forked just before
   // that mutex was acquired (deadlock schedule synthesis, §4.1).
@@ -321,6 +405,22 @@ class ExecutionState {
   bool is_schedule_snapshot = false;
   // Sleeping (thread, operation) pairs; forks copy it with the state.
   std::vector<SleepEntry> sleep_set;
+
+ private:
+  // XOR aggregate of the sync-object contributions to the fingerprint.
+  uint64_t SyncFold() const;
+
+  std::map<uint64_t, MutexState> mutexes_;
+  std::map<uint64_t, std::vector<uint32_t>> cond_waiters_;
+  std::map<uint64_t, RwLockState> rwlocks_;
+  std::map<uint64_t, SemState> semaphores_;
+  std::map<uint64_t, BarrierState> barriers_;
+  // Memoized SyncFold(): sync objects change only at sync operations, while
+  // the fingerprint is taken at every sync point and schedule fork — so the
+  // fold is reused across the (frequent) fingerprints between (rare)
+  // mutations. Forks inherit the cache with the state.
+  mutable uint64_t sync_fold_ = 0;
+  mutable bool sync_fold_valid_ = false;
 };
 
 }  // namespace esd::vm

@@ -1,0 +1,164 @@
+// Schema tests for the BENCH_*.json perf-trajectory records
+// (bench/bench_json.h): records round-trip exactly through
+// RecordsToJson/ParseRecords, the emitted text carries every key the CI
+// gate (bench/check_perf_trajectory.py) requires, malformed or
+// incomplete input is rejected, and WriteBenchJson lands the file where
+// ESD_BENCH_JSON_DIR points.
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_json.h"
+
+namespace esd::bench {
+namespace {
+
+std::vector<BenchRecord> SampleRecords() {
+  BenchRecord a;
+  a.workload = "listing1";
+  a.states_per_sec = 68493.0 / 3.0;  // Not exactly representable: exercises
+                                     // the %.17g round-trip guarantee.
+  a.calib_ops_per_sec = 2.40275e8;
+  a.git_rev = "abc1234";
+  uint64_t v = 1;
+  EventCounters::ForEachField(
+      [&](std::string_view, uint64_t EventCounters::*field) {
+        a.counters.*field = v;
+        v += 7;
+      });
+
+  BenchRecord b;
+  b.workload = "odd \"name\" with\\escapes\nand\ttabs";
+  b.states_per_sec = 0.0;
+  b.git_rev = "unknown";  // calib_ops_per_sec stays 0 = unmeasured.
+  return {a, b};
+}
+
+TEST(BenchJson, RoundTripIsExact) {
+  std::vector<BenchRecord> records = SampleRecords();
+  auto parsed = ParseRecords(RecordsToJson(records));
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->size(), records.size());
+  for (size_t i = 0; i < records.size(); ++i) {
+    const BenchRecord& want = records[i];
+    const BenchRecord& got = (*parsed)[i];
+    EXPECT_EQ(got.workload, want.workload);
+    EXPECT_EQ(got.git_rev, want.git_rev);
+    EXPECT_EQ(got.states_per_sec, want.states_per_sec) << "lossy serialization";
+    EXPECT_EQ(got.calib_ops_per_sec, want.calib_ops_per_sec);
+    EventCounters::ForEachField(
+        [&](std::string_view name, uint64_t EventCounters::*field) {
+          EXPECT_EQ(got.counters.*field, want.counters.*field)
+              << "record " << i << " counter " << name;
+        });
+  }
+}
+
+TEST(BenchJson, EmittedTextCarriesEveryRequiredKey) {
+  std::string text = RecordsToJson(SampleRecords());
+  // The four keys check_perf_trajectory.py insists on, plus the optional
+  // calibration field the emitters always write.
+  for (const char* key : {"\"workload\"", "\"states_per_sec\"", "\"counters\"",
+                          "\"git_rev\"", "\"calib_ops_per_sec\""}) {
+    EXPECT_NE(text.find(key), std::string::npos) << key;
+  }
+  EventCounters::ForEachField(
+      [&](std::string_view name, uint64_t EventCounters::*) {
+        EXPECT_NE(text.find("\"" + std::string(name) + "\""),
+                  std::string::npos)
+            << name;
+      });
+}
+
+TEST(BenchJson, EmptyArrayRoundTrips) {
+  auto parsed = ParseRecords(RecordsToJson({}));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->empty());
+  EXPECT_TRUE(ParseRecords("[]").has_value());
+  EXPECT_TRUE(ParseRecords(" [ ] \n").has_value());
+}
+
+TEST(BenchJson, MinimalRecordParsesWithoutCalibration) {
+  // Pre-calibration baselines lack calib_ops_per_sec; the parser must
+  // accept them and report 0 (the gate then compares raw states/sec).
+  auto parsed = ParseRecords(
+      R"([{"workload": "w", "states_per_sec": 12.5,
+           "counters": {}, "git_rev": "r"}])");
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->size(), 1u);
+  EXPECT_EQ((*parsed)[0].calib_ops_per_sec, 0.0);
+  EXPECT_EQ((*parsed)[0].counters.state_forks, 0u);
+}
+
+TEST(BenchJson, RejectsMalformedOrIncompleteInput) {
+  const std::string valid = RecordsToJson(SampleRecords());
+  ASSERT_TRUE(ParseRecords(valid).has_value());
+
+  EXPECT_FALSE(ParseRecords("").has_value());
+  EXPECT_FALSE(ParseRecords("{").has_value());
+  EXPECT_FALSE(ParseRecords("[{}]").has_value());
+  EXPECT_FALSE(ParseRecords(valid + "trailing").has_value());
+  // Each required key missing in turn.
+  EXPECT_FALSE(ParseRecords(
+                   R"([{"states_per_sec": 1, "counters": {}, "git_rev": "r"}])")
+                   .has_value());
+  EXPECT_FALSE(ParseRecords(
+                   R"([{"workload": "w", "counters": {}, "git_rev": "r"}])")
+                   .has_value());
+  EXPECT_FALSE(ParseRecords(
+                   R"([{"workload": "w", "states_per_sec": 1, "git_rev": "r"}])")
+                   .has_value());
+  EXPECT_FALSE(ParseRecords(
+                   R"([{"workload": "w", "states_per_sec": 1, "counters": {}}])")
+                   .has_value());
+  // Unknown top-level key and unknown counter name.
+  EXPECT_FALSE(ParseRecords(R"([{"workload": "w", "states_per_sec": 1,
+                                 "counters": {}, "git_rev": "r",
+                                 "bogus": 1}])")
+                   .has_value());
+  EXPECT_FALSE(ParseRecords(R"([{"workload": "w", "states_per_sec": 1,
+                                 "counters": {"bogus_counter": 3},
+                                 "git_rev": "r"}])")
+                   .has_value());
+  // Type confusion: a string where a number belongs and vice versa.
+  EXPECT_FALSE(ParseRecords(R"([{"workload": 3, "states_per_sec": 1,
+                                 "counters": {}, "git_rev": "r"}])")
+                   .has_value());
+  EXPECT_FALSE(ParseRecords(R"([{"workload": "w", "states_per_sec": "fast",
+                                 "counters": {}, "git_rev": "r"}])")
+                   .has_value());
+}
+
+TEST(BenchJson, WriteBenchJsonHonorsOutputDir) {
+  std::string dir = ::testing::TempDir() + "esd_bench_json_test";
+  ::mkdir(dir.c_str(), 0755);
+  ::setenv("ESD_BENCH_JSON_DIR", dir.c_str(), 1);
+  auto path = WriteBenchJson("schema_test", SampleRecords());
+  ::unsetenv("ESD_BENCH_JSON_DIR");
+
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(*path, dir + "/BENCH_schema_test.json");
+  std::ifstream in(*path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  auto parsed = ParseRecords(buf.str());
+  ASSERT_TRUE(parsed.has_value()) << "emitted file must parse back";
+  EXPECT_EQ(parsed->size(), SampleRecords().size());
+}
+
+TEST(BenchJson, GitRevEnvOverrideWinsAndFallbackIsNonEmpty) {
+  ::setenv("ESD_GIT_REV", "deadbee", 1);
+  EXPECT_EQ(GitRev(), "deadbee");
+  ::unsetenv("ESD_GIT_REV");
+  EXPECT_FALSE(GitRev().empty()) << "schema requires the key even w/o git";
+}
+
+}  // namespace
+}  // namespace esd::bench

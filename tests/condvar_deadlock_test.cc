@@ -342,7 +342,7 @@ entry:
       cond_addr = t.wait_cond;
     }
   }
-  ASSERT_EQ(state->cond_waiters.at(cond_addr).size(), 2u);
+  ASSERT_EQ(state->cond_waiters().at(cond_addr).size(), 2u);
 
   // Step until the first signal has executed: exactly one waiter is woken
   // (runnable with cond_signaled), the other remains parked.
@@ -364,7 +364,7 @@ entry:
   }
   EXPECT_EQ(woken, 1) << "a signal must wake exactly one waiter";
   EXPECT_EQ(parked, 1) << "the second waiter stays parked until its signal";
-  EXPECT_EQ(state->cond_waiters.at(cond_addr).size(), 1u);
+  EXPECT_EQ(state->cond_waiters().at(cond_addr).size(), 1u);
 
   // The program drains both waiters with the second signal and exits clean.
   vm::SingleRunResult rest = vm::RunToCompletion(interp, *state, 100000);

@@ -1,0 +1,160 @@
+// Conservation tests for the hot-path event counters
+// (src/core/event_counters.h): the sink mechanics (nesting, restoration,
+// fieldwise accumulation), and the laws a real synthesis run must obey —
+// counters reconcile with the engine's own statistics, and two identical
+// `--jobs 1` runs produce identical counters (the instrumentation is part
+// of the determinism surface BENCH_*.json relies on).
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "src/core/event_counters.h"
+#include "src/core/synthesizer.h"
+#include "src/workloads/workloads.h"
+
+namespace esd {
+namespace {
+
+TEST(EventCounters, FieldIterationIsFixedCompleteAndUnique) {
+  std::set<std::string> names;
+  size_t count = 0;
+  EventCounters::ForEachField(
+      [&](std::string_view name, uint64_t EventCounters::*) {
+        names.emplace(name);
+        ++count;
+      });
+  EXPECT_EQ(count, 10u) << "new counter fields must join ForEachField";
+  EXPECT_EQ(names.size(), count) << "duplicate counter name";
+  // The names BENCH_*.json and `esdsynth --counters` expose; renaming one
+  // breaks committed baselines, so it must be deliberate.
+  for (const char* expected :
+       {"state_forks", "pages_copied", "bytes_hashed", "frontier_pushes",
+        "frontier_pops", "fingerprint_probes", "sync_fold_reuses",
+        "sync_fold_recomputes", "solver_calls", "expr_allocs"}) {
+    EXPECT_TRUE(names.count(expected)) << expected;
+  }
+}
+
+TEST(EventCounters, AddIsFieldwise) {
+  EventCounters a;
+  EventCounters b;
+  uint64_t v = 1;
+  EventCounters::ForEachField(
+      [&](std::string_view, uint64_t EventCounters::*field) {
+        a.*field = v;
+        b.*field = 1000 + 3 * v;
+        ++v;
+      });
+  EventCounters sum = a;
+  sum.Add(b);
+  EventCounters::ForEachField(
+      [&](std::string_view name, uint64_t EventCounters::*field) {
+        EXPECT_EQ(sum.*field, a.*field + b.*field) << name;
+      });
+}
+
+TEST(EventCounters, ScopedSinksNestAndRestore) {
+  EventCounters* entry_sink = InstalledEventCounters();
+  EventCounters outer;
+  EventCounters inner;
+  {
+    ScopedEventCounters o(&outer);
+    CountEvent(&EventCounters::state_forks);
+    {
+      ScopedEventCounters i(&inner);
+      CountEvent(&EventCounters::state_forks, 5);
+      {
+        ScopedEventCounters mute(nullptr);
+        CountEvent(&EventCounters::state_forks, 100);  // Dropped: no sink.
+      }
+      CountEvent(&EventCounters::pages_copied, 2);
+    }
+    CountEvent(&EventCounters::frontier_pushes, 3);
+  }
+  EXPECT_EQ(outer.state_forks, 1u);
+  EXPECT_EQ(outer.frontier_pushes, 3u);
+  EXPECT_EQ(outer.pages_copied, 0u);
+  EXPECT_EQ(inner.state_forks, 5u);
+  EXPECT_EQ(inner.pages_copied, 2u);
+  EXPECT_EQ(InstalledEventCounters(), entry_sink);
+}
+
+// Conservation over a real run, and run-to-run identity at --jobs 1.
+TEST(EventCounters, SynthesisCountersConserveAndRepeatAtJobs1) {
+  workloads::Workload w = workloads::MakeWorkload("listing1");
+  auto dump = workloads::CaptureDump(*w.module, w.trigger);
+  ASSERT_TRUE(dump.has_value());
+
+  core::SynthesisOptions options;  // jobs = 1.
+  core::SynthesisResult r1 =
+      core::Synthesizer(w.module.get(), options).Synthesize(*dump);
+  core::SynthesisResult r2 =
+      core::Synthesizer(w.module.get(), options).Synthesize(*dump);
+  ASSERT_TRUE(r1.success) << r1.failure_reason;
+  ASSERT_TRUE(r2.success) << r2.failure_reason;
+
+  // Deterministic engine => deterministic instrumentation: every counter
+  // identical across the two runs.
+  EventCounters::ForEachField(
+      [&](std::string_view name, uint64_t EventCounters::*field) {
+        EXPECT_EQ(r1.counters.*field, r2.counters.*field)
+            << name << ": --jobs 1 counters must be bit-reproducible";
+      });
+
+  // Conservation laws against the engine's own accounting:
+  //  - every solver entry point bumps both stats_.queries and solver_calls;
+  //  - every state but the root comes from a Fork (forks that dedup'ed
+  //    away never registered, so forks + 1 >= created);
+  //  - every dedup drop was a fingerprint probe that hit;
+  //  - the frontier cannot pop states that were never pushed.
+  EXPECT_EQ(r1.counters.solver_calls, r1.solver.queries);
+  EXPECT_GE(r1.counters.state_forks + 1, r1.states_created);
+  EXPECT_GE(r1.counters.fingerprint_probes, r1.states_deduped);
+  EXPECT_GE(r1.counters.frontier_pushes, r1.counters.frontier_pops);
+
+  // This workload genuinely exercises every hot path the counters watch.
+  EXPECT_GT(r1.counters.state_forks, 0u);
+  EXPECT_GT(r1.counters.pages_copied, 0u);
+  EXPECT_GT(r1.counters.bytes_hashed, 0u);
+  EXPECT_GT(r1.counters.frontier_pushes, 0u);
+  EXPECT_GT(r1.counters.fingerprint_probes, 0u);
+  EXPECT_GT(r1.counters.solver_calls, 0u);
+  EXPECT_GT(r1.counters.expr_allocs, 0u);
+  EXPECT_GT(r1.counters.sync_fold_recomputes, 0u);
+}
+
+// With a portfolio, SynthesisResult::counters is the sum of the per-worker
+// sinks; the same conservation laws hold with one root state per worker.
+TEST(EventCounters, PortfolioCountersSumAcrossWorkers) {
+  workloads::Workload w = workloads::MakeWorkload("listing1");
+  auto dump = workloads::CaptureDump(*w.module, w.trigger);
+  ASSERT_TRUE(dump.has_value());
+
+  core::SynthesisOptions options;
+  options.jobs = 3;
+  core::SynthesisResult result =
+      core::Synthesizer(w.module.get(), options).Synthesize(*dump);
+  ASSERT_TRUE(result.success) << result.failure_reason;
+
+  EXPECT_GE(result.counters.state_forks + options.jobs, result.states_created);
+  EXPECT_GE(result.counters.fingerprint_probes, result.states_deduped);
+  EXPECT_GE(result.counters.frontier_pushes, result.counters.frontier_pops);
+  // Worker threads count their solver calls; main-thread goal-extraction
+  // queries reach stats only, hence <= rather than ==.
+  EXPECT_LE(result.counters.solver_calls, result.solver.queries);
+  EXPECT_GT(result.counters.state_forks, 0u);
+
+  // The summed counters equal the per-worker reports' sum.
+  EventCounters from_workers;
+  for (const core::WorkerReport& worker : result.workers) {
+    from_workers.Add(worker.counters);
+  }
+  EventCounters::ForEachField(
+      [&](std::string_view name, uint64_t EventCounters::*field) {
+        EXPECT_EQ(result.counters.*field, from_workers.*field) << name;
+      });
+}
+
+}  // namespace
+}  // namespace esd

@@ -1,0 +1,220 @@
+// Property tests for the page-granular copy-on-write address space
+// (src/vm/memory.h): random allocate/write/fork/free interleavings are run
+// in lockstep against a flat reference model that deep-copies every byte on
+// fork, and the two must agree on every byte of every space. The
+// incremental content hash must additionally be write-order independent:
+// rebuilding only the *final* contents in any order lands on the same hash
+// the evolved space maintained store by store.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/solver/expr.h"
+#include "src/vm/memory.h"
+
+namespace esd::vm {
+namespace {
+
+// Flat reference model: no sharing anywhere. A fork copies the full
+// per-byte expression vectors, so COW bugs (a child write bleeding into a
+// parent, a stale shared page) show up as a byte mismatch.
+struct FlatObject {
+  uint32_t size = 0;
+  ObjectKind kind = ObjectKind::kHeap;
+  bool freed = false;
+  std::vector<solver::ExprRef> bytes;  // null entry = never-written zero.
+};
+
+struct FlatSpace {
+  std::vector<FlatObject> objects;  // Indexed by id - 1, like AddressSpace.
+};
+
+// Byte equality via the structural expression hash: the canonical
+// ZeroByte(), an explicit zero constant, and a model null all denote the
+// same content.
+uint64_t ByteHash(const solver::ExprRef& e) {
+  return (e == nullptr ? ZeroByte() : e)->hash();
+}
+
+void ExpectSpacesEqual(const AddressSpace& cow, const FlatSpace& flat) {
+  ASSERT_EQ(cow.NumObjects(), flat.objects.size());
+  for (size_t i = 0; i < flat.objects.size(); ++i) {
+    const uint32_t id = static_cast<uint32_t>(i) + 1;
+    const MemoryObject* obj = cow.Find(id);
+    ASSERT_NE(obj, nullptr) << "object " << id;
+    const FlatObject& ref = flat.objects[i];
+    ASSERT_EQ(obj->size, ref.size) << "object " << id;
+    EXPECT_EQ(obj->freed, ref.freed) << "object " << id;
+    for (uint32_t off = 0; off < ref.size; ++off) {
+      ASSERT_EQ(ByteHash(obj->ByteAt(off)), ByteHash(ref.bytes[off]))
+          << "object " << id << " byte " << off;
+    }
+  }
+}
+
+// Replays only the model's *final* contents into a fresh space, touching
+// offsets in ascending or descending order. Skips null (never-written)
+// bytes; writes everything else, including explicit zeros.
+AddressSpace RebuildFromModel(const FlatSpace& flat, bool descending) {
+  AddressSpace space;
+  for (const FlatObject& ref : flat.objects) {
+    uint32_t id = space.Allocate(ref.size, ref.kind, "rebuilt");
+    for (uint32_t n = 0; n < ref.size; ++n) {
+      uint32_t off = descending ? ref.size - 1 - n : n;
+      if (ref.bytes[off] != nullptr) {
+        space.WriteByte(space.FindWritable(id), off, ref.bytes[off]);
+      }
+    }
+    if (ref.freed) {
+      space.Free(id);
+    }
+  }
+  return space;
+}
+
+TEST(MemoryCow, RandomOpsMatchFlatCopyReferenceModel) {
+  std::mt19937_64 rng(20260808);
+  std::vector<std::pair<AddressSpace, FlatSpace>> spaces(1);
+  constexpr size_t kMaxSpaces = 12;
+
+  for (int op = 0; op < 6000; ++op) {
+    size_t idx = rng() % spaces.size();
+    auto& [cow, flat] = spaces[idx];
+    uint64_t what = rng() % 100;
+    if (what < 10 || flat.objects.empty()) {
+      // Allocate. Sizes straddle the 16-byte page boundary on purpose.
+      uint32_t size = 1 + static_cast<uint32_t>(rng() % 100);
+      ObjectKind kind = static_cast<ObjectKind>(rng() % 3);
+      uint32_t id = cow.Allocate(size, kind, "obj");
+      ASSERT_EQ(id, flat.objects.size() + 1) << "ids must stay dense";
+      FlatObject ref;
+      ref.size = size;
+      ref.kind = kind;
+      ref.bytes.resize(size);
+      flat.objects.push_back(std::move(ref));
+    } else if (what < 75) {
+      // Write one byte of a live object (freed objects are out of
+      // contract for stores; the VM diagnoses those separately).
+      uint32_t id = 0;
+      for (int tries = 0; tries < 8 && id == 0; ++tries) {
+        uint32_t candidate = 1 + static_cast<uint32_t>(rng() % flat.objects.size());
+        if (!flat.objects[candidate - 1].freed) {
+          id = candidate;
+        }
+      }
+      if (id == 0) {
+        continue;
+      }
+      FlatObject& ref = flat.objects[id - 1];
+      uint32_t off = static_cast<uint32_t>(rng() % ref.size);
+      // Mostly constants (including zero, which is hash-neutral), sometimes
+      // a symbolic byte so shared pages carry non-constant expressions too.
+      solver::ExprRef value =
+          rng() % 10 == 0
+              ? solver::MakeVar(1000 + static_cast<uint32_t>(rng() % 8), 8, "sym")
+              : solver::MakeConst(8, rng() % 256);
+      cow.WriteByte(cow.FindWritable(id), off, value);
+      ref.bytes[off] = value;
+    } else if (what < 85 && spaces.size() < kMaxSpaces) {
+      // Fork: COW copy of the space vs. deep copy of the model. (ExprRefs
+      // are shared but immutable, so copying the vectors is a deep copy of
+      // the content.)
+      spaces.emplace_back(spaces[idx]);
+    } else if (what < 90) {
+      uint32_t id = 1 + static_cast<uint32_t>(rng() % flat.objects.size());
+      bool was_live = !flat.objects[id - 1].freed;
+      EXPECT_EQ(cow.Free(id), was_live);
+      flat.objects[id - 1].freed = true;
+    } else {
+      // Spot-check one whole object right now, mid-history.
+      uint32_t id = 1 + static_cast<uint32_t>(rng() % flat.objects.size());
+      const MemoryObject* obj = cow.Find(id);
+      ASSERT_NE(obj, nullptr);
+      const FlatObject& ref = flat.objects[id - 1];
+      for (uint32_t off = 0; off < ref.size; ++off) {
+        ASSERT_EQ(ByteHash(obj->ByteAt(off)), ByteHash(ref.bytes[off]))
+            << "object " << id << " byte " << off << " after op " << op;
+      }
+    }
+  }
+
+  // Every space — original and every fork, however the ops interleaved —
+  // must agree with its own model on every byte, and its incrementally
+  // maintained content hash must equal the hash of its final contents
+  // rebuilt fresh in either direction.
+  for (auto& [cow, flat] : spaces) {
+    ExpectSpacesEqual(cow, flat);
+    EXPECT_EQ(cow.content_hash(),
+              RebuildFromModel(flat, /*descending=*/false).content_hash());
+    EXPECT_EQ(cow.content_hash(),
+              RebuildFromModel(flat, /*descending=*/true).content_hash());
+  }
+}
+
+TEST(MemoryCow, ChildWriteLeavesParentUntouched) {
+  AddressSpace parent;
+  uint32_t id = parent.Allocate(64, ObjectKind::kHeap, "shared");
+  parent.WriteByte(parent.FindWritable(id), 3, solver::MakeConst(8, 17));
+  parent.WriteByte(parent.FindWritable(id), 40, solver::MakeConst(8, 99));
+  uint64_t parent_hash = parent.content_hash();
+
+  AddressSpace child = parent;  // Shares both pages.
+  ASSERT_EQ(child.content_hash(), parent_hash);
+
+  // Overwrite one byte and touch a fresh page in the child only.
+  child.WriteByte(child.FindWritable(id), 3, solver::MakeConst(8, 18));
+  child.WriteByte(child.FindWritable(id), 20, solver::MakeConst(8, 1));
+  EXPECT_NE(child.content_hash(), parent_hash);
+
+  EXPECT_EQ(parent.content_hash(), parent_hash) << "child wrote through COW";
+  const MemoryObject* pobj = parent.Find(id);
+  EXPECT_EQ(ByteHash(pobj->ByteAt(3)), solver::MakeConst(8, 17)->hash());
+  EXPECT_EQ(ByteHash(pobj->ByteAt(20)), ZeroByte()->hash());
+  EXPECT_EQ(ByteHash(pobj->ByteAt(40)), solver::MakeConst(8, 99)->hash());
+
+  // Undoing the child's edits restores the byte-content hash exactly (XOR
+  // in/out is lossless), even though the pages are no longer shared.
+  child.WriteByte(child.FindWritable(id), 3, solver::MakeConst(8, 17));
+  child.WriteByte(child.FindWritable(id), 20, solver::MakeConst(8, 0));
+  EXPECT_EQ(child.content_hash(), parent_hash);
+}
+
+TEST(MemoryCow, UntouchedSlotsReadAsCanonicalZero) {
+  AddressSpace space;
+  uint32_t id = space.Allocate(33, ObjectKind::kStack, "zeros");
+  const MemoryObject* obj = space.Find(id);
+  for (uint32_t off = 0; off < 33; ++off) {
+    EXPECT_EQ(obj->ByteAt(off)->hash(), solver::MakeConst(8, 0)->hash());
+  }
+  // All-zero allocation is hash-neutral; so is explicitly storing zero.
+  EXPECT_EQ(space.content_hash(), AddressSpace().content_hash());
+  space.WriteByte(space.FindWritable(id), 5, solver::MakeConst(8, 0));
+  EXPECT_EQ(space.content_hash(), AddressSpace().content_hash());
+}
+
+TEST(MemoryCow, AllocateInitMatchesExplicitStores) {
+  std::vector<uint8_t> init = {0, 7, 0, 255, 1, 0, 42};
+  AddressSpace a;
+  uint32_t ia = a.AllocateInit(16, ObjectKind::kGlobal, "g", init);
+
+  AddressSpace b;
+  uint32_t ib = b.Allocate(16, ObjectKind::kGlobal, "g");
+  for (size_t i = 0; i < init.size(); ++i) {
+    b.WriteByte(b.FindWritable(ib), static_cast<uint32_t>(i),
+                solver::MakeConst(8, init[i]));
+  }
+
+  EXPECT_EQ(a.content_hash(), b.content_hash());
+  const MemoryObject* oa = a.Find(ia);
+  const MemoryObject* ob = b.Find(ib);
+  for (uint32_t off = 0; off < 16; ++off) {
+    EXPECT_EQ(ByteHash(oa->ByteAt(off)), ByteHash(ob->ByteAt(off))) << off;
+  }
+}
+
+}  // namespace
+}  // namespace esd::vm

@@ -4,11 +4,17 @@
 // synthesis is bit-reproducible run to run.
 #include <gtest/gtest.h>
 
+#include <map>
+#include <string>
+
 #include "src/core/synthesizer.h"
+#include "src/fuzz/generator.h"
 #include "src/replay/replayer.h"
+#include "src/vm/engine.h"
 #include "src/vm/fingerprint.h"
 #include "src/vm/interpreter.h"
 #include "src/vm/state.h"
+#include "src/workloads/trigger.h"
 #include "src/workloads/workloads.h"
 
 namespace esd {
@@ -117,14 +123,14 @@ TEST(StateFingerprint, SyncStateDistinguishes) {
   ASSERT_EQ(a.Fingerprint(), b.Fingerprint());
   // A locked mutex changes the fingerprint; an unlocked entry does not
   // (so "never locked" and "locked then released" states can merge).
-  a.mutexes[64] = vm::MutexState{true, 1, ir::InstRef{0, 0, 0}};
+  a.mutable_mutexes()[64] = vm::MutexState{true, 1, ir::InstRef{0, 0, 0}};
   EXPECT_NE(a.Fingerprint(), b.Fingerprint());
-  b.mutexes[64] = vm::MutexState{false, ir::kInvalidIndex, {}};
+  b.mutable_mutexes()[64] = vm::MutexState{false, ir::kInvalidIndex, {}};
   EXPECT_NE(a.Fingerprint(), b.Fingerprint());
-  a.mutexes[64].locked = false;
+  a.mutable_mutexes()[64].locked = false;
   EXPECT_EQ(a.Fingerprint(), b.Fingerprint());
   // Condvar wait queues count too.
-  a.cond_waiters[128] = {1, 2};
+  a.mutable_cond_waiters()[128] = {1, 2};
   EXPECT_NE(a.Fingerprint(), b.Fingerprint());
 }
 
@@ -143,6 +149,120 @@ TEST(StateFingerprint, ConstraintsDistinguish) {
   a.AddConstraint(extra);
   b.AddConstraint(extra);
   EXPECT_NE(a.Fingerprint(), b.Fingerprint());
+}
+
+// ---- Fingerprint stability --------------------------------------------------
+
+// The fingerprint must depend on the memory *contents*, not on the order
+// the stores that produced them executed in (the COW content hash XORs old
+// contributions out and new ones in, so intermediate overwrites cancel).
+TEST(StateFingerprint, WriteOrderIndependent) {
+  vm::ExecutionState a;
+  vm::ExecutionState b;
+  uint32_t ia = a.mem.Allocate(40, vm::ObjectKind::kGlobal, "g");
+  uint32_t ib = b.mem.Allocate(40, vm::ObjectKind::kGlobal, "g");
+
+  // a: ascending offsets; b: descending, with a transient wrong value at
+  // offset 20 that is later overwritten with the final one.
+  for (uint32_t off = 0; off < 40; off += 4) {
+    a.mem.WriteByte(a.mem.FindWritable(ia), off,
+                    solver::MakeConst(8, 100 + off));
+  }
+  b.mem.WriteByte(b.mem.FindWritable(ib), 20, solver::MakeConst(8, 250));
+  for (uint32_t n = 0; n < 40; n += 4) {
+    uint32_t off = 36 - n;
+    b.mem.WriteByte(b.mem.FindWritable(ib), off,
+                    solver::MakeConst(8, 100 + off));
+  }
+  EXPECT_EQ(a.Fingerprint(), b.Fingerprint())
+      << "same final contents via different store orders must collide";
+}
+
+// Forking must neither disturb the parent's fingerprint (stability under
+// COW sharing) nor tie the child to it: a child write diverges, and the
+// matching parent write reconverges.
+TEST(StateFingerprint, ForkedChildWritesLeaveParentIntact) {
+  vm::ExecutionState parent;
+  uint32_t id = parent.mem.Allocate(8, vm::ObjectKind::kHeap, "h");
+  parent.mem.WriteByte(parent.mem.FindWritable(id), 0,
+                       solver::MakeConst(8, 11));
+  const uint64_t before = parent.Fingerprint();
+
+  vm::StatePtr child = parent.Fork(2);
+  EXPECT_EQ(child->Fingerprint(), before)
+      << "a fork shares all content, so it starts at the parent's print";
+
+  child->mem.WriteByte(child->mem.FindWritable(id), 4,
+                       solver::MakeConst(8, 77));
+  EXPECT_NE(child->Fingerprint(), before);
+  EXPECT_EQ(parent.Fingerprint(), before)
+      << "child writes must not leak into the parent through shared pages";
+
+  parent.mem.WriteByte(parent.mem.FindWritable(id), 4,
+                       solver::MakeConst(8, 77));
+  EXPECT_EQ(parent.Fingerprint(), child->Fingerprint());
+}
+
+// Collision freedom over the fuzz corpus: 6 bug kinds x 35 seeds = 210
+// generated programs, each executed concretely under its planted trigger
+// while the fingerprint stream is folded into one 64-bit digest per
+// program. Distinct programs may legitimately share *individual*
+// fingerprints (e.g. every initial state hashes the same pc/zero-memory
+// shape), but the folded trajectories must be pairwise distinct — if two
+// different programs' whole runs collided, the dedup table would be
+// conflating genuinely different explorations. Also pins determinism: the
+// fold is a pure function of (kind, seed).
+TEST(StateFingerprint, FuzzCorpusTrajectoryFoldsAreCollisionFree) {
+  constexpr uint64_t kSeedsPerKind = 35;
+  constexpr uint64_t kChunk = 40;  // Instructions between fingerprint samples.
+
+  auto fold_trajectory = [](fuzz::BugKind kind, uint64_t seed) {
+    fuzz::GeneratorParams params;
+    params.kind = kind;
+    params.seed = seed;
+    fuzz::GeneratedProgram prog = fuzz::Generate(params);
+    solver::ConstraintSolver solver;
+    workloads::PrefixInputProvider inputs(prog.trigger.inputs);
+    workloads::ScriptedSyncPolicy policy(prog.trigger.schedule);
+    vm::Interpreter::Options options;
+    options.input_provider = &inputs;
+    options.policy = &policy;
+    vm::Interpreter interp(prog.module.get(), &solver, options);
+    auto main_fn = prog.module->FindFunction("main");
+    if (!main_fn.has_value()) {
+      ADD_FAILURE() << "generated program without main";
+      return uint64_t{0};
+    }
+    vm::StatePtr state = interp.MakeInitialState(*main_fn, 0);
+    uint64_t fold = vm::FingerprintMix64(state->Fingerprint());
+    for (int chunk = 0; chunk < 500; ++chunk) {
+      vm::SingleRunResult r = vm::RunToCompletion(interp, *state, kChunk);
+      fold = vm::FingerprintMix64(fold ^ state->Fingerprint());
+      if (r.completed || r.instructions < kChunk) {
+        break;
+      }
+    }
+    return fold;
+  };
+
+  std::map<uint64_t, std::string> seen;
+  for (uint32_t k = 0; k < fuzz::kNumBugKinds; ++k) {
+    fuzz::BugKind kind = static_cast<fuzz::BugKind>(k);
+    for (uint64_t seed = 1; seed <= kSeedsPerKind; ++seed) {
+      uint64_t fold = fold_trajectory(kind, seed);
+      std::string label =
+          std::string(fuzz::BugKindName(kind)) + "/" + std::to_string(seed);
+      auto [it, inserted] = seen.emplace(fold, label);
+      EXPECT_TRUE(inserted) << "trajectory-fold collision between " << label
+                            << " and " << it->second;
+    }
+  }
+  ASSERT_EQ(seen.size(), fuzz::kNumBugKinds * kSeedsPerKind);
+
+  // Determinism spot check: re-running a program reproduces its fold.
+  uint64_t again = fold_trajectory(fuzz::BugKind::kDeadlock, 1);
+  EXPECT_TRUE(seen.count(again))
+      << "re-running deadlock/1 produced a fold unseen in the first pass";
 }
 
 // ---- Sleep-set unit tests ---------------------------------------------------

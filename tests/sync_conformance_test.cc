@@ -379,8 +379,8 @@ entry:
     }
   }
   EXPECT_EQ(rw_waiters, 2);
-  ASSERT_EQ(state->rwlocks.count(rw_addr), 1u);
-  const vm::RwLockState& rw = state->rwlocks.at(rw_addr);
+  ASSERT_EQ(state->rwlocks().count(rw_addr), 1u);
+  const vm::RwLockState& rw = state->rwlocks().at(rw_addr);
   EXPECT_EQ(rw.writer, ir::kInvalidIndex);
   EXPECT_EQ(rw.readers.size(), 2u);
 }
@@ -451,7 +451,7 @@ entry:
   }
   ASSERT_NE(waiter, nullptr);
   EXPECT_NE(waiter->wait_sync, 0u);
-  EXPECT_EQ(state->semaphores.at(waiter->wait_sync).count, 0u);
+  EXPECT_EQ(state->semaphores().at(waiter->wait_sync).count, 0u);
   // Run to completion: the post wakes the waiter and it prints.
   vm::SingleRunResult rest = vm::RunToCompletion(interp, *state, 100000);
   ASSERT_TRUE(rest.completed);

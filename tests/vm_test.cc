@@ -89,11 +89,11 @@ TEST(MemoryTest, CopyOnWriteSharesUntilWrite) {
   const MemoryObject* before = b.Find(id);
   EXPECT_EQ(a.Find(id), before);
   MemoryObject* wa = a.FindWritable(id);
-  wa->bytes[0] = solver::MakeConst(8, 42);
+  a.WriteByte(wa, 0, solver::MakeConst(8, 42));
   // b still sees the old object.
   EXPECT_NE(a.Find(id), b.Find(id));
-  EXPECT_TRUE(b.Find(id)->bytes[0]->IsConstValue(0));
-  EXPECT_TRUE(a.Find(id)->bytes[0]->IsConstValue(42));
+  EXPECT_TRUE(b.Find(id)->ByteAt(0)->IsConstValue(0));
+  EXPECT_TRUE(a.Find(id)->ByteAt(0)->IsConstValue(42));
 }
 
 TEST(MemoryTest, FreeKeepsObjectForDiagnosis) {

@@ -6,7 +6,7 @@
 //            [--dedup | --no-dedup] [--dedup-private] [--no-sleep-sets]
 //            [--no-solver-rewrite] [--no-solver-slice]
 //            [--no-solver-incremental] [--no-solver-pipeline]
-//            [--solver-cache-shared | --solver-cache-private]
+//            [--solver-cache-shared | --solver-cache-private] [--counters]
 //
 // Reads the program and the coredump, synthesizes an execution that
 // reproduces the reported bug, and writes the execution file for esdplay.
@@ -58,6 +58,9 @@ void Usage(std::ostream& os = std::cerr) {
      << "                          with --jobs N: one solver query cache\n"
      << "                          shared by all workers (default) or\n"
      << "                          per-worker caches only\n"
+     << "  --counters              print the hot-path event counters (state\n"
+     << "                          forks, COW page copies, frontier traffic,\n"
+     << "                          solver calls; summed across workers)\n"
      << "  --no-proximity          ablation: disable proximity-guided search\n"
      << "  --no-intermediate-goals ablation: disable static anchor points\n"
      << "  --no-critical-edges     ablation: disable path abandonment\n"
@@ -82,6 +85,7 @@ int main(int argc, char** argv) {
   std::string program_path = argv[1];
   std::string dump_path = argv[2];
   std::string out_path = "execution.esdx";
+  bool print_counters = false;
   core::SynthesisOptions options;
   for (int i = 3; i < argc; ++i) {
     std::string arg = argv[i];
@@ -126,6 +130,8 @@ int main(int argc, char** argv) {
       options.solver_cache_shared = true;
     } else if (arg == "--solver-cache-private") {
       options.solver_cache_shared = false;
+    } else if (arg == "--counters") {
+      print_counters = true;
     } else if (arg == "--no-proximity") {
       options.use_proximity = false;
     } else if (arg == "--no-intermediate-goals") {
@@ -181,6 +187,14 @@ int main(int argc, char** argv) {
             << " conflicts, " << ss.sat_decisions << " decisions, "
             << ss.sat_propagations << " propagations, " << ss.sat_learned
             << " learned clauses\n";
+  if (print_counters) {
+    std::cout << "esdsynth: counters:";
+    EventCounters::ForEachField(
+        [&](std::string_view name, uint64_t EventCounters::*field) {
+          std::cout << " " << name << "=" << result.counters.*field;
+        });
+    std::cout << "\n";
+  }
   for (size_t w = 0; w < result.workers.size(); ++w) {
     const core::WorkerReport& wr = result.workers[w];
     std::cout << "esdsynth:   worker " << w << " [" << wr.strategy << "] "
