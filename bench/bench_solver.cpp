@@ -32,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/arith_workloads.h"
 #include "bench/bench_common.h"
 #include "bench/bench_json.h"
 #include "src/core/synthesizer.h"
@@ -47,289 +48,6 @@ struct BenchCase {
   report::CoreDump dump;
   bool enforce_bar = false;  // >= 25% conflicts-or-wall on jobs == 1.
 };
-
-// Listing 1's deadlock with factoring guards in each worker: the threads
-// read two symbolic inputs, run commuting lock/unlock noise on a private
-// mutex (so many interleavings reach the guard in distinct states), and
-// branch on a * b == 899 over the full 32-bit inputs — a nonlinear constraint every
-// branch feasibility check re-asks. Both edges proceed into the critical
-// section, so the deadlock itself stays schedule-driven.
-std::shared_ptr<ir::Module> DeadlockArithModule() {
-  return workloads::ParseWorkload(R"(
-global $mode = zero 4
-global $idx = zero 4
-global $flag = zero 4
-global $m1 = zero 8
-global $m2 = zero 8
-global $n1 = zero 8
-global $env_mode = str "mode"
-global $a_name = str "a"
-global $b_name = str "b"
-global $x_name = str "x"
-global $y_name = str "y"
-
-func @critical_section() : void {
-entry:
-  call @mutex_lock($m1)
-  call @mutex_lock($m2)
-  %mv = load i32, $mode
-  %is_y = icmp eq %mv, i32 1
-  %iv = load i32, $idx
-  %is_one = icmp eq %iv, i32 1
-  %both = and %is_y, %is_one
-  condbr %both, swap, done
-swap:
-  call @mutex_unlock($m1)
-  call @mutex_lock($m1)
-  br done
-done:
-  call @mutex_unlock($m2)
-  call @mutex_unlock($m1)
-  ret
-}
-
-func @worker(%arg: ptr) : void {
-entry:
-  call @mutex_lock($n1)
-  call @mutex_unlock($n1)
-  %a = call @esd_input_i32($a_name)
-  %b = call @esd_input_i32($b_name)
-  %p = mul %a, %b
-  %slot = alloca 4
-  store i32 0, %slot
-  br loop
-loop:
-  %i = load i32, %slot
-  %more = icmp ult %i, i32 2
-  condbr %more, body, enter
-body:
-  %target = add %i, i32 898
-  %ok = icmp eq %p, %target
-  condbr %ok, next, next
-next:
-  %i2 = add %i, i32 1
-  store %i2, %slot
-  br loop
-enter:
-  call @critical_section()
-  ret
-}
-
-func @main() : i32 {
-entry:
-  %c = call @getchar()
-  %is_m = icmp eq %c, i32 109
-  condbr %is_m, inc, checkenv
-inc:
-  %old = load i32, $idx
-  %new = add %old, i32 1
-  store %new, $idx
-  br checkenv
-checkenv:
-  %env = call @getenv($env_mode)
-  %e0 = load i8, %env
-  %is_y = icmp eq %e0, i8 89
-  condbr %is_y, mod_y, mod_z
-mod_y:
-  store i32 1, $mode
-  br guards
-mod_z:
-  store i32 2, $mode
-  br guards
-guards:
-  %x = call @esd_input_i32($x_name)
-  %y = call @esd_input_i32($y_name)
-  %p = mul %x, %y
-  %slot = alloca 4
-  store i32 0, %slot
-  br gloop
-gloop:
-  %i = load i32, %slot
-  %more = icmp ult %i, i32 8
-  condbr %more, gbody, gate
-gbody:
-  %t = add %i, i32 897
-  %ok = icmp eq %p, %t
-  condbr %ok, gset, gnext
-gset:
-  store i32 1, $flag
-  br gnext
-gnext:
-  %i2 = add %i, i32 1
-  store %i2, %slot
-  br gloop
-gate:
-  %f = load i32, $flag
-  %pass = icmp eq %f, i32 0
-  condbr %pass, spawn, bail
-bail:
-  ret i32 0
-spawn:
-  %t1 = call @thread_create(@worker, null)
-  %t2 = call @thread_create(@worker, null)
-  call @thread_join(%t1)
-  call @thread_join(%t2)
-  ret i32 0
-}
-)");
-}
-
-// The §4.2 lost-update race with factoring guards and commuting mutex
-// noise in three threads: many interleavings reach each thread's symbolic
-// branches in distinct states, so the query stream is long and repetitive —
-// the shape the pipeline's caches and incremental session exploit. Each
-// thread's guards use different constants so the streams overlap across
-// states (cache food) but not across threads (distinct components).
-std::shared_ptr<ir::Module> RaceArithModule() {
-  return workloads::ParseWorkload(R"(
-global $counter = zero 4
-global $flag = zero 4
-global $m1 = zero 8
-global $m2 = zero 8
-global $m3 = zero 8
-global $a_name = str "a"
-global $b_name = str "b"
-global $c_name = str "c"
-global $d_name = str "d"
-global $x_name = str "x"
-global $y_name = str "y"
-
-func @bump1(%arg: ptr) : void {
-entry:
-  call @mutex_lock($m1)
-  call @mutex_unlock($m1)
-  call @mutex_lock($m1)
-  call @mutex_unlock($m1)
-  %a = call @esd_input_i32($a_name)
-  %b = call @esd_input_i32($b_name)
-  %p = mul %a, %b
-  %slot = alloca 4
-  store i32 0, %slot
-  br loop
-loop:
-  %i = load i32, %slot
-  %more = icmp ult %i, i32 3
-  condbr %more, body, go
-body:
-  %target = add %i, i32 897
-  %ok = icmp eq %p, %target
-  condbr %ok, next, next
-next:
-  %i2 = add %i, i32 1
-  store %i2, %slot
-  br loop
-go:
-  %v = load i32, $counter
-  %n = add %v, i32 1
-  store %n, $counter
-  ret
-}
-
-func @bump2(%arg: ptr) : void {
-entry:
-  call @mutex_lock($m2)
-  call @mutex_unlock($m2)
-  call @mutex_lock($m2)
-  call @mutex_unlock($m2)
-  %c = call @esd_input_i32($c_name)
-  %p = mul %c, %c
-  %slot = alloca 4
-  store i32 0, %slot
-  br loop
-loop:
-  %i = load i32, %slot
-  %more = icmp ult %i, i32 3
-  condbr %more, body, go
-body:
-  %target = add %i, i32 288
-  %ok = icmp eq %p, %target
-  condbr %ok, next, next
-next:
-  %i2 = add %i, i32 1
-  store %i2, %slot
-  br loop
-go:
-  %v = load i32, $counter
-  %n = add %v, i32 1
-  store %n, $counter
-  ret
-}
-
-func @bump3(%arg: ptr) : void {
-entry:
-  call @mutex_lock($m3)
-  call @mutex_unlock($m3)
-  call @mutex_lock($m3)
-  call @mutex_unlock($m3)
-  %d = call @esd_input_i32($d_name)
-  %s = add %d, i32 3
-  %t = add %d, i32 5
-  %p = mul %s, %t
-  %slot = alloca 4
-  store i32 0, %slot
-  br loop
-loop:
-  %i = load i32, %slot
-  %more = icmp ult %i, i32 3
-  condbr %more, body, go
-body:
-  %target = add %i, i32 322
-  %ok = icmp eq %p, %target
-  condbr %ok, next, next
-next:
-  %i2 = add %i, i32 1
-  store %i2, %slot
-  br loop
-go:
-  %v = load i32, $counter
-  %n = add %v, i32 1
-  store %n, $counter
-  ret
-}
-
-func @main() : i32 {
-entry:
-  %x = call @esd_input_i32($x_name)
-  %y = call @esd_input_i32($y_name)
-  %p = mul %x, %y
-  %slot = alloca 4
-  store i32 0, %slot
-  br gloop
-gloop:
-  %i = load i32, %slot
-  %more = icmp ult %i, i32 8
-  condbr %more, gbody, gate
-gbody:
-  %t = add %i, i32 897
-  %ok = icmp eq %p, %t
-  condbr %ok, gset, gnext
-gset:
-  store i32 1, $flag
-  br gnext
-gnext:
-  %i2 = add %i, i32 1
-  store %i2, %slot
-  br gloop
-gate:
-  %f = load i32, $flag
-  %pass = icmp eq %f, i32 0
-  condbr %pass, spawn, bail
-bail:
-  ret i32 0
-spawn:
-  %t1 = call @thread_create(@bump1, null)
-  %t2 = call @thread_create(@bump2, null)
-  %t3 = call @thread_create(@bump3, null)
-  call @thread_join(%t1)
-  call @thread_join(%t2)
-  call @thread_join(%t3)
-  %v = load i32, $counter
-  %ok = icmp ne %v, i32 1
-  call @esd_assert(%ok)
-  ret i32 0
-}
-)");
-}
 
 struct Mode {
   const char* name;
@@ -387,15 +105,8 @@ int main() {
 
   std::vector<BenchCase> cases;
   {
-    auto module = DeadlockArithModule();
-    workloads::Trigger trigger;
-    trigger.inputs = {
-        {"getchar", 109}, {"env:mode[0]", 'Y'}, {"a", 29}, {"b", 31}};
-    // T1 runs noise (2 events) + lock M1, lock M2, unlock M1 (5 total), then
-    // T2 runs its noise and takes M1 (3 events) and blocks on M2, then T1
-    // blocks reacquiring M1 -> circular wait.
-    trigger.schedule = {{1, 5, 2}, {2, 3, 1}};
-    auto dump = workloads::CaptureDump(*module, trigger);
+    auto module = bench::DeadlockArithModule();
+    auto dump = workloads::CaptureDump(*module, bench::DeadlockArithTrigger());
     if (!dump.has_value()) {
       std::fprintf(stderr, "deadlock-arith: trigger did not manifest the bug\n");
       return 1;
@@ -403,7 +114,7 @@ int main() {
     cases.push_back(BenchCase{"deadlock-arith", module, *dump, true});
   }
   {
-    auto module = RaceArithModule();
+    auto module = bench::RaceArithModule();
     cases.push_back(
         BenchCase{"race-arith", module, workloads::AssertSiteDump(*module), true});
   }

@@ -1,0 +1,51 @@
+#include "src/analysis/context.h"
+
+namespace esd::analysis {
+
+const Cfg& AnalysisContext::GetCfg(uint32_t func) {
+  std::unique_lock<std::mutex> lock(mu_, std::defer_lock);
+  if (!Sealed()) {
+    lock.lock();
+  }
+  auto it = cfgs_.find(func);
+  if (it == cfgs_.end()) {
+    it = cfgs_.emplace(func, std::make_unique<Cfg>(*module_, func)).first;
+  }
+  return *it->second;
+}
+
+const std::vector<AnalysisContext::DefSite>& AnalysisContext::Defs(
+    uint32_t func) {
+  std::unique_lock<std::mutex> lock(mu_, std::defer_lock);
+  if (!Sealed()) {
+    lock.lock();
+  }
+  auto it = defs_.find(func);
+  if (it != defs_.end()) {
+    return *it->second;
+  }
+  const ir::Function& fn = module_->Func(func);
+  auto index = std::make_unique<std::vector<DefSite>>(fn.num_regs);
+  for (uint32_t b = 0; b < fn.blocks.size(); ++b) {
+    for (uint32_t i = 0; i < fn.blocks[b].insts.size(); ++i) {
+      const ir::Instruction& inst = fn.blocks[b].insts[i];
+      if (inst.result >= 0 &&
+          static_cast<uint32_t>(inst.result) < index->size()) {
+        DefSite& slot = (*index)[inst.result];
+        slot.inst = &inst;
+        slot.site = ir::InstRef{func, b, i};
+      }
+    }
+  }
+  return *defs_.emplace(func, std::move(index)).first->second;
+}
+
+void AnalysisContext::PrewarmAll() {
+  for (uint32_t f = 0; f < module_->NumFunctions(); ++f) {
+    (void)GetCfg(f);
+    (void)Defs(f);
+  }
+  sealed_.store(true, std::memory_order_release);
+}
+
+}  // namespace esd::analysis

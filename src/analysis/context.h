@@ -1,0 +1,65 @@
+// ESD analysis: per-module shared analysis artifacts.
+//
+// Every analysis used to rebuild its own CFG and rescan function bodies for
+// register definitions. AnalysisContext caches both once per module:
+//   - one analysis::Cfg per function, shared by the distance calculator,
+//     the critical-edge walk, the lock-order checker, and the IR passes;
+//   - one definition index per function (registers are statically assigned
+//     once, so each register has a unique defining instruction), replacing
+//     reaching_defs' O(function) linear def scans.
+//
+// Thread-safety mirrors DistanceCalculator's sealed-cache contract: fills
+// are serialized by an internal mutex until PrewarmAll() builds every entry
+// and seals the context, after which lookups are lock-free reads of
+// immutable maps (the portfolio shares one context across workers).
+#ifndef ESD_SRC_ANALYSIS_CONTEXT_H_
+#define ESD_SRC_ANALYSIS_CONTEXT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/analysis/cfg.h"
+#include "src/ir/module.h"
+
+namespace esd::analysis {
+
+class AnalysisContext {
+ public:
+  explicit AnalysisContext(const ir::Module* module) : module_(module) {}
+
+  const ir::Module& module() const { return *module_; }
+
+  // Shared per-function CFG (built lazily, cached for the module lifetime).
+  const Cfg& GetCfg(uint32_t func);
+
+  // The unique static definition of one register (parameters and undefined
+  // registers have inst == nullptr).
+  struct DefSite {
+    const ir::Instruction* inst = nullptr;
+    ir::InstRef site;
+  };
+
+  // Definition index for `func`, indexed by register number.
+  const std::vector<DefSite>& Defs(uint32_t func);
+
+  // Builds every CFG and def index, then seals: subsequent lookups are
+  // lock-free. Must complete before concurrent readers start.
+  void PrewarmAll();
+
+ private:
+  bool Sealed() const { return sealed_.load(std::memory_order_acquire); }
+
+  const ir::Module* module_;
+  std::mutex mu_;
+  std::atomic<bool> sealed_{false};
+  std::map<uint32_t, std::unique_ptr<Cfg>> cfgs_;
+  std::map<uint32_t, std::unique_ptr<std::vector<DefSite>>> defs_;
+};
+
+}  // namespace esd::analysis
+
+#endif  // ESD_SRC_ANALYSIS_CONTEXT_H_

@@ -1,0 +1,174 @@
+// ESD analysis: generic fixed-point dataflow engine (ROADMAP item #1).
+//
+// Modeled on Rir's generic_static_analysis.h: an analysis is a small policy
+// type supplying an abstract State, a merge (join) operator, and a
+// per-instruction transfer function; the engine owns the worklist fixpoint
+// over an `analysis::Cfg`, keeps one State snapshot per basic block at the
+// block's *flow entry* (before the first instruction for forward analyses,
+// after the terminator for backward ones), and reconstructs the state at any
+// instruction on demand by re-applying transfers from the snapshot — the
+// seek-to-instruction pattern that keeps memory at O(blocks) states instead
+// of O(instructions).
+//
+// The Analysis policy type must provide:
+//
+//   using State = ...;                    // copyable abstract state
+//   State InitialState(uint32_t block);   // flow-entry state before any join
+//   bool Join(State* into, const State& from);   // true if *into changed
+//   void Transfer(const ir::Instruction& inst, uint32_t block, uint32_t inst_index,
+//                 State* state);          // may observe/record side facts
+//
+// Convergence requires the usual lattice conditions: Join computes an upper
+// bound, Transfer is monotone, and chains are finite. When Transfer also
+// distributes over Join (every analysis in this repo does), the fixpoint
+// equals the meet-over-all-paths solution, which is what makes the ports of
+// the Dijkstra-based distance tables bit-identical (distance.cc).
+//
+// Every block application is counted into EventCounters::dataflow_iterations
+// so `esdsynth --counters` and BENCH_*.json expose fixed-point effort.
+#ifndef ESD_SRC_ANALYSIS_DATAFLOW_H_
+#define ESD_SRC_ANALYSIS_DATAFLOW_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/analysis/cfg.h"
+#include "src/core/event_counters.h"
+#include "src/ir/module.h"
+
+namespace esd::analysis {
+
+enum class Direction {
+  kForward,   // States flow entry -> terminator, along succ edges.
+  kBackward,  // States flow terminator -> entry, along pred edges.
+};
+
+template <typename Analysis>
+class DataflowEngine {
+ public:
+  using State = typename Analysis::State;
+
+  DataflowEngine(const ir::Function& fn, const Cfg& cfg, Direction direction,
+                 Analysis* analysis)
+      : fn_(fn), cfg_(cfg), direction_(direction), analysis_(analysis) {}
+
+  // Runs the worklist to a fixpoint. Deterministic: the initial visit order
+  // is flow order (entry-first for forward, exit-first for backward) and
+  // re-queued blocks are processed LIFO, so repeated runs over the same
+  // function produce identical state sequences and iteration counts.
+  void Run() {
+    const size_t n = cfg_.NumBlocks();
+    entry_.clear();
+    entry_.reserve(n);
+    for (uint32_t b = 0; b < n; ++b) {
+      entry_.push_back(analysis_->InitialState(b));
+    }
+    std::vector<char> queued(n, 1);
+    std::vector<uint32_t> worklist;
+    worklist.reserve(n);
+    // Pushed in reverse flow order so pop_back() visits flow order first.
+    if (direction_ == Direction::kForward) {
+      for (uint32_t b = static_cast<uint32_t>(n); b-- > 0;) {
+        worklist.push_back(b);
+      }
+    } else {
+      for (uint32_t b = 0; b < n; ++b) {
+        worklist.push_back(b);
+      }
+    }
+    iterations_ = 0;
+    while (!worklist.empty()) {
+      uint32_t b = worklist.back();
+      worklist.pop_back();
+      queued[b] = 0;
+      ++iterations_;
+      State out = ApplyBlock(b);
+      const BlockInfo& info = cfg_.Block(b);
+      const std::vector<uint32_t>& targets =
+          direction_ == Direction::kForward ? info.succs : info.preds;
+      for (uint32_t t : targets) {
+        if (analysis_->Join(&entry_[t], out) && !queued[t]) {
+          queued[t] = 1;
+          worklist.push_back(t);
+        }
+      }
+    }
+    CountEvent(&EventCounters::dataflow_iterations, iterations_);
+  }
+
+  // Fixpoint snapshot at the block's flow entry (before the first
+  // instruction for forward analyses, after the terminator for backward).
+  const State& EntryState(uint32_t block) const { return entry_[block]; }
+
+  // Snapshot pushed through the whole block: the state at the block's flow
+  // exit (after the terminator for forward, before the first instruction
+  // for backward).
+  State ExitState(uint32_t block) const { return ApplyBlock(block); }
+
+  // Seek-to-instruction reconstruction from the block snapshot. Forward:
+  // the state immediately *before* `inst` executes. Backward: the state
+  // with `inst` and everything after it already applied.
+  State StateAt(uint32_t block, uint32_t inst) const {
+    State s = entry_[block];
+    const std::vector<ir::Instruction>& insts = fn_.blocks[block].insts;
+    if (direction_ == Direction::kForward) {
+      for (uint32_t i = 0; i < inst && i < insts.size(); ++i) {
+        analysis_->Transfer(insts[i], block, i, &s);
+      }
+    } else {
+      for (uint32_t i = static_cast<uint32_t>(insts.size()); i-- > inst;) {
+        analysis_->Transfer(insts[i], block, i, &s);
+      }
+    }
+    return s;
+  }
+
+  // Walks the block once in flow order from the snapshot, invoking
+  // visit(inst_index, state_after_transfer) after each instruction. One
+  // O(block) sweep where per-instruction StateAt calls would be quadratic.
+  template <typename Visit>
+  void FoldBlock(uint32_t block, Visit&& visit) const {
+    State s = entry_[block];
+    const std::vector<ir::Instruction>& insts = fn_.blocks[block].insts;
+    if (direction_ == Direction::kForward) {
+      for (uint32_t i = 0; i < insts.size(); ++i) {
+        analysis_->Transfer(insts[i], block, i, &s);
+        visit(i, s);
+      }
+    } else {
+      for (uint32_t i = static_cast<uint32_t>(insts.size()); i-- > 0;) {
+        analysis_->Transfer(insts[i], block, i, &s);
+        visit(i, s);
+      }
+    }
+  }
+
+  uint64_t iterations() const { return iterations_; }
+
+ private:
+  State ApplyBlock(uint32_t b) const {
+    State s = entry_[b];
+    const std::vector<ir::Instruction>& insts = fn_.blocks[b].insts;
+    if (direction_ == Direction::kForward) {
+      for (uint32_t i = 0; i < insts.size(); ++i) {
+        analysis_->Transfer(insts[i], b, i, &s);
+      }
+    } else {
+      for (uint32_t i = static_cast<uint32_t>(insts.size()); i-- > 0;) {
+        analysis_->Transfer(insts[i], b, i, &s);
+      }
+    }
+    return s;
+  }
+
+  const ir::Function& fn_;
+  const Cfg& cfg_;
+  Direction direction_;
+  Analysis* analysis_;
+  std::vector<State> entry_;  // Per-block flow-entry snapshots.
+  uint64_t iterations_ = 0;
+};
+
+}  // namespace esd::analysis
+
+#endif  // ESD_SRC_ANALYSIS_DATAFLOW_H_

@@ -2,14 +2,11 @@
 
 #include <algorithm>
 #include <cassert>
-#include <queue>
+
+#include "src/analysis/dataflow.h"
 
 namespace esd::analysis {
 namespace {
-
-// (distance, block) min-heap entry.
-using HeapEntry = std::pair<uint64_t, uint32_t>;
-using MinHeap = std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>;
 
 uint64_t SatAdd(uint64_t a, uint64_t b) {
   if (a >= kInfDistance || b >= kInfDistance) {
@@ -19,9 +16,72 @@ uint64_t SatAdd(uint64_t a, uint64_t b) {
   return s >= kInfDistance ? kInfDistance : s;
 }
 
+// Backward dataflow policy for min-cost-to-return: the state at a program
+// point is the least remaining cost to a `ret` of this function. The
+// fixpoint of this policy over the reverse CFG equals the Dijkstra
+// relaxation it replaced: SatAdd distributes over min, so the worklist's
+// maximum fixpoint is the meet-over-all-paths shortest-path solution.
+struct ExitDistPolicy {
+  using State = uint64_t;
+  const std::vector<uint64_t>* inst_cost;
+  const std::vector<uint64_t>* block_start;
+
+  State InitialState(uint32_t) const { return kInfDistance; }
+  bool Join(State* into, const State& from) const {
+    if (from < *into) {
+      *into = from;
+      return true;
+    }
+    return false;
+  }
+  void Transfer(const ir::Instruction& inst, uint32_t block, uint32_t i,
+                State* s) const {
+    uint64_t c = (*inst_cost)[(*block_start)[block] + i];
+    // A return ends the path here; anything else adds its cost to the
+    // remaining distance flowing in from the successors.
+    *s = inst.op == ir::Opcode::kRet ? c : SatAdd(c, *s);
+  }
+};
+
 }  // namespace
 
-DistanceCalculator::DistanceCalculator(const ir::Module* module) : module_(module) {
+// Backward dataflow policy for goal distance: the state is the least cost
+// from the current program point to "goal progress" (the goal instruction
+// itself, or a call whose callee can reach it — OpportunityCost). Defined
+// outside the anonymous namespace so it can call the calculator's public
+// OpportunityCost; used by GetGoalTable and the EntryDistances fixpoint.
+struct GoalDistPolicy {
+  using State = uint64_t;
+  DistanceCalculator* calc;
+  uint32_t func;
+  ir::InstRef goal;
+  const std::map<uint32_t, uint64_t>* entry;
+  const std::vector<uint64_t>* inst_cost;
+  const std::vector<uint64_t>* block_start;
+
+  State InitialState(uint32_t) const { return kInfDistance; }
+  bool Join(State* into, const State& from) const {
+    if (from < *into) {
+      *into = from;
+      return true;
+    }
+    return false;
+  }
+  void Transfer(const ir::Instruction&, uint32_t b, uint32_t i,
+                State* s) const {
+    uint64_t c = (*inst_cost)[(*block_start)[b] + i];
+    *s = std::min(calc->OpportunityCost(func, b, i, goal, *entry),
+                  SatAdd(c, *s));
+  }
+};
+
+DistanceCalculator::DistanceCalculator(const ir::Module* module,
+                                       AnalysisContext* ctx)
+    : module_(module), ctx_(ctx) {
+  if (ctx_ == nullptr) {
+    owned_ctx_ = std::make_unique<AnalysisContext>(module);
+    ctx_ = owned_ctx_.get();
+  }
   // Collect address-taken functions (candidate indirect-call targets), as
   // the paper's alias-analysis fallback: average the cost across targets.
   for (uint32_t f = 0; f < module_->NumFunctions(); ++f) {
@@ -39,15 +99,8 @@ DistanceCalculator::DistanceCalculator(const ir::Module* module) : module_(modul
 }
 
 const Cfg& DistanceCalculator::GetCfg(uint32_t func) {
-  std::unique_lock<std::recursive_mutex> lock(mu_, std::defer_lock);
-  if (!Sealed()) {
-    lock.lock();  // Sealed caches hold every function; before that, fill.
-  }
-  auto it = cfgs_.find(func);
-  if (it == cfgs_.end()) {
-    it = cfgs_.emplace(func, std::make_unique<Cfg>(*module_, func)).first;
-  }
-  return *it->second;
+  // The shared context serializes its own fills and is sealed by Prewarm.
+  return ctx_->GetCfg(func);
 }
 
 std::vector<uint32_t> DistanceCalculator::CallTargets(const ir::Instruction& inst) const {
@@ -132,30 +185,18 @@ void DistanceCalculator::ComputeCosts(uint32_t func, std::vector<uint32_t>* call
     }
     fc.block_cost[b] = sum;
   }
-  // exit_dist: min cost from block start to a return, by Dijkstra on the
-  // reverse CFG seeded at return blocks.
+  // exit_dist: min cost from block start to a return, as a backward
+  // dataflow fixpoint over the shared CFG (a `ret` transfer seeds the path,
+  // every other instruction adds its cost; see ExitDistPolicy).
   const Cfg& cfg = GetCfg(func);
   fc.exit_dist.assign(fn.blocks.size(), kInfDistance);
-  MinHeap heap;
-  for (uint32_t b = 0; b < fn.blocks.size(); ++b) {
-    if (!fn.blocks[b].insts.empty() &&
-        fn.blocks[b].insts.back().op == ir::Opcode::kRet) {
-      fc.exit_dist[b] = fc.block_cost[b];
-      heap.emplace(fc.exit_dist[b], b);
-    }
-  }
-  while (!heap.empty()) {
-    auto [d, b] = heap.top();
-    heap.pop();
-    if (d > fc.exit_dist[b]) {
-      continue;
-    }
-    for (uint32_t p : cfg.Block(b).preds) {
-      uint64_t cand = SatAdd(fc.block_cost[p], d);
-      if (cand < fc.exit_dist[p]) {
-        fc.exit_dist[p] = cand;
-        heap.emplace(cand, p);
-      }
+  if (!fn.blocks.empty()) {
+    ExitDistPolicy policy{&fc.inst_cost, &fc.block_start};
+    DataflowEngine<ExitDistPolicy> engine(fn, cfg, Direction::kBackward,
+                                          &policy);
+    engine.Run();
+    for (uint32_t b = 0; b < fn.blocks.size(); ++b) {
+      fc.exit_dist[b] = engine.ExitState(b);
     }
   }
   costs_.emplace(func, std::move(fc));
@@ -250,55 +291,32 @@ const DistanceCalculator::GoalTable& DistanceCalculator::GetGoalTable(
   const FuncCosts& fc = Costs(func);
   const Cfg& cfg = GetCfg(func);
 
+  // One backward dataflow run computes both tables: the per-block fixpoint
+  // snapshots are the end-of-block distances (min over successor blocks),
+  // and folding each block from its snapshot yields the per-instruction
+  // distances D[j] = min(opportunity(j), cost(j) + D[j+1]) that DistanceFrom
+  // serves. SatAdd distributes over min, so the worklist fixpoint equals
+  // the Dijkstra relaxation this replaced, bit for bit.
   GoalTable table;
   table.goal_dist.assign(fn.blocks.size(), kInfDistance);
-  MinHeap heap;
-  for (uint32_t b = 0; b < fn.blocks.size(); ++b) {
-    // A(b): best opportunity within the block, from the block start.
-    uint64_t prefix = 0;
-    uint64_t best = kInfDistance;
-    for (uint32_t i = 0; i < fn.blocks[b].insts.size(); ++i) {
-      best = std::min(best, SatAdd(prefix, OpportunityCost(func, b, i, goal, entry)));
-      prefix = SatAdd(prefix, fc.inst_cost[fc.block_start[b] + i]);
-    }
-    if (best < table.goal_dist[b]) {
-      table.goal_dist[b] = best;
-      heap.emplace(best, b);
-    }
-  }
-  while (!heap.empty()) {
-    auto [d, b] = heap.top();
-    heap.pop();
-    if (d > table.goal_dist[b]) {
-      continue;
-    }
-    for (uint32_t p : cfg.Block(b).preds) {
-      uint64_t cand = SatAdd(fc.block_cost[p], d);
-      if (cand < table.goal_dist[p]) {
-        table.goal_dist[p] = cand;
-        heap.emplace(cand, p);
-      }
-    }
-  }
-  // Flatten to per-instruction distances (what DistanceFrom serves), by a
-  // backward pass per block: D[j] = min(opportunity(j), cost(j) + D[j+1]),
-  // seeded past the last instruction with the best successor-block table
-  // entry. SatAdd distributes over min, so this equals the forward suffix
-  // scan DistanceFrom used to run per query.
   table.inst_dist.assign(fc.inst_cost.size() + fn.blocks.size(), kInfDistance);
-  for (uint32_t b = 0; b < fn.blocks.size(); ++b) {
-    size_t base = fc.block_start[b] + b;
-    size_t n = fn.blocks[b].insts.size();
-    uint64_t after = kInfDistance;
-    for (uint32_t s : cfg.Block(b).succs) {
-      after = std::min(after, table.goal_dist[s]);
-    }
-    table.inst_dist[base + n] = after;
-    for (size_t j = n; j-- > 0;) {
-      uint64_t d = SatAdd(fc.inst_cost[fc.block_start[b] + j],
-                          table.inst_dist[base + j + 1]);
-      d = std::min(d, OpportunityCost(func, b, static_cast<uint32_t>(j), goal, entry));
-      table.inst_dist[base + j] = d;
+  if (!fn.blocks.empty() && !fn.is_external) {
+    GoalDistPolicy policy{this,   func,          goal,
+                          &entry, &fc.inst_cost, &fc.block_start};
+    DataflowEngine<GoalDistPolicy> engine(fn, cfg, Direction::kBackward,
+                                          &policy);
+    engine.Run();
+    for (uint32_t b = 0; b < fn.blocks.size(); ++b) {
+      size_t base = fc.block_start[b] + b;
+      size_t n = fn.blocks[b].insts.size();
+      // The flow-entry snapshot of a backward analysis is the state after
+      // the terminator: the best distance via a successor block.
+      table.inst_dist[base + n] = engine.EntryState(b);
+      engine.FoldBlock(b, [&](uint32_t j, const uint64_t& s) {
+        table.inst_dist[base + j] = s;
+      });
+      table.goal_dist[b] =
+          n == 0 ? engine.EntryState(b) : table.inst_dist[base];
     }
   }
   return per_goal.emplace(func, std::move(table)).first->second;
@@ -330,39 +348,16 @@ const std::map<uint32_t, uint64_t>& DistanceCalculator::EntryDistances(
       if (fn.is_external || fn.blocks.empty()) {
         continue;
       }
-      // Inline (uncached) goal-table computation with the current E.
+      // Uncached goal-distance fixpoint with the current E: the entry
+      // block's end-to-end state is this function's candidate E(f).
       const FuncCosts& fc = Costs(f);
       const Cfg& cfg = GetCfg(f);
-      std::vector<uint64_t> gd(fn.blocks.size(), kInfDistance);
-      MinHeap heap;
-      for (uint32_t b = 0; b < fn.blocks.size(); ++b) {
-        uint64_t prefix = 0;
-        uint64_t best = kInfDistance;
-        for (uint32_t i = 0; i < fn.blocks[b].insts.size(); ++i) {
-          best = std::min(best,
-                          SatAdd(prefix, OpportunityCost(f, b, i, goal, entry)));
-          prefix = SatAdd(prefix, fc.inst_cost[fc.block_start[b] + i]);
-        }
-        if (best < gd[b]) {
-          gd[b] = best;
-          heap.emplace(best, b);
-        }
-      }
-      while (!heap.empty()) {
-        auto [d, b] = heap.top();
-        heap.pop();
-        if (d > gd[b]) {
-          continue;
-        }
-        for (uint32_t p : cfg.Block(b).preds) {
-          uint64_t cand = SatAdd(fc.block_cost[p], d);
-          if (cand < gd[p]) {
-            gd[p] = cand;
-            heap.emplace(cand, p);
-          }
-        }
-      }
-      uint64_t e = gd[0];
+      GoalDistPolicy policy{this,   f,             goal,
+                            &entry, &fc.inst_cost, &fc.block_start};
+      DataflowEngine<GoalDistPolicy> engine(fn, cfg, Direction::kBackward,
+                                            &policy);
+      engine.Run();
+      uint64_t e = engine.ExitState(0);
       auto it = entry.find(f);
       if (e < kInfDistance && (it == entry.end() || e < it->second)) {
         entry[f] = e;
@@ -378,11 +373,13 @@ const std::map<uint32_t, uint64_t>& DistanceCalculator::EntryDistances(
 
 void DistanceCalculator::Prewarm(const std::vector<ir::InstRef>& goals) {
   std::lock_guard<std::recursive_mutex> lock(mu_);
+  // Seal the shared context first: every CFG and def index is built here,
+  // so post-Prewarm context lookups are lock-free for all analyses.
+  ctx_->PrewarmAll();
   // Every function — externals included, so a sealed-cache lookup can never
   // miss and fall into an unlocked fill (externals get empty CFG/cost
   // tables, matching their early-return query semantics).
   for (uint32_t f = 0; f < module_->NumFunctions(); ++f) {
-    (void)GetCfg(f);
     (void)Costs(f);
   }
   // Invalid targets (malformed coredumps produce them) are prewarmed too:
@@ -489,6 +486,33 @@ bool DistanceCalculator::ThreadCanReachGoal(const std::vector<ir::InstRef>& stac
     }
   }
   return false;
+}
+
+const DistanceCalculator::FuncCosts& DistanceCalculator::CostsForTest(
+    uint32_t func) {
+  std::unique_lock<std::recursive_mutex> lock(mu_, std::defer_lock);
+  if (!Sealed()) {
+    lock.lock();
+  }
+  return Costs(func);
+}
+
+const DistanceCalculator::GoalTable& DistanceCalculator::GoalTableForTest(
+    uint32_t func, ir::InstRef goal) {
+  std::unique_lock<std::recursive_mutex> lock(mu_, std::defer_lock);
+  if (!FastFor(goal)) {
+    lock.lock();
+  }
+  return GetGoalTable(func, goal);
+}
+
+const std::map<uint32_t, uint64_t>& DistanceCalculator::EntryDistancesForTest(
+    ir::InstRef goal) {
+  std::unique_lock<std::recursive_mutex> lock(mu_, std::defer_lock);
+  if (!FastFor(goal)) {
+    lock.lock();
+  }
+  return EntryDistances(goal);
 }
 
 bool DistanceCalculator::CanReachGoal(uint32_t func, uint32_t block, ir::InstRef goal,

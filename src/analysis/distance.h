@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "src/analysis/cfg.h"
+#include "src/analysis/context.h"
 #include "src/ir/module.h"
 
 namespace esd::analysis {
@@ -35,7 +36,10 @@ inline constexpr uint64_t kRecursionCost = 1000;
 
 class DistanceCalculator {
  public:
-  explicit DistanceCalculator(const ir::Module* module);
+  // When `ctx` is null the calculator owns a private AnalysisContext;
+  // passing one in shares the per-module CFG cache with the other analyses.
+  explicit DistanceCalculator(const ir::Module* module,
+                              AnalysisContext* ctx = nullptr);
 
   // Min instructions from `func`'s entry to any of its returns (kInfDistance
   // if it cannot return).
@@ -72,6 +76,10 @@ class DistanceCalculator {
 
   const Cfg& GetCfg(uint32_t func);
 
+  // The shared per-module analysis artifacts (CFGs, def indexes). Threaded
+  // through every analysis that cooperates with this calculator.
+  AnalysisContext& context() { return *ctx_; }
+
   // Populates every lazy cache reachable during a search over `goals`: CFGs
   // and cost tables for all defined functions, plus the per-goal entry
   // distances and goal tables. After Prewarm returns, queries for those
@@ -95,7 +103,6 @@ class DistanceCalculator {
   };
   const Stats& stats() const { return stats_; }
 
- private:
   struct FuncCosts {
     std::vector<uint64_t> inst_cost;    // Flattened per (block, inst).
     std::vector<uint64_t> inst_prefix;  // Sum of costs before inst (same layout).
@@ -117,6 +124,23 @@ class DistanceCalculator {
     std::vector<uint64_t> inst_dist;
   };
 
+  // Cost of the "opportunity" at one instruction: 0 at the goal itself,
+  // 1 + E(callee) at calls that lead toward the goal, infinite otherwise.
+  // Public so the dataflow transfer policies (distance.cc) and the
+  // port-equivalence reference implementation (tests/analysis_port_test.cc)
+  // can evaluate it; call with the internal lock held or after Prewarm.
+  uint64_t OpportunityCost(uint32_t func, uint32_t block, uint32_t inst,
+                           ir::InstRef goal,
+                           const std::map<uint32_t, uint64_t>& entry);
+
+  // Test hooks for the port-equivalence suite: expose the fixpoint tables
+  // so the pre-framework Dijkstra reference can be compared bit-for-bit.
+  // Single-threaded use only (they take the fill lock like a cold query).
+  const FuncCosts& CostsForTest(uint32_t func);
+  const GoalTable& GoalTableForTest(uint32_t func, ir::InstRef goal);
+  const std::map<uint32_t, uint64_t>& EntryDistancesForTest(ir::InstRef goal);
+
+ private:
   const FuncCosts& Costs(uint32_t func);
   uint64_t InstCost(uint32_t func, const ir::Instruction& inst,
                     std::vector<uint32_t>* call_stack);
@@ -129,11 +153,6 @@ class DistanceCalculator {
   // Distance from a specific instruction using a goal table.
   uint64_t DistanceFrom(uint32_t func, uint32_t block, uint32_t inst,
                         ir::InstRef goal);
-  // Cost of the "opportunity" at one instruction: 0 at the goal itself,
-  // 1 + E(callee) at calls that lead toward the goal, infinite otherwise.
-  uint64_t OpportunityCost(uint32_t func, uint32_t block, uint32_t inst,
-                           ir::InstRef goal,
-                           const std::map<uint32_t, uint64_t>& entry);
 
   std::vector<uint32_t> CallTargets(const ir::Instruction& inst) const;
   // Like CallTargets, but also treats thread_create(@fn, ...) as an entry
@@ -150,6 +169,10 @@ class DistanceCalculator {
   }
 
   const ir::Module* module_;
+  // Shared analysis artifacts (CFG cache, def indexes). Owned when the
+  // caller did not pass a context of its own.
+  std::unique_ptr<AnalysisContext> owned_ctx_;
+  AnalysisContext* ctx_;
   // Guards every lazy fill. Recursive because the fill paths are mutually
   // recursive (GetGoalTable -> EntryDistances -> Costs -> GetCfg). After
   // Prewarm seals the primary caches, queries for prewarmed goals bypass
@@ -158,7 +181,6 @@ class DistanceCalculator {
   mutable std::recursive_mutex mu_;
   std::atomic<bool> sealed_{false};
   std::set<ir::InstRef> prewarmed_goals_;  // Read-only once sealed.
-  std::map<uint32_t, std::unique_ptr<Cfg>> cfgs_;
   std::map<uint32_t, FuncCosts> costs_;
   std::map<uint32_t, uint64_t> function_cost_;
   std::vector<uint32_t> address_taken_;  // Candidate indirect-call targets.

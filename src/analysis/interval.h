@@ -1,0 +1,332 @@
+// Unsigned interval domain for value-range analysis.
+//
+// An Interval is a contiguous unsigned range [lo, hi] of `width`-bit values
+// (lo <= hi; no wraparound representation — an operation whose result could
+// wrap returns the full range instead). The domain is deliberately simple:
+// it exists to statically discharge the guard chains the fuzzer plants
+// (mul/add/icmp-vs-magic-constant pyramids) and the solver's re-queries of
+// pinned variables, both of which are exact-point computations where the
+// no-wrap transfer functions stay tight.
+//
+// Soundness invariant (checked by interval_test.cc property tests): for any
+// concrete inputs within the argument intervals, the concrete result of the
+// matching IR/Expr operation lies within the result interval.
+#ifndef ESD_SRC_ANALYSIS_INTERVAL_H_
+#define ESD_SRC_ANALYSIS_INTERVAL_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+
+namespace esd::analysis {
+
+struct Interval {
+  uint64_t lo = 0;
+  uint64_t hi = 0;
+
+  friend bool operator==(const Interval&, const Interval&) = default;
+
+  bool IsPoint() const { return lo == hi; }
+  bool Contains(uint64_t v) const { return lo <= v && v <= hi; }
+};
+
+inline uint64_t IntervalMask(uint32_t width) {
+  return width >= 64 ? ~uint64_t{0} : (uint64_t{1} << width) - 1;
+}
+
+inline Interval FullInterval(uint32_t width) {
+  return Interval{0, IntervalMask(width)};
+}
+
+inline Interval PointInterval(uint64_t v, uint32_t width) {
+  v &= IntervalMask(width);
+  return Interval{v, v};
+}
+
+inline bool IsFullInterval(const Interval& a, uint32_t width) {
+  return a.lo == 0 && a.hi == IntervalMask(width);
+}
+
+// Lattice join (range union hull) and meet. Meet returns nullopt when the
+// ranges are disjoint (the refinement is contradictory).
+inline Interval IntervalUnion(const Interval& a, const Interval& b) {
+  return Interval{std::min(a.lo, b.lo), std::max(a.hi, b.hi)};
+}
+
+inline std::optional<Interval> IntervalIntersect(const Interval& a,
+                                                 const Interval& b) {
+  uint64_t lo = std::max(a.lo, b.lo);
+  uint64_t hi = std::min(a.hi, b.hi);
+  if (lo > hi) {
+    return std::nullopt;
+  }
+  return Interval{lo, hi};
+}
+
+namespace interval_detail {
+
+// Signed view of an interval endpoint at `width`.
+inline int64_t ToSigned(uint64_t v, uint32_t width) {
+  if (width < 64 && ((v >> (width - 1)) & 1) != 0) {
+    return static_cast<int64_t>(v | (~uint64_t{0} << width));
+  }
+  return static_cast<int64_t>(v);
+}
+
+// True when every value in `a` has the same sign bit (so the unsigned order
+// of the endpoints is also the signed order).
+inline bool SameSign(const Interval& a, uint32_t width) {
+  if (width >= 64) {
+    return (a.lo >> 63) == (a.hi >> 63);
+  }
+  uint64_t sign = uint64_t{1} << (width - 1);
+  return (a.lo & sign) == (a.hi & sign);
+}
+
+}  // namespace interval_detail
+
+// --- Transfer functions ---------------------------------------------------
+// Each returns the tightest no-wrap range it can prove, falling back to the
+// full range when the result could wrap or the shape is not tracked.
+
+inline Interval IntervalAdd(const Interval& a, const Interval& b,
+                            uint32_t width) {
+  uint64_t mask = IntervalMask(width);
+  // Wraps iff the max endpoint sum exceeds the mask (check in 128 bits when
+  // width is 64 so the probe itself cannot overflow).
+  if (width >= 64) {
+    unsigned __int128 hi =
+        static_cast<unsigned __int128>(a.hi) + static_cast<unsigned __int128>(b.hi);
+    if (hi > mask) {
+      return FullInterval(width);
+    }
+  } else if (a.hi + b.hi > mask) {
+    return FullInterval(width);
+  }
+  return Interval{a.lo + b.lo, a.hi + b.hi};
+}
+
+inline Interval IntervalSub(const Interval& a, const Interval& b,
+                            uint32_t width) {
+  if (a.lo < b.hi) {
+    return FullInterval(width);  // Some pair borrows.
+  }
+  return Interval{a.lo - b.hi, a.hi - b.lo};
+}
+
+inline Interval IntervalMul(const Interval& a, const Interval& b,
+                            uint32_t width) {
+  unsigned __int128 hi =
+      static_cast<unsigned __int128>(a.hi) * static_cast<unsigned __int128>(b.hi);
+  if (hi > IntervalMask(width)) {
+    return FullInterval(width);
+  }
+  return Interval{a.lo * b.lo, static_cast<uint64_t>(hi)};
+}
+
+// Division by zero evaluates to all-ones in this IR/Expr semantics, so any
+// divisor range containing 0 forfeits the bound.
+inline Interval IntervalUDiv(const Interval& a, const Interval& b,
+                             uint32_t width) {
+  if (b.lo == 0) {
+    return FullInterval(width);
+  }
+  return Interval{a.lo / b.hi, a.hi / b.lo};
+}
+
+inline Interval IntervalURem(const Interval& a, const Interval& b,
+                             uint32_t width) {
+  if (b.lo == 0) {
+    return FullInterval(width);
+  }
+  if (b.IsPoint() && a.hi < b.lo) {
+    return a;  // Entirely below the modulus: identity.
+  }
+  return Interval{0, b.hi - 1};
+}
+
+inline Interval IntervalAnd(const Interval& a, const Interval& b,
+                            uint32_t width) {
+  (void)width;
+  return Interval{0, std::min(a.hi, b.hi)};
+}
+
+inline Interval IntervalOr(const Interval& a, const Interval& b,
+                           uint32_t width) {
+  if (a.IsPoint() && b.IsPoint()) {
+    uint64_t v = (a.lo | b.lo) & IntervalMask(width);
+    return Interval{v, v};
+  }
+  return Interval{std::max(a.lo, b.lo), IntervalMask(width)};
+}
+
+inline Interval IntervalXor(const Interval& a, const Interval& b,
+                            uint32_t width) {
+  if (a.IsPoint() && b.IsPoint()) {
+    uint64_t v = (a.lo ^ b.lo) & IntervalMask(width);
+    return Interval{v, v};
+  }
+  return FullInterval(width);
+}
+
+inline Interval IntervalNot(const Interval& a, uint32_t width) {
+  uint64_t mask = IntervalMask(width);
+  return Interval{~a.hi & mask, ~a.lo & mask};  // Exact: ~ reverses order.
+}
+
+inline Interval IntervalShl(const Interval& a, const Interval& sh,
+                            uint32_t width) {
+  if (!sh.IsPoint() || sh.lo >= width) {
+    return FullInterval(width);
+  }
+  unsigned __int128 hi = static_cast<unsigned __int128>(a.hi) << sh.lo;
+  if (hi > IntervalMask(width)) {
+    return FullInterval(width);
+  }
+  return Interval{a.lo << sh.lo, static_cast<uint64_t>(hi)};
+}
+
+inline Interval IntervalLShr(const Interval& a, const Interval& sh,
+                             uint32_t width) {
+  if (!sh.IsPoint() || sh.lo >= width) {
+    return FullInterval(width);
+  }
+  return Interval{a.lo >> sh.lo, a.hi >> sh.lo};
+}
+
+inline Interval IntervalAShr(const Interval& a, const Interval& sh,
+                             uint32_t width) {
+  if (!sh.IsPoint() || sh.lo >= width ||
+      !interval_detail::SameSign(a, width)) {
+    return FullInterval(width);
+  }
+  uint64_t mask = IntervalMask(width);
+  uint64_t lo = static_cast<uint64_t>(
+                    interval_detail::ToSigned(a.lo, width) >> sh.lo) &
+                mask;
+  uint64_t hi = static_cast<uint64_t>(
+                    interval_detail::ToSigned(a.hi, width) >> sh.lo) &
+                mask;
+  // Same sign throughout, so the shifted endpoints stay ordered.
+  return Interval{lo, hi};
+}
+
+inline Interval IntervalZExt(const Interval& a, uint32_t from, uint32_t to) {
+  (void)from;
+  (void)to;
+  return a;  // Values unchanged; the new width only widens headroom.
+}
+
+inline Interval IntervalSExt(const Interval& a, uint32_t from, uint32_t to) {
+  if (!interval_detail::SameSign(a, from)) {
+    return FullInterval(to);
+  }
+  uint64_t mask = IntervalMask(to);
+  uint64_t lo = static_cast<uint64_t>(interval_detail::ToSigned(a.lo, from)) & mask;
+  uint64_t hi = static_cast<uint64_t>(interval_detail::ToSigned(a.hi, from)) & mask;
+  return Interval{lo, hi};
+}
+
+inline Interval IntervalTrunc(const Interval& a, uint32_t to) {
+  uint64_t mask = IntervalMask(to);
+  // Exact when the kept bits cannot wrap within the range: same high bits
+  // at both endpoints.
+  if ((a.lo & ~mask) == (a.hi & ~mask)) {
+    return Interval{a.lo & mask, a.hi & mask};
+  }
+  return FullInterval(to);
+}
+
+// Comparison: a tri-state i1 interval. [1,1] = definitely true,
+// [0,0] = definitely false, [0,1] = unknown.
+inline Interval IntervalCmpResult(int tri) {
+  if (tri > 0) {
+    return Interval{1, 1};
+  }
+  if (tri == 0) {
+    return Interval{0, 0};
+  }
+  return Interval{0, 1};
+}
+
+inline Interval IntervalEq(const Interval& a, const Interval& b) {
+  if (a.IsPoint() && b.IsPoint()) {
+    return IntervalCmpResult(a.lo == b.lo ? 1 : 0);
+  }
+  if (a.hi < b.lo || b.hi < a.lo) {
+    return IntervalCmpResult(0);  // Disjoint: can never be equal.
+  }
+  return IntervalCmpResult(-1);
+}
+
+inline Interval IntervalUlt(const Interval& a, const Interval& b) {
+  if (a.hi < b.lo) {
+    return IntervalCmpResult(1);
+  }
+  if (a.lo >= b.hi) {
+    return IntervalCmpResult(0);
+  }
+  return IntervalCmpResult(-1);
+}
+
+inline Interval IntervalUle(const Interval& a, const Interval& b) {
+  if (a.hi <= b.lo) {
+    return IntervalCmpResult(1);
+  }
+  if (a.lo > b.hi) {
+    return IntervalCmpResult(0);
+  }
+  return IntervalCmpResult(-1);
+}
+
+inline Interval IntervalSlt(const Interval& a, const Interval& b,
+                            uint32_t width) {
+  using interval_detail::SameSign;
+  using interval_detail::ToSigned;
+  if (!SameSign(a, width) || !SameSign(b, width)) {
+    return IntervalCmpResult(-1);
+  }
+  int64_t alo = ToSigned(a.lo, width), ahi = ToSigned(a.hi, width);
+  int64_t blo = ToSigned(b.lo, width), bhi = ToSigned(b.hi, width);
+  if (ahi < blo) {
+    return IntervalCmpResult(1);
+  }
+  if (alo >= bhi) {
+    return IntervalCmpResult(0);
+  }
+  return IntervalCmpResult(-1);
+}
+
+inline Interval IntervalSle(const Interval& a, const Interval& b,
+                            uint32_t width) {
+  using interval_detail::SameSign;
+  using interval_detail::ToSigned;
+  if (!SameSign(a, width) || !SameSign(b, width)) {
+    return IntervalCmpResult(-1);
+  }
+  int64_t alo = ToSigned(a.lo, width), ahi = ToSigned(a.hi, width);
+  int64_t blo = ToSigned(b.lo, width), bhi = ToSigned(b.hi, width);
+  if (ahi <= blo) {
+    return IntervalCmpResult(1);
+  }
+  if (alo > bhi) {
+    return IntervalCmpResult(0);
+  }
+  return IntervalCmpResult(-1);
+}
+
+// select(c, a, b): pick the arm(s) `c` permits.
+inline Interval IntervalSelect(const Interval& c, const Interval& a,
+                               const Interval& b) {
+  if (c.lo >= 1) {
+    return a;
+  }
+  if (c.hi == 0) {
+    return b;
+  }
+  return IntervalUnion(a, b);
+}
+
+}  // namespace esd::analysis
+
+#endif  // ESD_SRC_ANALYSIS_INTERVAL_H_

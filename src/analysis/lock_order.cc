@@ -4,6 +4,9 @@
 #include <map>
 #include <set>
 #include <string>
+#include <tuple>
+
+#include "src/analysis/dataflow.h"
 
 namespace esd::analysis {
 namespace {
@@ -54,27 +57,116 @@ AcquireClass ClassifySyncCall(const std::string& name) {
   return {};
 }
 
-class Walker {
+// Held set: global index -> held in shared (read) mode.
+using HeldSet = std::map<uint32_t, bool>;
+
+// Canonical, totally ordered edge identity for dedup and output ordering.
+using EdgeKey =
+    std::tuple<uint32_t, uint32_t, uint32_t, uint32_t, uint32_t, bool, bool>;
+
+// Path-insensitive lock-order analysis on the generic dataflow framework.
+// One forward DataflowEngine run per (function, entry-held-set) invocation;
+// the abstract state at a block is the set of distinct held-lock maps that
+// reach it (join = set union), which is exactly the set of (block, held)
+// pairs the original hand-rolled walker enumerated. Internal calls recurse
+// like the walker did: the callee is analyzed with the caller's held set at
+// the call site, and its acquisitions do not flow back to the caller.
+class LockOrderAnalyzer {
  public:
-  // Held set: global index -> held in shared (read) mode.
-  using HeldSet = std::map<uint32_t, bool>;
+  LockOrderAnalyzer(const ir::Module& module, AnalysisContext* ctx)
+      : module_(module), ctx_(ctx) {}
 
-  explicit Walker(const ir::Module& module) : module_(module) {}
-
-  void WalkEntry(uint32_t func) {
-    HeldSet held;
+  void AnalyzeEntry(uint32_t func) {
     std::vector<uint32_t> call_stack;
-    WalkFunction(func, &held, &call_stack);
+    Walk(func, HeldSet{}, &call_stack);
   }
 
-  std::vector<LockOrderEdge> TakeEdges() { return std::move(edges_); }
+  std::vector<LockOrderEdge> TakeEdges() const {
+    std::vector<LockOrderEdge> out;
+    out.reserve(edges_.size());
+    for (const EdgeKey& k : edges_) {
+      out.push_back(LockOrderEdge{
+          std::get<0>(k), std::get<1>(k),
+          ir::InstRef{std::get<2>(k), std::get<3>(k), std::get<4>(k)},
+          std::get<5>(k), std::get<6>(k)});
+    }
+    return out;
+  }
 
  private:
-  // Path-insensitively walks blocks in order, maintaining the held set. A
-  // block is visited at most once per (function, entry-held-set) pair to
-  // bound the traversal.
-  void WalkFunction(uint32_t func, HeldSet* held,
-                    std::vector<uint32_t>* call_stack) {
+  struct Policy {
+    using State = std::set<HeldSet>;
+    LockOrderAnalyzer* self;
+    uint32_t func;
+    const HeldSet* entry_held;
+    std::vector<uint32_t>* call_stack;
+
+    State InitialState(uint32_t block) const {
+      return block == 0 ? State{*entry_held} : State{};
+    }
+    bool Join(State* into, const State& from) const {
+      bool changed = false;
+      for (const HeldSet& h : from) {
+        changed |= into->insert(h).second;
+      }
+      return changed;
+    }
+    void Transfer(const ir::Instruction& inst, uint32_t b, uint32_t i,
+                  State* state) const {
+      if (inst.op != ir::Opcode::kCall || inst.callee == ir::kInvalidIndex ||
+          state->empty()) {
+        return;
+      }
+      State next;
+      for (const HeldSet& held : *state) {
+        HeldSet h = held;
+        self->ApplyCall(inst, func, b, i, &h, call_stack);
+        next.insert(std::move(h));
+      }
+      *state = std::move(next);
+    }
+  };
+
+  void ApplyCall(const ir::Instruction& inst, uint32_t func, uint32_t b,
+                 uint32_t i, HeldSet* held,
+                 std::vector<uint32_t>* call_stack) {
+    const ir::Function& callee = module_.Func(inst.callee);
+    if (!callee.is_external) {
+      // Analyze the callee under the held set at this call site. The
+      // caller's set is deliberately left unchanged: callee-internal
+      // acquisitions did not propagate back in the original walker either.
+      Walk(inst.callee, *held, call_stack);
+      return;
+    }
+    AcquireClass cls = ClassifySyncCall(callee.name);
+    uint32_t lock_global = 0;
+    if ((!cls.acquires && !cls.releases) ||
+        !GlobalMutexOperand(inst, &lock_global)) {
+      return;
+    }
+    if (cls.releases) {
+      held->erase(lock_global);
+      return;
+    }
+    if (cls.blocking) {
+      for (const auto& [held_lock, held_shared] : *held) {
+        if (held_lock != lock_global) {
+          edges_.emplace(held_lock, lock_global, func, b, i, held_shared,
+                         cls.shared);
+        }
+      }
+    }
+    // Strongest mode wins on re-acquisition: a read-to-write upgrade must
+    // flip the held entry to exclusive, or the shared/shared warning filter
+    // would suppress real inversions downstream.
+    auto [entry, inserted] = held->emplace(lock_global, cls.shared);
+    if (!inserted) {
+      entry->second = entry->second && cls.shared;
+    }
+  }
+
+  void Walk(uint32_t func, const HeldSet& entry_held,
+            std::vector<uint32_t>* call_stack) {
     const ir::Function& fn = module_.Func(func);
     if (fn.is_external || fn.blocks.empty()) {
       return;
@@ -83,77 +175,36 @@ class Walker {
         call_stack->end()) {
       return;  // Recursion: stop.
     }
-    call_stack->push_back(func);
-    // Worklist of (block, held-set at entry).
-    std::vector<std::pair<uint32_t, HeldSet>> work;
-    std::set<std::pair<uint32_t, HeldSet>> seen;
-    work.emplace_back(0, *held);
-    while (!work.empty()) {
-      auto [b, entry_held] = work.back();
-      work.pop_back();
-      if (!seen.emplace(b, entry_held).second) {
-        continue;
-      }
-      HeldSet current = entry_held;
-      const ir::BasicBlock& bb = fn.blocks[b];
-      for (uint32_t i = 0; i < bb.insts.size(); ++i) {
-        const ir::Instruction& inst = bb.insts[i];
-        if (inst.op != ir::Opcode::kCall || inst.callee == ir::kInvalidIndex) {
-          continue;
-        }
-        const ir::Function& callee = module_.Func(inst.callee);
-        if (!callee.is_external) {
-          WalkFunction(inst.callee, &current, call_stack);
-          continue;
-        }
-        AcquireClass cls = ClassifySyncCall(callee.name);
-        uint32_t lock_global = 0;
-        if ((!cls.acquires && !cls.releases) ||
-            !GlobalMutexOperand(inst, &lock_global)) {
-          continue;
-        }
-        if (cls.releases) {
-          current.erase(lock_global);
-          continue;
-        }
-        if (cls.blocking) {
-          for (const auto& [held_lock, held_shared] : current) {
-            if (held_lock != lock_global) {
-              edges_.push_back(LockOrderEdge{held_lock, lock_global,
-                                             ir::InstRef{func, b, i},
-                                             held_shared, cls.shared});
-            }
-          }
-        }
-        // Strongest mode wins on re-acquisition: a read-to-write upgrade
-        // must flip the held entry to exclusive, or the shared/shared
-        // warning filter would suppress real inversions downstream.
-        auto [entry, inserted] = current.emplace(lock_global, cls.shared);
-        if (!inserted) {
-          entry->second = entry->second && cls.shared;
-        }
-      }
-      if (!bb.insts.empty()) {
-        const ir::Instruction& term = bb.insts.back();
-        if (term.op == ir::Opcode::kBr) {
-          work.emplace_back(term.succ_true, current);
-        } else if (term.op == ir::Opcode::kCondBr) {
-          work.emplace_back(term.succ_true, current);
-          work.emplace_back(term.succ_false, current);
-        }
-      }
+    // Edges recorded by an invocation depend only on (function, entry-held,
+    // recursion cut), so identical invocations are walked once. The cut
+    // context is part of the key: under a different call stack a callee
+    // that was previously cut may contribute new edges.
+    if (!visited_
+             .emplace(func, entry_held,
+                      std::vector<uint32_t>(*call_stack))
+             .second) {
+      return;
     }
+    call_stack->push_back(func);
+    Policy policy{this, func, &entry_held, call_stack};
+    DataflowEngine<Policy> engine(fn, ctx_->GetCfg(func), Direction::kForward,
+                                  &policy);
+    engine.Run();
     call_stack->pop_back();
   }
 
   const ir::Module& module_;
-  std::vector<LockOrderEdge> edges_;
+  AnalysisContext* ctx_;
+  std::set<std::tuple<uint32_t, HeldSet, std::vector<uint32_t>>> visited_;
+  std::set<EdgeKey> edges_;
 };
 
 }  // namespace
 
-std::vector<LockOrderEdge> CollectLockOrderEdges(const ir::Module& module) {
-  Walker walker(module);
+std::vector<LockOrderEdge> CollectLockOrderEdges(const ir::Module& module,
+                                                 AnalysisContext* ctx) {
+  AnalysisContext local(&module);
+  LockOrderAnalyzer analyzer(module, ctx != nullptr ? ctx : &local);
   // Thread entry points: main plus every address-taken function (candidate
   // thread start routines).
   std::set<uint32_t> entries;
@@ -173,9 +224,9 @@ std::vector<LockOrderEdge> CollectLockOrderEdges(const ir::Module& module) {
     }
   }
   for (uint32_t entry : entries) {
-    walker.WalkEntry(entry);
+    analyzer.AnalyzeEntry(entry);
   }
-  return walker.TakeEdges();
+  return analyzer.TakeEdges();
 }
 
 std::vector<LockOrderWarning> FindLockOrderWarnings(const ir::Module& module) {

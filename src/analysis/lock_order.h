@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/analysis/context.h"
 #include "src/ir/module.h"
 
 namespace esd::analysis {
@@ -47,8 +48,14 @@ struct LockOrderWarning {
 };
 
 // All lock-order edges over global sync objects, from every thread entry
-// point (main plus every address-taken function).
-std::vector<LockOrderEdge> CollectLockOrderEdges(const ir::Module& module);
+// point (main plus every address-taken function). The walk runs as a
+// forward dataflow fixpoint on DataflowEngine (state: the set of held-lock
+// maps reaching a block), one run per (function, entry-held-set) pair.
+// Edges are deduplicated and returned in canonical order: sorted by
+// (held global, acquired global, acquire site, modes). Pass `ctx` to share
+// the per-module CFG cache; with nullptr a private context is built.
+std::vector<LockOrderEdge> CollectLockOrderEdges(const ir::Module& module,
+                                                 AnalysisContext* ctx = nullptr);
 
 // Pairs inverted edges into warnings, dropping pairs whose modes cannot
 // conflict (shared/shared on either lock).

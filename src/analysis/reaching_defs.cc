@@ -2,6 +2,8 @@
 
 #include <optional>
 
+#include "src/analysis/context.h"
+
 namespace esd::analysis {
 namespace {
 
@@ -14,26 +16,25 @@ struct Location {
   friend bool operator==(const Location&, const Location&) = default;
 };
 
-// Finds the unique instruction defining `reg` in `fn` (registers are
-// assigned once statically by the builder/parser).
-const ir::Instruction* FindDef(const ir::Function& fn, uint32_t reg,
-                               ir::InstRef* site) {
-  for (uint32_t b = 0; b < fn.blocks.size(); ++b) {
-    for (uint32_t i = 0; i < fn.blocks[b].insts.size(); ++i) {
-      const ir::Instruction& inst = fn.blocks[b].insts[i];
-      if (inst.result == static_cast<int32_t>(reg)) {
-        if (site != nullptr) {
-          *site = ir::InstRef{0, b, i};
-        }
-        return &inst;
-      }
-    }
+// The unique instruction defining `reg` in function `func` (registers are
+// assigned once statically by the builder/parser). Served by the shared
+// per-module definition index instead of the O(function) body scan the
+// pre-framework implementation ran on every lookup.
+const ir::Instruction* FindDef(AnalysisContext& ctx, uint32_t func,
+                               uint32_t reg, ir::InstRef* site) {
+  const std::vector<AnalysisContext::DefSite>& defs = ctx.Defs(func);
+  if (reg >= defs.size() || defs[reg].inst == nullptr) {
+    return nullptr;
   }
-  return nullptr;
+  if (site != nullptr) {
+    *site = defs[reg].site;
+  }
+  return defs[reg].inst;
 }
 
 // Resolves a pointer operand to a trackable location.
-std::optional<Location> ResolveLocation(const ir::Function& fn, const ir::Value& ptr) {
+std::optional<Location> ResolveLocation(AnalysisContext& ctx, uint32_t func,
+                                        const ir::Value& ptr) {
   if (ptr.kind == ir::Value::Kind::kGlobalRef) {
     Location loc;
     loc.is_global = true;
@@ -42,7 +43,7 @@ std::optional<Location> ResolveLocation(const ir::Function& fn, const ir::Value&
   }
   if (ptr.kind == ir::Value::Kind::kReg) {
     ir::InstRef site;
-    const ir::Instruction* def = FindDef(fn, ptr.index, &site);
+    const ir::Instruction* def = FindDef(ctx, func, ptr.index, &site);
     if (def != nullptr && def->op == ir::Opcode::kAlloca) {
       Location loc;
       loc.is_global = false;
@@ -87,7 +88,8 @@ bool EvalCmp(ir::CmpPred pred, uint64_t a, uint64_t b, uint32_t width) {
 }
 
 // Peels zext/sext/trunc wrappers off a register chain; returns the core def.
-const ir::Instruction* PeelCasts(const ir::Function& fn, const ir::Instruction* def) {
+const ir::Instruction* PeelCasts(AnalysisContext& ctx, uint32_t func,
+                                 const ir::Instruction* def) {
   while (def != nullptr &&
          (def->op == ir::Opcode::kZExt || def->op == ir::Opcode::kSExt ||
           def->op == ir::Opcode::kTrunc)) {
@@ -95,16 +97,17 @@ const ir::Instruction* PeelCasts(const ir::Function& fn, const ir::Instruction* 
     if (v.kind != ir::Value::Kind::kReg) {
       return nullptr;
     }
-    def = FindDef(fn, v.index, nullptr);
+    def = FindDef(ctx, func, v.index, nullptr);
   }
   return def;
 }
 
 // Handles one atomic comparison: icmp(load L, const C). Returns the stores
 // that would force it to `want`.
-std::vector<ir::InstRef> StoresSatisfying(const ir::Module& module, uint32_t func_index,
+std::vector<ir::InstRef> StoresSatisfying(const ir::Module& module,
+                                          AnalysisContext& ctx,
+                                          uint32_t func_index,
                                           const ir::Instruction& icmp, bool want) {
-  const ir::Function& fn = module.Func(func_index);
   // Identify which side is the loaded value and which is the constant.
   const ir::Value* reg_side = nullptr;
   const ir::Value* const_side = nullptr;
@@ -121,11 +124,12 @@ std::vector<ir::InstRef> StoresSatisfying(const ir::Module& module, uint32_t fun
   } else {
     return {};
   }
-  const ir::Instruction* def = PeelCasts(fn, FindDef(fn, reg_side->index, nullptr));
+  const ir::Instruction* def = PeelCasts(
+      ctx, func_index, FindDef(ctx, func_index, reg_side->index, nullptr));
   if (def == nullptr || def->op != ir::Opcode::kLoad) {
     return {};
   }
-  auto loc = ResolveLocation(fn, def->operands[0]);
+  auto loc = ResolveLocation(ctx, func_index, def->operands[0]);
   if (!loc.has_value()) {
     return {};
   }
@@ -148,7 +152,7 @@ std::vector<ir::InstRef> StoresSatisfying(const ir::Module& module, uint32_t fun
         if (inst.operands[0].kind != ir::Value::Kind::kConst) {
           continue;
         }
-        auto store_loc = ResolveLocation(hf, inst.operands[1]);
+        auto store_loc = ResolveLocation(ctx, f, inst.operands[1]);
         if (!store_loc.has_value() || !(*store_loc == *loc)) {
           continue;
         }
@@ -166,9 +170,10 @@ std::vector<ir::InstRef> StoresSatisfying(const ir::Module& module, uint32_t fun
 
 // Decomposes the branch condition register into atomic comparisons that must
 // each hold (conjunctions recurse; other shapes are skipped).
-void CollectConjuncts(const ir::Function& fn, uint32_t reg, bool want,
+void CollectConjuncts(AnalysisContext& ctx, uint32_t func, uint32_t reg,
+                      bool want,
                       std::vector<std::pair<const ir::Instruction*, bool>>* out) {
-  const ir::Instruction* def = FindDef(fn, reg, nullptr);
+  const ir::Instruction* def = FindDef(ctx, func, reg, nullptr);
   if (def == nullptr) {
     return;
   }
@@ -177,7 +182,7 @@ void CollectConjuncts(const ir::Function& fn, uint32_t reg, bool want,
     return;
   }
   if (def->op == ir::Opcode::kNot && def->operands[0].kind == ir::Value::Kind::kReg) {
-    CollectConjuncts(fn, def->operands[0].index, !want, out);
+    CollectConjuncts(ctx, func, def->operands[0].index, !want, out);
     return;
   }
   // (a && b) must be true: both conjuncts must hold. A false conjunction is
@@ -185,7 +190,7 @@ void CollectConjuncts(const ir::Function& fn, uint32_t reg, bool want,
   if (def->op == ir::Opcode::kAnd && want) {
     for (const ir::Value& v : def->operands) {
       if (v.kind == ir::Value::Kind::kReg) {
-        CollectConjuncts(fn, v.index, true, out);
+        CollectConjuncts(ctx, func, v.index, true, out);
       }
     }
   }
@@ -196,20 +201,21 @@ void CollectConjuncts(const ir::Function& fn, uint32_t reg, bool want,
 std::vector<IntermediateGoalSet> DeriveIntermediateGoals(
     const ir::Module& module, DistanceCalculator& distances, ir::InstRef goal) {
   std::vector<IntermediateGoalSet> sets;
+  AnalysisContext& ctx = distances.context();
   std::vector<CriticalEdge> edges = FindCriticalEdges(module, distances, goal);
   for (const CriticalEdge& edge : edges) {
-    const ir::Function& fn = module.Func(edge.branch.func);
     const ir::Instruction* branch = module.InstAt(edge.branch);
     if (branch == nullptr || branch->operands.empty() ||
         branch->operands[0].kind != ir::Value::Kind::kReg) {
       continue;
     }
     std::vector<std::pair<const ir::Instruction*, bool>> conjuncts;
-    CollectConjuncts(fn, branch->operands[0].index, edge.required_value, &conjuncts);
+    CollectConjuncts(ctx, edge.branch.func, branch->operands[0].index,
+                     edge.required_value, &conjuncts);
     for (const auto& [icmp, want] : conjuncts) {
       IntermediateGoalSet set;
       set.edge = edge;
-      set.stores = StoresSatisfying(module, edge.branch.func, *icmp, want);
+      set.stores = StoresSatisfying(module, ctx, edge.branch.func, *icmp, want);
       if (!set.stores.empty()) {
         sets.push_back(std::move(set));
       }

@@ -24,6 +24,8 @@ void EventCounters::ForEachField(
   fn("sync_fold_recomputes", &EventCounters::sync_fold_recomputes);
   fn("solver_calls", &EventCounters::solver_calls);
   fn("expr_allocs", &EventCounters::expr_allocs);
+  fn("dataflow_iterations", &EventCounters::dataflow_iterations);
+  fn("ir_passes_run", &EventCounters::ir_passes_run);
 }
 
 }  // namespace esd

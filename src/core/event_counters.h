@@ -29,6 +29,8 @@ struct EventCounters {
   uint64_t sync_fold_recomputes = 0;  // Fingerprint rebuilt the sync fold.
   uint64_t solver_calls = 0;        // ConstraintSolver entry points.
   uint64_t expr_allocs = 0;         // Expr nodes constructed.
+  uint64_t dataflow_iterations = 0;  // DataflowEngine block applications.
+  uint64_t ir_passes_run = 0;        // IR optimization pass invocations.
 
   void Add(const EventCounters& other);
 

@@ -11,6 +11,7 @@ solver::SolverOptions MakeSolverOptions(const SynthesisOptions& options,
   solver::SolverOptions sopts;
   sopts.rewrite = options.solver_rewrite;
   sopts.slice = options.solver_slice;
+  sopts.range = options.solver_range;
   sopts.incremental = options.solver_incremental;
   sopts.shared_cache = shared_cache;
   return sopts;

@@ -21,24 +21,72 @@ SynthesisResult Synthesizer::SynthesizeGoal(const Goal& goal) {
     return result;
   }
 
+  // 1b. Pre-synthesis IR optimization: copy the module, run the
+  // trace-preserving pass pipeline on the copy, and search on it. Goal
+  // coordinates need no remapping (coordinate stability) and the emitted
+  // execution file replays against the original module. A verifier or
+  // coordinate-check failure falls back to the unoptimized module.
+  std::optional<ir::Module> optimized;
+  const ir::Module* search_module = module_;
+  // Setup-phase event sink: the pass pipeline and the static analyses run
+  // before the per-worker sinks exist, so their events (ir_passes_run,
+  // the Prewarm share of dataflow_iterations) are captured here and merged
+  // into result.counters on both the portfolio and single-worker paths.
+  EventCounters setup_counters;
+  std::optional<ScopedEventCounters> setup_scope;
+  setup_scope.emplace(&setup_counters);
+  if (options_.ir_opt) {
+    ir::passes::ProtectedSites prot;
+    for (const ThreadGoal& tg : goal.threads) {
+      if (tg.target.IsValid()) {
+        prot.funcs.insert(tg.target.func);
+        prot.sites.insert(tg.target);
+      }
+      for (const ir::InstRef& frame : tg.stack) {
+        if (frame.IsValid()) {
+          prot.funcs.insert(frame.func);
+          prot.sites.insert(frame);
+        }
+      }
+    }
+    optimized = *module_;
+    ir::passes::PassManager pm;
+    if (pm.Run(&*optimized, prot, &result.pass_stats)) {
+      search_module = &*optimized;
+    } else {
+      optimized.reset();  // Pipeline aborted: search the original.
+    }
+    if (options_.print_passes) {
+      result.pass_log = pm.log();
+    }
+  }
+
   // 2. Static phase (§3.2): distance tables, critical edges, intermediate
-  // goals. Computed once; read-only during the search (shared by every
-  // worker when jobs > 1).
-  analysis::DistanceCalculator distances(module_);
+  // goals. Computed once over the search module; read-only during the
+  // search (shared by every worker when jobs > 1).
+  analysis::DistanceCalculator distances(search_module);
   std::vector<ProximitySearcher::SearchGoal> search_goals =
-      BuildSearchGoals(*module_, distances, goal, options_.use_intermediate_goals,
+      BuildSearchGoals(*search_module, distances, goal,
+                       options_.use_intermediate_goals,
                        &result.intermediate_goals);
 
   // Parallel portfolio (jobs > 1): N engines race under a shared budget;
   // see portfolio.h. The jobs == 1 path below stays byte-identical to the
   // classic single-threaded engine.
+  setup_scope.reset();
   if (options_.jobs > 1) {
     size_t intermediate_goals = result.intermediate_goals;
-    result = RunPortfolio(module_, goal, &distances, search_goals, options_);
+    ir::passes::PassStats pass_stats = result.pass_stats;
+    std::string pass_log = std::move(result.pass_log);
+    result = RunPortfolio(search_module, goal, &distances, search_goals, options_);
     result.intermediate_goals = intermediate_goals;
+    result.pass_stats = pass_stats;
+    result.pass_log = std::move(pass_log);
+    result.counters.Add(setup_counters);
     return result;
   }
 
+  result.counters.Add(setup_counters);
   // Hot-path event counters for the single-worker run: one sink on this
   // thread for the rest of the pipeline (jobs > 1 installs one per worker
   // inside the portfolio instead).
@@ -75,9 +123,9 @@ SynthesisResult Synthesizer::SynthesizeGoal(const Goal& goal) {
   if (options_.use_critical_edges) {
     iopts.branch_filter = MakeCriticalEdgeFilter(&goal, &distances);
   }
-  vm::Interpreter interpreter(module_, &solver, iopts);
+  vm::Interpreter interpreter(search_module, &solver, iopts);
 
-  auto main_fn = module_->FindFunction("main");
+  auto main_fn = search_module->FindFunction("main");
   if (!main_fn.has_value()) {
     result.failure_reason = "program has no main function";
     return result;
@@ -132,7 +180,10 @@ SynthesisResult Synthesizer::SynthesizeGoal(const Goal& goal) {
   }
   result.success = true;
   result.bug = run.bug;
-  result.file = replay::BuildExecutionFile(*module_, *run.goal_state, run.bug, model);
+  // Coordinate stability makes the file valid against the original module
+  // as well as the optimized copy it was searched on.
+  result.file =
+      replay::BuildExecutionFile(*search_module, *run.goal_state, run.bug, model);
   return result;
 }
 

@@ -18,6 +18,7 @@
 
 #include "src/core/event_counters.h"
 #include "src/core/goal.h"
+#include "src/ir/passes/passes.h"
 #include "src/replay/execution_file.h"
 #include "src/report/coredump.h"
 #include "src/solver/solver.h"
@@ -69,6 +70,16 @@ struct SynthesisOptions {
   // (sharded mutexes) instead of per-worker caches only. Mirrors the
   // --dedup shared/private split; cross-worker hits are counted per worker.
   bool solver_cache_shared = true;
+  // Stage 0: interval value-range discharge of guard constraints before
+  // bit-blasting (src/solver/range.h).
+  bool solver_range = true;
+  // ---- Pre-synthesis IR optimization (src/ir/passes) ----
+  // Copy the module, run the trace-preserving pass pipeline on the copy,
+  // and search on the optimized copy. Emitted execution files stay valid
+  // against the original module (coordinate stability). --no-ir-opt.
+  bool ir_opt = true;
+  // Surface the per-pass log in SynthesisResult::pass_log (--print-passes).
+  bool print_passes = false;
 };
 
 // Per-worker accounting for a portfolio run (`jobs` > 1).
@@ -120,6 +131,11 @@ struct SynthesisResult {
   // Hot-path event counters, summed across workers when jobs > 1. Printed
   // by `esdsynth --counters` and embedded in the BENCH_*.json emitters.
   EventCounters counters;
+
+  // Pre-synthesis IR pipeline accounting: rewrite counts per category and,
+  // when SynthesisOptions::print_passes is set, the per-pass log.
+  ir::passes::PassStats pass_stats;
+  std::string pass_log;
 
   // Portfolio accounting (empty / -1 for jobs == 1).
   std::vector<WorkerReport> workers;

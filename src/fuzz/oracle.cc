@@ -14,6 +14,7 @@ core::SynthesisOptions BaseOptions(const OracleOptions& options) {
   synth.max_instructions = options.max_instructions;
   synth.max_states = options.max_states;
   synth.jobs = options.jobs;
+  synth.ir_opt = options.ir_opt;
   return synth;
 }
 
@@ -123,10 +124,11 @@ OracleVerdict CheckScenario(const GeneratedProgram& program,
   }
 
   // Stage 4: ablation agreement. The full engine found the bug, so the
-  // engine with pruning off and with the solver pipeline off must find it
-  // too (they explore supersets of the pruned space); a divergence means
-  // pruning dropped a feasible interleaving or the pipeline changed
-  // satisfiability.
+  // engine with pruning off, with the solver pipeline off, and with the IR
+  // optimizer off must find it too (they explore supersets of the pruned
+  // space over an observationally identical module); a divergence means
+  // pruning dropped a feasible interleaving, the pipeline changed
+  // satisfiability, or an IR pass changed behavior.
   if (options.check_ablations) {
     core::SynthesisOptions ablation_base = BaseOptions(options);
     if (options.ablation_time_cap_seconds > 0) {
@@ -159,12 +161,26 @@ OracleVerdict CheckScenario(const GeneratedProgram& program,
     core::SynthesisOptions no_solver = ablation_base;
     no_solver.solver_rewrite = false;
     no_solver.solver_slice = false;
+    no_solver.solver_range = false;
     no_solver.solver_incremental = false;
     no_solver.solver_cache_shared = false;
     reason = RunConfiguration(program, *dump, no_solver, expected, nullptr);
     if (!reason.empty()) {
       return Fail(std::move(verdict), "ablation-solver",
                   "solver-pipeline-off ablation diverged: " + reason);
+    }
+    // The IR passes promise exact trace preservation, so searching the
+    // original module must find the same bug and yield a file that still
+    // replays. A divergence means a pass changed observable behavior (or
+    // the optimizer was load-bearing for feasibility — equally a bug).
+    if (options.ir_opt) {
+      core::SynthesisOptions no_ir = ablation_base;
+      no_ir.ir_opt = false;
+      reason = RunConfiguration(program, *dump, no_ir, expected, nullptr);
+      if (!reason.empty()) {
+        return Fail(std::move(verdict), "ablation-ir-opt",
+                    "ir-opt-off ablation diverged: " + reason);
+      }
     }
   }
   return verdict;

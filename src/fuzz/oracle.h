@@ -6,8 +6,9 @@
 // (2) runs complete synthesis (portfolio, pruning, solver pipeline on)
 // against that report, (3) strict- and happens-before-replays the
 // synthesized execution file and re-checks determinism, and (4) re-runs
-// synthesis with the pruning layer and with the solver pipeline disabled:
-// the ablations must agree with the full engine on feasibility. A verdict
+// synthesis with the pruning layer, with the solver pipeline, and with the
+// pre-synthesis IR optimizer disabled: the ablations must agree with the
+// full engine on feasibility. A verdict
 // failing any stage is a real engine bug (or a generator bug), never fuzz
 // noise — which is what lets the fuzz sweep gate CI.
 #ifndef ESD_SRC_FUZZ_ORACLE_H_
@@ -27,9 +28,15 @@ struct OracleOptions {
   uint64_t max_instructions = 20'000'000;
   size_t max_states = 100'000;
   size_t jobs = 1;
-  // Stage 4: re-run synthesis with pruning off and with the solver
-  // pipeline off and require feasibility agreement. The dominant cost of a
-  // verdict; sweeps can disable it for a subset of seeds.
+  // Pre-synthesis IR optimization for the primary run (and the pruning /
+  // solver ablations, which inherit it). `esdfuzz --no-ir-opt` clears this
+  // so the whole sweep exercises the unoptimized engine — the CI ablation
+  // job runs the corpus both ways and diffs the verdicts.
+  bool ir_opt = true;
+  // Stage 4: re-run synthesis with pruning off, with the solver pipeline
+  // off, and with the IR optimizer off, and require feasibility agreement.
+  // The dominant cost of a verdict; sweeps can disable it for a subset of
+  // seeds.
   bool check_ablations = true;
   // Separate budgets for the ablation runs (0 = inherit the primary
   // budgets). Pruning-off exploration can be far slower than the full
@@ -49,7 +56,8 @@ struct OracleOptions {
 struct OracleVerdict {
   bool ok = true;
   // First stage that failed: "report", "synthesis", "kind", "replay",
-  // "determinism", "ablation-pruning", "ablation-solver". Empty when ok.
+  // "determinism", "ablation-pruning", "ablation-solver", "ablation-ir-opt".
+  // Empty when ok.
   std::string stage;
   std::string failure;  // One-line diagnostic. Empty when ok.
   // The full-engine run (primary configuration), for stats/fingerprints.

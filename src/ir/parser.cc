@@ -113,7 +113,14 @@ class Cursor {
       pos_ = start;
       return std::nullopt;
     }
-    return std::strtoll(s_.data() + start, nullptr, 10);
+    // Parse the magnitude unsigned: the printer emits 64-bit immediates as
+    // unsigned decimal, so values >= 2^63 must round-trip instead of
+    // saturating at INT64_MAX (strtoll's behavior on overflow).
+    uint64_t magnitude = std::strtoull(s_.data() + digits, nullptr, 10);
+    if (s_[start] == '-') {
+      magnitude = ~magnitude + 1;
+    }
+    return static_cast<int64_t>(magnitude);
   }
 
   std::optional<std::string> QuotedString() {

@@ -1,0 +1,45 @@
+#include "src/analysis/cfg.h"
+#include "src/analysis/range_analysis.h"
+#include "src/ir/passes/passes.h"
+
+namespace esd::ir::passes {
+
+// Rewrites register operands to the constants the value-range analysis
+// proves they always equal. Defining instructions are kept (trace equality:
+// they still execute), which also keeps every register textually defined;
+// defs made dead here are neutralized by the DCE pass in the same round.
+uint64_t ConstantFoldPass(Module* m, const ProtectedSites& prot,
+                          const ShapeExemptions& exempt, PassStats* stats) {
+  uint64_t folded = 0;
+  for (uint32_t f = 0; f < m->NumFunctions(); ++f) {
+    Function& fn = m->Func(f);
+    if (fn.is_external || fn.blocks.empty() ||
+        exempt.stubbed_funcs.count(f) > 0) {
+      continue;
+    }
+    analysis::Cfg cfg(*m, f);
+    analysis::RangeAnalysis ranges(fn, cfg);
+    for (uint32_t b = 0; b < fn.blocks.size(); ++b) {
+      for (uint32_t i = 0; i < fn.blocks[b].insts.size(); ++i) {
+        if (prot.IsProtectedSite(f, b, i)) {
+          continue;
+        }
+        Instruction& inst = fn.blocks[b].insts[i];
+        for (Value& v : inst.operands) {
+          if (v.kind != Value::Kind::kReg || !IsInteger(v.type)) {
+            continue;
+          }
+          analysis::Interval r = ranges.RangeOf(v, b, i);
+          if (r.IsPoint()) {
+            v = Value::Const(v.type, r.lo);
+            ++folded;
+          }
+        }
+      }
+    }
+  }
+  stats->folded_operands += folded;
+  return folded;
+}
+
+}  // namespace esd::ir::passes

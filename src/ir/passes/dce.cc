@@ -1,0 +1,168 @@
+#include <set>
+#include <vector>
+
+#include "src/ir/passes/passes.h"
+
+namespace esd::ir::passes {
+namespace {
+
+// Pure register arithmetic that can be neutralized in place: no traps
+// (div/rem can fault on zero), no memory, no control, no calls.
+bool IsNeutralizable(Opcode op) {
+  switch (op) {
+    case Opcode::kAdd:
+    case Opcode::kSub:
+    case Opcode::kMul:
+    case Opcode::kAnd:
+    case Opcode::kOr:
+    case Opcode::kXor:
+    case Opcode::kShl:
+    case Opcode::kLShr:
+    case Opcode::kAShr:
+    case Opcode::kICmp:
+    case Opcode::kNot:
+    case Opcode::kZExt:
+    case Opcode::kSExt:
+    case Opcode::kTrunc:
+    case Opcode::kSelect:
+    case Opcode::kGep:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// Neutralizes dead register arithmetic: the result is used nowhere, so the
+// instruction's operands are re-pointed at zeros of their types. The slot
+// still executes (trace equality) but no longer keeps its inputs live —
+// symbolic values feeding only dead arithmetic stop reaching the solver.
+uint64_t NeutralizeDead(Function& fn, uint32_t f, const ProtectedSites& prot) {
+  std::set<uint32_t> used;
+  for (const BasicBlock& bb : fn.blocks) {
+    for (const Instruction& inst : bb.insts) {
+      for (const Value& v : inst.operands) {
+        if (v.kind == Value::Kind::kReg) {
+          used.insert(v.index);
+        }
+      }
+    }
+  }
+  uint64_t neutralized = 0;
+  for (uint32_t b = 0; b < fn.blocks.size(); ++b) {
+    for (uint32_t i = 0; i < fn.blocks[b].insts.size(); ++i) {
+      Instruction& inst = fn.blocks[b].insts[i];
+      if (inst.result < 0 || !IsNeutralizable(inst.op) ||
+          used.count(static_cast<uint32_t>(inst.result)) > 0 ||
+          prot.IsProtectedSite(f, b, i)) {
+        continue;
+      }
+      bool changed = false;
+      for (Value& v : inst.operands) {
+        if (v.kind != Value::Kind::kConst || v.imm != 0) {
+          v = Value::Const(v.type, 0);
+          changed = true;
+        }
+      }
+      if (changed) {
+        ++neutralized;
+      }
+    }
+  }
+  return neutralized;
+}
+
+// Empties blocks no execution can enter (unreachable from the entry over
+// branch edges) down to a single `unreachable` terminator. Skipped when the
+// block holds a protected site or defines a register some other block
+// still names (the textual def must survive for the printer/parser
+// round-trip and the verifier).
+uint64_t EmptyDeadBlocks(Function& fn, uint32_t f, const ProtectedSites& prot,
+                         ShapeExemptions* exempt, uint64_t* emptied) {
+  size_t n = fn.blocks.size();
+  std::vector<bool> reachable(n, false);
+  std::vector<uint32_t> work{0};
+  reachable[0] = true;
+  while (!work.empty()) {
+    uint32_t b = work.back();
+    work.pop_back();
+    for (const Instruction& inst : fn.blocks[b].insts) {
+      if (inst.op == Opcode::kBr || inst.op == Opcode::kCondBr) {
+        for (uint32_t s : {inst.succ_true, inst.succ_false}) {
+          if (s != kInvalidIndex && s < n && !reachable[s]) {
+            reachable[s] = true;
+            work.push_back(s);
+          }
+        }
+      }
+    }
+  }
+  uint64_t changes = 0;
+  for (uint32_t b = 1; b < n; ++b) {
+    if (reachable[b] || prot.HasSiteIn(f, b)) {
+      continue;
+    }
+    BasicBlock& bb = fn.blocks[b];
+    if (bb.insts.size() == 1 && bb.insts[0].op == Opcode::kUnreachable) {
+      continue;  // Already a tombstone.
+    }
+    bool defs_escape = false;
+    for (const Instruction& inst : bb.insts) {
+      if (inst.result < 0) {
+        continue;
+      }
+      for (uint32_t ob = 0; ob < n && !defs_escape; ++ob) {
+        if (ob == b) {
+          continue;
+        }
+        for (const Instruction& other : fn.blocks[ob].insts) {
+          for (const Value& v : other.operands) {
+            if (v.kind == Value::Kind::kReg &&
+                v.index == static_cast<uint32_t>(inst.result)) {
+              defs_escape = true;
+              break;
+            }
+          }
+          if (defs_escape) {
+            break;
+          }
+        }
+      }
+      if (defs_escape) {
+        break;
+      }
+    }
+    if (defs_escape) {
+      continue;
+    }
+    Instruction tomb;
+    tomb.op = Opcode::kUnreachable;
+    bb.insts.assign(1, tomb);
+    exempt->emptied_blocks.emplace(f, b);
+    ++*emptied;
+    ++changes;
+  }
+  return changes;
+}
+
+}  // namespace
+
+uint64_t DcePass(Module* m, const ProtectedSites& prot,
+                 ShapeExemptions* exempt, PassStats* stats) {
+  uint64_t rewrites = 0;
+  uint64_t emptied = 0;
+  for (uint32_t f = 0; f < m->NumFunctions(); ++f) {
+    Function& fn = m->Func(f);
+    if (fn.is_external || fn.blocks.empty() ||
+        exempt->stubbed_funcs.count(f) > 0) {
+      continue;
+    }
+    uint64_t neutralized = NeutralizeDead(fn, f, prot);
+    stats->neutralized_insts += neutralized;
+    rewrites += neutralized;
+    rewrites += EmptyDeadBlocks(fn, f, prot, exempt, &emptied);
+  }
+  stats->emptied_blocks += emptied;
+  return rewrites;
+}
+
+}  // namespace esd::ir::passes

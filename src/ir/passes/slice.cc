@@ -1,0 +1,71 @@
+#include <set>
+#include <vector>
+
+#include "src/ir/passes/passes.h"
+
+namespace esd::ir::passes {
+
+// Goal-directed slicing at function granularity: functions unreachable from
+// main and the protected (goal) functions — by direct call or by having
+// their address taken anywhere reachable — can never execute, so their
+// bodies are replaced by a one-instruction `[unreachable]` stub. Function
+// indices and signatures are untouched (call sites in dead code keep
+// verifying); only the body shrinks, which the coordinate checker is told
+// about via the exemption set.
+uint64_t SlicePass(Module* m, const ProtectedSites& prot,
+                   ShapeExemptions* exempt, PassStats* stats) {
+  std::set<uint32_t> reachable;
+  std::vector<uint32_t> work;
+  auto add = [&](uint32_t f) {
+    if (f < m->NumFunctions() && reachable.insert(f).second) {
+      work.push_back(f);
+    }
+  };
+  if (auto main_fn = m->FindFunction("main")) {
+    add(*main_fn);
+  }
+  for (uint32_t f : prot.funcs) {
+    add(f);
+  }
+  while (!work.empty()) {
+    uint32_t f = work.back();
+    work.pop_back();
+    const Function& fn = m->Func(f);
+    if (fn.is_external || exempt->stubbed_funcs.count(f) > 0) {
+      continue;
+    }
+    for (const BasicBlock& bb : fn.blocks) {
+      for (const Instruction& inst : bb.insts) {
+        if (inst.op == Opcode::kCall && inst.callee != kInvalidIndex) {
+          add(inst.callee);
+        }
+        for (const Value& v : inst.operands) {
+          if (v.kind == Value::Kind::kFuncRef) {
+            add(v.index);
+          }
+        }
+      }
+    }
+  }
+
+  uint64_t sliced = 0;
+  for (uint32_t f = 0; f < m->NumFunctions(); ++f) {
+    Function& fn = m->Func(f);
+    if (fn.is_external || fn.blocks.empty() || reachable.count(f) > 0 ||
+        exempt->stubbed_funcs.count(f) > 0) {
+      continue;
+    }
+    BasicBlock stub;
+    stub.label = fn.blocks[0].label;
+    Instruction tomb;
+    tomb.op = Opcode::kUnreachable;
+    stub.insts.push_back(tomb);
+    fn.blocks.assign(1, std::move(stub));
+    exempt->stubbed_funcs.insert(f);
+    ++sliced;
+  }
+  stats->sliced_funcs += sliced;
+  return sliced;
+}
+
+}  // namespace esd::ir::passes

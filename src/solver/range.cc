@@ -1,0 +1,320 @@
+#include "src/solver/range.h"
+
+#include <optional>
+#include <unordered_map>
+
+#include "src/analysis/interval.h"
+
+namespace esd::solver {
+namespace {
+
+using analysis::FullInterval;
+using analysis::Interval;
+using analysis::IntervalIntersect;
+using analysis::IntervalMask;
+using analysis::PointInterval;
+
+using RangeEnv = std::map<uint64_t, Interval>;
+
+// Step 1: narrow variable ranges from directly-refining constraint shapes.
+// Returns false when a narrowing is contradictory (component UNSAT).
+bool RefineEnv(const std::vector<ExprRef>& constraints, RangeEnv* env) {
+  for (const ExprRef& c : constraints) {
+    ExprKind k = c->kind();
+    if (k != ExprKind::kEq && k != ExprKind::kUlt && k != ExprKind::kUle) {
+      continue;
+    }
+    const ExprRef& lhs = c->kids()[0];
+    const ExprRef& rhs = c->kids()[1];
+    const Expr* var = nullptr;
+    uint64_t bound = 0;
+    bool var_on_left = false;
+    if (lhs->kind() == ExprKind::kVar && rhs->IsConst()) {
+      var = lhs.get();
+      bound = rhs->aux();
+      var_on_left = true;
+    } else if (rhs->kind() == ExprKind::kVar && lhs->IsConst()) {
+      var = rhs.get();
+      bound = lhs->aux();
+    } else {
+      continue;
+    }
+    uint32_t width = var->width();
+    uint64_t mask = IntervalMask(width);
+    Interval refine = FullInterval(width);
+    if (k == ExprKind::kEq) {
+      refine = PointInterval(bound, width);
+    } else if (k == ExprKind::kUlt) {
+      if (var_on_left) {
+        if (bound == 0) {
+          return false;  // v < 0: no unsigned value qualifies.
+        }
+        refine = Interval{0, bound - 1};
+      } else {
+        if (bound >= mask) {
+          return false;  // mask < v: nothing above the top value.
+        }
+        refine = Interval{bound + 1, mask};
+      }
+    } else {  // kUle
+      refine = var_on_left ? Interval{0, bound} : Interval{bound, mask};
+    }
+    auto [it, inserted] = env->emplace(var->aux(), refine);
+    if (!inserted) {
+      std::optional<Interval> meet = IntervalIntersect(it->second, refine);
+      if (!meet.has_value()) {
+        return false;  // Two conjuncts pin v to disjoint ranges.
+      }
+      it->second = *meet;
+    }
+  }
+  return true;
+}
+
+// Step 2: bottom-up interval evaluation over the DAG, memoized by node
+// pointer (the DAG shares subtrees heavily).
+class IntervalEval {
+ public:
+  explicit IntervalEval(const RangeEnv& env) : env_(env) {}
+
+  Interval Eval(const ExprRef& e) {
+    auto it = memo_.find(e.get());
+    if (it != memo_.end()) {
+      return it->second;
+    }
+    Interval r = Compute(e);
+    memo_.emplace(e.get(), r);
+    return r;
+  }
+
+ private:
+  Interval Compute(const ExprRef& e) {
+    using namespace analysis;  // Interval transfer functions.
+    uint32_t w = e->width();
+    switch (e->kind()) {
+      case ExprKind::kConst:
+        return PointInterval(e->aux(), w);
+      case ExprKind::kVar: {
+        auto it = env_.find(e->aux());
+        return it == env_.end() ? FullInterval(w) : it->second;
+      }
+      case ExprKind::kAdd:
+        return IntervalAdd(Eval(e->kids()[0]), Eval(e->kids()[1]), w);
+      case ExprKind::kSub:
+        return IntervalSub(Eval(e->kids()[0]), Eval(e->kids()[1]), w);
+      case ExprKind::kMul:
+        return IntervalMul(Eval(e->kids()[0]), Eval(e->kids()[1]), w);
+      case ExprKind::kUDiv:
+        return IntervalUDiv(Eval(e->kids()[0]), Eval(e->kids()[1]), w);
+      case ExprKind::kURem:
+        return IntervalURem(Eval(e->kids()[0]), Eval(e->kids()[1]), w);
+      case ExprKind::kAnd:
+        return IntervalAnd(Eval(e->kids()[0]), Eval(e->kids()[1]), w);
+      case ExprKind::kOr:
+        return IntervalOr(Eval(e->kids()[0]), Eval(e->kids()[1]), w);
+      case ExprKind::kXor:
+        return IntervalXor(Eval(e->kids()[0]), Eval(e->kids()[1]), w);
+      case ExprKind::kShl:
+        return IntervalShl(Eval(e->kids()[0]), Eval(e->kids()[1]), w);
+      case ExprKind::kLShr:
+        return IntervalLShr(Eval(e->kids()[0]), Eval(e->kids()[1]), w);
+      case ExprKind::kAShr:
+        return IntervalAShr(Eval(e->kids()[0]), Eval(e->kids()[1]), w);
+      case ExprKind::kNot:
+        return IntervalNot(Eval(e->kids()[0]), w);
+      case ExprKind::kEq:
+        return IntervalEq(Eval(e->kids()[0]), Eval(e->kids()[1]));
+      case ExprKind::kUlt:
+        return IntervalUlt(Eval(e->kids()[0]), Eval(e->kids()[1]));
+      case ExprKind::kUle:
+        return IntervalUle(Eval(e->kids()[0]), Eval(e->kids()[1]));
+      case ExprKind::kSlt:
+        return IntervalSlt(Eval(e->kids()[0]), Eval(e->kids()[1]),
+                           e->kids()[0]->width());
+      case ExprKind::kSle:
+        return IntervalSle(Eval(e->kids()[0]), Eval(e->kids()[1]),
+                           e->kids()[0]->width());
+      case ExprKind::kZExt:
+        return IntervalZExt(Eval(e->kids()[0]), e->kids()[0]->width(), w);
+      case ExprKind::kSExt:
+        return IntervalSExt(Eval(e->kids()[0]), e->kids()[0]->width(), w);
+      case ExprKind::kExtract:
+        if (e->aux() == 0) {
+          return IntervalTrunc(Eval(e->kids()[0]), w);
+        }
+        return FullInterval(w);
+      case ExprKind::kConcat: {
+        Interval hi = Eval(e->kids()[0]);
+        Interval lo = Eval(e->kids()[1]);
+        uint32_t low_w = e->kids()[1]->width();
+        if (hi.IsPoint() && low_w < 64) {
+          uint64_t base = hi.lo << low_w;
+          if (base <= IntervalMask(w) - lo.hi) {
+            return Interval{base + lo.lo, base + lo.hi};
+          }
+        }
+        return FullInterval(w);
+      }
+      case ExprKind::kIte:
+        return IntervalSelect(Eval(e->kids()[0]), Eval(e->kids()[1]),
+                              Eval(e->kids()[2]));
+      case ExprKind::kSDiv:
+      case ExprKind::kSRem:
+        return FullInterval(w);  // Signed division: not tracked.
+    }
+    return FullInterval(w);
+  }
+
+  const RangeEnv& env_;
+  std::unordered_map<const Expr*, Interval> memo_;
+};
+
+// Inverse of an odd multiplier mod 2^64 (Newton: each step doubles the
+// number of correct low bits, 5 steps from a 3-bit-correct seed).
+uint64_t ModInverseOdd(uint64_t a) {
+  uint64_t x = a;
+  for (int i = 0; i < 5; ++i) {
+    x *= 2 - a * x;
+  }
+  return x;
+}
+
+// Steers `e` to evaluate to `target` by descending through invertible
+// operations until a variable absorbs the residue. Non-steered operands are
+// pinned at their value under the current assignment (which is total — the
+// caller seeds every variable first). A wrong or partial inversion is
+// harmless: the caller re-checks the whole component with EvalExpr.
+bool InvertOnto(const ExprRef& e, uint64_t target,
+                std::map<uint64_t, uint64_t>* asg) {
+  uint64_t mask = IntervalMask(e->width());
+  target &= mask;
+  switch (e->kind()) {
+    case ExprKind::kVar:
+      (*asg)[e->aux()] = target;
+      return true;
+    case ExprKind::kConst:
+      return (e->aux() & mask) == target;
+    case ExprKind::kAdd: {
+      const ExprRef& a = e->kids()[0];
+      const ExprRef& b = e->kids()[1];
+      if (a->IsConst()) {
+        return InvertOnto(b, target - a->aux(), asg);
+      }
+      return InvertOnto(a, target - EvalExpr(b, *asg), asg);
+    }
+    case ExprKind::kSub:
+      return InvertOnto(e->kids()[0], target + EvalExpr(e->kids()[1], *asg),
+                        asg);
+    case ExprKind::kXor: {
+      const ExprRef& a = e->kids()[0];
+      const ExprRef& b = e->kids()[1];
+      if (a->IsConst()) {
+        return InvertOnto(b, target ^ a->aux(), asg);
+      }
+      return InvertOnto(a, target ^ EvalExpr(b, *asg), asg);
+    }
+    case ExprKind::kMul: {
+      const ExprRef& a = e->kids()[0];
+      const ExprRef& b = e->kids()[1];
+      if (b->IsConst() && (b->aux() & 1) != 0) {
+        return InvertOnto(a, target * ModInverseOdd(b->aux()), asg);
+      }
+      if (a->IsConst() && (a->aux() & 1) != 0) {
+        return InvertOnto(b, target * ModInverseOdd(a->aux()), asg);
+      }
+      // x * y: park one factor at 1 and steer the other.
+      if (b->kind() == ExprKind::kVar) {
+        (*asg)[b->aux()] = 1;
+        return InvertOnto(a, target, asg);
+      }
+      if (a->kind() == ExprKind::kVar) {
+        (*asg)[a->aux()] = 1;
+        return InvertOnto(b, target, asg);
+      }
+      return false;
+    }
+    case ExprKind::kZExt: {
+      const ExprRef& a = e->kids()[0];
+      return target <= IntervalMask(a->width()) && InvertOnto(a, target, asg);
+    }
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+RangeResult TryRangeDischarge(const std::vector<ExprRef>& constraints) {
+  RangeResult result;
+  RangeEnv env;
+  if (!RefineEnv(constraints, &env)) {
+    result.outcome = RangeResult::Outcome::kUnsat;
+    return result;
+  }
+
+  IntervalEval eval(env);
+  for (const ExprRef& c : constraints) {
+    Interval r = eval.Eval(c);
+    if (r.hi == 0) {  // Width-1 result pinned to 0: provably false.
+      result.outcome = RangeResult::Outcome::kUnsat;
+      return result;
+    }
+  }
+
+  // Witness probes, each checked by exact evaluation so a wrong guess costs
+  // nothing but this pass. First the point guesses (refined bounds, others
+  // 0), then an equality-inversion pass: unsatisfied Eq conjuncts are
+  // steered onto a variable through invertible operation chains (add, xor,
+  // odd multipliers via the mod-2^64 inverse, var*var by parking one factor
+  // at 1) — the shape of the symbolic guard chains the synthesis branch
+  // feasibility checks keep re-asking.
+  std::map<uint64_t, ExprRef> vars;
+  for (const ExprRef& c : constraints) {
+    CollectVars(c, &vars);
+  }
+  auto Satisfies = [&constraints](const std::map<uint64_t, uint64_t>& asg) {
+    for (const ExprRef& c : constraints) {
+      if (EvalExpr(c, asg) == 0) {
+        return false;
+      }
+    }
+    return true;
+  };
+  std::map<uint64_t, uint64_t> lo_probe;
+  std::map<uint64_t, uint64_t> hi_probe;
+  for (const auto& [id, var] : vars) {
+    auto it = env.find(id);
+    lo_probe[id] = it == env.end() ? 0 : it->second.lo;
+    hi_probe[id] = it == env.end() ? 0 : it->second.hi;
+  }
+  for (auto* probe : {&lo_probe, &hi_probe}) {
+    if (Satisfies(*probe)) {
+      result.outcome = RangeResult::Outcome::kSat;
+      result.witness = std::move(*probe);
+      return result;
+    }
+  }
+  std::map<uint64_t, uint64_t> steered = lo_probe;
+  // Two passes: steering a later conjunct can invalidate an earlier one
+  // once, but the chains share one pivot variable, so a second sweep
+  // reconverges when it is going to converge at all.
+  for (int sweep = 0; sweep < 2; ++sweep) {
+    for (const ExprRef& c : constraints) {
+      if (c->kind() != ExprKind::kEq || EvalExpr(c, steered) != 0) {
+        continue;
+      }
+      if (!InvertOnto(c->kids()[0], EvalExpr(c->kids()[1], steered),
+                      &steered)) {
+        InvertOnto(c->kids()[1], EvalExpr(c->kids()[0], steered), &steered);
+      }
+    }
+    if (Satisfies(steered)) {
+      result.outcome = RangeResult::Outcome::kSat;
+      result.witness = std::move(steered);
+      return result;
+    }
+  }
+  return result;  // kUnknown: every probe missed.
+}
+
+}  // namespace esd::solver

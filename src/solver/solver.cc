@@ -5,6 +5,7 @@
 #include "src/core/event_counters.h"
 #include "src/solver/bitblast.h"
 #include "src/solver/query_cache.h"
+#include "src/solver/range.h"
 #include "src/solver/sat.h"
 
 namespace esd::solver {
@@ -58,6 +59,9 @@ void ConstraintSolver::Stats::Accumulate(const Stats& other) {
   cache_evictions += other.cache_evictions;
   rewrites += other.rewrites;
   components += other.components;
+  range_checked += other.range_checked;
+  range_discharged += other.range_discharged;
+  range_unsat += other.range_unsat;
   shared_hits += other.shared_hits;
   session_resets += other.session_resets;
   sat_conflicts += other.sat_conflicts;
@@ -164,6 +168,42 @@ bool ConstraintSolver::IsSatisfiable(const std::vector<ExprRef>& constraints,
           }
           continue;
         }
+      }
+    }
+    // Stage 0: interval value-range discharge. Decides the guard-shaped
+    // components (negated equality chains, pinned re-queries) without
+    // touching the bit-blaster; its answers are exact (witnesses are
+    // re-checked by evaluation), so they feed the caches like a solve.
+    if (options_.range) {
+      ++stats_.range_checked;
+      RangeResult rr = TryRangeDischarge(comp);
+      if (rr.outcome != RangeResult::Outcome::kUnknown) {
+        ++stats_.range_discharged;
+        bool range_sat = rr.outcome == RangeResult::Outcome::kSat;
+        Model range_model;
+        if (range_sat) {
+          range_model.values = std::move(rr.witness);
+          std::map<uint64_t, ExprRef> vars;
+          for (const ExprRef& c : comp) {
+            CollectVars(c, &vars);
+          }
+          for (const auto& [id, var] : vars) {
+            range_model.names[id] = var->name();
+          }
+        } else {
+          ++stats_.range_unsat;
+        }
+        CacheInsert(key, range_sat);
+        if (options_.shared_cache != nullptr) {
+          options_.shared_cache->Insert(key, range_sat,
+                                        range_sat ? &range_model : nullptr,
+                                        this);
+        }
+        if (!range_sat) {
+          return false;
+        }
+        MergeModel(range_model, &merged);
+        continue;
       }
     }
     // Stage 4: solve the component (incremental session or one-shot).

@@ -4,9 +4,15 @@
 // produces concrete models (the program inputs ESD reports). Mirrors the
 // role STP plays under KLEE in the paper's prototype.
 //
-// Queries run through a four-stage incremental pipeline (each stage
+// Queries run through a five-stage incremental pipeline (each stage
 // individually gated by SolverOptions, all on by default):
 //
+//   0. range       — interval value-range discharge (range.h): per
+//                    component, after the caches miss, refine variable
+//                    ranges from eq/ult/ule-vs-constant conjuncts, refute
+//                    constraints whose interval is provably false, and
+//                    probe the refined point as a concrete witness. Guard
+//                    chains decided here never reach bit-blasting.
 //   1. rewrite     — canonicalization (rewrite.h): syntactic variants of
 //                    the same predicate hash equal; trivially-true
 //                    constraints vanish before any further work.
@@ -64,6 +70,7 @@ struct Model {
 struct SolverOptions {
   bool rewrite = true;      // Stage 1: canonicalizing rewriter.
   bool slice = true;        // Stage 2: independence partitioning.
+  bool range = true;        // Stage 0: interval value-range discharge.
   bool incremental = true;  // Stage 4: assumption-based SAT session.
   // Stage 3, portfolio only: cache shared across workers (not owned).
   SharedSolverCache* shared_cache = nullptr;
@@ -107,6 +114,12 @@ class ConstraintSolver {
     // ---- Pipeline counters ----
     uint64_t rewrites = 0;         // Constraints changed by the rewriter.
     uint64_t components = 0;       // Independent components processed.
+    // Range stage (0): components that reached it / decided by it. The
+    // bench_passes gate asserts range_discharged / range_checked >= 0.30
+    // on the guard-heavy arithmetic workloads.
+    uint64_t range_checked = 0;     // Components interval-analyzed.
+    uint64_t range_discharged = 0;  // Decided without a SAT call (either way).
+    uint64_t range_unsat = 0;       // Of those, refuted as always-false.
     uint64_t shared_hits = 0;      // Cross-worker shared-cache hits.
     uint64_t session_resets = 0;   // Incremental sessions discarded at cap.
     // ---- Underlying SAT effort (accumulated across Solve calls) ----

@@ -1,0 +1,522 @@
+// Port-equivalence suite for the dataflow-framework refactor.
+//
+// Each analysis used to own its fixpoint loop (Dijkstra-style relaxation
+// for the distance tables, a hand-rolled recursive walker for lock order,
+// linear def scans for reaching definitions). They now run on the generic
+// DataflowEngine / AnalysisContext. These tests pin the port by recomputing
+// every table with an independent *reference* implementation — naive
+// Gauss-Seidel round-robin iteration and explicit state enumeration, no
+// worklist, no shared caches — and requiring bit-identical results across
+// the full generated-scenario corpus (the same 210 seeds the fuzz-oracle CI
+// sweep runs).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "src/analysis/cfg.h"
+#include "src/analysis/context.h"
+#include "src/analysis/distance.h"
+#include "src/analysis/lock_order.h"
+#include "src/fuzz/generator.h"
+#include "src/ir/parser.h"
+#include "src/workloads/workloads.h"
+
+namespace esd::analysis {
+namespace {
+
+uint64_t SatAdd(uint64_t a, uint64_t b) {
+  if (a >= kInfDistance || b >= kInfDistance) {
+    return kInfDistance;
+  }
+  uint64_t s = a + b;
+  return s >= kInfDistance ? kInfDistance : s;
+}
+
+// ---- Reference distance tables -------------------------------------------
+//
+// Round-robin iteration over blocks until nothing changes. The lattice is
+// finite-chain (min-plus costs over simple paths), so this converges to the
+// same unique maximum fixpoint the worklist engine computes.
+
+// Min cost from each block's start to a `ret`, given the shared cost model.
+std::vector<uint64_t> RefExitDist(const ir::Function& fn, const Cfg& cfg,
+                                  const DistanceCalculator::FuncCosts& fc) {
+  std::vector<uint64_t> d(fn.blocks.size(), kInfDistance);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (uint32_t b = 0; b < fn.blocks.size(); ++b) {
+      uint64_t s = kInfDistance;
+      for (uint32_t succ : cfg.Block(b).succs) {
+        s = std::min(s, d[succ]);
+      }
+      const std::vector<ir::Instruction>& insts = fn.blocks[b].insts;
+      for (uint32_t i = static_cast<uint32_t>(insts.size()); i-- > 0;) {
+        uint64_t c = fc.inst_cost[fc.block_start[b] + i];
+        s = insts[i].op == ir::Opcode::kRet ? c : SatAdd(c, s);
+      }
+      if (s < d[b]) {
+        d[b] = s;
+        changed = true;
+      }
+    }
+  }
+  return d;
+}
+
+// Block-start goal distances for one function under a fixed entry map.
+std::vector<uint64_t> RefGoalFix(DistanceCalculator& dc,
+                                 const ir::Function& fn, const Cfg& cfg,
+                                 const DistanceCalculator::FuncCosts& fc,
+                                 uint32_t func, ir::InstRef goal,
+                                 const std::map<uint32_t, uint64_t>& entry) {
+  std::vector<uint64_t> d(fn.blocks.size(), kInfDistance);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (uint32_t b = 0; b < fn.blocks.size(); ++b) {
+      uint64_t s = kInfDistance;
+      for (uint32_t succ : cfg.Block(b).succs) {
+        s = std::min(s, d[succ]);
+      }
+      const std::vector<ir::Instruction>& insts = fn.blocks[b].insts;
+      for (uint32_t i = static_cast<uint32_t>(insts.size()); i-- > 0;) {
+        uint64_t c = fc.inst_cost[fc.block_start[b] + i];
+        s = std::min(dc.OpportunityCost(func, b, i, goal, entry),
+                     SatAdd(c, s));
+      }
+      if (s < d[b]) {
+        d[b] = s;
+        changed = true;
+      }
+    }
+  }
+  return d;
+}
+
+// The inter-procedural entry-distance fixpoint E(f), mirroring the
+// production outer loop (same round cap, same Gauss-Seidel function order,
+// same shrink-only update) with the naive per-function solver inside.
+std::map<uint32_t, uint64_t> RefEntryDistances(DistanceCalculator& dc,
+                                               const ir::Module& m,
+                                               AnalysisContext& ctx,
+                                               ir::InstRef goal) {
+  std::map<uint32_t, uint64_t> entry;
+  size_t rounds = m.NumFunctions() + 2;
+  for (size_t round = 0; round < rounds; ++round) {
+    bool changed = false;
+    for (uint32_t f = 0; f < m.NumFunctions(); ++f) {
+      const ir::Function& fn = m.Func(f);
+      if (fn.is_external || fn.blocks.empty()) {
+        continue;
+      }
+      std::vector<uint64_t> d = RefGoalFix(dc, fn, ctx.GetCfg(f),
+                                           dc.CostsForTest(f), f, goal, entry);
+      uint64_t e = d[0];
+      auto it = entry.find(f);
+      if (e < kInfDistance && (it == entry.end() || e < it->second)) {
+        entry[f] = e;
+        changed = true;
+      }
+    }
+    if (!changed) {
+      break;
+    }
+  }
+  return entry;
+}
+
+// Per-instruction distances in the production layout: block b occupies
+// [block_start[b] + b, block_start[b] + b + n], last slot = successor view.
+DistanceCalculator::GoalTable RefGoalTable(
+    DistanceCalculator& dc, const ir::Function& fn, const Cfg& cfg,
+    const DistanceCalculator::FuncCosts& fc, uint32_t func, ir::InstRef goal,
+    const std::map<uint32_t, uint64_t>& entry) {
+  DistanceCalculator::GoalTable table;
+  table.goal_dist.assign(fn.blocks.size(), kInfDistance);
+  table.inst_dist.assign(fc.inst_cost.size() + fn.blocks.size(), kInfDistance);
+  if (fn.blocks.empty() || fn.is_external) {
+    return table;
+  }
+  std::vector<uint64_t> d = RefGoalFix(dc, fn, cfg, fc, func, goal, entry);
+  for (uint32_t b = 0; b < fn.blocks.size(); ++b) {
+    size_t base = fc.block_start[b] + b;
+    const std::vector<ir::Instruction>& insts = fn.blocks[b].insts;
+    uint64_t s = kInfDistance;
+    for (uint32_t succ : cfg.Block(b).succs) {
+      s = std::min(s, d[succ]);
+    }
+    table.inst_dist[base + insts.size()] = s;
+    for (uint32_t i = static_cast<uint32_t>(insts.size()); i-- > 0;) {
+      uint64_t c = fc.inst_cost[fc.block_start[b] + i];
+      s = std::min(dc.OpportunityCost(func, b, i, goal, entry), SatAdd(c, s));
+      table.inst_dist[base + i] = s;
+    }
+    table.goal_dist[b] =
+        insts.empty() ? table.inst_dist[base] : table.inst_dist[base];
+  }
+  return table;
+}
+
+// ---- Reference lock-order walker -----------------------------------------
+//
+// The pre-framework semantics, re-implemented as an explicit DFS over
+// (block, held-set) states instead of a dataflow fixpoint over sets of held
+// sets. Both enumerate exactly the reachable held-set configurations, so
+// the canonical edge sets must agree.
+
+using RefHeldSet = std::map<uint32_t, bool>;  // global -> held shared.
+using RefEdgeKey =
+    std::tuple<uint32_t, uint32_t, uint32_t, uint32_t, uint32_t, bool, bool>;
+
+struct RefAcquireClass {
+  bool acquires = false;
+  bool releases = false;
+  bool blocking = false;
+  bool shared = false;
+};
+
+RefAcquireClass RefClassify(const std::string& name) {
+  if (name == "mutex_lock" || name == "rwlock_wrlock" || name == "sem_wait") {
+    return {true, false, true, false};
+  }
+  if (name == "mutex_trylock" || name == "rwlock_trywrlock") {
+    return {true, false, false, false};
+  }
+  if (name == "rwlock_tryrdlock") {
+    return {true, false, false, true};
+  }
+  if (name == "rwlock_rdlock") {
+    return {true, false, true, true};
+  }
+  if (name == "mutex_unlock" || name == "rwlock_unlock" || name == "sem_post") {
+    return {false, true, false, false};
+  }
+  return {};
+}
+
+class RefLockOrderWalker {
+ public:
+  explicit RefLockOrderWalker(const ir::Module& m) : module_(m), ctx_(&m) {}
+
+  void WalkEntry(uint32_t func) {
+    std::vector<uint32_t> stack;
+    Walk(func, RefHeldSet{}, &stack);
+  }
+
+  std::set<RefEdgeKey> edges;
+
+ private:
+  void ApplyCall(const ir::Instruction& inst, uint32_t func, uint32_t b,
+                 uint32_t i, RefHeldSet* held,
+                 std::vector<uint32_t>* call_stack) {
+    const ir::Function& callee = module_.Func(inst.callee);
+    if (!callee.is_external) {
+      Walk(inst.callee, *held, call_stack);
+      return;
+    }
+    RefAcquireClass cls = RefClassify(callee.name);
+    if ((!cls.acquires && !cls.releases) || inst.operands.empty() ||
+        inst.operands[0].kind != ir::Value::Kind::kGlobalRef) {
+      return;
+    }
+    uint32_t lock_global = inst.operands[0].index;
+    if (cls.releases) {
+      held->erase(lock_global);
+      return;
+    }
+    if (cls.blocking) {
+      for (const auto& [held_lock, held_shared] : *held) {
+        if (held_lock != lock_global) {
+          edges.emplace(held_lock, lock_global, func, b, i, held_shared,
+                        cls.shared);
+        }
+      }
+    }
+    auto [entry, inserted] = held->emplace(lock_global, cls.shared);
+    if (!inserted) {
+      entry->second = entry->second && cls.shared;
+    }
+  }
+
+  void Walk(uint32_t func, const RefHeldSet& entry_held,
+            std::vector<uint32_t>* call_stack) {
+    const ir::Function& fn = module_.Func(func);
+    if (fn.is_external || fn.blocks.empty()) {
+      return;
+    }
+    if (std::find(call_stack->begin(), call_stack->end(), func) !=
+        call_stack->end()) {
+      return;
+    }
+    if (!visited_.emplace(func, entry_held, *call_stack).second) {
+      return;
+    }
+    call_stack->push_back(func);
+    const Cfg& cfg = ctx_.GetCfg(func);
+    std::set<std::pair<uint32_t, RefHeldSet>> seen;
+    std::vector<std::pair<uint32_t, RefHeldSet>> work;
+    work.emplace_back(0u, entry_held);
+    seen.insert(work.back());
+    while (!work.empty()) {
+      auto [b, held] = work.back();
+      work.pop_back();
+      const std::vector<ir::Instruction>& insts = fn.blocks[b].insts;
+      for (uint32_t i = 0; i < insts.size(); ++i) {
+        const ir::Instruction& inst = insts[i];
+        if (inst.op == ir::Opcode::kCall && inst.callee != ir::kInvalidIndex) {
+          ApplyCall(inst, func, b, i, &held, call_stack);
+        }
+      }
+      for (uint32_t succ : cfg.Block(b).succs) {
+        auto next = std::make_pair(succ, held);
+        if (seen.insert(next).second) {
+          work.push_back(std::move(next));
+        }
+      }
+    }
+    call_stack->pop_back();
+  }
+
+  const ir::Module& module_;
+  AnalysisContext ctx_;
+  std::set<std::tuple<uint32_t, RefHeldSet, std::vector<uint32_t>>> visited_;
+};
+
+std::set<RefEdgeKey> RefLockOrderEdges(const ir::Module& m) {
+  RefLockOrderWalker walker(m);
+  std::set<uint32_t> entries;
+  if (auto main_fn = m.FindFunction("main")) {
+    entries.insert(*main_fn);
+  }
+  for (uint32_t f = 0; f < m.NumFunctions(); ++f) {
+    for (const ir::BasicBlock& bb : m.Func(f).blocks) {
+      for (const ir::Instruction& inst : bb.insts) {
+        for (const ir::Value& v : inst.operands) {
+          if (v.kind == ir::Value::Kind::kFuncRef) {
+            entries.insert(v.index);
+          }
+        }
+      }
+    }
+  }
+  for (uint32_t entry : entries) {
+    walker.WalkEntry(entry);
+  }
+  return walker.edges;
+}
+
+// ---- The corpus-wide equivalence check -----------------------------------
+
+// One deterministic goal per defined function: its last instruction.
+std::vector<ir::InstRef> CorpusGoals(const ir::Module& m) {
+  std::vector<ir::InstRef> goals;
+  for (uint32_t f = 0; f < m.NumFunctions(); ++f) {
+    const ir::Function& fn = m.Func(f);
+    if (fn.is_external || fn.blocks.empty()) {
+      continue;
+    }
+    uint32_t b = static_cast<uint32_t>(fn.blocks.size()) - 1;
+    if (fn.blocks[b].insts.empty()) {
+      continue;
+    }
+    goals.push_back(
+        ir::InstRef{f, b, static_cast<uint32_t>(fn.blocks[b].insts.size()) - 1});
+  }
+  return goals;
+}
+
+void CheckModule(const ir::Module& m, const std::string& tag) {
+  DistanceCalculator dc(&m);
+  AnalysisContext ref_ctx(&m);
+
+  // Exit distances: the ExitDistPolicy port vs naive relaxation.
+  for (uint32_t f = 0; f < m.NumFunctions(); ++f) {
+    const ir::Function& fn = m.Func(f);
+    if (fn.is_external || fn.blocks.empty()) {
+      continue;
+    }
+    const DistanceCalculator::FuncCosts& fc = dc.CostsForTest(f);
+    std::vector<uint64_t> ref = RefExitDist(fn, ref_ctx.GetCfg(f), fc);
+    ASSERT_EQ(fc.exit_dist, ref) << tag << ": exit_dist mismatch in func " << f;
+  }
+
+  // Entry distances and goal tables: the GoalDistPolicy port vs the naive
+  // reference, per goal.
+  for (const ir::InstRef& goal : CorpusGoals(m)) {
+    std::map<uint32_t, uint64_t> ref_entry =
+        RefEntryDistances(dc, m, ref_ctx, goal);
+    ASSERT_EQ(dc.EntryDistancesForTest(goal), ref_entry)
+        << tag << ": entry distances mismatch for goal func " << goal.func;
+    for (uint32_t f = 0; f < m.NumFunctions(); ++f) {
+      const ir::Function& fn = m.Func(f);
+      if (fn.is_external || fn.blocks.empty()) {
+        continue;
+      }
+      const DistanceCalculator::GoalTable& got = dc.GoalTableForTest(f, goal);
+      DistanceCalculator::GoalTable ref =
+          RefGoalTable(dc, fn, ref_ctx.GetCfg(f), dc.CostsForTest(f), f, goal,
+                       ref_entry);
+      ASSERT_EQ(got.goal_dist, ref.goal_dist)
+          << tag << ": goal_dist mismatch, func " << f << " goal func "
+          << goal.func;
+      ASSERT_EQ(got.inst_dist, ref.inst_dist)
+          << tag << ": inst_dist mismatch, func " << f << " goal func "
+          << goal.func;
+    }
+  }
+
+  // Lock-order edges: the set-of-held-sets dataflow port vs the explicit
+  // (block, held) DFS enumeration.
+  std::vector<LockOrderEdge> ported = CollectLockOrderEdges(m);
+  std::set<RefEdgeKey> ported_keys;
+  for (const LockOrderEdge& e : ported) {
+    ported_keys.emplace(e.first_mutex_global, e.second_mutex_global,
+                        e.acquire_site.func, e.acquire_site.block,
+                        e.acquire_site.inst, e.first_shared, e.second_shared);
+  }
+  ASSERT_EQ(ported_keys.size(), ported.size()) << tag << ": duplicate edges";
+  ASSERT_EQ(ported_keys, RefLockOrderEdges(m)) << tag << ": lock-order edges";
+
+  // Definition index: AnalysisContext::Defs vs a linear scan.
+  AnalysisContext def_ctx(&m);
+  for (uint32_t f = 0; f < m.NumFunctions(); ++f) {
+    const ir::Function& fn = m.Func(f);
+    const std::vector<AnalysisContext::DefSite>& defs = def_ctx.Defs(f);
+    ASSERT_GE(defs.size(), fn.num_regs) << tag;
+    std::vector<const ir::Instruction*> ref_defs(defs.size(), nullptr);
+    std::vector<ir::InstRef> ref_sites(defs.size());
+    for (uint32_t b = 0; b < fn.blocks.size(); ++b) {
+      for (uint32_t i = 0; i < fn.blocks[b].insts.size(); ++i) {
+        const ir::Instruction& inst = fn.blocks[b].insts[i];
+        if (inst.result >= 0 &&
+            static_cast<size_t>(inst.result) < ref_defs.size() &&
+            ref_defs[inst.result] == nullptr) {
+          ref_defs[inst.result] = &inst;
+          ref_sites[inst.result] = ir::InstRef{f, b, i};
+        }
+      }
+    }
+    for (size_t r = 0; r < defs.size(); ++r) {
+      ASSERT_EQ(defs[r].inst, ref_defs[r])
+          << tag << ": def index mismatch, func " << f << " reg " << r;
+      if (defs[r].inst != nullptr) {
+        ASSERT_EQ(defs[r].site, ref_sites[r]) << tag << ": def site, reg " << r;
+      }
+    }
+  }
+}
+
+TEST(AnalysisPortTest, DirectedModules) {
+  const char* kBodies[] = {
+      // Diamond with asymmetric arms.
+      R"(
+func @f(%x: i32) : i32 {
+entry:
+  %c = icmp eq %x, i32 0
+  condbr %c, left, right
+left:
+  %a = add %x, i32 1
+  br join
+right:
+  %b = add %x, i32 2
+  %b2 = add %b, i32 3
+  br join
+join:
+  ret i32 7
+}
+)",
+      // Loop + call + recursion: exercises the recursion cut and the
+      // call-entry lifting in one module.
+      R"(
+func @rec(%n: i32) : i32 {
+entry:
+  %z = icmp eq %n, i32 0
+  condbr %z, base, down
+base:
+  ret i32 1
+down:
+  %m = sub %n, i32 1
+  %r = call @rec(%m)
+  ret %r
+}
+func @loop(%n: i32) : i32 {
+entry:
+  br head
+head:
+  %c = icmp ult i32 0, %n
+  condbr %c, body, out
+body:
+  %v = call @rec(%n)
+  br head
+out:
+  ret i32 0
+}
+)",
+      // Lock-order shapes: inversion through a call, trylock, rwlock modes.
+      R"(
+global $a = zero 8
+global $b = zero 8
+func @take_b() : void {
+entry:
+  call @mutex_lock($b)
+  call @mutex_lock($a)
+  call @mutex_unlock($a)
+  call @mutex_unlock($b)
+  ret
+}
+func @fwd(%x: ptr) : void {
+entry:
+  call @mutex_lock($a)
+  %t = call @mutex_trylock($b)
+  call @rwlock_rdlock($a)
+  call @mutex_unlock($b)
+  call @take_b()
+  call @mutex_unlock($a)
+  ret
+}
+func @main() : i32 {
+entry:
+  %t1 = call @thread_create(@fwd, null)
+  call @thread_join(%t1)
+  ret i32 0
+}
+)",
+  };
+  int i = 0;
+  for (const char* body : kBodies) {
+    ir::Module m;
+    ir::ParseResult r =
+        ir::ParseModule(std::string(workloads::ExternsPreamble()) + body, &m);
+    ASSERT_TRUE(r.ok) << r.error;
+    CheckModule(m, "directed-" + std::to_string(i++));
+  }
+}
+
+TEST(AnalysisPortTest, Table1Workloads) {
+  for (const char* name : {"listing1", "sqlite", "hawknl"}) {
+    workloads::Workload w = workloads::MakeWorkload(name);
+    CheckModule(*w.module, name);
+  }
+}
+
+// The full fuzz corpus: the same 210 seeds (kind cycling with the seed)
+// the CI fuzz-oracle sweep runs.
+TEST(AnalysisPortTest, GeneratedCorpus) {
+  for (uint64_t seed = 1; seed <= 210; ++seed) {
+    fuzz::GeneratorParams params;
+    params.seed = seed;
+    params.kind = static_cast<fuzz::BugKind>(seed % fuzz::kNumBugKinds);
+    fuzz::GeneratedProgram program = fuzz::Generate(params);
+    CheckModule(*program.module, "seed-" + std::to_string(seed));
+  }
+}
+
+}  // namespace
+}  // namespace esd::analysis

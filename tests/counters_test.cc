@@ -24,14 +24,15 @@ TEST(EventCounters, FieldIterationIsFixedCompleteAndUnique) {
         names.emplace(name);
         ++count;
       });
-  EXPECT_EQ(count, 10u) << "new counter fields must join ForEachField";
+  EXPECT_EQ(count, 12u) << "new counter fields must join ForEachField";
   EXPECT_EQ(names.size(), count) << "duplicate counter name";
   // The names BENCH_*.json and `esdsynth --counters` expose; renaming one
   // breaks committed baselines, so it must be deliberate.
   for (const char* expected :
        {"state_forks", "pages_copied", "bytes_hashed", "frontier_pushes",
         "frontier_pops", "fingerprint_probes", "sync_fold_reuses",
-        "sync_fold_recomputes", "solver_calls", "expr_allocs"}) {
+        "sync_fold_recomputes", "solver_calls", "expr_allocs",
+        "dataflow_iterations", "ir_passes_run"}) {
     EXPECT_TRUE(names.count(expected)) << expected;
   }
 }
@@ -145,15 +146,24 @@ TEST(EventCounters, PortfolioCountersSumAcrossWorkers) {
   EXPECT_LE(result.counters.solver_calls, result.solver.queries);
   EXPECT_GT(result.counters.state_forks, 0u);
 
-  // The summed counters equal the per-worker reports' sum.
+  // result.counters = per-worker sum + the pre-worker setup phase (IR
+  // passes, analysis prewarm). Setup touches no search hot paths, so those
+  // fields match the worker sum exactly; the setup-only fields exceed it.
   EventCounters from_workers;
   for (const core::WorkerReport& worker : result.workers) {
     from_workers.Add(worker.counters);
   }
   EventCounters::ForEachField(
       [&](std::string_view name, uint64_t EventCounters::*field) {
-        EXPECT_EQ(result.counters.*field, from_workers.*field) << name;
+        EXPECT_GE(result.counters.*field, from_workers.*field) << name;
       });
+  for (auto field : {&EventCounters::state_forks, &EventCounters::pages_copied,
+                     &EventCounters::frontier_pushes,
+                     &EventCounters::frontier_pops,
+                     &EventCounters::fingerprint_probes}) {
+    EXPECT_EQ(result.counters.*field, from_workers.*field);
+  }
+  EXPECT_GT(result.counters.ir_passes_run, from_workers.ir_passes_run);
 }
 
 }  // namespace

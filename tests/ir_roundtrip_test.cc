@@ -1,0 +1,89 @@
+// Printer/parser round-trip property test over pass-optimized modules.
+//
+// The synthesizer's IR copy is optimized in place and occasionally printed
+// (--print-passes, repro dumps), so the textual form of a post-pass module
+// must survive print -> parse -> re-print byte-identically. The passes
+// manufacture shapes the front-end never emits — Const operands where a
+// register stood, operand-less kCondBr rewritten to kBr, tombstone blocks
+// holding a single kUnreachable, stubbed function bodies — and constant
+// folding materializes immediates with the top bit set, which is what
+// historically broke the parser's integer scan.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/fuzz/generator.h"
+#include "src/ir/parser.h"
+#include "src/ir/passes/passes.h"
+#include "src/ir/printer.h"
+#include "src/ir/verifier.h"
+#include "src/workloads/workloads.h"
+
+namespace esd {
+namespace {
+
+// print -> parse -> re-print must be a fixpoint after one hop.
+void CheckRoundTrip(const ir::Module& m, const std::string& tag) {
+  std::string first = ir::PrintModule(m);
+  ir::Module reparsed;
+  ir::ParseResult r = ir::ParseModule(first, &reparsed);
+  ASSERT_TRUE(r.ok) << tag << ": " << r.error;
+  EXPECT_TRUE(ir::Verify(reparsed).empty()) << tag;
+  std::string second = ir::PrintModule(reparsed);
+  EXPECT_EQ(first, second) << tag;
+}
+
+void OptimizeAndCheck(ir::Module* m, const std::string& tag) {
+  ir::passes::PassManager pm;
+  ir::passes::PassStats stats;
+  ASSERT_TRUE(pm.Run(m, ir::passes::ProtectedSites{}, &stats))
+      << tag << ": " << pm.log();
+  CheckRoundTrip(*m, tag);
+}
+
+TEST(IrRoundTripTest, GeneratedCorpusAfterPasses) {
+  for (uint64_t seed = 1; seed <= 210; ++seed) {
+    fuzz::GeneratorParams params;
+    params.seed = seed;
+    params.kind = static_cast<fuzz::BugKind>(seed % fuzz::kNumBugKinds);
+    fuzz::GeneratedProgram program = fuzz::Generate(params);
+    OptimizeAndCheck(program.module.get(),
+                     "seed " + std::to_string(seed));
+  }
+}
+
+TEST(IrRoundTripTest, Table1WorkloadsAfterPasses) {
+  for (const char* name : {"listing1", "sqlite", "hawknl"}) {
+    workloads::Workload w = workloads::MakeWorkload(name);
+    OptimizeAndCheck(w.module.get(), name);
+  }
+}
+
+TEST(IrRoundTripTest, HighBitImmediatesSurvive) {
+  // 2^63 + (2^63 - 1) = 2^64 - 1 without wrapping, so the fold pins %a to
+  // 0xFFFF...FF and the optimized text carries a u64 immediate >= 2^63 —
+  // the exact shape that used to overflow the parser's signed integer scan.
+  ir::Module m;
+  ir::ParseResult r = ir::ParseModule(
+      std::string(workloads::ExternsPreamble()) + R"(
+func @main() : i32 {
+entry:
+  %a = add i64 9223372036854775808, i64 9223372036854775807
+  %hi = and %a, i64 9223372036854775808
+  %low = trunc i32, %hi
+  ret %low
+}
+)",
+      &m);
+  ASSERT_TRUE(r.ok) << r.error;
+  ir::passes::PassManager pm;
+  ir::passes::PassStats stats;
+  ASSERT_TRUE(pm.Run(&m, ir::passes::ProtectedSites{}, &stats));
+  EXPECT_GE(stats.folded_operands, 1u);
+  std::string text = ir::PrintModule(m);
+  EXPECT_NE(text.find("18446744073709551615"), std::string::npos) << text;
+  CheckRoundTrip(m, "high-bit immediates");
+}
+
+}  // namespace
+}  // namespace esd

@@ -1,0 +1,348 @@
+// Directed unit tests for the pre-synthesis IR pass pipeline
+// (src/ir/passes): per-pass rewrite behavior, the protections that keep
+// goal sites and escaping definitions intact, and the pass manager's
+// verifier / coordinate-stability checks.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/analysis/cfg.h"
+#include "src/analysis/range_analysis.h"
+#include "src/core/event_counters.h"
+#include "src/ir/parser.h"
+#include "src/ir/passes/passes.h"
+#include "src/ir/printer.h"
+#include "src/ir/verifier.h"
+#include "src/workloads/workloads.h"
+
+namespace esd::ir::passes {
+namespace {
+
+Module Parse(const std::string& body) {
+  Module m;
+  ParseResult r =
+      ParseModule(std::string(workloads::ExternsPreamble()) + body, &m);
+  EXPECT_TRUE(r.ok) << r.error;
+  return m;
+}
+
+TEST(RangeAnalysisTest, ConstChainsArePoints) {
+  Module m = Parse(R"(
+global $g = zero 4
+func @f() : i32 {
+entry:
+  %a = add i32 2, i32 3
+  %b = mul %a, i32 4
+  %v = load i32, $g
+  %c = add %v, i32 1
+  ret %b
+}
+)");
+  uint32_t f = *m.FindFunction("f");
+  analysis::Cfg cfg(m, f);
+  analysis::RangeAnalysis ranges(m.Func(f), cfg);
+  // %a = 5 at its use in %b (instruction 1, operand register 0).
+  EXPECT_EQ(ranges.RegRange(0, 0, 1), (analysis::Interval{5, 5}));
+  // %b = 20 at the ret.
+  EXPECT_EQ(ranges.RegRange(1, 0, 4), (analysis::Interval{20, 20}));
+  // %v comes from memory, and %c = %v + 1 can wrap: both unconstrained.
+  EXPECT_TRUE(analysis::IsFullInterval(ranges.RegRange(2, 0, 3), 64));
+  EXPECT_TRUE(analysis::IsFullInterval(ranges.RegRange(3, 0, 4), 64));
+}
+
+TEST(ConstantFoldTest, RewritesProvenOperands) {
+  Module m = Parse(R"(
+func @f() : i32 {
+entry:
+  %a = add i32 2, i32 3
+  %b = mul %a, i32 4
+  ret %b
+}
+)");
+  uint32_t f = *m.FindFunction("f");
+  ProtectedSites prot;
+  ShapeExemptions exempt;
+  PassStats stats;
+  uint64_t n = ConstantFoldPass(&m, prot, exempt, &stats);
+  EXPECT_GE(n, 2u);  // %a in the mul, %b in the ret.
+  const Instruction& mul = m.Func(f).blocks[0].insts[1];
+  ASSERT_EQ(mul.operands[0].kind, Value::Kind::kConst);
+  EXPECT_EQ(mul.operands[0].imm, 5u);
+  const Instruction& ret = m.Func(f).blocks[0].insts[2];
+  ASSERT_EQ(ret.operands[0].kind, Value::Kind::kConst);
+  EXPECT_EQ(ret.operands[0].imm, 20u);
+  // The defining instructions themselves still occupy their slots.
+  EXPECT_EQ(m.Func(f).blocks[0].insts.size(), 3u);
+  EXPECT_TRUE(Verify(m).empty());
+}
+
+TEST(ConstantFoldTest, ProtectedSitesAreUntouched) {
+  Module m = Parse(R"(
+func @f() : i32 {
+entry:
+  %a = add i32 2, i32 3
+  %b = mul %a, i32 4
+  ret %b
+}
+)");
+  uint32_t f = *m.FindFunction("f");
+  ProtectedSites prot;
+  prot.funcs.insert(f);
+  prot.sites.insert(InstRef{f, 0, 1});  // The mul is a goal site.
+  ShapeExemptions exempt;
+  PassStats stats;
+  ConstantFoldPass(&m, prot, exempt, &stats);
+  EXPECT_EQ(m.Func(f).blocks[0].insts[1].operands[0].kind, Value::Kind::kReg);
+}
+
+TEST(BranchElideTest, PinnedConditionBecomesBr) {
+  Module m = Parse(R"(
+global $g = zero 4
+func @f() : i32 {
+entry:
+  %c = icmp eq i32 1, i32 1
+  condbr %c, taken, dead
+taken:
+  ret i32 1
+dead:
+  %v = load i32, $g
+  %u = icmp ult %v, i32 7
+  condbr %u, taken, dead2
+dead2:
+  ret i32 0
+}
+)");
+  uint32_t f = *m.FindFunction("f");
+  ProtectedSites prot;
+  ShapeExemptions exempt;
+  PassStats stats;
+  uint64_t n = BranchElidePass(&m, prot, exempt, &stats);
+  EXPECT_EQ(n, 1u);
+  const Instruction& term = m.Func(f).blocks[0].insts[1];
+  EXPECT_EQ(term.op, Opcode::kBr);
+  EXPECT_EQ(term.succ_true, 1u);  // 'taken'.
+  EXPECT_TRUE(term.operands.empty());
+  // The load-dependent branch in 'dead' is NOT elidable: its condition is
+  // unknown (the pass is range-driven, not reachability-driven).
+  EXPECT_EQ(m.Func(f).blocks[2].insts.back().op, Opcode::kCondBr);
+  EXPECT_TRUE(Verify(m).empty());
+}
+
+TEST(DceTest, NeutralizesDeadArithmeticInPlace) {
+  Module m = Parse(R"(
+global $in = zero 4
+func @f() : i32 {
+entry:
+  %v = load i32, $in
+  %dead = mul %v, i32 99
+  %live = add %v, i32 1
+  ret %live
+}
+)");
+  uint32_t f = *m.FindFunction("f");
+  ProtectedSites prot;
+  ShapeExemptions exempt;
+  PassStats stats;
+  uint64_t n = DcePass(&m, prot, &exempt, &stats);
+  EXPECT_EQ(stats.neutralized_insts, 1u);
+  EXPECT_EQ(n, 1u);
+  const Instruction& dead = m.Func(f).blocks[0].insts[1];
+  // Slot still executes, but no longer references %v.
+  ASSERT_EQ(dead.operands[0].kind, Value::Kind::kConst);
+  EXPECT_EQ(dead.operands[0].imm, 0u);
+  // The live add keeps its register operand.
+  EXPECT_EQ(m.Func(f).blocks[0].insts[2].operands[0].kind, Value::Kind::kReg);
+  EXPECT_TRUE(Verify(m).empty());
+  // Idempotent: a second run finds nothing new (convergence for the
+  // pass-manager fixpoint).
+  EXPECT_EQ(DcePass(&m, prot, &exempt, &stats), 0u);
+}
+
+TEST(DceTest, EmptiesUnreachableBlocks) {
+  Module m = Parse(R"(
+func @f() : i32 {
+entry:
+  br out
+orphan:
+  %x = add i32 1, i32 2
+  br out
+out:
+  ret i32 0
+}
+)");
+  uint32_t f = *m.FindFunction("f");
+  ProtectedSites prot;
+  ShapeExemptions exempt;
+  PassStats stats;
+  DcePass(&m, prot, &exempt, &stats);
+  EXPECT_EQ(stats.emptied_blocks, 1u);
+  const BasicBlock& orphan = m.Func(f).blocks[1];
+  ASSERT_EQ(orphan.insts.size(), 1u);
+  EXPECT_EQ(orphan.insts[0].op, Opcode::kUnreachable);
+  EXPECT_EQ(exempt.emptied_blocks.count({f, 1u}), 1u);
+  EXPECT_TRUE(Verify(m).empty());
+}
+
+TEST(DceTest, KeepsDeadBlocksWhoseDefsEscape) {
+  // 'orphan' is unreachable but defines %x, which a LIVE instruction in
+  // 'out' names (%y is returned, so it survives neutralization): emptying
+  // orphan would leave a textually undefined register.
+  Module m = Parse(R"(
+func @f() : i32 {
+entry:
+  br out
+orphan:
+  %x = add i32 1, i32 2
+  br out
+out:
+  %y = add %x, i32 1
+  ret %y
+}
+)");
+  uint32_t f = *m.FindFunction("f");
+  ProtectedSites prot;
+  ShapeExemptions exempt;
+  PassStats stats;
+  DcePass(&m, prot, &exempt, &stats);
+  EXPECT_EQ(stats.emptied_blocks, 0u);
+  EXPECT_EQ(m.Func(f).blocks[1].insts.size(), 2u);
+  EXPECT_TRUE(Verify(m).empty());
+}
+
+TEST(SliceTest, StubsUncalledFunctions) {
+  Module m = Parse(R"(
+func @orphan() : i32 {
+entry:
+  %a = add i32 1, i32 2
+  %b = add %a, i32 3
+  ret %b
+}
+func @worker(%p: ptr) : void {
+entry:
+  ret
+}
+func @main() : i32 {
+entry:
+  %t = call @thread_create(@worker, null)
+  call @thread_join(%t)
+  ret i32 0
+}
+)");
+  uint32_t orphan = *m.FindFunction("orphan");
+  uint32_t worker = *m.FindFunction("worker");
+  ProtectedSites prot;
+  ShapeExemptions exempt;
+  PassStats stats;
+  uint64_t n = SlicePass(&m, prot, &exempt, &stats);
+  EXPECT_EQ(n, 1u);
+  ASSERT_EQ(m.Func(orphan).blocks.size(), 1u);
+  ASSERT_EQ(m.Func(orphan).blocks[0].insts.size(), 1u);
+  EXPECT_EQ(m.Func(orphan).blocks[0].insts[0].op, Opcode::kUnreachable);
+  EXPECT_EQ(exempt.stubbed_funcs.count(orphan), 1u);
+  // The thread entry is address-taken from main: kept.
+  EXPECT_EQ(m.Func(worker).blocks[0].insts[0].op, Opcode::kRet);
+  EXPECT_TRUE(Verify(m).empty());
+}
+
+TEST(SliceTest, ProtectedFunctionsSurvive) {
+  Module m = Parse(R"(
+func @goal_holder() : void {
+entry:
+  %a = add i32 1, i32 1
+  ret
+}
+func @main() : i32 {
+entry:
+  ret i32 0
+}
+)");
+  uint32_t goal = *m.FindFunction("goal_holder");
+  ProtectedSites prot;
+  prot.funcs.insert(goal);
+  ShapeExemptions exempt;
+  PassStats stats;
+  EXPECT_EQ(SlicePass(&m, prot, &exempt, &stats), 0u);
+  EXPECT_EQ(m.Func(goal).blocks[0].insts.size(), 2u);
+}
+
+TEST(PassManagerTest, PipelineConvergesAndPreservesCoordinates) {
+  Module m = Parse(R"(
+global $g = zero 4
+func @orphan() : void {
+entry:
+  ret
+}
+func @f(%x: i32) : i32 {
+entry:
+  %five = add i32 2, i32 3
+  %c = icmp eq %five, i32 5
+  condbr %c, yes, no
+yes:
+  %r = add %x, %five
+  ret %r
+no:
+  %d = add %x, i32 7
+  ret %d
+}
+func @main() : i32 {
+entry:
+  %v = call @f(i32 1)
+  ret i32 0
+}
+)");
+  uint32_t f = *m.FindFunction("f");
+  // Snapshot the reachable shape to assert coordinate stability by hand.
+  size_t entry_insts = m.Func(f).blocks[0].insts.size();
+  EventCounters counters;
+  uint64_t passes_run;
+  {
+    ScopedEventCounters scope(&counters);
+    PassManager pm;
+    PassStats stats;
+    ASSERT_TRUE(pm.Run(&m, ProtectedSites{}, &stats));
+    EXPECT_GE(stats.folded_operands, 1u);  // %five uses fold to 5.
+    EXPECT_EQ(stats.elided_branches, 1u);  // The pinned condbr.
+    EXPECT_EQ(stats.emptied_blocks, 1u);   // 'no' becomes unreachable.
+    EXPECT_EQ(stats.sliced_funcs, 1u);     // @orphan.
+    EXPECT_GE(stats.rounds, 2u);           // Elide -> next round empties.
+    EXPECT_FALSE(pm.log().empty());
+    passes_run = counters.ir_passes_run;
+  }
+  EXPECT_GE(passes_run, 8u);  // 4 passes x >= 2 rounds.
+  // Reachable code kept every instruction slot.
+  EXPECT_EQ(m.Func(f).blocks[0].insts.size(), entry_insts);
+  EXPECT_EQ(m.Func(f).blocks[0].insts.back().op, Opcode::kBr);
+  EXPECT_EQ(m.Func(f).blocks[1].insts.size(), 2u);  // 'yes' intact.
+  EXPECT_TRUE(Verify(m).empty());
+  // The optimized module still prints and re-parses.
+  Module reparsed;
+  ParseResult r = ParseModule(PrintModule(m), &reparsed);
+  EXPECT_TRUE(r.ok) << r.error;
+}
+
+TEST(PassManagerTest, GoalSitesAnchorTheirFunctions) {
+  Module m = Parse(R"(
+func @goal_fn() : void {
+entry:
+  %a = add i32 1, i32 1
+  ret
+}
+func @main() : i32 {
+entry:
+  ret i32 0
+}
+)");
+  uint32_t goal_fn = *m.FindFunction("goal_fn");
+  ProtectedSites prot;
+  prot.funcs.insert(goal_fn);
+  prot.sites.insert(InstRef{goal_fn, 0, 0});
+  PassManager pm;
+  PassStats stats;
+  ASSERT_TRUE(pm.Run(&m, prot, &stats));
+  // Not sliced, not neutralized: the goal site still names its operands.
+  ASSERT_EQ(m.Func(goal_fn).blocks[0].insts.size(), 2u);
+  EXPECT_EQ(stats.sliced_funcs, 0u);
+}
+
+}  // namespace
+}  // namespace esd::ir::passes

@@ -1,8 +1,8 @@
 // esdfuzz: scenario fuzzing for the synthesis engine.
 //
 //   esdfuzz [--seeds N] [--seed-base S] [--kind deadlock|race|crash|mixed]
-//           [--jobs N] [--time-cap SECONDS] [--no-ablations] [--shrink]
-//           [--out-dir DIR] [--inject-kind-mismatch]
+//           [--jobs N] [--time-cap SECONDS] [--no-ablations] [--no-ir-opt]
+//           [--shrink] [--out-dir DIR] [--inject-kind-mismatch]
 //
 // Expands each seed into a random concurrent program with a planted bug
 // (src/fuzz/generator.h), then runs the differential oracle: full-engine
@@ -43,8 +43,11 @@ void Usage(std::ostream& os = std::cerr) {
      << "  --jobs N           portfolio width for each synthesis run\n"
      << "                     (default 1)\n"
      << "  --time-cap SECONDS per-synthesis budget (default 30)\n"
-     << "  --no-ablations     skip the pruning-off / solver-pipeline-off\n"
-     << "                     agreement runs\n"
+     << "  --no-ablations     skip the pruning-off / solver-pipeline-off /\n"
+     << "                     ir-opt-off agreement runs\n"
+     << "  --no-ir-opt        run the whole sweep without the pre-synthesis\n"
+     << "                     IR pass pipeline (the CI ablation job runs the\n"
+     << "                     corpus both ways and diffs the verdicts)\n"
      << "  --shrink           delta-debug failing scenarios to a minimal\n"
      << "                     repro before writing it\n"
      << "  --out-dir DIR      where failure repros are written (default .)\n"
@@ -101,6 +104,8 @@ int main(int argc, char** argv) {
       oracle.time_cap_seconds = std::atof(argv[++i]);
     } else if (arg == "--no-ablations") {
       oracle.check_ablations = false;
+    } else if (arg == "--no-ir-opt") {
+      oracle.ir_opt = false;
     } else if (arg == "--shrink") {
       shrink = true;
     } else if (arg == "--out-dir" && i + 1 < argc) {

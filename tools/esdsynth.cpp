@@ -4,9 +4,10 @@
 //            [--jobs N] [--with-race-det] [--no-proximity]
 //            [--no-intermediate-goals] [--no-critical-edges] [--seed N]
 //            [--dedup | --no-dedup] [--dedup-private] [--no-sleep-sets]
-//            [--no-solver-rewrite] [--no-solver-slice]
+//            [--no-solver-rewrite] [--no-solver-slice] [--no-solver-range]
 //            [--no-solver-incremental] [--no-solver-pipeline]
 //            [--solver-cache-shared | --solver-cache-private] [--counters]
+//            [--no-ir-opt] [--print-passes]
 //
 // Reads the program and the coredump, synthesizes an execution that
 // reproduces the reported bug, and writes the execution file for esdplay.
@@ -50,10 +51,18 @@ void Usage(std::ostream& os = std::cerr) {
      << "                          rewriter (solver pipeline stage 1)\n"
      << "  --no-solver-slice       disable independence partitioning of\n"
      << "                          queries into components (stage 2)\n"
+     << "  --no-solver-range       disable the interval value-range\n"
+     << "                          discharge of guard constraints (stage 0)\n"
      << "  --no-solver-incremental disable the assumption-based incremental\n"
      << "                          SAT session (stage 4)\n"
-     << "  --no-solver-pipeline    disable all three of the above and the\n"
+     << "  --no-solver-pipeline    disable all of the above and the\n"
      << "                          shared solver cache\n"
+     << "  --no-ir-opt             search the original module instead of a\n"
+     << "                          pre-optimized copy (constant folding,\n"
+     << "                          branch elision, DCE, goal-directed\n"
+     << "                          slicing; default on)\n"
+     << "  --print-passes          print the per-pass IR pipeline log and\n"
+     << "                          rewrite counts\n"
      << "  --solver-cache-shared / --solver-cache-private\n"
      << "                          with --jobs N: one solver query cache\n"
      << "                          shared by all workers (default) or\n"
@@ -119,13 +128,20 @@ int main(int argc, char** argv) {
       options.solver_rewrite = false;
     } else if (arg == "--no-solver-slice") {
       options.solver_slice = false;
+    } else if (arg == "--no-solver-range") {
+      options.solver_range = false;
     } else if (arg == "--no-solver-incremental") {
       options.solver_incremental = false;
     } else if (arg == "--no-solver-pipeline") {
       options.solver_rewrite = false;
       options.solver_slice = false;
+      options.solver_range = false;
       options.solver_incremental = false;
       options.solver_cache_shared = false;
+    } else if (arg == "--no-ir-opt") {
+      options.ir_opt = false;
+    } else if (arg == "--print-passes") {
+      options.print_passes = true;
     } else if (arg == "--solver-cache-shared") {
       options.solver_cache_shared = true;
     } else if (arg == "--solver-cache-private") {
@@ -186,7 +202,21 @@ int main(int argc, char** argv) {
             << "esdsynth: solver: SAT effort: " << ss.sat_conflicts
             << " conflicts, " << ss.sat_decisions << " decisions, "
             << ss.sat_propagations << " propagations, " << ss.sat_learned
-            << " learned clauses\n";
+            << " learned clauses\n"
+            << "esdsynth: solver: range stage: " << ss.range_discharged
+            << "/" << ss.range_checked << " components discharged ("
+            << ss.range_unsat << " unsat)\n";
+  if (options.ir_opt) {
+    const auto& ps = result.pass_stats;
+    std::cout << "esdsynth: ir-opt: " << ps.folded_operands << " folds, "
+              << ps.elided_branches << " branch elisions, "
+              << ps.neutralized_insts << " neutralized, "
+              << ps.emptied_blocks << " emptied blocks, " << ps.sliced_funcs
+              << " sliced functions in " << ps.rounds << " rounds\n";
+  }
+  if (options.print_passes && !result.pass_log.empty()) {
+    std::cout << "esdsynth: pass log:\n" << result.pass_log;
+  }
   if (print_counters) {
     std::cout << "esdsynth: counters:";
     EventCounters::ForEachField(
