@@ -50,6 +50,16 @@ struct BenchRecord {
   // does not read as an engine regression. 0 = not measured (the gate then
   // compares raw states/sec).
   double calib_ops_per_sec = 0.0;
+  // Strong-scaling ratio (bench_portfolio): aggregate states/sec at the
+  // swept jobs count divided by states/sec at jobs=1 on the same workload,
+  // measured only when the host has at least that many cores. 0 = not
+  // measured (single-core runner, or a bench that doesn't scale-sweep);
+  // the CI gate then skips the ratio check for the record.
+  double scale_ratio = 0.0;
+  // Time-to-first-manifestation (bench_portfolio): fastest observed wall
+  // seconds from search start to the first bug manifestation at this
+  // record's jobs count. 0 = not measured.
+  double ttfm_seconds = 0.0;
   EventCounters counters;
   std::string git_rev;
 };
@@ -128,6 +138,10 @@ inline std::string RecordsToJson(const std::vector<BenchRecord>& records) {
     json_detail::AppendNumber(&out, r.states_per_sec);
     out += ",\n    \"calib_ops_per_sec\": ";
     json_detail::AppendNumber(&out, r.calib_ops_per_sec);
+    out += ",\n    \"scale_ratio\": ";
+    json_detail::AppendNumber(&out, r.scale_ratio);
+    out += ",\n    \"ttfm_seconds\": ";
+    json_detail::AppendNumber(&out, r.ttfm_seconds);
     out += ",\n    \"counters\": {";
     bool first = true;
     EventCounters::ForEachField(
@@ -267,6 +281,16 @@ inline std::optional<std::vector<BenchRecord>> ParseRecords(
       } else if (key == "calib_ops_per_sec") {
         // Optional (absent in pre-calibration baselines): 0 when missing.
         if (!r.ReadNumber(&rec.calib_ops_per_sec)) {
+          return std::nullopt;
+        }
+      } else if (key == "scale_ratio") {
+        // Optional (absent in pre-scaling baselines): 0 when missing.
+        if (!r.ReadNumber(&rec.scale_ratio)) {
+          return std::nullopt;
+        }
+      } else if (key == "ttfm_seconds") {
+        // Optional (bench_portfolio only): 0 when missing.
+        if (!r.ReadNumber(&rec.ttfm_seconds)) {
           return std::nullopt;
         }
       } else if (key == "git_rev") {

@@ -205,6 +205,10 @@ int main() {
         core::SynthesisOptions options;
         options.time_cap_seconds = cap;
         options.jobs = static_cast<size_t>(jobs);
+        // Racing portfolio: the cooperative frontier always shares the
+        // fingerprint table, which would make the shared-vs-private
+        // comparison below vacuous at jobs > 1.
+        options.cooperative = false;
         options.dedup = mode.dedup;
         options.dedup_shared = mode.dedup_shared;
         options.sleep_sets = mode.sleep_sets;

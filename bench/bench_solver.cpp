@@ -66,6 +66,11 @@ Cell RunCell(const BenchCase& c, int jobs, const Mode& mode, double cap) {
   core::SynthesisOptions options;
   options.time_cap_seconds = cap;
   options.jobs = static_cast<size_t>(jobs);
+  // Racing portfolio: the shared-vs-private solver-cache comparison was
+  // designed around diversified racing workers; keep that configuration
+  // so the committed baselines stay comparable. bench_portfolio owns the
+  // cooperative-mode scaling numbers.
+  options.cooperative = false;
   options.solver_rewrite = mode.pipeline;
   options.solver_slice = mode.pipeline;
   options.solver_incremental = mode.pipeline;

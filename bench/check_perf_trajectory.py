@@ -18,10 +18,19 @@ calib_ops_per_sec — so a slower or more loaded machine than the one that
 produced the baseline does not read as an engine regression. Without
 calibration on either side, raw states/sec is compared.
 
+A current record carrying scale_ratio > 0 (bench_portfolio's jobs=4
+records, emitted only when the host has enough cores to actually run the
+sweep in parallel) is additionally gated at >= 1.7x: aggregate states/sec
+at jobs=4 must be at least 1.7 times the jobs=1 throughput on the same
+workload. Records without the field (single-core runners, non-scaling
+benches, pre-scaling baselines) skip the check.
+
 Counters are informational (printed on regression for diagnosis), not gated:
 they shift legitimately whenever the engine's exploration changes, while
 states/sec is the trajectory the ISSUE gates.
 """
+
+SCALE_RATIO_BAR = 1.7
 
 import argparse
 import json
@@ -95,6 +104,14 @@ def main():
                 failed = True
                 print(f"     baseline counters: {base_rec['counters']}")
                 print(f"     current  counters: {cur[workload]['counters']}")
+            ratio = float(cur_rec.get("scale_ratio", 0.0))
+            if ratio > 0:
+                scale_ok = ratio >= SCALE_RATIO_BAR
+                print(f"{'ok' if scale_ok else 'FAIL':4} "
+                      f"{baseline_path.name}/{workload}: strong-scaling "
+                      f"ratio {ratio:.2f}x (gate >= {SCALE_RATIO_BAR}x)")
+                if not scale_ok:
+                    failed = True
 
     return 1 if failed else 0
 

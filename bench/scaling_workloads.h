@@ -1,0 +1,269 @@
+// Strong-scaling synthesis workloads for bench_portfolio.
+//
+// The Table 1 miniatures manifest within a few dozen states — perfect for
+// time-to-first-manifestation trajectories, useless for measuring how
+// exploration throughput scales with workers: thread startup alone costs
+// more than the whole search. These two workloads make the *pruned* search
+// space large on purpose, with a construction the pruning layers provably
+// cannot collapse:
+//
+// Two threads each apply 6 affine updates to one shared accumulator under
+// one shared mutex — thread A computes acc = 3*acc + 1, thread B computes
+// acc = 5*acc + 3. The maps do not commute ((3-1)*3 != (5-1)*1), so every
+// distinct ordering of the critical sections produces a *distinct*
+// accumulator value (verified exhaustively over all C(12,6) = 924 orders):
+// state dedup cannot merge any two interleaving prefixes, and sleep sets
+// cannot skip any fork, because every pair of updates conflicts on the
+// same mutex and the same global. Each update also runs a short spin of
+// pure arithmetic inside the critical section, so a state costs enough
+// interpreter work that per-worker overhead (handoff, steal probes) stays
+// a small fraction of a step.
+//
+// The planted bug is armed by one ordering with exactly 4 context
+// switches — the race strategy's full preemption budget (Chess-style
+// iterative context bounding), so the target sits in the last generation
+// of the bounded search rather than on the first dive — and neither a
+// straight run of one thread nor a simple alternation. The engine
+// genuinely traverses the interleaving tree (thousands of states, hundreds
+// of milliseconds at one worker), which is what makes aggregate states/sec
+// at jobs=4 vs jobs=1 a real scaling signal.
+#ifndef ESD_BENCH_SCALING_WORKLOADS_H_
+#define ESD_BENCH_SCALING_WORKLOADS_H_
+
+#include <memory>
+
+#include "src/workloads/workloads.h"
+
+namespace esd::bench {
+
+// Lost-update shape: main asserts the accumulator did NOT take the value
+// 6475774, which is produced exactly by the ordering ABAABBBBBAAA (and by
+// no other). The report is the assert site (workloads::AssertSiteDump);
+// the buggy interleaving is pure schedule, no inputs.
+inline std::shared_ptr<ir::Module> RaceScalingModule() {
+  return workloads::ParseWorkload(R"(
+global $acc = zero 4
+global $m = zero 8
+
+func @mix_a(%arg: ptr) : void {
+entry:
+  %slot = alloca 4
+  store i32 0, %slot
+  br loop
+loop:
+  %i = load i32, %slot
+  %more = icmp ult %i, i32 6
+  condbr %more, body, done
+body:
+  call @mutex_lock($m)
+  %v = load i32, $acc
+  %t = mul %v, i32 3
+  %n = add %t, i32 1
+  store %n, $acc
+  %spin = alloca 4
+  store i32 0, %spin
+  br grind
+grind:
+  %g = load i32, %spin
+  %gm = icmp ult %g, i32 6
+  condbr %gm, gbody, gdone
+gbody:
+  %x = mul %g, i32 2654435761
+  %y = add %x, i32 40503
+  %g2 = add %g, i32 1
+  store %g2, %spin
+  br grind
+gdone:
+  call @mutex_unlock($m)
+  %i2 = add %i, i32 1
+  store %i2, %slot
+  br loop
+done:
+  ret
+}
+
+func @mix_b(%arg: ptr) : void {
+entry:
+  %slot = alloca 4
+  store i32 0, %slot
+  br loop
+loop:
+  %i = load i32, %slot
+  %more = icmp ult %i, i32 6
+  condbr %more, body, done
+body:
+  call @mutex_lock($m)
+  %v = load i32, $acc
+  %t = mul %v, i32 5
+  %n = add %t, i32 3
+  store %n, $acc
+  %spin = alloca 4
+  store i32 0, %spin
+  br grind
+grind:
+  %g = load i32, %spin
+  %gm = icmp ult %g, i32 6
+  condbr %gm, gbody, gdone
+gbody:
+  %x = mul %g, i32 2654435761
+  %y = add %x, i32 40503
+  %g2 = add %g, i32 1
+  store %g2, %spin
+  br grind
+gdone:
+  call @mutex_unlock($m)
+  %i2 = add %i, i32 1
+  store %i2, %slot
+  br loop
+done:
+  ret
+}
+
+func @main() : i32 {
+entry:
+  %t1 = call @thread_create(@mix_a, null)
+  %t2 = call @thread_create(@mix_b, null)
+  call @thread_join(%t1)
+  call @thread_join(%t2)
+  %v = load i32, $acc
+  %ok = icmp ne %v, i32 6475774
+  call @esd_assert(%ok)
+  ret i32 0
+}
+)");
+}
+
+// Lock-order-inversion shape: thread B reads the accumulator after its own
+// six updates and inverts its lock order only when it reads 245143 — the
+// value produced exactly by the ordering ABBABBABB (B's six updates done,
+// A's first three interleaved in between; unique among the 84 such
+// prefixes). In that window B takes m2 before m1 while A, after its three
+// remaining updates, takes m1 before m2: circular wait. Every other
+// ordering keeps both threads on the m1->m2 order.
+inline std::shared_ptr<ir::Module> DeadlockScalingModule() {
+  return workloads::ParseWorkload(R"(
+global $acc = zero 4
+global $m = zero 8
+global $m1 = zero 8
+global $m2 = zero 8
+
+func @grind_a(%arg: ptr) : void {
+entry:
+  %slot = alloca 4
+  store i32 0, %slot
+  br loop
+loop:
+  %i = load i32, %slot
+  %more = icmp ult %i, i32 6
+  condbr %more, body, locks
+body:
+  call @mutex_lock($m)
+  %v = load i32, $acc
+  %t = mul %v, i32 3
+  %n = add %t, i32 1
+  store %n, $acc
+  %spin = alloca 4
+  store i32 0, %spin
+  br grind
+grind:
+  %g = load i32, %spin
+  %gm = icmp ult %g, i32 6
+  condbr %gm, gbody, gdone
+gbody:
+  %x = mul %g, i32 2654435761
+  %y = add %x, i32 40503
+  %g2 = add %g, i32 1
+  store %g2, %spin
+  br grind
+gdone:
+  call @mutex_unlock($m)
+  %i2 = add %i, i32 1
+  store %i2, %slot
+  br loop
+locks:
+  call @mutex_lock($m1)
+  call @mutex_lock($m2)
+  call @mutex_unlock($m2)
+  call @mutex_unlock($m1)
+  ret
+}
+
+func @grind_b(%arg: ptr) : void {
+entry:
+  %slot = alloca 4
+  store i32 0, %slot
+  br loop
+loop:
+  %i = load i32, %slot
+  %more = icmp ult %i, i32 6
+  condbr %more, body, gate
+body:
+  call @mutex_lock($m)
+  %v = load i32, $acc
+  %t = mul %v, i32 5
+  %n = add %t, i32 3
+  store %n, $acc
+  %spin = alloca 4
+  store i32 0, %spin
+  br grind
+grind:
+  %g = load i32, %spin
+  %gm = icmp ult %g, i32 6
+  condbr %gm, gbody, gdone
+gbody:
+  %x = mul %g, i32 2654435761
+  %y = add %x, i32 40503
+  %g2 = add %g, i32 1
+  store %g2, %spin
+  br grind
+gdone:
+  call @mutex_unlock($m)
+  %i2 = add %i, i32 1
+  store %i2, %slot
+  br loop
+gate:
+  call @mutex_lock($m)
+  %a = load i32, $acc
+  call @mutex_unlock($m)
+  %hit = icmp eq %a, i32 245143
+  condbr %hit, inverted, safe
+inverted:
+  call @mutex_lock($m2)
+  call @mutex_lock($m1)
+  call @mutex_unlock($m1)
+  call @mutex_unlock($m2)
+  ret
+safe:
+  call @mutex_lock($m1)
+  call @mutex_lock($m2)
+  call @mutex_unlock($m2)
+  call @mutex_unlock($m1)
+  ret
+}
+
+func @main() : i32 {
+entry:
+  %t1 = call @thread_create(@grind_a, null)
+  %t2 = call @thread_create(@grind_b, null)
+  call @thread_join(%t1)
+  call @thread_join(%t2)
+  ret i32 0
+}
+)");
+}
+
+// The interleaving knowledge a failing run embodies, as sync-event-count
+// switch directives (each lock or unlock is one event, two per update):
+// A's update 1 (2 events), B's 1-2 (4), A's 2 (4), B's 3-4 (8), A's 3 (6),
+// B's 5-6 + gate read + lock m2 (15), then A's 4-6 + lock m1 (13) — A then
+// blocks on m2, B on m1.
+inline workloads::Trigger DeadlockScalingTrigger() {
+  workloads::Trigger trigger;
+  trigger.schedule = {{1, 2, 2}, {2, 4, 1}, {1, 4, 2},
+                      {2, 8, 1}, {1, 6, 2}, {2, 15, 1}};
+  return trigger;
+}
+
+}  // namespace esd::bench
+
+#endif  // ESD_BENCH_SCALING_WORKLOADS_H_

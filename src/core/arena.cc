@@ -26,6 +26,9 @@ constexpr std::size_t ClassIndex(std::size_t size) {
 constexpr std::size_t ClassSize(std::size_t cls) { return (cls + 1) * kGranule; }
 
 std::atomic<std::size_t> g_slab_bytes{0};
+// Magazine-to-central return operations (kFlushAt overflows, dead-thread
+// frees, magazine teardown): the paths a cross-thread free pattern drives.
+std::atomic<std::size_t> g_central_returns{0};
 
 // Central pool: per-class free lists fed by slab carving. Leaky by design —
 // slabs are never freed, so blocks stay valid for the process lifetime and
@@ -38,8 +41,9 @@ class CentralPool {
   }
 
   // Pops up to `want` blocks of class `cls` into a chain; carves a fresh
-  // slab when the list is empty. Returns the chain head (never null).
-  Node* PopBatch(std::size_t cls, std::size_t want) {
+  // slab when the list is empty. Returns the chain head (never null) and
+  // writes the chain length to `*got`, so callers need not re-walk it.
+  Node* PopBatch(std::size_t cls, std::size_t want, std::size_t* got) {
     std::lock_guard<std::mutex> lock(mu_);
     if (lists_[cls] == nullptr) {
       CarveSlabLocked(cls);
@@ -53,11 +57,13 @@ class CentralPool {
     }
     lists_[cls] = tail->next;
     tail->next = nullptr;
+    *got = taken;
     return head;
   }
 
   // Pushes a chain of blocks back onto the class list.
   void PushChain(std::size_t cls, Node* head, Node* tail) {
+    g_central_returns.fetch_add(1, std::memory_order_relaxed);
     std::lock_guard<std::mutex> lock(mu_);
     tail->next = lists_[cls];
     lists_[cls] = head;
@@ -134,18 +140,15 @@ void* ArenaAlloc(std::size_t size) {
   }
   std::size_t cls = ClassIndex(size);
   Magazine* m = g_magazine != nullptr ? g_magazine : EnsureMagazine();
+  std::size_t got = 0;
   if (m == nullptr) {  // Thread is past magazine teardown.
-    Node* node = CentralPool::Get().PopBatch(cls, 1);
+    Node* node = CentralPool::Get().PopBatch(cls, 1, &got);
     return node;
   }
   Node* node = m->head[cls];
   if (node == nullptr) {
-    node = CentralPool::Get().PopBatch(cls, kBatch);
-    std::uint32_t got = 0;
-    for (Node* n = node; n != nullptr; n = n->next) {
-      ++got;
-    }
-    m->count[cls] = got;
+    node = CentralPool::Get().PopBatch(cls, kBatch, &got);
+    m->count[cls] = static_cast<std::uint32_t>(got);
   }
   m->head[cls] = node->next;
   --m->count[cls];
@@ -183,6 +186,10 @@ void ArenaFree(void* p, std::size_t size) noexcept {
 
 std::size_t ArenaSlabBytes() {
   return g_slab_bytes.load(std::memory_order_relaxed);
+}
+
+std::size_t ArenaCentralReturns() {
+  return g_central_returns.load(std::memory_order_relaxed);
 }
 
 }  // namespace esd::core

@@ -16,6 +16,16 @@
 //     destruction or after a portfolio worker thread has exited remain
 //     safe (they take the locked central path).
 //
+// Cross-thread contract (the cooperative portfolio moves states between
+// worker threads, so thread B routinely frees blocks thread A allocated):
+// a free always lands in the *freeing* thread's magazine — blocks carry no
+// owner, and a magazine is just a cache of interchangeable same-class
+// blocks. Imbalance is self-correcting: a magazine that accumulates past
+// the flush threshold recirculates a batch to the central pool, where
+// allocation-heavy threads refill. ArenaCentralReturns() observes that
+// recirculation; tests/memory_cow_test.cc exercises the
+// allocate-on-A/free-on-B pattern under ASan.
+//
 // ArenaAllocator<T> adapts the arena to the standard allocator interface
 // so shared_ptr-managed objects can live in it via std::allocate_shared
 // (the control block and payload share one pooled allocation).
@@ -35,6 +45,12 @@ void ArenaFree(void* p, std::size_t size) noexcept;
 // Arena occupancy, for tests: total bytes carved into slabs on this
 // process so far (monotone; the arena never shrinks).
 std::size_t ArenaSlabBytes();
+
+// Magazine-to-central return operations so far (monotone): kFlushAt
+// overflows, frees on threads past magazine teardown, and magazine
+// destructor flushes. Observability for cross-thread free imbalance — a
+// thread that mostly frees blocks other threads allocated shows up here.
+std::size_t ArenaCentralReturns();
 
 template <typename T>
 struct ArenaAllocator {

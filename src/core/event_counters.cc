@@ -1,5 +1,7 @@
 #include "src/core/event_counters.h"
 
+#include <algorithm>
+
 namespace esd {
 
 namespace internal {
@@ -8,7 +10,12 @@ thread_local EventCounters* g_event_counters = nullptr;
 
 void EventCounters::Add(const EventCounters& other) {
   ForEachField([&](std::string_view, uint64_t EventCounters::*field) {
-    this->*field += other.*field;
+    // High-water marks merge by maximum; event counts merge by sum.
+    if (field == &EventCounters::frontier_max_depth) {
+      this->*field = std::max(this->*field, other.*field);
+    } else {
+      this->*field += other.*field;
+    }
   });
 }
 
@@ -26,6 +33,10 @@ void EventCounters::ForEachField(
   fn("expr_allocs", &EventCounters::expr_allocs);
   fn("dataflow_iterations", &EventCounters::dataflow_iterations);
   fn("ir_passes_run", &EventCounters::ir_passes_run);
+  fn("steals", &EventCounters::steals);
+  fn("steal_failures", &EventCounters::steal_failures);
+  fn("states_handed_off", &EventCounters::states_handed_off);
+  fn("frontier_max_depth", &EventCounters::frontier_max_depth);
 }
 
 }  // namespace esd

@@ -31,6 +31,13 @@ struct EventCounters {
   uint64_t expr_allocs = 0;         // Expr nodes constructed.
   uint64_t dataflow_iterations = 0;  // DataflowEngine block applications.
   uint64_t ir_passes_run = 0;        // IR optimization pass invocations.
+  // ---- Cooperative work-stealing frontier (src/vm/work_queue.h) ----
+  uint64_t steals = 0;            // States taken from another worker's deque.
+  uint64_t steal_failures = 0;    // Steal attempts that found nothing.
+  uint64_t states_handed_off = 0;  // Forks routed to another worker's deque.
+  // Deepest state registered into a frontier (max, not a sum: Add and the
+  // portfolio merge keep the maximum across workers).
+  uint64_t frontier_max_depth = 0;
 
   void Add(const EventCounters& other);
 
@@ -53,6 +60,14 @@ inline EventCounters* InstalledEventCounters() {
 inline void CountEvent(uint64_t EventCounters::*field, uint64_t n = 1) {
   if (EventCounters* c = internal::g_event_counters; c != nullptr) {
     c->*field += n;
+  }
+}
+
+// Raises `field` of the installed sink to at least `v` (for high-water-mark
+// counters like frontier_max_depth); no-op when none is installed.
+inline void CountEventMax(uint64_t EventCounters::*field, uint64_t v) {
+  if (EventCounters* c = internal::g_event_counters; c != nullptr && v > c->*field) {
+    c->*field = v;
   }
 }
 

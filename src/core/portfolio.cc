@@ -11,59 +11,10 @@
 #include "src/replay/execution_file.h"
 #include "src/solver/query_cache.h"
 #include "src/vm/engine.h"
+#include "src/vm/work_queue.h"
 
 namespace esd::core {
 namespace {
-
-// Schedule-weight variants for the non-baseline workers (§4.1's bias knob).
-// Worker 0 keeps the default 1e7 so its configuration matches `jobs == 1`;
-// later workers sweep stronger and weaker biases.
-constexpr double kScheduleWeights[] = {1e7, 1e5, 1e9, 1e3};
-
-uint64_t WorkerSeed(const SynthesisOptions& options, size_t worker) {
-  // Worker 0 keeps the user's seed; the rest are decorrelated from it.
-  return worker == 0 ? options.seed
-                     : options.seed + worker * 0x9e3779b97f4a7c15ull;
-}
-
-std::unique_ptr<vm::Searcher> MakeWorkerSearcher(
-    size_t worker, size_t jobs, const SynthesisOptions& options,
-    analysis::DistanceCalculator* distances,
-    const std::vector<ProximitySearcher::SearchGoal>& search_goals,
-    std::string* strategy) {
-  uint64_t seed = WorkerSeed(options, worker);
-  char buf[64];
-  if (jobs > 1 && worker == jobs - 1) {
-    // The portfolio's baseline slot: quasi-random path coverage (§7.2),
-    // insurance against goals the distance heuristic misleads.
-    std::snprintf(buf, sizeof(buf), "random-path(seed=%llu)",
-                  static_cast<unsigned long long>(seed));
-    *strategy = buf;
-    return std::make_unique<vm::RandomPathSearcher>(seed);
-  }
-  if (!options.use_proximity) {
-    // Ablation portfolio: worker 0 keeps the jobs==1 configuration (BFS);
-    // duplicating the deterministic BFS across further workers would add
-    // zero coverage while draining the shared budget, so the rest run
-    // uniform-random state selection with decorrelated seeds.
-    if (worker == 0) {
-      *strategy = "bfs";
-      return std::make_unique<vm::BfsSearcher>();
-    }
-    std::snprintf(buf, sizeof(buf), "random-state(seed=%llu)",
-                  static_cast<unsigned long long>(seed));
-    *strategy = buf;
-    return std::make_unique<vm::RandomStateSearcher>(seed);
-  }
-  ProximitySearcher::Options popts;
-  popts.seed = seed;
-  popts.schedule_weight =
-      kScheduleWeights[worker % (sizeof(kScheduleWeights) / sizeof(double))];
-  std::snprintf(buf, sizeof(buf), "proximity(seed=%llu,w=%.0e)",
-                static_cast<unsigned long long>(seed), popts.schedule_weight);
-  *strategy = buf;
-  return std::make_unique<ProximitySearcher>(distances, search_goals, popts);
-}
 
 // Everything one worker produces; written only by its own thread.
 struct WorkerOutcome {
@@ -85,6 +36,9 @@ SynthesisResult RunPortfolio(
     const SynthesisOptions& options) {
   SynthesisResult result;
   const size_t jobs = options.jobs;
+  // Cooperative mode: one logical work-stealing frontier drained by all
+  // workers, instead of `jobs` racing frontiers (see synthesizer.h).
+  const bool coop = options.cooperative && jobs > 1;
   auto start_time = std::chrono::steady_clock::now();
 
   auto main_fn = module->FindFunction("main");
@@ -118,11 +72,14 @@ SynthesisResult RunPortfolio(
   // bench_pruning measures both configurations.
   vm::FingerprintTable shared_visited;
   std::vector<std::unique_ptr<vm::FingerprintTable>> private_visited(jobs);
-  if (options.dedup && !options.dedup_shared) {
+  if (options.dedup && !options.dedup_shared && !coop) {
     for (auto& table : private_visited) {
       table = std::make_unique<vm::FingerprintTable>();
     }
   }
+  // Cooperative frontier: per-worker deques behind one routing/stealing
+  // protocol. Unused (but cheap) when racing.
+  vm::SharedFrontier frontier(jobs, options.seed);
   // Solver pipeline stage 3 (shared): one query/counterexample cache shared
   // by every worker's ConstraintSolver. Workers chase the same goal through
   // the same program, so one worker's solve short-circuits the others'
@@ -155,9 +112,14 @@ SynthesisResult RunPortfolio(
       iopts.branch_filter = MakeCriticalEdgeFilter(&goal, distances);
     }
     vm::Interpreter interpreter(module, &solver, iopts);
+    if (coop) {
+      // Worker w allocates state ids w+1, w+1+jobs, ... so ids stay unique
+      // across workers even when states migrate between frontiers.
+      interpreter.ConfigureStateIds(w + 1, jobs);
+    }
 
     std::unique_ptr<vm::Searcher> searcher = MakeWorkerSearcher(
-        w, jobs, options, distances, search_goals, &out.report.strategy);
+        w, jobs, coop, options, distances, search_goals, &out.report.strategy);
 
     vm::Engine::Options eopts;
     eopts.time_cap_seconds = options.time_cap_seconds;
@@ -169,8 +131,15 @@ SynthesisResult RunPortfolio(
     eopts.shared_states = &shared_states;
     eopts.shared_max_states = options.max_states;
     if (options.dedup) {
-      eopts.visited = options.dedup_shared ? &shared_visited
-                                           : private_visited[w].get();
+      // Cooperative runs always share the table: ownership routing assumes
+      // one table records each interleaving class exactly once.
+      eopts.visited = (options.dedup_shared || coop) ? &shared_visited
+                                                     : private_visited[w].get();
+    }
+    if (coop) {
+      eopts.frontier = &frontier;
+      eopts.worker = w;
+      eopts.workers = jobs;
     }
 
     vm::Engine engine(&interpreter, searcher.get(), eopts);

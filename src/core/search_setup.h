@@ -11,6 +11,7 @@
 
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/analysis/distance.h"
@@ -20,8 +21,26 @@
 #include "src/vm/interpreter.h"
 #include "src/vm/race_detector.h"
 #include "src/vm/schedule_policy.h"
+#include "src/vm/searcher.h"
 
 namespace esd::core {
+
+// Portfolio worker `worker`'s RNG seed: worker 0 keeps the user's seed (so
+// its configuration matches `jobs == 1`); the rest are decorrelated.
+uint64_t WorkerSeed(const SynthesisOptions& options, size_t worker);
+
+// Builds portfolio worker `worker`'s searcher and writes a description of it
+// to `*strategy`. Racing portfolios (cooperative == false) diversify: the
+// last slot runs random-path as insurance, the rest sweep schedule weights
+// with decorrelated seeds. Cooperative portfolios keep every worker on the
+// `jobs == 1` configuration — coverage diversity comes from frontier
+// partitioning, not strategy — with per-worker seeds so stolen states are
+// re-scored deterministically on arrival.
+std::unique_ptr<vm::Searcher> MakeWorkerSearcher(
+    size_t worker, size_t jobs, bool cooperative, const SynthesisOptions& options,
+    analysis::DistanceCalculator* distances,
+    const std::vector<ProximitySearcher::SearchGoal>& search_goals,
+    std::string* strategy);
 
 // Maps the SynthesisOptions solver toggles onto solver::SolverOptions.
 // `shared_cache` (may be null) is the portfolio-wide cache for jobs > 1.

@@ -37,6 +37,17 @@ struct SynthesisOptions {
   // until the first one manifests the goal; the instruction/state budgets
   // above are then shared portfolio-wide.
   size_t jobs = 1;
+  // jobs > 1 only: cooperative exploration (the default). All workers drain
+  // one logical work-stealing frontier (src/vm/work_queue.h): schedule forks
+  // are routed to a home worker by fingerprint ownership hashing, idle
+  // workers steal from busy peers, and the run only reports exhaustion once
+  // the shared frontier drains with nothing in flight. false
+  // (--race-portfolio) restores the racing portfolio: each worker explores
+  // its own full frontier with a diversified strategy until the first one
+  // wins. Cooperative runs always share the fingerprint table when dedup is
+  // on (dedup_shared is ignored): ownership routing assumes one table
+  // records each interleaving class exactly once.
+  bool cooperative = true;
   // §3.3 focusing techniques (ablation switches):
   bool use_proximity = true;           // Proximity-guided state selection.
   bool use_intermediate_goals = true;  // Static anchor points (§3.2).

@@ -28,6 +28,11 @@ struct OracleOptions {
   uint64_t max_instructions = 20'000'000;
   size_t max_states = 100'000;
   size_t jobs = 1;
+  // With jobs > 1: cooperative work-stealing portfolio (the synthesizer
+  // default) vs. racing portfolio. The CI coop-ablation job sweeps the
+  // corpus with `--jobs N --cooperative` and diffs per-seed verdicts
+  // against the jobs=1 sweep.
+  bool cooperative = true;
   // Pre-synthesis IR optimization for the primary run (and the pruning /
   // solver ablations, which inherit it). `esdfuzz --no-ir-opt` clears this
   // so the whole sweep exercises the unoptimized engine — the CI ablation

@@ -1,6 +1,9 @@
 #include "src/vm/engine.h"
 
 #include <algorithm>
+#include <thread>
+
+#include "src/core/event_counters.h"
 
 namespace esd::vm {
 
@@ -12,6 +15,7 @@ Engine::Engine(Interpreter* interpreter, Searcher* searcher, Options options)
 void Engine::Register(const StatePtr& state) {
   live_.emplace(state.get(), state);
   ++states_created_;
+  CountEventMax(&EventCounters::frontier_max_depth, state->depth);
   if (options_.shared_states != nullptr) {
     options_.shared_states->fetch_add(1, std::memory_order_relaxed);
   }
@@ -38,6 +42,9 @@ void Engine::Start(StatePtr initial) {
   if (options_.visited != nullptr) {
     options_.visited->InsertIfAbsent(initial->Fingerprint());
   }
+  if (Cooperative()) {
+    options_.frontier->NoteLocalKeep();
+  }
   Register(initial);
   searcher_->Add(std::move(initial));
 }
@@ -47,12 +54,47 @@ StatePtr Engine::ForkState(const ExecutionState& state) {
 }
 
 bool Engine::AddState(StatePtr state) {
-  if (AlreadyVisited(*state)) {
-    return false;  // An identical state was already explored: drop the fork.
+  uint64_t fp = 0;
+  bool have_fp = false;
+  if (options_.visited != nullptr) {
+    fp = state->Fingerprint();
+    have_fp = true;
+    if (!options_.visited->InsertIfAbsent(fp)) {
+      ++states_deduped_;
+      return false;  // An identical state was already explored: drop the fork.
+    }
+  }
+  if (Cooperative()) {
+    // Ownership hashing: the fork's fingerprint names its home worker, so
+    // each interleaving class lands on one worker's frontier. The
+    // fingerprint was recorded in the shared table above (when dedup is
+    // on), so the receiver adopts it without re-probing.
+    if (!have_fp) {
+      fp = state->Fingerprint();
+    }
+    const size_t home = static_cast<size_t>(fp % options_.workers);
+    if (home != options_.worker) {
+      CountEvent(&EventCounters::states_handed_off);
+      options_.frontier->PushRemote(home, std::move(state));
+      return true;
+    }
+    options_.frontier->NoteLocalKeep();
   }
   Register(state);
   searcher_->Add(std::move(state));
   return true;
+}
+
+void Engine::AdoptIncoming(std::vector<StatePtr>* incoming) {
+  // TryDrainOwn yields oldest first; absorb in reverse so the hot end (the
+  // most recently forked, deepest states) enters the searcher first — LIFO
+  // for the plain queue searchers, irrelevant for the proximity searcher,
+  // which re-scores every arrival against its own goal heaps.
+  for (auto it = incoming->rbegin(); it != incoming->rend(); ++it) {
+    Register(*it);
+    searcher_->Add(std::move(*it));
+  }
+  incoming->clear();
 }
 
 void Engine::Reprioritize(const StatePtr& state) { searcher_->Update(state); }
@@ -96,8 +138,74 @@ Engine::Result Engine::Run(const BugMatcher& matcher) {
       }
     }
   };
+  // Budget probe for the cooperative idle path: while a worker spins
+  // waiting for peers, `instructions` does not advance, so the batched
+  // flush checks above never fire — read the shared counters directly.
+  auto shared_budget_exceeded = [&] {
+    if (shared_budget_hit) {
+      return true;
+    }
+    if (options_.shared_instructions != nullptr &&
+        options_.shared_max_instructions != 0 &&
+        options_.shared_instructions->load(std::memory_order_relaxed) >=
+            options_.shared_max_instructions) {
+      return true;
+    }
+    return options_.shared_states != nullptr && options_.shared_max_states != 0 &&
+           options_.shared_states->load(std::memory_order_relaxed) >=
+               options_.shared_max_states;
+  };
 
-  while (!searcher_->Empty()) {
+  const bool coop = Cooperative();
+  std::vector<StatePtr> incoming;
+  uint64_t idle_spins = 0;
+
+  while (true) {
+    if (coop && options_.frontier->TryDrainOwn(options_.worker, &incoming)) {
+      AdoptIncoming(&incoming);
+    }
+    if (searcher_->Empty()) {
+      if (!coop) {
+        break;  // kExhausted: the lone frontier is empty.
+      }
+      switch (options_.frontier->Acquire(options_.worker, &incoming)) {
+        case WorkQueue::AcquireResult::kGot:
+          AdoptIncoming(&incoming);
+          idle_spins = 0;
+          continue;
+        case WorkQueue::AcquireResult::kDrained:
+          // Global frontier empty and nothing in flight anywhere: the
+          // cooperative search space is exhausted.
+          result.status = Result::Status::kExhausted;
+          break;
+        case WorkQueue::AcquireResult::kAbort:
+          result.status = Result::Status::kLimitReached;
+          break;
+        case WorkQueue::AcquireResult::kRetry: {
+          // Peers hold in-flight states that may still fork children into
+          // our partition: spin, but keep honoring cancellation and the
+          // budgets the per-step checks below can no longer reach.
+          if (options_.cancel != nullptr &&
+              options_.cancel->load(std::memory_order_relaxed)) {
+            result.status = Result::Status::kCancelled;
+            break;
+          }
+          flush_shared();
+          if (shared_budget_exceeded() || elapsed() > options_.time_cap_seconds) {
+            result.status = Result::Status::kLimitReached;
+            break;
+          }
+          if (++idle_spins > 64) {
+            std::this_thread::sleep_for(std::chrono::microseconds(50));
+          } else {
+            std::this_thread::yield();
+          }
+          continue;
+        }
+      }
+      break;
+    }
+    idle_spins = 0;
     if (options_.cancel != nullptr &&
         options_.cancel->load(std::memory_order_relaxed)) {
       result.status = Result::Status::kCancelled;
@@ -129,11 +237,7 @@ Engine::Result Engine::Run(const BugMatcher& matcher) {
     ++instructions;
     ++unflushed;
     for (StatePtr& fork : step.forks) {
-      if (AlreadyVisited(*fork)) {
-        continue;
-      }
-      Register(fork);
-      searcher_->Add(std::move(fork));
+      AddState(std::move(fork));
     }
     if (!step.state_done && step.sync_point && AlreadyVisited(*state)) {
       // The state just completed a synchronization operation and landed on a
@@ -141,11 +245,17 @@ Engine::Result Engine::Run(const BugMatcher& matcher) {
       // could still do is covered by that state's exploration. Prune it.
       searcher_->Remove(state);
       Unregister(state);
+      if (coop) {
+        options_.frontier->FinishOne();
+      }
       continue;
     }
     if (step.state_done) {
       searcher_->Remove(state);
       Unregister(state);
+      if (coop) {
+        options_.frontier->FinishOne();
+      }
       if (step.bug.IsBug()) {
         if (matcher && matcher(*state, step.bug)) {
           result.status = Result::Status::kGoalFound;
@@ -160,6 +270,11 @@ Engine::Result Engine::Run(const BugMatcher& matcher) {
     } else {
       searcher_->Update(state);
     }
+  }
+  if (coop && result.status == Result::Status::kLimitReached) {
+    // States may still sit in this worker's searcher; peers must not spin
+    // for them until the time cap.
+    options_.frontier->NoteLimit();
   }
   flush_shared();
   result.instructions = instructions;

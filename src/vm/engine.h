@@ -17,6 +17,7 @@
 #include "src/vm/fingerprint.h"
 #include "src/vm/interpreter.h"
 #include "src/vm/searcher.h"
+#include "src/vm/work_queue.h"
 
 namespace esd::vm {
 
@@ -50,6 +51,17 @@ class Engine : public EngineServices {
     // table may be private to this engine or shared by a portfolio (it is
     // internally sharded + locked). Null disables deduplication.
     FingerprintTable* visited = nullptr;
+    // ---- Cooperative work-stealing frontier (src/vm/work_queue.h) ----
+    // When set, this engine is worker `worker` of `workers` cooperative
+    // peers draining one logical frontier: a newly registered fork whose
+    // fingerprint mod `workers` names another worker is handed off through
+    // the frontier instead of kept; an empty local searcher triggers
+    // draining/stealing instead of exhaustion; and Run only returns
+    // kExhausted once the frontier's global in-flight count is zero.
+    // Null keeps the classic single-frontier behavior.
+    WorkQueue* frontier = nullptr;
+    size_t worker = 0;
+    size_t workers = 1;
   };
 
   // Decides whether a bug terminating some state is the goal.
@@ -94,6 +106,15 @@ class Engine : public EngineServices {
   // True if `state`'s fingerprint was already visited (dedup enabled only);
   // records the fingerprint otherwise.
   bool AlreadyVisited(const ExecutionState& state);
+  // Cooperative mode only: true when this engine participates in a shared
+  // frontier (jobs > 1 with --cooperative).
+  bool Cooperative() const {
+    return options_.frontier != nullptr && options_.workers > 1;
+  }
+  // Registers a state that arrived from the shared frontier (handed off or
+  // stolen): its fingerprint was recorded by the originating worker, so it
+  // is admitted without a dedup probe and re-scored by the local searcher.
+  void AdoptIncoming(std::vector<StatePtr>* incoming);
 
   Interpreter* interpreter_;
   Searcher* searcher_;

@@ -894,7 +894,7 @@ StepResult Interpreter::ExecCondBr(ExecutionState& state, const ir::Instruction&
 
   if (feasible_true && feasible_false) {
     ++stats_.branch_forks;
-    StatePtr child = state.Fork(next_state_id_++);
+    StatePtr child = state.Fork(AllocStateId());
     // Child takes the false edge.
     StackFrame& child_frame = child->CurrentThread().frames.back();
     child->AddConstraint(solver::MakeLogicalNot(cond));
@@ -1291,7 +1291,7 @@ StepResult Interpreter::ExecExternal(ExecutionState& state, const ir::Instructio
       bool may_pass = solver_->MayBeTrue(state.constraints, cond);
       if (may_fail && may_pass) {
         // Fork the passing continuation; this state manifests the failure.
-        StatePtr child = state.Fork(next_state_id_++);
+        StatePtr child = state.Fork(AllocStateId());
         child->AddConstraint(cond);
         ++child->CurrentThread().frames.back().inst;
         result.forks.push_back(std::move(child));

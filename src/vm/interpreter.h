@@ -190,7 +190,19 @@ class Interpreter {
 
   // Hands out process-unique state ids (used for branch forks here and for
   // schedule forks in the engine).
-  uint64_t AllocStateId() { return next_state_id_++; }
+  uint64_t AllocStateId() {
+    uint64_t id = next_state_id_;
+    next_state_id_ += state_id_stride_;
+    return id;
+  }
+
+  // Cooperative portfolio: worker w of N allocates ids w+1, w+1+N, w+1+2N, …
+  // so ids stay unique across workers even when states migrate between
+  // frontiers. The default (first=1, stride=1) is the classic sequence.
+  void ConfigureStateIds(uint64_t first, uint64_t stride) {
+    next_state_id_ = first;
+    state_id_stride_ = stride;
+  }
 
   // Wired by the Engine at construction so schedule policies can fork.
   void set_services(EngineServices* services) { options_.services = services; }
@@ -273,6 +285,7 @@ class Interpreter {
   Options options_;
   Stats stats_;
   uint64_t next_state_id_ = 1;
+  uint64_t state_id_stride_ = 1;
   std::vector<uint8_t> external_ids_;  // Lazily filled by ExternalIdOf.
 };
 

@@ -25,6 +25,8 @@ std::vector<BenchRecord> SampleRecords() {
   a.states_per_sec = 68493.0 / 3.0;  // Not exactly representable: exercises
                                      // the %.17g round-trip guarantee.
   a.calib_ops_per_sec = 2.40275e8;
+  a.scale_ratio = 17.0 / 7.0;  // Not exactly representable either.
+  a.ttfm_seconds = 0.003217;
   a.git_rev = "abc1234";
   uint64_t v = 1;
   EventCounters::ForEachField(
@@ -52,6 +54,8 @@ TEST(BenchJson, RoundTripIsExact) {
     EXPECT_EQ(got.git_rev, want.git_rev);
     EXPECT_EQ(got.states_per_sec, want.states_per_sec) << "lossy serialization";
     EXPECT_EQ(got.calib_ops_per_sec, want.calib_ops_per_sec);
+    EXPECT_EQ(got.scale_ratio, want.scale_ratio);
+    EXPECT_EQ(got.ttfm_seconds, want.ttfm_seconds);
     EventCounters::ForEachField(
         [&](std::string_view name, uint64_t EventCounters::*field) {
           EXPECT_EQ(got.counters.*field, want.counters.*field)

@@ -6,6 +6,7 @@
 // of the determinism surface BENCH_*.json relies on).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 #include <string>
 
@@ -24,7 +25,7 @@ TEST(EventCounters, FieldIterationIsFixedCompleteAndUnique) {
         names.emplace(name);
         ++count;
       });
-  EXPECT_EQ(count, 12u) << "new counter fields must join ForEachField";
+  EXPECT_EQ(count, 16u) << "new counter fields must join ForEachField";
   EXPECT_EQ(names.size(), count) << "duplicate counter name";
   // The names BENCH_*.json and `esdsynth --counters` expose; renaming one
   // breaks committed baselines, so it must be deliberate.
@@ -32,7 +33,8 @@ TEST(EventCounters, FieldIterationIsFixedCompleteAndUnique) {
        {"state_forks", "pages_copied", "bytes_hashed", "frontier_pushes",
         "frontier_pops", "fingerprint_probes", "sync_fold_reuses",
         "sync_fold_recomputes", "solver_calls", "expr_allocs",
-        "dataflow_iterations", "ir_passes_run"}) {
+        "dataflow_iterations", "ir_passes_run", "steals", "steal_failures",
+        "states_handed_off", "frontier_max_depth"}) {
     EXPECT_TRUE(names.count(expected)) << expected;
   }
 }
@@ -51,7 +53,12 @@ TEST(EventCounters, AddIsFieldwise) {
   sum.Add(b);
   EventCounters::ForEachField(
       [&](std::string_view name, uint64_t EventCounters::*field) {
-        EXPECT_EQ(sum.*field, a.*field + b.*field) << name;
+        if (field == &EventCounters::frontier_max_depth) {
+          // High-water mark: merges by maximum, not by sum.
+          EXPECT_EQ(sum.*field, std::max(a.*field, b.*field)) << name;
+        } else {
+          EXPECT_EQ(sum.*field, a.*field + b.*field) << name;
+        }
       });
 }
 

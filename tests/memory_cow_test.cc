@@ -8,13 +8,19 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstring>
 #include <random>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
+#include "src/core/arena.h"
 #include "src/solver/expr.h"
+#include "src/solver/solver.h"
+#include "src/vm/interpreter.h"
 #include "src/vm/memory.h"
+#include "src/workloads/workloads.h"
 
 namespace esd::vm {
 namespace {
@@ -214,6 +220,112 @@ TEST(MemoryCow, AllocateInitMatchesExplicitStores) {
   for (uint32_t off = 0; off < 16; ++off) {
     EXPECT_EQ(ByteHash(oa->ByteAt(off)), ByteHash(ob->ByteAt(off))) << off;
   }
+}
+
+// ---- Cross-thread state transfer (the cooperative-portfolio pattern) -------
+//
+// The work-stealing frontier hands COW forks between worker threads: pages,
+// Expr nodes, and MemoryObjects allocated on one thread's arena magazine are
+// then written and destroyed on another thread. These tests drive exactly
+// that pattern so ASan/TSan CI jobs can vouch for it.
+
+TEST(MemoryCowCrossThread, ForkedSpaceMutatedAndDestroyedOnOtherThread) {
+  AddressSpace parent;
+  uint32_t id = parent.Allocate(256, ObjectKind::kHeap, "shared");
+  for (uint32_t off = 0; off < 256; off += 7) {
+    parent.WriteByte(parent.FindWritable(id), off,
+                     solver::MakeConst(8, off & 0xff));
+  }
+  uint64_t parent_hash = parent.content_hash();
+
+  // Fork on this thread, then move the child to another thread, write to it
+  // there (materializing COW pages on the other thread's arena), and
+  // destroy it there (freeing pages this thread allocated).
+  auto child = std::make_unique<AddressSpace>(parent);
+  std::thread mover([child = std::move(child)]() mutable {
+    for (uint32_t off = 0; off < 256; off += 3) {
+      child->WriteByte(child->FindWritable(1), off,
+                       solver::MakeConst(8, (off * 5) & 0xff));
+    }
+    uint32_t fresh = child->Allocate(128, ObjectKind::kHeap, "remote");
+    child->WriteByte(child->FindWritable(fresh), 0, solver::MakeConst(8, 1));
+    child.reset();
+  });
+  mover.join();
+
+  EXPECT_EQ(parent.content_hash(), parent_hash)
+      << "remote child writes must not bleed through COW";
+  const MemoryObject* obj = parent.Find(id);
+  for (uint32_t off = 0; off < 256; ++off) {
+    uint64_t expect = off % 7 == 0 ? solver::MakeConst(8, off & 0xff)->hash()
+                                   : ZeroByte()->hash();
+    ASSERT_EQ(ByteHash(obj->ByteAt(off)), expect) << off;
+  }
+}
+
+TEST(MemoryCowCrossThread, ExecutionStateForkMovedMutatedDestroyedRemotely) {
+  workloads::Workload w = workloads::MakeWorkload("listing1");
+  solver::ConstraintSolver solver;
+  Interpreter interp(w.module.get(), &solver, {});
+  auto main_fn = w.module->FindFunction("main");
+  ASSERT_TRUE(main_fn.has_value());
+  StatePtr root = interp.MakeInitialState(*main_fn, interp.AllocStateId());
+
+  // Advance the root until it owns real COW pages, stacks, and constraints.
+  for (int i = 0; i < 200; ++i) {
+    StepResult step = interp.Step(*root);
+    if (step.state_done) {
+      break;
+    }
+  }
+  const uint64_t root_fp = root->Fingerprint();
+
+  // Hand a fork to another thread (the handoff join is the happens-before
+  // edge the frontier's partition mutex provides in production), step it
+  // there, and destroy it there — along with any forks it spawns.
+  StatePtr child = root->Fork(interp.AllocStateId());
+  std::thread mover([child = std::move(child), &interp]() mutable {
+    std::vector<StatePtr> spawned;
+    for (int i = 0; i < 100; ++i) {
+      StepResult step = interp.Step(*child);
+      for (StatePtr& fork : step.forks) {
+        spawned.push_back(std::move(fork));
+      }
+      if (step.state_done) {
+        break;
+      }
+    }
+    spawned.clear();
+    child.reset();
+  });
+  mover.join();
+
+  EXPECT_EQ(root->Fingerprint(), root_fp)
+      << "remote stepping of a fork must leave the parent untouched";
+}
+
+TEST(MemoryCowCrossThread, ArenaRecirculatesCrossThreadFrees) {
+  // Allocate a batch on this thread, free it on another: the blocks land in
+  // the *freeing* thread's magazine, and past the flush threshold they
+  // recirculate to the central pool, observable via ArenaCentralReturns().
+  constexpr size_t kBlocks = 4096;
+  constexpr size_t kSize = 64;
+  std::vector<void*> blocks;
+  blocks.reserve(kBlocks);
+  for (size_t i = 0; i < kBlocks; ++i) {
+    void* p = core::ArenaAlloc(kSize);
+    std::memset(p, 0xab, kSize);  // ASan: the block must be fully usable.
+    blocks.push_back(p);
+  }
+  const size_t returns_before = core::ArenaCentralReturns();
+  std::thread freer([&blocks] {
+    for (void* p : blocks) {
+      core::ArenaFree(p, kSize);
+    }
+  });
+  freer.join();
+  EXPECT_GT(core::ArenaCentralReturns(), returns_before)
+      << "cross-thread frees past the flush threshold must recirculate";
 }
 
 }  // namespace

@@ -1,11 +1,24 @@
 // Tests for the parallel portfolio synthesis engine: jobs == 1 must stay
 // identical to the classic single-threaded engine, jobs > 1 must synthesize
 // valid, replayable execution files for deadlock and race workloads under
-// cooperative cancellation and shared budgets.
+// cooperative cancellation and shared budgets — in both the cooperative
+// work-stealing mode (the jobs > 1 default) and the racing mode
+// (--race-portfolio). The CooperativeFrontier suite pins the work-stealing
+// termination protocol itself (src/vm/work_queue.h), including the
+// steal-race window where every deque is empty while states are still in
+// flight.
 #include <gtest/gtest.h>
+
+#include <atomic>
+#include <latch>
+#include <thread>
+#include <vector>
 
 #include "src/core/synthesizer.h"
 #include "src/replay/replayer.h"
+#include "src/solver/solver.h"
+#include "src/vm/interpreter.h"
+#include "src/vm/work_queue.h"
 #include "src/workloads/workloads.h"
 
 namespace esd {
@@ -162,6 +175,193 @@ TEST(Portfolio, LosersReportCancelledOrFinished) {
           << wr.status;
     }
   }
+}
+
+// --- Cooperative mode (the jobs > 1 default) ---------------------------------
+
+TEST(Portfolio, CooperativeSynthesizesAndHandsOff) {
+  Workload w = MakeWorkload("listing1");
+  core::SynthesisOptions options;
+  options.jobs = 4;  // cooperative defaults to true.
+  core::SynthesisResult result = SynthesizeWorkload(w, options);
+  ASSERT_TRUE(result.success) << result.failure_reason;
+  EXPECT_EQ(result.bug.kind, vm::BugInfo::Kind::kDeadlock);
+  ExpectReplayReproduces(w, result);
+
+  // Every worker runs the jobs == 1 strategy; coverage diversity comes from
+  // frontier partitioning, so ownership routing must actually be routing.
+  for (const core::WorkerReport& wr : result.workers) {
+    EXPECT_EQ(wr.strategy.rfind("coop-", 0), 0u) << wr.strategy;
+  }
+  EXPECT_GT(result.counters.states_handed_off, 0u)
+      << "fingerprint-mod-N routing never moved a fork between workers";
+}
+
+TEST(Portfolio, RacingModeStillDiversifies) {
+  Workload w = MakeWorkload("listing1");
+  core::SynthesisOptions options;
+  options.jobs = 3;
+  options.cooperative = false;  // --race-portfolio
+  core::SynthesisResult result = SynthesizeWorkload(w, options);
+  ASSERT_TRUE(result.success) << result.failure_reason;
+  ExpectReplayReproduces(w, result);
+  // The racing portfolio keeps its strategy spread: proximity sweeps plus
+  // the random-path baseline slot in the last position.
+  ASSERT_EQ(result.workers.size(), 3u);
+  EXPECT_EQ(result.workers[2].strategy.rfind("random-path", 0), 0u)
+      << result.workers[2].strategy;
+  EXPECT_EQ(result.counters.states_handed_off, 0u);
+  EXPECT_EQ(result.counters.steals, 0u);
+}
+
+TEST(Portfolio, CooperativeSynthesizesRace) {
+  auto module = workloads::RacyCounterModule();
+  report::CoreDump dump = workloads::AssertSiteDump(*module);
+  core::SynthesisOptions options;
+  options.jobs = 4;
+  core::Synthesizer synthesizer(module.get(), options);
+  core::SynthesisResult result = synthesizer.Synthesize(dump);
+  ASSERT_TRUE(result.success) << result.failure_reason;
+  EXPECT_EQ(result.bug.kind, vm::BugInfo::Kind::kAssertFail);
+  replay::ReplayResult strict =
+      replay::Replay(*module, result.file, replay::ReplayMode::kStrict);
+  EXPECT_TRUE(strict.completed);
+  EXPECT_TRUE(strict.bug_reproduced)
+      << "replay got '" << vm::BugKindName(strict.bug.kind) << "'";
+}
+
+// --- The work-stealing termination protocol ----------------------------------
+
+// A state to move through the frontier; the protocol never dereferences it,
+// but use real forked states so destruction order mirrors production.
+struct FrontierFixture {
+  FrontierFixture()
+      : workload(MakeWorkload("listing1")),
+        interp(workload.module.get(), &solver, {}) {
+    auto main_fn = workload.module->FindFunction("main");
+    EXPECT_TRUE(main_fn.has_value());
+    root = interp.MakeInitialState(*main_fn, interp.AllocStateId());
+  }
+  vm::StatePtr Fork() { return root->Fork(interp.AllocStateId()); }
+
+  Workload workload;
+  solver::ConstraintSolver solver;
+  vm::Interpreter interp;
+  vm::StatePtr root;
+};
+
+using AcquireResult = vm::WorkQueue::AcquireResult;
+
+TEST(CooperativeFrontier, EmptyDequesWithWorkInFlightMustNotDrain) {
+  FrontierFixture fx;
+  vm::SharedFrontier frontier(2);
+  std::vector<vm::StatePtr> got;
+
+  // The steal-race window: worker 0 holds its root in flight (registered,
+  // mid-step), every deque is empty. An idle peer must spin — the in-flight
+  // state can still fork children into the peer's partition — not report
+  // the frontier drained and exit early.
+  frontier.NoteLocalKeep();
+  EXPECT_EQ(frontier.Acquire(1, &got), AcquireResult::kRetry);
+  EXPECT_TRUE(got.empty());
+
+  // Worker 0's step forks a child homed at worker 1, then finishes.
+  frontier.PushRemote(1, fx.Fork());
+  frontier.FinishOne();
+  EXPECT_EQ(frontier.Acquire(1, &got), AcquireResult::kGot);
+  ASSERT_EQ(got.size(), 1u);
+
+  // Now worker 1 holds the only in-flight state: worker 0 must spin.
+  EXPECT_EQ(frontier.Acquire(0, &got), AcquireResult::kRetry);
+
+  // Worker 1 finishes it without forking: now — and only now — both see
+  // the frontier exhausted.
+  frontier.FinishOne();
+  got.clear();
+  EXPECT_EQ(frontier.Acquire(0, &got), AcquireResult::kDrained);
+  EXPECT_EQ(frontier.Acquire(1, &got), AcquireResult::kDrained);
+  EXPECT_EQ(frontier.InFlight(), 0u);
+}
+
+TEST(CooperativeFrontier, StealTakesOldestOwnerDrainsRest) {
+  FrontierFixture fx;
+  vm::SharedFrontier frontier(2);
+  vm::StatePtr a = fx.Fork();
+  vm::StatePtr b = fx.Fork();
+  const vm::ExecutionState* a_raw = a.get();
+  const vm::ExecutionState* b_raw = b.get();
+  frontier.PushRemote(0, std::move(a));
+  frontier.PushRemote(0, std::move(b));
+
+  // A thief takes exactly one state, FIFO — the oldest entry heads the
+  // largest unexplored subtree.
+  std::vector<vm::StatePtr> stolen;
+  EXPECT_EQ(frontier.Acquire(1, &stolen), AcquireResult::kGot);
+  ASSERT_EQ(stolen.size(), 1u);
+  EXPECT_EQ(stolen[0].get(), a_raw);
+
+  // The owner absorbs whatever remains wholesale.
+  std::vector<vm::StatePtr> own;
+  EXPECT_TRUE(frontier.TryDrainOwn(0, &own));
+  ASSERT_EQ(own.size(), 1u);
+  EXPECT_EQ(own[0].get(), b_raw);
+  EXPECT_FALSE(frontier.TryDrainOwn(0, &own));
+}
+
+TEST(CooperativeFrontier, NoteLimitAbortsIdlePeersDespiteInFlightWork) {
+  FrontierFixture fx;
+  vm::SharedFrontier frontier(2);
+  std::vector<vm::StatePtr> got;
+  frontier.NoteLocalKeep();  // Worker 0 holds a state in flight...
+  frontier.NoteLimit();      // ...but hits its budget and exits with it.
+  // Without the limit flag the peer would spin on the orphaned in-flight
+  // count until the time cap.
+  EXPECT_EQ(frontier.Acquire(1, &got), AcquireResult::kAbort);
+}
+
+TEST(CooperativeFrontier, ConcurrentProducerConsumerTerminatesExactly) {
+  FrontierFixture fx;
+  constexpr int kStates = 64;
+  vm::SharedFrontier frontier(2);
+
+  // Worker 0 (producer) registers its root before worker 1 starts — the
+  // portfolio guarantees this by starting a root per worker. The latch
+  // forces worker 1 to begin acquiring inside the window where worker 0
+  // still holds everything in flight.
+  frontier.NoteLocalKeep();
+  std::latch window(1);
+
+  std::thread consumer([&] {
+    window.wait();
+    int consumed = 0;
+    std::vector<vm::StatePtr> batch;
+    for (;;) {
+      AcquireResult r = frontier.Acquire(1, &batch);
+      if (r == AcquireResult::kDrained) {
+        break;
+      }
+      ASSERT_NE(r, AcquireResult::kAbort);
+      if (r == AcquireResult::kRetry) {
+        std::this_thread::yield();
+        continue;
+      }
+      for (vm::StatePtr& state : batch) {
+        state.reset();  // "Step to completion": destroy remotely.
+        frontier.FinishOne();
+        ++consumed;
+      }
+      batch.clear();
+    }
+    EXPECT_EQ(consumed, kStates) << "early exit lost in-flight states";
+  });
+
+  window.count_down();
+  for (int i = 0; i < kStates; ++i) {
+    frontier.PushRemote(1, fx.Fork());
+  }
+  frontier.FinishOne();  // Worker 0's root completes; nothing kept locally.
+  consumer.join();
+  EXPECT_EQ(frontier.InFlight(), 0u);
 }
 
 }  // namespace

@@ -1,7 +1,8 @@
 // esdfuzz: scenario fuzzing for the synthesis engine.
 //
 //   esdfuzz [--seeds N] [--seed-base S] [--kind deadlock|race|crash|mixed]
-//           [--jobs N] [--time-cap SECONDS] [--no-ablations] [--no-ir-opt]
+//           [--jobs N] [--cooperative | --race-portfolio]
+//           [--time-cap SECONDS] [--no-ablations] [--no-ir-opt]
 //           [--shrink] [--out-dir DIR] [--inject-kind-mismatch]
 //
 // Expands each seed into a random concurrent program with a planted bug
@@ -42,6 +43,9 @@ void Usage(std::ostream& os = std::cerr) {
      << "                     (default mixed: kind cycles with the seed)\n"
      << "  --jobs N           portfolio width for each synthesis run\n"
      << "                     (default 1)\n"
+     << "  --cooperative      with --jobs N: cooperative work-stealing\n"
+     << "                     portfolio (default for N > 1)\n"
+     << "  --race-portfolio   with --jobs N: racing portfolio instead\n"
      << "  --time-cap SECONDS per-synthesis budget (default 30)\n"
      << "  --no-ablations     skip the pruning-off / solver-pipeline-off /\n"
      << "                     ir-opt-off agreement runs\n"
@@ -100,6 +104,10 @@ int main(int argc, char** argv) {
         std::cerr << "error: --jobs must be in [1, 256]\n";
         return 2;
       }
+    } else if (arg == "--cooperative") {
+      oracle.cooperative = true;
+    } else if (arg == "--race-portfolio") {
+      oracle.cooperative = false;
     } else if (arg == "--time-cap" && i + 1 < argc) {
       oracle.time_cap_seconds = std::atof(argv[++i]);
     } else if (arg == "--no-ablations") {

@@ -1,7 +1,8 @@
 // esdsynth: synthesize a bug-bound execution from a coredump (§8).
 //
 //   esdsynth <program.esd> <coredump> [-o exec.out] [--time-cap SECONDS]
-//            [--jobs N] [--with-race-det] [--no-proximity]
+//            [--jobs N] [--cooperative | --race-portfolio]
+//            [--with-race-det] [--no-proximity]
 //            [--no-intermediate-goals] [--no-critical-edges] [--seed N]
 //            [--dedup | --no-dedup] [--dedup-private] [--no-sleep-sets]
 //            [--no-solver-rewrite] [--no-solver-slice] [--no-solver-range]
@@ -33,9 +34,15 @@ void Usage(std::ostream& os = std::cerr) {
      << " (default execution.esdx)\n"
      << "  --time-cap SECONDS      give up after this much wall-clock time"
      << " (default 180)\n"
-     << "  --jobs N                race N parallel search workers (portfolio\n"
-     << "                          of strategies; first to the goal wins).\n"
+     << "  --jobs N                run N parallel search workers.\n"
      << "                          1 = classic single-threaded engine\n"
+     << "  --cooperative           with --jobs N: all workers drain one\n"
+     << "                          work-stealing frontier — forks are routed\n"
+     << "                          by fingerprint ownership, idle workers\n"
+     << "                          steal from busy peers (default for N > 1)\n"
+     << "  --race-portfolio        with --jobs N: race N independent\n"
+     << "                          frontiers with diversified strategies;\n"
+     << "                          first to the goal wins\n"
      << "  --seed N                search RNG seed (default 1)\n"
      << "  --with-race-det         run the lockset race detector even for\n"
      << "                          non-race bug classes\n"
@@ -114,6 +121,10 @@ int main(int argc, char** argv) {
         return 2;
       }
       options.jobs = static_cast<size_t>(jobs);
+    } else if (arg == "--cooperative") {
+      options.cooperative = true;
+    } else if (arg == "--race-portfolio") {
+      options.cooperative = false;
     } else if (arg == "--with-race-det") {
       options.enable_race_detection = true;
     } else if (arg == "--dedup") {
@@ -234,7 +245,12 @@ int main(int argc, char** argv) {
               << wr.sleep_set_skips << " sleep-set skips), "
               << wr.solver_queries << " solver queries ("
               << wr.solver_shared_hits << " shared hits, " << wr.sat_conflicts
-              << " conflicts) in " << wr.seconds << "s\n";
+              << " conflicts) in " << wr.seconds << "s";
+    if (wr.counters.states_handed_off != 0 || wr.counters.steals != 0) {
+      std::cout << " [coop: " << wr.counters.states_handed_off << " handed off, "
+                << wr.counters.steals << " steals]";
+    }
+    std::cout << "\n";
   }
   std::cout << "esdsynth: inferred " << result.file.inputs.size()
             << " program inputs and a schedule with " << result.file.strict.size()
