@@ -108,6 +108,7 @@ SynthesisResult RunPortfolio(
     iopts.policy = policy.get();
     iopts.race_detector = want_races ? &race_detector : nullptr;
     iopts.rewrite_constraints = options.solver_rewrite;
+    iopts.store_buffer = options.store_buffer;
     if (options.use_critical_edges) {
       iopts.branch_filter = MakeCriticalEdgeFilter(&goal, distances);
     }

@@ -120,6 +120,7 @@ SynthesisResult Synthesizer::SynthesizeGoal(const Goal& goal) {
   iopts.policy = policy.get();
   iopts.race_detector = want_races ? &race_detector : nullptr;
   iopts.rewrite_constraints = options_.solver_rewrite;
+  iopts.store_buffer = options_.store_buffer;
   if (options_.use_critical_edges) {
     iopts.branch_filter = MakeCriticalEdgeFilter(&goal, &distances);
   }

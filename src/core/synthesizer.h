@@ -54,6 +54,11 @@ struct SynthesisOptions {
   bool use_critical_edges = true;      // Path abandonment / edge pruning.
   // §4.2: run the lockset detector even for non-race bugs.
   bool enable_race_detection = false;
+  // TSO store-buffer modeling for C11 atomics: relaxed atomic stores sit in
+  // a per-thread buffer and each possible flush point becomes a schedule
+  // fork, making stale-read interleavings reachable. --no-store-buffer
+  // restores sequentially consistent atomics (every store writes through).
+  bool store_buffer = true;
   // ---- Redundant-interleaving pruning ----
   // State deduplication: drop schedule forks / prune states whose 64-bit
   // fingerprint (pcs + registers + memory + sync objects + constraints) was

@@ -86,6 +86,19 @@ class Emitter {
     if (spec_.kind == BugKind::kBarrierMismatch) {
       os_ << "global $fzb = zero 8\n";
     }
+    if (spec_.kind == BugKind::kTreiberAba) {
+      // The two-node stack: $fztop holds the top node id (0 = empty),
+      // $fznxt the next-pointer array indexed by node id - 1.
+      os_ << "global $fztop = zero 4\n";
+      os_ << "global $fznxt = zero 8\n";
+    }
+    if (spec_.kind == BugKind::kSpscFence) {
+      os_ << "global $fzsd = zero 4\n";    // Payload slot.
+      os_ << "global $fzsf = zero 4\n";    // Ready flag.
+      os_ << "global $fzsq = zero 4\n";    // Producer's shutdown marker.
+      os_ << "global $fzgot = zero 4\n";   // What the consumer read.
+      os_ << "global $fzseen = zero 4\n";  // Whether the consumer saw the flag.
+    }
     os_ << "\n";
   }
 
@@ -182,6 +195,12 @@ class Emitter {
           break;
         case BugKind::kBarrierMismatch:
           EmitBarrierSkeleton(t);
+          break;
+        case BugKind::kTreiberAba:
+          EmitTreiberSkeleton(t);
+          break;
+        case BugKind::kSpscFence:
+          EmitSpscSkeleton(t);
           break;
       }
     } else {
@@ -300,6 +319,74 @@ class Emitter {
     os_ << "  call @barrier_wait($fzb)\n";
   }
 
+  // The classic ABA pop. Thread 0 is the victim: it reads the top node id
+  // and that node's next pointer, then CASes top without a retry loop.
+  // Thread 1 is the attacker: pop node 1, pop node 2, push node 1 back —
+  // top is 1 again but node 1's next pointer changed, so the victim's CAS
+  // succeeds and installs the already-popped node 2. Main asserts top != 2
+  // after the joins. The next pointers are atomic loads too, so the scripted
+  // trigger can count a sync event between the victim's next-read and its
+  // CAS (the preemption window).
+  void EmitTreiberSkeleton(uint32_t t) {
+    if (t == 0) {
+      std::string top = Tmp(), empty = Tmp();
+      std::string pop = Blk(), join = Blk();
+      os_ << "  " << top << " = call @atomic_load($fztop, i32 5)\n";
+      os_ << "  " << empty << " = icmp eq " << top << ", i32 0\n";
+      os_ << "  condbr " << empty << ", " << join << ", " << pop << "\n";
+      os_ << pop << ":\n";
+      std::string idx = Tmp(), widx = Tmp(), p = Tmp(), nxt = Tmp(), old = Tmp();
+      os_ << "  " << idx << " = sub " << top << ", i32 1\n";
+      os_ << "  " << widx << " = zext i64, " << idx << "\n";
+      os_ << "  " << p << " = gep $fznxt, " << widx << ", 4\n";
+      os_ << "  " << nxt << " = call @atomic_load(" << p << ", i32 0)\n";
+      EmitSlot(t, Slot::kMid);
+      os_ << "  " << old << " = call @atomic_cas($fztop, " << top << ", " << nxt
+          << ", i32 5)\n";
+      os_ << "  br " << join << "\n";
+      os_ << join << ":\n";
+      return;
+    }
+    // Attacker: each CAS uses the value the previous one installed, so the
+    // whole sequence is a no-op unless it lands inside the victim's window.
+    EmitSlot(t, Slot::kMid);
+    std::string a = Tmp(), b = Tmp(), c = Tmp();
+    os_ << "  " << a << " = call @atomic_cas($fztop, i32 1, i32 2, i32 5)\n";
+    os_ << "  " << b << " = call @atomic_cas($fztop, i32 2, i32 0, i32 5)\n";
+    os_ << "  store i32 0, $fznxt\n";  // Push node 1 with a new next pointer.
+    os_ << "  " << c << " = call @atomic_cas($fztop, i32 0, i32 1, i32 5)\n";
+  }
+
+  // The handoff with the missing release fence: the producer publishes the
+  // payload, then the ready flag — both relaxed, so both sit in its store
+  // buffer and the flag may flush first. The trailing shutdown store keeps
+  // the thread at an atomic operation while both entries are buffered
+  // (exiting would drain the buffer in program order and close the window).
+  // The consumer's acquire load of the flag can then observe flag == 1
+  // while the payload slot still reads 0.
+  void EmitSpscSkeleton(uint32_t t) {
+    if (t == 0) {
+      os_ << "  call @atomic_store($fzsd, i32 " << spec_.spsc_payload
+          << ", i32 0)\n";
+      os_ << "  call @atomic_store($fzsf, i32 1, i32 0)\n";
+      EmitSlot(t, Slot::kMid);
+      os_ << "  call @atomic_store($fzsq, i32 1, i32 0)\n";
+      return;
+    }
+    EmitSlot(t, Slot::kMid);
+    std::string f = Tmp(), ready = Tmp(), d = Tmp();
+    std::string read = Blk(), join = Blk();
+    os_ << "  " << f << " = call @atomic_load($fzsf, i32 2)\n";
+    os_ << "  " << ready << " = icmp eq " << f << ", i32 1\n";
+    os_ << "  condbr " << ready << ", " << read << ", " << join << "\n";
+    os_ << read << ":\n";
+    os_ << "  " << d << " = call @atomic_load($fzsd, i32 0)\n";
+    os_ << "  store " << d << ", $fzgot\n";
+    os_ << "  store i32 1, $fzseen\n";
+    os_ << "  br " << join << "\n";
+    os_ << join << ":\n";
+  }
+
   void EmitMain() {
     tmp_ = 0;
     blk_ = 0;
@@ -340,6 +427,12 @@ class Emitter {
       // One party more than will ever arrive: the planted count mismatch.
       os_ << "  call @barrier_init($fzb, i32 3)\n";
     }
+    if (spec_.kind == BugKind::kTreiberAba) {
+      // Stack of two nodes: top -> 1 -> 2 -> empty. Plain stores are fine
+      // before the workers exist.
+      os_ << "  store i32 1, $fztop\n";
+      os_ << "  store i32 2, $fznxt\n";
+    }
     for (uint32_t t = 0; t < spec_.threads.size(); ++t) {
       os_ << "  %t" << t << " = call @thread_create(@fzworker" << t
           << ", null)\n";
@@ -356,6 +449,26 @@ class Emitter {
       std::string v = Tmp(), ok = Tmp();
       os_ << "  " << v << " = load i32, $fzrace\n";
       os_ << "  " << ok << " = icmp eq " << v << ", i32 " << expected << "\n";
+      os_ << "  call @esd_assert(" << ok << ")\n";
+    }
+    if (spec_.kind == BugKind::kTreiberAba) {
+      // Every non-ABA interleaving leaves top in {0, 1}; top == 2 means the
+      // victim's CAS installed the recycled node's stale next pointer.
+      std::string v = Tmp(), ok = Tmp();
+      os_ << "  " << v << " = load i32, $fztop\n";
+      os_ << "  " << ok << " = icmp ne " << v << ", i32 2\n";
+      os_ << "  call @esd_assert(" << ok << ")\n";
+    }
+    if (spec_.kind == BugKind::kSpscFence) {
+      // If the consumer saw the flag, it must have seen the payload too —
+      // unless the flag store overtook the data store in the buffer.
+      std::string seen = Tmp(), got = Tmp(), ns = Tmp(), okv = Tmp(), ok = Tmp();
+      os_ << "  " << seen << " = load i32, $fzseen\n";
+      os_ << "  " << got << " = load i32, $fzgot\n";
+      os_ << "  " << ns << " = icmp eq " << seen << ", i32 0\n";
+      os_ << "  " << okv << " = icmp eq " << got << ", i32 " << spec_.spsc_payload
+          << "\n";
+      os_ << "  " << ok << " = or " << ns << ", " << okv << "\n";
       os_ << "  call @esd_assert(" << ok << ")\n";
     }
     os_ << "  ret i32 0\n";
@@ -388,6 +501,10 @@ std::string_view BugKindName(BugKind kind) {
       return "sem-lost-signal";
     case BugKind::kBarrierMismatch:
       return "barrier-mismatch";
+    case BugKind::kTreiberAba:
+      return "treiber-aba";
+    case BugKind::kSpscFence:
+      return "spsc-fence";
   }
   return "?";
 }
@@ -461,6 +578,9 @@ GeneratedProgram Generate(const GeneratorParams& params) {
     spec.crash_null_deref = rng() % 2 == 0;
     spec.crash_secret = 2 + static_cast<uint32_t>(rng() % 450);
     spec.crash_mul = (3 + 2 * static_cast<uint32_t>(rng() % 23)) | 1u;
+  }
+  if (spec.kind == BugKind::kSpscFence) {
+    spec.spsc_payload = 1 + static_cast<uint32_t>(rng() % 100);
   }
 
   for (uint32_t t = 0; t < threads; ++t) {
@@ -548,6 +668,21 @@ GeneratedProgram Materialize(const ScenarioSpec& spec) {
       program.expected_kind = vm::BugInfo::Kind::kDeadlock;
       // Any schedule hangs once the guards are solved; the trigger only
       // needs the inputs.
+      break;
+    case BugKind::kTreiberAba:
+      program.expected_kind = vm::BugInfo::Kind::kAssertFail;
+      // The victim (tid 1) loads top and node 1's next pointer (2 sync
+      // events), then the attacker (tid 2) runs its full pop-pop-push (3
+      // CASes); the victim's stale CAS then succeeds against the recycled
+      // top. Detected at main's assert, like the race kind.
+      program.trigger.schedule = {{1, 2, 2}, {2, 3, 1}};
+      break;
+    case BugKind::kSpscFence:
+      program.expected_kind = vm::BugInfo::Kind::kAssertFail;
+      // No schedule: the bug needs a store-buffer flush interleaving, which
+      // only the drain forks of symbolic search can express — no concrete
+      // SyncSwitch script reaches it (the oracle skips the trigger stage
+      // and reports via the assert-site coredump).
       break;
   }
   return program;

@@ -55,6 +55,14 @@ namespace esd::fuzz {
 // All three manifest as deadlocks; their triggers differ in whether the
 // interleaving (rwlock-upgrade, sem-lost-signal) or just the guarded
 // inputs (barrier-mismatch) arm the hang.
+// The lock-free kinds plant C11-atomics bugs (src/vm's store-buffer
+// model): a Treiber-stack ABA pop (the victim's compare-and-swap succeeds
+// against a recycled node id after the attacker popped twice and pushed the
+// first node back), and a single-producer/single-consumer ring handoff
+// whose flag store is relaxed where it must be release — the stale data
+// read is only reachable when the store buffer may flush the flag before
+// the payload. Both are detected by an esd_assert in main after the joins
+// (the §3.1 detection-site shape), like the race kind.
 enum class BugKind : uint8_t {
   kDeadlock,
   kRace,
@@ -62,8 +70,10 @@ enum class BugKind : uint8_t {
   kRwUpgrade,
   kSemLostSignal,
   kBarrierMismatch,
+  kTreiberAba,
+  kSpscFence,
 };
-inline constexpr uint32_t kNumBugKinds = 6;
+inline constexpr uint32_t kNumBugKinds = 8;
 
 std::string_view BugKindName(BugKind kind);
 std::optional<BugKind> ParseBugKindName(std::string_view name);
@@ -130,6 +140,7 @@ struct ScenarioSpec {
   bool crash_null_deref = false;  // Otherwise: guarded esd_assert failure.
   uint32_t crash_secret = 0;      // Input value that arms the crash.
   uint32_t crash_mul = 1;         // Odd multiplier routing the crash guard.
+  uint32_t spsc_payload = 1;      // kSpscFence: the value the producer hands off.
 
   // How many leading threads carry the planted bug (2, or 1 for crashes).
   uint32_t BugThreads() const;

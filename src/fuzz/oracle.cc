@@ -16,6 +16,7 @@ core::SynthesisOptions BaseOptions(const OracleOptions& options) {
   synth.jobs = options.jobs;
   synth.cooperative = options.cooperative;
   synth.ir_opt = options.ir_opt;
+  synth.store_buffer = options.store_buffer;
   return synth;
 }
 
@@ -58,7 +59,15 @@ std::string RunConfiguration(const GeneratedProgram& program,
 }  // namespace
 
 std::optional<report::CoreDump> MakeReport(const GeneratedProgram& program) {
-  if (program.spec.kind == BugKind::kRace) {
+  // The race and lock-free kinds are detected at main's esd_assert, so the
+  // field report is the assert-site coredump. For spsc-fence no concrete
+  // trigger run can even manifest the bug (it needs a store-buffer flush
+  // interleaving only symbolic drain forks express); treiber-aba could
+  // manifest concretely, but its report shape is the same detection-site
+  // dump.
+  if (program.spec.kind == BugKind::kRace ||
+      program.spec.kind == BugKind::kTreiberAba ||
+      program.spec.kind == BugKind::kSpscFence) {
     return workloads::AssertSiteDump(*program.module);
   }
   auto dump = workloads::CaptureDump(*program.module, program.trigger);

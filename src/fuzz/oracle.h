@@ -38,6 +38,11 @@ struct OracleOptions {
   // so the whole sweep exercises the unoptimized engine — the CI ablation
   // job runs the corpus both ways and diffs the verdicts.
   bool ir_opt = true;
+  // TSO store-buffer modeling (SynthesisOptions::store_buffer) for the
+  // primary run and the ablations. `esdfuzz --no-store-buffer` clears it:
+  // under sequentially consistent atomics the spsc-fence kind's planted bug
+  // becomes unreachable, so sweeps of that kind expect synthesis to fail.
+  bool store_buffer = true;
   // Stage 4: re-run synthesis with pruning off, with the solver pipeline
   // off, and with the IR optimizer off, and require feasibility agreement.
   // The dominant cost of a verdict; sweeps can disable it for a subset of

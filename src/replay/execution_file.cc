@@ -36,6 +36,16 @@ std::string_view EventKindName(vm::SchedEvent::Kind kind) {
       return "barrier";
     case vm::SchedEvent::Kind::kTryFail:
       return "try-fail";
+    case vm::SchedEvent::Kind::kAtomicLoad:
+      return "at-load";
+    case vm::SchedEvent::Kind::kAtomicStore:
+      return "at-store";
+    case vm::SchedEvent::Kind::kAtomicRmw:
+      return "at-rmw";
+    case vm::SchedEvent::Kind::kAtomicFence:
+      return "at-fence";
+    case vm::SchedEvent::Kind::kAtomicFlush:
+      return "at-flush";
   }
   return "?";
 }
@@ -45,7 +55,7 @@ std::string_view EventKindName(vm::SchedEvent::Kind kind) {
 // extension (files that never use them serialize byte-identically to
 // before).
 std::optional<vm::SchedEvent::Kind> ParseEventKind(std::string_view s) {
-  for (int k = 0; k <= static_cast<int>(vm::SchedEvent::Kind::kTryFail); ++k) {
+  for (int k = 0; k <= static_cast<int>(vm::SchedEvent::Kind::kAtomicFlush); ++k) {
     auto kind = static_cast<vm::SchedEvent::Kind>(k);
     if (EventKindName(kind) == s) {
       return kind;
@@ -112,6 +122,11 @@ ExecutionFile BuildExecutionFile(const ir::Module& module,
     if (ev.kind == vm::SchedEvent::Kind::kSwitch) {
       file.strict.push_back(SwitchPoint{ev.step, ev.tid});
     } else {
+      if (ev.kind == vm::SchedEvent::Kind::kAtomicFlush) {
+        // Flushes feed both encodings: strict replay re-applies them by
+        // step; hb replay orders them among the other sync events.
+        file.flushes.push_back(FlushPoint{ev.step, ev.tid, ev.addr});
+      }
       HbEvent hb;
       hb.kind = ev.kind;
       hb.tid = ev.tid;
@@ -144,6 +159,9 @@ std::string ExecutionFileToText(const ExecutionFile& file) {
   }
   for (const SwitchPoint& sp : file.strict) {
     os << "switch " << sp.step << " " << sp.tid << "\n";
+  }
+  for (const FlushPoint& fp : file.flushes) {
+    os << "flush " << fp.step << " " << fp.tid << " " << fp.addr << "\n";
   }
   for (const HbEvent& hb : file.happens_before) {
     os << "hb " << EventKindName(hb.kind) << " " << hb.tid << " " << hb.addr << " "
@@ -232,6 +250,21 @@ std::optional<ExecutionFile> ParseExecutionFile(const std::string& text,
         return fail("switch points out of step order" + at());
       }
       file.strict.push_back(sp);
+    } else if (word == "flush") {
+      FlushPoint fp;
+      if (!(ls >> fp.step >> fp.tid >> fp.addr)) {
+        return fail("truncated flush record" + at());
+      }
+      if (trailing(ls)) {
+        return fail("trailing garbage after flush record" + at());
+      }
+      if (fp.tid > kMaxScheduleTid) {
+        return fail("flush tid " + std::to_string(fp.tid) + " out of range" + at());
+      }
+      if (!file.flushes.empty() && fp.step < file.flushes.back().step) {
+        return fail("flush points out of step order" + at());
+      }
+      file.flushes.push_back(fp);
     } else if (word == "hb") {
       std::string kind_word;
       HbEvent hb;
@@ -284,6 +317,10 @@ std::string Fingerprint(const ExecutionFile& file) {
   }
   for (const SwitchPoint& sp : file.strict) {
     mix(std::to_string(sp.step) + ":" + std::to_string(sp.tid));
+  }
+  for (const FlushPoint& fp : file.flushes) {
+    mix(std::to_string(fp.step) + ":" + std::to_string(fp.tid) + "@" +
+        std::to_string(fp.addr));
   }
   for (const HbEvent& hb : file.happens_before) {
     mix(std::string(EventKindName(hb.kind)) + ":" + std::to_string(hb.tid) + ":" +

@@ -23,15 +23,29 @@
 //   switch <step> <tid>               strict schedule: after <step>
 //                                     instruction attempts, thread <tid>
 //                                     runs. Zero or more, in step order.
+//   flush <step> <tid> <addr>         store-buffer flush: at step <step>,
+//                                     thread <tid>'s oldest buffered atomic
+//                                     store to <addr> became globally
+//                                     visible. Zero or more, in step order;
+//                                     absent from pre-atomics files. Both
+//                                     replay modes re-apply these (strict
+//                                     by step, hb eagerly at its event
+//                                     position) — without them a weak-memory
+//                                     execution would drain in program
+//                                     order and miss the stale read.
 //   hb <kind> <tid> <addr> <site>     happens-before event: <kind> is one of
 //                                     switch | lock | unlock | cond-wait |
-//                                     cond-wake | create | exit; <addr> the
+//                                     cond-wake | create | exit (plus the
+//                                     later extensions, e.g. rd-lock,
+//                                     sem-wait, try-fail, and the atomics
+//                                     at-load | at-store | at-rmw |
+//                                     at-fence | at-flush); <addr> the
 //                                     mutex/condvar address (decimal, 0 when
 //                                     unused); <site> a "func:block:inst"
 //                                     location. Zero or more, in trace order.
 //
 // Unknown directives are a parse error; blank lines are ignored. The
-// `switch` and `hb` sections are independent encodings of the same
+// `switch`+`flush` and `hb` sections are independent encodings of the same
 // schedule — esdplay picks one (strict by default, `--hb` for the latter).
 #ifndef ESD_SRC_REPLAY_EXECUTION_FILE_H_
 #define ESD_SRC_REPLAY_EXECUTION_FILE_H_
@@ -67,12 +81,22 @@ struct HbEvent {
   std::string site;  // "func:block:inst" rendering.
 };
 
+// "At `step`, thread `tid`'s oldest buffered store to `addr` flushed."
+struct FlushPoint {
+  uint64_t step = 0;
+  uint32_t tid = 0;
+  uint64_t addr = 0;
+};
+
 struct ExecutionFile {
   std::string bug_kind;
   std::string description;
   // Input name (e.g. "getchar#3") -> concrete value.
   std::map<std::string, uint64_t> inputs;
   std::vector<SwitchPoint> strict;
+  // Recorded store-buffer flushes, step-ordered (strict replay's weak-memory
+  // companion to `strict`; empty for executions without atomics).
+  std::vector<FlushPoint> flushes;
   std::vector<HbEvent> happens_before;
 };
 

@@ -4,6 +4,23 @@
 
 namespace esd::replay {
 
+void StrictReplayPolicy::BeforeStep(vm::ExecutionState& state) {
+  // Apply every recorded flush due at or before this step. A flush recorded
+  // at step S was committed by a drain fork just before the instruction at
+  // S+1 (the fork rewinds the child's step counter), which is exactly where
+  // this hook runs. By then the store is guaranteed buffered — its atomic
+  // store executed at an earlier step under the same switch schedule — so
+  // a failed commit means the record came from an organic drain (release /
+  // RMW / fence / exit) that the replayed instruction already performed
+  // itself; skip it rather than stall the cursor.
+  while (next_flush_ < file_->flushes.size() &&
+         file_->flushes[next_flush_].step <= state.steps) {
+    const FlushPoint& fp = file_->flushes[next_flush_];
+    state.CommitBufferedStore(fp.tid, fp.addr);
+    ++next_flush_;
+  }
+}
+
 std::optional<uint32_t> StrictReplayPolicy::ForceSwitch(
     const vm::ExecutionState& state) {
   // The next instruction attempt has index state.steps (steps attempts are
@@ -20,7 +37,7 @@ std::optional<uint32_t> StrictReplayPolicy::ForceSwitch(
   return tid;
 }
 
-std::optional<uint32_t> HbReplayPolicy::ForceSwitch(const vm::ExecutionState& state) {
+void HbReplayPolicy::Consume(const vm::ExecutionState& state) {
   // Consume newly recorded sync events that match the expected sequence.
   for (; trace_seen_ < state.sched_trace.size(); ++trace_seen_) {
     const vm::SchedEvent& ev = state.sched_trace[trace_seen_];
@@ -33,6 +50,32 @@ std::optional<uint32_t> HbReplayPolicy::ForceSwitch(const vm::ExecutionState& st
       ++next_event_;
     }
   }
+}
+
+void HbReplayPolicy::BeforeStep(vm::ExecutionState& state) {
+  Consume(state);
+  // When the next expected event is a flush, apply it now rather than
+  // waiting for the owner thread: the owner drains its buffer in program
+  // order (at release points or on exit), and the tid-matched consumption
+  // above would accept that sequence even where the recording flushed out
+  // of order. If the store is not buffered yet, ForceSwitch keeps forcing
+  // the owner until it is.
+  while (next_event_ < file_->happens_before.size()) {
+    const HbEvent& next = file_->happens_before[next_event_];
+    if (next.kind != vm::SchedEvent::Kind::kAtomicFlush) {
+      break;
+    }
+    if (!state.CommitBufferedStore(next.tid, next.addr)) {
+      break;
+    }
+    // CommitBufferedStore recorded the matching at-flush trace event;
+    // consume it so the cursor moves past the applied flush.
+    Consume(state);
+  }
+}
+
+std::optional<uint32_t> HbReplayPolicy::ForceSwitch(const vm::ExecutionState& state) {
+  Consume(state);
   if (next_event_ >= file_->happens_before.size()) {
     return std::nullopt;  // All orderings satisfied; run freely.
   }

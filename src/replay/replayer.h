@@ -38,10 +38,15 @@ class FileInputProvider : public vm::InputProvider {
 class StrictReplayPolicy : public vm::SchedulePolicy {
  public:
   explicit StrictReplayPolicy(const ExecutionFile* file) : file_(file) {}
+  // Re-applies recorded store-buffer flushes by step count, so buffered
+  // atomic stores become visible exactly where synthesis made them visible
+  // (possibly out of program order).
+  void BeforeStep(vm::ExecutionState& state) override;
   std::optional<uint32_t> ForceSwitch(const vm::ExecutionState& state) override;
 
  private:
   const ExecutionFile* file_;
+  size_t next_flush_ = 0;  // Cursor into file_->flushes.
 };
 
 // Happens-before playback: the thread owning the next unconsumed sync event
@@ -50,9 +55,19 @@ class StrictReplayPolicy : public vm::SchedulePolicy {
 class HbReplayPolicy : public vm::SchedulePolicy {
  public:
   explicit HbReplayPolicy(const ExecutionFile* file) : file_(file) {}
+  // Applies an expected at-flush event as soon as its store is buffered.
+  // Eager application matters: left to the owner thread, the buffer would
+  // drain in program (FIFO) order at the next flush point or exit, and the
+  // tolerant event consumption (kind+tid, no addr) would accept that
+  // sequence even where the recording flushed out of order — silently
+  // replaying a different (non-buggy) execution.
+  void BeforeStep(vm::ExecutionState& state) override;
   std::optional<uint32_t> ForceSwitch(const vm::ExecutionState& state) override;
 
  private:
+  // Consumes newly recorded trace events that match the expected sequence.
+  void Consume(const vm::ExecutionState& state);
+
   const ExecutionFile* file_;
   size_t next_event_ = 0;
   size_t trace_seen_ = 0;

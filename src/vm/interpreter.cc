@@ -42,6 +42,16 @@ std::optional<SyncOp::Kind> SyncKindOf(ExternalId id) {
       return SyncOp::Kind::kBarrierWait;
     case ExternalId::kYield:
       return SyncOp::Kind::kYield;
+    case ExternalId::kAtomicLoad:
+      return SyncOp::Kind::kAtomicLoad;
+    case ExternalId::kAtomicStore:
+      return SyncOp::Kind::kAtomicStore;
+    case ExternalId::kAtomicExchange:
+    case ExternalId::kAtomicFetchAdd:
+    case ExternalId::kAtomicCas:
+      return SyncOp::Kind::kAtomicRmw;
+    case ExternalId::kAtomicFence:
+      return SyncOp::Kind::kAtomicFence;
     default:
       return std::nullopt;
   }
@@ -88,6 +98,12 @@ ExternalId LookupExternal(const std::string& name) {
       {"barrier_wait", ExternalId::kBarrierWait},
       {"yield", ExternalId::kYield},
       {"sleep_ms", ExternalId::kYield},
+      {"atomic_load", ExternalId::kAtomicLoad},
+      {"atomic_store", ExternalId::kAtomicStore},
+      {"atomic_exchange", ExternalId::kAtomicExchange},
+      {"atomic_fetch_add", ExternalId::kAtomicFetchAdd},
+      {"atomic_cas", ExternalId::kAtomicCas},
+      {"atomic_fence", ExternalId::kAtomicFence},
   };
   auto it = kMap.find(name);
   return it == kMap.end() ? ExternalId::kUnknown : it->second;
@@ -139,6 +155,12 @@ const Interpreter::SyncHandler* FindSyncHandler(ExternalId id) {
       {ExternalId::kSemPost, &Interpreter::ExecSemPost},
       {ExternalId::kBarrierWait, &Interpreter::ExecBarrierWait},
       {ExternalId::kYield, &Interpreter::ExecYield},
+      {ExternalId::kAtomicLoad, &Interpreter::ExecAtomicLoad},
+      {ExternalId::kAtomicStore, &Interpreter::ExecAtomicStore},
+      {ExternalId::kAtomicExchange, &Interpreter::ExecAtomicRmw},
+      {ExternalId::kAtomicFetchAdd, &Interpreter::ExecAtomicRmw},
+      {ExternalId::kAtomicCas, &Interpreter::ExecAtomicRmw},
+      {ExternalId::kAtomicFence, &Interpreter::ExecAtomicFence},
   };
   auto it = kTable.find(id);
   return it == kTable.end() ? nullptr : &it->second;
@@ -160,10 +182,16 @@ size_t MinArgsOf(ExternalId id) {
     case ExternalId::kInputBytes:
     case ExternalId::kMemset:
     case ExternalId::kMemcpy:
+    case ExternalId::kAtomicStore:
+    case ExternalId::kAtomicExchange:
+    case ExternalId::kAtomicFetchAdd:
       return 3;
+    case ExternalId::kAtomicCas:
+      return 4;
     case ExternalId::kCondWait:
     case ExternalId::kSemInit:
     case ExternalId::kBarrierInit:
+    case ExternalId::kAtomicLoad:
       return 2;
     default:
       return 1;
@@ -626,6 +654,10 @@ void Interpreter::MaybePreemptionPoint(ExecutionState& state,
 
 StepResult Interpreter::Step(ExecutionState& state) {
   if (options_.policy != nullptr) {
+    // Replay policies apply recorded store-buffer flushes here, before the
+    // forced switch, so a flush due at this step lands no matter which
+    // thread runs next.
+    options_.policy->BeforeStep(state);
     if (auto forced = options_.policy->ForceSwitch(state)) {
       Thread* t = state.FindThread(*forced);
       if (t != nullptr && t->status == ThreadStatus::kRunnable) {
@@ -949,6 +981,9 @@ void Interpreter::PopFrame(ExecutionState& state, const ExprRef& ret_value) {
 StepResult Interpreter::FinishThread(ExecutionState& state) {
   StepResult result;
   Thread& thread = state.CurrentThread();
+  // A thread's buffered stores become globally visible no later than its
+  // exit (flush events precede the exit event in the trace).
+  state.DrainStoreBuffer(thread);
   thread.status = ThreadStatus::kExited;
   state.RecordEvent(SchedEvent::Kind::kThreadExit, thread.id, 0, {});
   // Wake joiners.
@@ -1906,6 +1941,229 @@ StepResult Interpreter::ExecYield(ExecutionState& state, const SyncCall& /*call*
   StepResult result;
   AdvancePc(state);
   ScheduleNext(state);
+  return result;
+}
+
+// ---- C11 atomics & the TSO store buffer ----
+//
+// Memory orders use C11 numbering: 0 relaxed, 1 consume, 2 acquire,
+// 3 release, 4 acq_rel, 5 seq_cst. A store with order < 3 parks in the
+// issuing thread's buffer; release-or-stronger stores, every RMW, fences
+// with order >= 3, and thread exit drain the thread's own buffer. Buffered
+// entries drain out of order across addresses (same-address entries stay
+// FIFO) — looser than strict x86-TSO, which is what lets a later
+// flag-store become visible before an earlier data-store and makes
+// missing-release-fence bugs reachable. Atomic accesses are synchronizing:
+// they bypass the lockset race detector but still wake sleep-set entries.
+
+namespace {
+constexpr uint64_t kOrderRelease = 3;
+constexpr uint32_t kAtomicBytes = 4;  // All atomics are 32-bit.
+}  // namespace
+
+void Interpreter::MaybeDrainForks(ExecutionState& state, StepResult* result) {
+  // Every atomic operation is a flush choice point: fork one schedule
+  // variant per eligible buffered store (the oldest pending entry of each
+  // (thread, address) pair — per-address FIFO). The child commits that
+  // entry with the pc unchanged, so the atomic op re-executes there and
+  // enumerates the remaining drain orders recursively; fingerprint dedup
+  // collapses commuting orders. Symbolic mode only — concrete playback
+  // applies the recorded flushes instead.
+  if (!options_.store_buffer || options_.input_provider != nullptr) {
+    return;
+  }
+  for (const Thread& t : state.threads) {
+    std::vector<uint64_t> seen;
+    for (const PendingStore& p : t.store_buffer) {
+      if (std::find(seen.begin(), seen.end(), p.addr) != seen.end()) {
+        continue;  // A newer same-address entry cannot pass the oldest.
+      }
+      seen.push_back(p.addr);
+      StatePtr child = state.Fork(AllocStateId());
+      // Rewind the step the parent just spent reaching this op: the child
+      // re-executes it, and strict replay (which never burns the aborted
+      // attempt) must see the flush and the op at the same step indices
+      // the child records.
+      --child->steps;
+      child->CommitBufferedStore(t.id, p.addr);
+      child->is_schedule_snapshot = true;
+      result->forks.push_back(std::move(child));
+    }
+  }
+  if (!result->forks.empty()) {
+    ++state.depth;
+  }
+}
+
+ExprRef Interpreter::AtomicReadMem(ExecutionState& state, uint64_t addr) {
+  const MemoryObject* obj = state.mem.Find(PointerObject(addr));
+  uint32_t offset = PointerOffset(addr);
+  ExprRef value = obj->ByteAt(offset);
+  for (uint32_t i = 1; i < kAtomicBytes; ++i) {
+    value = solver::MakeConcat(obj->ByteAt(offset + i), value);
+  }
+  state.SleepSetWakeAccess(MakePointer(PointerObject(addr), offset),
+                           /*is_write=*/false);
+  return value;
+}
+
+void Interpreter::AtomicWriteMem(ExecutionState& state, uint64_t addr,
+                                 const ExprRef& value) {
+  MemoryObject* obj = state.mem.FindWritable(PointerObject(addr));
+  uint32_t offset = PointerOffset(addr);
+  for (uint32_t i = 0; i < kAtomicBytes; ++i) {
+    state.mem.WriteByte(obj, offset + i, solver::MakeExtract(value, i * 8, 8));
+  }
+  state.SleepSetWakeAccess(MakePointer(PointerObject(addr), offset),
+                           /*is_write=*/true);
+}
+
+StepResult Interpreter::ExecAtomicLoad(ExecutionState& state, const SyncCall& call) {
+  StepResult result;
+  MaybeDrainForks(state, &result);
+  Thread& thread = state.CurrentThread();
+  uint64_t addr;
+  if (!ConcretizeU64(state, call.args[0], &addr)) {
+    result.state_done = true;
+    return result;
+  }
+  BugInfo bug;
+  if (!CheckAccess(state, addr, kAtomicBytes, /*is_write=*/false, call.site, &bug)) {
+    result.state_done = true;
+    result.bug = std::move(bug);
+    return result;
+  }
+  // Store-to-load forwarding: the thread's own newest pending store to this
+  // address wins over memory (TSO — a thread always sees its own stores).
+  ExprRef value;
+  for (auto it = thread.store_buffer.rbegin(); it != thread.store_buffer.rend();
+       ++it) {
+    if (it->addr == addr) {
+      value = it->value;
+      break;
+    }
+  }
+  if (value == nullptr) {
+    value = AtomicReadMem(state, addr);
+  }
+  state.RecordEvent(SchedEvent::Kind::kAtomicLoad, thread.id, addr, call.site);
+  if (call.inst.result >= 0) {
+    thread.frames.back().regs[static_cast<size_t>(call.inst.result)] = value;
+  }
+  AdvancePc(state);
+  return result;
+}
+
+StepResult Interpreter::ExecAtomicStore(ExecutionState& state, const SyncCall& call) {
+  StepResult result;
+  MaybeDrainForks(state, &result);
+  Thread& thread = state.CurrentThread();
+  uint64_t addr, order;
+  if (!ConcretizeU64(state, call.args[0], &addr) ||
+      !ConcretizeU64(state, call.args[2], &order)) {
+    result.state_done = true;
+    return result;
+  }
+  BugInfo bug;
+  if (!CheckAccess(state, addr, kAtomicBytes, /*is_write=*/true, call.site, &bug)) {
+    result.state_done = true;
+    result.bug = std::move(bug);
+    return result;
+  }
+  ExprRef value = call.args[1];
+  if (value->width() < 32) {
+    value = solver::MakeZExt(value, 32);
+  } else if (value->width() > 32) {
+    value = solver::MakeExtract(value, 0, 32);
+  }
+  if (options_.store_buffer && order < kOrderRelease) {
+    if (thread.store_buffer.size() >= kStoreBufferCap) {
+      // Full buffer: hardware would stall; drain the oldest entry instead.
+      state.CommitBufferedStore(thread.id, thread.store_buffer.front().addr);
+    }
+    state.CurrentThread().store_buffer.push_back(
+        PendingStore{addr, kAtomicBytes, value, call.site});
+  } else {
+    // Release-or-stronger (or the --no-store-buffer ablation): nothing
+    // issued before may be reordered past this store, so drain everything
+    // pending, then write through.
+    state.DrainStoreBuffer(state.CurrentThread());
+    AtomicWriteMem(state, addr, value);
+  }
+  state.RecordEvent(SchedEvent::Kind::kAtomicStore, state.current_tid, addr,
+                    call.site);
+  AdvancePc(state);
+  return result;
+}
+
+StepResult Interpreter::ExecAtomicRmw(ExecutionState& state, const SyncCall& call) {
+  StepResult result;
+  MaybeDrainForks(state, &result);
+  Thread& thread = state.CurrentThread();
+  uint64_t addr;
+  if (!ConcretizeU64(state, call.args[0], &addr)) {
+    result.state_done = true;
+    return result;
+  }
+  BugInfo bug;
+  if (!CheckAccess(state, addr, kAtomicBytes, /*is_write=*/true, call.site, &bug)) {
+    result.state_done = true;
+    result.bug = std::move(bug);
+    return result;
+  }
+  // Every RMW is a full flush point regardless of its order annotation
+  // (x86 lock-prefixed ops drain the store buffer).
+  state.DrainStoreBuffer(thread);
+  ExprRef old = AtomicReadMem(state, addr);
+  ExprRef arg = call.args[1];
+  if (arg->width() < 32) {
+    arg = solver::MakeZExt(arg, 32);
+  } else if (arg->width() > 32) {
+    arg = solver::MakeExtract(arg, 0, 32);
+  }
+  ExprRef next;
+  switch (call.ext) {
+    case ExternalId::kAtomicExchange:
+      next = arg;
+      break;
+    case ExternalId::kAtomicFetchAdd:
+      next = solver::MakeAdd(old, arg);
+      break;
+    default: {  // kAtomicCas: args are (ptr, expected, desired, order).
+      ExprRef desired = call.args[2];
+      if (desired->width() < 32) {
+        desired = solver::MakeZExt(desired, 32);
+      } else if (desired->width() > 32) {
+        desired = solver::MakeExtract(desired, 0, 32);
+      }
+      // Ite keeps a symbolic comparison in-expression instead of forking;
+      // the caller's own compare of the returned old value forks the path.
+      next = solver::MakeIte(solver::MakeEq(old, arg), desired, old);
+      break;
+    }
+  }
+  AtomicWriteMem(state, addr, next);
+  state.RecordEvent(SchedEvent::Kind::kAtomicRmw, thread.id, addr, call.site);
+  if (call.inst.result >= 0) {
+    thread.frames.back().regs[static_cast<size_t>(call.inst.result)] = old;
+  }
+  AdvancePc(state);
+  return result;
+}
+
+StepResult Interpreter::ExecAtomicFence(ExecutionState& state, const SyncCall& call) {
+  StepResult result;
+  MaybeDrainForks(state, &result);
+  uint64_t order;
+  if (!ConcretizeU64(state, call.args[0], &order)) {
+    result.state_done = true;
+    return result;
+  }
+  if (order >= kOrderRelease) {
+    state.DrainStoreBuffer(state.CurrentThread());
+  }
+  state.RecordEvent(SchedEvent::Kind::kAtomicFence, state.current_tid, 0, call.site);
+  AdvancePc(state);
   return result;
 }
 

@@ -95,6 +95,15 @@ enum class ExternalId : uint8_t {
   kBarrierInit,
   kBarrierWait,
   kYield,
+  // C11 atomics. The last i32 argument carries the memory order in C11
+  // numbering (0 relaxed, 2 acquire, 3 release, 4 acq_rel, 5 seq_cst); see
+  // "Atomics & the TSO store buffer" in docs/ARCHITECTURE.md.
+  kAtomicLoad,
+  kAtomicStore,
+  kAtomicExchange,
+  kAtomicFetchAdd,
+  kAtomicCas,
+  kAtomicFence,
   kUnknown,
 };
 
@@ -159,6 +168,10 @@ class Interpreter {
   StepResult ExecSemPost(ExecutionState& state, const SyncCall& call);
   StepResult ExecBarrierWait(ExecutionState& state, const SyncCall& call);
   StepResult ExecYield(ExecutionState& state, const SyncCall& call);
+  StepResult ExecAtomicLoad(ExecutionState& state, const SyncCall& call);
+  StepResult ExecAtomicStore(ExecutionState& state, const SyncCall& call);
+  StepResult ExecAtomicRmw(ExecutionState& state, const SyncCall& call);
+  StepResult ExecAtomicFence(ExecutionState& state, const SyncCall& call);
 
   struct Options {
     // Concrete mode when set: inputs come from the provider, no forking.
@@ -174,6 +187,12 @@ class Interpreter {
     // Canonicalize path constraints at AddConstraint time (stage 1 of the
     // solver pipeline; see SynthesisOptions::solver_rewrite).
     bool rewrite_constraints = true;
+    // Model TSO store-buffer reordering: relaxed atomic stores park in a
+    // per-thread buffer and drain points fork extra schedule variants.
+    // Off: every atomic store writes through in program order (the
+    // --no-store-buffer ablation). Drain forks only ever fire in symbolic
+    // mode; concrete playback applies the recorded flushes instead.
+    bool store_buffer = true;
   };
 
   Interpreter(const ir::Module* module, solver::ConstraintSolver* solver,
@@ -274,6 +293,16 @@ class Interpreter {
   // Fires policy.BeforeSyncOp if the instruction is a preemption point.
   void MaybePreemptionPoint(ExecutionState& state, const ir::Instruction& inst,
                             ir::InstRef site);
+
+  // --- Store-buffer helpers (see "C11 atomics" in interpreter.cc) ---
+  // Forks one schedule variant per eligible buffered store; each child
+  // commits that entry with the pc unchanged so the atomic op re-executes.
+  void MaybeDrainForks(ExecutionState& state, StepResult* result);
+  // 4-byte memory access bypassing the race detector (atomics synchronize,
+  // they do not race) but waking dependent sleep-set entries.
+  solver::ExprRef AtomicReadMem(ExecutionState& state, uint64_t addr);
+  void AtomicWriteMem(ExecutionState& state, uint64_t addr,
+                      const solver::ExprRef& value);
 
   // LookupExternal(Func(i).name), memoized per function index: the
   // string-keyed lookup sits on the per-instruction hot path (every

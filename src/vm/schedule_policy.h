@@ -44,6 +44,13 @@ class SchedulePolicy {
  public:
   virtual ~SchedulePolicy() = default;
 
+  // Called at the top of every Step, before ForceSwitch, with mutable
+  // access to the state. Replay policies apply recorded store-buffer
+  // flushes here (ExecutionState::CommitBufferedStore) so out-of-order
+  // flush points land at their recorded positions regardless of which
+  // thread is scheduled next.
+  virtual void BeforeStep(ExecutionState& /*state*/) {}
+
   // Consulted before every instruction: a forced thread switch (replay).
   virtual std::optional<uint32_t> ForceSwitch(const ExecutionState& /*state*/) {
     return std::nullopt;

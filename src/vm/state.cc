@@ -42,6 +42,39 @@ bool Dependent(const SyncOp& e, const SyncOp& op) {
   if (op.kind == SyncOp::Kind::kYield || e.kind == SyncOp::Kind::kYield) {
     return false;  // Yields order nothing.
   }
+  auto is_atomic = [](SyncOp::Kind k) {
+    return k == SyncOp::Kind::kAtomicLoad || k == SyncOp::Kind::kAtomicStore ||
+           k == SyncOp::Kind::kAtomicRmw || k == SyncOp::Kind::kAtomicFence;
+  };
+  if (is_atomic(e.kind) || is_atomic(op.kind)) {
+    // A fence drains the executing thread's store buffer, changing what
+    // every other thread may read next: conservatively dependent on any
+    // atomic or plain data access (it carries no address to compare).
+    if (e.kind == SyncOp::Kind::kAtomicFence ||
+        op.kind == SyncOp::Kind::kAtomicFence) {
+      return true;
+    }
+    if ((is_atomic(e.kind) || IsRacy(e.kind)) &&
+        (is_atomic(op.kind) || IsRacy(op.kind))) {
+      // Atomic/atomic and mixed atomic/plain pairs behave like data
+      // accesses: object-granularity overlap with at least one writer.
+      // Two atomic loads commute.
+      if (e.addr == 0 || op.addr == 0) {
+        return true;
+      }
+      auto writes = [](SyncOp::Kind k) {
+        return k == SyncOp::Kind::kRacyStore ||
+               k == SyncOp::Kind::kAtomicStore || k == SyncOp::Kind::kAtomicRmw;
+      };
+      return PointerObject(e.addr) == PointerObject(op.addr) &&
+             (writes(e.kind) || writes(op.kind));
+    }
+    // Atomic vs. a blocking sync-object operation: the sync object's word
+    // may live inside the atomically-accessed object, so compare at object
+    // granularity.
+    return e.addr == 0 || op.addr == 0 ||
+           PointerObject(e.addr) == PointerObject(op.addr);
+  }
   // Sync-object operations: same address interferes. Condvar and
   // thread-lifecycle operations change wakeup/thread structure in ways the
   // address alone does not capture, so they wake everything (conservative;
@@ -161,6 +194,38 @@ void ExecutionState::SleepSetWakeAccess(uint64_t addr, bool is_write) {
                   sleep_set.end());
 }
 
+bool ExecutionState::CommitBufferedStore(uint32_t tid, uint64_t addr) {
+  Thread* t = FindThread(tid);
+  if (t == nullptr) {
+    return false;
+  }
+  auto it = std::find_if(
+      t->store_buffer.begin(), t->store_buffer.end(),
+      [&](const PendingStore& p) { return p.addr == addr; });
+  if (it == t->store_buffer.end()) {
+    return false;
+  }
+  PendingStore p = std::move(*it);
+  t->store_buffer.erase(it);
+  MemoryObject* obj = mem.FindWritable(PointerObject(p.addr));
+  uint64_t offset = PointerOffset(p.addr);
+  if (obj != nullptr && !obj->freed && offset + p.width <= obj->size) {
+    for (uint32_t i = 0; i < p.width; ++i) {
+      mem.WriteByte(obj, static_cast<uint32_t>(offset) + i,
+                    solver::MakeExtract(p.value, i * 8, 8));
+    }
+  }
+  RecordEvent(SchedEvent::Kind::kAtomicFlush, tid, p.addr, p.site);
+  SleepSetWakeAccess(p.addr, /*is_write=*/true);
+  return true;
+}
+
+void ExecutionState::DrainStoreBuffer(Thread& t) {
+  while (!t.store_buffer.empty()) {
+    CommitBufferedStore(t.id, t.store_buffer.front().addr);
+  }
+}
+
 uint64_t ExecutionState::Fingerprint() const {
   uint64_t h = 0x2545f4914f6cdd1dull;
   // Control state: which thread runs, per-thread stacks and registers.
@@ -174,6 +239,15 @@ uint64_t ExecutionState::Fingerprint() const {
     th = Fold(th, t.cond_saved_mutex ^ (t.cond_signaled ? 1u : 0u));
     th = Fold(th, t.join_tid);
     th = Fold(th, t.wait_sync ^ (t.barrier_released ? 2u : 0u));
+    // Pending (unflushed) atomic stores are future memory writes: a state
+    // whose buffer still holds a store must never merge with the state
+    // where it already drained. Order-sensitive fold — same-address
+    // entries drain FIFO, so buffer order is behavior. An empty buffer
+    // contributes nothing (pre-atomic states fingerprint as before).
+    for (const PendingStore& p : t.store_buffer) {
+      th = Fold(th, Fold(Fold(p.addr, p.width),
+                         static_cast<uint64_t>(p.value->hash())));
+    }
     for (const StackFrame& f : t.frames) {
       th = Fold(th, HashInstRef(ir::InstRef{f.func, f.block, f.inst}));
       for (size_t r = 0; r < f.regs.size(); ++r) {

@@ -51,6 +51,21 @@ inline bool IsBlockedStatus(ThreadStatus s) {
   return s != ThreadStatus::kRunnable && s != ThreadStatus::kExited;
 }
 
+// An atomic store parked in its thread's TSO store buffer: globally
+// invisible until a flush point (release/seq_cst store, RMW, fence, thread
+// exit) drains it or a drain fork commits it out of order. The owning
+// thread's atomic loads still see it (store-to-load forwarding).
+struct PendingStore {
+  uint64_t addr = 0;
+  uint32_t width = 0;  // Bytes.
+  solver::ExprRef value;
+  ir::InstRef site;  // The buffering store's call site (for the flush event).
+};
+
+// Per-thread store-buffer capacity; a relaxed store into a full buffer
+// force-drains the oldest entry first (hardware buffers are finite too).
+inline constexpr size_t kStoreBufferCap = 8;
+
 struct Thread {
   uint32_t id = 0;
   ThreadStatus status = ThreadStatus::kRunnable;
@@ -64,6 +79,11 @@ struct Thread {
   uint64_t wait_sync = 0;
   // Released from a barrier; the re-executed barrier_wait completes.
   bool barrier_released = false;
+  // Pending atomic stores, oldest first. Entries for one address keep FIFO
+  // order (a later store to the same address can never pass an earlier
+  // one); entries for different addresses may drain in any order — the
+  // relaxed-store reordering that makes stale-read interleavings reachable.
+  std::vector<PendingStore> store_buffer;
 
   ir::InstRef Pc() const {
     if (frames.empty()) {
@@ -141,6 +161,19 @@ struct SchedEvent {
     // contention window that made it fail — without it the attempt leaves
     // no trace and the window is unreproducible from hb events alone.
     kTryFail,
+    // C11 atomics (appended after kTryFail; the on-disk format is
+    // name-based, see replay/execution_file.cc). `addr` is the accessed
+    // location; the memory order is not recorded — the event sequence
+    // already pins the interleaving.
+    kAtomicLoad,   // `tid` atomically read `addr`.
+    kAtomicStore,  // `tid` issued an atomic store to `addr` (any order).
+    kAtomicRmw,    // exchange / fetch_add / cas by `tid` on `addr`.
+    kAtomicFence,  // `tid` executed an atomic_fence.
+    // `tid`'s buffered store to `addr` became globally visible. Flush
+    // events are what make weak-memory executions replayable: strict and
+    // happens-before replay re-apply them at the recorded points instead
+    // of letting the buffer drain in program order.
+    kAtomicFlush,
   };
   Kind kind;
   uint32_t tid = 0;
@@ -234,6 +267,10 @@ struct SyncOp {
     kSemWait,   // Also announced for sem_trywait.
     kSemPost,
     kBarrierWait,
+    kAtomicLoad,   // Atomic read of `addr` (any memory order).
+    kAtomicStore,  // Atomic write of `addr` (any memory order).
+    kAtomicRmw,    // exchange / fetch_add / cas on `addr`.
+    kAtomicFence,  // No address; orders the thread's own buffered stores.
   };
   Kind kind;
   uint64_t addr = 0;  // Mutex / condvar / memory address, when applicable.
@@ -324,6 +361,19 @@ class ExecutionState {
   // A plain (unflagged) load or store at `addr`: wakes dependent entries.
   // Cheap no-op while the sleep set is empty.
   void SleepSetWakeAccess(uint64_t addr, bool is_write);
+
+  // ---- TSO store buffer ----
+
+  // Makes thread `tid`'s oldest buffered store to `addr` globally visible:
+  // writes it through to memory (silently dropped if the object was freed
+  // meanwhile — the parked store has nowhere to land), records a
+  // kAtomicFlush event, and wakes dependent sleep entries. Returns false
+  // if the thread has no pending store to `addr`. Shared by the
+  // interpreter's flush points and the replayer's recorded-flush
+  // application, so both sides commit identically.
+  bool CommitBufferedStore(uint32_t tid, uint64_t addr);
+  // Drains every pending store of `t`, oldest first (program order).
+  void DrainStoreBuffer(Thread& t);
 
   // 64-bit fingerprint of everything that determines this state's future
   // behavior: per-thread stacks / registers / blocking state, the memory

@@ -69,7 +69,9 @@ WorkQueue::AcquireResult SharedFrontier::Acquire(size_t worker,
       }
       std::lock_guard<std::mutex> lock(v.mu);
       if (v.queue.empty()) {
-        CountEvent(&EventCounters::steal_failures);
+        // Raced with the victim draining its own deque; keep scanning. The
+        // single post-loop counter records the failed attempt — counting
+        // here too would record N+1 failures for one fully-failed scan.
         continue;
       }
       out->push_back(std::move(v.queue.front()));

@@ -1,0 +1,178 @@
+// C11-atomics workloads: planted lock-free bugs for the store-buffer
+// (TSO) atomics model, mirroring the bug families the fixed suite covers
+// for blocking primitives:
+//
+//   treiber  - crash: the classic Treiber-stack ABA pop. The victim reads
+//              the top node id and that node's next pointer, then CASes
+//              top without re-validating; the attacker pops two nodes and
+//              pushes the first back, so the victim's CAS succeeds against
+//              a recycled top and installs the already-popped node. An
+//              input arms the attacker's recycling path.
+//   spscring - crash: a single-producer/single-consumer handoff whose
+//              flag store is relaxed where it must be release. Both the
+//              payload and the flag sit in the producer's store buffer,
+//              and a flush interleaving can publish the flag first — the
+//              consumer's acquire load then observes flag == 1 while the
+//              payload slot still reads 0. An input selects the buggy
+//              fast path; with the release store (or --no-store-buffer)
+//              the bug is unreachable.
+//
+// Both are detected by main's esd_assert after the joins (the §3.1
+// detection-site shape), so their field report is the assert-site coredump
+// (assert_site_report): for spscring no concrete trigger run can manifest
+// the bug at all, since only symbolic drain forks express the flush
+// interleaving.
+#include "src/workloads/workloads_internal.h"
+
+namespace esd::workloads {
+
+Workload BuildTreiber() {
+  Workload w;
+  w.name = "treiber";
+  w.manifestation = "crash";
+  w.expected_kind = vm::BugInfo::Kind::kAssertFail;
+  w.assert_site_report = true;
+  w.module = ParseWorkload(R"(
+global $top = zero 4
+global $nxt = zero 8
+global $adone = zero 4
+global $modename = str "pop_mode"
+global $mode_cache = zero 4
+
+func @victim(%arg: ptr) : void {
+entry:
+  %t = call @atomic_load($top, i32 5)
+  %empty = icmp eq %t, i32 0
+  condbr %empty, out, pop
+pop:
+  %i = sub %t, i32 1
+  %w = zext i64, %i
+  %p = gep $nxt, %w, 4
+  %n = call @atomic_load(%p, i32 0)
+  %old = call @atomic_cas($top, %t, %n, i32 5)   ; BUG: no ABA re-validation
+  br out
+out:
+  ret
+}
+
+func @attacker(%arg: ptr) : void {
+entry:
+  %mode = load i32, $mode_cache
+  %armed = icmp eq %mode, i32 97    ; 'a': run the recycling path
+  condbr %armed, recycle, out
+recycle:
+  %a = call @atomic_cas($top, i32 1, i32 2, i32 5)   ; pop node 1
+  %b = call @atomic_cas($top, i32 2, i32 0, i32 5)   ; pop node 2
+  store i32 0, $nxt                                  ; relink node 1...
+  %c = call @atomic_cas($top, i32 0, i32 1, i32 5)   ; ...and push it back
+  store i32 1, $adone
+  br out
+out:
+  ret
+}
+
+func @main() : i32 {
+entry:
+  %mode = call @esd_input_i32($modename)
+  store %mode, $mode_cache
+  store i32 1, $top   ; stack: top -> 1 -> 2 -> empty
+  store i32 2, $nxt
+  %t1 = call @thread_create(@victim, null)
+  %t2 = call @thread_create(@attacker, null)
+  call @thread_join(%t1)
+  call @thread_join(%t2)
+  ; After the attacker's recycle, node 2 was popped and never pushed back:
+  ; every interleaving leaves top in {0, 1} — except the ABA CAS, which
+  ; re-installs the dangling node 2. (Without the recycle, top == 2 is just
+  ; the victim's legal pop, so the assert requires both.)
+  %ad = load i32, $adone
+  %v = load i32, $top
+  %hit = icmp eq %ad, i32 1
+  %dangling = icmp eq %v, i32 2
+  %bad = and %hit, %dangling
+  %ok = not %bad
+  call @esd_assert(%ok)
+  ret i32 0
+}
+)");
+  w.trigger.inputs = {{"pop_mode", 97}};
+  // The victim loads top and node 1's next pointer (2 sync events), then
+  // the attacker runs its full pop-pop-push (3 CASes); the victim's stale
+  // CAS then installs the recycled node.
+  w.trigger.schedule = {{1, 2, 2}, {2, 3, 1}};
+  return w;
+}
+
+Workload BuildSpscRing() {
+  Workload w;
+  w.name = "spscring";
+  w.manifestation = "crash";
+  w.expected_kind = vm::BugInfo::Kind::kAssertFail;
+  w.assert_site_report = true;
+  w.module = ParseWorkload(R"(
+global $data = zero 4
+global $flag = zero 4
+global $shut = zero 4
+global $got = zero 4
+global $seen = zero 4
+global $modename = str "fence_mode"
+global $mode_cache = zero 4
+
+func @producer(%arg: ptr) : void {
+entry:
+  call @atomic_store($data, i32 41, i32 0)
+  %mode = load i32, $mode_cache
+  %fast = icmp eq %mode, i32 102    ; 'f': skip the release ordering
+  condbr %fast, fastpath, fenced
+fastpath:
+  call @atomic_store($flag, i32 1, i32 0)   ; BUG: relaxed publish
+  br done
+fenced:
+  call @atomic_store($flag, i32 1, i32 3)   ; release: drains the buffer
+  br done
+done:
+  ; The shutdown marker keeps the thread at an atomic operation while both
+  ; entries are buffered — exiting would drain the buffer in program order
+  ; and close the stale-read window.
+  call @atomic_store($shut, i32 1, i32 0)
+  ret
+}
+
+func @consumer(%arg: ptr) : void {
+entry:
+  %f = call @atomic_load($flag, i32 2)
+  %ready = icmp eq %f, i32 1
+  condbr %ready, read, out
+read:
+  %d = call @atomic_load($data, i32 0)
+  store %d, $got
+  store i32 1, $seen
+  br out
+out:
+  ret
+}
+
+func @main() : i32 {
+entry:
+  %mode = call @esd_input_i32($modename)
+  store %mode, $mode_cache
+  %t1 = call @thread_create(@producer, null)
+  %t2 = call @thread_create(@consumer, null)
+  call @thread_join(%t1)
+  call @thread_join(%t2)
+  %seen = load i32, $seen
+  %got = load i32, $got
+  %ns = icmp eq %seen, i32 0
+  %okv = icmp eq %got, i32 41
+  %ok = or %ns, %okv
+  call @esd_assert(%ok)
+  ret i32 0
+}
+)");
+  w.trigger.inputs = {{"fence_mode", 102}};
+  // No schedule: the buggy interleaving is a store-buffer flush order, not
+  // a sync-event order — no concrete SyncSwitch script reaches it.
+  return w;
+}
+
+}  // namespace esd::workloads

@@ -41,6 +41,12 @@ uint64_t ScriptedSyncPolicy::SyncEventCount(const vm::ExecutionState& state,
       case vm::SchedEvent::Kind::kSemPost:
       case vm::SchedEvent::Kind::kBarrierWait:
       case vm::SchedEvent::Kind::kTryFail:
+      case vm::SchedEvent::Kind::kAtomicLoad:
+      case vm::SchedEvent::Kind::kAtomicStore:
+      case vm::SchedEvent::Kind::kAtomicRmw:
+      case vm::SchedEvent::Kind::kAtomicFence:
+        // kAtomicFlush is excluded: flushes are a side effect of buffer
+        // drains, not program-order sync operations a script can count on.
         n += ev.tid == tid ? 1 : 0;
         break;
       default:

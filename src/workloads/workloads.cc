@@ -50,6 +50,12 @@ extern @sem_post(ptr)
 extern @barrier_init(ptr, i32)
 extern @barrier_wait(ptr)
 extern @yield()
+extern @atomic_load(ptr, i32) : i32
+extern @atomic_store(ptr, i32, i32)
+extern @atomic_exchange(ptr, i32, i32) : i32
+extern @atomic_fetch_add(ptr, i32, i32) : i32
+extern @atomic_cas(ptr, i32, i32, i32) : i32
+extern @atomic_fence(i32)
 )";
 }
 
@@ -78,6 +84,8 @@ std::vector<std::string> LsNames() { return {"ls1", "ls2", "ls3", "ls4"}; }
 std::vector<std::string> SyncNames() {
   return {"rwupgrade", "semdrop", "barrier3", "trybank"};
 }
+
+std::vector<std::string> AtomicNames() { return {"treiber", "spscring"}; }
 
 // Generated-scenario adapters: "fuzz:<kind>:<seed>" materializes an
 // esdfuzz scenario as a regular workload, so every tool and test that
@@ -114,6 +122,9 @@ static std::optional<Workload> MakeFuzzWorkload(const std::string& name) {
   w.module = program.module;
   w.trigger = program.trigger;
   w.expected_kind = program.expected_kind;
+  w.assert_site_report = *kind == fuzz::BugKind::kRace ||
+                         *kind == fuzz::BugKind::kTreiberAba ||
+                         *kind == fuzz::BugKind::kSpscFence;
   return w;
 }
 
@@ -171,6 +182,12 @@ Workload MakeWorkload(const std::string& name) {
   }
   if (name == "trybank") {
     return BuildTryBank();
+  }
+  if (name == "treiber") {
+    return BuildTreiber();
+  }
+  if (name == "spscring") {
+    return BuildSpscRing();
   }
   std::fprintf(stderr, "unknown workload '%s'\n", name.c_str());
   std::abort();

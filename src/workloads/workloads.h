@@ -49,6 +49,12 @@ struct Workload {
   std::shared_ptr<ir::Module> module;
   Trigger trigger;
   vm::BugInfo::Kind expected_kind = vm::BugInfo::Kind::kNone;
+  // The field report is the assert-site coredump (AssertSiteDump), not a
+  // concrete trigger run: set for the race-style and lock-free workloads
+  // whose bug is detected at main's esd_assert — for spscring no concrete
+  // run can manifest the bug at all (it needs a store-buffer flush
+  // interleaving only symbolic search expresses).
+  bool assert_site_report = false;
 };
 
 // All Table 1 workloads, in the paper's order.
@@ -59,6 +65,10 @@ std::vector<std::string> LsNames();
 // semaphore lost-signal (semdrop), barrier count mismatch (barrier3), and
 // the mutex_trylock TOCTOU assert (trybank).
 std::vector<std::string> SyncNames();
+// The C11-atomics additions: the Treiber-stack ABA pop (treiber) and the
+// SPSC handoff with a missing release fence (spscring). Both are detected
+// by main's esd_assert and report via AssertSiteDump (assert_site_report).
+std::vector<std::string> AtomicNames();
 
 // Builds a workload by name; aborts on unknown names.
 Workload MakeWorkload(const std::string& name);

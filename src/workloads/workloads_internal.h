@@ -20,6 +20,8 @@ Workload BuildRwUpgrade();
 Workload BuildSemDrop();
 Workload BuildBarrier3();
 Workload BuildTryBank();
+Workload BuildTreiber();
+Workload BuildSpscRing();
 
 }  // namespace esd::workloads
 

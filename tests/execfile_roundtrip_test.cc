@@ -26,6 +26,7 @@ void ExpectRoundTrips(const replay::ExecutionFile& file, const std::string& labe
   EXPECT_EQ(replay::ExecutionFileToText(*parsed), text) << label;
   EXPECT_EQ(parsed->inputs, file.inputs) << label;
   EXPECT_EQ(parsed->strict.size(), file.strict.size()) << label;
+  EXPECT_EQ(parsed->flushes.size(), file.flushes.size()) << label;
   EXPECT_EQ(parsed->happens_before.size(), file.happens_before.size()) << label;
   EXPECT_EQ(replay::Fingerprint(*parsed), replay::Fingerprint(file)) << label;
 }
@@ -78,6 +79,43 @@ TEST(ExecutionFileRoundTripTest, LegacyAndExtendedEventNamesParse) {
   EXPECT_EQ(parsed->happens_before[8].kind, vm::SchedEvent::Kind::kBarrierWait);
   EXPECT_EQ(parsed->happens_before[9].kind, vm::SchedEvent::Kind::kTryFail);
   EXPECT_EQ(replay::ExecutionFileToText(*parsed), text);
+  EXPECT_TRUE(parsed->flushes.empty());
+}
+
+// The C11-atomics extension: `flush` records (strict replay's store-buffer
+// drain points) and the at-* hb event names are additive in the same way —
+// files without them serialize byte-identically to the pre-extension
+// format, and files with them round-trip.
+TEST(ExecutionFileRoundTripTest, AtomicFlushAndEventRecordsParse) {
+  const char* text =
+      "execution v1\n"
+      "bug assert-fail\n"
+      "description stale read through the store buffer\n"
+      "input fence_mode#0 = 102\n"
+      "switch 3 1\n"
+      "flush 7 1 128\n"
+      "flush 9 1 132\n"
+      "hb at-store 1 128 f:b:0\n"
+      "hb at-store 1 132 f:b:1\n"
+      "hb at-load 2 132 f:b:2\n"
+      "hb at-flush 1 132 f:b:1\n"
+      "hb at-rmw 2 128 f:b:3\n"
+      "hb at-fence 2 0 f:b:4\n"
+      "hb at-flush 1 128 f:b:0\n";
+  std::string error;
+  auto parsed = replay::ParseExecutionFile(text, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  ASSERT_EQ(parsed->flushes.size(), 2u);
+  EXPECT_EQ(parsed->flushes[0].step, 7u);
+  EXPECT_EQ(parsed->flushes[0].tid, 1u);
+  EXPECT_EQ(parsed->flushes[0].addr, 128u);
+  ASSERT_EQ(parsed->happens_before.size(), 7u);
+  EXPECT_EQ(parsed->happens_before[0].kind, vm::SchedEvent::Kind::kAtomicStore);
+  EXPECT_EQ(parsed->happens_before[2].kind, vm::SchedEvent::Kind::kAtomicLoad);
+  EXPECT_EQ(parsed->happens_before[3].kind, vm::SchedEvent::Kind::kAtomicFlush);
+  EXPECT_EQ(parsed->happens_before[4].kind, vm::SchedEvent::Kind::kAtomicRmw);
+  EXPECT_EQ(parsed->happens_before[5].kind, vm::SchedEvent::Kind::kAtomicFence);
+  EXPECT_EQ(replay::ExecutionFileToText(*parsed), text);
 }
 
 // Malformed sync-surface records fail with one precise diagnostic, like
@@ -92,6 +130,13 @@ TEST(ExecutionFileRoundTripTest, MalformedExtendedRecordsRejected) {
       {"hb rd-lock 1 72 f:b:0 extra", "trailing garbage"},
       {"hb spin-lock 1 72 f:b:0", "bad hb event kind"},
       {"hb try-fail nope 64 f:b:0", "truncated hb record"},
+      // The atomics extension gets the same treatment.
+      {"hb at-store 1", "truncated hb record"},
+      {"hb at-release 1 72 f:b:0", "bad hb event kind"},
+      {"flush 7 1", "truncated flush record"},
+      {"flush 7 1 128 extra", "trailing garbage after flush record"},
+      {"flush 7 9999999 128", "out of range"},
+      {"flush 9 1 128\nflush 7 1 132", "flush points out of step order"},
   };
   for (const BadCase& bad : kBad) {
     std::string text = std::string("execution v1\nbug deadlock\n") + bad.line + "\n";
@@ -124,14 +169,21 @@ TEST(ExecutionFileRoundTripTest, RandomizedStructures) {
       file.strict.push_back(
           {step, static_cast<uint32_t>(rng() % 5)});
     }
+    uint64_t flush_step = 0;
+    size_t flushes = rng() % 4;
+    for (size_t i = 0; i < flushes; ++i) {
+      flush_step += rng() % 40;  // Same ordering contract as switch points.
+      file.flushes.push_back({flush_step, static_cast<uint32_t>(rng() % 5),
+                              rng() % 100000});
+    }
     size_t events = rng() % 8;
     uint32_t next_created = 1;
     for (size_t i = 0; i < events; ++i) {
       replay::HbEvent hb;
       // The full event vocabulary, including the sync-surface extension
-      // kinds (rwlock / semaphore / barrier / try-fail), randomly
-      // interleaved with the original ones.
-      switch (rng() % 11) {
+      // kinds (rwlock / semaphore / barrier / try-fail) and the atomics
+      // kinds, randomly interleaved with the original ones.
+      switch (rng() % 16) {
         case 0:
           hb.kind = vm::SchedEvent::Kind::kMutexLock;
           break;
@@ -161,6 +213,21 @@ TEST(ExecutionFileRoundTripTest, RandomizedStructures) {
           break;
         case 9:
           hb.kind = vm::SchedEvent::Kind::kTryFail;
+          break;
+        case 10:
+          hb.kind = vm::SchedEvent::Kind::kAtomicLoad;
+          break;
+        case 11:
+          hb.kind = vm::SchedEvent::Kind::kAtomicStore;
+          break;
+        case 12:
+          hb.kind = vm::SchedEvent::Kind::kAtomicRmw;
+          break;
+        case 13:
+          hb.kind = vm::SchedEvent::Kind::kAtomicFence;
+          break;
+        case 14:
+          hb.kind = vm::SchedEvent::Kind::kAtomicFlush;
           break;
         default:
           hb.kind = vm::SchedEvent::Kind::kCondWake;

@@ -14,6 +14,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/core/event_counters.h"
 #include "src/core/synthesizer.h"
 #include "src/replay/replayer.h"
 #include "src/solver/solver.h"
@@ -306,6 +307,91 @@ TEST(CooperativeFrontier, StealTakesOldestOwnerDrainsRest) {
   ASSERT_EQ(own.size(), 1u);
   EXPECT_EQ(own[0].get(), b_raw);
   EXPECT_FALSE(frontier.TryDrainOwn(0, &own));
+}
+
+// --- The steal-failure counter (regression) ----------------------------------
+
+TEST(CooperativeFrontier, FailedAcquireCountsExactlyOneStealFailure) {
+  FrontierFixture fx;
+  vm::SharedFrontier frontier(3);
+  std::vector<vm::StatePtr> got;
+  frontier.NoteLocalKeep();  // Work in flight: failed Acquires must retry.
+
+  // Every peer deque is empty, so each failed Acquire scans both peers and
+  // must record exactly one failed steal attempt — one per Acquire call,
+  // not one per empty peer probed.
+  for (int i = 0; i < 5; ++i) {
+    EventCounters local;
+    ScopedEventCounters scope(&local);
+    EXPECT_EQ(frontier.Acquire(0, &got), AcquireResult::kRetry);
+    EXPECT_EQ(local.steal_failures, 1u) << "attempt " << i;
+    EXPECT_EQ(local.steals, 0u);
+  }
+  frontier.FinishOne();
+}
+
+TEST(CooperativeFrontier, RacedDrainNeverDoubleCountsStealFailures) {
+  // The near-miss window: the thief's size probe sees the victim's entry,
+  // but by the time it holds the lock the owner has drained its own deque.
+  // That near-miss must not be counted on top of the one post-scan failure
+  // (two failures for one failed Acquire), nor alongside a steal that
+  // succeeds later in the same scan. Hammer the window and pin the
+  // per-call counts.
+  FrontierFixture fx;
+  vm::SharedFrontier frontier(2);
+  frontier.NoteLocalKeep();  // Held by the test: Acquire never drains.
+
+  std::atomic<bool> stop{false};
+  std::thread owner([&] {
+    std::vector<vm::StatePtr> own;
+    while (!stop.load(std::memory_order_relaxed)) {
+      frontier.PushRemote(1, fx.Fork());
+      if (frontier.TryDrainOwn(1, &own)) {
+        for (vm::StatePtr& s : own) {
+          s.reset();
+          frontier.FinishOne();
+        }
+        own.clear();
+      }
+    }
+  });
+
+  std::vector<vm::StatePtr> got;
+  for (int i = 0; i < 2000; ++i) {
+    EventCounters local;
+    ScopedEventCounters scope(&local);
+    AcquireResult r = frontier.Acquire(0, &got);
+    ASSERT_NE(r, AcquireResult::kAbort);
+    ASSERT_NE(r, AcquireResult::kDrained);
+    if (r == AcquireResult::kGot) {
+      EXPECT_EQ(local.steals, 1u);
+      EXPECT_EQ(local.steal_failures, 0u)
+          << "a successful Acquire recorded a steal failure";
+      for (vm::StatePtr& s : got) {
+        s.reset();
+        frontier.FinishOne();
+      }
+      got.clear();
+    } else {
+      EXPECT_EQ(local.steals, 0u);
+      EXPECT_EQ(local.steal_failures, 1u)
+          << "one failed Acquire must count exactly one steal failure";
+    }
+  }
+  stop.store(true, std::memory_order_relaxed);
+  owner.join();
+
+  // Balance the bookkeeping: drain whatever the owner left queued, then
+  // release the test's in-flight hold.
+  std::vector<vm::StatePtr> rest;
+  if (frontier.TryDrainOwn(1, &rest)) {
+    for (vm::StatePtr& s : rest) {
+      s.reset();
+      frontier.FinishOne();
+    }
+  }
+  frontier.FinishOne();
+  EXPECT_EQ(frontier.InFlight(), 0u);
 }
 
 TEST(CooperativeFrontier, NoteLimitAbortsIdlePeersDespiteInFlightWork) {

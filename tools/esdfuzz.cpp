@@ -3,7 +3,8 @@
 //   esdfuzz [--seeds N] [--seed-base S] [--kind deadlock|race|crash|mixed]
 //           [--jobs N] [--cooperative | --race-portfolio]
 //           [--time-cap SECONDS] [--no-ablations] [--no-ir-opt]
-//           [--shrink] [--out-dir DIR] [--inject-kind-mismatch]
+//           [--no-store-buffer] [--shrink] [--out-dir DIR]
+//           [--inject-kind-mismatch]
 //
 // Expands each seed into a random concurrent program with a planted bug
 // (src/fuzz/generator.h), then runs the differential oracle: full-engine
@@ -39,7 +40,8 @@ void Usage(std::ostream& os = std::cerr) {
      << "  --seed-base S      first seed; scenario i uses seed S+i\n"
      << "                     (default 1)\n"
      << "  --kind K           deadlock | race | crash | rwlock-upgrade |\n"
-     << "                     sem-lost-signal | barrier-mismatch | mixed\n"
+     << "                     sem-lost-signal | barrier-mismatch |\n"
+     << "                     treiber-aba | spsc-fence | mixed\n"
      << "                     (default mixed: kind cycles with the seed)\n"
      << "  --jobs N           portfolio width for each synthesis run\n"
      << "                     (default 1)\n"
@@ -52,6 +54,9 @@ void Usage(std::ostream& os = std::cerr) {
      << "  --no-ir-opt        run the whole sweep without the pre-synthesis\n"
      << "                     IR pass pipeline (the CI ablation job runs the\n"
      << "                     corpus both ways and diffs the verdicts)\n"
+     << "  --no-store-buffer  sequentially consistent atomics: no TSO\n"
+     << "                     store-buffer reordering (the spsc-fence kind's\n"
+     << "                     planted bug becomes unreachable)\n"
      << "  --shrink           delta-debug failing scenarios to a minimal\n"
      << "                     repro before writing it\n"
      << "  --out-dir DIR      where failure repros are written (default .)\n"
@@ -94,8 +99,9 @@ int main(int argc, char** argv) {
       kind_arg = argv[++i];
       if (kind_arg != "mixed" && !fuzz::ParseBugKindName(kind_arg).has_value()) {
         std::cerr << "error: --kind must be deadlock, race, crash, "
-                  << "rwlock-upgrade, sem-lost-signal, barrier-mismatch or "
-                  << "mixed, got '" << kind_arg << "'\n";
+                  << "rwlock-upgrade, sem-lost-signal, barrier-mismatch, "
+                  << "treiber-aba, spsc-fence or mixed, got '" << kind_arg
+                  << "'\n";
         return 2;
       }
     } else if (arg == "--jobs" && i + 1 < argc) {
@@ -114,6 +120,8 @@ int main(int argc, char** argv) {
       oracle.check_ablations = false;
     } else if (arg == "--no-ir-opt") {
       oracle.ir_opt = false;
+    } else if (arg == "--no-store-buffer") {
+      oracle.store_buffer = false;
     } else if (arg == "--shrink") {
       shrink = true;
     } else if (arg == "--out-dir" && i + 1 < argc) {

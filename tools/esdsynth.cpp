@@ -5,6 +5,7 @@
 //            [--with-race-det] [--no-proximity]
 //            [--no-intermediate-goals] [--no-critical-edges] [--seed N]
 //            [--dedup | --no-dedup] [--dedup-private] [--no-sleep-sets]
+//            [--no-store-buffer]
 //            [--no-solver-rewrite] [--no-solver-slice] [--no-solver-range]
 //            [--no-solver-incremental] [--no-solver-pipeline]
 //            [--solver-cache-shared | --solver-cache-private] [--counters]
@@ -52,6 +53,12 @@ void Usage(std::ostream& os = std::cerr) {
      << "                          (default on)\n"
      << "  --dedup-private         with --jobs N: per-worker fingerprint\n"
      << "                          tables instead of one shared table\n"
+     << "                          (race-portfolio mode only; cooperative\n"
+     << "                          mode always shares the table)\n"
+     << "  --no-store-buffer       ablation: commit atomic stores in program\n"
+     << "                          order instead of buffering relaxed stores\n"
+     << "                          per thread (TSO store-buffer reordering,\n"
+     << "                          default on)\n"
      << "  --no-sleep-sets         disable sleep-set pruning of redundant\n"
      << "                          schedule forks (default on)\n"
      << "  --no-solver-rewrite     disable the canonicalizing expression\n"
@@ -133,6 +140,8 @@ int main(int argc, char** argv) {
       options.dedup = false;
     } else if (arg == "--dedup-private") {
       options.dedup_shared = false;
+    } else if (arg == "--no-store-buffer") {
+      options.store_buffer = false;
     } else if (arg == "--no-sleep-sets") {
       options.sleep_sets = false;
     } else if (arg == "--no-solver-rewrite") {
@@ -169,6 +178,12 @@ int main(int argc, char** argv) {
       std::cerr << "error: unknown option or missing argument: '" << arg << "' (try --help)\n";
       return 2;
     }
+  }
+
+  if (!options.dedup_shared && options.jobs > 1 && options.cooperative) {
+    std::cerr << "esdsynth: warning: --dedup-private is ignored in cooperative "
+                 "mode (the work-stealing frontier shares one fingerprint "
+                 "table); combine it with --race-portfolio to take effect\n";
   }
 
   auto module = tools::LoadProgram(program_path);
