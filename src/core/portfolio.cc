@@ -1,5 +1,6 @@
 #include "src/core/portfolio.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -8,6 +9,7 @@
 #include <vector>
 
 #include "src/core/search_setup.h"
+#include "src/core/seed_schedule.h"
 #include "src/replay/execution_file.h"
 #include "src/solver/query_cache.h"
 #include "src/vm/engine.h"
@@ -25,6 +27,7 @@ struct WorkerOutcome {
   vm::BugInfo bug;
   std::vector<std::string> other_bugs;
   solver::ConstraintSolver::Stats solver_stats;
+  uint64_t seed_best_prefix = 0;
 };
 
 }  // namespace
@@ -84,10 +87,16 @@ SynthesisResult RunPortfolio(
   // by every worker's ConstraintSolver. Workers chase the same goal through
   // the same program, so one worker's solve short-circuits the others'
   // identical component queries (--solver-cache-private opts out; each
-  // solver still keeps its private caches either way).
-  solver::SharedSolverCache shared_solver_cache;
-  solver::SharedSolverCache* shared_cache_ptr =
-      options.solver_cache_shared ? &shared_solver_cache : nullptr;
+  // solver still keeps its private caches either way). A daemon-owned
+  // external cache (options.shared_solver_cache) replaces the run-local
+  // one, so answers also persist across jobs.
+  solver::SharedSolverCache local_solver_cache;
+  solver::SharedSolverCache* shared_cache_ptr = nullptr;
+  if (options.solver_cache_shared) {
+    shared_cache_ptr = options.shared_solver_cache != nullptr
+                           ? options.shared_solver_cache
+                           : &local_solver_cache;
+  }
 
   std::vector<WorkerOutcome> outcomes(jobs);
   auto worker_body = [&](size_t w) {
@@ -121,6 +130,17 @@ SynthesisResult RunPortfolio(
 
     std::unique_ptr<vm::Searcher> searcher = MakeWorkerSearcher(
         w, jobs, coop, options, distances, search_goals, &out.report.strategy);
+    // Incremental re-synthesis: every worker biases toward the prior
+    // execution's schedule (see seed_schedule.h); frontier partitioning
+    // still diversifies what each one explores beyond the seed.
+    SeedScheduleSearcher* seed_searcher = nullptr;
+    if (options.seed_schedule != nullptr &&
+        !options.seed_schedule->strict.empty()) {
+      auto wrapped = std::make_unique<SeedScheduleSearcher>(
+          std::move(searcher), options.seed_schedule);
+      seed_searcher = wrapped.get();
+      searcher = std::move(wrapped);
+    }
 
     vm::Engine::Options eopts;
     eopts.time_cap_seconds = options.time_cap_seconds;
@@ -194,6 +214,9 @@ SynthesisResult RunPortfolio(
     out.report.solver_shared_hits = solver.stats().shared_hits;
     out.report.sat_conflicts = solver.stats().sat_conflicts;
     out.solver_stats = solver.stats();
+    if (seed_searcher != nullptr) {
+      out.seed_best_prefix = seed_searcher->best_prefix();
+    }
   };
 
   std::vector<std::thread> threads;
@@ -222,9 +245,13 @@ SynthesisResult RunPortfolio(
       result.other_bugs.push_back(std::move(bug));
     }
     any_limit |= out.status == vm::Engine::Result::Status::kLimitReached;
+    result.seed_best_prefix = std::max(result.seed_best_prefix, out.seed_best_prefix);
     result.workers.push_back(std::move(out.report));
   }
   result.solver_queries = result.solver.queries;  // Legacy scalar view.
+  if (options.seed_schedule != nullptr) {
+    result.seed_switches = options.seed_schedule->strict.size();
+  }
 
   int win = winner.load();
   if (win < 0) {

@@ -1,0 +1,92 @@
+#include "src/core/seed_schedule.h"
+
+#include <algorithm>
+
+namespace esd::core {
+
+SeedScheduleSearcher::SeedScheduleSearcher(std::unique_ptr<vm::Searcher> inner,
+                                           const replay::ExecutionFile* seed)
+    : inner_(std::move(inner)) {
+  seed_tids_.reserve(seed->strict.size());
+  for (const replay::SwitchPoint& sp : seed->strict) {
+    seed_tids_.push_back(sp.tid);
+  }
+}
+
+uint64_t SeedScheduleSearcher::PrefixScore(const vm::ExecutionState& state,
+                                           bool* on_seed) const {
+  uint64_t matched = 0;
+  *on_seed = true;
+  for (const vm::SchedEvent& ev : state.sched_trace) {
+    if (ev.kind != vm::SchedEvent::Kind::kSwitch) {
+      continue;
+    }
+    if (matched >= seed_tids_.size()) {
+      // Seed fully replayed; extra switches are exploration beyond it.
+      break;
+    }
+    if (ev.tid != seed_tids_[matched]) {
+      *on_seed = false;
+      break;
+    }
+    ++matched;
+  }
+  return matched;
+}
+
+void SeedScheduleSearcher::Untrack(const vm::StatePtr& state) {
+  for (size_t i = 0; i < on_seed_.size(); ++i) {
+    if (on_seed_[i].state == state) {
+      on_seed_[i] = std::move(on_seed_.back());
+      on_seed_.pop_back();
+      return;
+    }
+  }
+}
+
+void SeedScheduleSearcher::Add(vm::StatePtr state) {
+  bool on_seed = false;
+  uint64_t matched = PrefixScore(*state, &on_seed);
+  best_prefix_ = std::max(best_prefix_, matched);
+  if (on_seed) {
+    on_seed_.push_back(Tracked{state, matched});
+  }
+  inner_->Add(std::move(state));
+}
+
+void SeedScheduleSearcher::Remove(const vm::StatePtr& state) {
+  Untrack(state);
+  inner_->Remove(state);
+}
+
+void SeedScheduleSearcher::Update(const vm::StatePtr& state) {
+  for (Tracked& t : on_seed_) {
+    if (t.state == state) {
+      bool on_seed = false;
+      t.matched = PrefixScore(*state, &on_seed);
+      best_prefix_ = std::max(best_prefix_, t.matched);
+      if (!on_seed) {
+        Untrack(state);
+      }
+      break;
+    }
+  }
+  inner_->Update(state);
+}
+
+vm::StatePtr SeedScheduleSearcher::Select() {
+  // Prefer the state deepest along the seed schedule; deviated (or
+  // never-matching) frontiers fall back to the inner strategy.
+  const Tracked* best = nullptr;
+  for (const Tracked& t : on_seed_) {
+    if (best == nullptr || t.matched > best->matched) {
+      best = &t;
+    }
+  }
+  if (best != nullptr) {
+    return best->state;
+  }
+  return inner_->Select();
+}
+
+}  // namespace esd::core

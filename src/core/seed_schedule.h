@@ -1,0 +1,73 @@
+// ESD core: seed-schedule search bias for incremental re-synthesis.
+//
+// The synthesis service sees the same bug twice: once on the original
+// module, and again when a patched module arrives for validation (§8's
+// patch-validation workflow, exercised manually by
+// tests/patch_validation_test.cc). The second search need not start cold —
+// the first run's execution file records the thread schedule that reached
+// the bug, and on the patched module the same *interleaving* usually still
+// leads to the interesting neighborhood even where instruction step counts
+// shifted.
+//
+// SeedScheduleSearcher wraps the configured searcher and prefers live
+// states whose switch history matches the longest prefix of the seed
+// schedule's thread sequence. Matching is by tid sequence, not step count —
+// a patch changes step counts but rarely the qualitative interleaving. A
+// state that deviates from the seed is handed back to the inner searcher's
+// ordering (proximity guidance), so the wrapper is a bias, never a filter:
+// if the seed schedule no longer reaches the bug, the search degrades to
+// the normal cold search.
+#ifndef ESD_SRC_CORE_SEED_SCHEDULE_H_
+#define ESD_SRC_CORE_SEED_SCHEDULE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/replay/execution_file.h"
+#include "src/vm/searcher.h"
+
+namespace esd::core {
+
+class SeedScheduleSearcher : public vm::Searcher {
+ public:
+  // `seed` must outlive the searcher. Only the strict schedule's thread
+  // sequence is used.
+  SeedScheduleSearcher(std::unique_ptr<vm::Searcher> inner,
+                       const replay::ExecutionFile* seed);
+
+  void Add(vm::StatePtr state) override;
+  void Remove(const vm::StatePtr& state) override;
+  vm::StatePtr Select() override;
+  bool Empty() const override { return inner_->Empty(); }
+  void Update(const vm::StatePtr& state) override;
+  size_t Size() const override { return inner_->Size(); }
+
+  // Longest seed-schedule prefix any state has matched (reuse reporting).
+  uint64_t best_prefix() const { return best_prefix_; }
+  uint64_t seed_switches() const { return seed_tids_.size(); }
+
+ private:
+  struct Tracked {
+    vm::StatePtr state;
+    uint64_t matched = 0;  // Seed prefix length this state has replayed.
+  };
+
+  // Longest prefix of seed_tids_ matched by `state`'s switch history;
+  // `on_seed` reports whether every switch so far matched (deviated states
+  // are dropped from tracking — the inner searcher owns them).
+  uint64_t PrefixScore(const vm::ExecutionState& state, bool* on_seed) const;
+  void Untrack(const vm::StatePtr& state);
+
+  std::unique_ptr<vm::Searcher> inner_;
+  std::vector<uint32_t> seed_tids_;
+  // Live states still on the seed schedule. Stays small (the frontier
+  // along one schedule), so the scans below are cheap; every state is in
+  // the inner searcher too.
+  std::vector<Tracked> on_seed_;
+  uint64_t best_prefix_ = 0;
+};
+
+}  // namespace esd::core
+
+#endif  // ESD_SRC_CORE_SEED_SCHEDULE_H_

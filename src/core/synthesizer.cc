@@ -4,6 +4,7 @@
 #include "src/core/portfolio.h"
 #include "src/core/proximity_searcher.h"
 #include "src/core/search_setup.h"
+#include "src/core/seed_schedule.h"
 #include "src/vm/engine.h"
 
 namespace esd::core {
@@ -65,6 +66,22 @@ SynthesisResult Synthesizer::SynthesizeGoal(const Goal& goal) {
   // goals. Computed once over the search module; read-only during the
   // search (shared by every worker when jobs > 1).
   analysis::DistanceCalculator distances(search_module);
+  // Service hooks: restore persisted tables while the caches are still cold
+  // (a digest mismatch restores nothing), and export them — on every exit
+  // path — once the search is over.
+  if (options_.on_distances_ready) {
+    options_.on_distances_ready(distances);
+  }
+  result.distance_tables_restored = distances.restored_tables();
+  struct DistancesDoneGuard {
+    const SynthesisOptions* options;
+    analysis::DistanceCalculator* distances;
+    ~DistancesDoneGuard() {
+      if (options->on_distances_done) {
+        options->on_distances_done(*distances);
+      }
+    }
+  } distances_done{&options_, &distances};
   std::vector<ProximitySearcher::SearchGoal> search_goals =
       BuildSearchGoals(*search_module, distances, goal,
                        options_.use_intermediate_goals,
@@ -76,10 +93,12 @@ SynthesisResult Synthesizer::SynthesizeGoal(const Goal& goal) {
   setup_scope.reset();
   if (options_.jobs > 1) {
     size_t intermediate_goals = result.intermediate_goals;
+    uint64_t tables_restored = result.distance_tables_restored;
     ir::passes::PassStats pass_stats = result.pass_stats;
     std::string pass_log = std::move(result.pass_log);
     result = RunPortfolio(search_module, goal, &distances, search_goals, options_);
     result.intermediate_goals = intermediate_goals;
+    result.distance_tables_restored = tables_restored;
     result.pass_stats = pass_stats;
     result.pass_log = std::move(pass_log);
     result.counters.Add(setup_counters);
@@ -102,6 +121,17 @@ SynthesisResult Synthesizer::SynthesizeGoal(const Goal& goal) {
   } else {
     searcher = std::make_unique<vm::BfsSearcher>();
   }
+  // Incremental re-synthesis: bias selection toward states replaying the
+  // prior execution's schedule (see seed_schedule.h).
+  SeedScheduleSearcher* seed_searcher = nullptr;
+  if (options_.seed_schedule != nullptr &&
+      !options_.seed_schedule->strict.empty()) {
+    auto wrapped = std::make_unique<SeedScheduleSearcher>(
+        std::move(searcher), options_.seed_schedule);
+    seed_searcher = wrapped.get();
+    searcher = std::move(wrapped);
+    result.seed_switches = seed_searcher->seed_switches();
+  }
 
   // 4. Schedule strategy by bug class (§4), with sleep-set pruning of
   // redundant schedule forks when enabled.
@@ -113,9 +143,11 @@ SynthesisResult Synthesizer::SynthesizeGoal(const Goal& goal) {
 
   // 5. Interpreter with critical-edge pruning: abandon branch edges from
   // which the current thread's goal is unreachable. The solver runs the
-  // incremental pipeline per the solver_* toggles (no shared cache: there
-  // is only one worker).
-  solver::ConstraintSolver solver(MakeSolverOptions(options_, nullptr));
+  // incremental pipeline per the solver_* toggles; with one worker the
+  // only shared cache worth attaching is an external (cross-run) one.
+  solver::ConstraintSolver solver(MakeSolverOptions(
+      options_,
+      options_.solver_cache_shared ? options_.shared_solver_cache : nullptr));
   vm::Interpreter::Options iopts;
   iopts.policy = policy.get();
   iopts.race_detector = want_races ? &race_detector : nullptr;
@@ -160,6 +192,9 @@ SynthesisResult Synthesizer::SynthesizeGoal(const Goal& goal) {
   result.sleep_set_skips = policy != nullptr ? policy->sleep_set_skips() : 0;
   result.solver = solver.stats();
   result.solver_queries = result.solver.queries;  // Legacy scalar view.
+  if (seed_searcher != nullptr) {
+    result.seed_best_prefix = seed_searcher->best_prefix();
+  }
 
   if (run.status != vm::Engine::Result::Status::kGoalFound) {
     result.failure_reason =

@@ -12,6 +12,7 @@
 #define ESD_SRC_CORE_SYNTHESIZER_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -22,6 +23,10 @@
 #include "src/replay/execution_file.h"
 #include "src/report/coredump.h"
 #include "src/solver/solver.h"
+
+namespace esd::analysis {
+class DistanceCalculator;  // distance.h
+}
 
 namespace esd::core {
 
@@ -96,6 +101,26 @@ struct SynthesisOptions {
   bool ir_opt = true;
   // Surface the per-pass log in SynthesisResult::pass_log (--print-passes).
   bool print_passes = false;
+  // ---- Synthesis-service hooks (src/serve, the esdserved daemon) ----
+  // External shared solver cache (not owned; may be null). When set, the
+  // jobs == 1 path uses it too and the portfolio uses it instead of its
+  // run-local cache — which is what lets solver answers persist across
+  // jobs and daemon restarts. solver_cache_shared still gates it.
+  solver::SharedSolverCache* shared_solver_cache = nullptr;
+  // Incremental re-synthesis: a previously synthesized execution file for
+  // this bug (possibly against a pre-patch module). The search seeds from
+  // its schedule — states whose switch history matches the longest prefix
+  // of the seed's thread sequence are selected first (seed_schedule.h);
+  // deviating states fall back to the configured strategy, so a stale seed
+  // degrades to a cold search instead of misleading it.
+  const replay::ExecutionFile* seed_schedule = nullptr;
+  // Called right after the DistanceCalculator over the search module is
+  // built, before any query: the service restores persisted tables here
+  // (rejected internally on module-digest mismatch).
+  std::function<void(analysis::DistanceCalculator&)> on_distances_ready;
+  // Called when the search is done, before the calculator is destroyed:
+  // the service exports the (now warm) tables for persistence.
+  std::function<void(analysis::DistanceCalculator&)> on_distances_done;
 };
 
 // Per-worker accounting for a portfolio run (`jobs` > 1).
@@ -156,6 +181,13 @@ struct SynthesisResult {
   // Portfolio accounting (empty / -1 for jobs == 1).
   std::vector<WorkerReport> workers;
   int winning_worker = -1;
+
+  // Incremental re-synthesis accounting (seed_schedule runs only): switch
+  // points in the seed schedule, the longest prefix of it any live state
+  // replayed, and the distance tables Restore() seeded before the search.
+  uint64_t seed_switches = 0;
+  uint64_t seed_best_prefix = 0;
+  uint64_t distance_tables_restored = 0;
 };
 
 class Synthesizer {

@@ -1,5 +1,6 @@
 #include "src/ir/printer.h"
 
+#include <cstdio>
 #include <sstream>
 
 namespace esd::ir {
@@ -169,6 +170,22 @@ std::string PrintModule(const Module& module) {
     os << PrintFunction(module, f);
   }
   return os.str();
+}
+
+uint64_t ModuleDigest(const Module& module) {
+  std::string text = PrintModule(module);
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (unsigned char c : text) {
+    h = (h ^ c) * 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::string ModuleDigestHex(const Module& module) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(ModuleDigest(module)));
+  return buf;
 }
 
 }  // namespace esd::ir

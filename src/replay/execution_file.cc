@@ -264,6 +264,19 @@ std::optional<ExecutionFile> ParseExecutionFile(const std::string& text,
       if (!file.flushes.empty() && fp.step < file.flushes.back().step) {
         return fail("flush points out of step order" + at());
       }
+      // One step commits at most one buffered store per (thread, address):
+      // a second identical record is writer/parser disagreement, and strict
+      // replay would silently commit a *different* (younger) buffered store
+      // when re-applying it. Flushes are step-ordered, so any duplicate
+      // sits in the trailing run of equal steps.
+      for (auto it = file.flushes.rbegin();
+           it != file.flushes.rend() && it->step == fp.step; ++it) {
+        if (it->tid == fp.tid && it->addr == fp.addr) {
+          return fail("duplicate flush at step " + std::to_string(fp.step) +
+                      " (tid " + std::to_string(fp.tid) + ", addr " +
+                      std::to_string(fp.addr) + ")" + at());
+        }
+      }
       file.flushes.push_back(fp);
     } else if (word == "hb") {
       std::string kind_word;

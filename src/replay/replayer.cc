@@ -16,9 +16,42 @@ void StrictReplayPolicy::BeforeStep(vm::ExecutionState& state) {
   while (next_flush_ < file_->flushes.size() &&
          file_->flushes[next_flush_].step <= state.steps) {
     const FlushPoint& fp = file_->flushes[next_flush_];
-    state.CommitBufferedStore(fp.tid, fp.addr);
+    if (!state.CommitBufferedStore(fp.tid, fp.addr) && error_.empty()) {
+      // Distinguish the organic-drain case (the thread did buffer a store
+      // to this address at an earlier step; the replayed instruction drained
+      // it itself) from a flush record for a store that was never buffered
+      // at all — the latter means the file's schedule does not describe
+      // this module, and skipping it silently would misreplay.
+      bool ever_buffered = false;
+      for (const vm::SchedEvent& ev : state.sched_trace) {
+        if (ev.kind == vm::SchedEvent::Kind::kAtomicStore && ev.tid == fp.tid &&
+            ev.addr == fp.addr && ev.step <= fp.step) {
+          ever_buffered = true;
+          break;
+        }
+      }
+      if (!ever_buffered) {
+        error_ = "flush at step " + std::to_string(fp.step) +
+                 " for never-buffered store (tid " + std::to_string(fp.tid) +
+                 ", addr " + std::to_string(fp.addr) + ")";
+      }
+    }
     ++next_flush_;
   }
+}
+
+std::string StrictReplayPolicy::FinalError(
+    const vm::ExecutionState& state) const {
+  if (!error_.empty()) {
+    return error_;
+  }
+  if (next_flush_ < file_->flushes.size()) {
+    const FlushPoint& fp = file_->flushes[next_flush_];
+    return "flush at step " + std::to_string(fp.step) +
+           " past end of schedule (replay ended at step " +
+           std::to_string(state.steps) + ")";
+  }
+  return "";
 }
 
 std::optional<uint32_t> StrictReplayPolicy::ForceSwitch(
@@ -74,6 +107,18 @@ void HbReplayPolicy::BeforeStep(vm::ExecutionState& state) {
   }
 }
 
+std::string HbReplayPolicy::FinalError(const vm::ExecutionState& state) const {
+  if (next_event_ < file_->happens_before.size() &&
+      file_->happens_before[next_event_].kind ==
+          vm::SchedEvent::Kind::kAtomicFlush) {
+    const HbEvent& ev = file_->happens_before[next_event_];
+    return "at-flush event for tid " + std::to_string(ev.tid) + ", addr " +
+           std::to_string(ev.addr) + " never applied (replay ended at step " +
+           std::to_string(state.steps) + ")";
+  }
+  return "";
+}
+
 std::optional<uint32_t> HbReplayPolicy::ForceSwitch(const vm::ExecutionState& state) {
   Consume(state);
   if (next_event_ >= file_->happens_before.size()) {
@@ -117,8 +162,13 @@ ReplayResult Replay(const ir::Module& module, const ExecutionFile& file,
   result.bug = run.bug;
   result.output = state->output;
   result.instructions = run.instructions;
-  result.bug_reproduced =
-      run.completed && vm::BugKindName(run.bug.kind) == file.bug_kind;
+  result.error = mode == ReplayMode::kStrict ? strict.FinalError(*state)
+                                             : hb.FinalError(*state);
+  // A flush-record mismatch means whatever just executed was not the
+  // recorded execution: even a matching bug kind is a coincidence, not a
+  // reproduction.
+  result.bug_reproduced = result.error.empty() && run.completed &&
+                          vm::BugKindName(run.bug.kind) == file.bug_kind;
   return result;
 }
 

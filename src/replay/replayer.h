@@ -44,9 +44,18 @@ class StrictReplayPolicy : public vm::SchedulePolicy {
   void BeforeStep(vm::ExecutionState& state) override;
   std::optional<uint32_t> ForceSwitch(const vm::ExecutionState& state) override;
 
+  // One-line description of the first flush-record mismatch observed, or
+  // empty. Checked during BeforeStep (a flush whose store was never even
+  // buffered by its thread) and at end of run via FinalError (flush records
+  // left unapplied because their step lies past the end of the schedule).
+  // A non-empty error means the file does not describe this module's
+  // execution — replay must report it, never silently misreplay.
+  std::string FinalError(const vm::ExecutionState& state) const;
+
  private:
   const ExecutionFile* file_;
   size_t next_flush_ = 0;  // Cursor into file_->flushes.
+  std::string error_;      // First never-buffered-store mismatch.
 };
 
 // Happens-before playback: the thread owning the next unconsumed sync event
@@ -63,6 +72,11 @@ class HbReplayPolicy : public vm::SchedulePolicy {
   // replaying a different (non-buggy) execution.
   void BeforeStep(vm::ExecutionState& state) override;
   std::optional<uint32_t> ForceSwitch(const vm::ExecutionState& state) override;
+
+  // One-line description of a recorded at-flush event that was never
+  // applied by the end of the run (its store never became buffered), or
+  // empty.
+  std::string FinalError(const vm::ExecutionState& state) const;
 
  private:
   // Consumes newly recorded trace events that match the expected sequence.
@@ -81,6 +95,11 @@ struct ReplayResult {
   vm::BugInfo bug;
   std::string output;
   uint64_t instructions = 0;
+  // Non-empty when the schedule's flush records could not be faithfully
+  // re-applied (step past the end of the schedule, or a flush for a store
+  // the thread never buffered). bug_reproduced is forced false: whatever
+  // executed was not the recorded execution.
+  std::string error;
 };
 
 // One-shot playback of `file` against `module`, starting at "main".

@@ -1,0 +1,584 @@
+#include "src/serve/cache_io.h"
+
+#include <cstdio>
+#include <set>
+#include <sstream>
+
+namespace esd::serve {
+namespace {
+
+std::string Hex16(uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+// Input names inside solver models may contain whitespace; escape exactly
+// like the execution-file format so the record stays one line and the
+// round trip stays byte-identical.
+std::string EscapeName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (unsigned char c : name) {
+    if (c == '%' || c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+      char buf[4];
+      std::snprintf(buf, sizeof(buf), "%%%02x", c);
+      out += buf;
+    } else {
+      out += static_cast<char>(c);
+    }
+  }
+  return out;
+}
+
+std::string UnescapeName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (size_t i = 0; i < name.size(); ++i) {
+    if (name[i] == '%' && i + 2 < name.size()) {
+      auto hex = [](char c) -> int {
+        if (c >= '0' && c <= '9') return c - '0';
+        if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+        return -1;
+      };
+      int hi = hex(name[i + 1]), lo = hex(name[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out += static_cast<char>(hi * 16 + lo);
+        i += 2;
+        continue;
+      }
+    }
+    out += name[i];
+  }
+  return out;
+}
+
+// Shared strict-parse scaffolding: header + module line up front, one-line
+// error reporting with line numbers, and the no-bytes-after-`end` check.
+class LineReader {
+ public:
+  LineReader(const std::string& text, std::string* error)
+      : is_(text), error_(error) {}
+
+  bool Next(std::string* line) {
+    if (!std::getline(is_, *line)) {
+      return false;
+    }
+    ++line_no_;
+    return true;
+  }
+
+  bool Fail(const std::string& msg) {
+    if (error_ != nullptr) {
+      *error_ = msg + " (line " + std::to_string(line_no_) + ")";
+    }
+    return false;
+  }
+
+  // Consumes the `esdcache <kind> v1` header and `module <hex>` line.
+  bool Header(const std::string& kind, uint64_t expected_digest,
+              uint64_t* digest) {
+    std::string line;
+    if (!Next(&line)) {
+      return Fail("empty cache file");
+    }
+    std::istringstream ls(line);
+    std::string magic, got_kind, version;
+    ls >> magic >> got_kind >> version;
+    if (magic != "esdcache" || got_kind != kind) {
+      return Fail("missing 'esdcache " + kind + "' header");
+    }
+    if (version != "v1") {
+      return Fail("unsupported " + kind + " cache version '" + version + "'");
+    }
+    std::string extra;
+    if (ls >> extra) {
+      return Fail("trailing garbage after header");
+    }
+    if (!Next(&line)) {
+      return Fail("missing module digest line");
+    }
+    std::istringstream ms(line);
+    std::string word;
+    ms >> word;
+    if (word != "module" || !(ms >> std::hex >> *digest)) {
+      return Fail("malformed module digest line");
+    }
+    if (ms >> extra) {
+      return Fail("trailing garbage after module digest");
+    }
+    if (expected_digest != kAnyDigest && *digest != expected_digest) {
+      return Fail("module digest mismatch: cache has " + Hex16(*digest) +
+                  ", module is " + Hex16(expected_digest));
+    }
+    return true;
+  }
+
+  // After `end`: any further line (even blank) is trailing garbage.
+  bool Epilogue() {
+    std::string line;
+    if (Next(&line)) {
+      return Fail("trailing garbage after end trailer");
+    }
+    return true;
+  }
+
+ private:
+  std::istringstream is_;
+  std::string* error_;
+  size_t line_no_ = 0;
+};
+
+bool ReadU64List(std::istringstream& ls, std::vector<uint64_t>* out) {
+  uint64_t n = 0;
+  if (!(ls >> n)) {
+    return false;
+  }
+  out->clear();
+  out->reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t v;
+    if (!(ls >> v)) {
+      return false;
+    }
+    out->push_back(v);
+  }
+  return true;
+}
+
+void WriteU64List(std::ostringstream& os, const std::vector<uint64_t>& v) {
+  os << " " << v.size();
+  for (uint64_t x : v) {
+    os << " " << x;
+  }
+}
+
+bool Trailing(std::istringstream& ls) {
+  std::string extra;
+  return static_cast<bool>(ls >> extra);
+}
+
+}  // namespace
+
+// ---- Solver query cache -----------------------------------------------------
+
+std::string SolverCacheToText(const SolverCacheImage& image) {
+  std::ostringstream os;
+  os << "esdcache solver v1\n";
+  os << "module " << Hex16(image.module_digest) << "\n";
+  for (const auto& e : image.entries) {
+    os << "q " << Hex16(e.key) << " "
+       << (e.sat ? (e.has_model ? "sat-model" : "sat") : "unsat") << "\n";
+    if (e.has_model) {
+      for (const auto& [id, value] : e.values) {
+        os << "v " << id << " " << value << "\n";
+      }
+      for (const auto& [id, name] : e.names) {
+        os << "n " << id << " " << EscapeName(name) << "\n";
+      }
+    }
+  }
+  os << "end " << image.entries.size() << "\n";
+  return os.str();
+}
+
+std::optional<SolverCacheImage> ParseSolverCache(const std::string& text,
+                                                 uint64_t expected_digest,
+                                                 std::string* error) {
+  LineReader reader(text, error);
+  SolverCacheImage image;
+  if (!reader.Header("solver", expected_digest, &image.module_digest)) {
+    return std::nullopt;
+  }
+  std::string line;
+  bool saw_end = false;
+  while (reader.Next(&line)) {
+    std::istringstream ls(line);
+    std::string word;
+    ls >> word;
+    if (word == "q") {
+      solver::SharedSolverCache::SnapshotEntry entry;
+      std::string key_hex, verdict;
+      if (!(ls >> key_hex >> verdict)) {
+        reader.Fail("truncated q record");
+        return std::nullopt;
+      }
+      std::istringstream ks(key_hex);
+      if (!(ks >> std::hex >> entry.key) || Trailing(ks)) {
+        reader.Fail("malformed q key '" + key_hex + "'");
+        return std::nullopt;
+      }
+      if (verdict == "sat-model") {
+        entry.sat = true;
+        entry.has_model = true;
+      } else if (verdict == "sat") {
+        entry.sat = true;
+      } else if (verdict != "unsat") {
+        reader.Fail("bad q verdict '" + verdict + "'");
+        return std::nullopt;
+      }
+      if (Trailing(ls)) {
+        reader.Fail("trailing garbage after q record");
+        return std::nullopt;
+      }
+      // Keys must be strictly increasing: canonical order doubles as a
+      // duplicate check.
+      if (!image.entries.empty() && entry.key <= image.entries.back().key) {
+        reader.Fail("q keys out of order");
+        return std::nullopt;
+      }
+      image.entries.push_back(std::move(entry));
+    } else if (word == "v" || word == "n") {
+      if (image.entries.empty() || !image.entries.back().has_model) {
+        reader.Fail("'" + word + "' record outside a sat-model entry");
+        return std::nullopt;
+      }
+      auto& entry = image.entries.back();
+      uint64_t id;
+      if (word == "v") {
+        uint64_t value;
+        if (!(ls >> id >> value) || Trailing(ls)) {
+          reader.Fail("malformed v record");
+          return std::nullopt;
+        }
+        if (!entry.names.empty()) {
+          reader.Fail("v record after n records");
+          return std::nullopt;
+        }
+        if (!entry.values.empty() && id <= entry.values.back().first) {
+          reader.Fail("v ids out of order");
+          return std::nullopt;
+        }
+        entry.values.emplace_back(id, value);
+      } else {
+        std::string name;
+        if (!(ls >> id >> name) || Trailing(ls)) {
+          reader.Fail("malformed n record");
+          return std::nullopt;
+        }
+        if (!entry.names.empty() && id <= entry.names.back().first) {
+          reader.Fail("n ids out of order");
+          return std::nullopt;
+        }
+        entry.names.emplace_back(id, UnescapeName(name));
+      }
+    } else if (word == "end") {
+      uint64_t count;
+      if (!(ls >> count) || Trailing(ls)) {
+        reader.Fail("malformed end trailer");
+        return std::nullopt;
+      }
+      if (count != image.entries.size()) {
+        reader.Fail("end count " + std::to_string(count) + " != " +
+                    std::to_string(image.entries.size()) + " records (truncated?)");
+        return std::nullopt;
+      }
+      saw_end = true;
+      break;
+    } else {
+      reader.Fail("unknown directive '" + word + "'");
+      return std::nullopt;
+    }
+  }
+  if (!saw_end) {
+    reader.Fail("missing end trailer (truncated file)");
+    return std::nullopt;
+  }
+  if (!reader.Epilogue()) {
+    return std::nullopt;
+  }
+  return image;
+}
+
+// ---- Distance tables --------------------------------------------------------
+
+std::string DistanceCacheToText(
+    const analysis::DistanceCalculator::Snapshot& snap) {
+  std::ostringstream os;
+  os << "esdcache dist v1\n";
+  os << "module " << Hex16(snap.module_digest) << "\n";
+  for (const auto& [func, fc] : snap.costs) {
+    auto it = snap.function_cost.find(func);
+    os << "func " << func << " "
+       << (it == snap.function_cost.end() ? analysis::kInfDistance : it->second)
+       << "\n";
+    os << "ic";
+    WriteU64List(os, fc.inst_cost);
+    os << "\nip";
+    WriteU64List(os, fc.inst_prefix);
+    os << "\nbc";
+    WriteU64List(os, fc.block_cost);
+    os << "\nbs";
+    WriteU64List(os, fc.block_start);
+    os << "\ned";
+    WriteU64List(os, fc.exit_dist);
+    os << "\n";
+  }
+  // Union of the goal-keyed maps, in InstRef order (both are std::map).
+  std::set<ir::InstRef> goals;
+  for (const auto& [goal, tables] : snap.goal_tables) {
+    goals.insert(goal);
+  }
+  for (const auto& [goal, dists] : snap.entry_dists) {
+    goals.insert(goal);
+  }
+  for (const ir::InstRef& goal : goals) {
+    os << "goal " << goal.func << " " << goal.block << " " << goal.inst << "\n";
+    os << "entry";
+    auto ed = snap.entry_dists.find(goal);
+    if (ed == snap.entry_dists.end()) {
+      os << " 0";
+    } else {
+      os << " " << ed->second.size();
+      for (const auto& [func, dist] : ed->second) {
+        os << " " << func << " " << dist;
+      }
+    }
+    os << "\n";
+    auto gt = snap.goal_tables.find(goal);
+    if (gt != snap.goal_tables.end()) {
+      for (const auto& [func, table] : gt->second) {
+        os << "table " << func;
+        WriteU64List(os, table.goal_dist);
+        WriteU64List(os, table.inst_dist);
+        os << "\n";
+      }
+    }
+  }
+  os << "end " << snap.costs.size() << " " << goals.size() << "\n";
+  return os.str();
+}
+
+std::optional<analysis::DistanceCalculator::Snapshot> ParseDistanceCache(
+    const std::string& text, uint64_t expected_digest, std::string* error) {
+  LineReader reader(text, error);
+  analysis::DistanceCalculator::Snapshot snap;
+  if (!reader.Header("dist", expected_digest, &snap.module_digest)) {
+    return std::nullopt;
+  }
+  std::string line;
+  bool saw_end = false;
+  // Section cursors: `ic/ip/bc/bs/ed` attach to the last `func`, `entry` and
+  // `table` to the last `goal`. The five cost rows must arrive in order.
+  analysis::DistanceCalculator::FuncCosts* cur_costs = nullptr;
+  int cost_rows = 0;
+  std::optional<ir::InstRef> cur_goal;
+  size_t goal_count = 0;
+  while (reader.Next(&line)) {
+    std::istringstream ls(line);
+    std::string word;
+    ls >> word;
+    if (word == "func") {
+      if (cur_costs != nullptr && cost_rows != 5) {
+        reader.Fail("func section truncated (expected 5 cost rows)");
+        return std::nullopt;
+      }
+      uint32_t func;
+      uint64_t fcost;
+      if (!(ls >> func >> fcost) || Trailing(ls)) {
+        reader.Fail("malformed func record");
+        return std::nullopt;
+      }
+      if (cur_goal.has_value()) {
+        reader.Fail("func record after goal sections");
+        return std::nullopt;
+      }
+      auto [it, inserted] = snap.costs.try_emplace(func);
+      if (!inserted) {
+        reader.Fail("duplicate func " + std::to_string(func));
+        return std::nullopt;
+      }
+      snap.function_cost[func] = fcost;
+      cur_costs = &it->second;
+      cost_rows = 0;
+    } else if (word == "ic" || word == "ip" || word == "bc" || word == "bs" ||
+               word == "ed") {
+      if (cur_costs == nullptr) {
+        reader.Fail("'" + word + "' record outside a func section");
+        return std::nullopt;
+      }
+      static const char* kOrder[5] = {"ic", "ip", "bc", "bs", "ed"};
+      if (cost_rows >= 5 || word != kOrder[cost_rows]) {
+        reader.Fail("cost rows out of order at '" + word + "'");
+        return std::nullopt;
+      }
+      std::vector<uint64_t>* dst = nullptr;
+      switch (cost_rows) {
+        case 0: dst = &cur_costs->inst_cost; break;
+        case 1: dst = &cur_costs->inst_prefix; break;
+        case 2: dst = &cur_costs->block_cost; break;
+        case 3: dst = &cur_costs->block_start; break;
+        case 4: dst = &cur_costs->exit_dist; break;
+      }
+      if (!ReadU64List(ls, dst) || Trailing(ls)) {
+        reader.Fail("malformed '" + word + "' row");
+        return std::nullopt;
+      }
+      ++cost_rows;
+    } else if (word == "goal") {
+      if (cur_costs != nullptr && cost_rows != 5) {
+        reader.Fail("func section truncated (expected 5 cost rows)");
+        return std::nullopt;
+      }
+      cur_costs = nullptr;
+      ir::InstRef goal;
+      if (!(ls >> goal.func >> goal.block >> goal.inst) || Trailing(ls)) {
+        reader.Fail("malformed goal record");
+        return std::nullopt;
+      }
+      if (cur_goal.has_value() && !(*cur_goal < goal)) {
+        reader.Fail("goal sections out of order");
+        return std::nullopt;
+      }
+      cur_goal = goal;
+      ++goal_count;
+    } else if (word == "entry") {
+      if (!cur_goal.has_value()) {
+        reader.Fail("entry record outside a goal section");
+        return std::nullopt;
+      }
+      uint64_t n;
+      if (!(ls >> n)) {
+        reader.Fail("malformed entry record");
+        return std::nullopt;
+      }
+      auto& dists = snap.entry_dists[*cur_goal];
+      for (uint64_t i = 0; i < n; ++i) {
+        uint32_t func;
+        uint64_t dist;
+        if (!(ls >> func >> dist)) {
+          reader.Fail("truncated entry record");
+          return std::nullopt;
+        }
+        dists[func] = dist;
+      }
+      if (Trailing(ls)) {
+        reader.Fail("trailing garbage after entry record");
+        return std::nullopt;
+      }
+    } else if (word == "table") {
+      if (!cur_goal.has_value()) {
+        reader.Fail("table record outside a goal section");
+        return std::nullopt;
+      }
+      uint32_t func;
+      if (!(ls >> func)) {
+        reader.Fail("malformed table record");
+        return std::nullopt;
+      }
+      analysis::DistanceCalculator::GoalTable table;
+      if (!ReadU64List(ls, &table.goal_dist) ||
+          !ReadU64List(ls, &table.inst_dist) || Trailing(ls)) {
+        reader.Fail("malformed table lists");
+        return std::nullopt;
+      }
+      auto& per_goal = snap.goal_tables[*cur_goal];
+      if (!per_goal.emplace(func, std::move(table)).second) {
+        reader.Fail("duplicate table for func " + std::to_string(func));
+        return std::nullopt;
+      }
+    } else if (word == "end") {
+      if (cur_costs != nullptr && cost_rows != 5) {
+        reader.Fail("func section truncated (expected 5 cost rows)");
+        return std::nullopt;
+      }
+      uint64_t nfunc, ngoal;
+      if (!(ls >> nfunc >> ngoal) || Trailing(ls)) {
+        reader.Fail("malformed end trailer");
+        return std::nullopt;
+      }
+      if (nfunc != snap.costs.size() || ngoal != goal_count) {
+        reader.Fail("end counts do not match records (truncated?)");
+        return std::nullopt;
+      }
+      saw_end = true;
+      break;
+    } else {
+      reader.Fail("unknown directive '" + word + "'");
+      return std::nullopt;
+    }
+  }
+  if (!saw_end) {
+    reader.Fail("missing end trailer (truncated file)");
+    return std::nullopt;
+  }
+  if (!reader.Epilogue()) {
+    return std::nullopt;
+  }
+  return snap;
+}
+
+// ---- Fingerprint corpus -----------------------------------------------------
+
+std::string FingerprintCorpusToText(const FingerprintImage& image) {
+  std::ostringstream os;
+  os << "esdcache fps v1\n";
+  os << "module " << Hex16(image.module_digest) << "\n";
+  for (uint64_t fp : image.fingerprints) {
+    os << "fp " << Hex16(fp) << "\n";
+  }
+  os << "end " << image.fingerprints.size() << "\n";
+  return os.str();
+}
+
+std::optional<FingerprintImage> ParseFingerprintCorpus(const std::string& text,
+                                                       uint64_t expected_digest,
+                                                       std::string* error) {
+  LineReader reader(text, error);
+  FingerprintImage image;
+  if (!reader.Header("fps", expected_digest, &image.module_digest)) {
+    return std::nullopt;
+  }
+  std::string line;
+  bool saw_end = false;
+  while (reader.Next(&line)) {
+    std::istringstream ls(line);
+    std::string word;
+    ls >> word;
+    if (word == "fp") {
+      std::string hex;
+      uint64_t fp;
+      if (!(ls >> hex) || Trailing(ls)) {
+        reader.Fail("malformed fp record");
+        return std::nullopt;
+      }
+      std::istringstream hs(hex);
+      if (!(hs >> std::hex >> fp) || Trailing(hs)) {
+        reader.Fail("malformed fp value '" + hex + "'");
+        return std::nullopt;
+      }
+      if (!image.fingerprints.empty() && fp <= image.fingerprints.back()) {
+        reader.Fail("fp records out of order");
+        return std::nullopt;
+      }
+      image.fingerprints.push_back(fp);
+    } else if (word == "end") {
+      uint64_t count;
+      if (!(ls >> count) || Trailing(ls)) {
+        reader.Fail("malformed end trailer");
+        return std::nullopt;
+      }
+      if (count != image.fingerprints.size()) {
+        reader.Fail("end count " + std::to_string(count) + " != " +
+                    std::to_string(image.fingerprints.size()) +
+                    " records (truncated?)");
+        return std::nullopt;
+      }
+      saw_end = true;
+      break;
+    } else {
+      reader.Fail("unknown directive '" + word + "'");
+      return std::nullopt;
+    }
+  }
+  if (!saw_end) {
+    reader.Fail("missing end trailer (truncated file)");
+    return std::nullopt;
+  }
+  if (!reader.Epilogue()) {
+    return std::nullopt;
+  }
+  return image;
+}
+
+}  // namespace esd::serve

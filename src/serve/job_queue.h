@@ -1,0 +1,69 @@
+// ESD serve: sharded job queue feeding the daemon's synthesis workers.
+//
+// Jobs are routed to a home shard by module-digest affinity, so jobs on the
+// same module land on the same worker back-to-back and its warm caches
+// (solver entries, distance tables) get maximal reuse. An idle worker steals
+// from the busiest other shard rather than sleeping while work exists —
+// affinity is a preference, not a partition (the same discipline as the
+// vm::SharedFrontier the portfolio workers use).
+#ifndef ESD_SRC_SERVE_JOB_QUEUE_H_
+#define ESD_SRC_SERVE_JOB_QUEUE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace esd::serve {
+
+// One synthesis request: a module, a bug report, and where the verdict goes.
+struct Job {
+  uint64_t id = 0;
+  std::string module_text;
+  std::string report_text;
+  std::string module_path;  // Diagnostics only.
+  std::string report_path;
+  std::string out_path;  // Execution-file destination ("" = don't write).
+};
+
+class JobQueue {
+ public:
+  explicit JobQueue(size_t shards);
+
+  // Enqueues onto the shard owning `module_digest`. Returns false after
+  // Close().
+  bool Push(Job job, uint64_t module_digest);
+
+  // Blocks until a job is available (own shard first, then steal) or the
+  // queue is closed and drained. nullopt = shut down, no work left.
+  std::optional<Job> Pop(size_t worker);
+
+  // No more pushes; Pop returns nullopt once the shards drain.
+  void Close();
+
+  struct Stats {
+    uint64_t pushed = 0;
+    uint64_t popped = 0;
+    uint64_t stolen = 0;  // Pops served from a non-home shard.
+  };
+  Stats stats() const;
+  size_t shards() const { return shards_.size(); }
+
+ private:
+  struct Shard {
+    std::deque<Job> jobs;
+  };
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Shard> shards_;
+  bool closed_ = false;
+  Stats stats_;
+};
+
+}  // namespace esd::serve
+
+#endif  // ESD_SRC_SERVE_JOB_QUEUE_H_

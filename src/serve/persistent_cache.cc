@@ -1,0 +1,228 @@
+#include "src/serve/persistent_cache.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace esd::serve {
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string Hex16(uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::optional<std::string> ReadWholeFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return std::nullopt;
+  }
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+}  // namespace
+
+CacheStore::CacheStore(const std::string& dir) : dir_(dir) {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec || !fs::is_directory(dir_, ec)) {
+    error_ = "cannot create cache directory " + dir_ +
+             (ec ? ": " + ec.message() : "");
+    return;
+  }
+  ok_ = true;
+  LoadIndex();
+}
+
+std::string CacheStore::PathFor(uint64_t digest, const char* kind) const {
+  return dir_ + "/" + Hex16(digest) + "." + kind + ".esdc";
+}
+
+void CacheStore::Quarantine(const std::string& path, const std::string& why) {
+  std::error_code ec;
+  fs::rename(path, path + ".quarantined", ec);
+  if (ec) {
+    fs::remove(path, ec);  // Rename failed (cross-device?): drop it instead.
+  }
+  load_errors_.push_back(path + ": " + why + " — quarantined, will regenerate");
+}
+
+std::optional<std::string> CacheStore::ReadOrQuarantine(const std::string& path,
+                                                        bool* present) {
+  std::error_code ec;
+  *present = fs::exists(path, ec);
+  if (!*present) {
+    return std::nullopt;
+  }
+  auto text = ReadWholeFile(path);
+  if (!text.has_value()) {
+    Quarantine(path, "unreadable");
+  }
+  return text;
+}
+
+std::optional<SolverCacheImage> CacheStore::LoadSolverCache(
+    uint64_t module_digest) {
+  if (!ok_) return std::nullopt;
+  const std::string path = PathFor(module_digest, "solver");
+  bool present = false;
+  auto text = ReadOrQuarantine(path, &present);
+  if (!text.has_value()) return std::nullopt;
+  std::string error;
+  auto image = ParseSolverCache(*text, module_digest, &error);
+  if (!image.has_value()) {
+    Quarantine(path, error);
+    return std::nullopt;
+  }
+  return image;
+}
+
+std::optional<analysis::DistanceCalculator::Snapshot>
+CacheStore::LoadDistanceCache(uint64_t search_digest) {
+  if (!ok_) return std::nullopt;
+  const std::string path = PathFor(search_digest, "dist");
+  bool present = false;
+  auto text = ReadOrQuarantine(path, &present);
+  if (!text.has_value()) return std::nullopt;
+  std::string error;
+  auto snap = ParseDistanceCache(*text, search_digest, &error);
+  if (!snap.has_value()) {
+    Quarantine(path, error);
+    return std::nullopt;
+  }
+  return snap;
+}
+
+std::optional<FingerprintImage> CacheStore::LoadFingerprintCorpus(
+    uint64_t module_digest) {
+  if (!ok_) return std::nullopt;
+  const std::string path = PathFor(module_digest, "fps");
+  bool present = false;
+  auto text = ReadOrQuarantine(path, &present);
+  if (!text.has_value()) return std::nullopt;
+  std::string error;
+  auto image = ParseFingerprintCorpus(*text, module_digest, &error);
+  if (!image.has_value()) {
+    Quarantine(path, error);
+    return std::nullopt;
+  }
+  return image;
+}
+
+bool CacheStore::AtomicWrite(const std::string& path, const std::string& text) {
+  if (!ok_) return false;
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return false;
+    }
+    out << text;
+    out.flush();
+    if (!out) {
+      return false;
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    return false;
+  }
+  return true;
+}
+
+bool CacheStore::StoreSolverCache(const SolverCacheImage& image) {
+  return AtomicWrite(PathFor(image.module_digest, "solver"),
+                     SolverCacheToText(image));
+}
+
+bool CacheStore::StoreDistanceCache(
+    const analysis::DistanceCalculator::Snapshot& snap) {
+  return AtomicWrite(PathFor(snap.module_digest, "dist"),
+                     DistanceCacheToText(snap));
+}
+
+bool CacheStore::StoreFingerprintCorpus(const FingerprintImage& image) {
+  return AtomicWrite(PathFor(image.module_digest, "fps"),
+                     FingerprintCorpusToText(image));
+}
+
+// results.index line format (strict, whitespace-separated):
+//   result <report-16hex> <module-16hex> <0|1> <fingerprint|-> <exec|->
+void CacheStore::LoadIndex() {
+  const std::string path = dir_ + "/results.index";
+  bool present = false;
+  auto text = ReadOrQuarantine(path, &present);
+  if (!text.has_value()) return;
+  std::istringstream is(*text);
+  std::string line;
+  std::map<uint64_t, ResultRecord> parsed;
+  size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    std::istringstream ls(line);
+    std::string word, report_hex, module_hex, fingerprint, exec_file;
+    int reproduced = 0;
+    ls >> word >> report_hex >> module_hex >> reproduced >> fingerprint >>
+        exec_file;
+    ResultRecord rec;
+    std::istringstream rs(report_hex), ms(module_hex);
+    std::string extra;
+    if (word != "result" || !(rs >> std::hex >> rec.report_digest) ||
+        !(ms >> std::hex >> rec.module_digest) || fingerprint.empty() ||
+        exec_file.empty() || (ls >> extra)) {
+      Quarantine(path, "malformed index line " + std::to_string(line_no));
+      return;  // All-or-nothing: a torn index is regenerated from scratch.
+    }
+    rec.reproduced = reproduced != 0;
+    if (fingerprint != "-") rec.fingerprint = fingerprint;
+    if (exec_file != "-") rec.exec_file = exec_file;
+    parsed[rec.report_digest] = std::move(rec);
+  }
+  results_ = std::move(parsed);
+}
+
+bool CacheStore::WriteIndex() {
+  std::ostringstream os;
+  for (const auto& [digest, rec] : results_) {
+    os << "result " << Hex16(rec.report_digest) << " "
+       << Hex16(rec.module_digest) << " " << (rec.reproduced ? 1 : 0) << " "
+       << (rec.fingerprint.empty() ? "-" : rec.fingerprint) << " "
+       << (rec.exec_file.empty() ? "-" : rec.exec_file) << "\n";
+  }
+  return AtomicWrite(dir_ + "/results.index", os.str());
+}
+
+bool CacheStore::StoreResult(ResultRecord record, const std::string& exec_text) {
+  if (!ok_) return false;
+  if (!exec_text.empty()) {
+    record.exec_file = Hex16(record.report_digest) + ".exec";
+    if (!AtomicWrite(dir_ + "/" + record.exec_file, exec_text)) {
+      return false;
+    }
+  }
+  results_[record.report_digest] = std::move(record);
+  return WriteIndex();
+}
+
+const ResultRecord* CacheStore::FindResult(uint64_t report_digest) const {
+  auto it = results_.find(report_digest);
+  return it == results_.end() ? nullptr : &it->second;
+}
+
+std::optional<std::string> CacheStore::LoadExecFile(
+    const ResultRecord& record) const {
+  if (record.exec_file.empty()) {
+    return std::nullopt;
+  }
+  return ReadWholeFile(dir_ + "/" + record.exec_file);
+}
+
+}  // namespace esd::serve

@@ -1,0 +1,96 @@
+// ESD serve: crash-safe on-disk cache store for the esdserved daemon.
+//
+// One directory holds every persisted artifact, named by module digest:
+//
+//   <digest>.solver.esdc   solver query/counterexample cache (cache_io.h)
+//   <digest>.dist.esdc     distance tables for the *search* module digest
+//   <digest>.fps.esdc      execution-fingerprint corpus (duplicate-bug triage)
+//   results.index          one line per solved job: report digest ->
+//                          module digest, verdict, fingerprint, exec file
+//   <report-digest>.exec   execution file of a solved job (the seed for
+//                          incremental re-synthesis after a patch)
+//
+// Crash safety: every write goes to a `.tmp` sibling first and is renamed
+// into place, so a crash mid-write leaves either the old file or the new
+// one, never a torn file. A file that fails its strict parse (truncated,
+// corrupted, version bump, digest mismatch) is moved aside to
+// `<name>.quarantined` and treated as absent — the daemon logs one line,
+// keeps running, and regenerates the cache.
+#ifndef ESD_SRC_SERVE_PERSISTENT_CACHE_H_
+#define ESD_SRC_SERVE_PERSISTENT_CACHE_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/serve/cache_io.h"
+
+namespace esd::serve {
+
+// One line of results.index: everything needed to short-circuit a duplicate
+// job or seed an incremental one.
+struct ResultRecord {
+  uint64_t report_digest = 0;  // FNV over the coredump text.
+  uint64_t module_digest = 0;  // Module the verdict was computed against.
+  bool reproduced = false;
+  std::string fingerprint;     // replay::Fingerprint hex (empty if none).
+  std::string exec_file;       // Relative path of the stored .exec (or "").
+};
+
+class CacheStore {
+ public:
+  // Creates `dir` if missing. A load error (unusable directory) is reported
+  // through ok()/error(); the store then behaves as empty and read-only.
+  explicit CacheStore(const std::string& dir);
+
+  bool ok() const { return ok_; }
+  const std::string& error() const { return error_; }
+
+  // ---- Cache files (each keyed by a module digest) ----
+  // Loads return nullopt when the file is absent OR failed its strict parse;
+  // a failed parse quarantines the file and appends to load_errors().
+  std::optional<SolverCacheImage> LoadSolverCache(uint64_t module_digest);
+  std::optional<analysis::DistanceCalculator::Snapshot> LoadDistanceCache(
+      uint64_t search_digest);
+  std::optional<FingerprintImage> LoadFingerprintCorpus(uint64_t module_digest);
+
+  bool StoreSolverCache(const SolverCacheImage& image);
+  bool StoreDistanceCache(const analysis::DistanceCalculator::Snapshot& snap);
+  bool StoreFingerprintCorpus(const FingerprintImage& image);
+
+  // ---- Execution files + results index ----
+  // Stores `text` as <report-digest>.exec and records `record` (its
+  // exec_file field is filled in). Rewrites results.index atomically.
+  bool StoreResult(ResultRecord record, const std::string& exec_text);
+  const ResultRecord* FindResult(uint64_t report_digest) const;
+  // Reads the execution-file text a ResultRecord points at.
+  std::optional<std::string> LoadExecFile(const ResultRecord& record) const;
+  size_t result_count() const { return results_.size(); }
+
+  // One line per quarantined/rejected file since construction (includes the
+  // parse error). The daemon prints these; tests assert on them.
+  const std::vector<std::string>& load_errors() const { return load_errors_; }
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  std::string PathFor(uint64_t digest, const char* kind) const;
+  std::optional<std::string> ReadOrQuarantine(const std::string& path,
+                                              bool* present);
+  void Quarantine(const std::string& path, const std::string& why);
+  bool AtomicWrite(const std::string& path, const std::string& text);
+  void LoadIndex();
+  bool WriteIndex();
+
+  std::string dir_;
+  bool ok_ = false;
+  std::string error_;
+  std::map<uint64_t, ResultRecord> results_;  // By report digest.
+  std::vector<std::string> load_errors_;
+};
+
+}  // namespace esd::serve
+
+#endif  // ESD_SRC_SERVE_PERSISTENT_CACHE_H_

@@ -150,6 +150,56 @@ TEST_F(CliNegativeTest, EsdfuzzRejectsUnknownKind) {
   ExpectOneLineFailure(Tool("esdfuzz") + " --kind spinlock --seeds 1");
 }
 
+TEST_F(CliNegativeTest, InconsistentFlushRecordsAreOneLineReplayErrors) {
+  // Flush records that cannot be faithfully re-applied (a flush step past
+  // the end of the schedule, a flush for a store the thread never buffered)
+  // are hard one-line errors — esdplay must never report "completed but the
+  // bug did not manifest" for a file that misdescribes the program.
+  struct BadFlush {
+    const char* name;
+    const char* body;
+    const char* expect;
+  };
+  const BadFlush kBad[] = {
+      {"flush_past_end",
+       "execution v1\nbug assert-fail\nflush 1000 0 64\n",
+       "past end of schedule"},
+      {"flush_never_buffered",
+       "execution v1\nbug assert-fail\nflush 0 0 64\n",
+       "never-buffered store"},
+      {"flush_duplicate",
+       "execution v1\nbug assert-fail\nflush 3 0 64\nflush 3 0 64\n",
+       "duplicate flush"},
+  };
+  for (const BadFlush& bad : kBad) {
+    std::string path = dir_ + "/" + bad.name + ".esdx";
+    WriteTo(path, bad.body);
+    std::string command = Tool("esdplay") + " " + program_ + " " + path;
+    RunResult r = RunCommand(command);
+    EXPECT_GT(r.exit_code, 0) << command;
+    EXPECT_LT(r.exit_code, 128) << command << " died on a signal";
+    EXPECT_EQ(LineCount(r.stderr_text), 1u)
+        << command << "\nstderr was:\n" << r.stderr_text;
+    EXPECT_NE(r.stderr_text.find(bad.expect), std::string::npos)
+        << command << "\nstderr was:\n" << r.stderr_text;
+  }
+}
+
+TEST_F(CliNegativeTest, EsdservedNegativePaths) {
+  // Unknown flag and missing manifest: the daemon exits before serving.
+  ExpectOneLineFailure(Tool("esdserved") + " --wat");
+  ExpectOneLineFailure(Tool("esdserved") + " --once " + dir_ +
+                       "/absent.jobs");
+  // A manifest naming unreadable inputs drops the job with a diagnostic but
+  // the daemon itself finishes the batch cleanly (exit 0): one bad job must
+  // not kill the service.
+  std::string manifest = dir_ + "/bad_inputs.jobs";
+  WriteTo(manifest, dir_ + "/absent.esd " + dir_ + "/absent.core\n");
+  RunResult r = RunCommand(Tool("esdserved") + " --once " + manifest);
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.stderr_text.find("dropped"), std::string::npos) << r.stderr_text;
+}
+
 TEST_F(CliNegativeTest, DedupPrivateInCooperativeModeWarnsOnce) {
   // Cooperative jobs > 1 (the default) always shares the fingerprint table,
   // so --dedup-private is ignored there: the combination must say so on

@@ -11,7 +11,10 @@
 
 #include "src/fuzz/generator.h"
 #include "src/fuzz/oracle.h"
+#include "src/ir/parser.h"
 #include "src/replay/execution_file.h"
+#include "src/replay/replayer.h"
+#include "src/workloads/workloads.h"
 
 namespace esd {
 namespace {
@@ -145,6 +148,81 @@ TEST(ExecutionFileRoundTripTest, MalformedExtendedRecordsRejected) {
     EXPECT_FALSE(parsed.has_value()) << bad.line;
     EXPECT_NE(error.find(bad.expect), std::string::npos)
         << bad.line << " -> " << error;
+  }
+}
+
+// Two flush records for the same (step, tid, addr) would drain one
+// buffered store twice on replay; the parser rejects the duplicate with a
+// one-line error. Distinct records at the same step stay legal (several
+// threads' buffers can drain at one fork point).
+TEST(ExecutionFileRoundTripTest, DuplicateFlushAtSameStepRejected) {
+  std::string error;
+  auto dup = replay::ParseExecutionFile(
+      "execution v1\nbug assert-fail\nflush 7 1 128\nflush 7 1 128\n", &error);
+  EXPECT_FALSE(dup.has_value());
+  EXPECT_NE(error.find("duplicate flush at step 7"), std::string::npos) << error;
+
+  auto distinct = replay::ParseExecutionFile(
+      "execution v1\nbug assert-fail\n"
+      "flush 7 1 128\nflush 7 2 128\nflush 7 1 132\n",
+      &error);
+  ASSERT_TRUE(distinct.has_value()) << error;
+  EXPECT_EQ(distinct->flushes.size(), 3u);
+}
+
+// Flush records that do not describe the replayed program surface as
+// ReplayResult.error (and force bug_reproduced false) instead of silently
+// misreplaying — the long-lived daemon replays files against modules that
+// may have drifted from the one they were synthesized over.
+TEST(ExecutionFileRoundTripTest, ReplayRejectsInconsistentFlushRecords) {
+  ir::Module module;
+  ir::ParseResult pr = ir::ParseModule(
+      std::string(workloads::ExternsPreamble()) + R"(
+func @main() : i32 {
+entry:
+  %x = add i32 1, i32 2
+  %y = add %x, i32 3
+  ret i32 0
+}
+)",
+      &module);
+  ASSERT_TRUE(pr.ok) << pr.error;
+
+  // A flush far past the point where the schedule (and program) ended.
+  {
+    replay::ExecutionFile file;
+    file.bug_kind = "assert-fail";
+    file.flushes.push_back({1000, 0, 64});
+    replay::ReplayResult r =
+        replay::Replay(module, file, replay::ReplayMode::kStrict);
+    ASSERT_TRUE(r.completed);
+    EXPECT_FALSE(r.bug_reproduced);
+    EXPECT_NE(r.error.find("past end of schedule"), std::string::npos)
+        << r.error;
+  }
+
+  // A flush for a store this thread never buffered: the file's schedule is
+  // not this module's.
+  {
+    replay::ExecutionFile file;
+    file.bug_kind = "assert-fail";
+    file.flushes.push_back({1, 0, 64});
+    replay::ReplayResult r =
+        replay::Replay(module, file, replay::ReplayMode::kStrict);
+    ASSERT_TRUE(r.completed);
+    EXPECT_FALSE(r.bug_reproduced);
+    EXPECT_NE(r.error.find("never-buffered store"), std::string::npos)
+        << r.error;
+  }
+
+  // No flush records: no error, replay is clean (the program just exits).
+  {
+    replay::ExecutionFile file;
+    file.bug_kind = "assert-fail";
+    replay::ReplayResult r =
+        replay::Replay(module, file, replay::ReplayMode::kStrict);
+    ASSERT_TRUE(r.completed);
+    EXPECT_TRUE(r.error.empty()) << r.error;
   }
 }
 

@@ -1,0 +1,281 @@
+// The persisted-cache contract of the synthesis service: for each of the
+// three cache formats (solver query cache, distance tables, fingerprint
+// corpus), serialize -> parse -> serialize must be byte-identical, and
+// every corruption class — truncation, trailing garbage, a version bump, a
+// module-digest mismatch — must fail the strict parse with a one-line
+// error. The CacheStore must quarantine such a file and keep serving.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "src/analysis/distance.h"
+#include "src/ir/parser.h"
+#include "src/ir/printer.h"
+#include "src/serve/cache_io.h"
+#include "src/serve/persistent_cache.h"
+#include "src/solver/query_cache.h"
+#include "src/workloads/workloads.h"
+
+namespace esd::serve {
+namespace {
+
+ir::Module Parse(const std::string& body) {
+  ir::Module m;
+  ir::ParseResult r =
+      ir::ParseModule(std::string(workloads::ExternsPreamble()) + body, &m);
+  EXPECT_TRUE(r.ok) << r.error;
+  return m;
+}
+
+constexpr char kProgram[] = R"(
+func @helper(%x: i32) : i32 {
+entry:
+  %r = add %x, i32 5
+  ret %r
+}
+
+func @main() : i32 {
+entry:
+  %a = call @helper(i32 1)
+  %c = icmp eq %a, i32 6
+  condbr %c, yes, no
+yes:
+  ret i32 1
+no:
+  ret i32 0
+}
+)";
+
+// A solver-cache image with every entry shape: unsat, model-less sat, and
+// sat with a model whose names need escaping.
+SolverCacheImage MakeSolverImage() {
+  solver::SharedSolverCache cache;
+  solver::Model model;
+  model.values[1] = 7;
+  model.values[42] = 0xffffffffffffffffull;
+  model.names[1] = "plain";
+  model.names[42] = "name with spaces\tand\ntabs%20";
+  cache.Insert(0x1111, false, nullptr, &cache);
+  cache.Insert(0x2222, true, nullptr, &cache);
+  cache.Insert(0x3333, true, &model, &cache);
+  SolverCacheImage image;
+  image.module_digest = 0xdeadbeefcafef00dull;
+  image.entries = cache.Snapshot();
+  return image;
+}
+
+analysis::DistanceCalculator::Snapshot MakeDistanceSnapshot(ir::Module* m) {
+  uint32_t main_fn = *m->FindFunction("main");
+  analysis::DistanceCalculator dc(m);
+  dc.Prewarm({ir::InstRef{main_fn, 1, 0}, ir::InstRef{main_fn, 2, 0}});
+  return dc.Export();
+}
+
+TEST(ServeCacheIoTest, SolverCacheRoundTripsByteIdentical) {
+  SolverCacheImage image = MakeSolverImage();
+  std::string text = SolverCacheToText(image);
+  std::string error;
+  auto parsed = ParseSolverCache(text, image.module_digest, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(SolverCacheToText(*parsed), text);
+  ASSERT_EQ(parsed->entries.size(), image.entries.size());
+  // The escaped model names decode back to the exact original bytes.
+  const auto& entry = parsed->entries.back();
+  ASSERT_EQ(entry.names.size(), 2u);
+  EXPECT_EQ(entry.names[1].second, "name with spaces\tand\ntabs%20");
+  // Preloading the parsed image reproduces the same Snapshot.
+  solver::SharedSolverCache reloaded;
+  reloaded.Preload(parsed->entries);
+  SolverCacheImage again;
+  again.module_digest = image.module_digest;
+  again.entries = reloaded.Snapshot();
+  EXPECT_EQ(SolverCacheToText(again), text);
+  EXPECT_EQ(reloaded.stats().preloaded, image.entries.size());
+}
+
+TEST(ServeCacheIoTest, DistanceCacheRoundTripsByteIdentical) {
+  ir::Module m = Parse(kProgram);
+  analysis::DistanceCalculator::Snapshot snap = MakeDistanceSnapshot(&m);
+  ASSERT_FALSE(snap.costs.empty());
+  ASSERT_FALSE(snap.goal_tables.empty());
+  std::string text = DistanceCacheToText(snap);
+  std::string error;
+  auto parsed = ParseDistanceCache(text, snap.module_digest, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(DistanceCacheToText(*parsed), text);
+  // And the parsed snapshot restores into a fresh calculator.
+  analysis::DistanceCalculator dc(&m);
+  EXPECT_TRUE(dc.Restore(*parsed));
+  EXPECT_GT(dc.restored_tables(), 0u);
+}
+
+TEST(ServeCacheIoTest, FingerprintCorpusRoundTripsByteIdentical) {
+  FingerprintImage image;
+  image.module_digest = 0x1234;
+  image.fingerprints = {0x1ull, 0xabcdull, 0xffffffffffffffffull};
+  std::string text = FingerprintCorpusToText(image);
+  std::string error;
+  auto parsed = ParseFingerprintCorpus(text, image.module_digest, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(FingerprintCorpusToText(*parsed), text);
+  EXPECT_EQ(parsed->fingerprints, image.fingerprints);
+}
+
+// Every corruption class rejects with a one-line error naming the problem.
+TEST(ServeCacheIoTest, CorruptionClassesRejected) {
+  SolverCacheImage image = MakeSolverImage();
+  std::string good = SolverCacheToText(image);
+  std::string error;
+
+  // Truncation: cutting the file anywhere before the trailer fails (either
+  // a torn record or a missing/mismatched end count).
+  for (size_t cut : {good.size() - 2, good.size() / 2, good.size() / 4}) {
+    error.clear();
+    EXPECT_FALSE(
+        ParseSolverCache(good.substr(0, cut), image.module_digest, &error)
+            .has_value())
+        << "cut at " << cut;
+    EXPECT_FALSE(error.empty());
+  }
+
+  // Trailing garbage after the end trailer — even a blank line.
+  error.clear();
+  EXPECT_FALSE(
+      ParseSolverCache(good + "extra\n", image.module_digest, &error).has_value());
+  EXPECT_NE(error.find("trailing garbage"), std::string::npos) << error;
+  EXPECT_FALSE(
+      ParseSolverCache(good + "\n", image.module_digest, &error).has_value());
+
+  // Version bump: a v2 writer's file is rejected by the v1 parser.
+  std::string bumped = good;
+  bumped.replace(bumped.find(" v1\n"), 4, " v2\n");
+  error.clear();
+  EXPECT_FALSE(
+      ParseSolverCache(bumped, image.module_digest, &error).has_value());
+  EXPECT_NE(error.find("version"), std::string::npos) << error;
+
+  // Digest mismatch: the file is internally valid but for another module.
+  error.clear();
+  EXPECT_FALSE(
+      ParseSolverCache(good, image.module_digest + 1, &error).has_value());
+  EXPECT_NE(error.find("digest mismatch"), std::string::npos) << error;
+  // kAnyDigest accepts it.
+  EXPECT_TRUE(ParseSolverCache(good, kAnyDigest, &error).has_value());
+
+  // Unknown directive and a wrong end count.
+  EXPECT_FALSE(ParseSolverCache(
+                   "esdcache solver v1\nmodule 1\nfrobnicate\nend 0\n", 1, &error)
+                   .has_value());
+  EXPECT_FALSE(ParseSolverCache(
+                   "esdcache solver v1\nmodule 1\nq 1 unsat\nend 5\n", 1, &error)
+                   .has_value());
+  EXPECT_NE(error.find("end count"), std::string::npos) << error;
+
+  // The same classes for the other two formats (spot checks).
+  ir::Module m = Parse(kProgram);
+  analysis::DistanceCalculator::Snapshot snap = MakeDistanceSnapshot(&m);
+  std::string dist = DistanceCacheToText(snap);
+  EXPECT_FALSE(ParseDistanceCache(dist.substr(0, dist.size() / 2),
+                                  snap.module_digest, &error)
+                   .has_value());
+  EXPECT_FALSE(
+      ParseDistanceCache(dist, snap.module_digest + 1, &error).has_value());
+  FingerprintImage fps;
+  fps.module_digest = 9;
+  fps.fingerprints = {1, 2, 3};
+  std::string fptext = FingerprintCorpusToText(fps);
+  EXPECT_FALSE(
+      ParseFingerprintCorpus(fptext + "junk\n", 9, &error).has_value());
+  EXPECT_FALSE(ParseFingerprintCorpus(fptext, 10, &error).has_value());
+  // Out-of-order fp records (hand-edited file) are rejected too: canonical
+  // order is part of the format.
+  EXPECT_FALSE(ParseFingerprintCorpus(
+                   "esdcache fps v1\nmodule 9\nfp 2\nfp 1\nend 2\n", 9, &error)
+                   .has_value());
+  EXPECT_NE(error.find("out of order"), std::string::npos) << error;
+}
+
+// The store-level contract: a corrupted cache file is quarantined (moved
+// aside, never trusted, never deleted silently) and the store keeps
+// working — the daemon regenerates the cache on the next flush.
+TEST(ServeCacheStoreTest, CorruptedFileIsQuarantinedAndRegenerated) {
+  std::string dir = ::testing::TempDir() + "/esd_serve_cache_test";
+  std::filesystem::remove_all(dir);
+  CacheStore store(dir);
+  ASSERT_TRUE(store.ok()) << store.error();
+
+  SolverCacheImage image = MakeSolverImage();
+  ASSERT_TRUE(store.StoreSolverCache(image));
+  ASSERT_TRUE(store.LoadSolverCache(image.module_digest).has_value());
+
+  // Corrupt the file in place (torn write: half the bytes).
+  std::string path = dir + "/" +
+                     [&] {
+                       char buf[32];
+                       std::snprintf(buf, sizeof(buf), "%016llx",
+                                     static_cast<unsigned long long>(
+                                         image.module_digest));
+                       return std::string(buf);
+                     }() +
+                     ".solver.esdc";
+  std::string good = SolverCacheToText(image);
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << good.substr(0, good.size() / 2);
+  }
+
+  // The load fails softly: nullopt, file moved to .quarantined, one error.
+  EXPECT_FALSE(store.LoadSolverCache(image.module_digest).has_value());
+  EXPECT_FALSE(std::filesystem::exists(path));
+  EXPECT_TRUE(std::filesystem::exists(path + ".quarantined"));
+  ASSERT_EQ(store.load_errors().size(), 1u);
+  EXPECT_NE(store.load_errors()[0].find("quarantined"), std::string::npos);
+
+  // The store still accepts a regenerated cache afterwards.
+  ASSERT_TRUE(store.StoreSolverCache(image));
+  auto reloaded = store.LoadSolverCache(image.module_digest);
+  ASSERT_TRUE(reloaded.has_value());
+  EXPECT_EQ(SolverCacheToText(*reloaded), good);
+}
+
+// results.index round-trips across store reopenings (daemon restarts), and
+// execution files are stored and retrieved by report digest.
+TEST(ServeCacheStoreTest, ResultsIndexSurvivesReopen) {
+  std::string dir = ::testing::TempDir() + "/esd_serve_index_test";
+  std::filesystem::remove_all(dir);
+  {
+    CacheStore store(dir);
+    ASSERT_TRUE(store.ok());
+    ResultRecord rec;
+    rec.report_digest = 0xaaaa;
+    rec.module_digest = 0xbbbb;
+    rec.reproduced = true;
+    rec.fingerprint = "0123456789abcdef";
+    ASSERT_TRUE(store.StoreResult(rec, "execution v1\nbug deadlock\n"));
+    ResultRecord failed;
+    failed.report_digest = 0xcccc;
+    failed.module_digest = 0xbbbb;
+    failed.reproduced = false;
+    ASSERT_TRUE(store.StoreResult(failed, ""));
+  }
+  CacheStore reopened(dir);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(reopened.result_count(), 2u);
+  const ResultRecord* rec = reopened.FindResult(0xaaaa);
+  ASSERT_NE(rec, nullptr);
+  EXPECT_TRUE(rec->reproduced);
+  EXPECT_EQ(rec->fingerprint, "0123456789abcdef");
+  auto exec = reopened.LoadExecFile(*rec);
+  ASSERT_TRUE(exec.has_value());
+  EXPECT_EQ(*exec, "execution v1\nbug deadlock\n");
+  const ResultRecord* failed = reopened.FindResult(0xcccc);
+  ASSERT_NE(failed, nullptr);
+  EXPECT_FALSE(failed->reproduced);
+  EXPECT_FALSE(reopened.LoadExecFile(*failed).has_value());
+}
+
+}  // namespace
+}  // namespace esd::serve

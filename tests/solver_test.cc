@@ -657,5 +657,69 @@ TEST(SharedCacheTest, BoundedPerShard) {
   EXPECT_GT(cache.size(), 0u);
 }
 
+// A model with `vars` values (and names, which is what actually costs bytes).
+Model BigModel(size_t vars, size_t name_bytes) {
+  Model m;
+  for (size_t i = 0; i < vars; ++i) {
+    m.values[i] = i * 3;
+    m.names[i] = std::string(name_bytes, 'n');
+  }
+  return m;
+}
+
+// The daemon regression: entry-count eviction alone let a long-lived cache
+// holding large models grow without bound. Byte accounting must keep the
+// summed footprint under the configured ceiling even when the entry count
+// is far below the entry cap.
+TEST(SharedCacheTest, ByteBudgetEvictsOversizedModelsUnderEntryCap) {
+  const size_t max_bytes = 64 * 1024;
+  SharedSolverCache cache(max_bytes);
+  Model big = BigModel(/*vars=*/10, /*name_bytes=*/50);
+  const size_t footprint = SharedSolverCache::EntryFootprint(big, true);
+  // Each entry is heavy enough that a few fill a shard's byte budget, yet
+  // fits under it (so the model is kept, not stripped).
+  ASSERT_GT(footprint, 1000u);
+  ASSERT_LE(footprint, max_bytes / SharedSolverCache::kShards);
+  const size_t n = 4 * (max_bytes / footprint) + SharedSolverCache::kShards;
+  for (size_t i = 0; i < n; ++i) {
+    cache.Insert(i, true, &big, &cache);
+  }
+  EXPECT_LE(cache.bytes(), max_bytes);
+  EXPECT_LT(cache.size(), n);  // Well under the entry cap, yet evicted.
+  EXPECT_GT(cache.stats().evictions, 0u);
+  // The eviction count is exact: insertions = survivors + evictions.
+  EXPECT_EQ(cache.stats().evictions + cache.size(), n);
+}
+
+// A single model whose footprint exceeds a whole shard budget is stored
+// verdict-only (the sat answer is still worth caching; the model is not).
+TEST(SharedCacheTest, ModelLargerThanShardBudgetStoredVerdictOnly) {
+  const size_t max_bytes = SharedSolverCache::kShards * 512;
+  SharedSolverCache cache(max_bytes);
+  Model huge = BigModel(/*vars=*/100, /*name_bytes=*/200);
+  ASSERT_GT(SharedSolverCache::EntryFootprint(huge, true),
+            max_bytes / SharedSolverCache::kShards);
+  cache.Insert(1, true, &huge, &cache);
+  auto hit = cache.Lookup(1, nullptr);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_TRUE(hit->sat);
+  EXPECT_FALSE(hit->has_model);
+  EXPECT_LE(cache.bytes(), max_bytes);
+}
+
+// Byte accounting follows the model-upgrade path (model-less sat entry
+// re-inserted with a model) instead of drifting.
+TEST(SharedCacheTest, UpgradeAdjustsByteAccounting) {
+  SharedSolverCache cache;
+  cache.Insert(7, true, nullptr, &cache);
+  const size_t before = cache.bytes();
+  Model m = BigModel(/*vars=*/8, /*name_bytes=*/16);
+  cache.Insert(7, true, &m, &cache);
+  EXPECT_EQ(cache.bytes(),
+            before - SharedSolverCache::EntryFootprint({}, false) +
+                SharedSolverCache::EntryFootprint(m, true));
+  EXPECT_EQ(cache.size(), 1u);
+}
+
 }  // namespace
 }  // namespace esd::solver

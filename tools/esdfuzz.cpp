@@ -4,7 +4,7 @@
 //           [--jobs N] [--cooperative | --race-portfolio]
 //           [--time-cap SECONDS] [--no-ablations] [--no-ir-opt]
 //           [--no-store-buffer] [--shrink] [--out-dir DIR]
-//           [--inject-kind-mismatch]
+//           [--inject-kind-mismatch] [--emit-corpus DIR]
 //
 // Expands each seed into a random concurrent program with a planted bug
 // (src/fuzz/generator.h), then runs the differential oracle: full-engine
@@ -64,6 +64,9 @@ void Usage(std::ostream& os = std::cerr) {
      << "                     fault injection: expect the wrong bug kind,\n"
      << "                     so every scenario fails (exercises the\n"
      << "                     failure path and --shrink)\n"
+     << "  --emit-corpus DIR  do not run the oracle; write each scenario's\n"
+     << "                     program (.esd) + coredump (.core) to DIR along\n"
+     << "                     with a corpus.jobs manifest for esdserved\n"
      << "  -h, --help         show this help\n";
 }
 
@@ -85,6 +88,7 @@ int main(int argc, char** argv) {
   bool shrink = false;
   bool inject_mismatch = false;
   std::string out_dir = ".";
+  std::string emit_corpus_dir;
   fuzz::OracleOptions oracle;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -128,10 +132,54 @@ int main(int argc, char** argv) {
       out_dir = argv[++i];
     } else if (arg == "--inject-kind-mismatch") {
       inject_mismatch = true;
+    } else if (arg == "--emit-corpus" && i + 1 < argc) {
+      emit_corpus_dir = argv[++i];
     } else {
       std::cerr << "error: unknown option or missing argument: '" << arg << "' (try --help)\n";
       return 2;
     }
+  }
+
+  // Corpus emission: generate the scenarios and write each as a synthesis
+  // job (program + coredump) plus a manifest esdserved consumes directly —
+  // the input set for the daemon smoke test and bench_served.
+  if (!emit_corpus_dir.empty()) {
+    std::string manifest;
+    uint64_t emitted = 0;
+    for (uint64_t i = 0; i < seeds; ++i) {
+      uint64_t seed = seed_base + i;
+      fuzz::GeneratorParams params;
+      params.seed = seed;
+      if (kind_arg == "mixed") {
+        params.kind = static_cast<fuzz::BugKind>(seed % fuzz::kNumBugKinds);
+      } else {
+        params.kind = *fuzz::ParseBugKindName(kind_arg);
+      }
+      fuzz::GeneratedProgram program = fuzz::Generate(params);
+      auto dump = fuzz::MakeReport(program);
+      if (!dump.has_value()) {
+        std::cerr << "esdfuzz: seed " << seed
+                  << ": planted bug did not manifest concretely; skipped\n";
+        continue;
+      }
+      std::string prefix = emit_corpus_dir + "/seed" + std::to_string(seed);
+      if (!tools::WriteFile(prefix + ".esd", fuzz::ReproText(program)) ||
+          !tools::WriteFile(prefix + ".core",
+                            report::CoreDumpToText(*program.module, *dump))) {
+        std::cerr << "error: cannot write corpus files '" << prefix << ".*'\n";
+        return 1;
+      }
+      manifest += prefix + ".esd " + prefix + ".core\n";
+      ++emitted;
+    }
+    if (!tools::WriteFile(emit_corpus_dir + "/corpus.jobs", manifest)) {
+      std::cerr << "error: cannot write '" << emit_corpus_dir
+                << "/corpus.jobs'\n";
+      return 1;
+    }
+    std::cout << "esdfuzz: corpus of " << emitted << " jobs written to "
+              << emit_corpus_dir << "/corpus.jobs\n";
+    return 0;
   }
 
   uint64_t failures = 0;

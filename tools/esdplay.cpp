@@ -134,6 +134,13 @@ int main(int argc, char** argv) {
     std::cerr << "esdplay: replay did not complete within the step budget\n";
     return 1;
   }
+  // A schedule/flush inconsistency is a hard error, not a silent
+  // misreplay: the file does not describe the program it was played
+  // against (e.g. a flush step past the end of the schedule).
+  if (!result.error.empty()) {
+    std::cerr << "esdplay: " << exec_path << ": " << result.error << "\n";
+    return 1;
+  }
   if (!result.output.empty()) {
     std::cout << "-- program output --\n" << result.output << "\n--------------------\n";
   }
